@@ -1,0 +1,14 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper's evaluation (a table
+or a figure).  The regenerated rows/series are printed so ``pytest
+benchmarks/ --benchmark-only -s`` shows them, and the shape assertions encode
+the qualitative claims the paper makes about each artifact.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

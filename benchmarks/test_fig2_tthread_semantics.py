@@ -1,0 +1,97 @@
+"""Fig. 2 — the T-THREAD Petri-net execution semantics.
+
+The figure defines the event set {Es, Ec, Ex, Ei, Ew}, the single token per
+T-THREAD, firing sequences with characteristic vectors, and CET/CEE as the
+accumulation of ETM/EEM over execution cycles.  This benchmark runs a
+three-thread scenario designed to exercise every event kind and asserts the
+bookkeeping the figure defines.
+"""
+
+import pytest
+
+from repro.core import PriorityScheduler, SimApi, ThreadKind
+from repro.core.events import ExecutionContext
+from repro.sysc import SimTime, Simulator
+from repro.sysc.process import Wait
+
+
+def run_scenario():
+    simulator = Simulator("fig2")
+    api = SimApi(simulator, scheduler=PriorityScheduler(), system_tick=SimTime.ms(1))
+
+    def low_body():
+        yield from api.sim_wait(duration=SimTime.ms(4), energy_nj=4000.0)
+        yield from api.block_current()              # sleeps -> Ew on resume
+        yield from api.sim_wait(duration=SimTime.ms(4), energy_nj=4000.0)
+
+    def high_body():
+        yield from api.sim_wait(duration=SimTime.ms(2), energy_nj=2000.0)
+
+    def isr_body():
+        yield from api.sim_wait(duration=SimTime.ms(1), energy_nj=1000.0,
+                                context=ExecutionContext.HANDLER)
+
+    low = api.create_thread("low", low_body, priority=20)
+    high = api.create_thread("high", high_body, priority=5)
+    isr = api.create_thread("isr", isr_body, priority=0,
+                            kind=ThreadKind.INTERRUPT_HANDLER)
+    api.start_thread(low)
+
+    def stimulus():
+        yield Wait(SimTime.ms(1) + SimTime.us(500))
+        api.start_thread(high)            # preempts low -> Ex
+        yield Wait(SimTime.ms(8))
+        api.wakeup(low)                   # wakes low -> Ew
+        yield Wait(SimTime.ms(2))
+        api.notify_interrupt(isr)         # interrupts low -> Ei
+
+    simulator.register_thread("stimulus", stimulus)
+    simulator.run(SimTime.ms(40))
+    return api, low, high, isr
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return run_scenario()
+
+
+def test_every_run_event_kind_fires(scenario):
+    api, low, high, isr = scenario
+    events = low.token.firing_sequence.event_vector
+    print(f"\nFig. 2 — low thread event vector: {events}")
+    assert events.get("Es", 0) == 1          # startup after kernel init
+    assert events.get("Ec", 0) >= 4          # continue-run firings
+    assert events.get("Ex", 0) >= 1          # return from preemption
+    assert events.get("Ew", 0) >= 1          # sleep-event arrival
+    assert events.get("Ei", 0) >= 1          # return from interrupt
+    assert high.token.firing_sequence.event_vector.get("Es") == 1
+
+
+def test_single_token_and_characteristic_vector(scenario):
+    api, low, high, isr = scenario
+    vector = low.token.firing_sequence.characteristic_vector
+    # The characteristic vector counts each transition's firings; its sum is
+    # the number of places the single token has visited.
+    assert sum(vector.values()) == low.token.marking()
+    assert low.token.cycle_count == 1        # the cyclic object completed once
+
+
+def test_cet_cee_accumulate_etm_eem(scenario):
+    api, low, high, isr = scenario
+    # ETM: low executed 8 ms of annotated work regardless of preemption.
+    assert low.consumed_execution_time == SimTime.ms(8)
+    assert low.consumed_execution_energy_nj == pytest.approx(8000.0, rel=0.01)
+    # The firing-sequence ETM/EEM sums equal the token's CET/CEE.
+    assert low.token.firing_sequence.execution_time() == low.consumed_execution_time
+    assert low.token.firing_sequence.execution_energy() == pytest.approx(
+        low.consumed_execution_energy_nj
+    )
+    # Per-context breakdown: the handler context only appears on the ISR.
+    assert ExecutionContext.HANDLER in isr.token.cet_by_context()
+    assert ExecutionContext.HANDLER not in low.token.cet_by_context()
+
+
+def test_fig2_scenario_benchmark(benchmark):
+    api, *_ = benchmark(run_scenario)
+    assert api.preemption_count >= 1
+    assert api.interrupt_count >= 1

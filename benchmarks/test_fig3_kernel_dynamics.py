@@ -1,0 +1,110 @@
+"""Fig. 3 — kernel dynamics and SIM_API usage.
+
+The figure shows the central module's three SC_THREADs (Boot, Thread
+Dispatch, Interrupt Dispatch), the timer handler activating cyclic/alarm
+handlers and resuming tasks from the timer queue, wait services switching
+context via the simulation library, and interrupt notification of dedicated
+ISRs.  This benchmark boots a kernel exercising all of those paths and
+asserts each observable.
+"""
+
+import pytest
+
+from repro.core.events import ExecutionContext
+from repro.sysc import SimTime, Simulator
+from repro.tkernel import TKernelOS, TMO_FEVR
+
+
+def run_dynamics(duration_ms=120):
+    log = []
+
+    def user_main(kernel):
+        api = kernel.api
+
+        def sleeper(stacd, exinf):
+            while True:
+                ercd = yield from kernel.tk_slp_tsk(TMO_FEVR)
+                if ercd != 0:
+                    return
+                log.append(("sleeper-woken", kernel.simulator.now.to_ms()))
+                yield from api.sim_wait(duration=SimTime.ms(1))
+
+        def busy(stacd, exinf):
+            yield from api.sim_wait(duration=SimTime.ms(40))
+            log.append(("busy-done", kernel.simulator.now.to_ms()))
+
+        def cyclic_handler(exinf):
+            yield from api.sim_wait(duration=SimTime.us(200),
+                                    context=ExecutionContext.HANDLER)
+            yield from kernel.tk_wup_tsk(exinf)
+
+        def isr(exinf):
+            log.append(("isr", kernel.simulator.now.to_ms()))
+            yield from api.sim_wait(duration=SimTime.us(300),
+                                    context=ExecutionContext.HANDLER)
+
+        sleeper_id = yield from kernel.tk_cre_tsk(sleeper, itskpri=5, name="sleeper")
+        busy_id = yield from kernel.tk_cre_tsk(busy, itskpri=20, name="busy")
+        yield from kernel.tk_sta_tsk(sleeper_id)
+        yield from kernel.tk_sta_tsk(busy_id)
+        yield from kernel.tk_cre_cyc(cyclic_handler, cyctim=15, name="wake_cycle",
+                                     cycatr=0x02, exinf=sleeper_id)
+        yield from kernel.tk_def_int(1, isr, name="ext_isr")
+
+    simulator = Simulator("fig3")
+    kernel = TKernelOS(simulator, user_main=user_main)
+
+    def external_interrupts():
+        from repro.sysc.process import Wait
+        yield Wait(SimTime.ms(25))
+        kernel.raise_interrupt(1)
+        yield Wait(SimTime.ms(30))
+        kernel.raise_interrupt(1)
+
+    simulator.register_thread("externals", external_interrupts)
+    simulator.run(SimTime.ms(duration_ms))
+    return kernel, log
+
+
+@pytest.fixture(scope="module")
+def dynamics():
+    return run_dynamics()
+
+
+def test_central_module_has_three_processes(dynamics):
+    kernel, _ = dynamics
+    names = [handle.name for handle in kernel.threads]
+    assert any("boot" in name for name in names)
+    assert any("thread_dispatch" in name for name in names)
+    assert any("interrupt_dispatch" in name for name in names)
+
+
+def test_timer_handler_drives_cyclic_wakeups(dynamics):
+    kernel, log = dynamics
+    wakeups = [t for name, t in log if name == "sleeper-woken"]
+    print(f"\nFig. 3 — sleeper wakeups at {wakeups}")
+    # The cyclic handler fires every 15 ms and wakes the sleeper each time.
+    assert len(wakeups) >= 5
+    assert kernel.tick_handler_runs >= 100
+
+
+def test_wait_service_and_dispatching(dynamics):
+    kernel, log = dynamics
+    # The busy task (low priority) is preempted whenever the sleeper wakes;
+    # its completion is pushed out past its 40 ms of pure execution.
+    busy_done = [t for name, t in log if name == "busy-done"]
+    assert busy_done and busy_done[0] > 42.0
+    assert kernel.api.preemption_count >= 2
+
+
+def test_interrupt_dispatch_notifies_isrs(dynamics):
+    kernel, log = dynamics
+    isr_times = [t for name, t in log if name == "isr"]
+    assert len(isr_times) == 2
+    assert kernel.api.interrupt_count >= 2
+    assert kernel.api.stack.is_empty()
+
+
+def test_fig3_benchmark(benchmark):
+    kernel, log = benchmark.pedantic(run_dynamics, rounds=2, iterations=1)
+    assert kernel.booted

@@ -1,0 +1,83 @@
+"""Fig. 6 — the execution time/energy trace widget (step mode).
+
+"In this widget, task dispatching, interrupt handling, and preemption can be
+observed.  Also, different contexts of execution are assigned different
+patterns to display the execution time/energy of a BFM access, basic block,
+or OS service."
+
+The benchmark runs the video-game co-simulation, extracts the trace over a
+200 ms window and asserts that each of those observables is present.
+"""
+
+import pytest
+
+from repro.analysis import ExecutionTraceReport
+from repro.app import CoSimulationFramework, FrameworkConfig
+from repro.app.videogame import VideoGameConfig
+from repro.core.events import ExecutionContext
+from repro.sysc import SimTime
+
+WINDOW = SimTime.ms(200)
+
+
+def run_cosim(duration=SimTime.ms(300)):
+    config = FrameworkConfig(
+        simulated_duration=duration,
+        gui_enabled=False,
+        game=VideoGameConfig(lcd_update_period_ms=10),
+        key_script=FrameworkConfig.default_key_script(int(duration.to_ms()), period_ms=60),
+    )
+    framework = CoSimulationFramework(config)
+    framework.run()
+    return framework
+
+
+@pytest.fixture(scope="module")
+def framework():
+    return run_cosim()
+
+
+@pytest.fixture(scope="module")
+def report(framework):
+    return ExecutionTraceReport(framework.api, 0, WINDOW)
+
+
+def test_trace_shows_dispatching_preemption_and_interrupts(report):
+    print("\n" + report.render(columns=64))
+    assert report.observed_dispatches() > 10
+    assert report.observed_preemptions() >= 1
+    assert report.observed_interrupts() >= 1
+
+
+def test_trace_distinguishes_execution_contexts(report):
+    lcd_contexts = report.time_by_context("T1_lcd")
+    idle_contexts = report.time_by_context("T4_idle")
+    handler_threads = [name for name in report.threads() if name.startswith("H1")]
+    # The LCD task shows BFM accesses, basic blocks and OS service time.
+    assert ExecutionContext.BFM_ACCESS in lcd_contexts
+    assert ExecutionContext.TASK in lcd_contexts
+    assert ExecutionContext.SERVICE_CALL in lcd_contexts
+    # The idle task runs in the idle context; the cyclic handler in handler context.
+    assert ExecutionContext.IDLE in idle_contexts
+    assert handler_threads
+    assert ExecutionContext.HANDLER in report.time_by_context(handler_threads[0])
+
+
+def test_trace_energy_follows_time(report):
+    for thread in report.threads():
+        time_total = sum(report.time_by_context(thread).values())
+        energy_total = sum(report.energy_by_context(thread).values())
+        if time_total > 0:
+            assert energy_total > 0
+
+
+def test_single_cpu_invariant_holds(framework):
+    assert framework.api.gantt.overlapping_segments() == []
+
+
+def test_fig6_trace_extraction_benchmark(benchmark, framework):
+    def extract():
+        return ExecutionTraceReport(framework.api, 0, WINDOW).render(columns=64)
+
+    rendered = benchmark(extract)
+    assert "GANTT" in rendered

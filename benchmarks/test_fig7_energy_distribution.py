@@ -1,0 +1,87 @@
+"""Fig. 7 — consumed time/energy distribution and the 10 Wh battery.
+
+"...a battery of 10-watt-hour was assumed and at run time the consumed
+execution time (CET) and energy (CEE) were accumulated and distributed over
+registered T-THREADs and the battery's status bar was updated.  From such a
+display, designers can figure out the maximum duration of the battery's
+lifespan for a given application, and the tasks that consume much time or
+energy."
+"""
+
+import pytest
+
+from repro.analysis import TimeEnergyDistribution
+from repro.app import CoSimulationFramework, FrameworkConfig
+from repro.app.videogame import VideoGameConfig
+from repro.sysc import SimTime
+
+
+def run_cosim():
+    duration = SimTime.ms(400)
+    config = FrameworkConfig(
+        simulated_duration=duration,
+        gui_enabled=False,
+        game=VideoGameConfig(lcd_update_period_ms=10),
+        key_script=FrameworkConfig.default_key_script(400, period_ms=80),
+    )
+    framework = CoSimulationFramework(config)
+    framework.run()
+    return framework
+
+
+@pytest.fixture(scope="module")
+def framework():
+    return run_cosim()
+
+
+@pytest.fixture(scope="module")
+def distribution(framework):
+    return TimeEnergyDistribution(framework.api)
+
+
+def test_distribution_covers_every_registered_tthread(framework, distribution):
+    rows = distribution.per_thread()
+    names = {row["thread"] for row in rows}
+    print("\n" + distribution.render())
+    for expected in ("T1_lcd", "T2_keypad", "T3_ssd", "T4_idle", "H1_cyclic"):
+        assert expected in names
+    # Shares sum to one.
+    assert sum(row["cee_share"] for row in rows) == pytest.approx(1.0)
+    assert sum(row["cet_share"] for row in rows) == pytest.approx(1.0)
+
+
+def test_idle_and_lcd_dominate_consumption(distribution):
+    rows = {row["thread"]: row for row in distribution.per_thread()}
+    # The idle task owns most of the CPU; among the real tasks the LCD task
+    # (render computation + BFM writes) is the dominant consumer, as the
+    # paper's HW/SW-partitioning discussion assumes.
+    busiest_real_task = max(
+        (row for name, row in rows.items() if name.startswith("T") and name != "T4_idle"),
+        key=lambda row: row["cee_mj"],
+    )
+    assert rows["T4_idle"]["cet_ms"] > rows["T1_lcd"]["cet_ms"]
+    assert busiest_real_task["thread"] == "T1_lcd"
+
+
+def test_battery_lifespan_is_projected(framework, distribution):
+    lifespan = distribution.battery_lifespan_hours()
+    assert lifespan is not None and lifespan > 0
+    distribution.battery.update()
+    # A 400 ms game cannot meaningfully dent a 10 Wh battery.
+    assert distribution.battery.remaining_fraction > 0.999
+    assert "battery [" in distribution.battery.render()
+
+
+def test_cet_consistency_with_simulated_time(framework, distribution):
+    totals = distribution.totals()
+    # CPU time (busy + idle) can never exceed the simulated wall time.
+    assert totals["total_cet_ms"] <= totals["simulated_ms"] + 1.0
+    assert totals["platform_energy_mj"] >= totals["total_cee_mj"]
+
+
+def test_fig7_distribution_benchmark(benchmark, framework):
+    def compute():
+        return TimeEnergyDistribution(framework.api).render()
+
+    rendered = benchmark(compute)
+    assert "consumed time/energy distribution" in rendered

@@ -1,0 +1,109 @@
+"""Table 1 — the RTOS modeling API surface.
+
+The paper's Table 1 lists (a partial view of) the SIM_API programming
+constructs.  This benchmark verifies that every construct class the paper
+names is present and callable in our SIM_API implementation and that the
+T-Kernel service-call surface built on top of it is complete, then times how
+quickly a kernel exercising a representative slice of that surface can be
+constructed and booted.
+"""
+
+import pytest
+
+from repro.core import SimApi
+from repro.sysc import SimTime, Simulator
+from repro.tkernel import TKernelOS
+
+#: The SIM_API construct classes of Table 1 mapped to our attribute names.
+SIM_API_CONSTRUCTS = {
+    "thread creation": "create_thread",
+    "thread startup": "start_thread",
+    "annotated wait (SIM_Wait)": "sim_wait",
+    "annotated wait by key": "sim_wait_key",
+    "preemption point": "preemption_point",
+    "voluntary sleep": "block_current",
+    "wakeup": "wakeup",
+    "ready pool insert": "make_ready",
+    "ready pool remove": "make_unready",
+    "dispatch request": "request_dispatch",
+    "forced preemption": "preempt_current",
+    "interrupt notification": "notify_interrupt",
+    "handler activation": "activate_handler",
+    "dispatch disable": "dispatch_disable",
+    "dispatch enable": "dispatch_enable",
+    "thread hash table": "hashtb",
+    "interrupt stack": "stack",
+    "Gantt chart": "gantt",
+    "energy statistics": "energy_statistics",
+}
+
+#: The T-Kernel/OS service calls the kernel model must expose (by family).
+TKERNEL_SERVICES = [
+    # task management
+    "tk_cre_tsk", "tk_del_tsk", "tk_sta_tsk", "tk_ext_tsk", "tk_exd_tsk",
+    "tk_ter_tsk", "tk_slp_tsk", "tk_wup_tsk", "tk_can_wup", "tk_dly_tsk",
+    "tk_rel_wai", "tk_sus_tsk", "tk_rsm_tsk", "tk_frsm_tsk", "tk_chg_pri",
+    "tk_get_tid", "tk_ref_tsk",
+    # synchronization & communication
+    "tk_cre_sem", "tk_del_sem", "tk_sig_sem", "tk_wai_sem", "tk_ref_sem",
+    "tk_cre_flg", "tk_del_flg", "tk_set_flg", "tk_clr_flg", "tk_wai_flg", "tk_ref_flg",
+    "tk_cre_mtx", "tk_del_mtx", "tk_loc_mtx", "tk_unl_mtx", "tk_ref_mtx",
+    "tk_cre_mbx", "tk_del_mbx", "tk_snd_mbx", "tk_rcv_mbx", "tk_ref_mbx",
+    "tk_cre_mbf", "tk_del_mbf", "tk_snd_mbf", "tk_rcv_mbf", "tk_ref_mbf",
+    # memory pools
+    "tk_cre_mpf", "tk_del_mpf", "tk_get_mpf", "tk_rel_mpf", "tk_ref_mpf",
+    "tk_cre_mpl", "tk_del_mpl", "tk_get_mpl", "tk_rel_mpl", "tk_ref_mpl",
+    # time management & handlers
+    "tk_set_tim", "tk_get_tim", "tk_get_otm", "tk_ref_sys",
+    "tk_cre_cyc", "tk_del_cyc", "tk_sta_cyc", "tk_stp_cyc", "tk_ref_cyc",
+    "tk_cre_alm", "tk_del_alm", "tk_sta_alm", "tk_stp_alm", "tk_ref_alm",
+    # interrupt management
+    "tk_def_int", "tk_ena_int", "tk_dis_int",
+]
+
+
+def test_sim_api_constructs_present():
+    """Every Table 1 construct exists on the SIM_API library object."""
+    api = SimApi(Simulator("table1"))
+    missing = [name for name, attr in SIM_API_CONSTRUCTS.items()
+               if not hasattr(api, attr)]
+    assert missing == []
+
+
+def test_tkernel_service_surface_complete():
+    """Every documented T-Kernel service call is exposed by the kernel model."""
+    kernel = TKernelOS(Simulator("table1-kernel"))
+    missing = [name for name in TKERNEL_SERVICES if not callable(getattr(kernel, name, None))]
+    assert missing == []
+    print(f"\nTable 1 — {len(SIM_API_CONSTRUCTS)} SIM_API constructs, "
+          f"{len(TKERNEL_SERVICES)} T-Kernel service calls available")
+
+
+def _boot_kernel_exercising_api():
+    created = {}
+
+    def user_main(kernel):
+        def worker(stacd, exinf):
+            yield from kernel.api.sim_wait(duration=SimTime.ms(1))
+
+        created["tsk"] = yield from kernel.tk_cre_tsk(worker, itskpri=10)
+        created["sem"] = yield from kernel.tk_cre_sem(isemcnt=1, maxsem=2)
+        created["flg"] = yield from kernel.tk_cre_flg()
+        created["mtx"] = yield from kernel.tk_cre_mtx()
+        created["mbx"] = yield from kernel.tk_cre_mbx()
+        created["mbf"] = yield from kernel.tk_cre_mbf()
+        created["mpf"] = yield from kernel.tk_cre_mpf(2, 32)
+        created["mpl"] = yield from kernel.tk_cre_mpl(128)
+        yield from kernel.tk_sta_tsk(created["tsk"])
+
+    simulator = Simulator("table1-boot")
+    kernel = TKernelOS(simulator, user_main=user_main)
+    simulator.run(SimTime.ms(10))
+    assert all(object_id > 0 for object_id in created.values())
+    return kernel
+
+
+def test_api_surface_boot_benchmark(benchmark):
+    """Time the construction + boot of a kernel touching every object family."""
+    kernel = benchmark(_boot_kernel_exercising_api)
+    assert kernel.booted

@@ -1,0 +1,88 @@
+"""Table 2 — co-simulation speed measure.
+
+The paper simulates the overall framework for a reference unit time S = 1 s
+and measures the wall-clock time R, with and without GUI overhead and for
+different BFM access rates driving the GUI widgets (every 10 ms at the
+maximum).  The reported shape: S/R = 0.2 without GUI overhead and 0.1 with
+GUI overhead at the maximum access rate (i.e. GUI callbacks roughly halve the
+speed), and lowering the access rate reduces the penalty.
+
+Absolute R/S values differ from the paper (different host, Python DES vs a
+compiled SystemC kernel), so the assertions are about the *shape*:
+
+* the with-GUI run at the fastest access rate is measurably slower than the
+  no-GUI run,
+* increasing the LCD update period (fewer widget-driving BFM accesses)
+  monotonically (within noise) reduces the GUI penalty.
+
+A shorter reference window than 1 s is used so the whole benchmark stays
+fast; R/S is a ratio, so the window length does not change the shape.
+"""
+
+import pytest
+
+from repro.analysis.speed import measure_speed_table, render_speed_table
+from repro.sysc import SimTime
+
+#: Simulated reference window per configuration.
+REFERENCE_WINDOW = SimTime.ms(400)
+#: Host cost per GUI callback; large enough to dominate Python jitter.
+GUI_CALLBACK_COST_S = 0.0008
+
+
+@pytest.fixture(scope="module")
+def speed_rows():
+    return measure_speed_table(
+        lcd_update_periods_ms=(10, 20, 50, 100),
+        simulated_duration=REFERENCE_WINDOW,
+        gui_host_seconds_per_callback=GUI_CALLBACK_COST_S,
+    )
+
+
+def test_table2_rows_and_shape(speed_rows):
+    print("\n" + render_speed_table(speed_rows))
+    no_gui = next(row for row in speed_rows if not row.gui_enabled)
+    gui_fastest = next(row for row in speed_rows
+                       if row.gui_enabled and row.lcd_update_period_ms == 10)
+    gui_slowest = next(row for row in speed_rows
+                       if row.gui_enabled and row.lcd_update_period_ms == 100)
+
+    # GUI callbacks must cost measurable wall-clock time at the fastest rate.
+    assert gui_fastest.gui_callbacks > 0
+    assert gui_fastest.wall_clock_seconds > no_gui.wall_clock_seconds
+    # The paper reports roughly a 2x slowdown; accept anything clearly > 1.15x.
+    assert gui_fastest.r_over_s > no_gui.r_over_s * 1.15
+    # Slowing the widget-driving BFM access rate reduces the GUI penalty.
+    assert gui_slowest.wall_clock_seconds <= gui_fastest.wall_clock_seconds * 1.05
+    # Every configuration simulates the same reference window.
+    for row in speed_rows:
+        assert row.simulated_seconds == pytest.approx(REFERENCE_WINDOW.to_sec())
+
+
+def test_table2_benchmark_no_gui(benchmark):
+    """Wall-clock cost of the reference window without GUI overhead."""
+    from repro.analysis.speed import CoSimSpeedMeasurement
+
+    def run():
+        return CoSimSpeedMeasurement(
+            gui_enabled=False, lcd_update_period_ms=10,
+            simulated_duration=SimTime.ms(200),
+        ).run()
+
+    row = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert row.simulated_seconds == pytest.approx(0.2)
+
+
+def test_table2_benchmark_with_gui(benchmark):
+    """Wall-clock cost of the reference window with GUI callbacks enabled."""
+    from repro.analysis.speed import CoSimSpeedMeasurement
+
+    def run():
+        return CoSimSpeedMeasurement(
+            gui_enabled=True, lcd_update_period_ms=10,
+            simulated_duration=SimTime.ms(200),
+            gui_host_seconds_per_callback=GUI_CALLBACK_COST_S,
+        ).run()
+
+    row = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert row.gui_callbacks > 0

@@ -1,0 +1,13 @@
+"""Pytest root configuration.
+
+Ensures the in-tree ``src`` layout is importable even when the package has
+not been installed (the CI environment for this reproduction is offline, so
+``pip install -e .`` may not be able to bootstrap wheel/setuptools).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

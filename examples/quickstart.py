@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: boot RTK-Spec TRON, run two tasks and print the Gantt chart.
+
+This is the smallest useful scenario: a kernel with a producer task signalling
+a semaphore and a consumer task waiting on it, plus a cyclic handler.  It
+shows the three things every user of the library touches:
+
+1. a ``user_main`` generator creating kernel objects and tasks,
+2. task bodies expressing execution time with ``api.sim_wait`` and using
+   ``tk_*`` services via ``yield from``,
+3. the debugging output (Gantt chart, energy statistics, T-Kernel/DS listing).
+
+Run with:  python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.events import ExecutionContext
+from repro.sysc import SimTime, Simulator
+from repro.tkernel import TKernelDS, TKernelOS
+
+
+def build_user_main(log):
+    """Return the user_main generator creating the demo scenario."""
+
+    def user_main(kernel):
+        api = kernel.api
+        semid = yield from kernel.tk_cre_sem(isemcnt=0, maxsem=4, name="items")
+
+        def producer(stacd, exinf):
+            for index in range(5):
+                yield from api.sim_wait(duration=SimTime.ms(3), label="produce")
+                yield from kernel.tk_sig_sem(semid)
+                log.append(("produced", index, kernel.simulator.now.to_ms()))
+
+        def consumer(stacd, exinf):
+            for index in range(5):
+                yield from kernel.tk_wai_sem(semid)
+                yield from api.sim_wait(duration=SimTime.ms(1), label="consume")
+                log.append(("consumed", index, kernel.simulator.now.to_ms()))
+
+        def heartbeat(exinf):
+            yield from api.sim_wait(duration=SimTime.us(200),
+                                    context=ExecutionContext.HANDLER)
+            log.append(("heartbeat", kernel.simulator.now.to_ms()))
+
+        producer_id = yield from kernel.tk_cre_tsk(producer, itskpri=10, name="producer")
+        consumer_id = yield from kernel.tk_cre_tsk(consumer, itskpri=5, name="consumer")
+        yield from kernel.tk_sta_tsk(producer_id)
+        yield from kernel.tk_sta_tsk(consumer_id)
+        cycid = yield from kernel.tk_cre_cyc(heartbeat, cyctim=10, name="heartbeat")
+        yield from kernel.tk_sta_cyc(cycid)
+
+    return user_main
+
+
+def main():
+    log = []
+    simulator = Simulator("quickstart")
+    kernel = TKernelOS(simulator, user_main=build_user_main(log))
+    simulator.run(SimTime.ms(50))
+
+    print("--- event log ---")
+    for entry in log:
+        print(entry)
+
+    print("\n--- Gantt chart (first 50 ms) ---")
+    print(kernel.api.gantt.render(0, SimTime.ms(50)))
+
+    print("\n--- energy statistics ---")
+    for name, stats in kernel.api.energy_statistics().items():
+        print(f"{name:<12} CET {stats['cet_ms']:7.2f} ms   CEE {stats['cee_mj']:.4f} mJ")
+
+    print("\n--- T-Kernel/DS listing ---")
+    print(TKernelDS(kernel).render_listing())
+
+
+if __name__ == "__main__":
+    main()

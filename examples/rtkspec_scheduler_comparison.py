@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""RTK-Spec I vs RTK-Spec II: the same task set under two schedulers.
+
+Section 4 of the paper validates SIM_API coverage with two user-defined
+kernels: RTK-Spec I (round robin) and RTK-Spec II (priority preemptive).
+This example runs an identical four-task workload on both and prints how the
+completion order and response times differ.
+
+Run with:  python examples/rtkspec_scheduler_comparison.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.rtkspec import RTKSpec1, RTKSpec2
+from repro.sysc import SimTime, Simulator
+
+
+WORKLOAD = [
+    # (name, priority, execution_ms)
+    ("logger", 30, 12),
+    ("control", 5, 6),
+    ("comms", 15, 9),
+    ("background", 40, 15),
+]
+
+
+def run_workload(kernel_class, **kwargs):
+    simulator = Simulator(kernel_class.__name__)
+    kernel = kernel_class(simulator, **kwargs)
+    completions = {}
+
+    def make_body(name, execution_ms):
+        def body():
+            yield from kernel.api.sim_wait(duration=SimTime.ms(execution_ms), label=name)
+            completions[name] = simulator.now.to_ms()
+        return body
+
+    for name, priority, execution_ms in WORKLOAD:
+        task = kernel.create_task(make_body(name, execution_ms), priority=priority,
+                                  name=name)
+        kernel.start_task(task)
+    simulator.run(SimTime.ms(200))
+    return kernel, completions
+
+
+def main():
+    for kernel_class, kwargs in [(RTKSpec1, {"time_slice_ticks": 4}), (RTKSpec2, {})]:
+        kernel, completions = run_workload(kernel_class, **kwargs)
+        print(f"=== {kernel.kernel_name} ({kernel.describe()['scheduler']}) ===")
+        for name, finished in sorted(completions.items(), key=lambda item: item[1]):
+            print(f"  {name:<12} finished at {finished:6.1f} ms")
+        print(f"  preemptions: {kernel.api.preemption_count}   "
+              f"dispatches: {kernel.api.dispatch_count}")
+        print()
+    print("RTK-Spec II finishes the high-priority 'control' task first;")
+    print("RTK-Spec I shares the CPU fairly so everything finishes late together.")
+
+
+if __name__ == "__main__":
+    main()

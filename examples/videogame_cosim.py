@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The full case study: video game on RTK-Spec TRON + i8051 BFM + widgets.
+
+Reproduces the paper's section 5 scenario headlessly: the game runs for a
+configurable simulated duration while a scripted user presses keypad keys
+(raising external interrupts); afterwards the script prints the virtual
+prototype dashboard, the Fig. 6 execution trace, the Fig. 7 energy
+distribution and the Fig. 8 kernel listing.
+
+Run with:  python examples/videogame_cosim.py [simulated_ms]
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis import ExecutionTraceReport, TimeEnergyDistribution
+from repro.app import CoSimulationFramework, FrameworkConfig
+from repro.app.videogame import VideoGameConfig
+from repro.sysc import SimTime
+
+
+def main():
+    simulated_ms = int(sys.argv[1]) if len(sys.argv) > 1 else 500
+    config = FrameworkConfig(
+        simulated_duration=SimTime.ms(simulated_ms),
+        gui_enabled=True,
+        game=VideoGameConfig(lcd_update_period_ms=10, game_over_ms=simulated_ms - 50),
+        key_script=FrameworkConfig.default_key_script(simulated_ms, period_ms=80),
+        trace_waveforms=True,
+    )
+    framework = CoSimulationFramework(config)
+    results = framework.run()
+
+    print(f"simulated {results['simulated_seconds']:.3f} s "
+          f"in {results['wall_clock_seconds']:.3f} s wall clock "
+          f"(S/R = {results['s_over_r']:.1f})")
+    print(f"frames rendered: {results['application']['frames_rendered']}   "
+          f"keys handled: {results['application']['keys_handled']}   "
+          f"score: {results['application']['score']}")
+    print(f"BFM accesses: {results['bfm']['bus_accesses']}   "
+          f"interrupts raised: {results['bfm']['interrupts_raised']}")
+
+    print("\n--- virtual prototype dashboard ---")
+    print(framework.widgets.render_dashboard())
+
+    print("\n--- execution time/energy trace (Fig. 6), first 200 ms ---")
+    report = ExecutionTraceReport(framework.api, 0, SimTime.ms(200))
+    print(report.render())
+
+    print("\n--- consumed time/energy distribution (Fig. 7) ---")
+    print(TimeEnergyDistribution(framework.api).render())
+
+    print("\n--- T-Kernel/DS listing (Fig. 8) ---")
+    print(framework.debugger.render_listing())
+
+    if framework.trace is not None:
+        print("\n--- bus waveform (Fig. 4), first 50 ms ---")
+        print(framework.trace.render_ascii(stop=SimTime.ms(50), step=SimTime.ms(1)))
+
+
+if __name__ == "__main__":
+    main()

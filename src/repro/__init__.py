@@ -1,0 +1,36 @@
+"""RTK-Spec TRON reproduction: an ITRON RTOS kernel simulation model in Python.
+
+Reproduction of "RTK-Spec TRON: A Simulation Model of an ITRON Based RTOS
+Kernel in SystemC" (Hassan, Sakanushi, Takeuchi, Imai — DATE 2005).
+
+Package layout
+--------------
+
+``repro.sysc``
+    SystemC-like discrete-event simulation substrate.
+``repro.core``
+    The paper's contribution: T-THREAD process model and the SIM_API library.
+``repro.tkernel``
+    RTK-Spec TRON — the T-Kernel/OS (μ-ITRON heritage) behavioural model.
+``repro.rtkspec``
+    RTK-Spec I (round robin) and II (priority preemptive) validation kernels.
+``repro.bfm``
+    The i8051 bus functional model and peripherals.
+``repro.app``
+    The video-game case study, virtual-prototype widgets and the
+    co-simulation framework.
+``repro.analysis``
+    The evaluation harnesses (Table 2, Fig. 6, Fig. 7).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sysc",
+    "core",
+    "tkernel",
+    "rtkspec",
+    "bfm",
+    "app",
+    "analysis",
+]

@@ -1,0 +1,22 @@
+"""Measurement and reporting: the paper's evaluation artifacts.
+
+* :mod:`repro.analysis.speed` — the co-simulation speed measure of Table 2,
+* :mod:`repro.analysis.trace` — the execution time/energy trace of Fig. 6,
+* :mod:`repro.analysis.distribution` — the consumed time/energy distribution
+  and battery lifespan of Fig. 7,
+* :mod:`repro.analysis.report` — shared table-formatting helpers.
+"""
+
+from repro.analysis.speed import CoSimSpeedMeasurement, SpeedRow, measure_speed_table
+from repro.analysis.trace import ExecutionTraceReport
+from repro.analysis.distribution import TimeEnergyDistribution
+from repro.analysis.report import format_table
+
+__all__ = [
+    "CoSimSpeedMeasurement",
+    "SpeedRow",
+    "measure_speed_table",
+    "ExecutionTraceReport",
+    "TimeEnergyDistribution",
+    "format_table",
+]

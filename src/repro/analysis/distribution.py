@@ -1,0 +1,97 @@
+"""The consumed time/energy distribution of Fig. 7.
+
+"In this widget, a battery of 10-watt-hour was assumed and at run time the
+consumed execution time (CET) and energy (CEE) were accumulated and
+distributed over registered T-THREADs and the battery's status bar was
+updated.  From such a display, designers can figure out the maximum duration
+of the battery's lifespan for a given application, and the tasks that consume
+much time or energy."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.report import format_table, format_percentage
+from repro.app.widgets import DEFAULT_BATTERY_WATT_HOURS, BatteryWidget
+from repro.core.simapi import SimApi
+
+
+class TimeEnergyDistribution:
+    """Fig. 7: CET/CEE distribution over registered T-THREADs plus battery."""
+
+    def __init__(self, api: SimApi, battery_watt_hours: float = DEFAULT_BATTERY_WATT_HOURS):
+        self.api = api
+        self.battery = BatteryWidget(api, battery_watt_hours)
+
+    # ------------------------------------------------------------------
+    # Distributions
+    # ------------------------------------------------------------------
+    def per_thread(self) -> List[Dict[str, object]]:
+        """One entry per registered T-THREAD with CET, CEE and shares."""
+        stats = self.api.energy_statistics()
+        total_cet = sum(entry["cet_ms"] for entry in stats.values()) or 1.0
+        total_cee = sum(entry["cee_mj"] for entry in stats.values()) or 1.0
+        rows = []
+        for name, entry in stats.items():
+            rows.append({
+                "thread": name,
+                "cet_ms": entry["cet_ms"],
+                "cee_mj": entry["cee_mj"],
+                "cet_share": entry["cet_ms"] / total_cet,
+                "cee_share": entry["cee_mj"] / total_cee,
+                "activations": int(entry["activations"]),
+            })
+        rows.sort(key=lambda row: -row["cee_mj"])
+        return rows
+
+    def totals(self) -> Dict[str, float]:
+        """Aggregate CET/CEE, idle time and total platform energy."""
+        stats = self.api.energy_statistics()
+        return {
+            "total_cet_ms": sum(entry["cet_ms"] for entry in stats.values()),
+            "total_cee_mj": sum(entry["cee_mj"] for entry in stats.values()),
+            "idle_ms": self.api.cpu_idle_time().to_ms(),
+            "platform_energy_mj": self.api.total_consumed_energy_mj(include_idle=True),
+            "simulated_ms": self.api.simulator.now.to_ms(),
+        }
+
+    def dominant_consumers(self, count: int = 3) -> List[str]:
+        """The *count* threads consuming the most energy (for HW/SW hints)."""
+        return [row["thread"] for row in self.per_thread()[:count]]
+
+    def battery_lifespan_hours(self) -> Optional[float]:
+        """Projected 10 Wh battery lifespan at the observed drain rate."""
+        self.battery.update()
+        return self.battery.projected_lifespan_hours()
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Fig. 7 style text output: distribution table plus battery bar."""
+        rows = [
+            (
+                row["thread"],
+                f"{row['cet_ms']:.2f}",
+                format_percentage(row["cet_share"]),
+                f"{row['cee_mj']:.4f}",
+                format_percentage(row["cee_share"]),
+                row["activations"],
+            )
+            for row in self.per_thread()
+        ]
+        table = format_table(
+            ["T-THREAD", "CET [ms]", "CET share", "CEE [mJ]", "CEE share", "activations"],
+            rows,
+            title="consumed time/energy distribution",
+        )
+        totals = self.totals()
+        self.battery.update()
+        footer = (
+            f"total CET {totals['total_cet_ms']:.2f} ms over "
+            f"{totals['simulated_ms']:.0f} ms simulated "
+            f"(idle {totals['idle_ms']:.2f} ms)\n"
+            f"{self.battery.render()}"
+        )
+        return f"{table}\n{footer}"

@@ -1,0 +1,128 @@
+"""The execution time/energy trace of Fig. 6.
+
+"In this widget, task dispatching, interrupt handling, and preemption can be
+observed.  Also, different contexts of execution are assigned different
+patterns to display the execution time/energy of a BFM access, basic block,
+or OS service."
+
+:class:`ExecutionTraceReport` extracts exactly those observables from the
+SIM_API Gantt chart over a chosen window: per-thread slices broken down per
+execution context, the dispatch/preempt/interrupt markers, and a rendered
+text chart using the per-context patterns of :mod:`repro.core.gantt`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.core.events import ExecutionContext
+from repro.core.gantt import GanttChart
+from repro.core.simapi import SimApi
+from repro.sysc.time import SimTime
+
+
+class ExecutionTraceReport:
+    """Fig. 6: execution time/energy trace over a simulation window."""
+
+    def __init__(self, api: SimApi, start: "SimTime | int" = 0,
+                 stop: "SimTime | int | None" = None):
+        self.api = api
+        self.gantt: GanttChart = api.gantt
+        self.start = SimTime.coerce(start)
+        self.stop = SimTime.coerce(stop) if stop is not None else self.gantt.end_time()
+
+    # ------------------------------------------------------------------
+    # Observables
+    # ------------------------------------------------------------------
+    def _window_segments(self, thread: Optional[str] = None):
+        for segment in self.gantt.segments:
+            if segment.end <= self.start or segment.start >= self.stop:
+                continue
+            if thread is not None and segment.thread != thread:
+                continue
+            yield segment
+
+    def threads(self) -> List[str]:
+        """Threads that executed inside the window."""
+        names: List[str] = []
+        for segment in self._window_segments():
+            if segment.thread not in names:
+                names.append(segment.thread)
+        return names
+
+    def time_by_context(self, thread: str) -> Dict[ExecutionContext, float]:
+        """Execution milliseconds of *thread* per execution context."""
+        breakdown: Dict[ExecutionContext, float] = {}
+        for segment in self._window_segments(thread):
+            breakdown[segment.context] = (
+                breakdown.get(segment.context, 0.0) + segment.duration.to_ms()
+            )
+        return breakdown
+
+    def energy_by_context(self, thread: str) -> Dict[ExecutionContext, float]:
+        """Energy (nJ) of *thread* per execution context."""
+        breakdown: Dict[ExecutionContext, float] = {}
+        for segment in self._window_segments(thread):
+            breakdown[segment.context] = breakdown.get(segment.context, 0.0) + segment.energy_nj
+        return breakdown
+
+    def marker_counts(self, kind: str) -> Dict[str, int]:
+        """Count of one marker kind (dispatch/preempt/interrupted) per thread."""
+        counts: Dict[str, int] = {}
+        for marker in self.gantt.markers:
+            if marker.kind != kind:
+                continue
+            if not self.start <= marker.time < self.stop:
+                continue
+            counts[marker.thread] = counts.get(marker.thread, 0) + 1
+        return counts
+
+    def observed_dispatches(self) -> int:
+        """Number of dispatches inside the window."""
+        return sum(self.marker_counts("dispatch").values())
+
+    def observed_preemptions(self) -> int:
+        """Number of preemptions inside the window."""
+        return sum(self.marker_counts("preempt").values()) + \
+            sum(self.marker_counts("delayed_preempt").values())
+
+    def observed_interrupts(self) -> int:
+        """Number of interrupt suspensions inside the window."""
+        return sum(self.marker_counts("interrupted").values())
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def summary_rows(self) -> List[List[object]]:
+        """One row per (thread, context) with time and energy."""
+        rows: List[List[object]] = []
+        for thread in self.threads():
+            time_breakdown = self.time_by_context(thread)
+            energy_breakdown = self.energy_by_context(thread)
+            for context, milliseconds in sorted(
+                time_breakdown.items(), key=lambda item: -item[1]
+            ):
+                rows.append([
+                    thread,
+                    context.value,
+                    f"{milliseconds:.3f}",
+                    f"{energy_breakdown.get(context, 0.0) / 1e6:.4f}",
+                ])
+        return rows
+
+    def render(self, columns: int = 72) -> str:
+        """The Fig. 6 style output: chart plus per-context table plus counters."""
+        chart = self.gantt.render(self.start, self.stop, columns=columns,
+                                  threads=self.threads())
+        table = format_table(
+            ["thread", "context", "time [ms]", "energy [mJ]"],
+            self.summary_rows(),
+            title="execution time/energy per context",
+        )
+        counters = (
+            f"dispatches={self.observed_dispatches()}  "
+            f"preemptions={self.observed_preemptions()}  "
+            f"interrupt suspensions={self.observed_interrupts()}"
+        )
+        return "\n".join([chart, "", table, "", counters])

@@ -1,0 +1,39 @@
+"""The case-study application: video game, virtual-prototype widgets, framework.
+
+Section 5 of the paper builds an RTOS-centric co-simulation framework from
+RTK-Spec TRON, the i8051 BFM, a group of ASIC components wrapped in GUI
+widgets, and a video-game application mapped onto four communicating tasks
+{LCD:T1, Keypad:T2, SSD:T3, IDLE:T4} and two handlers {Cyclic:H1, Alarm:H2}.
+
+* :mod:`repro.app.widgets` — headless stand-ins for the GUI widgets,
+  including the battery widget of Fig. 7 and a configurable host-side
+  callback cost model used to reproduce the GUI overhead of Table 2,
+* :mod:`repro.app.videogame` — the video-game application itself,
+* :mod:`repro.app.framework` — :class:`CoSimulationFramework`, the one-call
+  assembly of kernel + BFM + application + widgets (Fig. 5).
+"""
+
+from repro.app.widgets import (
+    BatteryWidget,
+    KeypadWidget,
+    LCDWidget,
+    SSDWidget,
+    WidgetCostModel,
+    WidgetSet,
+)
+from repro.app.videogame import GameState, VideoGameApplication, VideoGameConfig
+from repro.app.framework import CoSimulationFramework, FrameworkConfig
+
+__all__ = [
+    "BatteryWidget",
+    "KeypadWidget",
+    "LCDWidget",
+    "SSDWidget",
+    "WidgetCostModel",
+    "WidgetSet",
+    "GameState",
+    "VideoGameApplication",
+    "VideoGameConfig",
+    "CoSimulationFramework",
+    "FrameworkConfig",
+]

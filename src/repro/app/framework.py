@@ -1,0 +1,182 @@
+"""The RTOS-centric co-simulation framework (Fig. 5).
+
+:class:`CoSimulationFramework` assembles in one call everything the paper's
+case study wires together: the DES simulator, the SIM_API library, RTK-Spec
+TRON (the T-Kernel/OS model) driven by the BFM's real-time clock, the i8051
+BFM with its peripherals, the GUI widgets (headless), the video-game
+application, an optional scripted "user" pressing keypad keys, and a waveform
+trace on the bus signals.
+
+It is the object the Table 2 / Fig. 6 / Fig. 7 / Fig. 8 benchmarks run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.app.videogame import KEY_LEFT, KEY_RIGHT, VideoGameApplication, VideoGameConfig
+from repro.app.widgets import WidgetCostModel, WidgetSet
+from repro.bfm.i8051 import I8051BFM
+from repro.core.scheduler import PriorityScheduler
+from repro.core.simapi import SimApi
+from repro.sysc.kernel import Simulator
+from repro.sysc.process import Wait
+from repro.sysc.time import SimTime
+from repro.sysc.trace import TraceFile
+from repro.tkernel.debugger import TKernelDS
+from repro.tkernel.kernel import TKernelOS
+
+
+@dataclass
+class FrameworkConfig:
+    """Configuration of one co-simulation run."""
+
+    #: Duration of the simulated reference window S (Table 2 uses 1 s).
+    simulated_duration: SimTime = field(default_factory=lambda: SimTime.sec(1))
+    #: Whether the GUI widgets (and their host callback cost) are enabled.
+    gui_enabled: bool = True
+    #: Host seconds burned per GUI callback when the GUI is enabled.
+    gui_host_seconds_per_callback: float = 0.00004
+    #: The video-game parameters (LCD update period is the Table 2 knob).
+    game: VideoGameConfig = field(default_factory=VideoGameConfig)
+    #: Scripted user key presses: (time_ms, key_code).
+    key_script: List = field(default_factory=list)
+    #: Whether to record a waveform trace of the bus signals (Fig. 4).
+    trace_waveforms: bool = False
+    #: System tick / RTC resolution.
+    tick: SimTime = field(default_factory=lambda: SimTime.ms(1))
+
+    @staticmethod
+    def default_key_script(duration_ms: int, period_ms: int = 120) -> List:
+        """A deterministic left/right key script covering *duration_ms*."""
+        script = []
+        keys = [KEY_LEFT, KEY_RIGHT]
+        for index, when in enumerate(range(40, duration_ms, period_ms)):
+            script.append((when, keys[index % 2]))
+        return script
+
+
+class CoSimulationFramework:
+    """One fully-wired co-simulation instance."""
+
+    def __init__(self, config: Optional[FrameworkConfig] = None, name: str = "cosim"):
+        self.config = config if config is not None else FrameworkConfig()
+        self.name = name
+        self.simulator = Simulator(name)
+        self.api = SimApi(
+            self.simulator,
+            scheduler=PriorityScheduler(),
+            system_tick=self.config.tick,
+        )
+        self.bfm = I8051BFM(self.api, rtc_resolution=self.config.tick)
+        self.application = VideoGameApplication(None, self.bfm, self.config.game)  # type: ignore[arg-type]
+        self.kernel = TKernelOS(
+            self.simulator,
+            user_main=self.application.user_main,
+            api=self.api,
+            system_tick=self.config.tick,
+            tick_signal=self.bfm.tick_signal,
+        )
+        self.application.kernel = self.kernel
+        self.kernel.attach_interrupt_controller(self.bfm.intc)
+        self.debugger = TKernelDS(self.kernel)
+
+        cost_model = WidgetCostModel(
+            enabled=self.config.gui_enabled,
+            host_seconds_per_callback=self.config.gui_host_seconds_per_callback,
+        )
+        assert self.bfm.lcd is not None and self.bfm.keypad is not None \
+            and self.bfm.ssd is not None
+        self.widgets = WidgetSet(self.api, self.bfm.lcd, self.bfm.keypad, self.bfm.ssd,
+                                 cost_model=cost_model)
+
+        self.trace: Optional[TraceFile] = None
+        if self.config.trace_waveforms:
+            self.trace = self.bfm.attach_trace()
+
+        self._install_key_script()
+        self.wall_clock_seconds: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Scenario plumbing
+    # ------------------------------------------------------------------
+    def _install_key_script(self) -> None:
+        script = list(self.config.key_script)
+        if not script:
+            return
+
+        widgets = self.widgets
+
+        def user_process():
+            last_ms = 0
+            for when_ms, key in script:
+                delay = max(0, when_ms - last_ms)
+                last_ms = when_ms
+                if delay:
+                    yield Wait(SimTime.ms(delay))
+                widgets.keypad.press(key)
+
+        self.simulator.register_thread(f"{self.name}.user_input", user_process)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, duration: "SimTime | int | None" = None) -> Dict[str, object]:
+        """Run the co-simulation and return the result summary.
+
+        Measures the host wall-clock time R spent simulating the reference
+        window S, which is the quantity Table 2 reports as R/S.
+        """
+        duration = SimTime.coerce(duration) if duration is not None else self.config.simulated_duration
+        start = time.perf_counter()
+        self.simulator.run(duration)
+        self.wall_clock_seconds = time.perf_counter() - start
+        return self.results()
+
+    def results(self) -> Dict[str, object]:
+        """The combined result summary of the run so far."""
+        simulated_seconds = self.simulator.now.to_sec()
+        wall = self.wall_clock_seconds or 0.0
+        self.widgets.battery.update()
+        return {
+            "simulated_seconds": simulated_seconds,
+            "wall_clock_seconds": wall,
+            "r_over_s": (wall / simulated_seconds) if simulated_seconds else None,
+            "s_over_r": (simulated_seconds / wall) if wall else None,
+            "gui_enabled": self.config.gui_enabled,
+            "lcd_update_period_ms": self.config.game.lcd_update_period_ms,
+            "gui_callbacks": self.widgets.callback_count(),
+            "application": self.application.summary(),
+            "bfm": self.bfm.access_statistics(),
+            "energy": self.api.energy_statistics(),
+            "total_energy_mj": self.api.total_consumed_energy_mj(),
+            "battery_remaining_fraction": self.widgets.battery.remaining_fraction,
+            "dispatches": self.api.dispatch_count,
+            "preemptions": self.api.preemption_count,
+            "interrupts": self.api.interrupt_count,
+        }
+
+    # ------------------------------------------------------------------
+    # Structural enumeration (Fig. 5)
+    # ------------------------------------------------------------------
+    def component_inventory(self) -> Dict[str, List[str]]:
+        """The framework structure: which components are wired together."""
+        return {
+            "kernel_processes": [
+                handle.name for handle in self.kernel.threads
+            ],
+            "bfm_controllers": [
+                "rtc", "bus_driver", "memory_controller", "interrupt_controller",
+                "serial_io", "parallel_io",
+            ],
+            "peripherals": ["lcd", "keypad", "seven_segment_display"],
+            "widgets": ["lcd_widget", "keypad_widget", "ssd_widget", "battery_widget"],
+            "application_tasks": list(self.application.task_ids) or
+                ["T1_lcd", "T2_keypad", "T3_ssd", "T4_idle"],
+            "application_handlers": ["H1_cyclic", "H2_alarm", "keypad_isr"],
+        }
+
+    def __repr__(self) -> str:
+        return f"CoSimulationFramework({self.name!r}, gui={self.config.gui_enabled})"

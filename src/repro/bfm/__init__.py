@@ -1,0 +1,41 @@
+"""Bus functional model (BFM) of an i8051-class MCU and its peripherals.
+
+Section 5.1 of the paper: the co-simulation framework uses a cycle-accurate
+bus functional model of the 8051 core's surroundings, consisting of a real
+time clock (default resolution 1 ms) driving the kernel central module, a
+memory controller, an interrupt controller, serial I/O and a multiplexed
+parallel I/O interface to which several external peripheral devices are
+connected.  Each BFM call carries a cycle budget and an energy estimate for
+the access.
+
+The top-level assembly is :class:`repro.bfm.i8051.I8051BFM`.  Application
+tasks access the hardware through generator methods (``yield from
+bfm.pio.write_port(...)``) so that every access consumes its cycle budget in
+the ``BFM_ACCESS`` execution context, exactly as the paper attributes BFM
+access time/energy in the Fig. 6 trace.
+"""
+
+from repro.bfm.budgets import BFMBudgets, default_bfm_budgets
+from repro.bfm.driver import BusDriver
+from repro.bfm.rtc import RealTimeClock
+from repro.bfm.memctrl import MemoryController
+from repro.bfm.intc import InterruptController
+from repro.bfm.serial import SerialIO
+from repro.bfm.pio import ParallelIO
+from repro.bfm.peripherals import KeypadDevice, LCDDevice, SevenSegmentDevice
+from repro.bfm.i8051 import I8051BFM
+
+__all__ = [
+    "BFMBudgets",
+    "default_bfm_budgets",
+    "BusDriver",
+    "RealTimeClock",
+    "MemoryController",
+    "InterruptController",
+    "SerialIO",
+    "ParallelIO",
+    "KeypadDevice",
+    "LCDDevice",
+    "SevenSegmentDevice",
+    "I8051BFM",
+]

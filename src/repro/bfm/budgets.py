@@ -1,0 +1,63 @@
+"""Cycle and energy budgets for BFM calls.
+
+"Each BFM Call will be associated with a cycle budget that is based on BFM
+timing characteristics, and an estimation on the energy consumed during that
+BFM access" (section 5.1).  The numbers below are estimates in 8051 machine
+cycles (1 us at 12 MHz), in line with MOVX/serial transfer costs of the
+classic part; they are deliberately kept in a single table so experiments can
+swap them out or scale them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.etm import AnnotationTable, TimingAnnotation
+
+
+@dataclass(frozen=True)
+class BFMBudgets:
+    """Cycle budgets (machine cycles) for each class of BFM access."""
+
+    bus_read: int = 2
+    bus_write: int = 2
+    xram_read: int = 4
+    xram_write: int = 4
+    code_read: int = 2
+    port_read: int = 3
+    port_write: int = 3
+    serial_send_byte: int = 12
+    serial_receive_byte: int = 12
+    intc_acknowledge: int = 3
+    rtc_read: int = 2
+    #: Energy per bus access in nanojoules (on top of the per-cycle energy).
+    access_energy_nj: float = 6.0
+
+    def as_annotation_table(self) -> AnnotationTable:
+        """Expose the budgets as ``bfm:*`` keys for the annotation table."""
+        table = AnnotationTable()
+        entries = {
+            "bfm:bus_read": self.bus_read,
+            "bfm:bus_write": self.bus_write,
+            "bfm:xram_read": self.xram_read,
+            "bfm:xram_write": self.xram_write,
+            "bfm:code_read": self.code_read,
+            "bfm:port_read": self.port_read,
+            "bfm:port_write": self.port_write,
+            "bfm:serial_send_byte": self.serial_send_byte,
+            "bfm:serial_receive_byte": self.serial_receive_byte,
+            "bfm:intc_acknowledge": self.intc_acknowledge,
+            "bfm:rtc_read": self.rtc_read,
+        }
+        for key, cycles in entries.items():
+            table.annotate(key, cycles, energy_nj=None)
+        return table
+
+    def annotation_for(self, key: str) -> TimingAnnotation:
+        """The annotation of one ``bfm:*`` key."""
+        return self.as_annotation_table().lookup(key)
+
+
+def default_bfm_budgets() -> BFMBudgets:
+    """The default budget set used by the case study."""
+    return BFMBudgets()

@@ -1,0 +1,54 @@
+"""The real-time clock of the BFM.
+
+"Real Time Clock driving the kernel Central Module with default timing
+resolution = 1 ms" (section 5.1).  The RTC owns the tick signal that the
+kernel's Thread Dispatch process is sensitive to, and counts milliseconds so
+software can read a coarse hardware time-base.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.events import ExecutionContext
+from repro.core.simapi import SimApi
+from repro.sysc.clock import Clock
+from repro.sysc.kernel import Simulator
+from repro.sysc.process import WaitEvent
+from repro.sysc.time import SimTime
+
+
+class RealTimeClock:
+    """A periodic tick generator with a software-readable counter."""
+
+    def __init__(self, simulator: Simulator, api: Optional[SimApi] = None,
+                 resolution: "SimTime | int" = SimTime.ms(1), name: str = "rtc"):
+        self.simulator = simulator
+        self.api = api
+        self.resolution = SimTime.coerce(resolution)
+        self.name = name
+        self.tick_signal = Clock(f"{name}.tick", self.resolution, simulator=simulator)
+        self.tick_count = 0
+        simulator.register_thread(f"{name}.counter", self._count_ticks,
+                                  sensitivity=self.tick_signal.posedge_event,
+                                  dont_initialize=True)
+
+    def _count_ticks(self):
+        while True:
+            self.tick_count += 1
+            yield None  # wait for the next posedge (static sensitivity)
+
+    def read_milliseconds(self):
+        """Read the RTC counter from software (a BFM call with a cycle cost)."""
+        if self.api is not None:
+            yield from self.api.sim_wait_key(
+                "bfm:rtc_read", context=ExecutionContext.BFM_ACCESS
+            )
+        return self.tick_count * max(1, int(self.resolution.to_ms()))
+
+    def stop(self) -> None:
+        """Stop the tick signal (ends a bounded co-simulation cleanly)."""
+        self.tick_signal.stop()
+
+    def __repr__(self) -> str:
+        return f"RealTimeClock(resolution={self.resolution.format()}, ticks={self.tick_count})"

@@ -1,0 +1,64 @@
+"""The paper's primary contribution: T-THREAD processes and the SIM_API library.
+
+The modules here re-create, on top of :mod:`repro.sysc`, the RTOS modeling
+constructs of the DATE'05 paper:
+
+* :mod:`repro.core.events` — the kernel-specific run events
+  ``{Es, Ec, Ex, Ei, Ew}`` and execution contexts of Fig. 2,
+* :mod:`repro.core.etm` — execution-time (ETM) and execution-energy (EEM)
+  models and annotation tables,
+* :mod:`repro.core.petri` — the synchronized-Petri-net bookkeeping (token,
+  transitions, firing sequences, characteristic vectors),
+* :mod:`repro.core.tthread` — the T-THREAD controllable process model,
+* :mod:`repro.core.hashtb` / :mod:`repro.core.stack` — ``SIM_HashTB`` and
+  ``SIM_Stack``,
+* :mod:`repro.core.simapi` — the SIM_API library itself (Table 1),
+* :mod:`repro.core.gantt` — the time/energy Gantt chart debugging output,
+* :mod:`repro.core.scheduler` — the external-scheduler interface plus the
+  round-robin and priority-preemptive reference schedulers used by
+  RTK-Spec I and II.
+"""
+
+from repro.core.events import ExecutionContext, RunEvent, ThreadKind, ThreadState
+from repro.core.etm import (
+    AnnotationTable,
+    EnergyModel,
+    TimingAnnotation,
+    TimingModel,
+)
+from repro.core.petri import FiringRecord, FiringSequence, PetriToken, Transition
+from repro.core.tthread import TThread
+from repro.core.hashtb import SimHashTB
+from repro.core.stack import SimStack
+from repro.core.simapi import SimApi, SimApiError
+from repro.core.gantt import GanttChart, GanttSegment
+from repro.core.scheduler import (
+    PriorityScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+
+__all__ = [
+    "ExecutionContext",
+    "RunEvent",
+    "ThreadKind",
+    "ThreadState",
+    "AnnotationTable",
+    "EnergyModel",
+    "TimingAnnotation",
+    "TimingModel",
+    "FiringRecord",
+    "FiringSequence",
+    "PetriToken",
+    "Transition",
+    "TThread",
+    "SimHashTB",
+    "SimStack",
+    "SimApi",
+    "SimApiError",
+    "GanttChart",
+    "GanttSegment",
+    "Scheduler",
+    "RoundRobinScheduler",
+    "PriorityScheduler",
+]

@@ -1,0 +1,87 @@
+"""Run events, execution contexts and thread states of the T-THREAD model.
+
+Fig. 2 of the paper defines the set of kernel-specific events that can fire a
+T-THREAD transition::
+
+    E = {Es, Ec, Ex, Ei, Ew}
+
+* ``Es`` — startup event after kernel initialization (source transition),
+* ``Ec`` — continue-run event (normal SC_THREAD-like progress),
+* ``Ex`` — return from preemption,
+* ``Ei`` — return from interrupt,
+* ``Ew`` — arrival of a sleep event the thread voluntarily waited for.
+
+Transitions are mapped to events based on the *context* in which the
+T-THREAD is executing: at startup, within a service call, an application
+task, a handler, or a hardware (BFM) access.  :class:`ExecutionContext`
+enumerates those contexts; they are also the categories used by the Fig. 6
+trace widget ("different contexts of execution are assigned different
+patterns").
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RunEvent(enum.Enum):
+    """Kernel-specific events that fire T-THREAD transitions (Fig. 2)."""
+
+    STARTUP = "Es"
+    CONTINUE = "Ec"
+    RETURN_FROM_PREEMPTION = "Ex"
+    RETURN_FROM_INTERRUPT = "Ei"
+    SLEEP_ARRIVAL = "Ew"
+
+    @property
+    def symbol(self) -> str:
+        """The paper's symbol for the event (``Es`` ... ``Ew``)."""
+        return self.value
+
+
+class ExecutionContext(enum.Enum):
+    """Context in which a T-THREAD transition executes."""
+
+    STARTUP = "startup"
+    SERVICE_CALL = "service_call"
+    TASK = "task"
+    HANDLER = "handler"
+    BFM_ACCESS = "bfm_access"
+    IDLE = "idle"
+
+
+class ThreadKind(enum.Enum):
+    """What a T-THREAD wraps: an application task or a handler."""
+
+    TASK = "task"
+    CYCLIC_HANDLER = "cyclic_handler"
+    ALARM_HANDLER = "alarm_handler"
+    INTERRUPT_HANDLER = "interrupt_handler"
+    INITIAL_TASK = "initial_task"
+
+    @property
+    def is_handler(self) -> bool:
+        """Whether this kind is any sort of handler."""
+        return self is not ThreadKind.TASK and self is not ThreadKind.INITIAL_TASK
+
+
+class ThreadState(enum.Enum):
+    """State of a T-THREAD as recorded in ``SIM_HashTB``.
+
+    These are the simulation-library states (the kernel model on top keeps
+    its own μ-ITRON task states such as ``TTS_RDY``/``TTS_WAI``).
+    """
+
+    CREATED = "created"
+    READY = "ready"
+    RUNNING = "running"
+    PREEMPTED = "preempted"
+    INTERRUPTED = "interrupted"
+    SLEEPING = "sleeping"
+    DORMANT = "dormant"
+    FINISHED = "finished"
+
+    @property
+    def occupies_cpu(self) -> bool:
+        """Whether a thread in this state is the one consuming CPU time."""
+        return self is ThreadState.RUNNING

@@ -1,0 +1,171 @@
+"""Gantt chart recording and rendering.
+
+The SIM_API library "has a debugging option for displaying time GANTT chart,
+and energy statistics for all registered T-THREADs" (section 4).  The Fig. 6
+widget additionally distinguishes the execution context of every slice
+(BFM access, basic block, OS service, handler).  :class:`GanttChart` records
+the slices; rendering is plain text so it works headless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.events import ExecutionContext
+from repro.sysc.time import SimTime
+
+#: One display character per execution context ("different contexts of
+#: execution are assigned different patterns" — Fig. 6).
+CONTEXT_PATTERNS: Dict[ExecutionContext, str] = {
+    ExecutionContext.STARTUP: "S",
+    ExecutionContext.SERVICE_CALL: "o",
+    ExecutionContext.TASK: "#",
+    ExecutionContext.HANDLER: "H",
+    ExecutionContext.BFM_ACCESS: "B",
+    ExecutionContext.IDLE: ".",
+}
+
+
+@dataclass(frozen=True)
+class GanttSegment:
+    """One contiguous execution slice of a T-THREAD."""
+
+    thread: str
+    start: SimTime
+    end: SimTime
+    context: ExecutionContext
+    energy_nj: float = 0.0
+    label: str = ""
+
+    @property
+    def duration(self) -> SimTime:
+        """Length of the slice."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class GanttMarker:
+    """A point event on the chart (dispatch, preemption, interrupt)."""
+
+    time: SimTime
+    thread: str
+    kind: str
+
+
+class GanttChart:
+    """Accumulates execution slices and point markers."""
+
+    def __init__(self, name: str = "gantt"):
+        self.name = name
+        self.segments: List[GanttSegment] = []
+        self.markers: List[GanttMarker] = []
+
+    # -- recording -------------------------------------------------------------
+    def add_segment(self, segment: GanttSegment) -> None:
+        """Record an execution slice."""
+        if segment.end < segment.start:
+            raise ValueError("segment ends before it starts")
+        self.segments.append(segment)
+
+    def add_marker(self, time: SimTime, thread: str, kind: str) -> None:
+        """Record a point event such as ``dispatch`` or ``preempt``."""
+        self.markers.append(GanttMarker(time, thread, kind))
+
+    # -- queries ------------------------------------------------------------------
+    def threads(self) -> List[str]:
+        """Thread names appearing on the chart, in order of first appearance."""
+        seen: List[str] = []
+        for segment in self.segments:
+            if segment.thread not in seen:
+                seen.append(segment.thread)
+        for marker in self.markers:
+            if marker.thread not in seen:
+                seen.append(marker.thread)
+        return seen
+
+    def segments_of(self, thread: str) -> List[GanttSegment]:
+        """All slices of one thread."""
+        return [s for s in self.segments if s.thread == thread]
+
+    def markers_of(self, thread: str, kind: Optional[str] = None) -> List[GanttMarker]:
+        """All markers of one thread, optionally filtered by kind."""
+        return [
+            m for m in self.markers
+            if m.thread == thread and (kind is None or m.kind == kind)
+        ]
+
+    def busy_time_of(self, thread: str) -> SimTime:
+        """Total execution time recorded for *thread*."""
+        total = SimTime(0)
+        for segment in self.segments_of(thread):
+            total = total + segment.duration
+        return total
+
+    def energy_of(self, thread: str) -> float:
+        """Total energy (nJ) recorded for *thread*."""
+        return sum(s.energy_nj for s in self.segments_of(thread))
+
+    def end_time(self) -> SimTime:
+        """Time of the last recorded activity."""
+        latest = SimTime(0)
+        for segment in self.segments:
+            if segment.end > latest:
+                latest = segment.end
+        for marker in self.markers:
+            if marker.time > latest:
+                latest = marker.time
+        return latest
+
+    def overlapping_segments(self) -> List[tuple]:
+        """Pairs of segments that overlap in time.
+
+        On a single CPU no two execution slices may overlap; tests use this
+        to assert the single-CPU invariant of the SIM_API dispatcher.
+        """
+        ordered = sorted(self.segments, key=lambda s: (s.start.to_ns(), s.end.to_ns()))
+        overlaps = []
+        for first, second in zip(ordered, ordered[1:]):
+            if second.start < first.end:
+                overlaps.append((first, second))
+        return overlaps
+
+    # -- rendering --------------------------------------------------------------
+    def render(
+        self,
+        start: "SimTime | int" = 0,
+        stop: "SimTime | int | None" = None,
+        columns: int = 72,
+        threads: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Render a text Gantt chart sampled over [start, stop)."""
+        start = SimTime.coerce(start)
+        stop = SimTime.coerce(stop) if stop is not None else self.end_time()
+        if stop <= start:
+            stop = start + SimTime.ms(1)
+        span_ns = stop.to_ns() - start.to_ns()
+        names = list(threads) if threads is not None else self.threads()
+        width = max((len(n) for n in names), default=10)
+        lines = [f"GANTT {self.name}  [{start.format()} .. {stop.format()}]"]
+        for name in names:
+            cells = ["."] * columns
+            for segment in self.segments_of(name):
+                if segment.end <= start or segment.start >= stop:
+                    continue
+                first = max(0, (segment.start.to_ns() - start.to_ns()) * columns // span_ns)
+                last = min(
+                    columns - 1,
+                    max(first, (segment.end.to_ns() - 1 - start.to_ns()) * columns // span_ns),
+                )
+                pattern = CONTEXT_PATTERNS.get(segment.context, "#")
+                for col in range(int(first), int(last) + 1):
+                    cells[col] = pattern
+            lines.append(f"{name:<{width}} |{''.join(cells)}|")
+        legend = "  ".join(
+            f"{pattern}={context.value}" for context, pattern in CONTEXT_PATTERNS.items()
+        )
+        lines.append(f"legend: {legend}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"GanttChart({self.name!r}, segments={len(self.segments)}, markers={len(self.markers)})"

@@ -1,0 +1,116 @@
+"""SIM_HashTB — the thread hash table of the SIM_API library.
+
+Section 4 of the paper: *"The library contains a Thread hash table
+(SIM_HashTB) that keeps a record on every T-THREAD created upon startup and
+gets updated whenever a T-THREAD changes its state."*
+
+The table maps thread identifiers to their records and keeps a state-change
+journal that the debugging widgets (Gantt chart, Fig. 8 listing) read back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, TYPE_CHECKING
+
+from repro.core.events import ThreadKind, ThreadState
+from repro.sysc.time import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.tthread import TThread
+
+
+@dataclass(frozen=True)
+class StateChange:
+    """One recorded T-THREAD state change."""
+
+    time: SimTime
+    thread_id: int
+    old_state: ThreadState
+    new_state: ThreadState
+
+
+class SimHashTB:
+    """Registry of every T-THREAD known to the SIM_API library."""
+
+    def __init__(self):
+        self._by_id: "Dict[int, TThread]" = {}
+        self._by_name: "Dict[str, TThread]" = {}
+        self.journal: List[StateChange] = []
+
+    # -- registration ----------------------------------------------------
+    def register(self, thread: "TThread") -> None:
+        """Record a newly created T-THREAD."""
+        if thread.tid in self._by_id:
+            raise KeyError(f"thread id {thread.tid} already registered")
+        if thread.name in self._by_name:
+            raise KeyError(f"thread name {thread.name!r} already registered")
+        self._by_id[thread.tid] = thread
+        self._by_name[thread.name] = thread
+
+    def unregister(self, thread: "TThread") -> None:
+        """Remove a T-THREAD (used when a task is deleted)."""
+        self._by_id.pop(thread.tid, None)
+        self._by_name.pop(thread.name, None)
+
+    # -- lookup -----------------------------------------------------------
+    def get(self, tid: int) -> "TThread":
+        """Look up a thread by identifier."""
+        try:
+            return self._by_id[tid]
+        except KeyError:
+            raise KeyError(f"no T-THREAD with id {tid}") from None
+
+    def get_by_name(self, name: str) -> "TThread":
+        """Look up a thread by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no T-THREAD named {name!r}") from None
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._by_id
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> "Iterator[TThread]":
+        return iter(list(self._by_id.values()))
+
+    def all_threads(self) -> "List[TThread]":
+        """All registered threads, ordered by identifier."""
+        return [self._by_id[tid] for tid in sorted(self._by_id)]
+
+    def threads_in_state(self, state: ThreadState) -> "List[TThread]":
+        """All threads currently in *state*."""
+        return [t for t in self.all_threads() if t.state is state]
+
+    def threads_of_kind(self, kind: ThreadKind) -> "List[TThread]":
+        """All threads of the given kind."""
+        return [t for t in self.all_threads() if t.kind is kind]
+
+    # -- state tracking -----------------------------------------------------
+    def record_state_change(
+        self, thread: "TThread", old: ThreadState, new: ThreadState, now: SimTime
+    ) -> None:
+        """Append a state change to the journal."""
+        self.journal.append(StateChange(now, thread.tid, old, new))
+
+    def state_changes_of(self, tid: int) -> List[StateChange]:
+        """All journaled state changes of one thread."""
+        return [change for change in self.journal if change.thread_id == tid]
+
+    def running_thread(self) -> "Optional[TThread]":
+        """The unique RUNNING thread, if any."""
+        running = self.threads_in_state(ThreadState.RUNNING)
+        if not running:
+            return None
+        if len(running) > 1:
+            raise RuntimeError(
+                "invariant violated: more than one T-THREAD is RUNNING: "
+                + ", ".join(t.name for t in running)
+            )
+        return running[0]
+
+    def __repr__(self) -> str:
+        return f"SimHashTB({len(self._by_id)} threads, {len(self.journal)} state changes)"

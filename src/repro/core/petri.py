@@ -1,0 +1,209 @@
+"""Synchronized Petri-net bookkeeping for the T-THREAD model.
+
+Fig. 2 of the paper describes a T-THREAD as *"a cyclic object of atomic
+transitions T with a single token K marking the state of the T-THREAD"*.
+Transitions fire on kernel events, a firing sequence ``S`` carries an
+execution-time and execution-energy model, and a characteristic vector
+``S̄`` counts how often each transition fired.  Consumed execution time (CET)
+and energy (CEE) are the accumulation of ETM/EEM over the simulation cycles.
+
+This module keeps that accounting explicit and testable:
+
+* :class:`Transition` — a named transition with the run event that fires it
+  and the execution context it belongs to,
+* :class:`FiringRecord` — one firing (time stamp, transition, duration,
+  energy),
+* :class:`FiringSequence` — an ordered list of firings with its
+  characteristic vector and ETM/EEM sums,
+* :class:`PetriToken` — the single token of a T-THREAD: its current place,
+  the firing history and the CET/CEE accumulators.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.events import ExecutionContext, RunEvent
+from repro.sysc.time import SimTime
+
+
+@dataclass(frozen=True)
+class Transition:
+    """An atomic transition of the T-THREAD Petri net."""
+
+    name: str
+    event: RunEvent
+    context: ExecutionContext
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.event.symbol}|{self.context.value})"
+
+
+#: The source transition ``To`` associated with the startup event ``Es``.
+SOURCE_TRANSITION = Transition("To", RunEvent.STARTUP, ExecutionContext.STARTUP)
+
+
+@dataclass(frozen=True)
+class FiringRecord:
+    """One transition firing with its ETM/EEM contribution."""
+
+    time: SimTime
+    transition: Transition
+    duration: SimTime
+    energy_nj: float
+    place: int
+
+    @property
+    def event(self) -> RunEvent:
+        """The run event that fired the transition."""
+        return self.transition.event
+
+    @property
+    def context(self) -> ExecutionContext:
+        """The execution context of the transition."""
+        return self.transition.context
+
+
+class FiringSequence:
+    """An ordered sequence of transition firings.
+
+    The paper's ``S`` with its characteristic vector ``S̄`` (how many times
+    each transition fired) and the associated ETM/EEM sums.
+    """
+
+    def __init__(self, records: Optional[List[FiringRecord]] = None):
+        self._records: List[FiringRecord] = list(records or [])
+
+    def append(self, record: FiringRecord) -> None:
+        """Add a firing to the sequence."""
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[FiringRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> FiringRecord:
+        return self._records[index]
+
+    @property
+    def characteristic_vector(self) -> Dict[str, int]:
+        """Number of firings per transition name (the paper's S̄)."""
+        return dict(Counter(record.transition.name for record in self._records))
+
+    @property
+    def event_vector(self) -> Dict[str, int]:
+        """Number of firings per run-event symbol."""
+        return dict(Counter(record.event.symbol for record in self._records))
+
+    @property
+    def context_vector(self) -> Dict[str, int]:
+        """Number of firings per execution context."""
+        return dict(Counter(record.context.value for record in self._records))
+
+    def execution_time(self) -> SimTime:
+        """ETM(S): total execution time carried by the sequence."""
+        total = SimTime(0)
+        for record in self._records:
+            total = total + record.duration
+        return total
+
+    def execution_energy(self) -> float:
+        """EEM(S): total execution energy (nJ) carried by the sequence."""
+        return sum(record.energy_nj for record in self._records)
+
+    def restricted_to(self, context: ExecutionContext) -> "FiringSequence":
+        """The sub-sequence of firings that executed in *context*."""
+        return FiringSequence([r for r in self._records if r.context is context])
+
+    def between(self, start: "SimTime | int", stop: "SimTime | int") -> "FiringSequence":
+        """The sub-sequence of firings in the half-open window [start, stop)."""
+        start = SimTime.coerce(start)
+        stop = SimTime.coerce(stop)
+        return FiringSequence([r for r in self._records if start <= r.time < stop])
+
+    def __repr__(self) -> str:
+        return f"FiringSequence({len(self._records)} firings)"
+
+
+class PetriToken:
+    """The single token ``K`` marking a T-THREAD's state.
+
+    The token moves from place to place as transitions fire; it gathers
+    execution time/energy statistics as it propagates (paper, section 4:
+    "a token gathers execution time/energy statistics as it propagates
+    through different T-THREADs").
+    """
+
+    def __init__(self, owner_name: str):
+        self.owner_name = owner_name
+        self.place = 0
+        self.firing_sequence = FiringSequence()
+        self._cet = SimTime(0)
+        self._cee_nj = 0.0
+        self._cet_by_context: Dict[ExecutionContext, SimTime] = {}
+        self._cee_by_context: Dict[ExecutionContext, float] = {}
+        self.cycle_count = 0
+
+    # -- firing ------------------------------------------------------------
+    def fire(
+        self,
+        transition: Transition,
+        now: SimTime,
+        duration: "SimTime | int" = SimTime(0),
+        energy_nj: float = 0.0,
+    ) -> FiringRecord:
+        """Fire *transition*, move the token and accumulate ETM/EEM."""
+        duration = SimTime.coerce(duration)
+        self.place += 1
+        record = FiringRecord(now, transition, duration, energy_nj, self.place)
+        self.firing_sequence.append(record)
+        self._cet = self._cet + duration
+        self._cee_nj += energy_nj
+        context = transition.context
+        self._cet_by_context[context] = (
+            self._cet_by_context.get(context, SimTime(0)) + duration
+        )
+        self._cee_by_context[context] = self._cee_by_context.get(context, 0.0) + energy_nj
+        return record
+
+    def complete_cycle(self) -> None:
+        """Mark the completion of one cyclic execution of the T-THREAD."""
+        self.cycle_count += 1
+
+    # -- accumulated statistics ----------------------------------------------
+    @property
+    def consumed_execution_time(self) -> SimTime:
+        """CET(S | T-THREAD): accumulated execution time."""
+        return self._cet
+
+    @property
+    def consumed_execution_energy_nj(self) -> float:
+        """CEE(S | T-THREAD): accumulated execution energy in nanojoules."""
+        return self._cee_nj
+
+    @property
+    def consumed_execution_energy_mj(self) -> float:
+        """CEE in millijoules (the unit used by the battery widget)."""
+        return self._cee_nj * 1e-6
+
+    def cet_by_context(self) -> Dict[ExecutionContext, SimTime]:
+        """CET broken down per execution context."""
+        return dict(self._cet_by_context)
+
+    def cee_by_context(self) -> Dict[ExecutionContext, float]:
+        """CEE (nJ) broken down per execution context."""
+        return dict(self._cee_by_context)
+
+    def marking(self) -> int:
+        """The current marking (place index reached by the token)."""
+        return self.place
+
+    def __repr__(self) -> str:
+        return (
+            f"PetriToken({self.owner_name!r}, place={self.place}, "
+            f"CET={self._cet.format()}, CEE={self._cee_nj:.1f} nJ)"
+        )

@@ -1,0 +1,182 @@
+"""External schedulers for the SIM_API library.
+
+Section 4: the library *"interacts directly with external schedulers to
+schedule the next T-THREAD to run"*.  The scheduler only manages the pool of
+*ready* threads — the running thread is held by :class:`~repro.core.simapi.SimApi`
+and is re-inserted into the pool when it is preempted or yields.
+
+Two reference schedulers are provided, matching the two user-defined kernels
+the paper built to validate SIM_API coverage:
+
+* :class:`RoundRobinScheduler` — RTK-Spec I,
+* :class:`PriorityScheduler` — RTK-Spec II and RTK-Spec TRON
+  (priority-based preemptive, FIFO within a priority level, which is the
+  μ-ITRON/T-Kernel rule).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Deque, Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.tthread import TThread
+
+
+class Scheduler(abc.ABC):
+    """Interface the SIM_API library expects from an external scheduler."""
+
+    @abc.abstractmethod
+    def add_ready(self, thread: "TThread") -> None:
+        """Insert *thread* into the ready pool."""
+
+    @abc.abstractmethod
+    def remove(self, thread: "TThread") -> None:
+        """Remove *thread* from the ready pool if present."""
+
+    @abc.abstractmethod
+    def select_next(self) -> "Optional[TThread]":
+        """Return the thread that should run next without removing it."""
+
+    @abc.abstractmethod
+    def pop_next(self) -> "Optional[TThread]":
+        """Remove and return the thread that should run next."""
+
+    @abc.abstractmethod
+    def ready_threads(self) -> "List[TThread]":
+        """All ready threads in scheduling order."""
+
+    def should_preempt(self, current: "Optional[TThread]", candidate: "TThread") -> bool:
+        """Whether *candidate* becoming ready should preempt *current*."""
+        return current is None
+
+    def __contains__(self, thread: "TThread") -> bool:
+        return thread in self.ready_threads()
+
+    def __len__(self) -> int:
+        return len(self.ready_threads())
+
+
+class RoundRobinScheduler(Scheduler):
+    """FIFO scheduler with explicit rotation (RTK-Spec I).
+
+    Threads never preempt each other on readiness; the kernel rotates the
+    queue on every time slice by re-inserting the running thread at the tail
+    and popping the head.
+    """
+
+    def __init__(self):
+        self._queue: "Deque[TThread]" = deque()
+
+    def add_ready(self, thread: "TThread") -> None:
+        if thread not in self._queue:
+            self._queue.append(thread)
+
+    def remove(self, thread: "TThread") -> None:
+        try:
+            self._queue.remove(thread)
+        except ValueError:
+            pass
+
+    def select_next(self) -> "Optional[TThread]":
+        return self._queue[0] if self._queue else None
+
+    def pop_next(self) -> "Optional[TThread]":
+        return self._queue.popleft() if self._queue else None
+
+    def ready_threads(self) -> "List[TThread]":
+        return list(self._queue)
+
+    def should_preempt(self, current: "Optional[TThread]", candidate: "TThread") -> bool:
+        # Round robin never preempts on readiness; only the time slice rotates.
+        return current is None
+
+    def __repr__(self) -> str:
+        return f"RoundRobinScheduler(ready={len(self._queue)})"
+
+
+class PriorityScheduler(Scheduler):
+    """Priority-based preemptive scheduler (RTK-Spec II / RTK-Spec TRON).
+
+    Lower numeric priority means higher urgency (μ-ITRON convention, priority
+    1 is the highest).  Threads of equal priority are served FIFO.
+    """
+
+    def __init__(self, priority_levels: int = 256):
+        if priority_levels <= 0:
+            raise ValueError("priority_levels must be positive")
+        self.priority_levels = priority_levels
+        self._queues: "Dict[int, Deque[TThread]]" = {}
+
+    def _queue_for(self, priority: int) -> "Deque[TThread]":
+        if not 0 <= priority < self.priority_levels:
+            raise ValueError(
+                f"priority {priority} outside the supported range "
+                f"[0, {self.priority_levels})"
+            )
+        return self._queues.setdefault(priority, deque())
+
+    def add_ready(self, thread: "TThread") -> None:
+        queue = self._queue_for(thread.priority)
+        if thread not in queue:
+            queue.append(thread)
+
+    def add_ready_first(self, thread: "TThread") -> None:
+        """Insert at the head of its priority level.
+
+        Used when a preempted task must keep its position at the head of the
+        ready queue of its priority (μ-ITRON dispatching rule).
+        """
+        queue = self._queue_for(thread.priority)
+        if thread not in queue:
+            queue.appendleft(thread)
+
+    def remove(self, thread: "TThread") -> None:
+        for queue in self._queues.values():
+            try:
+                queue.remove(thread)
+                return
+            except ValueError:
+                continue
+
+    def select_next(self) -> "Optional[TThread]":
+        for priority in sorted(self._queues):
+            queue = self._queues[priority]
+            if queue:
+                return queue[0]
+        return None
+
+    def pop_next(self) -> "Optional[TThread]":
+        for priority in sorted(self._queues):
+            queue = self._queues[priority]
+            if queue:
+                return queue.popleft()
+        return None
+
+    def ready_threads(self) -> "List[TThread]":
+        threads: "List[TThread]" = []
+        for priority in sorted(self._queues):
+            threads.extend(self._queues[priority])
+        return threads
+
+    def should_preempt(self, current: "Optional[TThread]", candidate: "TThread") -> bool:
+        if current is None:
+            return True
+        return candidate.priority < current.priority
+
+    def requeue_for_priority_change(self, thread: "TThread", new_priority: int) -> None:
+        """Move a ready thread to the tail of a new priority level."""
+        self.remove(thread)
+        previous = thread.priority
+        thread.priority = new_priority
+        try:
+            self.add_ready(thread)
+        except ValueError:
+            thread.priority = previous
+            self.add_ready(thread)
+            raise
+
+    def __repr__(self) -> str:
+        ready = sum(len(q) for q in self._queues.values())
+        return f"PriorityScheduler(ready={ready})"

@@ -1,0 +1,618 @@
+"""SIM_API — the RTOS modeling library (Table 1, Fig. 3).
+
+The SIM_API library supervises every T-THREAD.  It owns the single simulated
+CPU: exactly one T-THREAD holds the CPU at any simulated instant, all others
+are suspended on their run events.  Kernel simulation models (RTK-Spec TRON,
+RTK-Spec I/II) use the library's programming constructs to express their
+dynamics:
+
+===============================  =================================================
+Construct                        Purpose
+===============================  =================================================
+``create_thread``                create a T-THREAD for a task or handler
+``start_thread``                 make a task ready and dispatch if appropriate
+``sim_wait``                     annotated execution time/energy with preemption
+                                 points at system-clock granularity (SIM_Wait)
+``sim_wait_key``                 like ``sim_wait`` but takes an annotation key
+``preemption_point``             an explicit zero-cost preemption point
+``block_current``                the running thread sleeps waiting for an event
+``wakeup``                       make a sleeping thread ready again and reschedule
+``make_ready`` / ``make_unready``  ready-pool management for the external scheduler
+``request_dispatch``             evaluate the scheduler; preempt if required
+``preempt_current``              force a rotation (round-robin time slice)
+``notify_interrupt``             an external interrupt requests its handler
+``activate_handler``             a cyclic/alarm handler is activated by the timer
+``dispatch_disable`` / ``dispatch_enable``  service-call atomicity & delayed dispatch
+``energy_statistics``            per-thread CET/CEE summary
+``gantt``                        the recorded time/energy Gantt chart
+``hashtb``                       the SIM_HashTB thread registry
+``stack``                        the SIM_Stack interrupt-nesting stack
+===============================  =================================================
+
+Dispatching rules implemented here (section 4 of the paper):
+
+* **Preemption with system-clock granularity** — a preemption or interruption
+  decision marks the running T-THREAD; the thread suspends at its next
+  preemption point inside ``sim_wait``.
+* **Delayed dispatching** — a preemption that takes place within an interrupt
+  handler (or nested handler) is postponed until the handler returns.
+* **Service-call atomicity** — while dispatching is disabled (service call in
+  progress) preemption points do not suspend the thread.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Generator, List, Optional
+
+from repro.core.etm import (
+    AnnotationTable,
+    EnergyModel,
+    TimingAnnotation,
+    TimingModel,
+    default_service_call_annotations,
+)
+from repro.core.events import ExecutionContext, RunEvent, ThreadKind, ThreadState
+from repro.core.gantt import GanttChart, GanttSegment
+from repro.core.hashtb import SimHashTB
+from repro.core.petri import Transition
+from repro.core.scheduler import PriorityScheduler, Scheduler
+from repro.core.stack import SimStack
+from repro.core.tthread import BodyFactory, TThread
+from repro.sysc.kernel import Simulator
+from repro.sysc.process import Wait
+from repro.sysc.time import SimTime
+
+
+class SimApiError(RuntimeError):
+    """Raised when the SIM_API library is used inconsistently."""
+
+
+class SimApi:
+    """The SIM_API simulation library instance for one simulated platform."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        scheduler: Optional[Scheduler] = None,
+        system_tick: "SimTime | int" = SimTime.ms(1),
+        timing_model: Optional[TimingModel] = None,
+        energy_model: Optional[EnergyModel] = None,
+        annotations: Optional[AnnotationTable] = None,
+        max_interrupt_nesting: Optional[int] = 16,
+    ):
+        self.simulator = simulator
+        # Note: schedulers and annotation tables define __len__, so an empty
+        # one is falsy; compare against None explicitly.
+        self.scheduler: Scheduler = scheduler if scheduler is not None else PriorityScheduler()
+        self.system_tick = SimTime.coerce(system_tick)
+        if self.system_tick.nanoseconds <= 0:
+            raise SimApiError("system tick must be positive")
+        self.timing_model = timing_model if timing_model is not None else TimingModel()
+        self.energy_model = energy_model if energy_model is not None else EnergyModel()
+        self.annotations = (
+            annotations if annotations is not None else default_service_call_annotations()
+        )
+
+        self.hashtb = SimHashTB()
+        self.stack: SimStack[TThread] = SimStack(max_depth=max_interrupt_nesting)
+        self.gantt = GanttChart()
+
+        #: The T-THREAD currently holding the CPU (task or handler).
+        self.running: Optional[TThread] = None
+        self._pending_handlers: Deque[TThread] = deque()
+        self._dispatch_disable_count = 0
+        self._deferred_dispatch = False
+        self._next_tid = 1
+
+        # Idle-time accounting for the energy distribution widget.
+        self._idle_since: Optional[SimTime] = SimTime(0)
+        self._idle_total = SimTime(0)
+
+        # Statistics counters surfaced by the benchmarks.
+        self.dispatch_count = 0
+        self.preemption_count = 0
+        self.interrupt_count = 0
+        self.sim_wait_count = 0
+
+        # Observers notified on every dispatch (used by debugging widgets).
+        self.dispatch_observers: List[Callable[[TThread], None]] = []
+
+    # ------------------------------------------------------------------
+    # Thread creation & identifiers
+    # ------------------------------------------------------------------
+    def allocate_tid(self) -> int:
+        """Allocate a fresh T-THREAD identifier."""
+        tid = self._next_tid
+        self._next_tid += 1
+        return tid
+
+    def create_thread(
+        self,
+        name: str,
+        factory: BodyFactory,
+        priority: int = 128,
+        kind: ThreadKind = ThreadKind.TASK,
+    ) -> TThread:
+        """Create and register a T-THREAD (it starts dormant)."""
+        thread = TThread(self, name, factory, priority=priority, kind=kind)
+        thread.set_state(ThreadState.DORMANT)
+        return thread
+
+    def remove_thread(self, thread: TThread) -> None:
+        """Forget a T-THREAD (task deletion)."""
+        self.scheduler.remove(thread)
+        self.hashtb.unregister(thread)
+
+    # ------------------------------------------------------------------
+    # Ready-pool management
+    # ------------------------------------------------------------------
+    def make_ready(self, thread: TThread, at_head: bool = False) -> None:
+        """Insert a task T-THREAD into the scheduler's ready pool."""
+        if thread.is_handler:
+            raise SimApiError("handlers are activated, not made ready")
+        if at_head and hasattr(self.scheduler, "add_ready_first"):
+            self.scheduler.add_ready_first(thread)  # type: ignore[attr-defined]
+        else:
+            self.scheduler.add_ready(thread)
+        if thread.state not in (ThreadState.RUNNING,):
+            thread.set_state(ThreadState.READY)
+
+    def make_unready(self, thread: TThread) -> None:
+        """Remove a task from the ready pool (it is waiting or dormant)."""
+        self.scheduler.remove(thread)
+
+    def start_thread(self, thread: TThread) -> None:
+        """Start a task T-THREAD: make it ready and reschedule."""
+        self.make_ready(thread)
+        self.request_dispatch()
+
+    # ------------------------------------------------------------------
+    # Dispatching
+    # ------------------------------------------------------------------
+    def dispatch_disable(self) -> None:
+        """Disable dispatching (service-call atomicity)."""
+        self._dispatch_disable_count += 1
+
+    def dispatch_enable(self) -> None:
+        """Re-enable dispatching; apply any deferred dispatch decision."""
+        if self._dispatch_disable_count == 0:
+            raise SimApiError("dispatch_enable without matching dispatch_disable")
+        self._dispatch_disable_count -= 1
+        if self._dispatch_disable_count == 0:
+            self._apply_deferred_dispatch()
+
+    @property
+    def dispatch_enabled(self) -> bool:
+        """Whether dispatching is currently allowed."""
+        return self._dispatch_disable_count == 0
+
+    def in_interrupt(self) -> bool:
+        """Whether an interrupt/handler context is active or pending."""
+        return self.stack.in_interrupt() or bool(self._pending_handlers)
+
+    def request_dispatch(self) -> None:
+        """Evaluate the scheduler and dispatch/preempt as required.
+
+        Honours delayed dispatching and service-call atomicity: the decision
+        is deferred while a handler is active or dispatching is disabled.
+        """
+        if not self.dispatch_enabled or self.in_interrupt():
+            self._deferred_dispatch = True
+            return
+        candidate = self.scheduler.select_next()
+        if candidate is None:
+            return
+        if self.running is None:
+            chosen = self.scheduler.pop_next()
+            assert chosen is not None
+            self._grant(chosen)
+            return
+        if self.scheduler.should_preempt(self.running, candidate):
+            self.running.preempt_requested = True
+
+    def preempt_current(self) -> None:
+        """Force the running task to be preempted at its next preemption point.
+
+        Used by round-robin kernels to rotate the time slice and by
+        priority kernels when the running task's priority is lowered.
+        """
+        if self.running is None:
+            self.request_dispatch()
+            return
+        if self.scheduler.select_next() is None:
+            return
+        self.running.preempt_requested = True
+
+    def _apply_deferred_dispatch(self) -> None:
+        if not self._deferred_dispatch:
+            return
+        if not self.dispatch_enabled or self.in_interrupt():
+            return
+        self._deferred_dispatch = False
+        self.request_dispatch()
+
+    def _grant(self, thread: TThread) -> None:
+        """Give the CPU to *thread* (the only way a T-THREAD gets to run)."""
+        resume_event = self._resume_event_for(thread)
+        if self.running is not None and self.running is not thread:
+            # The previous owner must already have suspended or exited;
+            # the grant just records the new owner.
+            pass
+        self._account_idle_end()
+        self.running = thread
+        self.dispatch_count += 1
+        self.gantt.add_marker(self.simulator.now, thread.name, "dispatch")
+        for observer in self.dispatch_observers:
+            observer(thread)
+        thread.grant_cpu(resume_event)
+
+    @staticmethod
+    def _resume_event_for(thread: TThread) -> RunEvent:
+        # A thread suspended mid-body remembers *how* it suspended; its
+        # current SIM_HashTB state may already have moved on (e.g. a sleeping
+        # task that was made READY by a wakeup before being dispatched).
+        suspend_kind = thread.suspend_kind
+        if suspend_kind is ThreadState.PREEMPTED:
+            return RunEvent.RETURN_FROM_PREEMPTION
+        if suspend_kind is ThreadState.INTERRUPTED:
+            return RunEvent.RETURN_FROM_INTERRUPT
+        if suspend_kind is ThreadState.SLEEPING:
+            return RunEvent.SLEEP_ARRIVAL
+        if thread.activation_count == 0:
+            return RunEvent.STARTUP
+        return RunEvent.CONTINUE
+
+    def _release_cpu(self) -> None:
+        """Mark the CPU as free and start idle accounting."""
+        self.running = None
+        self._account_idle_start()
+
+    def _account_idle_start(self) -> None:
+        if self._idle_since is None:
+            self._idle_since = self.simulator.now
+
+    def _account_idle_end(self) -> None:
+        if self._idle_since is not None:
+            self._idle_total = self._idle_total + (self.simulator.now - self._idle_since)
+            self._idle_since = None
+
+    def cpu_idle_time(self) -> SimTime:
+        """Total simulated time during which no T-THREAD held the CPU."""
+        total = self._idle_total
+        if self._idle_since is not None:
+            total = total + (self.simulator.now - self._idle_since)
+        return total
+
+    # ------------------------------------------------------------------
+    # SIM_Wait and preemption points
+    # ------------------------------------------------------------------
+    def sim_wait(
+        self,
+        cycles: Optional[int] = None,
+        duration: "SimTime | int | None" = None,
+        energy_nj: Optional[float] = None,
+        context: ExecutionContext = ExecutionContext.TASK,
+        label: str = "",
+    ) -> Generator[object, object, None]:
+        """Consume annotated execution time and energy (SIM_Wait).
+
+        Exactly one of *cycles* or *duration* must be given.  The wait is
+        split into chunks of at most one system tick; pending preemptions or
+        interruptions suspend the thread at chunk boundaries ("the next
+        preemption point").  Energy accrues proportionally to the time
+        actually consumed.
+        """
+        thread = self._require_running_caller()
+        if (cycles is None) == (duration is None):
+            raise SimApiError("sim_wait needs exactly one of cycles= or duration=")
+        if cycles is not None:
+            total = self.timing_model.time_of(cycles)
+            if energy_nj is None:
+                energy_nj = self.energy_model.energy_of(TimingAnnotation(cycles))
+        else:
+            total = SimTime.coerce(duration)
+            if energy_nj is None:
+                estimated_cycles = self.timing_model.cycles_of(total)
+                energy_nj = self.energy_model.energy_of(TimingAnnotation(estimated_cycles))
+        if total.nanoseconds < 0:
+            raise SimApiError("sim_wait duration cannot be negative")
+        self.sim_wait_count += 1
+        if total.nanoseconds == 0:
+            yield from self.preemption_point()
+            return
+
+        energy_rate = energy_nj / total.to_ns() if total.to_ns() else 0.0
+        remaining = total
+        while remaining.nanoseconds > 0:
+            yield from self._maybe_suspend(thread)
+            chunk = remaining if remaining < self.system_tick else self.system_tick
+            start = self.simulator.now
+            yield Wait(chunk)
+            end = self.simulator.now
+            chunk_energy = energy_rate * chunk.to_ns()
+            thread.token.fire(
+                Transition(label or f"T_run.{context.value}", RunEvent.CONTINUE, context),
+                end,
+                chunk,
+                chunk_energy,
+            )
+            self.gantt.add_segment(
+                GanttSegment(thread.name, start, end, context, chunk_energy, label)
+            )
+            remaining = remaining - chunk
+        yield from self._maybe_suspend(thread)
+
+    def sim_wait_key(
+        self,
+        key: str,
+        context: ExecutionContext = ExecutionContext.TASK,
+        scale: float = 1.0,
+    ) -> Generator[object, object, None]:
+        """SIM_Wait using a named annotation from the annotation table."""
+        annotation = self.annotations.lookup(key)
+        if scale != 1.0:
+            annotation = annotation.scaled(scale)
+        yield from self.sim_wait(
+            cycles=annotation.cycles,
+            energy_nj=self.energy_model.energy_of(annotation),
+            context=context,
+            label=key,
+        )
+
+    def preemption_point(self) -> Generator[object, object, None]:
+        """An explicit zero-cost preemption point."""
+        thread = self._require_running_caller()
+        yield from self._maybe_suspend(thread)
+
+    def _maybe_suspend(self, thread: TThread) -> Generator[object, object, None]:
+        """Suspend *thread* if a preemption or interruption is pending."""
+        while True:
+            if thread.interrupt_requested and self._pending_handlers:
+                yield from self._suspend_for_interrupt(thread)
+                continue
+            if thread.preempt_requested and self.dispatch_enabled and not self.in_interrupt():
+                yield from self._suspend_for_preemption(thread)
+                continue
+            # Clear a stale preemption request that can no longer be honoured
+            # (e.g. the candidate vanished while dispatching was disabled).
+            if thread.preempt_requested and self.dispatch_enabled \
+                    and not self.in_interrupt() and self.scheduler.select_next() is None:
+                thread.preempt_requested = False
+            return
+
+    def _suspend_for_preemption(self, thread: TThread) -> Generator[object, object, None]:
+        thread.preempt_requested = False
+        candidate = self.scheduler.select_next()
+        if candidate is None or candidate is thread:
+            return
+        thread.preemption_count += 1
+        self.preemption_count += 1
+        self.gantt.add_marker(self.simulator.now, thread.name, "preempt")
+        # The preempted task keeps the head position of its priority level.
+        self.make_ready(thread, at_head=True)
+        chosen = self.scheduler.pop_next()
+        assert chosen is not None
+        if chosen is thread:
+            # We are still the best choice: nothing to do.
+            thread.set_state(ThreadState.RUNNING)
+            return
+        self.running = None
+        self._grant(chosen)
+        resume = yield from thread._suspend_until_regranted(ThreadState.PREEMPTED)
+        thread.token.fire(
+            Transition(f"T_resume.{thread.name}", resume, ExecutionContext.TASK),
+            self.simulator.now,
+        )
+
+    def _suspend_for_interrupt(self, thread: TThread) -> Generator[object, object, None]:
+        thread.interrupt_requested = False
+        if not self._pending_handlers:
+            return
+        handler = self._pending_handlers.popleft()
+        thread.interrupted_count += 1
+        self.gantt.add_marker(self.simulator.now, thread.name, "interrupted")
+        self.stack.push(thread, handler, self.simulator.now)
+        if self._pending_handlers:
+            # Another interrupt is already pending: let it nest inside the
+            # handler we are about to run.
+            handler.interrupt_requested = True
+        self.running = None
+        self._grant(handler)
+        resume = yield from thread._suspend_until_regranted(ThreadState.INTERRUPTED)
+        thread.token.fire(
+            Transition(f"T_resume.{thread.name}", resume, ExecutionContext.TASK),
+            self.simulator.now,
+        )
+
+    def _require_running_caller(self) -> TThread:
+        process = self.simulator.running_process
+        if self.running is None or process is None:
+            raise SimApiError("sim_wait called while no T-THREAD holds the CPU")
+        if process.name != f"tthread.{self.running.name}":
+            raise SimApiError(
+                f"sim_wait called from {process.name!r} but the CPU belongs to "
+                f"{self.running.name!r}"
+            )
+        return self.running
+
+    # ------------------------------------------------------------------
+    # Blocking & wakeup
+    # ------------------------------------------------------------------
+    def block_current(
+        self, suspend_state: ThreadState = ThreadState.SLEEPING
+    ) -> Generator[object, object, None]:
+        """The running thread voluntarily gives up the CPU and sleeps.
+
+        Used by kernel wait services such as ``tk_slp_tsk`` / ``tk_wai_sem``:
+        the kernel puts the task into its wait queue, then delegates to this
+        generator.  The thread resumes when :meth:`wakeup` (or a kernel
+        dispatch) grants it the CPU again, firing the ``Ew`` transition.
+        """
+        thread = self._require_running_caller()
+        thread.preempt_requested = False
+        # A blocked thread no longer owns the dispatch-disable state.
+        saved_disable = self._dispatch_disable_count
+        self._dispatch_disable_count = 0
+        self.gantt.add_marker(self.simulator.now, thread.name, "sleep")
+        self._release_cpu()
+        self._dispatch_after_release()
+        resume = yield from thread._suspend_until_regranted(suspend_state)
+        self._dispatch_disable_count = saved_disable
+        thread.token.fire(
+            Transition(f"T_wakeup.{thread.name}", resume, ExecutionContext.SERVICE_CALL),
+            self.simulator.now,
+        )
+
+    def wakeup(self, thread: TThread) -> None:
+        """Make a sleeping task ready again and reschedule."""
+        if thread.state not in (ThreadState.SLEEPING, ThreadState.DORMANT,
+                                ThreadState.READY, ThreadState.PREEMPTED):
+            # Waking an already running/interrupted thread is a no-op here;
+            # the kernel layer tracks wakeup requests counting separately.
+            return
+        if thread.state is ThreadState.SLEEPING:
+            self.make_ready(thread)
+        self.request_dispatch()
+
+    def _dispatch_after_release(self) -> None:
+        """After the CPU was freed, hand it to pending handlers or tasks."""
+        if self._pending_handlers:
+            handler = self._pending_handlers.popleft()
+            self.stack.push(None, handler, self.simulator.now)
+            if self._pending_handlers:
+                handler.interrupt_requested = True
+            self._grant(handler)
+            return
+        if not self.dispatch_enabled:
+            self._deferred_dispatch = True
+            return
+        candidate = self.scheduler.pop_next()
+        if candidate is not None:
+            self._grant(candidate)
+
+    # ------------------------------------------------------------------
+    # Interrupts and handlers
+    # ------------------------------------------------------------------
+    def notify_interrupt(self, handler: TThread) -> None:
+        """An external interrupt requests *handler* (SIM_NotifyInterrupt).
+
+        If the CPU is idle the handler starts immediately; otherwise the
+        running thread is marked and will suspend at its next preemption
+        point, after which the handler runs on top of the SIM_Stack.
+        """
+        if not handler.is_handler:
+            raise SimApiError(f"{handler.name!r} is not a handler T-THREAD")
+        self.interrupt_count += 1
+        if self.running is None:
+            self.stack.push(None, handler, self.simulator.now)
+            self._grant(handler)
+            return
+        self._pending_handlers.append(handler)
+        self.running.interrupt_requested = True
+
+    def activate_handler(self, handler: TThread) -> None:
+        """Activate a cyclic/alarm handler (timer-driven, task-independent)."""
+        self.notify_interrupt(handler)
+
+    def pending_handler_count(self) -> int:
+        """Number of handlers waiting to start."""
+        return len(self._pending_handlers)
+
+    # ------------------------------------------------------------------
+    # Thread exit (called by TThread wrapper)
+    # ------------------------------------------------------------------
+    def _on_thread_exit(self, thread: TThread) -> None:
+        thread.revoke_cpu()
+        thread.preempt_requested = False
+        thread.interrupt_requested = False
+        if self.stack.in_interrupt() and self.stack.current_handler() is thread:
+            self._on_handler_return(thread)
+            return
+        thread.set_state(ThreadState.DORMANT)
+        if self.running is thread:
+            self._release_cpu()
+        if self.running is None:
+            self._dispatch_after_release()
+
+    def _on_handler_return(self, handler: TThread) -> None:
+        frame = self.stack.pop()
+        handler.set_state(ThreadState.DORMANT)
+        if self.running is handler:
+            self._release_cpu()
+        self.gantt.add_marker(self.simulator.now, handler.name, "handler_return")
+
+        if self._pending_handlers:
+            # Service the next pending interrupt before resuming anything.
+            next_handler = self._pending_handlers.popleft()
+            self.stack.push(frame.interrupted, next_handler, self.simulator.now)
+            if self._pending_handlers:
+                next_handler.interrupt_requested = True
+            self._grant(next_handler)
+            return
+
+        interrupted = frame.interrupted
+        if self.stack.in_interrupt():
+            # Returning from a nested interrupt: resume the outer handler.
+            if interrupted is not None:
+                self._grant(interrupted)
+            return
+
+        # Outermost return: apply delayed dispatching.
+        self._deferred_dispatch = False
+        candidate = self.scheduler.select_next()
+        if interrupted is None:
+            if candidate is not None and self.dispatch_enabled:
+                chosen = self.scheduler.pop_next()
+                assert chosen is not None
+                self._grant(chosen)
+            return
+        if (
+            candidate is not None
+            and self.dispatch_enabled
+            and self.scheduler.should_preempt(interrupted, candidate)
+        ):
+            # Delayed dispatching: a higher-priority task became ready while
+            # the handler ran; it wins over the interrupted task.
+            interrupted.preemption_count += 1
+            self.preemption_count += 1
+            self.make_ready(interrupted, at_head=True)
+            chosen = self.scheduler.pop_next()
+            assert chosen is not None
+            self.gantt.add_marker(self.simulator.now, interrupted.name, "delayed_preempt")
+            self._grant(chosen)
+            return
+        self._grant(interrupted)
+
+    # ------------------------------------------------------------------
+    # Statistics & debugging output
+    # ------------------------------------------------------------------
+    def energy_statistics(self) -> Dict[str, Dict[str, float]]:
+        """Per-thread CET/CEE summary (the SIM_API energy statistics option)."""
+        stats: Dict[str, Dict[str, float]] = {}
+        for thread in self.hashtb.all_threads():
+            stats[thread.name] = {
+                "cet_ms": thread.consumed_execution_time.to_ms(),
+                "cee_mj": thread.token.consumed_execution_energy_mj,
+                "activations": float(thread.activation_count),
+                "preemptions": float(thread.preemption_count),
+                "interruptions": float(thread.interrupted_count),
+            }
+        return stats
+
+    def total_consumed_energy_mj(self, include_idle: bool = True) -> float:
+        """Total CEE over all threads, optionally including idle power."""
+        total = sum(
+            thread.token.consumed_execution_energy_mj
+            for thread in self.hashtb.all_threads()
+        )
+        if include_idle:
+            total += self.energy_model.idle_energy(self.cpu_idle_time()) * 1e-6
+        return total
+
+    def __repr__(self) -> str:
+        running = self.running.name if self.running else None
+        return (
+            f"SimApi(threads={len(self.hashtb)}, running={running!r}, "
+            f"tick={self.system_tick.format()})"
+        )

@@ -1,0 +1,18 @@
+"""RTK-Spec I and II — user-defined kernel specifications.
+
+Section 4 of the paper: *"To guarantee SIM_API coverage to capture real RTOS
+dynamics, we used SIM_API to build three kernel simulation models: RTK-Spec
+I, II, and TRON.  RTK-Spec I (round robin scheduler) and II (priority-based
+preemptive scheduler) are examples of user defined kernel specifications
+running on 8051 micro-controllers."*
+
+These two small kernels exercise the same SIM_API constructs as RTK-Spec TRON
+but with a minimal task API (create/start/sleep/wakeup/delay/exit), which is
+what a bare-metal 8051 scheduler typically offers.
+"""
+
+from repro.rtkspec.base import RTKSpecKernel, RTKTask
+from repro.rtkspec.rtk1 import RTKSpec1
+from repro.rtkspec.rtk2 import RTKSpec2
+
+__all__ = ["RTKSpecKernel", "RTKTask", "RTKSpec1", "RTKSpec2"]

@@ -1,0 +1,43 @@
+"""RTK-Spec I: the round-robin kernel.
+
+Every *time slice* (a configurable number of system ticks) the running task
+is rotated to the back of the ready queue and the next one runs.  Priorities
+are accepted by the task API but ignored by the scheduler, which is exactly
+what distinguishes it from RTK-Spec II in the paper's validation set.
+"""
+
+from __future__ import annotations
+
+from repro.core.scheduler import RoundRobinScheduler
+from repro.rtkspec.base import RTKSpecKernel
+from repro.sysc.kernel import Simulator
+from repro.sysc.time import SimTime
+
+
+class RTKSpec1(RTKSpecKernel):
+    """Round-robin kernel (RTK-Spec I)."""
+
+    kernel_name = "RTK-Spec I"
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        system_tick: "SimTime | int" = SimTime.ms(1),
+        time_slice_ticks: int = 5,
+        name: str = "rtkspec1",
+    ):
+        if time_slice_ticks <= 0:
+            raise ValueError("time_slice_ticks must be positive")
+        super().__init__(simulator, RoundRobinScheduler(), system_tick, name=name)
+        self.time_slice_ticks = time_slice_ticks
+        self._slice_counter = 0
+        self.rotation_count = 0
+
+    def _on_tick(self) -> None:
+        self._slice_counter += 1
+        if self._slice_counter >= self.time_slice_ticks:
+            self._slice_counter = 0
+            self.rotation_count += 1
+            self.api.preempt_current()
+        else:
+            self.api.request_dispatch()

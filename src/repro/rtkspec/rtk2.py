@@ -1,0 +1,28 @@
+"""RTK-Spec II: the priority-based preemptive kernel.
+
+Identical task API to RTK-Spec I, but the external scheduler is the priority
+preemptive one: a task becoming ready immediately preempts a lower-priority
+running task (at the next preemption point), and equal priorities are served
+FIFO with no time slicing.
+"""
+
+from __future__ import annotations
+
+from repro.core.scheduler import PriorityScheduler
+from repro.rtkspec.base import RTKSpecKernel
+from repro.sysc.kernel import Simulator
+from repro.sysc.time import SimTime
+
+
+class RTKSpec2(RTKSpecKernel):
+    """Priority-based preemptive kernel (RTK-Spec II)."""
+
+    kernel_name = "RTK-Spec II"
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        system_tick: "SimTime | int" = SimTime.ms(1),
+        name: str = "rtkspec2",
+    ):
+        super().__init__(simulator, PriorityScheduler(), system_tick, name=name)

@@ -1,0 +1,59 @@
+"""SystemC-like discrete-event simulation substrate.
+
+This package re-creates, in Python, the subset of the SystemC 2.0 simulation
+semantics that the paper's SIM_API library relies on:
+
+* a central simulator with an event wheel and delta cycles
+  (:mod:`repro.sysc.kernel`),
+* events supporting immediate, delta and timed notification
+  (:mod:`repro.sysc.event`),
+* ``SC_THREAD``-style processes implemented as Python generators with
+  static and dynamic sensitivity (:mod:`repro.sysc.process`),
+* signals with request/update semantics and value-changed events
+  (:mod:`repro.sysc.signal`), clocks (:mod:`repro.sysc.clock`),
+* modules to group processes (:mod:`repro.sysc.module`), and
+* a VCD-style waveform tracer (:mod:`repro.sysc.trace`).
+
+The public names below form the stable API used by :mod:`repro.core` and the
+hardware models.
+"""
+
+from repro.sysc.time import SimTime, NS, US, MS, SEC, TimeUnit
+from repro.sysc.event import SCEvent
+from repro.sysc.process import (
+    ProcessHandle,
+    ProcessState,
+    Wait,
+    WaitEvent,
+    WaitEventTimeout,
+    WaitDelta,
+)
+from repro.sysc.kernel import Simulator, SimulationError, SimulationFinished
+from repro.sysc.signal import Signal
+from repro.sysc.clock import Clock
+from repro.sysc.module import SCModule
+from repro.sysc.trace import TraceFile, TraceRecord
+
+__all__ = [
+    "SimTime",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "TimeUnit",
+    "SCEvent",
+    "ProcessHandle",
+    "ProcessState",
+    "Wait",
+    "WaitEvent",
+    "WaitEventTimeout",
+    "WaitDelta",
+    "Simulator",
+    "SimulationError",
+    "SimulationFinished",
+    "Signal",
+    "Clock",
+    "SCModule",
+    "TraceFile",
+    "TraceRecord",
+]

@@ -1,0 +1,142 @@
+"""SystemC-style events.
+
+An :class:`SCEvent` is the primitive synchronization object of the substrate.
+Processes wait on events (dynamic sensitivity) and anything may *notify* an
+event:
+
+* ``notify()`` — immediate notification: waiting processes become runnable in
+  the current evaluation phase,
+* ``notify_delta()`` — delta notification: waiting processes run in the next
+  delta cycle at the same simulation time,
+* ``notify_after(t)`` — timed notification: waiting processes run after the
+  given simulation-time delay.
+
+Only a single pending timed/delta notification exists per event, and an
+earlier notification overrides a later one, matching SystemC semantics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sysc.time import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sysc.kernel import Simulator
+    from repro.sysc.process import ProcessHandle
+
+
+class SCEvent:
+    """An event that processes can wait on and that models can notify."""
+
+    _counter = 0
+
+    def __init__(self, name: str = "", simulator: "Optional[Simulator]" = None):
+        SCEvent._counter += 1
+        self.name = name or f"event_{SCEvent._counter}"
+        self._simulator = simulator
+        self._waiting: "list[ProcessHandle]" = []
+        # Token identifying the currently pending notification so a
+        # cancelled/overridden notification can be recognised when it fires.
+        self._pending_token: Optional[object] = None
+        self._pending_time: Optional[SimTime] = None
+        self.notify_count = 0
+
+    # -- wiring -----------------------------------------------------------
+    def bind(self, simulator: "Simulator") -> None:
+        """Attach the event to a simulator (done lazily on first use)."""
+        self._simulator = simulator
+
+    @property
+    def simulator(self) -> "Simulator":
+        if self._simulator is None:
+            from repro.sysc.kernel import Simulator
+
+            self._simulator = Simulator.current()
+        return self._simulator
+
+    # -- sensitivity ------------------------------------------------------
+    def add_waiter(self, process: "ProcessHandle") -> None:
+        """Register *process* as dynamically sensitive to this event."""
+        if process not in self._waiting:
+            self._waiting.append(process)
+
+    def remove_waiter(self, process: "ProcessHandle") -> None:
+        """Remove *process* from the waiter list if present."""
+        if process in self._waiting:
+            self._waiting.remove(process)
+
+    def waiter_count(self) -> int:
+        """Number of processes currently waiting on the event."""
+        return len(self._waiting)
+
+    # -- notification -----------------------------------------------------
+    def notify(self) -> None:
+        """Immediate notification: wake waiters in the current evaluation."""
+        self._cancel_pending()
+        self.notify_count += 1
+        self.simulator._trigger_event(self, immediate=True)
+
+    def notify_delta(self) -> None:
+        """Delta notification: wake waiters one delta cycle later."""
+        # An immediate notification cannot be overridden; a delta notification
+        # overrides any pending timed notification.
+        if self._pending_time is not None and self._pending_time.nanoseconds > 0:
+            self._cancel_pending()
+        if self._pending_token is not None:
+            return
+        token = object()
+        self._pending_token = token
+        self._pending_time = SimTime(0)
+        self.simulator._schedule_event_notification(self, SimTime(0), token)
+
+    def notify_after(self, delay: "SimTime | int") -> None:
+        """Timed notification after *delay* (earlier notification wins)."""
+        delay = SimTime.coerce(delay)
+        if delay.nanoseconds <= 0:
+            self.notify_delta()
+            return
+        if self._pending_token is not None:
+            assert self._pending_time is not None
+            if self._pending_time <= delay:
+                return
+            self._cancel_pending()
+        token = object()
+        self._pending_token = token
+        self._pending_time = delay
+        self.simulator._schedule_event_notification(self, delay, token)
+
+    def cancel(self) -> None:
+        """Cancel any pending delta/timed notification."""
+        self._cancel_pending()
+
+    def has_pending_notification(self) -> bool:
+        """Whether a delta/timed notification is pending."""
+        return self._pending_token is not None
+
+    # -- kernel hooks -----------------------------------------------------
+    def _cancel_pending(self) -> None:
+        self._pending_token = None
+        self._pending_time = None
+
+    def _fire(self, token: object) -> bool:
+        """Called by the kernel when a scheduled notification matures.
+
+        Returns ``True`` if the notification was still valid (not cancelled
+        nor overridden) and waiters were woken.
+        """
+        if token is not self._pending_token:
+            return False
+        self._pending_token = None
+        self._pending_time = None
+        self.notify_count += 1
+        self.simulator._trigger_event(self, immediate=False)
+        return True
+
+    def _take_waiters(self) -> "list[ProcessHandle]":
+        waiters = self._waiting
+        self._waiting = []
+        return waiters
+
+    def __repr__(self) -> str:
+        return f"SCEvent({self.name!r}, waiters={len(self._waiting)})"

@@ -1,0 +1,448 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` plays the role of the SystemC simulation kernel: it owns
+simulated time, the timed event wheel, the delta-cycle machinery and the set
+of processes.  The scheduling loop is the classic SystemC one:
+
+1. *Evaluation phase* — run every runnable process until it waits or ends.
+2. *Update phase* — apply primitive-channel (signal) update requests.
+3. *Delta notification phase* — mature delta notifications; if any process
+   became runnable go back to 1 within the same simulation time.
+4. *Timed notification phase* — otherwise advance time to the earliest timed
+   notification and repeat.
+
+Processes are cooperative generators (see :mod:`repro.sysc.process`).  The
+kernel is deliberately single-threaded: determinism is a requirement for the
+RTOS model on top (the paper's SIM_API relies on SystemC's deterministic
+cooperative scheduling).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.sysc.event import SCEvent
+from repro.sysc.process import (
+    ProcessHandle,
+    ProcessState,
+    ResumeReason,
+    Wait,
+    WaitDelta,
+    WaitEvent,
+    WaitEventTimeout,
+    as_sensitivity,
+)
+from repro.sysc.time import SimTime
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class SimulationFinished(Exception):
+    """Raised internally when ``stop()`` terminates the simulation."""
+
+
+class Simulator:
+    """A discrete-event simulator with SystemC-like scheduling semantics."""
+
+    _current: "Optional[Simulator]" = None
+
+    def __init__(self, name: str = "sim"):
+        self.name = name
+        self._now = SimTime(0)
+        self._delta_count = 0
+        self._sequence = itertools.count()
+        # Timed queue entries: (time_ns, seq, callback)
+        self._timed_queue: List[Tuple[int, int, Callable[[], None]]] = []
+        # Processes runnable in the current evaluation phase.
+        self._runnable: List[Tuple[ProcessHandle, ResumeReason]] = []
+        # Delta-cycle pending activations (event notifications & signal wakes).
+        self._delta_callbacks: List[Callable[[], None]] = []
+        # Signal/channel update requests for the update phase.
+        self._update_requests: List[Callable[[], None]] = []
+        self._processes: List[ProcessHandle] = []
+        self._process_by_name: Dict[str, ProcessHandle] = {}
+        self._running_process: Optional[ProcessHandle] = None
+        self._stop_requested = False
+        self._started = False
+        self._elaborated = False
+        # Hook invoked at every evaluation cycle; used by the co-simulation
+        # speed harness to model host-side (GUI) overhead.
+        self.cycle_hooks: List[Callable[["Simulator"], None]] = []
+        Simulator._current = self
+
+    # ------------------------------------------------------------------
+    # Class-level access (mirrors sc_get_curr_simcontext)
+    # ------------------------------------------------------------------
+    @classmethod
+    def current(cls) -> "Simulator":
+        """Return the most recently created simulator."""
+        if cls._current is None:
+            raise SimulationError("no simulator has been created")
+        return cls._current
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> SimTime:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def delta_count(self) -> int:
+        """Number of delta cycles executed so far."""
+        return self._delta_count
+
+    @property
+    def running_process(self) -> Optional[ProcessHandle]:
+        """The process currently being evaluated (None between processes)."""
+        return self._running_process
+
+    def processes(self) -> List[ProcessHandle]:
+        """All registered processes."""
+        return list(self._processes)
+
+    def get_process(self, name: str) -> ProcessHandle:
+        """Look up a process by name."""
+        try:
+            return self._process_by_name[name]
+        except KeyError:
+            raise SimulationError(f"no process named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def create_event(self, name: str = "") -> SCEvent:
+        """Create an event bound to this simulator."""
+        return SCEvent(name, simulator=self)
+
+    def register_thread(
+        self,
+        name: str,
+        factory: Callable[[], object],
+        sensitivity: "Optional[Iterable[SCEvent] | SCEvent]" = None,
+        dont_initialize: bool = False,
+    ) -> ProcessHandle:
+        """Register an SC_THREAD-style process.
+
+        ``factory`` must be a zero-argument callable returning a generator
+        (typically a generator function).  ``sensitivity`` sets the static
+        sensitivity list used by argument-less waits (``yield None``).  When
+        ``dont_initialize`` is true the process is not made runnable at time
+        zero; it waits for its static sensitivity first.
+        """
+        if name in self._process_by_name:
+            raise SimulationError(f"duplicate process name {name!r}")
+        handle = ProcessHandle(
+            name=name,
+            factory=factory,  # type: ignore[arg-type]
+            simulator=self,
+            static_sensitivity=as_sensitivity(sensitivity),
+            dont_initialize=dont_initialize,
+        )
+        self._processes.append(handle)
+        self._process_by_name[name] = handle
+        if self._started:
+            # Late (dynamic) process creation: elaborate it immediately.
+            self._elaborate_process(handle)
+        return handle
+
+    def request_update(self, callback: Callable[[], None]) -> None:
+        """Queue a primitive-channel update for the update phase."""
+        self._update_requests.append(callback)
+
+    # ------------------------------------------------------------------
+    # Event scheduling hooks (used by SCEvent)
+    # ------------------------------------------------------------------
+    def _schedule_event_notification(
+        self, event: SCEvent, delay: SimTime, token: object
+    ) -> None:
+        if delay.nanoseconds <= 0:
+            self._delta_callbacks.append(lambda: event._fire(token))
+        else:
+            self.schedule_callback(delay, lambda: event._fire(token))
+
+    def schedule_callback(self, delay: "SimTime | int", callback: Callable[[], None]) -> None:
+        """Schedule *callback* to run after *delay* of simulated time."""
+        delay = SimTime.coerce(delay)
+        if delay.nanoseconds < 0:
+            raise SimulationError("cannot schedule a callback in the past")
+        when = self._now + delay
+        heapq.heappush(
+            self._timed_queue, (when.nanoseconds, next(self._sequence), callback)
+        )
+
+    def _trigger_event(self, event: SCEvent, immediate: bool) -> None:
+        """Wake every process waiting on *event*."""
+        waiters = event._take_waiters()
+        for process in waiters:
+            self._wake_process(process, ResumeReason.EVENT, event)
+
+    def _wake_process(
+        self, process: ProcessHandle, reason: ResumeReason, event: Optional[SCEvent] = None
+    ) -> None:
+        if process.state is ProcessState.TERMINATED:
+            return
+        if process.state is not ProcessState.WAITING:
+            return
+        # Detach from whatever the process was waiting on.
+        if process.waiting_on is not None and process.waiting_on is not event:
+            process.waiting_on.remove_waiter(process)
+        process.waiting_on = None
+        process._timeout_token = object()  # invalidate any pending timeout
+        process.state = ProcessState.READY
+        process._resume_reason = reason
+        self._runnable.append((process, reason))
+
+    # ------------------------------------------------------------------
+    # Elaboration
+    # ------------------------------------------------------------------
+    def _elaborate(self) -> None:
+        if self._elaborated:
+            return
+        self._elaborated = True
+        for process in list(self._processes):
+            self._elaborate_process(process)
+
+    def _elaborate_process(self, process: ProcessHandle) -> None:
+        process.start()
+        if process.dont_initialize:
+            process.state = ProcessState.WAITING
+            self._subscribe_static(process)
+        else:
+            process.state = ProcessState.READY
+            self._runnable.append((process, ResumeReason.START))
+
+    def _subscribe_static(self, process: ProcessHandle) -> None:
+        if not process.static_sensitivity:
+            raise SimulationError(
+                f"process {process.name!r} waits on static sensitivity "
+                "but has an empty sensitivity list"
+            )
+        for event in process.static_sensitivity:
+            event.add_waiter(process)
+        # waiting_on is used for single-event bookkeeping; static sensitivity
+        # may involve several events so leave it unset and rely on
+        # remove_waiter calls when the process resumes.
+        process.waiting_on = None
+
+    # ------------------------------------------------------------------
+    # The scheduler
+    # ------------------------------------------------------------------
+    def run(self, duration: "SimTime | int | None" = None) -> SimTime:
+        """Run the simulation.
+
+        With no *duration* the simulation runs until no activity remains or
+        :meth:`stop` is called.  With a duration it runs for at most that much
+        additional simulated time.  Returns the simulation time reached.
+        """
+        self._elaborate()
+        self._started = True
+        self._stop_requested = False
+        end_time: Optional[SimTime] = None
+        if duration is not None:
+            end_time = self._now + SimTime.coerce(duration)
+
+        try:
+            while True:
+                self._evaluate_and_update()
+                if self._stop_requested:
+                    break
+                if self._runnable:
+                    continue
+                if not self._timed_queue:
+                    break
+                next_time_ns = self._timed_queue[0][0]
+                if end_time is not None and next_time_ns > end_time.nanoseconds:
+                    self._now = end_time
+                    break
+                self._advance_to(SimTime(next_time_ns))
+        except SimulationFinished:
+            pass
+        if end_time is not None and self._now < end_time and not self._timed_queue \
+                and not self._runnable and not self._stop_requested:
+            # Nothing left to do: report the requested horizon anyway.
+            self._now = end_time
+        return self._now
+
+    def stop(self) -> None:
+        """Request simulation stop (honoured at the next scheduling point)."""
+        self._stop_requested = True
+
+    # -- internal phases ---------------------------------------------------
+    def _evaluate_and_update(self) -> None:
+        """Run evaluation/update/delta phases until no delta activity remains."""
+        while True:
+            if self._runnable:
+                self._delta_count += 1
+                for hook in self.cycle_hooks:
+                    hook(self)
+                self._evaluation_phase()
+            # Update phase.
+            if self._update_requests:
+                updates, self._update_requests = self._update_requests, []
+                for update in updates:
+                    update()
+            # Delta notification phase.
+            if self._delta_callbacks:
+                callbacks, self._delta_callbacks = self._delta_callbacks, []
+                for callback in callbacks:
+                    callback()
+            if self._stop_requested:
+                return
+            if not self._runnable:
+                return
+
+    def _evaluation_phase(self) -> None:
+        runnable, self._runnable = self._runnable, []
+        for process, reason in runnable:
+            if process.state is ProcessState.TERMINATED:
+                continue
+            self._resume_process(process, reason)
+            if self._stop_requested:
+                return
+
+    def _resume_process(self, process: ProcessHandle, reason: ResumeReason) -> None:
+        process.state = ProcessState.RUNNING
+        process.resume_count += 1
+        previous = self._running_process
+        self._running_process = process
+        try:
+            assert process.generator is not None
+            if process.resume_count == 1:
+                # First activation: a just-started generator cannot receive a
+                # value, so prime it with next().
+                request = next(process.generator)
+            else:
+                request = process.generator.send(reason)
+        except StopIteration:
+            process._mark_terminated()
+            return
+        except SimulationFinished:
+            process._mark_terminated()
+            raise
+        finally:
+            self._running_process = previous
+        self._apply_wait_request(process, request)
+
+    def _apply_wait_request(self, process: ProcessHandle, request: object) -> None:
+        process.state = ProcessState.WAITING
+        if request is None:
+            # Argument-less wait: static sensitivity.
+            self._subscribe_static(process)
+            return
+        if isinstance(request, Wait):
+            if request.duration.nanoseconds <= 0:
+                self._delta_callbacks.append(
+                    lambda: self._wake_process(process, ResumeReason.DELTA)
+                )
+            else:
+                self.schedule_callback(
+                    request.duration,
+                    lambda: self._wake_process(process, ResumeReason.TIME),
+                )
+            return
+        if isinstance(request, WaitDelta):
+            self._delta_callbacks.append(
+                lambda: self._wake_process(process, ResumeReason.DELTA)
+            )
+            return
+        if isinstance(request, WaitEvent):
+            request.event.add_waiter(process)
+            process.waiting_on = request.event
+            return
+        if isinstance(request, WaitEventTimeout):
+            request.event.add_waiter(process)
+            process.waiting_on = request.event
+            token = object()
+            process._timeout_token = token
+            event = request.event
+
+            def on_timeout() -> None:
+                if process._timeout_token is token and process.state is ProcessState.WAITING:
+                    event.remove_waiter(process)
+                    process.waiting_on = None
+                    process.state = ProcessState.READY
+                    process._resume_reason = ResumeReason.TIMEOUT
+                    self._runnable.append((process, ResumeReason.TIMEOUT))
+
+            self.schedule_callback(request.timeout, on_timeout)
+            return
+        if isinstance(request, SCEvent):
+            # Allow yielding a bare event as shorthand for WaitEvent.
+            request.add_waiter(process)
+            process.waiting_on = request
+            return
+        raise SimulationError(
+            f"process {process.name!r} yielded an unsupported wait request: {request!r}"
+        )
+
+    def throw_into(self, process: ProcessHandle, exception: BaseException) -> None:
+        """Raise *exception* inside a waiting process, synchronously.
+
+        The process resumes at its current wait point with the exception
+        raised there; any new wait request it yields while unwinding is
+        honoured.  Used by RTOS models to force-terminate a task
+        (``tk_ter_tsk``) whose body is suspended somewhere in the middle.
+        """
+        if process.state is ProcessState.TERMINATED:
+            return
+        if process.state is ProcessState.RUNNING:
+            raise SimulationError("cannot throw into the currently running process")
+        # Detach the process from whatever it is waiting on.
+        if process.waiting_on is not None:
+            process.waiting_on.remove_waiter(process)
+            process.waiting_on = None
+        for event in process.static_sensitivity:
+            event.remove_waiter(process)
+        process._timeout_token = object()
+        # Drop any queued activation of this process.
+        self._runnable = [(p, r) for (p, r) in self._runnable if p is not process]
+        previous = self._running_process
+        self._running_process = process
+        process.state = ProcessState.RUNNING
+        try:
+            assert process.generator is not None
+            request = process.generator.throw(exception)
+        except StopIteration:
+            process._mark_terminated()
+            return
+        except type(exception):
+            # The body let the exception escape entirely: the process dies.
+            process._mark_terminated()
+            return
+        finally:
+            self._running_process = previous
+        self._apply_wait_request(process, request)
+
+    def _advance_to(self, when: SimTime) -> None:
+        if when < self._now:
+            raise SimulationError("time cannot move backwards")
+        self._now = when
+        # Pop every callback scheduled for this instant.
+        while self._timed_queue and self._timed_queue[0][0] == when.nanoseconds:
+            __, __, callback = heapq.heappop(self._timed_queue)
+            callback()
+
+    # ------------------------------------------------------------------
+    # Convenience helpers for tests & examples
+    # ------------------------------------------------------------------
+    def pending_activity(self) -> bool:
+        """Whether any runnable process or scheduled activity remains."""
+        return bool(self._runnable or self._delta_callbacks or self._timed_queue)
+
+    def time_to_next_activity(self) -> Optional[SimTime]:
+        """Delay until the next timed activity, or None if none is pending."""
+        if not self._timed_queue:
+            return None
+        return SimTime(self._timed_queue[0][0]) - self._now
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator({self.name!r}, now={self._now.format()}, "
+            f"processes={len(self._processes)})"
+        )

@@ -1,0 +1,147 @@
+"""SC_THREAD-style processes.
+
+A process body is a Python generator function.  The generator *yields* wait
+requests back to the simulator, which suspends the process until the request
+is satisfied and then resumes it.  This mirrors how an ``SC_THREAD`` calls
+``wait(...)`` in SystemC: the coroutine keeps its local state across waits,
+which is exactly the property the paper's T-THREAD model needs in order to
+model task bodies that sleep, get preempted and resume mid-execution.
+
+Wait request kinds
+------------------
+
+``Wait(time)``
+    Suspend for a simulated duration (``wait(t)``).
+``WaitEvent(event)``
+    Suspend until an event is notified (``wait(e)`` — dynamic sensitivity).
+``WaitEventTimeout(event, time)``
+    Suspend until the event is notified or the timeout elapses
+    (``wait(t, e)``); the resume value tells the process which happened.
+``WaitDelta()``
+    Suspend for one delta cycle (``wait(SC_ZERO_TIME)``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Generator, Iterable, Optional
+
+from repro.sysc.event import SCEvent
+from repro.sysc.time import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sysc.kernel import Simulator
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle states of a simulated process."""
+
+    CREATED = "created"
+    READY = "ready"
+    RUNNING = "running"
+    WAITING = "waiting"
+    TERMINATED = "terminated"
+
+
+@dataclass
+class Wait:
+    """Wait for a simulated duration."""
+
+    duration: SimTime
+
+    def __post_init__(self) -> None:
+        self.duration = SimTime.coerce(self.duration)
+
+
+@dataclass
+class WaitEvent:
+    """Wait for a single event (dynamic sensitivity)."""
+
+    event: SCEvent
+
+
+@dataclass
+class WaitEventTimeout:
+    """Wait for an event with a timeout."""
+
+    event: SCEvent
+    timeout: SimTime
+
+    def __post_init__(self) -> None:
+        self.timeout = SimTime.coerce(self.timeout)
+
+
+@dataclass
+class WaitDelta:
+    """Wait for one delta cycle."""
+
+
+class ResumeReason(enum.Enum):
+    """Why a waiting process was resumed."""
+
+    TIMEOUT = "timeout"
+    EVENT = "event"
+    DELTA = "delta"
+    TIME = "time"
+    START = "start"
+
+
+ProcessBody = Generator[object, ResumeReason, None]
+
+
+@dataclass
+class ProcessHandle:
+    """Book-keeping for one SC_THREAD-style process."""
+
+    name: str
+    factory: Callable[[], ProcessBody]
+    simulator: "Simulator"
+    static_sensitivity: "tuple[SCEvent, ...]" = ()
+    dont_initialize: bool = False
+
+    state: ProcessState = field(default=ProcessState.CREATED, init=False)
+    generator: Optional[ProcessBody] = field(default=None, init=False)
+    waiting_on: Optional[SCEvent] = field(default=None, init=False)
+    _timeout_token: Optional[object] = field(default=None, init=False)
+    _resume_reason: ResumeReason = field(default=ResumeReason.START, init=False)
+    resume_count: int = field(default=0, init=False)
+    terminated_event: SCEvent = field(default=None, init=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.terminated_event = SCEvent(
+            f"{self.name}.terminated", simulator=self.simulator
+        )
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self) -> None:
+        """Instantiate the generator; called by the simulator at elaboration."""
+        if self.generator is None:
+            self.generator = self.factory()
+
+    def is_alive(self) -> bool:
+        """Whether the process has not yet terminated."""
+        return self.state is not ProcessState.TERMINATED
+
+    def _mark_terminated(self) -> None:
+        self.state = ProcessState.TERMINATED
+        self.waiting_on = None
+        self.terminated_event.notify_delta()
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:
+        return f"ProcessHandle({self.name!r}, state={self.state.value})"
+
+
+def as_sensitivity(events: "Optional[Iterable[SCEvent] | SCEvent]") -> "tuple[SCEvent, ...]":
+    """Normalise a sensitivity specification into a tuple of events."""
+    if events is None:
+        return ()
+    if isinstance(events, SCEvent):
+        return (events,)
+    return tuple(events)

@@ -1,0 +1,98 @@
+"""Signals with SystemC ``sc_signal`` request/update semantics.
+
+A signal write does not take effect immediately; it is applied in the update
+phase of the current delta cycle and the *value-changed* event is notified as
+a delta notification.  This keeps the hardware side of the co-simulation
+(BFM, interrupt lines, reset, system tick) race-free, exactly like the
+SystemC models the paper plugs SIM_API into.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, List, Optional, TypeVar
+
+from repro.sysc.event import SCEvent
+from repro.sysc.kernel import Simulator
+from repro.sysc.time import SimTime
+
+T = TypeVar("T")
+
+
+class Signal(Generic[T]):
+    """A single-driver signal with deferred (delta-cycle) update."""
+
+    def __init__(self, name: str, initial: T, simulator: Optional[Simulator] = None):
+        self.name = name
+        self._simulator = simulator or Simulator.current()
+        self._current: T = initial
+        self._next: T = initial
+        self._update_pending = False
+        self.value_changed_event = SCEvent(f"{name}.value_changed", self._simulator)
+        self.posedge_event = SCEvent(f"{name}.posedge", self._simulator)
+        self.negedge_event = SCEvent(f"{name}.negedge", self._simulator)
+        self.write_count = 0
+        self.change_count = 0
+        self._tracers: List["SignalObserver"] = []
+
+    # -- value access -------------------------------------------------------
+    def read(self) -> T:
+        """Current (settled) value of the signal."""
+        return self._current
+
+    @property
+    def value(self) -> T:
+        """Alias for :meth:`read`."""
+        return self._current
+
+    def write(self, value: T) -> None:
+        """Request a new value; applied at the next update phase."""
+        self.write_count += 1
+        self._next = value
+        if not self._update_pending:
+            self._update_pending = True
+            self._simulator.request_update(self._update)
+
+    def _update(self) -> None:
+        self._update_pending = False
+        if self._next == self._current:
+            return
+        old, new = self._current, self._next
+        self._current = new
+        self.change_count += 1
+        self.value_changed_event.notify_delta()
+        if self._is_rising(old, new):
+            self.posedge_event.notify_delta()
+        if self._is_falling(old, new):
+            self.negedge_event.notify_delta()
+        for tracer in self._tracers:
+            tracer.on_change(self, self._simulator.now, old, new)
+
+    @staticmethod
+    def _is_rising(old: T, new: T) -> bool:
+        try:
+            return bool(new) and not bool(old)
+        except Exception:  # pragma: no cover - exotic value types
+            return False
+
+    @staticmethod
+    def _is_falling(old: T, new: T) -> bool:
+        try:
+            return bool(old) and not bool(new)
+        except Exception:  # pragma: no cover - exotic value types
+            return False
+
+    # -- observation ----------------------------------------------------------
+    def attach_observer(self, observer: "SignalObserver") -> None:
+        """Attach an observer notified on every settled value change."""
+        self._tracers.append(observer)
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}, value={self._current!r})"
+
+
+class SignalObserver:
+    """Interface for objects that observe signal value changes."""
+
+    def on_change(self, signal: Signal, when: SimTime, old: object, new: object) -> None:
+        """Called after *signal* settles to a new value."""
+        raise NotImplementedError

@@ -1,0 +1,160 @@
+"""Simulation time representation.
+
+SystemC represents time as an integer number of a global time resolution.
+We follow the same idea: all simulation time is held as an integer count of
+nanoseconds wrapped in :class:`SimTime`.  Integer arithmetic keeps long
+co-simulation runs free of floating-point drift, which matters because the
+RTOS tick (1 ms by default) must stay exactly periodic.
+
+Convenience constructors mirror the SystemC time units::
+
+    SimTime.ns(10)      # 10 nanoseconds
+    SimTime.us(3)       # 3 microseconds
+    SimTime.ms(1)       # the default system tick of the paper's RTC
+    SimTime.sec(1)      # the reference simulated second of Table 2
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import total_ordering
+
+
+class TimeUnit(enum.IntEnum):
+    """Time units expressed as nanosecond multipliers."""
+
+    NS = 1
+    US = 1_000
+    MS = 1_000_000
+    SEC = 1_000_000_000
+
+
+NS = TimeUnit.NS
+US = TimeUnit.US
+MS = TimeUnit.MS
+SEC = TimeUnit.SEC
+
+
+@total_ordering
+@dataclass(frozen=True)
+class SimTime:
+    """An absolute or relative simulation time, stored in nanoseconds."""
+
+    nanoseconds: int = 0
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def ns(cls, value: float) -> "SimTime":
+        """Create a time of *value* nanoseconds."""
+        return cls(int(round(value * NS)))
+
+    @classmethod
+    def us(cls, value: float) -> "SimTime":
+        """Create a time of *value* microseconds."""
+        return cls(int(round(value * US)))
+
+    @classmethod
+    def ms(cls, value: float) -> "SimTime":
+        """Create a time of *value* milliseconds."""
+        return cls(int(round(value * MS)))
+
+    @classmethod
+    def sec(cls, value: float) -> "SimTime":
+        """Create a time of *value* seconds."""
+        return cls(int(round(value * SEC)))
+
+    @classmethod
+    def zero(cls) -> "SimTime":
+        """The zero time."""
+        return cls(0)
+
+    @classmethod
+    def coerce(cls, value: "SimTime | int | float") -> "SimTime":
+        """Coerce *value* into a :class:`SimTime`.
+
+        Bare numbers are interpreted as nanoseconds, matching the internal
+        resolution.
+        """
+        if isinstance(value, SimTime):
+            return value
+        return cls(int(round(value)))
+
+    # -- conversions ------------------------------------------------------
+    def to_ns(self) -> int:
+        """Return the time as an integer number of nanoseconds."""
+        return self.nanoseconds
+
+    def to_us(self) -> float:
+        """Return the time in microseconds."""
+        return self.nanoseconds / US
+
+    def to_ms(self) -> float:
+        """Return the time in milliseconds."""
+        return self.nanoseconds / MS
+
+    def to_sec(self) -> float:
+        """Return the time in seconds."""
+        return self.nanoseconds / SEC
+
+    # -- arithmetic -------------------------------------------------------
+    def __add__(self, other: "SimTime | int") -> "SimTime":
+        return SimTime(self.nanoseconds + SimTime.coerce(other).nanoseconds)
+
+    def __radd__(self, other: "SimTime | int") -> "SimTime":
+        return self.__add__(other)
+
+    def __sub__(self, other: "SimTime | int") -> "SimTime":
+        return SimTime(self.nanoseconds - SimTime.coerce(other).nanoseconds)
+
+    def __mul__(self, factor: int) -> "SimTime":
+        return SimTime(self.nanoseconds * factor)
+
+    def __rmul__(self, factor: int) -> "SimTime":
+        return self.__mul__(factor)
+
+    def __floordiv__(self, other: "SimTime | int") -> int:
+        return self.nanoseconds // SimTime.coerce(other).nanoseconds
+
+    def __mod__(self, other: "SimTime | int") -> "SimTime":
+        return SimTime(self.nanoseconds % SimTime.coerce(other).nanoseconds)
+
+    def __neg__(self) -> "SimTime":
+        return SimTime(-self.nanoseconds)
+
+    def __bool__(self) -> bool:
+        return self.nanoseconds != 0
+
+    # -- ordering ---------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SimTime):
+            return self.nanoseconds == other.nanoseconds
+        if isinstance(other, (int, float)):
+            return self.nanoseconds == other
+        return NotImplemented
+
+    def __lt__(self, other: "SimTime | int | float") -> bool:
+        if isinstance(other, SimTime):
+            return self.nanoseconds < other.nanoseconds
+        if isinstance(other, (int, float)):
+            return self.nanoseconds < other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.nanoseconds)
+
+    def __repr__(self) -> str:
+        return f"SimTime({self.format()})"
+
+    def format(self) -> str:
+        """Render the time with the most natural unit."""
+        value = self.nanoseconds
+        if value == 0:
+            return "0 s"
+        for unit, name in ((SEC, "s"), (MS, "ms"), (US, "us")):
+            if value % unit == 0:
+                return f"{value // unit} {name}"
+        return f"{value} ns"
+
+
+ZERO_TIME = SimTime(0)

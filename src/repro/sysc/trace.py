@@ -1,0 +1,140 @@
+"""Waveform tracing.
+
+The paper's case study probes BFM signals and variables in a waveform viewer
+(Fig. 4).  :class:`TraceFile` records settled signal values over time and can
+render a compact ASCII waveform or export VCD text, which is the headless
+substitute for that viewer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.sysc.signal import Signal, SignalObserver
+from repro.sysc.time import SimTime
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One recorded value change."""
+
+    time: SimTime
+    signal: str
+    old: object
+    new: object
+
+
+class TraceFile(SignalObserver):
+    """Records value changes of the signals attached to it."""
+
+    def __init__(self, name: str = "trace"):
+        self.name = name
+        self.records: List[TraceRecord] = []
+        self._signals: List[Signal] = []
+        self._initial: Dict[str, object] = {}
+
+    # -- recording ----------------------------------------------------------
+    def trace(self, signal: Signal) -> None:
+        """Start tracing *signal*."""
+        signal.attach_observer(self)
+        self._signals.append(signal)
+        self._initial[signal.name] = signal.read()
+
+    def on_change(self, signal: Signal, when: SimTime, old: object, new: object) -> None:
+        self.records.append(TraceRecord(when, signal.name, old, new))
+
+    # -- queries ---------------------------------------------------------------
+    def signal_names(self) -> List[str]:
+        """Names of all traced signals."""
+        return [signal.name for signal in self._signals]
+
+    def changes_of(self, signal_name: str) -> List[TraceRecord]:
+        """All recorded changes of one signal."""
+        return [record for record in self.records if record.signal == signal_name]
+
+    def value_at(self, signal_name: str, when: "SimTime | int") -> object:
+        """The settled value of *signal_name* at time *when*."""
+        when = SimTime.coerce(when)
+        value = self._initial.get(signal_name)
+        for record in self.records:
+            if record.signal != signal_name:
+                continue
+            if record.time > when:
+                break
+            value = record.new
+        return value
+
+    # -- rendering -------------------------------------------------------------
+    def to_vcd(self, timescale: str = "1ns") -> str:
+        """Render the trace as VCD text (value change dump)."""
+        lines = [f"$timescale {timescale} $end", "$scope module trace $end"]
+        identifiers: Dict[str, str] = {}
+        for index, signal in enumerate(self._signals):
+            identifier = chr(33 + index)
+            identifiers[signal.name] = identifier
+            lines.append(f"$var wire 32 {identifier} {signal.name} $end")
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+        lines.append("#0")
+        for name, value in self._initial.items():
+            if name in identifiers:
+                lines.append(self._vcd_value(value, identifiers[name]))
+        last_time = 0
+        for record in self.records:
+            if record.signal not in identifiers:
+                continue
+            time_ns = record.time.to_ns()
+            if time_ns != last_time:
+                lines.append(f"#{time_ns}")
+                last_time = time_ns
+            lines.append(self._vcd_value(record.new, identifiers[record.signal]))
+        return "\n".join(lines)
+
+    @staticmethod
+    def _vcd_value(value: object, identifier: str) -> str:
+        if isinstance(value, bool):
+            return f"{int(value)}{identifier}"
+        if isinstance(value, int):
+            return f"b{value:b} {identifier}"
+        return f"s{value} {identifier}"
+
+    def render_ascii(
+        self,
+        signals: Optional[Sequence[str]] = None,
+        start: "SimTime | int" = 0,
+        stop: "SimTime | int | None" = None,
+        step: "SimTime | int" = SimTime.ms(1),
+        width: int = 60,
+    ) -> str:
+        """Render a sampled ASCII waveform of the selected signals."""
+        names = list(signals) if signals is not None else self.signal_names()
+        start = SimTime.coerce(start)
+        step = SimTime.coerce(step)
+        if stop is None:
+            last = max((r.time for r in self.records), default=start)
+            stop = last + step
+        stop = SimTime.coerce(stop)
+        samples = min(width, max(1, (stop - start) // step))
+        lines = []
+        for name in names:
+            cells = []
+            for index in range(samples):
+                when = start + step * index
+                value = self.value_at(name, when)
+                cells.append(self._ascii_cell(value))
+            lines.append(f"{name:<28} {''.join(cells)}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _ascii_cell(value: object) -> str:
+        if isinstance(value, bool):
+            return "#" if value else "_"
+        if value is None:
+            return "."
+        if isinstance(value, int):
+            return str(value % 10)
+        return "x"
+
+    def __repr__(self) -> str:
+        return f"TraceFile({self.name!r}, signals={len(self._signals)}, records={len(self.records)})"

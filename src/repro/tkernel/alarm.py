@@ -1,0 +1,162 @@
+"""Alarm handlers (tk_cre_alm, tk_sta_alm, tk_stp_alm, tk_ref_alm).
+
+An alarm handler is a one-shot time-event handler: ``tk_sta_alm(almid, t)``
+arms it to run once *t* milliseconds later.  Like cyclic handlers it runs in
+the task-independent context (the paper's H2 handler).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, TYPE_CHECKING
+
+from repro.core.events import ThreadKind
+from repro.core.tthread import TThread
+from repro.tkernel.cyclic import HandlerFunction
+from repro.tkernel.errors import E_OK, E_PAR
+from repro.tkernel.objects import KernelObject, ObjectTable
+from repro.tkernel.timemgmt import TimerHandle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tkernel.kernel import TKernelOS
+
+
+class AlarmHandler(KernelObject):
+    """One alarm handler object."""
+
+    object_type = "alarm_handler"
+
+    def __init__(self, object_id: int, name: str, attributes: int,
+                 handler_fn: HandlerFunction, exinf=None):
+        super().__init__(object_id, name, attributes, exinf)
+        self.handler_fn = handler_fn
+        self.armed = False
+        self.thread: Optional[TThread] = None
+        self.activation_count = 0
+        self.timer_handle: Optional[TimerHandle] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"AlarmHandler(id={self.object_id}, armed={self.armed}, "
+            f"activations={self.activation_count})"
+        )
+
+
+class AlarmHandlerManager:
+    """Implements the alarm-handler service calls."""
+
+    def __init__(self, kernel: "TKernelOS", max_handlers: int = 64):
+        self.kernel = kernel
+        self.table: ObjectTable[AlarmHandler] = ObjectTable(max_handlers)
+
+    def all_handlers(self) -> List[AlarmHandler]:
+        """All live alarm handlers ordered by identifier."""
+        return self.table.all()
+
+    # ------------------------------------------------------------------
+    # Service calls
+    # ------------------------------------------------------------------
+    def tk_cre_alm(self, handler_fn: HandlerFunction, name: str = "",
+                   almatr: int = 0, exinf=None):
+        """Create an alarm handler; returns its id or an error code."""
+        yield from self.kernel._svc_enter("tk_cre_alm")
+        try:
+            result = self.table.add(
+                lambda oid: AlarmHandler(oid, name or f"alm{oid}", almatr, handler_fn, exinf)
+            )
+            if isinstance(result, int):
+                return result
+            alarm = result
+            alarm.thread = self.kernel.api.create_thread(
+                alarm.name,
+                self._body_factory(alarm),
+                priority=0,
+                kind=ThreadKind.ALARM_HANDLER,
+            )
+            return alarm.object_id
+        finally:
+            self.kernel._svc_exit()
+
+    def _body_factory(self, alarm: AlarmHandler):
+        def factory():
+            yield from alarm.handler_fn(alarm.exinf)
+
+        return factory
+
+    def tk_sta_alm(self, almid: int, almtim: int):
+        """Arm the alarm to fire once after *almtim* milliseconds."""
+        yield from self.kernel._svc_enter("tk_sta_alm")
+        try:
+            alarm = self.table.require(almid)
+            if isinstance(alarm, int):
+                return alarm
+            if almtim < 0:
+                return E_PAR
+            self.kernel.time.cancel(alarm.timer_handle)
+            alarm.armed = True
+            alarm.timer_handle = self.kernel.time.after_ms(
+                self.kernel.simulator.now,
+                almtim,
+                lambda: self._activate(alarm),
+                label=f"alm{almid}",
+            )
+            return E_OK
+        finally:
+            self.kernel._svc_exit()
+
+    def _activate(self, alarm: AlarmHandler) -> None:
+        if alarm.object_id not in self.table or not alarm.armed:
+            return
+        alarm.armed = False
+        alarm.activation_count += 1
+        assert alarm.thread is not None
+        self.kernel.api.activate_handler(alarm.thread)
+
+    def tk_stp_alm(self, almid: int):
+        """Disarm the alarm."""
+        yield from self.kernel._svc_enter("tk_stp_alm")
+        try:
+            alarm = self.table.require(almid)
+            if isinstance(alarm, int):
+                return alarm
+            alarm.armed = False
+            self.kernel.time.cancel(alarm.timer_handle)
+            return E_OK
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_del_alm(self, almid: int):
+        """Delete an alarm handler."""
+        yield from self.kernel._svc_enter("tk_del_alm")
+        try:
+            alarm = self.table.require(almid)
+            if isinstance(alarm, int):
+                return alarm
+            alarm.armed = False
+            self.kernel.time.cancel(alarm.timer_handle)
+            if alarm.thread is not None:
+                self.kernel.api.remove_thread(alarm.thread)
+            self.table.delete(almid)
+            return E_OK
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_ref_alm(self, almid: int):
+        """Reference an alarm handler's state."""
+        yield from self.kernel._svc_enter("tk_ref_alm")
+        try:
+            alarm = self.table.require(almid)
+            if isinstance(alarm, int):
+                return alarm
+            left = None
+            if alarm.armed and alarm.timer_handle is not None:
+                left = (alarm.timer_handle.due - self.kernel.simulator.now).to_ms()
+            return {
+                "almid": alarm.object_id,
+                "name": alarm.name,
+                "exinf": alarm.exinf,
+                "almstat": int(alarm.armed),
+                "lfttim": left,
+                "activations": alarm.activation_count,
+            }
+        finally:
+            self.kernel._svc_exit()

@@ -1,0 +1,176 @@
+"""Cyclic handlers (tk_cre_cyc, tk_sta_cyc, tk_stp_cyc, tk_ref_cyc).
+
+A cyclic handler is a time-event handler activated periodically by the timer
+handler.  Each activation runs as a handler T-THREAD in the task-independent
+context (on top of SIM_Stack), exactly like the paper's H1 handler in the
+video-game case study.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, TYPE_CHECKING
+
+from repro.core.events import ThreadKind
+from repro.core.tthread import TThread
+from repro.tkernel.errors import E_OBJ, E_OK, E_PAR
+from repro.tkernel.objects import KernelObject, ObjectTable
+from repro.tkernel.timemgmt import TimerHandle
+from repro.tkernel.types import TA_PHS, TA_STA
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tkernel.kernel import TKernelOS
+
+#: Signature of a time-event handler function.
+HandlerFunction = Callable[[Any], Generator[object, object, None]]
+
+
+class CyclicHandler(KernelObject):
+    """One cyclic handler object."""
+
+    object_type = "cyclic_handler"
+
+    def __init__(self, object_id: int, name: str, attributes: int,
+                 handler_fn: HandlerFunction, cyctim: int, cycphs: int, exinf=None):
+        super().__init__(object_id, name, attributes, exinf)
+        self.handler_fn = handler_fn
+        self.cycle_time_ms = cyctim
+        self.phase_ms = cycphs
+        self.active = bool(attributes & TA_STA)
+        self.thread: Optional[TThread] = None
+        self.activation_count = 0
+        self.timer_handle: Optional[TimerHandle] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"CyclicHandler(id={self.object_id}, period={self.cycle_time_ms} ms, "
+            f"active={self.active}, activations={self.activation_count})"
+        )
+
+
+class CyclicHandlerManager:
+    """Implements the cyclic-handler service calls."""
+
+    def __init__(self, kernel: "TKernelOS", max_handlers: int = 64):
+        self.kernel = kernel
+        self.table: ObjectTable[CyclicHandler] = ObjectTable(max_handlers)
+
+    def all_handlers(self) -> List[CyclicHandler]:
+        """All live cyclic handlers ordered by identifier."""
+        return self.table.all()
+
+    # ------------------------------------------------------------------
+    # Service calls
+    # ------------------------------------------------------------------
+    def tk_cre_cyc(self, handler_fn: HandlerFunction, cyctim: int,
+                   cycphs: int = 0, name: str = "", cycatr: int = 0, exinf=None):
+        """Create a cyclic handler; returns its id or an error code."""
+        yield from self.kernel._svc_enter("tk_cre_cyc")
+        try:
+            if cyctim <= 0 or cycphs < 0:
+                return E_PAR
+            result = self.table.add(
+                lambda oid: CyclicHandler(
+                    oid, name or f"cyc{oid}", cycatr, handler_fn, cyctim, cycphs, exinf
+                )
+            )
+            if isinstance(result, int):
+                return result
+            cyc = result
+            cyc.thread = self.kernel.api.create_thread(
+                cyc.name,
+                self._body_factory(cyc),
+                priority=0,
+                kind=ThreadKind.CYCLIC_HANDLER,
+            )
+            if cyc.active:
+                self._schedule_next(cyc, initial=True)
+            return cyc.object_id
+        finally:
+            self.kernel._svc_exit()
+
+    def _body_factory(self, cyc: CyclicHandler):
+        def factory():
+            yield from cyc.handler_fn(cyc.exinf)
+
+        return factory
+
+    def _schedule_next(self, cyc: CyclicHandler, initial: bool = False) -> None:
+        delay_ms = cyc.phase_ms if initial and cyc.phase_ms else cyc.cycle_time_ms
+        now = self.kernel.simulator.now
+        cyc.timer_handle = self.kernel.time.after_ms(
+            now, delay_ms, lambda: self._activate(cyc), label=f"cyc{cyc.object_id}"
+        )
+
+    def _activate(self, cyc: CyclicHandler) -> None:
+        if cyc.object_id not in self.table or not cyc.active:
+            return
+        cyc.activation_count += 1
+        assert cyc.thread is not None
+        self.kernel.api.activate_handler(cyc.thread)
+        self._schedule_next(cyc)
+
+    def tk_sta_cyc(self, cycid: int):
+        """Start (activate) a cyclic handler."""
+        yield from self.kernel._svc_enter("tk_sta_cyc")
+        try:
+            cyc = self.table.require(cycid)
+            if isinstance(cyc, int):
+                return cyc
+            if not cyc.active:
+                cyc.active = True
+                self._schedule_next(cyc, initial=True)
+            return E_OK
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_stp_cyc(self, cycid: int):
+        """Stop a cyclic handler."""
+        yield from self.kernel._svc_enter("tk_stp_cyc")
+        try:
+            cyc = self.table.require(cycid)
+            if isinstance(cyc, int):
+                return cyc
+            cyc.active = False
+            self.kernel.time.cancel(cyc.timer_handle)
+            return E_OK
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_del_cyc(self, cycid: int):
+        """Delete a cyclic handler."""
+        yield from self.kernel._svc_enter("tk_del_cyc")
+        try:
+            cyc = self.table.require(cycid)
+            if isinstance(cyc, int):
+                return cyc
+            cyc.active = False
+            self.kernel.time.cancel(cyc.timer_handle)
+            if cyc.thread is not None:
+                self.kernel.api.remove_thread(cyc.thread)
+            self.table.delete(cycid)
+            return E_OK
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_ref_cyc(self, cycid: int):
+        """Reference a cyclic handler's state."""
+        yield from self.kernel._svc_enter("tk_ref_cyc")
+        try:
+            cyc = self.table.require(cycid)
+            if isinstance(cyc, int):
+                return cyc
+            next_due = None
+            if cyc.timer_handle is not None and not cyc.timer_handle.fired \
+                    and not cyc.timer_handle.cancelled:
+                next_due = (cyc.timer_handle.due - self.kernel.simulator.now).to_ms()
+            return {
+                "cycid": cyc.object_id,
+                "name": cyc.name,
+                "exinf": cyc.exinf,
+                "cycstat": int(cyc.active),
+                "cyctim": cyc.cycle_time_ms,
+                "lfttim": next_due,
+                "activations": cyc.activation_count,
+            }
+        finally:
+            self.kernel._svc_exit()

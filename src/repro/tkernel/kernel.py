@@ -1,0 +1,700 @@
+"""The RTK-Spec TRON central module: T-Kernel/OS on top of SIM_API.
+
+Fig. 3 of the paper: *"the kernel simulation model consists of a central
+module having three SC_THREADs: Thread Dispatch, Interrupt Dispatch and Boot
+Modules sensitive to system tick, external interrupts, and reset signals
+respectively."*  :class:`TKernelOS` is that central module.
+
+* **Boot** waits for the hardware reset (or starts immediately when no reset
+  signal is wired), consumes the annotated kernel start-up cost, initializes
+  the kernel internal state and starts the *initial task*, which calls the
+  user ``main`` entry to create and start the application tasks, handlers and
+  resources.
+* **Thread Dispatch** wakes on every system tick (the BFM's real-time clock,
+  or an internal 1 ms timer when running stand-alone), runs the timer handler
+  — advancing system time, expiring timeouts, activating cyclic and alarm
+  handlers — and then applies any pending dispatch decision.
+* **Interrupt Dispatch** wakes on the interrupt controller's request line,
+  identifies the pending interrupt number and notifies the dedicated ISR
+  T-THREAD through the SIM_API library.
+
+Service calls are exposed both through the per-object managers
+(``kernel.tasks``, ``kernel.semaphores``, ...) and as flat ``kernel.tk_*``
+delegations matching the T-Kernel names.  All of them are generators: call
+them with ``yield from`` inside a task or handler body.  Outside any T-THREAD
+(tests, boot code) use :meth:`TKernelOS.call_immediate` for non-blocking
+calls.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.core.events import ExecutionContext, ThreadKind
+from repro.core.scheduler import PriorityScheduler
+from repro.core.simapi import SimApi
+from repro.sysc.kernel import Simulator
+from repro.sysc.module import SCModule
+from repro.sysc.process import Wait, WaitEvent
+from repro.sysc.signal import Signal
+from repro.sysc.time import SimTime
+from repro.tkernel.alarm import AlarmHandlerManager
+from repro.tkernel.cyclic import CyclicHandlerManager
+from repro.tkernel.errors import E_CTX, E_OK, E_RLWAI, E_TMOUT, KernelPanic
+from repro.tkernel.eventflag import EventFlagManager
+from repro.tkernel.interrupt import InterruptManager
+from repro.tkernel.mailbox import MailboxManager
+from repro.tkernel.mempool import MemoryPoolManager
+from repro.tkernel.msgbuf import MessageBufferManager
+from repro.tkernel.mutex import MutexManager
+from repro.tkernel.objects import WaitEntry, WaitQueue
+from repro.tkernel.semaphore import SemaphoreManager
+from repro.tkernel.task import TaskControlBlock, TaskManager
+from repro.tkernel.timemgmt import TimeManager
+from repro.tkernel.types import TMO_FEVR, TTS_DMT, TTS_SUS, TTS_WAI
+
+#: Signature of the user main entry run by the initial task.
+UserMain = Callable[["TKernelOS"], Generator[object, object, None]]
+
+
+class TKernelOS(SCModule):
+    """The T-Kernel/OS simulation model (RTK-Spec TRON)."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        user_main: Optional[UserMain] = None,
+        api: Optional[SimApi] = None,
+        system_tick: "SimTime | int" = SimTime.ms(1),
+        tick_signal: Optional[Signal] = None,
+        reset_signal: Optional[Signal] = None,
+        name: str = "tkernel",
+        charge_service_costs: bool = True,
+        initial_task_priority: int = 1,
+    ):
+        super().__init__(name, simulator)
+        self.system_tick = SimTime.coerce(system_tick)
+        self.api = api if api is not None else SimApi(
+            simulator, scheduler=PriorityScheduler(), system_tick=self.system_tick
+        )
+        self.time = TimeManager(self.system_tick)
+        self.user_main = user_main
+        self.charge_service_costs = charge_service_costs
+        self.initial_task_priority = initial_task_priority
+
+        # Object managers.
+        self.tasks = TaskManager(self)
+        self.semaphores = SemaphoreManager(self)
+        self.eventflags = EventFlagManager(self)
+        self.mutexes = MutexManager(self)
+        self.mailboxes = MailboxManager(self)
+        self.message_buffers = MessageBufferManager(self)
+        self.memory_pools = MemoryPoolManager(self)
+        self.cyclics = CyclicHandlerManager(self)
+        self.alarms = AlarmHandlerManager(self)
+        self.interrupts = InterruptManager(self)
+
+        # External wiring.
+        self.tick_signal = tick_signal
+        self.reset_signal = reset_signal
+        self._intc = None
+        self._intc_attached_event = self.create_event("intc_attached")
+
+        # Kernel state & statistics.
+        self.booted = False
+        self.boot_time: Optional[SimTime] = None
+        self.initial_task_id: Optional[int] = None
+        self.service_call_counts: Dict[str, int] = {}
+        self.tick_handler_runs = 0
+
+        # The three SC_THREADs of the central module (Fig. 3).
+        self.sc_thread("boot", self._boot_process)
+        self.sc_thread("thread_dispatch", self._thread_dispatch_process)
+        self.sc_thread("interrupt_dispatch", self._interrupt_dispatch_process)
+
+    # ------------------------------------------------------------------
+    # External wiring
+    # ------------------------------------------------------------------
+    def attach_interrupt_controller(self, intc) -> None:
+        """Attach an interrupt controller exposing ``irq_event``/``acknowledge()``."""
+        self._intc = intc
+        self._intc_attached_event.notify()
+
+    def raise_interrupt(self, intno: int) -> bool:
+        """Raise external interrupt *intno* directly (bypassing any INTC)."""
+        return self.interrupts.dispatch(intno)
+
+    # ------------------------------------------------------------------
+    # The central-module processes
+    # ------------------------------------------------------------------
+    def _boot_process(self):
+        """Kernel start-up sequence upon receiving the hardware reset."""
+        if self.reset_signal is not None and not self.reset_signal.read():
+            yield WaitEvent(self.reset_signal.posedge_event)
+        boot_annotation = self.api.annotations.lookup("svc:boot")
+        yield Wait(self.api.timing_model.time_of(boot_annotation.cycles))
+        self._initialize_kernel()
+
+    def _initialize_kernel(self) -> None:
+        self.booted = True
+        self.boot_time = self.simulator.now
+        if self.user_main is None:
+            return
+        tskid = self.call_immediate(
+            self.tasks.tk_cre_tsk(
+                self._initial_task_body,
+                itskpri=self.initial_task_priority,
+                name="init_task",
+            )
+        )
+        if tskid < 0:
+            raise KernelPanic(f"failed to create the initial task: {tskid}")
+        self.initial_task_id = tskid
+        self.call_immediate(self.tasks.tk_sta_tsk(tskid))
+
+    def _initial_task_body(self, stacd, exinf):
+        """Body of the initial task: run the user main entry, then exit."""
+        assert self.user_main is not None
+        yield from self.user_main(self)
+
+    def _thread_dispatch_process(self):
+        """Tick handler: sensitive to the system tick (RTC or internal)."""
+        while True:
+            if self.tick_signal is not None:
+                yield WaitEvent(self.tick_signal.posedge_event)
+            else:
+                yield Wait(self.system_tick)
+            self._timer_handler()
+
+    def _timer_handler(self) -> None:
+        """The paper's timer handler: system clock, timer queue, dispatch."""
+        if not self.booted:
+            return
+        self.tick_handler_runs += 1
+        self.time.advance_tick()
+        self.time.process_due(self.simulator.now)
+        # "...then calls simulation library APIs to start running a
+        # task/handler or preempt the running task if a task of higher
+        # priority is ready to run."
+        self.api.request_dispatch()
+
+    def _interrupt_dispatch_process(self):
+        """Identify and respond to external interrupts (Fig. 3)."""
+        while True:
+            if self._intc is None:
+                yield WaitEvent(self._intc_attached_event)
+                continue
+            yield WaitEvent(self._intc.irq_event)
+            while True:
+                intno = self._intc.acknowledge()
+                if intno is None:
+                    break
+                self.interrupts.dispatch(intno)
+
+    # ------------------------------------------------------------------
+    # Service-call plumbing shared by every manager
+    # ------------------------------------------------------------------
+    def _in_thread_context(self) -> bool:
+        """Whether the invoking code runs inside the T-THREAD holding the CPU."""
+        running = self.api.running
+        process = self.simulator.running_process
+        return (
+            running is not None
+            and process is not None
+            and process.name == f"tthread.{running.name}"
+        )
+
+    def in_task_independent_context(self) -> bool:
+        """Whether execution is currently in a handler / interrupt context."""
+        if self.api.stack.in_interrupt():
+            return True
+        running = self.api.running
+        return running is not None and running.is_handler
+
+    def _svc_enter(self, name: str):
+        """Enter a service call: atomicity plus the annotated call cost."""
+        self.service_call_counts[name] = self.service_call_counts.get(name, 0) + 1
+        if self._in_thread_context():
+            self.api.dispatch_disable()
+            if self.charge_service_costs:
+                yield from self.api.sim_wait_key(
+                    f"svc:{name}", context=ExecutionContext.SERVICE_CALL
+                )
+        return None
+
+    def _svc_exit(self) -> None:
+        """Leave a service call: re-enable dispatching if we disabled it."""
+        if self._in_thread_context() and not self.api.dispatch_enabled:
+            self.api.dispatch_enable()
+
+    def call_immediate(self, service_generator):
+        """Run a non-blocking service call from outside any T-THREAD.
+
+        Useful for boot code and tests.  Raises :class:`KernelPanic` if the
+        call tries to consume simulated time or block.
+        """
+        try:
+            next(service_generator)
+        except StopIteration as stop:
+            return stop.value
+        raise KernelPanic(
+            "call_immediate used with a service call that waits; "
+            "call it from a task body with 'yield from' instead"
+        )
+
+    # ------------------------------------------------------------------
+    # Generic wait / release protocol
+    # ------------------------------------------------------------------
+    def _wait_here(
+        self,
+        tcb: TaskControlBlock,
+        factor: int,
+        object_id: int,
+        tmout: int = TMO_FEVR,
+        queue: Optional[WaitQueue] = None,
+        data: Optional[Dict[str, Any]] = None,
+        timeout_code: int = E_TMOUT,
+    ):
+        """Block the invoking task until released, timed out or forcibly freed.
+
+        Returns the release code (``E_OK``, ``E_TMOUT``, ``E_RLWAI``,
+        ``E_DLT`` ...).  The release payload, if any, is left in
+        ``tcb.last_wait_result``.
+        """
+        if self.in_task_independent_context():
+            return E_CTX
+        entry = WaitEntry(tcb, factor, object_id, data=dict(data or {}), queue=queue)
+        tcb.wait_entry = entry
+        tcb.wait_factor = factor
+        tcb.wait_object_id = object_id
+        tcb.last_wait_result = None
+        tcb.state |= TTS_WAI
+        if queue is not None:
+            queue.enqueue(entry)
+        if tmout is not None and tmout >= 0:
+            entry.timeout_handle = self.time.after_ms(
+                self.simulator.now,
+                tmout,
+                lambda: self._release_wait(entry, timeout_code),
+                label=f"timeout:{tcb.name}",
+            )
+        yield from self.api.block_current()
+        code = entry.release_code if entry.release_code is not None else E_OK
+        tcb.last_wait_result = entry.result
+        return code
+
+    def _release_wait(self, entry: Optional[WaitEntry], code: int, result: Any = None) -> None:
+        """Release a waiting task with *code* (idempotent)."""
+        if entry is None or entry.release_code is not None:
+            return
+        entry.release_code = code
+        entry.result = result
+        if entry.queue is not None:
+            entry.queue.remove(entry)
+        self.time.cancel(entry.timeout_handle)
+        tcb = entry.tcb
+        tcb.wait_entry = None
+        tcb.wait_factor = 0
+        tcb.wait_object_id = 0
+        tcb.last_wait_result = result
+        tcb.state &= ~TTS_WAI
+        if tcb.state & TTS_SUS or tcb.state & TTS_DMT:
+            # Stays suspended (or was terminated while waiting): do not ready it.
+            return
+        assert tcb.thread is not None
+        self.api.make_ready(tcb.thread)
+        self.api.request_dispatch()
+
+    def _release_all_waiters(self, queue: WaitQueue, code: int = None) -> None:
+        """Release every waiter of *queue* (object deletion → E_DLT)."""
+        from repro.tkernel.errors import E_DLT
+
+        release_code = E_DLT if code is None else code
+        for entry in queue.entries():
+            self._release_wait(entry, release_code)
+
+    # ------------------------------------------------------------------
+    # Task lifecycle hooks used by the task manager
+    # ------------------------------------------------------------------
+    def _on_task_body_finished(self, tcb: TaskControlBlock) -> None:
+        """Clean up after a task body returned, exited or was terminated."""
+        self.mutexes.release_all_owned_by(tcb)
+        if tcb.wait_entry is not None:
+            entry = tcb.wait_entry
+            entry.release_code = E_RLWAI
+            if entry.queue is not None:
+                entry.queue.remove(entry)
+            self.time.cancel(entry.timeout_handle)
+            tcb.wait_entry = None
+        tcb.state = TTS_DMT
+        tcb.wait_factor = 0
+        tcb.wait_object_id = 0
+        tcb.wupcnt = 0
+        tcb.suscnt = 0
+        tcb.priority = tcb.base_priority = tcb.itskpri
+        if tcb.thread is not None:
+            tcb.thread.priority = tcb.itskpri
+
+    def _force_terminate(self, tcb: TaskControlBlock) -> None:
+        """Forcibly terminate *tcb* (tk_ter_tsk)."""
+        assert tcb.thread is not None
+        self.api.make_unready(tcb.thread)
+        tcb.thread.force_terminate()
+        tcb.state = TTS_DMT
+
+    def _set_task_priority(self, tcb: TaskControlBlock, priority: int,
+                           base_change: bool = True) -> None:
+        """Change a task's (current) priority and reorder queues accordingly."""
+        assert tcb.thread is not None
+        tcb.priority = priority
+        if base_change:
+            tcb.base_priority = priority
+        scheduler = self.api.scheduler
+        in_ready_pool = tcb.thread in scheduler.ready_threads()
+        if in_ready_pool:
+            scheduler.remove(tcb.thread)
+        tcb.thread.priority = priority
+        if in_ready_pool:
+            scheduler.add_ready(tcb.thread)
+        if tcb.wait_entry is not None and tcb.wait_entry.queue is not None:
+            tcb.wait_entry.queue.reorder_for_priority_change()
+        self.api.request_dispatch()
+        if self.api.running is tcb.thread:
+            # The running task may have lowered itself below a ready task.
+            candidate = scheduler.select_next()
+            if candidate is not None and scheduler.should_preempt(tcb.thread, candidate):
+                self.api.preempt_current()
+
+    # ------------------------------------------------------------------
+    # System time & system reference services
+    # ------------------------------------------------------------------
+    def tk_set_tim(self, time_ms: int):
+        """Set the calendar system time."""
+        yield from self._svc_enter("tk_set_tim")
+        try:
+            if time_ms < 0:
+                from repro.tkernel.errors import E_PAR
+
+                return E_PAR
+            self.time.set_system_time(time_ms)
+            return E_OK
+        finally:
+            self._svc_exit()
+
+    def tk_get_tim(self):
+        """Get the calendar system time in milliseconds."""
+        yield from self._svc_enter("tk_get_tim")
+        try:
+            return self.time.get_system_time()
+        finally:
+            self._svc_exit()
+
+    def tk_get_otm(self):
+        """Get the operation time (milliseconds since boot)."""
+        yield from self._svc_enter("tk_get_otm")
+        try:
+            return self.time.get_operation_time()
+        finally:
+            self._svc_exit()
+
+    def tk_ref_sys(self):
+        """Reference overall system state."""
+        yield from self._svc_enter("tk_ref_sys")
+        try:
+            running_tcb = self.tasks.current_tcb()
+            return {
+                "sysstat": "in_interrupt" if self.in_task_independent_context() else "task",
+                "runtskid": running_tcb.tskid if running_tcb else 0,
+                "schedtskid": running_tcb.tskid if running_tcb else 0,
+                "booted": self.booted,
+                "tick_ms": self.system_tick.to_ms(),
+                "task_count": len(self.tasks.all_tasks()),
+                "semaphore_count": len(self.semaphores.all_semaphores()),
+                "flag_count": len(self.eventflags.all_flags()),
+                "mailbox_count": len(self.mailboxes.all_mailboxes()),
+                "systime_ms": self.time.get_system_time(),
+            }
+        finally:
+            self._svc_exit()
+
+    # ------------------------------------------------------------------
+    # Flat tk_* delegations (the T-Kernel API surface, Table 1 style)
+    # ------------------------------------------------------------------
+    # Task management.
+    def tk_cre_tsk(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.task.TaskManager.tk_cre_tsk`."""
+        return self.tasks.tk_cre_tsk(*args, **kwargs)
+
+    def tk_del_tsk(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.task.TaskManager.tk_del_tsk`."""
+        return self.tasks.tk_del_tsk(*args, **kwargs)
+
+    def tk_sta_tsk(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.task.TaskManager.tk_sta_tsk`."""
+        return self.tasks.tk_sta_tsk(*args, **kwargs)
+
+    def tk_ext_tsk(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.task.TaskManager.tk_ext_tsk`."""
+        return self.tasks.tk_ext_tsk(*args, **kwargs)
+
+    def tk_exd_tsk(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.task.TaskManager.tk_exd_tsk`."""
+        return self.tasks.tk_exd_tsk(*args, **kwargs)
+
+    def tk_ter_tsk(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.task.TaskManager.tk_ter_tsk`."""
+        return self.tasks.tk_ter_tsk(*args, **kwargs)
+
+    def tk_slp_tsk(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.task.TaskManager.tk_slp_tsk`."""
+        return self.tasks.tk_slp_tsk(*args, **kwargs)
+
+    def tk_wup_tsk(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.task.TaskManager.tk_wup_tsk`."""
+        return self.tasks.tk_wup_tsk(*args, **kwargs)
+
+    def tk_can_wup(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.task.TaskManager.tk_can_wup`."""
+        return self.tasks.tk_can_wup(*args, **kwargs)
+
+    def tk_dly_tsk(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.task.TaskManager.tk_dly_tsk`."""
+        return self.tasks.tk_dly_tsk(*args, **kwargs)
+
+    def tk_rel_wai(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.task.TaskManager.tk_rel_wai`."""
+        return self.tasks.tk_rel_wai(*args, **kwargs)
+
+    def tk_sus_tsk(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.task.TaskManager.tk_sus_tsk`."""
+        return self.tasks.tk_sus_tsk(*args, **kwargs)
+
+    def tk_rsm_tsk(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.task.TaskManager.tk_rsm_tsk`."""
+        return self.tasks.tk_rsm_tsk(*args, **kwargs)
+
+    def tk_frsm_tsk(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.task.TaskManager.tk_frsm_tsk`."""
+        return self.tasks.tk_frsm_tsk(*args, **kwargs)
+
+    def tk_chg_pri(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.task.TaskManager.tk_chg_pri`."""
+        return self.tasks.tk_chg_pri(*args, **kwargs)
+
+    def tk_get_tid(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.task.TaskManager.tk_get_tid`."""
+        return self.tasks.tk_get_tid(*args, **kwargs)
+
+    def tk_ref_tsk(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.task.TaskManager.tk_ref_tsk`."""
+        return self.tasks.tk_ref_tsk(*args, **kwargs)
+
+    # Semaphores.
+    def tk_cre_sem(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.semaphore.SemaphoreManager.tk_cre_sem`."""
+        return self.semaphores.tk_cre_sem(*args, **kwargs)
+
+    def tk_del_sem(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.semaphore.SemaphoreManager.tk_del_sem`."""
+        return self.semaphores.tk_del_sem(*args, **kwargs)
+
+    def tk_sig_sem(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.semaphore.SemaphoreManager.tk_sig_sem`."""
+        return self.semaphores.tk_sig_sem(*args, **kwargs)
+
+    def tk_wai_sem(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.semaphore.SemaphoreManager.tk_wai_sem`."""
+        return self.semaphores.tk_wai_sem(*args, **kwargs)
+
+    def tk_ref_sem(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.semaphore.SemaphoreManager.tk_ref_sem`."""
+        return self.semaphores.tk_ref_sem(*args, **kwargs)
+
+    # Event flags.
+    def tk_cre_flg(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.eventflag.EventFlagManager.tk_cre_flg`."""
+        return self.eventflags.tk_cre_flg(*args, **kwargs)
+
+    def tk_del_flg(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.eventflag.EventFlagManager.tk_del_flg`."""
+        return self.eventflags.tk_del_flg(*args, **kwargs)
+
+    def tk_set_flg(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.eventflag.EventFlagManager.tk_set_flg`."""
+        return self.eventflags.tk_set_flg(*args, **kwargs)
+
+    def tk_clr_flg(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.eventflag.EventFlagManager.tk_clr_flg`."""
+        return self.eventflags.tk_clr_flg(*args, **kwargs)
+
+    def tk_wai_flg(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.eventflag.EventFlagManager.tk_wai_flg`."""
+        return self.eventflags.tk_wai_flg(*args, **kwargs)
+
+    def tk_ref_flg(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.eventflag.EventFlagManager.tk_ref_flg`."""
+        return self.eventflags.tk_ref_flg(*args, **kwargs)
+
+    # Mutexes.
+    def tk_cre_mtx(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.mutex.MutexManager.tk_cre_mtx`."""
+        return self.mutexes.tk_cre_mtx(*args, **kwargs)
+
+    def tk_del_mtx(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.mutex.MutexManager.tk_del_mtx`."""
+        return self.mutexes.tk_del_mtx(*args, **kwargs)
+
+    def tk_loc_mtx(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.mutex.MutexManager.tk_loc_mtx`."""
+        return self.mutexes.tk_loc_mtx(*args, **kwargs)
+
+    def tk_unl_mtx(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.mutex.MutexManager.tk_unl_mtx`."""
+        return self.mutexes.tk_unl_mtx(*args, **kwargs)
+
+    def tk_ref_mtx(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.mutex.MutexManager.tk_ref_mtx`."""
+        return self.mutexes.tk_ref_mtx(*args, **kwargs)
+
+    # Mailboxes.
+    def tk_cre_mbx(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.mailbox.MailboxManager.tk_cre_mbx`."""
+        return self.mailboxes.tk_cre_mbx(*args, **kwargs)
+
+    def tk_del_mbx(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.mailbox.MailboxManager.tk_del_mbx`."""
+        return self.mailboxes.tk_del_mbx(*args, **kwargs)
+
+    def tk_snd_mbx(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.mailbox.MailboxManager.tk_snd_mbx`."""
+        return self.mailboxes.tk_snd_mbx(*args, **kwargs)
+
+    def tk_rcv_mbx(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.mailbox.MailboxManager.tk_rcv_mbx`."""
+        return self.mailboxes.tk_rcv_mbx(*args, **kwargs)
+
+    def tk_ref_mbx(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.mailbox.MailboxManager.tk_ref_mbx`."""
+        return self.mailboxes.tk_ref_mbx(*args, **kwargs)
+
+    # Message buffers.
+    def tk_cre_mbf(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.msgbuf.MessageBufferManager.tk_cre_mbf`."""
+        return self.message_buffers.tk_cre_mbf(*args, **kwargs)
+
+    def tk_del_mbf(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.msgbuf.MessageBufferManager.tk_del_mbf`."""
+        return self.message_buffers.tk_del_mbf(*args, **kwargs)
+
+    def tk_snd_mbf(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.msgbuf.MessageBufferManager.tk_snd_mbf`."""
+        return self.message_buffers.tk_snd_mbf(*args, **kwargs)
+
+    def tk_rcv_mbf(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.msgbuf.MessageBufferManager.tk_rcv_mbf`."""
+        return self.message_buffers.tk_rcv_mbf(*args, **kwargs)
+
+    def tk_ref_mbf(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.msgbuf.MessageBufferManager.tk_ref_mbf`."""
+        return self.message_buffers.tk_ref_mbf(*args, **kwargs)
+
+    # Memory pools.
+    def tk_cre_mpf(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.mempool.MemoryPoolManager.tk_cre_mpf`."""
+        return self.memory_pools.tk_cre_mpf(*args, **kwargs)
+
+    def tk_del_mpf(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.mempool.MemoryPoolManager.tk_del_mpf`."""
+        return self.memory_pools.tk_del_mpf(*args, **kwargs)
+
+    def tk_get_mpf(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.mempool.MemoryPoolManager.tk_get_mpf`."""
+        return self.memory_pools.tk_get_mpf(*args, **kwargs)
+
+    def tk_rel_mpf(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.mempool.MemoryPoolManager.tk_rel_mpf`."""
+        return self.memory_pools.tk_rel_mpf(*args, **kwargs)
+
+    def tk_ref_mpf(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.mempool.MemoryPoolManager.tk_ref_mpf`."""
+        return self.memory_pools.tk_ref_mpf(*args, **kwargs)
+
+    def tk_cre_mpl(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.mempool.MemoryPoolManager.tk_cre_mpl`."""
+        return self.memory_pools.tk_cre_mpl(*args, **kwargs)
+
+    def tk_del_mpl(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.mempool.MemoryPoolManager.tk_del_mpl`."""
+        return self.memory_pools.tk_del_mpl(*args, **kwargs)
+
+    def tk_get_mpl(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.mempool.MemoryPoolManager.tk_get_mpl`."""
+        return self.memory_pools.tk_get_mpl(*args, **kwargs)
+
+    def tk_rel_mpl(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.mempool.MemoryPoolManager.tk_rel_mpl`."""
+        return self.memory_pools.tk_rel_mpl(*args, **kwargs)
+
+    def tk_ref_mpl(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.mempool.MemoryPoolManager.tk_ref_mpl`."""
+        return self.memory_pools.tk_ref_mpl(*args, **kwargs)
+
+    # Time-event handlers.
+    def tk_cre_cyc(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.cyclic.CyclicHandlerManager.tk_cre_cyc`."""
+        return self.cyclics.tk_cre_cyc(*args, **kwargs)
+
+    def tk_del_cyc(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.cyclic.CyclicHandlerManager.tk_del_cyc`."""
+        return self.cyclics.tk_del_cyc(*args, **kwargs)
+
+    def tk_sta_cyc(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.cyclic.CyclicHandlerManager.tk_sta_cyc`."""
+        return self.cyclics.tk_sta_cyc(*args, **kwargs)
+
+    def tk_stp_cyc(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.cyclic.CyclicHandlerManager.tk_stp_cyc`."""
+        return self.cyclics.tk_stp_cyc(*args, **kwargs)
+
+    def tk_ref_cyc(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.cyclic.CyclicHandlerManager.tk_ref_cyc`."""
+        return self.cyclics.tk_ref_cyc(*args, **kwargs)
+
+    def tk_cre_alm(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.alarm.AlarmHandlerManager.tk_cre_alm`."""
+        return self.alarms.tk_cre_alm(*args, **kwargs)
+
+    def tk_del_alm(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.alarm.AlarmHandlerManager.tk_del_alm`."""
+        return self.alarms.tk_del_alm(*args, **kwargs)
+
+    def tk_sta_alm(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.alarm.AlarmHandlerManager.tk_sta_alm`."""
+        return self.alarms.tk_sta_alm(*args, **kwargs)
+
+    def tk_stp_alm(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.alarm.AlarmHandlerManager.tk_stp_alm`."""
+        return self.alarms.tk_stp_alm(*args, **kwargs)
+
+    def tk_ref_alm(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.alarm.AlarmHandlerManager.tk_ref_alm`."""
+        return self.alarms.tk_ref_alm(*args, **kwargs)
+
+    # Interrupt management.
+    def tk_def_int(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.interrupt.InterruptManager.tk_def_int`."""
+        return self.interrupts.tk_def_int(*args, **kwargs)
+
+    def tk_ena_int(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.interrupt.InterruptManager.tk_ena_int`."""
+        return self.interrupts.tk_ena_int(*args, **kwargs)
+
+    def tk_dis_int(self, *args, **kwargs):
+        """See :meth:`repro.tkernel.interrupt.InterruptManager.tk_dis_int`."""
+        return self.interrupts.tk_dis_int(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"TKernelOS(name={self.name!r}, booted={self.booted}, "
+            f"tasks={len(self.tasks.all_tasks())}, tick={self.system_tick.format()})"
+        )

@@ -1,0 +1,171 @@
+"""Mailboxes (tk_cre_mbx, tk_snd_mbx, tk_rcv_mbx, ...).
+
+A mailbox passes *message objects* by reference.  Messages may carry a
+priority; with the ``TA_MPRI`` attribute the message queue is ordered by that
+priority (lower value first), otherwise FIFO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, TYPE_CHECKING
+
+from repro.tkernel.errors import E_CTX, E_OK, E_PAR, E_TMOUT
+from repro.tkernel.objects import KernelObject, ObjectTable, WaitQueue
+from repro.tkernel.types import TA_MPRI, TMO_FEVR, TMO_POL, TTW_MBX
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tkernel.kernel import TKernelOS
+
+
+@dataclass
+class Message:
+    """One mailbox message (payload passed by reference, as in T-Kernel)."""
+
+    payload: Any
+    priority: int = 0
+
+
+class Mailbox(KernelObject):
+    """A mailbox holding an unbounded queue of messages."""
+
+    object_type = "mailbox"
+
+    def __init__(self, object_id: int, name: str, attributes: int, exinf=None):
+        super().__init__(object_id, name, attributes, exinf)
+        self.messages: List[Message] = []
+        self.wait_queue = WaitQueue(attributes)
+        self.sent_count = 0
+        self.received_count = 0
+
+    @property
+    def priority_ordered(self) -> bool:
+        """Whether messages are ordered by message priority (TA_MPRI)."""
+        return bool(self.attributes & TA_MPRI)
+
+    def push(self, message: Message) -> None:
+        """Insert a message according to the ordering attribute."""
+        if not self.priority_ordered:
+            self.messages.append(message)
+            return
+        for index, existing in enumerate(self.messages):
+            if existing.priority > message.priority:
+                self.messages.insert(index, message)
+                return
+        self.messages.append(message)
+
+    def __repr__(self) -> str:
+        return (
+            f"Mailbox(id={self.object_id}, messages={len(self.messages)}, "
+            f"waiting={len(self.wait_queue)})"
+        )
+
+
+class MailboxManager:
+    """Implements the mailbox service calls."""
+
+    def __init__(self, kernel: "TKernelOS", max_mailboxes: int = 256):
+        self.kernel = kernel
+        self.table: ObjectTable[Mailbox] = ObjectTable(max_mailboxes)
+
+    def all_mailboxes(self) -> List[Mailbox]:
+        """All live mailboxes ordered by identifier."""
+        return self.table.all()
+
+    # ------------------------------------------------------------------
+    # Service calls
+    # ------------------------------------------------------------------
+    def tk_cre_mbx(self, name: str = "", mbxatr: int = 0, exinf=None):
+        """Create a mailbox; returns its id or an error code."""
+        yield from self.kernel._svc_enter("tk_cre_mbx")
+        try:
+            result = self.table.add(
+                lambda oid: Mailbox(oid, name or f"mbx{oid}", mbxatr, exinf)
+            )
+            if isinstance(result, int):
+                return result
+            return result.object_id
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_del_mbx(self, mbxid: int):
+        """Delete a mailbox; waiting tasks are released with E_DLT."""
+        yield from self.kernel._svc_enter("tk_del_mbx")
+        try:
+            mailbox = self.table.require(mbxid)
+            if isinstance(mailbox, int):
+                return mailbox
+            self.kernel._release_all_waiters(mailbox.wait_queue)
+            self.table.delete(mbxid)
+            return E_OK
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_snd_mbx(self, mbxid: int, payload: Any, msgpri: int = 0):
+        """Send a message (never blocks)."""
+        yield from self.kernel._svc_enter("tk_snd_mbx")
+        try:
+            mailbox = self.table.require(mbxid)
+            if isinstance(mailbox, int):
+                return mailbox
+            if msgpri < 0:
+                return E_PAR
+            message = Message(payload, msgpri)
+            mailbox.sent_count += 1
+            waiter = mailbox.wait_queue.pop()
+            if waiter is not None:
+                mailbox.received_count += 1
+                self.kernel._release_wait(waiter, E_OK, result=message.payload)
+                return E_OK
+            mailbox.push(message)
+            return E_OK
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_rcv_mbx(self, mbxid: int, tmout: int = TMO_FEVR):
+        """Receive a message; returns ``(E_OK, payload)`` or ``(error, None)``."""
+        yield from self.kernel._svc_enter("tk_rcv_mbx")
+        try:
+            mailbox = self.table.require(mbxid)
+            if isinstance(mailbox, int):
+                return mailbox, None
+            if mailbox.messages:
+                message = mailbox.messages.pop(0)
+                mailbox.received_count += 1
+                return E_OK, message.payload
+            if tmout == TMO_POL:
+                return E_TMOUT, None
+            tcb = self.kernel.tasks.current_tcb()
+            if tcb is None:
+                return E_CTX, None
+            ercd = yield from self.kernel._wait_here(
+                tcb,
+                factor=TTW_MBX,
+                object_id=mbxid,
+                tmout=tmout,
+                queue=mailbox.wait_queue,
+            )
+            if ercd != E_OK:
+                return ercd, None
+            return E_OK, tcb.last_wait_result
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_ref_mbx(self, mbxid: int):
+        """Reference a mailbox's state."""
+        yield from self.kernel._svc_enter("tk_ref_mbx")
+        try:
+            mailbox = self.table.require(mbxid)
+            if isinstance(mailbox, int):
+                return mailbox
+            return {
+                "mbxid": mailbox.object_id,
+                "name": mailbox.name,
+                "exinf": mailbox.exinf,
+                "msgcnt": len(mailbox.messages),
+                "wtsk": mailbox.wait_queue.waiting_task_ids(),
+                "sent": mailbox.sent_count,
+                "received": mailbox.received_count,
+            }
+        finally:
+            self.kernel._svc_exit()

@@ -1,0 +1,315 @@
+"""Fixed-size (MPF) and variable-size (MPL) memory pools.
+
+The pools model allocation accounting (how many blocks / bytes are in use and
+who is waiting) rather than real addresses: ``tk_get_mpf`` returns an opaque
+block handle that must be passed back to ``tk_rel_mpf``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.tkernel.errors import E_CTX, E_OK, E_PAR, E_TMOUT
+from repro.tkernel.objects import KernelObject, ObjectTable, WaitQueue
+from repro.tkernel.types import TMO_FEVR, TMO_POL, TTW_MPF, TTW_MPL
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tkernel.kernel import TKernelOS
+
+
+@dataclass(frozen=True)
+class MemoryBlock:
+    """An opaque handle for one allocated block."""
+
+    pool_id: int
+    block_id: int
+    size: int
+
+
+class FixedMemoryPool(KernelObject):
+    """A pool of fixed-size memory blocks."""
+
+    object_type = "fixed_pool"
+
+    def __init__(self, object_id: int, name: str, attributes: int,
+                 block_count: int, block_size: int, exinf=None):
+        super().__init__(object_id, name, attributes, exinf)
+        self.block_count = block_count
+        self.block_size = block_size
+        self.allocated: Dict[int, MemoryBlock] = {}
+        self.wait_queue = WaitQueue(attributes)
+        self._ids = itertools.count(1)
+
+    def free_blocks(self) -> int:
+        """Number of blocks still available."""
+        return self.block_count - len(self.allocated)
+
+    def allocate(self) -> Optional[MemoryBlock]:
+        """Take one block, or None if the pool is exhausted."""
+        if self.free_blocks() <= 0:
+            return None
+        block = MemoryBlock(self.object_id, next(self._ids), self.block_size)
+        self.allocated[block.block_id] = block
+        return block
+
+    def release(self, block: MemoryBlock) -> bool:
+        """Return a block; False if it was not allocated from this pool."""
+        return self.allocated.pop(block.block_id, None) is not None
+
+
+class VariableMemoryPool(KernelObject):
+    """A pool of variable-size memory blocks."""
+
+    object_type = "variable_pool"
+
+    def __init__(self, object_id: int, name: str, attributes: int,
+                 pool_size: int, exinf=None):
+        super().__init__(object_id, name, attributes, exinf)
+        self.pool_size = pool_size
+        self.used_bytes = 0
+        self.allocated: Dict[int, MemoryBlock] = {}
+        self.wait_queue = WaitQueue(attributes)
+        self._ids = itertools.count(1)
+
+    def free_bytes(self) -> int:
+        """Bytes still available."""
+        return self.pool_size - self.used_bytes
+
+    def allocate(self, size: int) -> Optional[MemoryBlock]:
+        """Take *size* bytes, or None if not enough space remains."""
+        if size > self.free_bytes():
+            return None
+        block = MemoryBlock(self.object_id, next(self._ids), size)
+        self.allocated[block.block_id] = block
+        self.used_bytes += size
+        return block
+
+    def release(self, block: MemoryBlock) -> bool:
+        """Return a block; False if it was not allocated from this pool."""
+        stored = self.allocated.pop(block.block_id, None)
+        if stored is None:
+            return False
+        self.used_bytes -= stored.size
+        return True
+
+
+class MemoryPoolManager:
+    """Implements both the fixed (MPF) and variable (MPL) pool service calls."""
+
+    def __init__(self, kernel: "TKernelOS", max_pools: int = 256):
+        self.kernel = kernel
+        self.fixed_table: ObjectTable[FixedMemoryPool] = ObjectTable(max_pools)
+        self.variable_table: ObjectTable[VariableMemoryPool] = ObjectTable(max_pools)
+
+    def all_fixed_pools(self) -> List[FixedMemoryPool]:
+        """All live fixed-size pools."""
+        return self.fixed_table.all()
+
+    def all_variable_pools(self) -> List[VariableMemoryPool]:
+        """All live variable-size pools."""
+        return self.variable_table.all()
+
+    # ------------------------------------------------------------------
+    # Fixed-size pools
+    # ------------------------------------------------------------------
+    def tk_cre_mpf(self, mpfcnt: int, blfsz: int, name: str = "",
+                   mpfatr: int = 0, exinf=None):
+        """Create a fixed-size pool of *mpfcnt* blocks of *blfsz* bytes."""
+        yield from self.kernel._svc_enter("tk_cre_mpf")
+        try:
+            if mpfcnt <= 0 or blfsz <= 0:
+                return E_PAR
+            result = self.fixed_table.add(
+                lambda oid: FixedMemoryPool(oid, name or f"mpf{oid}", mpfatr, mpfcnt, blfsz, exinf)
+            )
+            if isinstance(result, int):
+                return result
+            return result.object_id
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_del_mpf(self, mpfid: int):
+        """Delete a fixed-size pool."""
+        yield from self.kernel._svc_enter("tk_del_mpf")
+        try:
+            pool = self.fixed_table.require(mpfid)
+            if isinstance(pool, int):
+                return pool
+            self.kernel._release_all_waiters(pool.wait_queue)
+            self.fixed_table.delete(mpfid)
+            return E_OK
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_get_mpf(self, mpfid: int, tmout: int = TMO_FEVR):
+        """Get a block; returns ``(E_OK, MemoryBlock)`` or ``(error, None)``."""
+        yield from self.kernel._svc_enter("tk_get_mpf")
+        try:
+            pool = self.fixed_table.require(mpfid)
+            if isinstance(pool, int):
+                return pool, None
+            if not pool.wait_queue:
+                block = pool.allocate()
+                if block is not None:
+                    return E_OK, block
+            if tmout == TMO_POL:
+                return E_TMOUT, None
+            tcb = self.kernel.tasks.current_tcb()
+            if tcb is None:
+                return E_CTX, None
+            ercd = yield from self.kernel._wait_here(
+                tcb,
+                factor=TTW_MPF,
+                object_id=mpfid,
+                tmout=tmout,
+                queue=pool.wait_queue,
+            )
+            if ercd != E_OK:
+                return ercd, None
+            return E_OK, tcb.last_wait_result
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_rel_mpf(self, mpfid: int, block: MemoryBlock):
+        """Release a block back to its pool."""
+        yield from self.kernel._svc_enter("tk_rel_mpf")
+        try:
+            pool = self.fixed_table.require(mpfid)
+            if isinstance(pool, int):
+                return pool
+            if block is None or block.pool_id != mpfid or not pool.release(block):
+                return E_PAR
+            waiter = pool.wait_queue.pop()
+            if waiter is not None:
+                new_block = pool.allocate()
+                self.kernel._release_wait(waiter, E_OK, result=new_block)
+            return E_OK
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_ref_mpf(self, mpfid: int):
+        """Reference a fixed-size pool's state."""
+        yield from self.kernel._svc_enter("tk_ref_mpf")
+        try:
+            pool = self.fixed_table.require(mpfid)
+            if isinstance(pool, int):
+                return pool
+            return {
+                "mpfid": pool.object_id,
+                "name": pool.name,
+                "exinf": pool.exinf,
+                "frbcnt": pool.free_blocks(),
+                "blfsz": pool.block_size,
+                "mpfcnt": pool.block_count,
+                "wtsk": pool.wait_queue.waiting_task_ids(),
+            }
+        finally:
+            self.kernel._svc_exit()
+
+    # ------------------------------------------------------------------
+    # Variable-size pools
+    # ------------------------------------------------------------------
+    def tk_cre_mpl(self, mplsz: int, name: str = "", mplatr: int = 0, exinf=None):
+        """Create a variable-size pool of *mplsz* bytes."""
+        yield from self.kernel._svc_enter("tk_cre_mpl")
+        try:
+            if mplsz <= 0:
+                return E_PAR
+            result = self.variable_table.add(
+                lambda oid: VariableMemoryPool(oid, name or f"mpl{oid}", mplatr, mplsz, exinf)
+            )
+            if isinstance(result, int):
+                return result
+            return result.object_id
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_del_mpl(self, mplid: int):
+        """Delete a variable-size pool."""
+        yield from self.kernel._svc_enter("tk_del_mpl")
+        try:
+            pool = self.variable_table.require(mplid)
+            if isinstance(pool, int):
+                return pool
+            self.kernel._release_all_waiters(pool.wait_queue)
+            self.variable_table.delete(mplid)
+            return E_OK
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_get_mpl(self, mplid: int, blksz: int, tmout: int = TMO_FEVR):
+        """Get *blksz* bytes; returns ``(E_OK, MemoryBlock)`` or ``(error, None)``."""
+        yield from self.kernel._svc_enter("tk_get_mpl")
+        try:
+            pool = self.variable_table.require(mplid)
+            if isinstance(pool, int):
+                return pool, None
+            if blksz <= 0 or blksz > pool.pool_size:
+                return E_PAR, None
+            if not pool.wait_queue:
+                block = pool.allocate(blksz)
+                if block is not None:
+                    return E_OK, block
+            if tmout == TMO_POL:
+                return E_TMOUT, None
+            tcb = self.kernel.tasks.current_tcb()
+            if tcb is None:
+                return E_CTX, None
+            ercd = yield from self.kernel._wait_here(
+                tcb,
+                factor=TTW_MPL,
+                object_id=mplid,
+                tmout=tmout,
+                queue=pool.wait_queue,
+                data={"size": blksz},
+            )
+            if ercd != E_OK:
+                return ercd, None
+            return E_OK, tcb.last_wait_result
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_rel_mpl(self, mplid: int, block: MemoryBlock):
+        """Release a variable-size block back to its pool."""
+        yield from self.kernel._svc_enter("tk_rel_mpl")
+        try:
+            pool = self.variable_table.require(mplid)
+            if isinstance(pool, int):
+                return pool
+            if block is None or block.pool_id != mplid or not pool.release(block):
+                return E_PAR
+            self._serve_waiters(pool)
+            return E_OK
+        finally:
+            self.kernel._svc_exit()
+
+    def _serve_waiters(self, pool: VariableMemoryPool) -> None:
+        while pool.wait_queue:
+            head = pool.wait_queue.peek()
+            assert head is not None
+            size = head.data["size"]
+            block = pool.allocate(size)
+            if block is None:
+                break
+            pool.wait_queue.pop()
+            self.kernel._release_wait(head, E_OK, result=block)
+
+    def tk_ref_mpl(self, mplid: int):
+        """Reference a variable-size pool's state."""
+        yield from self.kernel._svc_enter("tk_ref_mpl")
+        try:
+            pool = self.variable_table.require(mplid)
+            if isinstance(pool, int):
+                return pool
+            return {
+                "mplid": pool.object_id,
+                "name": pool.name,
+                "exinf": pool.exinf,
+                "frsz": pool.free_bytes(),
+                "maxsz": pool.pool_size,
+                "wtsk": pool.wait_queue.waiting_task_ids(),
+            }
+        finally:
+            self.kernel._svc_exit()

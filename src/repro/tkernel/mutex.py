@@ -1,0 +1,202 @@
+"""Mutexes with priority inheritance / ceiling (tk_cre_mtx, tk_loc_mtx, ...)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.tkernel.errors import E_CTX, E_ILUSE, E_OBJ, E_OK, E_PAR, E_TMOUT
+from repro.tkernel.objects import KernelObject, ObjectTable, WaitQueue
+from repro.tkernel.types import (
+    MAX_TASK_PRIORITY,
+    MIN_TASK_PRIORITY,
+    TA_CEILING,
+    TA_INHERIT,
+    TMO_FEVR,
+    TMO_POL,
+    TTW_MTX,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tkernel.kernel import TKernelOS
+    from repro.tkernel.task import TaskControlBlock
+
+
+class Mutex(KernelObject):
+    """A mutual-exclusion lock owned by at most one task."""
+
+    object_type = "mutex"
+
+    def __init__(self, object_id: int, name: str, attributes: int,
+                 ceilpri: int = MIN_TASK_PRIORITY, exinf=None):
+        super().__init__(object_id, name, attributes, exinf)
+        self.ceiling_priority = ceilpri
+        self.owner: "Optional[TaskControlBlock]" = None
+        self.wait_queue = WaitQueue(attributes)
+
+    @property
+    def protocol(self) -> str:
+        """The locking protocol: ``inherit``, ``ceiling`` or ``fifo``."""
+        if self.attributes & TA_CEILING == TA_CEILING:
+            return "ceiling"
+        if self.attributes & TA_INHERIT == TA_INHERIT:
+            return "inherit"
+        return "fifo"
+
+    def __repr__(self) -> str:
+        owner = self.owner.name if self.owner else None
+        return f"Mutex(id={self.object_id}, owner={owner!r}, waiting={len(self.wait_queue)})"
+
+
+class MutexManager:
+    """Implements the mutex service calls."""
+
+    def __init__(self, kernel: "TKernelOS", max_mutexes: int = 256):
+        self.kernel = kernel
+        self.table: ObjectTable[Mutex] = ObjectTable(max_mutexes)
+
+    def all_mutexes(self) -> List[Mutex]:
+        """All live mutexes ordered by identifier."""
+        return self.table.all()
+
+    # ------------------------------------------------------------------
+    # Service calls
+    # ------------------------------------------------------------------
+    def tk_cre_mtx(self, name: str = "", mtxatr: int = TA_INHERIT,
+                   ceilpri: int = MIN_TASK_PRIORITY, exinf=None):
+        """Create a mutex; returns its id or an error code."""
+        yield from self.kernel._svc_enter("tk_cre_mtx")
+        try:
+            if not MIN_TASK_PRIORITY <= ceilpri <= MAX_TASK_PRIORITY:
+                return E_PAR
+            result = self.table.add(
+                lambda oid: Mutex(oid, name or f"mtx{oid}", mtxatr, ceilpri, exinf)
+            )
+            if isinstance(result, int):
+                return result
+            return result.object_id
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_del_mtx(self, mtxid: int):
+        """Delete a mutex; waiting tasks are released with E_DLT."""
+        yield from self.kernel._svc_enter("tk_del_mtx")
+        try:
+            mutex = self.table.require(mtxid)
+            if isinstance(mutex, int):
+                return mutex
+            if mutex.owner is not None:
+                self._restore_owner_priority(mutex.owner, mutex)
+                mutex.owner.locked_mutexes = [
+                    m for m in mutex.owner.locked_mutexes if m is not mutex
+                ]
+            self.kernel._release_all_waiters(mutex.wait_queue)
+            self.table.delete(mtxid)
+            return E_OK
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_loc_mtx(self, mtxid: int, tmout: int = TMO_FEVR):
+        """Lock a mutex, waiting up to *tmout* milliseconds."""
+        yield from self.kernel._svc_enter("tk_loc_mtx")
+        try:
+            mutex = self.table.require(mtxid)
+            if isinstance(mutex, int):
+                return mutex
+            tcb = self.kernel.tasks.current_tcb()
+            if tcb is None:
+                return E_CTX
+            if mutex.owner is tcb:
+                return E_ILUSE  # recursive locking is not allowed
+            if mutex.owner is None:
+                self._acquire(mutex, tcb)
+                return E_OK
+            if tmout == TMO_POL:
+                return E_TMOUT
+            if mutex.protocol == "inherit":
+                self._apply_inheritance(mutex, tcb)
+            ercd = yield from self.kernel._wait_here(
+                tcb,
+                factor=TTW_MTX,
+                object_id=mtxid,
+                tmout=tmout,
+                queue=mutex.wait_queue,
+            )
+            # On E_OK the releasing task already transferred ownership to us.
+            return ercd
+        finally:
+            self.kernel._svc_exit()
+
+    def _acquire(self, mutex: Mutex, tcb: "TaskControlBlock") -> None:
+        mutex.owner = tcb
+        tcb.locked_mutexes.append(mutex)
+        if mutex.protocol == "ceiling" and tcb.priority > mutex.ceiling_priority:
+            self.kernel._set_task_priority(tcb, mutex.ceiling_priority, base_change=False)
+
+    def _apply_inheritance(self, mutex: Mutex, waiter: "TaskControlBlock") -> None:
+        owner = mutex.owner
+        if owner is not None and waiter.priority < owner.priority:
+            self.kernel._set_task_priority(owner, waiter.priority, base_change=False)
+
+    def tk_unl_mtx(self, mtxid: int):
+        """Unlock a mutex owned by the invoking task."""
+        yield from self.kernel._svc_enter("tk_unl_mtx")
+        try:
+            mutex = self.table.require(mtxid)
+            if isinstance(mutex, int):
+                return mutex
+            tcb = self.kernel.tasks.current_tcb()
+            if tcb is None:
+                return E_CTX
+            if mutex.owner is not tcb:
+                return E_ILUSE
+            self._release(mutex, tcb)
+            return E_OK
+        finally:
+            self.kernel._svc_exit()
+
+    def _release(self, mutex: Mutex, owner: "TaskControlBlock") -> None:
+        owner.locked_mutexes = [m for m in owner.locked_mutexes if m is not mutex]
+        self._restore_owner_priority(owner, mutex)
+        mutex.owner = None
+        next_entry = mutex.wait_queue.pop()
+        if next_entry is not None:
+            self._acquire(mutex, next_entry.tcb)
+            self.kernel._release_wait(next_entry, E_OK)
+
+    def _restore_owner_priority(self, owner: "TaskControlBlock", released: Mutex) -> None:
+        """Recompute the owner's priority after releasing *released*."""
+        target = owner.itskpri
+        for mutex in owner.locked_mutexes:
+            if mutex is released:
+                continue
+            if mutex.protocol == "ceiling":
+                target = min(target, mutex.ceiling_priority)
+            elif mutex.protocol == "inherit":
+                for entry in mutex.wait_queue:
+                    target = min(target, entry.tcb.priority)
+        if owner.priority != target:
+            self.kernel._set_task_priority(owner, target, base_change=False)
+
+    def release_all_owned_by(self, tcb: "TaskControlBlock") -> None:
+        """Release every mutex owned by *tcb* (task exit / termination)."""
+        for mutex in list(tcb.locked_mutexes):
+            self._release(mutex, tcb)
+
+    def tk_ref_mtx(self, mtxid: int):
+        """Reference a mutex's state."""
+        yield from self.kernel._svc_enter("tk_ref_mtx")
+        try:
+            mutex = self.table.require(mtxid)
+            if isinstance(mutex, int):
+                return mutex
+            return {
+                "mtxid": mutex.object_id,
+                "name": mutex.name,
+                "exinf": mutex.exinf,
+                "htsk": mutex.owner.tskid if mutex.owner else 0,
+                "wtsk": mutex.wait_queue.waiting_task_ids(),
+                "protocol": mutex.protocol,
+                "ceilpri": mutex.ceiling_priority,
+            }
+        finally:
+            self.kernel._svc_exit()

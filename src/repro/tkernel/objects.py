@@ -1,0 +1,226 @@
+"""Common infrastructure for kernel objects: ID pools and wait queues.
+
+Every T-Kernel object class (semaphore, event flag, mailbox, ...) owns a
+:class:`WaitQueue` of :class:`WaitEntry` records.  The queue ordering is
+selected by the object's ``TA_TFIFO`` / ``TA_TPRI`` attribute.  The generic
+block/release protocol lives in :class:`repro.tkernel.kernel.TKernelOS`;
+objects only decide *when* an entry is released and with which data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generic, Iterator, List, Optional, TypeVar, TYPE_CHECKING
+
+from repro.tkernel.errors import E_LIMIT, E_NOEXS
+from repro.tkernel.types import TA_TPRI
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tkernel.task import TaskControlBlock
+
+
+class IDPool:
+    """Allocates small positive object identifiers, reusing freed ones."""
+
+    def __init__(self, max_ids: int = 1024):
+        self.max_ids = max_ids
+        self._next = 1
+        self._free: List[int] = []
+        self._live: set = set()
+
+    def allocate(self) -> int:
+        """Return a fresh identifier, or ``E_LIMIT`` if the pool is exhausted."""
+        if self._free:
+            new_id = self._free.pop(0)
+        elif self._next <= self.max_ids:
+            new_id = self._next
+            self._next += 1
+        else:
+            return E_LIMIT
+        self._live.add(new_id)
+        return new_id
+
+    def release(self, object_id: int) -> None:
+        """Return an identifier to the pool."""
+        if object_id in self._live:
+            self._live.remove(object_id)
+            self._free.append(object_id)
+
+    def live_count(self) -> int:
+        """Number of identifiers currently allocated."""
+        return len(self._live)
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._live
+
+
+class KernelObject:
+    """Base class for every T-Kernel object with an ID and attributes."""
+
+    object_type = "object"
+
+    def __init__(self, object_id: int, name: str, attributes: int = 0, exinf: Any = None):
+        self.object_id = object_id
+        self.name = name or f"{self.object_type}{object_id}"
+        self.attributes = attributes
+        self.exinf = exinf
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.object_id}, name={self.name!r})"
+
+
+@dataclass
+class WaitEntry:
+    """One task waiting on a kernel object (or in tk_slp_tsk/tk_dly_tsk)."""
+
+    tcb: "TaskControlBlock"
+    factor: int
+    object_id: int = 0
+    #: Extra wait data, e.g. the requested flag pattern/mode or message size.
+    data: Dict[str, Any] = field(default_factory=dict)
+    #: Filled when the wait is released: the service-call return code.
+    release_code: Optional[int] = None
+    #: Result payload handed to the released task (message, block, pattern...).
+    result: Any = None
+    #: Handle of the timeout registered with the time manager, if any.
+    timeout_handle: Any = None
+    #: The wait queue this entry is linked into (None for tk_slp_tsk/tk_dly_tsk).
+    queue: Optional["WaitQueue"] = None
+
+    @property
+    def priority(self) -> int:
+        """Current priority of the waiting task (used by TA_TPRI queues)."""
+        return self.tcb.priority
+
+    def __repr__(self) -> str:
+        return (
+            f"WaitEntry(task={self.tcb.name!r}, factor=0x{self.factor:X}, "
+            f"released={self.release_code is not None})"
+        )
+
+
+class WaitQueue:
+    """A queue of waiting tasks, ordered FIFO or by task priority."""
+
+    def __init__(self, attributes: int = 0):
+        self.attributes = attributes
+        self._entries: List[WaitEntry] = []
+
+    @property
+    def priority_ordered(self) -> bool:
+        """Whether the queue is ordered by task priority (TA_TPRI)."""
+        return bool(self.attributes & TA_TPRI)
+
+    def enqueue(self, entry: WaitEntry) -> None:
+        """Insert *entry* according to the queue's ordering rule."""
+        if not self.priority_ordered:
+            self._entries.append(entry)
+            return
+        # Priority order, FIFO among equals: insert before the first entry
+        # with a strictly lower urgency (higher numeric priority).
+        for index, existing in enumerate(self._entries):
+            if existing.priority > entry.priority:
+                self._entries.insert(index, entry)
+                return
+        self._entries.append(entry)
+
+    def remove(self, entry: WaitEntry) -> bool:
+        """Remove *entry*; returns whether it was present."""
+        try:
+            self._entries.remove(entry)
+            return True
+        except ValueError:
+            return False
+
+    def peek(self) -> Optional[WaitEntry]:
+        """The entry that would be released next."""
+        return self._entries[0] if self._entries else None
+
+    def pop(self) -> Optional[WaitEntry]:
+        """Remove and return the next entry to release."""
+        return self._entries.pop(0) if self._entries else None
+
+    def find_task(self, tskid: int) -> Optional[WaitEntry]:
+        """The entry of the task with id *tskid*, if it is queued here."""
+        for entry in self._entries:
+            if entry.tcb.tskid == tskid:
+                return entry
+        return None
+
+    def entries(self) -> List[WaitEntry]:
+        """A copy of the queued entries in release order."""
+        return list(self._entries)
+
+    def waiting_task_ids(self) -> List[int]:
+        """Identifiers of the queued tasks, in release order."""
+        return [entry.tcb.tskid for entry in self._entries]
+
+    def reorder_for_priority_change(self) -> None:
+        """Re-sort a TA_TPRI queue after a waiter's priority changed."""
+        if self.priority_ordered:
+            self._entries.sort(key=lambda entry: entry.priority)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator[WaitEntry]:
+        return iter(self._entries)
+
+    def __repr__(self) -> str:
+        return f"WaitQueue({len(self._entries)} waiting, " \
+               f"{'TPRI' if self.priority_ordered else 'TFIFO'})"
+
+
+T = TypeVar("T", bound=KernelObject)
+
+
+class ObjectTable(Generic[T]):
+    """ID-indexed storage for one class of kernel objects."""
+
+    def __init__(self, max_objects: int = 1024):
+        self._pool = IDPool(max_objects)
+        self._objects: Dict[int, T] = {}
+
+    def add(self, factory) -> "int | T":
+        """Allocate an ID and store ``factory(object_id)``.
+
+        Returns the new object, or ``E_LIMIT`` (as an int) when full.
+        """
+        object_id = self._pool.allocate()
+        if object_id < 0:
+            return object_id
+        obj = factory(object_id)
+        self._objects[object_id] = obj
+        return obj
+
+    def get(self, object_id: int) -> "Optional[T]":
+        """The object with *object_id*, or None."""
+        return self._objects.get(object_id)
+
+    def require(self, object_id: int) -> "T | int":
+        """The object with *object_id*, or ``E_NOEXS``."""
+        obj = self._objects.get(object_id)
+        if obj is None:
+            return E_NOEXS
+        return obj
+
+    def delete(self, object_id: int) -> bool:
+        """Remove an object; returns whether it existed."""
+        if object_id in self._objects:
+            del self._objects[object_id]
+            self._pool.release(object_id)
+            return True
+        return False
+
+    def all(self) -> List[T]:
+        """All live objects ordered by identifier."""
+        return [self._objects[oid] for oid in sorted(self._objects)]
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._objects

@@ -1,0 +1,154 @@
+"""Semaphores (tk_cre_sem, tk_sig_sem, tk_wai_sem, ...)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.tkernel.errors import E_CTX, E_OBJ, E_OK, E_PAR, E_QOVR, E_TMOUT
+from repro.tkernel.objects import KernelObject, ObjectTable, WaitQueue
+from repro.tkernel.types import TMO_FEVR, TMO_POL, TTW_SEM
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tkernel.kernel import TKernelOS
+
+
+class Semaphore(KernelObject):
+    """A counting semaphore with a bounded resource count."""
+
+    object_type = "semaphore"
+
+    def __init__(self, object_id: int, name: str, attributes: int,
+                 isemcnt: int, maxsem: int, exinf=None):
+        super().__init__(object_id, name, attributes, exinf)
+        self.count = isemcnt
+        self.max_count = maxsem
+        self.wait_queue = WaitQueue(attributes)
+
+    def __repr__(self) -> str:
+        return (
+            f"Semaphore(id={self.object_id}, count={self.count}/{self.max_count}, "
+            f"waiting={len(self.wait_queue)})"
+        )
+
+
+class SemaphoreManager:
+    """Implements the semaphore service calls."""
+
+    def __init__(self, kernel: "TKernelOS", max_semaphores: int = 256):
+        self.kernel = kernel
+        self.table: ObjectTable[Semaphore] = ObjectTable(max_semaphores)
+
+    def all_semaphores(self) -> List[Semaphore]:
+        """All live semaphores ordered by identifier."""
+        return self.table.all()
+
+    # ------------------------------------------------------------------
+    # Service calls
+    # ------------------------------------------------------------------
+    def tk_cre_sem(self, isemcnt: int = 0, maxsem: int = 1, name: str = "",
+                   sematr: int = 0, exinf=None):
+        """Create a semaphore; returns its id or an error code."""
+        yield from self.kernel._svc_enter("tk_cre_sem")
+        try:
+            if isemcnt < 0 or maxsem <= 0 or isemcnt > maxsem:
+                return E_PAR
+            result = self.table.add(
+                lambda oid: Semaphore(oid, name or f"sem{oid}", sematr, isemcnt, maxsem, exinf)
+            )
+            if isinstance(result, int):
+                return result
+            return result.object_id
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_del_sem(self, semid: int):
+        """Delete a semaphore; waiting tasks are released with E_DLT."""
+        yield from self.kernel._svc_enter("tk_del_sem")
+        try:
+            sem = self.table.require(semid)
+            if isinstance(sem, int):
+                return sem
+            self.kernel._release_all_waiters(sem.wait_queue)
+            self.table.delete(semid)
+            return E_OK
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_sig_sem(self, semid: int, cnt: int = 1):
+        """Return *cnt* resources to the semaphore, waking waiters in order."""
+        yield from self.kernel._svc_enter("tk_sig_sem")
+        try:
+            sem = self.table.require(semid)
+            if isinstance(sem, int):
+                return sem
+            if cnt <= 0:
+                return E_PAR
+            if sem.count + cnt > sem.max_count and not sem.wait_queue:
+                return E_QOVR
+            sem.count += cnt
+            self._serve_waiters(sem)
+            if sem.count > sem.max_count:
+                sem.count = sem.max_count
+                return E_QOVR
+            return E_OK
+        finally:
+            self.kernel._svc_exit()
+
+    def _serve_waiters(self, sem: Semaphore) -> None:
+        """Release queued waiters while enough resources are available."""
+        while sem.wait_queue:
+            head = sem.wait_queue.peek()
+            assert head is not None
+            requested = head.data.get("count", 1)
+            if requested > sem.count:
+                break
+            sem.count -= requested
+            sem.wait_queue.pop()
+            self.kernel._release_wait(head, E_OK)
+
+    def tk_wai_sem(self, semid: int, cnt: int = 1, tmout: int = TMO_FEVR):
+        """Acquire *cnt* resources, waiting up to *tmout* milliseconds."""
+        yield from self.kernel._svc_enter("tk_wai_sem")
+        try:
+            sem = self.table.require(semid)
+            if isinstance(sem, int):
+                return sem
+            if cnt <= 0 or cnt > sem.max_count:
+                return E_PAR
+            if sem.count >= cnt and not sem.wait_queue:
+                sem.count -= cnt
+                return E_OK
+            if tmout == TMO_POL:
+                return E_TMOUT
+            tcb = self.kernel.tasks.current_tcb()
+            if tcb is None:
+                return E_CTX
+            ercd = yield from self.kernel._wait_here(
+                tcb,
+                factor=TTW_SEM,
+                object_id=semid,
+                tmout=tmout,
+                queue=sem.wait_queue,
+                data={"count": cnt},
+            )
+            return ercd
+        finally:
+            self.kernel._svc_exit()
+
+    def tk_ref_sem(self, semid: int):
+        """Reference a semaphore's state."""
+        yield from self.kernel._svc_enter("tk_ref_sem")
+        try:
+            sem = self.table.require(semid)
+            if isinstance(sem, int):
+                return sem
+            return {
+                "semid": sem.object_id,
+                "name": sem.name,
+                "exinf": sem.exinf,
+                "semcnt": sem.count,
+                "maxsem": sem.max_count,
+                "wtsk": sem.wait_queue.waiting_task_ids(),
+            }
+        finally:
+            self.kernel._svc_exit()

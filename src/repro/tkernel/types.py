@@ -1,0 +1,112 @@
+"""T-Kernel constants: task states, object attributes, timeouts, wait factors.
+
+The numeric values follow the μ-ITRON 4.0 / T-Kernel specification so that
+reference output (Fig. 8 style listings) reads naturally to anyone familiar
+with the standard.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Task states (T_RTSK.tskstat) — bit values so TTS_WAS = TTS_WAI | TTS_SUS.
+# ---------------------------------------------------------------------------
+TTS_RUN = 0x01   #: Running.
+TTS_RDY = 0x02   #: Ready.
+TTS_WAI = 0x04   #: Waiting.
+TTS_SUS = 0x08   #: Suspended.
+TTS_WAS = 0x0C   #: Waiting and suspended.
+TTS_DMT = 0x10   #: Dormant.
+
+TASK_STATE_NAMES = {
+    TTS_RUN: "RUN",
+    TTS_RDY: "RDY",
+    TTS_WAI: "WAI",
+    TTS_SUS: "SUS",
+    TTS_WAS: "WAS",
+    TTS_DMT: "DMT",
+}
+
+# ---------------------------------------------------------------------------
+# Object attributes.
+# ---------------------------------------------------------------------------
+TA_TFIFO = 0x00000000   #: Wait queue ordered FIFO.
+TA_TPRI = 0x00000001    #: Wait queue ordered by task priority.
+TA_HLNG = 0x00000000    #: High-level-language start routine (always true here).
+TA_RNG0 = 0x00000000    #: Protection ring 0 (informational only).
+TA_USERBUF = 0x00000020  #: Caller supplies the buffer (memory pools / buffers).
+
+TA_WSGL = 0x00000000    #: Event flag: only one task may wait.
+TA_WMUL = 0x00000008    #: Event flag: multiple tasks may wait.
+TA_CLR = 0x00000010     #: Event flag: clear on wait release.
+
+TA_INHERIT = 0x00000002  #: Mutex: priority inheritance protocol.
+TA_CEILING = 0x00000003  #: Mutex: priority ceiling protocol.
+
+TA_STA = 0x00000002     #: Cyclic handler: start immediately on creation.
+TA_PHS = 0x00000004     #: Cyclic handler: preserve the initial phase.
+
+TA_MFIFO = 0x00000000   #: Mailbox/message buffer: messages ordered FIFO.
+TA_MPRI = 0x00000002    #: Mailbox: messages ordered by message priority.
+
+# ---------------------------------------------------------------------------
+# Timeouts.
+# ---------------------------------------------------------------------------
+TMO_POL = 0      #: Polling (fail immediately if the wait condition is false).
+TMO_FEVR = -1    #: Wait forever.
+
+# ---------------------------------------------------------------------------
+# Special task identifier.
+# ---------------------------------------------------------------------------
+TSK_SELF = 0     #: "the invoking task" in calls such as tk_chg_pri.
+
+# ---------------------------------------------------------------------------
+# Event flag wait modes.
+# ---------------------------------------------------------------------------
+TWF_ANDW = 0x00  #: Release when all bits of the pattern are set.
+TWF_ORW = 0x01   #: Release when any bit of the pattern is set.
+TWF_CLR = 0x10   #: Clear the whole flag on release.
+TWF_BITCLR = 0x20  #: Clear only the released bits.
+
+# ---------------------------------------------------------------------------
+# Wait factors (T_RTSK.tskwait).
+# ---------------------------------------------------------------------------
+TTW_SLP = 0x00000001   #: Waiting in tk_slp_tsk.
+TTW_DLY = 0x00000002   #: Waiting in tk_dly_tsk.
+TTW_SEM = 0x00000004   #: Waiting for a semaphore.
+TTW_FLG = 0x00000008   #: Waiting for an event flag.
+TTW_MBX = 0x00000040   #: Waiting for a mailbox message.
+TTW_MTX = 0x00000080   #: Waiting for a mutex.
+TTW_SMBF = 0x00000100  #: Waiting to send to a message buffer.
+TTW_RMBF = 0x00000200  #: Waiting to receive from a message buffer.
+TTW_MPF = 0x00002000   #: Waiting for a fixed-size memory block.
+TTW_MPL = 0x00004000   #: Waiting for a variable-size memory block.
+
+WAIT_FACTOR_NAMES = {
+    TTW_SLP: "SLP",
+    TTW_DLY: "DLY",
+    TTW_SEM: "SEM",
+    TTW_FLG: "FLG",
+    TTW_MBX: "MBX",
+    TTW_MTX: "MTX",
+    TTW_SMBF: "SMBF",
+    TTW_RMBF: "RMBF",
+    TTW_MPF: "MPF",
+    TTW_MPL: "MPL",
+}
+
+# ---------------------------------------------------------------------------
+# Priorities.
+# ---------------------------------------------------------------------------
+MIN_TASK_PRIORITY = 1     #: Highest urgency.
+MAX_TASK_PRIORITY = 140   #: Lowest urgency supported by T-Kernel.
+DEFAULT_WUPCNT_LIMIT = 7  #: Maximum queued wakeup requests before E_QOVR.
+
+
+def task_state_name(state: int) -> str:
+    """Readable name of a task state value."""
+    return TASK_STATE_NAMES.get(state, f"0x{state:02X}")
+
+
+def wait_factor_name(factor: int) -> str:
+    """Readable name of a wait factor value."""
+    return WAIT_FACTOR_NAMES.get(factor, f"0x{factor:X}") if factor else "-"

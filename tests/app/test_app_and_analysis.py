@@ -1,0 +1,190 @@
+"""Tests for the video-game application, widgets, framework and analysis."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import ExecutionTraceReport, TimeEnergyDistribution, format_table
+from repro.analysis.speed import CoSimSpeedMeasurement
+from repro.app import CoSimulationFramework, FrameworkConfig, WidgetCostModel
+from repro.app.videogame import (
+    GameState,
+    KEY_LEFT,
+    KEY_RIGHT,
+    VideoGameConfig,
+)
+from repro.core.events import ExecutionContext
+from repro.sysc import SimTime
+
+
+@pytest.fixture(scope="module")
+def cosim():
+    """One shared 300 ms co-simulation run used by several read-only tests."""
+    config = FrameworkConfig(
+        simulated_duration=SimTime.ms(300),
+        gui_enabled=True,
+        gui_host_seconds_per_callback=0.0,
+        game=VideoGameConfig(lcd_update_period_ms=10),
+        key_script=FrameworkConfig.default_key_script(300, period_ms=60),
+    )
+    framework = CoSimulationFramework(config)
+    framework.run()
+    return framework
+
+
+class TestGameState:
+    def test_ball_bounces_and_scores_on_paddle_hit(self):
+        state = GameState(field_width=4, paddle=3, ball=2, ball_direction=1)
+        state.advance_ball()
+        assert state.score == 1 and state.ball_direction == -1
+
+    def test_ball_misses_when_paddle_away(self):
+        state = GameState(field_width=8, paddle=0, ball=6, ball_direction=1)
+        state.advance_ball()
+        assert state.misses == 1
+
+    def test_paddle_stays_in_field(self):
+        state = GameState(field_width=4, paddle=0)
+        state.move_paddle(KEY_LEFT)
+        assert state.paddle == 0
+        state.paddle = 3
+        state.move_paddle(KEY_RIGHT)
+        assert state.paddle == 3
+
+    def test_render_row_marks_ball_and_paddle(self):
+        state = GameState(field_width=6, paddle=1, ball=4)
+        row = state.render_row()
+        assert row[1] == "=" and row[4] == "o" and len(row) == 6
+
+    @given(st.lists(st.sampled_from([KEY_LEFT, KEY_RIGHT]), max_size=50))
+    def test_paddle_never_leaves_field(self, keys):
+        state = GameState(field_width=10)
+        for key in keys:
+            state.move_paddle(key)
+        assert 0 <= state.paddle < 10
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_ball_never_leaves_field(self, steps):
+        state = GameState(field_width=12)
+        for _ in range(steps):
+            state.advance_ball()
+            assert 0 <= state.ball < 12
+
+
+class TestVideoGameOnKernel:
+    def test_application_runs_and_renders_frames(self, cosim):
+        summary = cosim.application.summary()
+        assert summary["frames_rendered"] >= 5
+        assert summary["keys_handled"] >= 2
+        assert set(summary["tasks"]) == {"T1_lcd", "T2_keypad", "T3_ssd", "T4_idle"}
+
+    def test_keypad_interrupts_reach_the_task(self, cosim):
+        # Every scripted key press raised the keypad external interrupt.
+        assert cosim.bfm.intc.raised_count >= 2
+        assert cosim.application.state.keys_handled >= 2
+        assert cosim.application.state.key_log[0] in (KEY_LEFT, KEY_RIGHT)
+
+    def test_idle_task_soaks_remaining_cpu(self, cosim):
+        stats = cosim.api.energy_statistics()
+        idle_cet = stats["T4_idle"]["cet_ms"]
+        others = sum(entry["cet_ms"] for name, entry in stats.items()
+                     if name not in ("T4_idle",))
+        assert idle_cet > others
+
+    def test_game_over_alarm_stops_the_game(self):
+        config = FrameworkConfig(
+            simulated_duration=SimTime.ms(250),
+            gui_enabled=False,
+            game=VideoGameConfig(lcd_update_period_ms=10, game_over_ms=100),
+            key_script=FrameworkConfig.default_key_script(250, period_ms=60),
+        )
+        framework = CoSimulationFramework(config)
+        results = framework.run()
+        assert results["application"]["running"] is False
+        frames_at_end = results["application"]["frames_rendered"]
+        # No new frames render long after the game-over alarm.
+        assert frames_at_end <= 12
+
+
+class TestWidgets:
+    def test_lcd_widget_mirrors_device(self, cosim):
+        rendered = cosim.widgets.lcd.render()
+        assert "+" in rendered and "|" in rendered
+        assert cosim.widgets.lcd.callback_count > 0
+
+    def test_battery_widget_drains_with_energy(self, cosim):
+        battery = cosim.widgets.battery
+        battery.update()
+        assert 0.99 < battery.remaining_fraction <= 1.0
+        assert battery.projected_lifespan_hours() is not None
+        assert "battery [" in battery.render()
+
+    def test_cost_model_disabled_burns_no_time(self):
+        model = WidgetCostModel(enabled=False, host_seconds_per_callback=1.0)
+        import time
+        start = time.perf_counter()
+        model.charge()
+        assert time.perf_counter() - start < 0.1
+
+    def test_invalid_battery_capacity_rejected(self, cosim):
+        from repro.app.widgets import BatteryWidget
+        with pytest.raises(ValueError):
+            BatteryWidget(cosim.api, watt_hours=0)
+
+    def test_dashboard_renders(self, cosim):
+        dashboard = cosim.widgets.render_dashboard()
+        assert "virtual system prototype" in dashboard
+        assert "score" in dashboard
+
+
+class TestAnalysis:
+    def test_trace_report_window_filtering(self, cosim):
+        full = ExecutionTraceReport(cosim.api)
+        early = ExecutionTraceReport(cosim.api, 0, SimTime.ms(50))
+        assert full.observed_dispatches() >= early.observed_dispatches()
+        assert set(early.threads()).issubset(set(full.threads()))
+
+    def test_trace_contexts_for_lcd_task(self, cosim):
+        report = ExecutionTraceReport(cosim.api)
+        contexts = report.time_by_context("T1_lcd")
+        assert ExecutionContext.BFM_ACCESS in contexts
+        assert "GANTT" in report.render(columns=40)
+
+    def test_distribution_shares_sum_to_one(self, cosim):
+        distribution = TimeEnergyDistribution(cosim.api)
+        rows = distribution.per_thread()
+        assert sum(row["cet_share"] for row in rows) == pytest.approx(1.0)
+        assert distribution.dominant_consumers(2)
+
+    def test_speed_measurement_returns_consistent_row(self):
+        row = CoSimSpeedMeasurement(
+            gui_enabled=False, lcd_update_period_ms=20,
+            simulated_duration=SimTime.ms(100),
+        ).run()
+        assert row.simulated_seconds == pytest.approx(0.1)
+        assert row.wall_clock_seconds > 0
+        assert row.r_over_s == pytest.approx(
+            row.wall_clock_seconds / row.simulated_seconds
+        )
+        assert row.s_over_r == pytest.approx(1.0 / row.r_over_s)
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer", 22]], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "longer" in text and "value" in text
+
+
+class TestFrameworkConfig:
+    def test_default_key_script_is_deterministic_and_bounded(self):
+        script = FrameworkConfig.default_key_script(500, period_ms=100)
+        assert script == FrameworkConfig.default_key_script(500, period_ms=100)
+        assert all(0 <= when < 500 for when, _ in script)
+        assert {key for _, key in script} <= {KEY_LEFT, KEY_RIGHT}
+
+    def test_results_include_speed_and_energy(self, cosim):
+        results = cosim.results()
+        assert results["simulated_seconds"] == pytest.approx(0.3)
+        assert results["r_over_s"] > 0
+        assert results["total_energy_mj"] > 0
+        assert results["gui_callbacks"] > 0

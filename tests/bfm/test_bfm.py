@@ -1,0 +1,281 @@
+"""Unit and integration tests for the i8051 bus functional model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bfm import (
+    BFMBudgets,
+    I8051BFM,
+    InterruptController,
+    KeypadDevice,
+    LCDDevice,
+    SevenSegmentDevice,
+)
+from repro.bfm.i8051 import KEYPAD_PORT, LCD_PORT, SSD_PORT
+from repro.core import PriorityScheduler, SimApi
+from repro.core.events import ExecutionContext
+from repro.sysc import SimTime, Simulator
+
+
+def make_platform():
+    simulator = Simulator("bfm-test")
+    api = SimApi(simulator, scheduler=PriorityScheduler(), system_tick=SimTime.ms(1))
+    bfm = I8051BFM(api)
+    return simulator, api, bfm
+
+
+def run_task(simulator, api, body, duration_ms=50):
+    task = api.create_thread("driver", body, priority=10)
+    api.start_thread(task)
+    simulator.run(SimTime.ms(duration_ms))
+    return task
+
+
+class TestBudgets:
+    def test_annotation_table_exposes_all_keys(self):
+        table = BFMBudgets().as_annotation_table()
+        for key in ("bfm:xram_read", "bfm:port_write", "bfm:serial_send_byte"):
+            assert key in table
+
+    def test_budget_values_positive(self):
+        budgets = BFMBudgets()
+        assert budgets.xram_read > 0 and budgets.port_write > 0
+
+
+class TestMemoryController:
+    def test_write_then_read_roundtrip(self):
+        simulator, api, bfm = make_platform()
+        seen = []
+
+        def body():
+            yield from bfm.memory.write_xram(0x20, 0xAB)
+            value = yield from bfm.memory.read_xram(0x20)
+            seen.append(value)
+
+        run_task(simulator, api, body)
+        assert seen == [0xAB]
+        assert bfm.memory.peek(0x20) == 0xAB
+
+    def test_block_operations(self):
+        simulator, api, bfm = make_platform()
+        seen = []
+
+        def body():
+            yield from bfm.memory.write_block(0x100, [1, 2, 3, 4])
+            data = yield from bfm.memory.read_block(0x100, 4)
+            seen.append(data)
+
+        run_task(simulator, api, body)
+        assert seen == [[1, 2, 3, 4]]
+
+    def test_accesses_consume_bfm_time(self):
+        simulator, api, bfm = make_platform()
+
+        def body():
+            for offset in range(10):
+                yield from bfm.memory.write_xram(offset, offset)
+
+        task = run_task(simulator, api, body)
+        breakdown = task.token.cet_by_context()
+        expected = api.timing_model.time_of(10 * bfm.budgets.xram_write)
+        assert breakdown[ExecutionContext.BFM_ACCESS] == expected
+
+    def test_address_range_checked(self):
+        simulator, api, bfm = make_platform()
+        with pytest.raises(ValueError):
+            bfm.memory.poke(0x1_000_000, 1)
+
+    def test_code_memory_backdoor_load(self):
+        simulator, api, bfm = make_platform()
+        bfm.memory.load_code(0, [0x02, 0x01, 0x00])
+        seen = []
+
+        def body():
+            value = yield from bfm.memory.read_code(0)
+            seen.append(value)
+
+        run_task(simulator, api, body)
+        assert seen == [0x02]
+
+
+class TestInterruptController:
+    def test_raise_and_acknowledge_in_priority_order(self):
+        simulator = Simulator("intc-test")
+        intc = InterruptController(simulator)
+        intc.raise_line(5)
+        intc.raise_line(1)
+        assert intc.has_pending()
+        assert intc.acknowledge() == 1
+        assert intc.acknowledge() == 5
+        assert intc.acknowledge() is None
+
+    def test_custom_priorities(self):
+        simulator = Simulator("intc-test2")
+        intc = InterruptController(simulator)
+        intc.set_priority(5, 0)
+        intc.raise_line(1)
+        intc.raise_line(5)
+        assert intc.acknowledge() == 5
+
+    def test_duplicate_raise_is_dropped(self):
+        simulator = Simulator("intc-test3")
+        intc = InterruptController(simulator)
+        intc.raise_line(2)
+        intc.raise_line(2)
+        assert intc.dropped_count == 1
+        assert intc.pending_lines() == [2]
+
+    def test_invalid_line_rejected(self):
+        simulator = Simulator("intc-test4")
+        intc = InterruptController(simulator, line_count=4)
+        with pytest.raises(ValueError):
+            intc.raise_line(10)
+
+    def test_irq_event_wakes_waiter(self):
+        simulator = Simulator("intc-test5")
+        intc = InterruptController(simulator)
+        woke = []
+
+        def waiter():
+            from repro.sysc.process import WaitEvent
+            yield WaitEvent(intc.irq_event)
+            woke.append(simulator.now.to_ms())
+
+        def raiser():
+            from repro.sysc.process import Wait
+            yield Wait(SimTime.ms(3))
+            intc.raise_line(0)
+
+        simulator.register_thread("waiter", waiter)
+        simulator.register_thread("raiser", raiser)
+        simulator.run(SimTime.ms(10))
+        assert woke == [3.0]
+
+
+class TestSerialIO:
+    def test_send_string_records_transmit_log(self):
+        simulator, api, bfm = make_platform()
+
+        def body():
+            yield from bfm.serial.send_string("ping")
+
+        run_task(simulator, api, body)
+        assert bfm.serial.transmitted_text() == "ping"
+        assert bfm.serial.sent_count == 4
+
+    def test_receive_injected_bytes(self):
+        simulator, api, bfm = make_platform()
+        received = []
+
+        def body():
+            value = yield from bfm.serial.receive_byte()
+            received.append(value)
+            value = yield from bfm.serial.receive_byte()
+            received.append(value)
+
+        bfm.serial.inject_rx_byte(0x41, raise_interrupt=False)
+        run_task(simulator, api, body)
+        assert received == [0x41, None]
+
+    def test_injection_raises_serial_interrupt(self):
+        simulator, api, bfm = make_platform()
+        bfm.serial.inject_rx_byte(0x42)
+        assert bfm.intc.pending_lines() == [bfm.serial.interrupt_line]
+
+    def test_fifo_overrun_counted(self):
+        simulator, api, bfm = make_platform()
+        for value in range(bfm.serial.fifo_depth + 3):
+            bfm.serial.inject_rx_byte(value, raise_interrupt=False)
+        assert bfm.serial.overrun_count == 3
+
+
+class TestParallelIOAndPeripherals:
+    def test_lcd_receives_characters(self):
+        simulator, api, bfm = make_platform()
+
+        def body():
+            for char in "HI":
+                yield from bfm.pio.write_port(LCD_PORT, ord(char))
+
+        run_task(simulator, api, body)
+        assert bfm.lcd.text()[0].startswith("HI")
+        assert bfm.lcd.write_count == 2
+
+    def test_keypad_roundtrip_with_interrupt(self):
+        simulator, api, bfm = make_platform()
+        read_keys = []
+        bfm.keypad.press_key(7)
+        assert bfm.intc.pending_lines() == [bfm.keypad.interrupt_line]
+
+        def body():
+            value = yield from bfm.pio.read_port(KEYPAD_PORT)
+            read_keys.append(value)
+            yield from bfm.pio.write_port(KEYPAD_PORT, 0)  # acknowledge
+
+        run_task(simulator, api, body)
+        assert read_keys == [7]
+        assert bfm.keypad.pending_keys() == []
+
+    def test_keypad_fifo_overflow(self):
+        keypad = KeypadDevice(None, fifo_depth=2)
+        assert keypad.press_key(1) and keypad.press_key(2)
+        assert not keypad.press_key(3)
+        assert keypad.dropped_count == 1
+
+    def test_ssd_multiplexed_digits(self):
+        simulator, api, bfm = make_platform()
+
+        def body():
+            yield from bfm.pio.write_port(SSD_PORT, (0 << 4) | 4)
+            yield from bfm.pio.write_port(SSD_PORT, (1 << 4) | 2)
+
+        run_task(simulator, api, body)
+        assert bfm.ssd.digits[0] == 4 and bfm.ssd.digits[1] == 2
+        assert bfm.ssd.value() == 24
+
+    def test_invalid_port_rejected(self):
+        simulator, api, bfm = make_platform()
+        with pytest.raises(ValueError):
+            bfm.pio.latch_value(9)
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), max_size=20))
+    def test_lcd_framebuffer_never_exceeds_dimensions(self, values):
+        lcd = LCDDevice(columns=8, rows=2)
+        for value in values:
+            lcd.write_data(value)
+        assert len(lcd.frame_buffer) == 2
+        assert all(len(row) == 8 for row in lcd.frame_buffer)
+        assert 0 <= lcd.cursor < 16
+
+
+class TestI8051Assembly:
+    def test_rtc_ticks_at_configured_resolution(self):
+        simulator, api, bfm = make_platform()
+        simulator.run(SimTime.ms(25))
+        assert 24 <= bfm.rtc.tick_count <= 26
+
+    def test_access_statistics_aggregate(self):
+        simulator, api, bfm = make_platform()
+
+        def body():
+            yield from bfm.pio.write_port(LCD_PORT, 0x31)
+            yield from bfm.memory.write_xram(0, 1)
+            yield from bfm.serial.send_byte(0x55)
+
+        run_task(simulator, api, body)
+        stats = bfm.access_statistics()
+        assert stats["bus_accesses"] == 3
+        assert stats["port_writes"][LCD_PORT] == 1
+        assert stats["serial_sent"] == 1
+
+    def test_trace_probes_bus_and_ports(self):
+        simulator, api, bfm = make_platform()
+        trace = bfm.attach_trace()
+
+        def body():
+            yield from bfm.pio.write_port(LCD_PORT, 0x5A)
+
+        run_task(simulator, api, body)
+        assert trace.changes_of(f"{bfm.name}.pio.p0")
+        assert trace.changes_of(f"{bfm.name}.bus.data")

@@ -1,0 +1,518 @@
+"""Integration-level tests of the SIM_API library and T-THREAD semantics.
+
+These exercise the paper's core mechanisms directly, without the T-Kernel
+model on top: dispatching, preemption at system-clock granularity, sleeping
+and wakeup (Ew), interrupts and nested interrupts (SIM_Stack), delayed
+dispatching, service-call atomicity, CET/CEE accumulation and the Gantt
+chart's single-CPU invariant.
+"""
+
+import pytest
+
+from repro.core import (
+    ExecutionContext,
+    PriorityScheduler,
+    RoundRobinScheduler,
+    SimApi,
+    SimApiError,
+    ThreadKind,
+    ThreadState,
+)
+from repro.core.events import RunEvent
+from repro.sysc import SimTime, Simulator
+
+
+def make_api(scheduler=None, tick=SimTime.ms(1)):
+    sim = Simulator("simapi-test")
+    api = SimApi(sim, scheduler=scheduler, system_tick=tick)
+    return sim, api
+
+
+class TestBasicExecution:
+    def test_single_task_runs_and_accumulates_cet(self):
+        sim, api = make_api()
+        log = []
+
+        def body():
+            yield from api.sim_wait(duration=SimTime.ms(3), energy_nj=3000.0)
+            log.append(sim.now.to_ms())
+
+        task = api.create_thread("t1", body, priority=10)
+        api.start_thread(task)
+        sim.run(SimTime.ms(20))
+        assert log == [3.0]
+        assert task.consumed_execution_time == SimTime.ms(3)
+        assert task.consumed_execution_energy_nj == pytest.approx(3000.0)
+        assert task.state is ThreadState.DORMANT
+        assert task.exit_count == 1
+
+    def test_first_activation_fires_startup_event(self):
+        sim, api = make_api()
+
+        def body():
+            yield from api.sim_wait(duration=SimTime.ms(1))
+
+        task = api.create_thread("t1", body, priority=10)
+        api.start_thread(task)
+        sim.run(SimTime.ms(5))
+        events = task.token.firing_sequence.event_vector
+        assert events.get("Es") == 1
+
+    def test_two_tasks_same_priority_run_sequentially(self):
+        sim, api = make_api()
+        order = []
+
+        def make_body(name):
+            def body():
+                yield from api.sim_wait(duration=SimTime.ms(2))
+                order.append((name, sim.now.to_ms()))
+            return body
+
+        a = api.create_thread("a", make_body("a"), priority=10)
+        b = api.create_thread("b", make_body("b"), priority=10)
+        api.start_thread(a)
+        api.start_thread(b)
+        sim.run(SimTime.ms(20))
+        assert order == [("a", 2.0), ("b", 4.0)]
+
+    def test_sim_wait_requires_cpu_ownership(self):
+        sim, api = make_api()
+        errors = []
+
+        def rogue():
+            try:
+                yield from api.sim_wait(duration=SimTime.ms(1))
+            except SimApiError as exc:
+                errors.append(str(exc))
+
+        # A plain sysc process that is not a T-THREAD must not call sim_wait.
+        sim.register_thread("rogue", rogue)
+        sim.run(SimTime.ms(5))
+        assert errors
+
+    def test_sim_wait_argument_validation(self):
+        sim, api = make_api()
+        caught = []
+
+        def body():
+            try:
+                yield from api.sim_wait()
+            except SimApiError:
+                caught.append("both-missing")
+            try:
+                yield from api.sim_wait(cycles=10, duration=SimTime.ms(1))
+            except SimApiError:
+                caught.append("both-given")
+            yield from api.sim_wait(cycles=10)
+
+        task = api.create_thread("t", body, priority=5)
+        api.start_thread(task)
+        sim.run(SimTime.ms(5))
+        assert caught == ["both-missing", "both-given"]
+
+
+class TestPriorityPreemption:
+    def test_higher_priority_task_preempts_at_tick_granularity(self):
+        sim, api = make_api()
+        trace = []
+
+        def low_body():
+            trace.append(("low-start", sim.now.to_ms()))
+            yield from api.sim_wait(duration=SimTime.ms(10))
+            trace.append(("low-end", sim.now.to_ms()))
+
+        def high_body():
+            trace.append(("high-start", sim.now.to_ms()))
+            yield from api.sim_wait(duration=SimTime.ms(2))
+            trace.append(("high-end", sim.now.to_ms()))
+
+        low = api.create_thread("low", low_body, priority=20)
+        high = api.create_thread("high", high_body, priority=5)
+        api.start_thread(low)
+
+        def starter():
+            from repro.sysc.process import Wait
+            yield Wait(SimTime.ms(3) + SimTime.us(500))
+            api.start_thread(high)
+
+        sim.register_thread("starter", starter)
+        sim.run(SimTime.ms(30))
+
+        # The high task becomes ready at 3.5 ms; the low task suspends at its
+        # next preemption point (a tick boundary, <= 1 tick later).
+        high_start = dict(trace)["high-start"]
+        assert 3.5 <= high_start <= 4.5
+        assert dict(trace)["high-end"] == pytest.approx(high_start + 2.0)
+        # The low task completes its remaining work afterwards: total CPU time
+        # is preserved.
+        assert dict(trace)["low-end"] == pytest.approx(12.0, abs=0.6)
+        assert low.preemption_count == 1
+        assert low.token.firing_sequence.event_vector.get("Ex") == 1
+
+    def test_preempted_cet_is_not_lost(self):
+        sim, api = make_api()
+
+        def low_body():
+            yield from api.sim_wait(duration=SimTime.ms(6))
+
+        def high_body():
+            yield from api.sim_wait(duration=SimTime.ms(2))
+
+        low = api.create_thread("low", low_body, priority=20)
+        high = api.create_thread("high", high_body, priority=5)
+        api.start_thread(low)
+
+        def starter():
+            from repro.sysc.process import Wait
+            yield Wait(SimTime.ms(2))
+            api.start_thread(high)
+
+        sim.register_thread("starter", starter)
+        sim.run(SimTime.ms(30))
+        assert low.consumed_execution_time == SimTime.ms(6)
+        assert high.consumed_execution_time == SimTime.ms(2)
+
+    def test_lower_priority_task_does_not_preempt(self):
+        sim, api = make_api()
+        order = []
+
+        def running_body():
+            yield from api.sim_wait(duration=SimTime.ms(5))
+            order.append("running-done")
+
+        def late_low_body():
+            yield from api.sim_wait(duration=SimTime.ms(1))
+            order.append("late-low-done")
+
+        running = api.create_thread("running", running_body, priority=10)
+        late = api.create_thread("late", late_low_body, priority=30)
+        api.start_thread(running)
+
+        def starter():
+            from repro.sysc.process import Wait
+            yield Wait(SimTime.ms(1))
+            api.start_thread(late)
+
+        sim.register_thread("starter", starter)
+        sim.run(SimTime.ms(20))
+        assert order == ["running-done", "late-low-done"]
+        assert running.preemption_count == 0
+
+    def test_gantt_has_no_overlapping_segments(self):
+        sim, api = make_api()
+
+        def make_body(duration_ms):
+            def body():
+                yield from api.sim_wait(duration=SimTime.ms(duration_ms))
+            return body
+
+        for index, (priority, duration) in enumerate([(30, 7), (20, 5), (10, 3)]):
+            api.start_thread(
+                api.create_thread(f"t{index}", make_body(duration), priority=priority)
+            )
+        sim.run(SimTime.ms(40))
+        assert api.gantt.overlapping_segments() == []
+
+
+class TestSleepAndWakeup:
+    def test_block_and_wakeup_fires_ew(self):
+        sim, api = make_api()
+        log = []
+
+        def sleeper():
+            yield from api.sim_wait(duration=SimTime.ms(1))
+            log.append(("sleep", sim.now.to_ms()))
+            yield from api.block_current()
+            log.append(("woke", sim.now.to_ms()))
+
+        def waker():
+            yield from api.sim_wait(duration=SimTime.ms(4))
+            api.wakeup(sleeping)
+            yield from api.sim_wait(duration=SimTime.ms(1))
+
+        sleeping = api.create_thread("sleeper", sleeper, priority=5)
+        waking = api.create_thread("waker", waker, priority=10)
+        api.start_thread(sleeping)
+        api.start_thread(waking)
+        sim.run(SimTime.ms(20))
+        assert ("sleep", 1.0) in log
+        woke_time = dict(log)["woke"]
+        assert woke_time >= 5.0  # waker becomes ready at t=1, wakes at t=5
+        assert sleeping.token.firing_sequence.event_vector.get("Ew", 0) >= 1
+
+    def test_cpu_goes_idle_when_everyone_sleeps(self):
+        sim, api = make_api()
+
+        def sleeper():
+            yield from api.sim_wait(duration=SimTime.ms(1))
+            yield from api.block_current()
+
+        task = api.create_thread("s", sleeper, priority=5)
+        api.start_thread(task)
+        sim.run(SimTime.ms(10))
+        assert api.running is None
+        assert api.cpu_idle_time() >= SimTime.ms(8)
+
+
+class TestInterrupts:
+    def test_interrupt_suspends_running_task(self):
+        sim, api = make_api()
+        trace = []
+
+        def task_body():
+            yield from api.sim_wait(duration=SimTime.ms(6))
+            trace.append(("task-done", sim.now.to_ms()))
+
+        def isr_body():
+            trace.append(("isr-start", sim.now.to_ms()))
+            yield from api.sim_wait(duration=SimTime.ms(1), context=ExecutionContext.HANDLER)
+            trace.append(("isr-end", sim.now.to_ms()))
+
+        task = api.create_thread("task", task_body, priority=10)
+        isr = api.create_thread("isr", isr_body, priority=0, kind=ThreadKind.INTERRUPT_HANDLER)
+        api.start_thread(task)
+
+        def external_interrupt():
+            from repro.sysc.process import Wait
+            yield Wait(SimTime.ms(2) + SimTime.us(300))
+            api.notify_interrupt(isr)
+
+        sim.register_thread("ext", external_interrupt)
+        sim.run(SimTime.ms(20))
+
+        isr_start = dict(trace)["isr-start"]
+        assert 2.3 <= isr_start <= 3.5
+        assert dict(trace)["isr-end"] == pytest.approx(isr_start + 1.0)
+        # The task resumes and still gets its full 6 ms of CPU time.
+        assert dict(trace)["task-done"] == pytest.approx(7.0, abs=0.6)
+        assert task.interrupted_count == 1
+        assert task.token.firing_sequence.event_vector.get("Ei") == 1
+        assert api.stack.is_empty()
+        assert api.stack.max_observed_depth == 1
+
+    def test_interrupt_on_idle_cpu_starts_handler_immediately(self):
+        sim, api = make_api()
+        times = []
+
+        def isr_body():
+            times.append(sim.now.to_ms())
+            yield from api.sim_wait(duration=SimTime.ms(1), context=ExecutionContext.HANDLER)
+
+        isr = api.create_thread("isr", isr_body, priority=0, kind=ThreadKind.INTERRUPT_HANDLER)
+
+        def external_interrupt():
+            from repro.sysc.process import Wait
+            yield Wait(SimTime.ms(5))
+            api.notify_interrupt(isr)
+
+        sim.register_thread("ext", external_interrupt)
+        sim.run(SimTime.ms(20))
+        assert times == [5.0]
+
+    def test_nested_interrupts_use_the_stack(self):
+        sim, api = make_api()
+        trace = []
+
+        def task_body():
+            yield from api.sim_wait(duration=SimTime.ms(10))
+            trace.append(("task-done", sim.now.to_ms()))
+
+        def isr1_body():
+            trace.append(("isr1-start", sim.now.to_ms()))
+            yield from api.sim_wait(duration=SimTime.ms(4), context=ExecutionContext.HANDLER)
+            trace.append(("isr1-end", sim.now.to_ms()))
+
+        def isr2_body():
+            trace.append(("isr2-start", sim.now.to_ms()))
+            yield from api.sim_wait(duration=SimTime.ms(1), context=ExecutionContext.HANDLER)
+            trace.append(("isr2-end", sim.now.to_ms()))
+
+        task = api.create_thread("task", task_body, priority=10)
+        isr1 = api.create_thread("isr1", isr1_body, priority=1, kind=ThreadKind.INTERRUPT_HANDLER)
+        isr2 = api.create_thread("isr2", isr2_body, priority=0, kind=ThreadKind.INTERRUPT_HANDLER)
+        api.start_thread(task)
+
+        def external():
+            from repro.sysc.process import Wait
+            yield Wait(SimTime.ms(2))
+            api.notify_interrupt(isr1)
+            yield Wait(SimTime.ms(2))
+            api.notify_interrupt(isr2)
+
+        sim.register_thread("ext", external)
+        sim.run(SimTime.ms(30))
+
+        data = dict(trace)
+        assert data["isr1-start"] < data["isr2-start"] < data["isr2-end"] <= data["isr1-end"]
+        assert api.stack.max_observed_depth == 2
+        assert data["task-done"] == pytest.approx(15.0, abs=1.1)
+        assert isr1.interrupted_count == 1  # isr1 itself was nested-interrupted
+
+    def test_notify_interrupt_rejects_plain_tasks(self):
+        sim, api = make_api()
+        task = api.create_thread("t", lambda: iter(()), priority=10)
+        with pytest.raises(SimApiError):
+            api.notify_interrupt(task)
+
+
+class TestDelayedDispatching:
+    def test_preemption_inside_handler_is_postponed(self):
+        """A task woken by an ISR must not start until the ISR returns."""
+        sim, api = make_api()
+        trace = []
+
+        def low_body():
+            yield from api.sim_wait(duration=SimTime.ms(8))
+            trace.append(("low-done", sim.now.to_ms()))
+
+        def high_body():
+            trace.append(("high-start", sim.now.to_ms()))
+            yield from api.sim_wait(duration=SimTime.ms(1))
+            trace.append(("high-end", sim.now.to_ms()))
+            yield from api.block_current()
+            trace.append(("high-resumed", sim.now.to_ms()))
+            yield from api.sim_wait(duration=SimTime.ms(1))
+
+        def isr_body():
+            trace.append(("isr-start", sim.now.to_ms()))
+            yield from api.sim_wait(duration=SimTime.ms(2), context=ExecutionContext.HANDLER)
+            # Waking the high-priority task inside the handler must defer the
+            # dispatch until the handler returns (delayed dispatching).
+            api.wakeup(high)
+            yield from api.sim_wait(duration=SimTime.ms(2), context=ExecutionContext.HANDLER)
+            trace.append(("isr-end", sim.now.to_ms()))
+
+        low = api.create_thread("low", low_body, priority=20)
+        high = api.create_thread("high", high_body, priority=5)
+        isr = api.create_thread("isr", isr_body, priority=0, kind=ThreadKind.INTERRUPT_HANDLER)
+
+        # Put the high task to sleep first, then start the low task.
+        def scenario():
+            from repro.sysc.process import Wait
+            yield Wait(SimTime.ms(3))
+            api.notify_interrupt(isr)
+
+        api.start_thread(high)
+        api.start_thread(low)
+        sim.register_thread("ext", scenario)
+        sim.run(SimTime.ms(40))
+
+        data = dict(trace)
+        # high runs first (priority), sleeps at ~1ms; low then runs; ISR at 3ms.
+        assert data["isr-end"] > data["isr-start"]
+        # The woken high task resumes only after the ISR has returned
+        # (delayed dispatching) and before the low task finishes (it
+        # preempted low).
+        assert data["high-resumed"] >= data["isr-end"]
+        assert data["high-resumed"] < data["low-done"]
+
+
+class TestServiceCallAtomicity:
+    def test_no_preemption_while_dispatch_disabled(self):
+        sim, api = make_api()
+        trace = []
+
+        def low_body():
+            api.dispatch_disable()
+            yield from api.sim_wait(duration=SimTime.ms(4), context=ExecutionContext.SERVICE_CALL)
+            trace.append(("service-done", sim.now.to_ms()))
+            api.dispatch_enable()
+            yield from api.sim_wait(duration=SimTime.ms(2))
+            trace.append(("low-done", sim.now.to_ms()))
+
+        def high_body():
+            trace.append(("high-start", sim.now.to_ms()))
+            yield from api.sim_wait(duration=SimTime.ms(1))
+
+        low = api.create_thread("low", low_body, priority=20)
+        high = api.create_thread("high", high_body, priority=5)
+        api.start_thread(low)
+
+        def starter():
+            from repro.sysc.process import Wait
+            yield Wait(SimTime.ms(1))
+            api.start_thread(high)
+
+        sim.register_thread("starter", starter)
+        sim.run(SimTime.ms(30))
+        data = dict(trace)
+        # The service call completes before the high-priority task runs.
+        assert data["high-start"] >= data["service-done"]
+
+    def test_unbalanced_dispatch_enable_raises(self):
+        sim, api = make_api()
+        with pytest.raises(SimApiError):
+            api.dispatch_enable()
+
+
+class TestRoundRobin:
+    def test_rotation_shares_cpu(self):
+        sim, api = make_api(scheduler=RoundRobinScheduler())
+        finish = {}
+
+        def make_body(name):
+            def body():
+                yield from api.sim_wait(duration=SimTime.ms(4))
+                finish[name] = sim.now.to_ms()
+            return body
+
+        tasks = [api.create_thread(f"t{i}", make_body(f"t{i}"), priority=10) for i in range(2)]
+        for task in tasks:
+            api.start_thread(task)
+
+        # Rotate the time slice every 2 ms, as a round-robin kernel tick would.
+        def rotator():
+            from repro.sysc.process import Wait
+            while True:
+                yield Wait(SimTime.ms(2))
+                api.preempt_current()
+
+        sim.register_thread("rotator", rotator)
+        sim.run(SimTime.ms(30))
+        # Both tasks complete, interleaved: the second finishes ~2ms after the first.
+        assert set(finish) == {"t0", "t1"}
+        assert abs(finish["t1"] - finish["t0"]) <= 2.5
+        assert api.preemption_count >= 2
+
+
+class TestStatistics:
+    def test_energy_statistics_lists_every_thread(self):
+        sim, api = make_api()
+
+        def body():
+            yield from api.sim_wait(duration=SimTime.ms(2), energy_nj=2000.0)
+
+        for name in ("a", "b"):
+            api.start_thread(api.create_thread(name, body, priority=10))
+        sim.run(SimTime.ms(20))
+        stats = api.energy_statistics()
+        assert set(stats) == {"a", "b"}
+        for entry in stats.values():
+            assert entry["cet_ms"] == pytest.approx(2.0)
+            assert entry["cee_mj"] == pytest.approx(2e-3)
+
+    def test_total_energy_includes_idle(self):
+        sim, api = make_api()
+
+        def body():
+            yield from api.sim_wait(duration=SimTime.ms(1), energy_nj=1000.0)
+
+        api.start_thread(api.create_thread("a", body, priority=10))
+        sim.run(SimTime.ms(100))
+        with_idle = api.total_consumed_energy_mj(include_idle=True)
+        without_idle = api.total_consumed_energy_mj(include_idle=False)
+        assert without_idle == pytest.approx(1e-3)
+        assert with_idle > without_idle
+
+    def test_hashtb_journal_records_state_changes(self):
+        sim, api = make_api()
+
+        def body():
+            yield from api.sim_wait(duration=SimTime.ms(1))
+
+        task = api.create_thread("a", body, priority=10)
+        api.start_thread(task)
+        sim.run(SimTime.ms(10))
+        states = [change.new_state for change in api.hashtb.state_changes_of(task.tid)]
+        assert ThreadState.RUNNING in states
+        assert states[-1] is ThreadState.DORMANT

@@ -1,0 +1,130 @@
+"""Tests for the RTK-Spec I / II user-defined kernels."""
+
+import pytest
+
+from repro.rtkspec import RTKSpec1, RTKSpec2
+from repro.sysc import SimTime, Simulator
+
+
+def run_tasks(kernel_class, workload, duration_ms=200, **kwargs):
+    simulator = Simulator(f"rtk-{kernel_class.__name__}")
+    kernel = kernel_class(simulator, **kwargs)
+    completions = {}
+
+    def make_body(name, execution_ms):
+        def body():
+            yield from kernel.api.sim_wait(duration=SimTime.ms(execution_ms))
+            completions[name] = simulator.now.to_ms()
+        return body
+
+    for name, priority, execution_ms in workload:
+        kernel.start_task(kernel.create_task(make_body(name, execution_ms),
+                                             priority=priority, name=name))
+    simulator.run(SimTime.ms(duration_ms))
+    return simulator, kernel, completions
+
+
+class TestRTKSpec1:
+    def test_round_robin_shares_cpu(self):
+        workload = [("a", 10, 10), ("b", 10, 10)]
+        _, kernel, completions = run_tasks(RTKSpec1, workload, time_slice_ticks=3)
+        # Both complete, within a time-slice of each other (fair sharing).
+        assert set(completions) == {"a", "b"}
+        assert abs(completions["a"] - completions["b"]) <= 4.0
+        assert kernel.rotation_count >= 3
+
+    def test_priorities_are_ignored(self):
+        workload = [("low", 40, 8), ("high", 1, 8)]
+        _, kernel, completions = run_tasks(RTKSpec1, workload, time_slice_ticks=2)
+        # The high-priority task gains no advantage under round robin.
+        assert abs(completions["low"] - completions["high"]) <= 3.0
+
+    def test_invalid_time_slice_rejected(self):
+        with pytest.raises(ValueError):
+            RTKSpec1(Simulator("bad"), time_slice_ticks=0)
+
+    def test_describe_reports_scheduler(self):
+        kernel = RTKSpec1(Simulator("describe1"))
+        assert kernel.describe()["scheduler"] == "RoundRobinScheduler"
+        assert kernel.describe()["kernel"] == "RTK-Spec I"
+
+
+class TestRTKSpec2:
+    def test_priority_preemption(self):
+        workload = [("low", 30, 12), ("high", 5, 4)]
+        _, kernel, completions = run_tasks(RTKSpec2, workload)
+        # The high-priority task finishes first even though both start together.
+        assert completions["high"] < completions["low"]
+        assert completions["high"] <= 6.0
+
+    def test_equal_priorities_run_fifo(self):
+        workload = [("first", 10, 5), ("second", 10, 5)]
+        _, _, completions = run_tasks(RTKSpec2, workload)
+        assert completions["first"] < completions["second"]
+
+    def test_sleep_and_wakeup(self):
+        simulator = Simulator("rtk2-sleep")
+        kernel = RTKSpec2(simulator)
+        log = []
+
+        def sleeper():
+            yield from kernel.api.sim_wait(duration=SimTime.ms(1))
+            yield from kernel.sleep()
+            log.append(("woke", simulator.now.to_ms()))
+
+        def waker():
+            yield from kernel.delay(SimTime.ms(10))
+            kernel.wakeup(sleeper_task)
+            log.append(("waker-done", simulator.now.to_ms()))
+
+        sleeper_task = kernel.create_task(sleeper, priority=5, name="sleeper")
+        waker_task = kernel.create_task(waker, priority=10, name="waker")
+        kernel.start_task(sleeper_task)
+        kernel.start_task(waker_task)
+        simulator.run(SimTime.ms(50))
+        data = dict(log)
+        assert data["woke"] >= 10.0
+
+    def test_delay_suspends_for_requested_time(self):
+        simulator = Simulator("rtk2-delay")
+        kernel = RTKSpec2(simulator)
+        log = []
+
+        def body():
+            yield from kernel.delay(SimTime.ms(15))
+            log.append(simulator.now.to_ms())
+
+        kernel.start_task(kernel.create_task(body, priority=5))
+        simulator.run(SimTime.ms(60))
+        assert log and 15.0 <= log[0] <= 17.0
+
+    def test_exit_task_ends_body(self):
+        simulator = Simulator("rtk2-exit")
+        kernel = RTKSpec2(simulator)
+        log = []
+
+        def body():
+            yield from kernel.api.sim_wait(duration=SimTime.ms(1))
+            log.append("before-exit")
+            yield from kernel.exit_task()
+            log.append("after-exit")  # pragma: no cover - must not run
+
+        kernel.start_task(kernel.create_task(body, priority=5))
+        simulator.run(SimTime.ms(20))
+        assert log == ["before-exit"]
+
+
+class TestSharedChassis:
+    def test_task_registry(self):
+        kernel = RTKSpec2(Simulator("registry"))
+        first = kernel.create_task(lambda: iter(()), priority=3, name="one")
+        second = kernel.create_task(lambda: iter(()), priority=4, name="two")
+        assert [task.name for task in kernel.tasks()] == ["one", "two"]
+        assert first.task_id != second.task_id
+
+    def test_same_workload_same_total_time(self):
+        """Both kernels do the same total work; only the interleaving differs."""
+        workload = [("a", 5, 7), ("b", 15, 9), ("c", 25, 11)]
+        _, _, rr = run_tasks(RTKSpec1, workload, time_slice_ticks=3)
+        _, _, prio = run_tasks(RTKSpec2, workload)
+        assert max(rr.values()) == pytest.approx(max(prio.values()), abs=3.0)

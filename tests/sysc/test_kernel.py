@@ -1,0 +1,324 @@
+"""Unit tests for the DES kernel, events and processes."""
+
+import pytest
+
+from repro.sysc import (
+    SCEvent,
+    SimTime,
+    Simulator,
+    SimulationError,
+    Wait,
+    WaitDelta,
+    WaitEvent,
+    WaitEventTimeout,
+)
+from repro.sysc.process import ProcessState, ResumeReason
+
+
+@pytest.fixture
+def sim():
+    return Simulator("test")
+
+
+class TestBasicScheduling:
+    def test_single_process_advances_time(self, sim):
+        log = []
+
+        def body():
+            log.append(("start", sim.now.to_ms()))
+            yield Wait(SimTime.ms(5))
+            log.append(("after", sim.now.to_ms()))
+
+        sim.register_thread("p", body)
+        sim.run()
+        assert log == [("start", 0.0), ("after", 5.0)]
+
+    def test_two_processes_interleave_by_time(self, sim):
+        log = []
+
+        def slow():
+            yield Wait(SimTime.ms(10))
+            log.append("slow")
+
+        def fast():
+            yield Wait(SimTime.ms(1))
+            log.append("fast")
+
+        sim.register_thread("slow", slow)
+        sim.register_thread("fast", fast)
+        sim.run()
+        assert log == ["fast", "slow"]
+
+    def test_run_with_duration_limits_time(self, sim):
+        def body():
+            while True:
+                yield Wait(SimTime.ms(1))
+
+        sim.register_thread("ticker", body)
+        end = sim.run(SimTime.ms(10))
+        assert end == SimTime.ms(10)
+
+    def test_run_without_processes_finishes_immediately(self, sim):
+        assert sim.run() == SimTime(0)
+
+    def test_stop_halts_simulation(self, sim):
+        reached = []
+
+        def body():
+            yield Wait(SimTime.ms(1))
+            sim.stop()
+            yield Wait(SimTime.ms(100))
+            reached.append("should not happen")
+
+        sim.register_thread("p", body)
+        sim.run()
+        assert sim.now == SimTime.ms(1)
+        assert reached == []
+
+    def test_duplicate_process_name_rejected(self, sim):
+        sim.register_thread("p", lambda: iter(()))
+        with pytest.raises(SimulationError):
+            sim.register_thread("p", lambda: iter(()))
+
+    def test_process_termination_marks_state(self, sim):
+        def body():
+            yield Wait(SimTime.ms(1))
+
+        handle = sim.register_thread("p", body)
+        sim.run()
+        assert handle.state is ProcessState.TERMINATED
+        assert not handle.is_alive()
+
+    def test_get_process_by_name(self, sim):
+        handle = sim.register_thread("named", lambda: iter(()))
+        assert sim.get_process("named") is handle
+        with pytest.raises(SimulationError):
+            sim.get_process("missing")
+
+
+class TestEvents:
+    def test_event_wakes_waiter(self, sim):
+        event = sim.create_event("go")
+        log = []
+
+        def waiter():
+            yield WaitEvent(event)
+            log.append(sim.now.to_ms())
+
+        def notifier():
+            yield Wait(SimTime.ms(3))
+            event.notify()
+
+        sim.register_thread("waiter", waiter)
+        sim.register_thread("notifier", notifier)
+        sim.run()
+        assert log == [3.0]
+
+    def test_timed_notification(self, sim):
+        event = sim.create_event("go")
+        log = []
+
+        def waiter():
+            yield WaitEvent(event)
+            log.append(sim.now.to_ms())
+
+        def notifier():
+            event.notify_after(SimTime.ms(7))
+            return
+            yield  # pragma: no cover
+
+        sim.register_thread("waiter", waiter)
+        sim.register_thread("notifier", notifier)
+        sim.run()
+        assert log == [7.0]
+
+    def test_earlier_notification_overrides_later(self, sim):
+        event = sim.create_event("go")
+        times = []
+
+        def waiter():
+            yield WaitEvent(event)
+            times.append(sim.now.to_ms())
+
+        def notifier():
+            event.notify_after(SimTime.ms(10))
+            event.notify_after(SimTime.ms(2))  # earlier wins
+            return
+            yield  # pragma: no cover
+
+        sim.register_thread("waiter", waiter)
+        sim.register_thread("notifier", notifier)
+        sim.run()
+        assert times == [2.0]
+
+    def test_cancel_prevents_notification(self, sim):
+        event = sim.create_event("go")
+        woke = []
+
+        def waiter():
+            yield WaitEventTimeout(event, SimTime.ms(20))
+            woke.append(sim.now.to_ms())
+
+        def canceller():
+            event.notify_after(SimTime.ms(5))
+            yield Wait(SimTime.ms(1))
+            event.cancel()
+
+        sim.register_thread("waiter", waiter)
+        sim.register_thread("canceller", canceller)
+        sim.run()
+        # The waiter should only wake at the 20 ms timeout.
+        assert woke == [20.0]
+
+    def test_wait_with_timeout_reports_reason(self, sim):
+        event = sim.create_event("never")
+        reasons = []
+
+        def waiter():
+            reason = yield WaitEventTimeout(event, SimTime.ms(4))
+            reasons.append(reason)
+
+        sim.register_thread("waiter", waiter)
+        sim.run()
+        assert reasons == [ResumeReason.TIMEOUT]
+
+    def test_event_arrival_beats_timeout(self, sim):
+        event = sim.create_event("go")
+        reasons = []
+
+        def waiter():
+            reason = yield WaitEventTimeout(event, SimTime.ms(50))
+            reasons.append((reason, sim.now.to_ms()))
+
+        def notifier():
+            yield Wait(SimTime.ms(2))
+            event.notify()
+
+        sim.register_thread("waiter", waiter)
+        sim.register_thread("notifier", notifier)
+        sim.run()
+        assert reasons == [(ResumeReason.EVENT, 2.0)]
+        # Timeout callback should not resurrect the process later.
+        assert sim.now >= SimTime.ms(50) or not sim.pending_activity()
+
+    def test_delta_notification_same_time(self, sim):
+        event = sim.create_event("go")
+        log = []
+
+        def waiter():
+            yield WaitEvent(event)
+            log.append(("woke", sim.now.to_ns()))
+
+        def notifier():
+            event.notify_delta()
+            log.append(("notified", sim.now.to_ns()))
+            return
+            yield  # pragma: no cover
+
+        sim.register_thread("waiter", waiter)
+        sim.register_thread("notifier", notifier)
+        sim.run()
+        assert ("woke", 0) in log and ("notified", 0) in log
+
+    def test_bare_event_yield_is_wait_event(self, sim):
+        event = sim.create_event("go")
+        log = []
+
+        def waiter():
+            yield event
+            log.append(sim.now.to_ms())
+
+        def notifier():
+            yield Wait(SimTime.ms(1))
+            event.notify()
+
+        sim.register_thread("w", waiter)
+        sim.register_thread("n", notifier)
+        sim.run()
+        assert log == [1.0]
+
+
+class TestStaticSensitivity:
+    def test_dont_initialize_waits_for_sensitivity(self, sim):
+        tick = sim.create_event("tick")
+        log = []
+
+        def reactor():
+            while True:
+                log.append(sim.now.to_ms())
+                yield None  # wait on static sensitivity
+
+        def ticker():
+            for _ in range(3):
+                yield Wait(SimTime.ms(2))
+                tick.notify()
+
+        sim.register_thread("reactor", reactor, sensitivity=tick, dont_initialize=True)
+        sim.register_thread("ticker", ticker)
+        sim.run()
+        assert log == [2.0, 4.0, 6.0]
+
+    def test_empty_static_sensitivity_is_an_error(self, sim):
+        def body():
+            yield None
+
+        sim.register_thread("p", body)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestDeltaCycles:
+    def test_wait_delta_runs_same_time(self, sim):
+        log = []
+
+        def body():
+            log.append(sim.delta_count)
+            yield WaitDelta()
+            log.append(sim.delta_count)
+            assert sim.now == SimTime(0)
+
+        sim.register_thread("p", body)
+        sim.run()
+        assert log[1] > log[0]
+
+    def test_zero_duration_wait_is_delta(self, sim):
+        def body():
+            yield Wait(SimTime(0))
+            assert sim.now == SimTime(0)
+
+        sim.register_thread("p", body)
+        sim.run()
+
+
+class TestDynamicProcessCreation:
+    def test_process_created_during_run(self, sim):
+        log = []
+
+        def child():
+            yield Wait(SimTime.ms(1))
+            log.append(("child", sim.now.to_ms()))
+
+        def parent():
+            yield Wait(SimTime.ms(2))
+            sim.register_thread("child", child)
+            yield Wait(SimTime.ms(5))
+            log.append(("parent", sim.now.to_ms()))
+
+        sim.register_thread("parent", parent)
+        sim.run()
+        assert ("child", 3.0) in log
+        assert ("parent", 7.0) in log
+
+
+class TestErrorHandling:
+    def test_invalid_wait_request_raises(self, sim):
+        def body():
+            yield "not a wait request"
+
+        sim.register_thread("p", body)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_negative_callback_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_callback(SimTime(-1), lambda: None)

@@ -1,0 +1,212 @@
+"""Unit tests for signals, clocks, modules and tracing."""
+
+import pytest
+
+from repro.sysc import Clock, SCModule, Signal, SimTime, Simulator, TraceFile, Wait, WaitEvent
+
+
+@pytest.fixture
+def sim():
+    return Simulator("test")
+
+
+class TestSignal:
+    def test_write_is_deferred_to_update_phase(self, sim):
+        sig = Signal("s", 0, sim)
+        observed = []
+
+        def writer():
+            sig.write(5)
+            observed.append(("immediately", sig.read()))
+            yield Wait(SimTime(0))
+            observed.append(("after delta", sig.read()))
+
+        sim.register_thread("writer", writer)
+        sim.run()
+        assert observed == [("immediately", 0), ("after delta", 5)]
+
+    def test_value_changed_event(self, sim):
+        sig = Signal("s", 0, sim)
+        seen = []
+
+        def watcher():
+            while True:
+                yield WaitEvent(sig.value_changed_event)
+                seen.append((sim.now.to_ms(), sig.read()))
+
+        def writer():
+            yield Wait(SimTime.ms(1))
+            sig.write(1)
+            yield Wait(SimTime.ms(1))
+            sig.write(1)  # no change: no event
+            yield Wait(SimTime.ms(1))
+            sig.write(2)
+
+        sim.register_thread("watcher", watcher)
+        sim.register_thread("writer", writer)
+        sim.run()
+        assert seen == [(1.0, 1), (3.0, 2)]
+
+    def test_posedge_negedge_events(self, sim):
+        sig = Signal("flag", False, sim)
+        edges = []
+
+        def pos_watcher():
+            while True:
+                yield WaitEvent(sig.posedge_event)
+                edges.append(("pos", sim.now.to_ms()))
+
+        def neg_watcher():
+            while True:
+                yield WaitEvent(sig.negedge_event)
+                edges.append(("neg", sim.now.to_ms()))
+
+        def driver():
+            yield Wait(SimTime.ms(1))
+            sig.write(True)
+            yield Wait(SimTime.ms(1))
+            sig.write(False)
+
+        sim.register_thread("pos", pos_watcher)
+        sim.register_thread("neg", neg_watcher)
+        sim.register_thread("driver", driver)
+        sim.run()
+        assert ("pos", 1.0) in edges and ("neg", 2.0) in edges
+
+    def test_last_write_in_delta_wins(self, sim):
+        sig = Signal("s", 0, sim)
+
+        def writer():
+            sig.write(1)
+            sig.write(2)
+            yield Wait(SimTime(0))
+            assert sig.read() == 2
+
+        sim.register_thread("writer", writer)
+        sim.run()
+        assert sig.change_count == 1
+
+
+class TestClock:
+    def test_clock_posedges_are_periodic(self, sim):
+        clock = Clock("clk", SimTime.ms(1), simulator=sim)
+        edges = []
+
+        def watcher():
+            while True:
+                yield WaitEvent(clock.posedge_event)
+                edges.append(sim.now.to_ms())
+
+        sim.register_thread("watcher", watcher)
+        sim.run(SimTime.ms(5))
+        assert edges[:5] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_clock_stop_halts_toggling(self, sim):
+        clock = Clock("clk", SimTime.ms(1), simulator=sim)
+        edges = []
+
+        def watcher():
+            while True:
+                yield WaitEvent(clock.posedge_event)
+                edges.append(sim.now.to_ms())
+                if len(edges) == 3:
+                    clock.stop()
+
+        sim.register_thread("watcher", watcher)
+        sim.run(SimTime.ms(20))
+        assert len(edges) == 3
+
+    def test_invalid_parameters_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Clock("bad", SimTime.ms(1), duty_cycle=0.0, simulator=sim)
+        with pytest.raises(ValueError):
+            Clock("bad2", SimTime(0), simulator=sim)
+
+
+class TestSCModule:
+    def test_threads_are_namespaced(self, sim):
+        class Block(SCModule):
+            def __init__(self):
+                super().__init__("block", sim)
+                self.ran = False
+                self.sc_thread("main", self._main)
+
+            def _main(self):
+                self.ran = True
+                return
+                yield  # pragma: no cover
+
+        block = Block()
+        sim.run()
+        assert block.ran
+        assert sim.get_process("block.main") is not None
+
+    def test_hierarchy_enumeration(self, sim):
+        top = SCModule("top", sim)
+        child_a = top.add_child(SCModule("a", sim))
+        child_a.add_child(SCModule("a1", sim))
+        top.add_child(SCModule("b", sim))
+        assert top.hierarchy() == ["top", "a", "a1", "b"]
+
+
+class TestTraceFile:
+    def test_records_value_changes(self, sim):
+        sig = Signal("bus", 0, sim)
+        trace = TraceFile()
+        trace.trace(sig)
+
+        def writer():
+            yield Wait(SimTime.ms(1))
+            sig.write(0xAA)
+            yield Wait(SimTime.ms(2))
+            sig.write(0x55)
+
+        sim.register_thread("writer", writer)
+        sim.run()
+        changes = trace.changes_of("bus")
+        assert [(c.time.to_ms(), c.new) for c in changes] == [(1.0, 0xAA), (3.0, 0x55)]
+
+    def test_value_at_interpolates_last_value(self, sim):
+        sig = Signal("bus", 7, sim)
+        trace = TraceFile()
+        trace.trace(sig)
+
+        def writer():
+            yield Wait(SimTime.ms(5))
+            sig.write(9)
+
+        sim.register_thread("writer", writer)
+        sim.run()
+        assert trace.value_at("bus", SimTime.ms(1)) == 7
+        assert trace.value_at("bus", SimTime.ms(6)) == 9
+
+    def test_vcd_export_contains_declarations(self, sim):
+        sig = Signal("irq", False, sim)
+        trace = TraceFile()
+        trace.trace(sig)
+
+        def writer():
+            yield Wait(SimTime.ms(1))
+            sig.write(True)
+
+        sim.register_thread("writer", writer)
+        sim.run()
+        vcd = trace.to_vcd()
+        assert "$var wire" in vcd and "irq" in vcd and "#1000000" in vcd
+
+    def test_ascii_rendering(self, sim):
+        sig = Signal("irq", False, sim)
+        trace = TraceFile()
+        trace.trace(sig)
+
+        def writer():
+            yield Wait(SimTime.ms(2))
+            sig.write(True)
+            yield Wait(SimTime.ms(2))
+            sig.write(False)
+
+        sim.register_thread("writer", writer)
+        sim.run()
+        art = trace.render_ascii(stop=SimTime.ms(6), step=SimTime.ms(1))
+        assert "irq" in art
+        assert "#" in art and "_" in art

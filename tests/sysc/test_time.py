@@ -1,0 +1,103 @@
+"""Unit tests for repro.sysc.time."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sysc.time import MS, NS, SEC, US, SimTime
+
+
+class TestConstruction:
+    def test_default_is_zero(self):
+        assert SimTime().nanoseconds == 0
+        assert not SimTime()
+
+    def test_unit_constructors(self):
+        assert SimTime.ns(5).to_ns() == 5
+        assert SimTime.us(5).to_ns() == 5_000
+        assert SimTime.ms(5).to_ns() == 5_000_000
+        assert SimTime.sec(5).to_ns() == 5_000_000_000
+
+    def test_fractional_values_round(self):
+        assert SimTime.us(1.5).to_ns() == 1500
+        assert SimTime.ms(0.25).to_ns() == 250_000
+
+    def test_coerce_passthrough(self):
+        t = SimTime.ms(3)
+        assert SimTime.coerce(t) is t
+
+    def test_coerce_number_is_nanoseconds(self):
+        assert SimTime.coerce(42).to_ns() == 42
+
+    def test_unit_values(self):
+        assert NS == 1
+        assert US == 1_000
+        assert MS == 1_000_000
+        assert SEC == 1_000_000_000
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert (SimTime.ms(1) + SimTime.us(500)).to_ns() == 1_500_000
+
+    def test_addition_with_int(self):
+        assert (SimTime.ns(10) + 5).to_ns() == 15
+        assert (5 + SimTime.ns(10)).to_ns() == 15
+
+    def test_subtraction(self):
+        assert (SimTime.ms(2) - SimTime.ms(1)).to_ms() == 1.0
+
+    def test_multiplication(self):
+        assert (SimTime.ms(1) * 3).to_ms() == 3.0
+        assert (3 * SimTime.ms(1)).to_ms() == 3.0
+
+    def test_floor_division_counts_periods(self):
+        assert SimTime.ms(10) // SimTime.ms(3) == 3
+
+    def test_modulo(self):
+        assert (SimTime.ms(10) % SimTime.ms(3)).to_ms() == 1.0
+
+    def test_negation(self):
+        assert (-SimTime.ns(7)).to_ns() == -7
+
+
+class TestOrdering:
+    def test_comparisons(self):
+        assert SimTime.ms(1) < SimTime.ms(2)
+        assert SimTime.ms(2) > SimTime.ms(1)
+        assert SimTime.ms(1) == SimTime.us(1000)
+        assert SimTime.ms(1) <= SimTime.ms(1)
+
+    def test_comparison_with_numbers(self):
+        assert SimTime.ns(5) == 5
+        assert SimTime.ns(5) < 6
+
+    def test_hashable(self):
+        assert len({SimTime.ms(1), SimTime.us(1000), SimTime.ms(2)}) == 2
+
+
+class TestFormatting:
+    def test_format_picks_natural_unit(self):
+        assert SimTime.sec(2).format() == "2 s"
+        assert SimTime.ms(3).format() == "3 ms"
+        assert SimTime.us(7).format() == "7 us"
+        assert SimTime.ns(9).format() == "9 ns"
+        assert SimTime().format() == "0 s"
+
+    def test_repr_contains_format(self):
+        assert "3 ms" in repr(SimTime.ms(3))
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=10**12), st.integers(min_value=0, max_value=10**12))
+    def test_addition_commutes(self, a, b):
+        assert SimTime(a) + SimTime(b) == SimTime(b) + SimTime(a)
+
+    @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10**6))
+    def test_divmod_identity(self, a, b):
+        t, period = SimTime(a), SimTime(b)
+        assert period * (t // period) + (t % period) == t
+
+    @given(st.integers(min_value=-10**12, max_value=10**12))
+    def test_coerce_roundtrip(self, ns):
+        assert SimTime.coerce(ns).to_ns() == ns

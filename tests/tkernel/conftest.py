@@ -1,0 +1,29 @@
+"""Shared fixtures and helpers for the T-Kernel tests.
+
+Most tests follow the same pattern: define a ``user_main`` that creates the
+scenario, boot a kernel, run the simulator for a bounded time and assert on
+the log / kernel state.  :func:`run_kernel` packages that pattern.
+"""
+
+import pytest
+
+from repro.sysc import SimTime, Simulator
+from repro.tkernel import TKernelOS
+
+
+@pytest.fixture
+def sim():
+    return Simulator("tkernel-test")
+
+
+def run_kernel(user_main, duration_ms=100, charge_service_costs=True, **kernel_kwargs):
+    """Boot a kernel running *user_main* and simulate for *duration_ms*."""
+    simulator = Simulator("tkernel-test")
+    kernel = TKernelOS(
+        simulator,
+        user_main=user_main,
+        charge_service_costs=charge_service_costs,
+        **kernel_kwargs,
+    )
+    simulator.run(SimTime.ms(duration_ms))
+    return simulator, kernel

@@ -1,0 +1,560 @@
+"""Integration tests for semaphores, event flags, mutexes, mailboxes,
+message buffers and memory pools."""
+
+import pytest
+
+from repro.sysc import SimTime
+from repro.tkernel import (
+    E_DLT,
+    E_ILUSE,
+    E_NOEXS,
+    E_OBJ,
+    E_OK,
+    E_PAR,
+    E_QOVR,
+    E_TMOUT,
+    TA_CEILING,
+    TA_CLR,
+    TA_INHERIT,
+    TA_TPRI,
+    TA_WMUL,
+    TMO_FEVR,
+    TMO_POL,
+    TWF_ANDW,
+    TWF_ORW,
+)
+from tests.tkernel.conftest import run_kernel
+
+
+class TestSemaphores:
+    def test_create_validation(self):
+        results = {}
+
+        def user_main(kernel):
+            results["neg"] = yield from kernel.tk_cre_sem(isemcnt=-1)
+            results["over"] = yield from kernel.tk_cre_sem(isemcnt=5, maxsem=3)
+            results["ok"] = yield from kernel.tk_cre_sem(isemcnt=1, maxsem=3)
+
+        run_kernel(user_main, duration_ms=10)
+        assert results["neg"] == E_PAR
+        assert results["over"] == E_PAR
+        assert results["ok"] > 0
+
+    def test_wait_and_signal_across_tasks(self):
+        log = []
+
+        def user_main(kernel):
+            semid = yield from kernel.tk_cre_sem(isemcnt=0, maxsem=10)
+
+            def waiter(stacd, exinf):
+                ercd = yield from kernel.tk_wai_sem(semid)
+                log.append(("acquired", kernel.simulator.now.to_ms(), ercd))
+
+            def signaller(stacd, exinf):
+                yield from kernel.tk_dly_tsk(8)
+                yield from kernel.tk_sig_sem(semid)
+
+            w = yield from kernel.tk_cre_tsk(waiter, itskpri=5, name="waiter")
+            s = yield from kernel.tk_cre_tsk(signaller, itskpri=10, name="signaller")
+            yield from kernel.tk_sta_tsk(w)
+            yield from kernel.tk_sta_tsk(s)
+
+        run_kernel(user_main, duration_ms=60)
+        assert len(log) == 1
+        assert log[0][2] == E_OK
+        assert log[0][1] >= 8.0
+
+    def test_polling_and_timeout(self):
+        results = {}
+
+        def user_main(kernel):
+            semid = yield from kernel.tk_cre_sem(isemcnt=0, maxsem=1)
+            results["poll"] = yield from kernel.tk_wai_sem(semid, tmout=TMO_POL)
+            start = kernel.simulator.now.to_ms()
+            results["timeout"] = yield from kernel.tk_wai_sem(semid, tmout=10)
+            results["elapsed"] = kernel.simulator.now.to_ms() - start
+
+        run_kernel(user_main, duration_ms=60)
+        assert results["poll"] == E_TMOUT
+        assert results["timeout"] == E_TMOUT
+        assert results["elapsed"] >= 9.0
+
+    def test_signal_overflow(self):
+        results = {}
+
+        def user_main(kernel):
+            semid = yield from kernel.tk_cre_sem(isemcnt=1, maxsem=1)
+            results["overflow"] = yield from kernel.tk_sig_sem(semid)
+
+        run_kernel(user_main, duration_ms=10)
+        assert results["overflow"] == E_QOVR
+
+    def test_priority_ordered_waiters(self):
+        order = []
+
+        def user_main(kernel):
+            semid = yield from kernel.tk_cre_sem(isemcnt=0, maxsem=5, sematr=TA_TPRI)
+
+            def waiter(name):
+                def body(stacd, exinf):
+                    yield from kernel.tk_wai_sem(semid)
+                    order.append(name)
+                return body
+
+            low = yield from kernel.tk_cre_tsk(waiter("low"), itskpri=30, name="low")
+            high = yield from kernel.tk_cre_tsk(waiter("high"), itskpri=10, name="high")
+            # Start the low-priority waiter first so it queues first.
+            yield from kernel.tk_sta_tsk(low)
+            yield from kernel.tk_dly_tsk(3)
+            yield from kernel.tk_sta_tsk(high)
+            yield from kernel.tk_dly_tsk(3)
+            yield from kernel.tk_sig_sem(semid, 1)
+            yield from kernel.tk_dly_tsk(3)
+            yield from kernel.tk_sig_sem(semid, 1)
+
+        run_kernel(user_main, duration_ms=80)
+        assert order == ["high", "low"]
+
+    def test_delete_releases_waiters_with_e_dlt(self):
+        log = []
+
+        def user_main(kernel):
+            semid = yield from kernel.tk_cre_sem(isemcnt=0, maxsem=1)
+
+            def waiter(stacd, exinf):
+                ercd = yield from kernel.tk_wai_sem(semid)
+                log.append(ercd)
+
+            w = yield from kernel.tk_cre_tsk(waiter, itskpri=5)
+            yield from kernel.tk_sta_tsk(w)
+            yield from kernel.tk_dly_tsk(5)
+            yield from kernel.tk_del_sem(semid)
+            log.append((yield from kernel.tk_ref_sem(semid)))
+
+        run_kernel(user_main, duration_ms=50)
+        assert E_DLT in log
+        assert E_NOEXS in log
+
+    def test_ref_sem_reports_count_and_waiters(self):
+        results = {}
+
+        def user_main(kernel):
+            semid = yield from kernel.tk_cre_sem(isemcnt=3, maxsem=5, name="res")
+            yield from kernel.tk_wai_sem(semid, cnt=2)
+            results["ref"] = yield from kernel.tk_ref_sem(semid)
+
+        run_kernel(user_main, duration_ms=10)
+        assert results["ref"]["semcnt"] == 1
+        assert results["ref"]["wtsk"] == []
+
+
+class TestEventFlags:
+    def test_or_wait_released_by_any_bit(self):
+        log = []
+
+        def user_main(kernel):
+            flgid = yield from kernel.tk_cre_flg(iflgptn=0, flgatr=TA_WMUL)
+
+            def waiter(stacd, exinf):
+                pattern = yield from kernel.tk_wai_flg(flgid, 0b101, TWF_ORW)
+                log.append(("released", pattern, kernel.simulator.now.to_ms()))
+
+            w = yield from kernel.tk_cre_tsk(waiter, itskpri=5)
+            yield from kernel.tk_sta_tsk(w)
+            yield from kernel.tk_dly_tsk(5)
+            yield from kernel.tk_set_flg(flgid, 0b100)
+
+        run_kernel(user_main, duration_ms=40)
+        assert len(log) == 1
+        assert log[0][1] & 0b100
+
+    def test_and_wait_needs_all_bits(self):
+        log = []
+
+        def user_main(kernel):
+            flgid = yield from kernel.tk_cre_flg(iflgptn=0, flgatr=TA_WMUL)
+
+            def waiter(stacd, exinf):
+                pattern = yield from kernel.tk_wai_flg(flgid, 0b11, TWF_ANDW)
+                log.append((kernel.simulator.now.to_ms(), pattern))
+
+            w = yield from kernel.tk_cre_tsk(waiter, itskpri=5)
+            yield from kernel.tk_sta_tsk(w)
+            yield from kernel.tk_dly_tsk(5)
+            yield from kernel.tk_set_flg(flgid, 0b01)   # not yet
+            yield from kernel.tk_dly_tsk(5)
+            yield from kernel.tk_set_flg(flgid, 0b10)   # now complete
+
+        run_kernel(user_main, duration_ms=60)
+        assert len(log) == 1
+        assert log[0][0] >= 10.0
+        assert log[0][1] == 0b11
+
+    def test_clear_attribute_resets_pattern(self):
+        results = {}
+
+        def user_main(kernel):
+            flgid = yield from kernel.tk_cre_flg(iflgptn=0b1, flgatr=TA_WMUL)
+            # Condition already true: released immediately, pattern cleared.
+            pattern = yield from kernel.tk_wai_flg(flgid, 0b1, TWF_ORW | 0x10)
+            results["returned"] = pattern
+            results["ref"] = yield from kernel.tk_ref_flg(flgid)
+
+        run_kernel(user_main, duration_ms=10)
+        assert results["returned"] == 0b1
+        assert results["ref"]["flgptn"] == 0
+
+    def test_single_wait_attribute_rejects_second_waiter(self):
+        results = {}
+
+        def user_main(kernel):
+            flgid = yield from kernel.tk_cre_flg(iflgptn=0)  # TA_WSGL default
+
+            def first(stacd, exinf):
+                yield from kernel.tk_wai_flg(flgid, 0b1, TWF_ORW)
+
+            t = yield from kernel.tk_cre_tsk(first, itskpri=5)
+            yield from kernel.tk_sta_tsk(t)
+            yield from kernel.tk_dly_tsk(5)
+            results["second"] = yield from kernel.tk_wai_flg(flgid, 0b1, TWF_ORW,
+                                                             tmout=TMO_POL)
+
+        run_kernel(user_main, duration_ms=40)
+        assert results["second"] == E_OBJ
+
+    def test_clr_flg_clears_bits(self):
+        results = {}
+
+        def user_main(kernel):
+            flgid = yield from kernel.tk_cre_flg(iflgptn=0b1111)
+            yield from kernel.tk_clr_flg(flgid, 0b1100)
+            results["ref"] = yield from kernel.tk_ref_flg(flgid)
+
+        run_kernel(user_main, duration_ms=10)
+        assert results["ref"]["flgptn"] == 0b1100
+
+
+class TestMutexes:
+    def test_lock_unlock_and_contention(self):
+        log = []
+
+        def user_main(kernel):
+            mtxid = yield from kernel.tk_cre_mtx(name="lock")
+
+            def holder(stacd, exinf):
+                yield from kernel.tk_loc_mtx(mtxid)
+                log.append(("holder-locked", kernel.simulator.now.to_ms()))
+                yield from kernel.api.sim_wait(duration=SimTime.ms(10))
+                yield from kernel.tk_unl_mtx(mtxid)
+
+            def contender(stacd, exinf):
+                yield from kernel.tk_dly_tsk(2)
+                ercd = yield from kernel.tk_loc_mtx(mtxid)
+                log.append(("contender-locked", kernel.simulator.now.to_ms(), ercd))
+                yield from kernel.tk_unl_mtx(mtxid)
+
+            h = yield from kernel.tk_cre_tsk(holder, itskpri=10, name="holder")
+            c = yield from kernel.tk_cre_tsk(contender, itskpri=12, name="contender")
+            yield from kernel.tk_sta_tsk(h)
+            yield from kernel.tk_sta_tsk(c)
+
+        run_kernel(user_main, duration_ms=80)
+        data = {entry[0]: entry for entry in log}
+        assert data["contender-locked"][1] >= data["holder-locked"][1] + 10.0
+
+    def test_unlock_by_non_owner_is_illegal(self):
+        results = {}
+
+        def user_main(kernel):
+            mtxid = yield from kernel.tk_cre_mtx()
+
+            def other(stacd, exinf):
+                results["unlock"] = yield from kernel.tk_unl_mtx(mtxid)
+                return
+                yield  # pragma: no cover
+
+            yield from kernel.tk_loc_mtx(mtxid)
+            t = yield from kernel.tk_cre_tsk(other, itskpri=2, name="other")
+            yield from kernel.tk_sta_tsk(t)
+            yield from kernel.tk_dly_tsk(5)
+
+        run_kernel(user_main, duration_ms=30)
+        assert results["unlock"] == E_ILUSE
+
+    def test_recursive_lock_rejected(self):
+        results = {}
+
+        def user_main(kernel):
+            mtxid = yield from kernel.tk_cre_mtx()
+            yield from kernel.tk_loc_mtx(mtxid)
+            results["again"] = yield from kernel.tk_loc_mtx(mtxid)
+
+        run_kernel(user_main, duration_ms=10)
+        assert results["again"] == E_ILUSE
+
+    def test_priority_inheritance_boosts_owner(self):
+        observations = {}
+
+        def user_main(kernel):
+            mtxid = yield from kernel.tk_cre_mtx(mtxatr=TA_INHERIT)
+
+            def low(stacd, exinf):
+                yield from kernel.tk_loc_mtx(mtxid)
+                yield from kernel.api.sim_wait(duration=SimTime.ms(6))
+                # While holding the mutex with a high-priority waiter queued,
+                # this task's current priority must have been boosted.
+                ref = yield from kernel.tk_ref_tsk(0)
+                observations["boosted_pri"] = ref["tskpri"]
+                yield from kernel.tk_unl_mtx(mtxid)
+                ref = yield from kernel.tk_ref_tsk(0)
+                observations["restored_pri"] = ref["tskpri"]
+
+            def high(stacd, exinf):
+                yield from kernel.tk_dly_tsk(2)
+                yield from kernel.tk_loc_mtx(mtxid)
+                yield from kernel.tk_unl_mtx(mtxid)
+
+            low_id = yield from kernel.tk_cre_tsk(low, itskpri=40, name="low")
+            high_id = yield from kernel.tk_cre_tsk(high, itskpri=8, name="high")
+            yield from kernel.tk_sta_tsk(low_id)
+            yield from kernel.tk_sta_tsk(high_id)
+
+        run_kernel(user_main, duration_ms=80)
+        assert observations["boosted_pri"] == 8
+        assert observations["restored_pri"] == 40
+
+    def test_ceiling_protocol_raises_owner_on_lock(self):
+        observations = {}
+
+        def user_main(kernel):
+            mtxid = yield from kernel.tk_cre_mtx(mtxatr=TA_CEILING, ceilpri=3)
+
+            def worker(stacd, exinf):
+                yield from kernel.tk_loc_mtx(mtxid)
+                ref = yield from kernel.tk_ref_tsk(0)
+                observations["locked_pri"] = ref["tskpri"]
+                yield from kernel.tk_unl_mtx(mtxid)
+                ref = yield from kernel.tk_ref_tsk(0)
+                observations["after_pri"] = ref["tskpri"]
+
+            w = yield from kernel.tk_cre_tsk(worker, itskpri=50, name="worker")
+            yield from kernel.tk_sta_tsk(w)
+
+        run_kernel(user_main, duration_ms=40)
+        assert observations["locked_pri"] == 3
+        assert observations["after_pri"] == 50
+
+    def test_mutex_released_on_task_exit(self):
+        results = {}
+
+        def user_main(kernel):
+            mtxid = yield from kernel.tk_cre_mtx()
+
+            def holder(stacd, exinf):
+                yield from kernel.tk_loc_mtx(mtxid)
+                # Exits while still holding the mutex.
+                return
+                yield  # pragma: no cover
+
+            h = yield from kernel.tk_cre_tsk(holder, itskpri=5, name="holder")
+            yield from kernel.tk_sta_tsk(h)
+            yield from kernel.tk_dly_tsk(5)
+            results["ref"] = yield from kernel.tk_ref_mtx(mtxid)
+
+        run_kernel(user_main, duration_ms=40)
+        assert results["ref"]["htsk"] == 0
+
+
+class TestMailboxes:
+    def test_send_then_receive(self):
+        results = {}
+
+        def user_main(kernel):
+            mbxid = yield from kernel.tk_cre_mbx(name="queue")
+            yield from kernel.tk_snd_mbx(mbxid, {"frame": 1})
+            ercd, payload = yield from kernel.tk_rcv_mbx(mbxid)
+            results["ercd"] = ercd
+            results["payload"] = payload
+
+        run_kernel(user_main, duration_ms=10)
+        assert results["ercd"] == E_OK
+        assert results["payload"] == {"frame": 1}
+
+    def test_receive_blocks_until_send(self):
+        log = []
+
+        def user_main(kernel):
+            mbxid = yield from kernel.tk_cre_mbx()
+
+            def receiver(stacd, exinf):
+                ercd, payload = yield from kernel.tk_rcv_mbx(mbxid)
+                log.append((kernel.simulator.now.to_ms(), ercd, payload))
+
+            r = yield from kernel.tk_cre_tsk(receiver, itskpri=5)
+            yield from kernel.tk_sta_tsk(r)
+            yield from kernel.tk_dly_tsk(7)
+            yield from kernel.tk_snd_mbx(mbxid, "hello")
+
+        run_kernel(user_main, duration_ms=40)
+        assert len(log) == 1
+        assert log[0][1] == E_OK and log[0][2] == "hello"
+        assert log[0][0] >= 7.0
+
+    def test_message_priority_ordering(self):
+        results = {}
+
+        def user_main(kernel):
+            from repro.tkernel.types import TA_MPRI
+            mbxid = yield from kernel.tk_cre_mbx(mbxatr=TA_MPRI)
+            yield from kernel.tk_snd_mbx(mbxid, "low", msgpri=9)
+            yield from kernel.tk_snd_mbx(mbxid, "high", msgpri=1)
+            _, first = yield from kernel.tk_rcv_mbx(mbxid)
+            _, second = yield from kernel.tk_rcv_mbx(mbxid)
+            results["order"] = [first, second]
+
+        run_kernel(user_main, duration_ms=10)
+        assert results["order"] == ["high", "low"]
+
+    def test_receive_timeout(self):
+        results = {}
+
+        def user_main(kernel):
+            mbxid = yield from kernel.tk_cre_mbx()
+            ercd, payload = yield from kernel.tk_rcv_mbx(mbxid, tmout=5)
+            results["ercd"] = ercd
+            results["payload"] = payload
+
+        run_kernel(user_main, duration_ms=30)
+        assert results["ercd"] == E_TMOUT
+        assert results["payload"] is None
+
+
+class TestMessageBuffers:
+    def test_bounded_buffer_blocks_sender_when_full(self):
+        log = []
+
+        def user_main(kernel):
+            mbfid = yield from kernel.tk_cre_mbf(bufsz=8, maxmsz=8)
+
+            def sender(stacd, exinf):
+                yield from kernel.tk_snd_mbf(mbfid, "first", size=8)
+                log.append(("sent-first", kernel.simulator.now.to_ms()))
+                yield from kernel.tk_snd_mbf(mbfid, "second", size=8)
+                log.append(("sent-second", kernel.simulator.now.to_ms()))
+
+            s = yield from kernel.tk_cre_tsk(sender, itskpri=5, name="sender")
+            yield from kernel.tk_sta_tsk(s)
+            yield from kernel.tk_dly_tsk(10)
+            ercd, payload, size = yield from kernel.tk_rcv_mbf(mbfid)
+            log.append(("received", payload, size, ercd))
+
+        run_kernel(user_main, duration_ms=60)
+        data = {entry[0]: entry for entry in log}
+        assert "sent-first" in data
+        # The second send had to wait for the receive to free space.
+        assert data["sent-second"][1] >= 10.0
+        assert data["received"][1] == "first"
+
+    def test_direct_handoff_to_waiting_receiver(self):
+        log = []
+
+        def user_main(kernel):
+            mbfid = yield from kernel.tk_cre_mbf(bufsz=64, maxmsz=16)
+
+            def receiver(stacd, exinf):
+                ercd, payload, size = yield from kernel.tk_rcv_mbf(mbfid)
+                log.append((ercd, payload, size))
+
+            r = yield from kernel.tk_cre_tsk(receiver, itskpri=5)
+            yield from kernel.tk_sta_tsk(r)
+            yield from kernel.tk_dly_tsk(5)
+            yield from kernel.tk_snd_mbf(mbfid, [1, 2, 3], size=3)
+
+        run_kernel(user_main, duration_ms=40)
+        assert log == [(E_OK, [1, 2, 3], 3)]
+
+    def test_oversized_message_rejected(self):
+        results = {}
+
+        def user_main(kernel):
+            mbfid = yield from kernel.tk_cre_mbf(bufsz=32, maxmsz=4)
+            results["too_big"] = yield from kernel.tk_snd_mbf(mbfid, "x", size=10)
+
+        run_kernel(user_main, duration_ms=10)
+        assert results["too_big"] == E_PAR
+
+
+class TestMemoryPools:
+    def test_fixed_pool_allocation_and_exhaustion(self):
+        results = {}
+
+        def user_main(kernel):
+            mpfid = yield from kernel.tk_cre_mpf(mpfcnt=2, blfsz=64)
+            ercd1, block1 = yield from kernel.tk_get_mpf(mpfid)
+            ercd2, block2 = yield from kernel.tk_get_mpf(mpfid)
+            results["polled_empty"] = (yield from kernel.tk_get_mpf(mpfid, tmout=TMO_POL))[0]
+            results["ref_before"] = yield from kernel.tk_ref_mpf(mpfid)
+            yield from kernel.tk_rel_mpf(mpfid, block1)
+            results["ref_after"] = yield from kernel.tk_ref_mpf(mpfid)
+            results["sizes"] = (block1.size, block2.size)
+            results["codes"] = (ercd1, ercd2)
+
+        run_kernel(user_main, duration_ms=10)
+        assert results["codes"] == (E_OK, E_OK)
+        assert results["sizes"] == (64, 64)
+        assert results["polled_empty"] == E_TMOUT
+        assert results["ref_before"]["frbcnt"] == 0
+        assert results["ref_after"]["frbcnt"] == 1
+
+    def test_blocked_get_released_by_release(self):
+        log = []
+
+        def user_main(kernel):
+            mpfid = yield from kernel.tk_cre_mpf(mpfcnt=1, blfsz=16)
+            ercd, held = yield from kernel.tk_get_mpf(mpfid)
+
+            def needy(stacd, exinf):
+                ercd, block = yield from kernel.tk_get_mpf(mpfid)
+                log.append((kernel.simulator.now.to_ms(), ercd, block is not None))
+
+            t = yield from kernel.tk_cre_tsk(needy, itskpri=5)
+            yield from kernel.tk_sta_tsk(t)
+            yield from kernel.tk_dly_tsk(6)
+            yield from kernel.tk_rel_mpf(mpfid, held)
+
+        run_kernel(user_main, duration_ms=40)
+        assert len(log) == 1
+        assert log[0][1] == E_OK and log[0][2]
+        assert log[0][0] >= 6.0
+
+    def test_variable_pool_accounting(self):
+        results = {}
+
+        def user_main(kernel):
+            mplid = yield from kernel.tk_cre_mpl(mplsz=100)
+            ercd, block = yield from kernel.tk_get_mpl(mplid, 60)
+            results["first"] = ercd
+            results["too_big"] = (yield from kernel.tk_get_mpl(mplid, 60, tmout=TMO_POL))[0]
+            results["ref"] = yield from kernel.tk_ref_mpl(mplid)
+            yield from kernel.tk_rel_mpl(mplid, block)
+            results["ref_after"] = yield from kernel.tk_ref_mpl(mplid)
+
+        run_kernel(user_main, duration_ms=10)
+        assert results["first"] == E_OK
+        assert results["too_big"] == E_TMOUT
+        assert results["ref"]["frsz"] == 40
+        assert results["ref_after"]["frsz"] == 100
+
+    def test_invalid_parameters(self):
+        results = {}
+
+        def user_main(kernel):
+            results["bad_mpf"] = yield from kernel.tk_cre_mpf(mpfcnt=0, blfsz=8)
+            results["bad_mpl"] = yield from kernel.tk_cre_mpl(mplsz=0)
+            mplid = yield from kernel.tk_cre_mpl(mplsz=10)
+            results["bad_size"] = (yield from kernel.tk_get_mpl(mplid, 0))[0]
+
+        run_kernel(user_main, duration_ms=10)
+        assert results["bad_mpf"] == E_PAR
+        assert results["bad_mpl"] == E_PAR
+        assert results["bad_size"] == E_PAR
