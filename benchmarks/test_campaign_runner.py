@@ -1,0 +1,46 @@
+"""Campaign smoke benchmark: the batch runner through the public CLI.
+
+Batch-runs three built-in scenarios through ``python -m repro``'s entry
+point (the ``cli.main`` function the module dispatches to), on two workers,
+and asserts every run produced non-empty metrics and a non-empty JSONL
+event stream.  This keeps the orchestration backbone — spec expansion,
+multiprocessing fan-out, artifact writing — inside the tier-1 gate.
+"""
+
+import json
+
+from repro.campaign.cli import main
+
+SCENARIOS = ("quickstart", "rtk-round-robin", "rtk-priority")
+
+
+def test_cli_batch_smoke(tmp_path, capsys):
+    out_dir = tmp_path / "campaign"
+    argv = ["batch", "--matrix", "seed=3", "--set", "duration_ms=60",
+            "--workers", "2", "--out", str(out_dir)]
+    for scenario in SCENARIOS:
+        argv += ["--scenario", scenario]
+
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert f"{len(SCENARIOS)} runs on 2 worker(s)" in out
+
+    document = json.loads((out_dir / "metrics.json").read_text())
+    assert document["campaign"]["runs"] == len(SCENARIOS)
+    assert document["campaign"]["scenarios"] == [
+        f"{name}[seed=3]" for name in SCENARIOS
+    ]
+    for run in document["runs"]:
+        metrics = run["metrics"]
+        assert metrics["context_switches"] > 0
+        assert metrics["simulated_ms"] > 0
+        assert metrics["energy_mj"] > 0
+    assert document["aggregate"]["runs"] == len(SCENARIOS)
+
+    event_files = sorted(out_dir.glob("events_*.jsonl"))
+    assert len(event_files) == len(SCENARIOS)
+    for path in event_files:
+        lines = path.read_text().splitlines()
+        assert lines, f"{path.name} must not be empty"
+        first = json.loads(lines[0])
+        assert {"t_ms", "thread", "kind"} <= set(first)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""A simulation campaign: one parameter matrix, many parallel runs.
+
+Expands the scheduler-comparison scenario across both RTK-Spec kernels and
+a seed sweep, fans the runs out over multiprocessing workers, and prints
+the aggregate — the programmatic twin of:
+
+    python -m repro batch --scenario rtk-round-robin --scenario rtk-priority \
+        --matrix seed=1,2 --matrix task_count=4,6 --out campaign_out
+
+Run with:  python examples/campaign_batch.py [workers]
+"""
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.campaign import plan_batch, run_batch
+
+
+def main():
+    workers = int(sys.argv[1]) if len(sys.argv) > 1 else None
+
+    specs = plan_batch(
+        ["rtk-round-robin", "rtk-priority"],
+        matrix={"seed": [1, 2], "task_count": [4, 6]},
+        overrides={"duration_ms": 150.0},
+    )
+    print(f"matrix expanded to {len(specs)} runs:")
+    for spec in specs:
+        print(f"  {spec.name:<40} kernel={spec.kernel:<9} seed={spec.seed}")
+
+    batch = run_batch(specs, workers=workers)
+    print(f"\nexecuted on {batch.workers} worker(s)")
+
+    print("\nper-run completions (workload metrics):")
+    for result in batch.results:
+        workload = result.metrics["workload_metrics"]
+        print(f"  {result.metrics['scenario']:<40} "
+              f"completions={workload['completions']} "
+              f"makespan={workload['makespan_ms']} ms "
+              f"preemptions={result.metrics['preemptions']}")
+
+    aggregate = batch.aggregate
+    print(f"\naggregate over {aggregate['runs']} runs:")
+    for key in ("context_switches", "preemptions", "energy_mj"):
+        print(f"  total {key:<18} {aggregate['total'][key]:g}")
+
+    out_dir = os.path.join(tempfile.gettempdir(), "repro_campaign_example")
+    manifest = batch.write_outputs(out_dir)
+    print(f"\nartifacts: {manifest['metrics']} + {len(manifest['events'])} event files")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,81 +1,66 @@
 #!/usr/bin/env python3
-"""Quickstart: boot RTK-Spec TRON, run two tasks and print the Gantt chart.
+"""Quickstart: run the built-in producer/consumer scenario via the campaign.
 
-This is the smallest useful scenario: a kernel with a producer task signalling
-a semaphore and a consumer task waiting on it, plus a cyclic handler.  It
-shows the three things every user of the library touches:
+Since the campaign subsystem landed, the smallest useful scenario is one
+registry lookup away: a kernel with producer tasks signalling semaphores,
+consumer tasks waiting on them and a cyclic heartbeat handler.  This script
+shows the three things every user of the campaign layer touches:
 
-1. a ``user_main`` generator creating kernel objects and tasks,
-2. task bodies expressing execution time with ``api.sim_wait`` and using
-   ``tk_*`` services via ``yield from``,
-3. the debugging output (Gantt chart, energy statistics, T-Kernel/DS listing).
+1. fetching (and overriding) a declarative ``ScenarioSpec`` from the registry,
+2. executing it with ``run_spec`` into a structured ``RunResult``,
+3. reading the result: deterministic metrics, host timing, the JSONL-able
+   event stream — and the classic Gantt chart via ``build_scenario`` when
+   you want to hold the live simulator yourself.
+
+The command-line equivalent of this script is:
+
+    python -m repro run quickstart --set duration_ms=50
 
 Run with:  python examples/quickstart.py
 """
 
+import json
 import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.core.events import ExecutionContext
+from repro.campaign import build_scenario, get_scenario, run_spec
 from repro.sysc import SimTime, Simulator
-from repro.tkernel import TKernelDS, TKernelOS
-
-
-def build_user_main(log):
-    """Return the user_main generator creating the demo scenario."""
-
-    def user_main(kernel):
-        api = kernel.api
-        semid = yield from kernel.tk_cre_sem(isemcnt=0, maxsem=4, name="items")
-
-        def producer(stacd, exinf):
-            for index in range(5):
-                yield from api.sim_wait(duration=SimTime.ms(3), label="produce")
-                yield from kernel.tk_sig_sem(semid)
-                log.append(("produced", index, kernel.simulator.now.to_ms()))
-
-        def consumer(stacd, exinf):
-            for index in range(5):
-                yield from kernel.tk_wai_sem(semid)
-                yield from api.sim_wait(duration=SimTime.ms(1), label="consume")
-                log.append(("consumed", index, kernel.simulator.now.to_ms()))
-
-        def heartbeat(exinf):
-            yield from api.sim_wait(duration=SimTime.us(200),
-                                    context=ExecutionContext.HANDLER)
-            log.append(("heartbeat", kernel.simulator.now.to_ms()))
-
-        producer_id = yield from kernel.tk_cre_tsk(producer, itskpri=10, name="producer")
-        consumer_id = yield from kernel.tk_cre_tsk(consumer, itskpri=5, name="consumer")
-        yield from kernel.tk_sta_tsk(producer_id)
-        yield from kernel.tk_sta_tsk(consumer_id)
-        cycid = yield from kernel.tk_cre_cyc(heartbeat, cyctim=10, name="heartbeat")
-        yield from kernel.tk_sta_cyc(cycid)
-
-    return user_main
 
 
 def main():
-    log = []
-    simulator = Simulator("quickstart")
-    kernel = TKernelOS(simulator, user_main=build_user_main(log))
-    simulator.run(SimTime.ms(50))
+    # 1. A declarative spec from the registry, with a knob override.
+    spec = get_scenario("quickstart").with_overrides({"items": 5}).validate()
+    print(f"spec: {json.dumps(spec.to_dict(), sort_keys=True)}")
 
-    print("--- event log ---")
-    for entry in log:
-        print(entry)
+    # 2. One in-process run -> structured result.
+    result = run_spec(spec)
 
+    print("\n--- deterministic metrics ---")
+    for key in ("context_switches", "preemptions", "interrupts",
+                "syscall_total", "cpu_utilization", "energy_mj"):
+        print(f"{key:<18} {result.metrics[key]}")
+    print(f"{'workload':<18} {result.metrics['workload_metrics']}")
+
+    print("\n--- host timing (Table 2 speed measure) ---")
+    print(f"R = {result.timing['wall_clock_seconds']:.3f} s   "
+          f"S/R = {result.timing['s_over_r']:.1f}")
+
+    print("\n--- first 10 events of the JSONL stream ---")
+    for event in result.events[:10]:
+        print(json.dumps(event, sort_keys=True))
+
+    # 3. Holding the live simulator: build the same scenario yourself when
+    #    you want the debugging output (Gantt chart, energy statistics).
+    build = build_scenario(spec)
+    build.simulator.run(SimTime.ms(spec.duration_ms))
     print("\n--- Gantt chart (first 50 ms) ---")
-    print(kernel.api.gantt.render(0, SimTime.ms(50)))
-
+    print(build.api.gantt.render(0, SimTime.ms(50)))
     print("\n--- energy statistics ---")
-    for name, stats in kernel.api.energy_statistics().items():
+    for name, stats in build.api.energy_statistics().items():
         print(f"{name:<12} CET {stats['cet_ms']:7.2f} ms   CEE {stats['cee_mj']:.4f} mJ")
-
-    print("\n--- T-Kernel/DS listing ---")
-    print(TKernelDS(kernel).render_listing())
+    Simulator.reset()
 
 
 if __name__ == "__main__":

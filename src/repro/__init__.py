@@ -21,9 +21,30 @@ Package layout
     co-simulation framework.
 ``repro.analysis``
     The evaluation harnesses (Table 2, Fig. 6, Fig. 7).
+``repro.campaign``
+    The campaign runner (see below).
+
+Campaign runner
+---------------
+
+:mod:`repro.campaign` is the orchestration backbone over all of the above:
+declarative :class:`~repro.campaign.spec.ScenarioSpec` objects describe a
+run (kernel model, workload, knobs, seed), a registry names built-in
+scenarios covering every ``examples/`` experiment, and a batch engine
+expands parameter matrices across ``multiprocessing`` workers with
+deterministic per-run seeds.  Each run yields a structured
+:class:`~repro.campaign.metrics.RunResult`: a JSONL event stream plus a
+deterministic metrics JSON (context switches, preemptions, syscall counts,
+CPU utilisation, energy) with host wall-clock speed (the paper's R/S) kept
+in a separate ``timing`` section.  Everything is scriptable from the shell::
+
+    python -m repro list                      # built-in scenarios
+    python -m repro run quickstart --set duration_ms=50
+    python -m repro batch --matrix seed=1,2   # parallel matrix sweep
+    python -m repro compare left.json right.json
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "sysc",
@@ -33,4 +54,5 @@ __all__ = [
     "bfm",
     "app",
     "analysis",
+    "campaign",
 ]

@@ -7,13 +7,28 @@ from typing import Iterable, List, Sequence
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
                  title: str = "") -> str:
-    """Render *rows* as a fixed-width text table."""
-    string_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    """Render *rows* as a fixed-width text table.
+
+    Every row must have at most ``len(headers)`` cells — extra cells would
+    otherwise be dropped silently, hiding data from the report, so they raise
+    :class:`ValueError` instead.  Rows shorter than the header are padded
+    with empty cells (a missing metric renders as blank, which is what the
+    CLI ``compare`` output wants for one-sided keys).
+    """
+    string_rows: List[List[str]] = []
+    for number, row in enumerate(rows):
+        cells = [str(cell) for cell in row]
+        if len(cells) > len(headers):
+            raise ValueError(
+                f"row {number} has {len(cells)} cells but the table only has "
+                f"{len(headers)} columns: {cells!r}"
+            )
+        cells.extend("" for _ in range(len(headers) - len(cells)))
+        string_rows.append(cells)
     widths = [len(header) for header in headers]
     for row in string_rows:
         for index, cell in enumerate(row):
-            if index < len(widths):
-                widths[index] = max(widths[index], len(cell))
+            widths[index] = max(widths[index], len(cell))
     lines = []
     if title:
         lines.append(title)

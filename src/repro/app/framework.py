@@ -57,6 +57,28 @@ class FrameworkConfig:
             script.append((when, keys[index % 2]))
         return script
 
+    @classmethod
+    def from_knobs(cls, duration_ms: float, gui_enabled: bool = True,
+                   lcd_update_period_ms: int = 10,
+                   key_period_ms: int = 120,
+                   render_cycles: Optional[int] = None,
+                   trace_waveforms: bool = False) -> "FrameworkConfig":
+        """Build a config from the flat knobs a campaign scenario exposes."""
+        duration_ms = int(duration_ms)
+        game = VideoGameConfig(
+            lcd_update_period_ms=lcd_update_period_ms,
+            game_over_ms=max(duration_ms - 50, duration_ms // 2) or None,
+        )
+        if render_cycles is not None:
+            game.render_cycles = render_cycles
+        return cls(
+            simulated_duration=SimTime.ms(duration_ms),
+            gui_enabled=gui_enabled,
+            game=game,
+            key_script=cls.default_key_script(duration_ms, period_ms=key_period_ms),
+            trace_waveforms=trace_waveforms,
+        )
+
 
 class CoSimulationFramework:
     """One fully-wired co-simulation instance."""

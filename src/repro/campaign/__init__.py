@@ -1,0 +1,58 @@
+"""The campaign subsystem: declarative scenarios, batch runs, metrics.
+
+This package is the orchestration backbone over everything the reproduction
+models.  One :class:`~repro.campaign.spec.ScenarioSpec` declaratively
+describes a run (kernel model, workload, knobs, seed); the
+:mod:`~repro.campaign.registry` names built-in scenarios covering every
+``examples/`` experiment; the :mod:`~repro.campaign.runner` executes one
+spec in-process into a structured :class:`~repro.campaign.metrics.RunResult`
+(JSONL events + deterministic metrics JSON); and the
+:mod:`~repro.campaign.batch` engine expands parameter matrices across
+``multiprocessing`` workers with deterministic per-run seeds and an
+aggregate/compare step.  The :mod:`~repro.campaign.cli` exposes all of it as
+``python -m repro run|batch|list|compare``.
+"""
+
+from repro.campaign.batch import BatchResult, plan_batch, run_batch
+from repro.campaign.metrics import (
+    RunResult,
+    aggregate_metrics,
+    compare_metrics,
+    events_from_gantt,
+)
+from repro.campaign.registry import (
+    ScenarioBuild,
+    build_scenario,
+    get_scenario,
+    register_scenario,
+    scenario_description,
+    scenario_names,
+)
+from repro.campaign.runner import run_spec
+from repro.campaign.spec import (
+    ScenarioSpec,
+    SpecError,
+    derive_seed,
+    expand_matrix,
+)
+
+__all__ = [
+    "BatchResult",
+    "RunResult",
+    "ScenarioBuild",
+    "ScenarioSpec",
+    "SpecError",
+    "aggregate_metrics",
+    "build_scenario",
+    "compare_metrics",
+    "derive_seed",
+    "events_from_gantt",
+    "expand_matrix",
+    "get_scenario",
+    "plan_batch",
+    "register_scenario",
+    "run_batch",
+    "run_spec",
+    "scenario_description",
+    "scenario_names",
+]

@@ -1,0 +1,187 @@
+"""The parallel batch engine: expand a matrix, fan out, aggregate.
+
+A batch is a list of scenario specs (usually one or more registry scenarios
+crossed with a parameter matrix).  The engine executes them either serially
+or across a pool of ``multiprocessing`` workers — one worker process per
+host core by default, because a simulation run is pure CPU-bound Python —
+and guarantees that the *deterministic* part of the output is identical
+either way: runs keep their expansion order, each run's seed is derived
+from the batch's base seed and the run index, and host wall-clock numbers
+live in a separate ``timing`` section that aggregation ignores.
+
+Artifacts written by :meth:`BatchResult.write_outputs`:
+
+* ``events_NNN_<scenario>.jsonl`` — the per-run JSONL event stream,
+* ``metrics.json`` — the aggregated metrics document (per-run deterministic
+  metrics, aggregate totals/means, and the non-deterministic timing block).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.campaign.metrics import RunResult, aggregate_metrics, canonical_json
+from repro.campaign.registry import get_scenario
+from repro.campaign.runner import run_spec
+from repro.campaign.spec import ScenarioSpec, expand_matrix
+
+def default_worker_count(run_count: int) -> int:
+    """The batch engine's default parallelism for *run_count* runs.
+
+    One worker per core (simulation runs are CPU-bound pure Python), but at
+    least two so the parallel path is exercised even on small hosts, and
+    never more workers than runs.
+    """
+    cores = os.cpu_count() or 2
+    return max(1, min(max(2, cores), run_count))
+
+
+def plan_batch(
+    scenarios: Sequence[Union[str, ScenarioSpec]],
+    matrix: Optional[Mapping[str, Sequence[Any]]] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> List[ScenarioSpec]:
+    """Expand scenario names/specs × overrides × matrix into the run list."""
+    specs: List[ScenarioSpec] = []
+    for scenario in scenarios:
+        base = get_scenario(scenario) if isinstance(scenario, str) else scenario
+        if overrides:
+            base = base.with_overrides(overrides)
+        specs.extend(expand_matrix(base, matrix))
+    return specs
+
+
+def _execute_spec_dict(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one serialized spec (must stay picklable).
+
+    Honouring ``collect_events`` here matters: with events disabled the
+    worker never flattens the Gantt recording nor ships it back over IPC.
+    """
+    spec = ScenarioSpec.from_dict(payload["spec"])
+    result = run_spec(spec, collect_events=payload["collect_events"])
+    return {
+        "spec": result.spec,
+        "metrics": result.metrics,
+        "timing": result.timing,
+        "events": result.events,
+    }
+
+
+@dataclass
+class BatchResult:
+    """The outcome of one batch: ordered run results plus the aggregate."""
+
+    results: List[RunResult]
+    workers: int
+    aggregate: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.aggregate:
+            self.aggregate = aggregate_metrics(r.metrics for r in self.results)
+
+    # ------------------------------------------------------------------
+    # Documents
+    # ------------------------------------------------------------------
+    def deterministic_document(self) -> Dict[str, Any]:
+        """The part of the batch output that must not depend on the host,
+        the worker count or the execution order."""
+        return {
+            "campaign": {
+                "runs": len(self.results),
+                "scenarios": [result.metrics["scenario"] for result in self.results],
+            },
+            "runs": [result.metrics_document() for result in self.results],
+            "aggregate": self.aggregate,
+        }
+
+    def document(self) -> Dict[str, Any]:
+        """The full aggregated metrics document (adds the timing section)."""
+        document = self.deterministic_document()
+        document["timing"] = {
+            "workers": self.workers,
+            "wall_clock_seconds_total": sum(
+                result.timing.get("wall_clock_seconds", 0.0)
+                for result in self.results
+            ),
+            "per_run": [result.timing for result in self.results],
+        }
+        return document
+
+    # ------------------------------------------------------------------
+    # Artifacts
+    # ------------------------------------------------------------------
+    def write_outputs(self, out_dir: str, include_events: bool = True) -> Dict[str, Any]:
+        """Write per-run JSONL event streams and the aggregate metrics JSON.
+
+        Returns a manifest: the metrics path and the per-run event paths.
+        """
+        os.makedirs(out_dir, exist_ok=True)
+        event_paths: List[str] = []
+        if include_events:
+            for index, result in enumerate(self.results):
+                slug = _slugify(result.metrics["scenario"])
+                events_path = os.path.join(out_dir, f"events_{index:03d}_{slug}.jsonl")
+                result.write_events(events_path)
+                event_paths.append(events_path)
+        metrics_path = os.path.join(out_dir, "metrics.json")
+        with open(metrics_path, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(self.document()))
+            handle.write("\n")
+        return {"metrics": metrics_path, "events": event_paths}
+
+
+def run_batch(
+    specs: Sequence[ScenarioSpec],
+    workers: Optional[int] = None,
+    collect_events: bool = True,
+) -> BatchResult:
+    """Execute *specs*, serially or across a multiprocessing pool.
+
+    Results always come back in spec order regardless of which worker
+    finished first, so serial and parallel batches aggregate identically.
+    """
+    if not specs:
+        raise ValueError("batch has no runs")
+    for spec in specs:
+        spec.validate()
+    if workers is None:
+        workers = default_worker_count(len(specs))
+    workers = max(1, min(workers, len(specs)))
+
+    if workers == 1:
+        results = [run_spec(spec, collect_events=collect_events) for spec in specs]
+        return BatchResult(results=results, workers=1)
+
+    payloads = [
+        {"spec": spec.to_dict(), "collect_events": collect_events}
+        for spec in specs
+    ]
+    context = _pool_context()
+    with context.Pool(processes=workers) as pool:
+        raw_results = pool.map(_execute_spec_dict, payloads)
+    results = [
+        RunResult(
+            spec=raw["spec"],
+            metrics=raw["metrics"],
+            timing=raw["timing"],
+            events=raw["events"],
+        )
+        for raw in raw_results
+    ]
+    return BatchResult(results=results, workers=workers)
+
+
+def _pool_context():
+    """Prefer fork (inherits sys.path, cheap) and fall back to the default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        return multiprocessing.get_context()
+
+
+def _slugify(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", name).strip("-") or "run"

@@ -1,0 +1,268 @@
+"""``python -m repro`` — the campaign command line.
+
+Four subcommands make the campaign subsystem usable without writing code:
+
+* ``list`` — show the built-in scenario registry,
+* ``run`` — execute one scenario, with ``--set key=value`` knob overrides,
+* ``batch`` — expand a parameter matrix over one or more scenarios and fan
+  the runs out across multiprocessing workers,
+* ``compare`` — align two metrics JSON files key by key.
+
+Every run can export its JSONL event stream and JSON metrics; ``batch``
+always writes both into the output directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.report import format_table
+from repro.campaign.batch import default_worker_count, plan_batch, run_batch
+from repro.campaign.metrics import compare_metrics
+from repro.campaign.registry import (
+    get_scenario,
+    scenario_description,
+    scenario_names,
+)
+from repro.campaign.runner import run_spec
+from repro.campaign.spec import SpecError, parse_matrix_axis, parse_overrides
+
+#: The default batch: every cheap built-in scenario crossed with two seeds,
+#: which expands to eight runs — a meaningful parallelism demo out of the box.
+DEFAULT_BATCH_SCENARIOS = (
+    "quickstart",
+    "sync-tour",
+    "rtk-round-robin",
+    "rtk-priority",
+)
+DEFAULT_BATCH_MATRIX = {"seed": [1, 2]}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="RTK-Spec TRON simulation campaigns: declarative scenario "
+        "specs, a parallel batch runner, and metrics/event export.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the built-in scenarios")
+
+    run_parser = subparsers.add_parser("run", help="run one scenario")
+    run_parser.add_argument("scenario", help="registry scenario name")
+    run_parser.add_argument(
+        "--set", dest="overrides", action="append", default=[],
+        metavar="KEY=VALUE", help="override a spec field or extra knob",
+    )
+    run_parser.add_argument("--events-out", help="write the JSONL event stream here")
+    run_parser.add_argument("--metrics-out", help="write the metrics JSON here")
+
+    batch_parser = subparsers.add_parser(
+        "batch", help="expand a parameter matrix and run it in parallel"
+    )
+    batch_parser.add_argument(
+        "--scenario", dest="scenarios", action="append", default=[],
+        help="scenario to include (repeatable; default: "
+        + ", ".join(DEFAULT_BATCH_SCENARIOS) + ")",
+    )
+    batch_parser.add_argument(
+        "--matrix", dest="matrix", action="append", default=[],
+        metavar="KEY=V1,V2,...",
+        help="parameter axis to sweep (repeatable; default: seed=1,2)",
+    )
+    batch_parser.add_argument(
+        "--set", dest="overrides", action="append", default=[],
+        metavar="KEY=VALUE", help="override applied to every run",
+    )
+    batch_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: one per core, at least 2)",
+    )
+    batch_parser.add_argument(
+        "--serial", action="store_true", help="force serial execution"
+    )
+    batch_parser.add_argument(
+        "--out", default="campaign_out", help="output directory (default: campaign_out)"
+    )
+    batch_parser.add_argument(
+        "--no-events", action="store_true", help="skip the per-run event streams"
+    )
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="compare two metrics JSON files"
+    )
+    compare_parser.add_argument("left", help="baseline metrics JSON")
+    compare_parser.add_argument("right", help="candidate metrics JSON")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name in scenario_names():
+        spec = get_scenario(name)
+        rows.append(
+            (name, spec.kernel, spec.workload, f"{spec.duration_ms:g}",
+             scenario_description(name))
+        )
+    print(
+        format_table(
+            ["scenario", "kernel", "workload", "duration [ms]", "description"],
+            rows,
+            title="Built-in scenarios",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = get_scenario(args.scenario)
+    if args.overrides:
+        overrides = parse_overrides(args.overrides)
+        _note_extra_overrides(overrides)
+        spec = spec.with_overrides(overrides).validate()
+    result = run_spec(spec)
+    print(_run_summary_table([result.metrics]))
+    timing = result.timing
+    if timing.get("wall_clock_seconds") is not None:
+        print(
+            f"wall clock R = {timing['wall_clock_seconds']:.3f} s   "
+            f"R/S = {timing['r_over_s']:.3f}   S/R = {timing['s_over_r']:.2f}"
+        )
+    if args.events_out:
+        result.write_events(args.events_out)
+        print(f"events  -> {args.events_out} ({len(result.events)} events)")
+    if args.metrics_out:
+        result.write_metrics(args.metrics_out)
+        print(f"metrics -> {args.metrics_out}")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    scenarios: List[str] = args.scenarios or list(DEFAULT_BATCH_SCENARIOS)
+    matrix: Dict[str, List[Any]] = {}
+    for axis in args.matrix:
+        key, values = parse_matrix_axis(axis)
+        matrix[key] = values
+    if not matrix:
+        matrix = dict(DEFAULT_BATCH_MATRIX)
+    overrides = parse_overrides(args.overrides) if args.overrides else None
+
+    if overrides:
+        _note_extra_overrides(overrides)
+    specs = plan_batch(scenarios, matrix=matrix, overrides=overrides)
+    workers = 1 if args.serial else args.workers
+    if workers is None:
+        workers = default_worker_count(len(specs))
+    workers = max(1, min(workers, len(specs)))
+    print(f"batch: {len(specs)} runs on {workers} worker(s)")
+
+    batch = run_batch(specs, workers=workers, collect_events=not args.no_events)
+    manifest = batch.write_outputs(args.out, include_events=not args.no_events)
+
+    print(_run_summary_table([result.metrics for result in batch.results]))
+    aggregate = batch.aggregate
+    print(
+        f"\naggregate over {aggregate['runs']} runs: "
+        f"{aggregate['total'].get('context_switches', 0):.0f} context switches, "
+        f"{aggregate['total'].get('preemptions', 0):.0f} preemptions, "
+        f"{aggregate['total'].get('energy_mj', 0.0):.4f} mJ"
+    )
+    print(f"metrics -> {manifest['metrics']}")
+    if not args.no_events:
+        print(f"events  -> {len(manifest['events'])} JSONL files in {args.out}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    left = _load_comparable(args.left)
+    right = _load_comparable(args.right)
+    rows = compare_metrics(left, right)
+    print(
+        format_table(
+            ["metric", args.left, args.right, "delta"],
+            rows,
+            title="Metrics comparison",
+        )
+    )
+    return 0
+
+
+def _note_extra_overrides(overrides: Dict[str, Any]) -> None:
+    """Warn when a ``--set`` key is not a spec field (it becomes a workload
+    knob, which is legitimate but also what a typo'd field name looks like)."""
+    from repro.campaign.spec import ScenarioSpec
+
+    fields = set(ScenarioSpec.__dataclass_fields__) - {"extra"}
+    for key in overrides:
+        if key not in fields:
+            print(f"note: {key!r} is not a spec field; passing it through "
+                  "as a workload knob", file=sys.stderr)
+
+
+def _load_comparable(path: str) -> Dict[str, Any]:
+    """Reduce a metrics file (single run or batch aggregate) to one dict."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if "aggregate" in document:
+        return {"aggregate": document["aggregate"]}
+    if "metrics" in document:
+        return document["metrics"]
+    return document
+
+
+def _run_summary_table(metrics_list: List[Dict[str, Any]]) -> str:
+    rows = []
+    for metrics in metrics_list:
+        rows.append(
+            (
+                metrics["scenario"],
+                metrics["kernel"],
+                metrics["seed"],
+                f"{metrics['simulated_ms']:g}",
+                metrics["context_switches"],
+                metrics["preemptions"],
+                metrics["interrupts"],
+                metrics["syscall_total"],
+                f"{metrics['cpu_utilization']:.3f}",
+                f"{metrics['energy_mj']:.4f}",
+            )
+        )
+    return format_table(
+        ["scenario", "kernel", "seed", "S [ms]", "ctx sw", "preempt",
+         "irq", "syscalls", "CPU util", "CEE [mJ]"],
+        rows,
+        title="Run metrics",
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "batch": _cmd_batch,
+        "compare": _cmd_compare,
+    }
+    try:
+        return handlers[args.command](args)
+    except SpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"error: not a metrics JSON file: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,181 @@
+"""Run results: the structured output of one campaign run.
+
+A :class:`RunResult` separates what a run produced into three layers:
+
+* ``metrics`` — deterministic simulation metrics (context switches,
+  preemptions, syscall counts, CPU utilisation, energy, ...).  Running the
+  same spec with the same seed twice yields byte-identical metrics JSON,
+  which the determinism tests assert.
+* ``timing`` — host-side wall-clock measurements (R, R/S, S/R — the Table 2
+  speed measure).  These vary run to run and are therefore kept out of the
+  deterministic section and out of aggregate comparisons.
+* ``events`` — the JSONL event stream (dispatches, preemptions, interrupts
+  and execution slices) extracted from the SIM_API Gantt recording.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+from repro.core.gantt import GanttChart
+
+
+@dataclass
+class RunResult:
+    """Everything one campaign run produced."""
+
+    spec: Dict[str, Any]
+    metrics: Dict[str, Any]
+    timing: Dict[str, Any] = field(default_factory=dict)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def metrics_document(self) -> Dict[str, Any]:
+        """The deterministic metrics document (spec + metrics)."""
+        return {"spec": self.spec, "metrics": self.metrics}
+
+    def metrics_json(self) -> str:
+        """Canonical (byte-stable) JSON of the deterministic metrics."""
+        return canonical_json(self.metrics_document())
+
+    def write_metrics(self, path: str) -> None:
+        """Write the metrics document, with timing as a separate section."""
+        document = self.metrics_document()
+        document["timing"] = self.timing
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(document))
+            handle.write("\n")
+
+    def write_events(self, path: str) -> None:
+        """Write the event stream as JSON Lines."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self.events:
+                handle.write(canonical_json(event))
+                handle.write("\n")
+
+
+def canonical_json(document: Mapping[str, Any]) -> str:
+    """Deterministic JSON encoding (sorted keys, tight separators)."""
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# Event extraction
+# ----------------------------------------------------------------------
+def events_from_gantt(gantt: GanttChart) -> List[Dict[str, Any]]:
+    """Flatten a Gantt recording into a time-ordered event list."""
+    entries: List[Tuple[int, int, Dict[str, Any]]] = []
+    order = 0
+    for marker in gantt.markers:
+        entries.append(
+            (
+                marker.time.to_ns(),
+                order,
+                {"t_ms": marker.time.to_ms(), "thread": marker.thread,
+                 "kind": marker.kind},
+            )
+        )
+        order += 1
+    for segment in gantt.segments:
+        entries.append(
+            (
+                segment.start.to_ns(),
+                order,
+                {
+                    "t_ms": segment.start.to_ms(),
+                    "thread": segment.thread,
+                    "kind": "exec",
+                    "dur_ms": segment.duration.to_ms(),
+                    "context": segment.context.value,
+                    "energy_nj": segment.energy_nj,
+                    "label": segment.label,
+                },
+            )
+        )
+        order += 1
+    entries.sort(key=lambda entry: (entry[0], entry[1]))
+    return [event for _, _, event in entries]
+
+
+# ----------------------------------------------------------------------
+# Aggregation & comparison
+# ----------------------------------------------------------------------
+def flatten_numeric(document: Mapping[str, Any], prefix: str = "") -> Dict[str, float]:
+    """Flatten nested dicts to dotted keys, keeping numeric leaves only."""
+    flat: Dict[str, float] = {}
+    for key, value in document.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            flat[dotted] = float(value)
+        elif isinstance(value, Mapping):
+            flat.update(flatten_numeric(value, prefix=f"{dotted}."))
+    return flat
+
+
+def aggregate_metrics(results: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Sum and average the numeric metrics over a batch of runs.
+
+    *results* are per-run ``metrics`` dicts.  Keys missing from some runs
+    contribute only to the runs that have them (means divide by occurrence
+    count, not by batch size), so heterogeneous scenario mixes aggregate
+    sensibly.
+    """
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    run_count = 0
+    for metrics in results:
+        run_count += 1
+        for key, value in flatten_numeric(metrics).items():
+            totals[key] = totals.get(key, 0.0) + value
+            counts[key] = counts.get(key, 0) + 1
+    means = {key: totals[key] / counts[key] for key in totals}
+    return {
+        "runs": run_count,
+        "total": {key: totals[key] for key in sorted(totals)},
+        "mean": {key: means[key] for key in sorted(means)},
+    }
+
+
+def compare_metrics(
+    left: Mapping[str, Any], right: Mapping[str, Any]
+) -> List[Tuple[str, Any, Any, Any]]:
+    """Align two metrics documents key by key.
+
+    Returns rows ``(key, left_value, right_value, delta)`` over the union of
+    flattened numeric keys; a key missing on one side renders as an empty
+    cell and an empty delta.
+    """
+    flat_left = flatten_numeric(left)
+    flat_right = flatten_numeric(right)
+    rows: List[Tuple[str, Any, Any, Any]] = []
+    for key in sorted(set(flat_left) | set(flat_right)):
+        left_value = flat_left.get(key)
+        right_value = flat_right.get(key)
+        if left_value is None or right_value is None:
+            delta: Any = ""
+        else:
+            delta = right_value - left_value
+        rows.append(
+            (
+                key,
+                "" if left_value is None else _trim(left_value),
+                "" if right_value is None else _trim(right_value),
+                _trim(delta) if delta != "" else "",
+            )
+        )
+    return rows
+
+
+def _trim(value: float) -> Any:
+    """Render integral floats as ints for compact tables."""
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, float):
+        return round(value, 6)
+    return value

@@ -1,0 +1,105 @@
+"""Execute one scenario spec in-process and collect its RunResult.
+
+The runner is the only place that knows how to go from a declarative
+:class:`~repro.campaign.spec.ScenarioSpec` to a finished
+:class:`~repro.campaign.metrics.RunResult`: it builds the scenario through
+the registry, runs the simulator for the spec's duration while measuring
+host wall-clock time (the Table 2 R measure), then harvests deterministic
+metrics (SIM_API counters, kernel statistics, energy, CPU utilisation) and
+the JSONL event stream from the Gantt recording.
+
+Every run is bracketed by :meth:`Simulator.reset` so repeated in-process
+runs — the whole point of the batch engine — cannot leak simulator state
+into each other through the class-level current-simulator slot; a
+simulator the *caller* owned before the run is put back afterwards.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict
+
+from repro.campaign.metrics import RunResult, events_from_gantt
+from repro.campaign.registry import ScenarioBuild, build_scenario
+from repro.campaign.spec import ScenarioSpec
+from repro.sysc.kernel import Simulator
+from repro.sysc.time import SimTime
+
+
+def run_spec(spec: ScenarioSpec, collect_events: bool = True) -> RunResult:
+    """Run one scenario and return its structured result.
+
+    A caller-owned current simulator is restored afterwards, so embedding a
+    campaign run inside an interactive session is safe; with no caller
+    simulator the class-level slot is left cleanly reset.
+    """
+    spec.validate()
+    prior = Simulator._current
+    try:
+        build = build_scenario(spec)
+        advances = [0]
+        build.simulator.advance_hooks.append(
+            lambda _sim, _when: advances.__setitem__(0, advances[0] + 1)
+        )
+        start = time.perf_counter()
+        build.simulator.run(SimTime.ms(spec.duration_ms))
+        wall_clock_seconds = time.perf_counter() - start
+        metrics = _collect_metrics(spec, build, timed_advances=advances[0])
+        timing = _collect_timing(metrics["simulated_ms"], wall_clock_seconds)
+        events = events_from_gantt(build.api.gantt) if collect_events else []
+    finally:
+        Simulator.reset()
+        if prior is not None:
+            Simulator._current = prior
+    return RunResult(
+        spec=spec.to_dict(), metrics=metrics, timing=timing, events=events
+    )
+
+
+def _collect_metrics(
+    spec: ScenarioSpec, build: ScenarioBuild, timed_advances: int = 0
+) -> Dict[str, Any]:
+    """Deterministic simulation metrics of a finished run."""
+    api = build.api
+    simulator = build.simulator
+    simulated = simulator.now
+    idle = api.cpu_idle_time()
+    busy_fraction = 0.0
+    if simulated.to_ns() > 0:
+        busy_fraction = max(0.0, 1.0 - idle.to_ns() / simulated.to_ns())
+    kernel_stats = build.kernel_statistics()
+    return {
+        "scenario": spec.name,
+        "kernel": spec.kernel,
+        "workload": spec.workload,
+        "seed": spec.seed,
+        "simulated_ms": simulated.to_ms(),
+        "context_switches": api.dispatch_count,
+        "preemptions": api.preemption_count,
+        "interrupts": api.interrupt_count,
+        "sim_waits": api.sim_wait_count,
+        "syscall_total": kernel_stats.get("service_call_total", 0),
+        "syscalls": kernel_stats.get("service_calls", {}),
+        "cpu_utilization": round(busy_fraction, 9),
+        "cpu_idle_ms": idle.to_ms(),
+        "energy_mj": round(api.total_consumed_energy_mj(), 9),
+        "threads": len(api.hashtb),
+        "delta_cycles": simulator.stats()["delta_cycles"],
+        "timed_advances": timed_advances,
+        "gantt_segments": len(api.gantt.segments),
+        "gantt_markers": len(api.gantt.markers),
+        "kernel_stats": kernel_stats,
+        "workload_metrics": build.workload_metrics(),
+    }
+
+
+def _collect_timing(simulated_ms: float, wall_clock_seconds: float) -> Dict[str, Any]:
+    """Host-side (non-deterministic) speed measures: R, R/S and S/R."""
+    simulated_seconds = simulated_ms / 1000.0
+    return {
+        "wall_clock_seconds": wall_clock_seconds,
+        "r_over_s": (wall_clock_seconds / simulated_seconds)
+        if simulated_seconds else None,
+        "s_over_r": (simulated_seconds / wall_clock_seconds)
+        if wall_clock_seconds else None,
+    }

@@ -1,0 +1,290 @@
+"""Declarative scenario specifications and parameter-matrix expansion.
+
+A :class:`ScenarioSpec` is everything the campaign runner needs to execute
+one simulation run: which kernel model (RTK-Spec TRON, I or II), which
+workload (the paper's video-game co-simulation, the sync-primitives tour,
+the energy profile, the scheduler comparison, or seeded synthetic task
+sets), and the knobs of that run (duration, task count, periods, BFM access
+period, GUI on/off, seed, ...).
+
+Specs are plain data: they round-trip through ``to_dict``/``from_dict`` so
+the CLI, the batch engine and the multiprocessing workers can all pass them
+around as JSON.  :func:`expand_matrix` turns one base spec plus a parameter
+matrix into the full cross product of runs, each with a deterministic
+per-run seed derived from the base seed and the run's position.
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Kernel models a scenario can run on.
+KERNELS = ("tkernel", "rtkspec1", "rtkspec2")
+
+#: Built-in workload families (see :mod:`repro.campaign.registry`).
+WORKLOADS = (
+    "quickstart",
+    "sync_tour",
+    "videogame",
+    "energy_profile",
+    "scheduler_comparison",
+    "synthetic",
+)
+
+#: Workloads that are wired to RTK-Spec TRON object services and therefore
+#: cannot run on the minimal RTK-Spec I/II task API.
+TKERNEL_ONLY_WORKLOADS = ("quickstart", "sync_tour", "videogame", "energy_profile")
+
+
+class SpecError(ValueError):
+    """Raised when a scenario spec is inconsistent."""
+
+
+@dataclass
+class ScenarioSpec:
+    """Declarative description of one simulation run."""
+
+    #: Scenario name (registry key for built-ins; free-form otherwise).
+    name: str
+    #: Kernel model: ``tkernel`` | ``rtkspec1`` | ``rtkspec2``.
+    kernel: str = "tkernel"
+    #: Workload family, one of :data:`WORKLOADS`.
+    workload: str = "quickstart"
+    #: Simulated duration of the run in milliseconds.
+    duration_ms: float = 100.0
+    #: Number of application tasks (synthetic / scheduler workloads).
+    task_count: int = 4
+    #: Base task period in milliseconds (workload-specific meaning).
+    period_ms: float = 10.0
+    #: Explicit task priorities; empty means the workload derives them.
+    priorities: List[int] = field(default_factory=list)
+    #: BFM access period driving the LCD widget (the Table 2 knob).
+    bfm_access_period_ms: int = 10
+    #: Whether GUI widgets (and their host callback cost) are enabled.
+    gui_enabled: bool = False
+    #: System tick in milliseconds.
+    tick_ms: float = 1.0
+    #: Random seed for workloads that draw task sets.
+    seed: int = 0
+    #: Round-robin time slice in ticks (rtkspec1 only).
+    time_slice_ticks: int = 4
+    #: Free-form workload-specific knobs.
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> "ScenarioSpec":
+        """Check internal consistency; returns self so calls can chain."""
+        problems: List[str] = []
+        for field_name in ("duration_ms", "period_ms", "tick_ms"):
+            value = getattr(self, field_name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SpecError(
+                    f"invalid scenario {self.name!r}: {field_name} must be a "
+                    f"number, got {value!r}"
+                )
+        for field_name in ("task_count", "bfm_access_period_ms", "seed",
+                           "time_slice_ticks"):
+            value = getattr(self, field_name)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SpecError(
+                    f"invalid scenario {self.name!r}: {field_name} must be an "
+                    f"integer, got {value!r}"
+                )
+        if not isinstance(self.priorities, (list, tuple)) or any(
+            isinstance(p, bool) or not isinstance(p, int) for p in self.priorities
+        ):
+            raise SpecError(
+                f"invalid scenario {self.name!r}: priorities must be a list "
+                f"of integers, got {self.priorities!r}"
+            )
+        if not self.name:
+            problems.append("name must not be empty")
+        if self.kernel not in KERNELS:
+            problems.append(f"unknown kernel {self.kernel!r} (choose from {KERNELS})")
+        if self.workload not in WORKLOADS:
+            problems.append(
+                f"unknown workload {self.workload!r} (choose from {WORKLOADS})"
+            )
+        elif self.workload in TKERNEL_ONLY_WORKLOADS and self.kernel != "tkernel":
+            problems.append(
+                f"workload {self.workload!r} requires kernel 'tkernel', "
+                f"not {self.kernel!r}"
+            )
+        elif self.workload == "scheduler_comparison" and self.kernel == "tkernel":
+            problems.append(
+                "workload 'scheduler_comparison' exercises the minimal "
+                "RTK-Spec task API; choose kernel 'rtkspec1' or 'rtkspec2'"
+            )
+        if self.duration_ms <= 0:
+            problems.append("duration_ms must be positive")
+        if self.task_count < 1:
+            problems.append("task_count must be at least 1")
+        if self.period_ms <= 0:
+            problems.append("period_ms must be positive")
+        if self.bfm_access_period_ms < 1:
+            problems.append("bfm_access_period_ms must be at least 1 ms")
+        if self.tick_ms <= 0:
+            problems.append("tick_ms must be positive")
+        if self.time_slice_ticks < 1:
+            problems.append("time_slice_ticks must be at least 1")
+        if self.priorities and len(self.priorities) != self.task_count:
+            problems.append(
+                f"priorities has {len(self.priorities)} entries for "
+                f"{self.task_count} tasks"
+            )
+        if any(p < 1 for p in self.priorities):
+            problems.append("priorities must be positive")
+        if problems:
+            raise SpecError(
+                f"invalid scenario {self.name!r}: " + "; ".join(problems)
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe plain-dict view of the spec."""
+        return {
+            "name": self.name,
+            "kernel": self.kernel,
+            "workload": self.workload,
+            "duration_ms": self.duration_ms,
+            "task_count": self.task_count,
+            "period_ms": self.period_ms,
+            "priorities": list(self.priorities),
+            "bfm_access_period_ms": self.bfm_access_period_ms,
+            "gui_enabled": self.gui_enabled,
+            "tick_ms": self.tick_ms,
+            "seed": self.seed,
+            "time_slice_ticks": self.time_slice_ticks,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (unknown keys rejected)."""
+        known = set(cls.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(f"unknown spec fields: {sorted(unknown)}")
+        if "name" not in data:
+            raise SpecError("spec needs a 'name'")
+        return cls(**dict(data))
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "ScenarioSpec":
+        """A copy with *overrides* applied (unknown keys go into ``extra``)."""
+        known = set(self.__dataclass_fields__) - {"extra"}
+        direct = {k: v for k, v in overrides.items() if k in known}
+        extra = {k: v for k, v in overrides.items() if k not in known}
+        spec = replace(self, **direct)
+        if extra:
+            spec.extra = {**self.extra, **extra}
+        return spec
+
+
+# ----------------------------------------------------------------------
+# Deterministic per-run seeds
+# ----------------------------------------------------------------------
+def derive_seed(base_seed: int, index: int, name: str = "") -> int:
+    """A stable per-run seed from the base seed and the run's identity.
+
+    Uses CRC32 over a canonical string so the same (seed, index, name)
+    always maps to the same value on every platform and process.
+    """
+    return zlib.crc32(f"{base_seed}:{index}:{name}".encode("utf-8")) & 0x7FFFFFFF
+
+
+# ----------------------------------------------------------------------
+# Matrix expansion
+# ----------------------------------------------------------------------
+def expand_matrix(
+    base: ScenarioSpec,
+    matrix: Optional[Mapping[str, Sequence[Any]]] = None,
+    derive_seeds: bool = True,
+) -> List[ScenarioSpec]:
+    """Expand *base* × *matrix* into the full list of runs.
+
+    The matrix maps spec field names (or ``extra`` knob names) to the list
+    of values to sweep.  Expansion order is the cross product with the
+    matrix's key order as the significance order (first key varies
+    slowest), so the run list is deterministic.  Each run is validated and,
+    when *derive_seeds* is true, given a per-run seed derived from the base
+    spec's seed and the run index — unless the matrix itself sweeps
+    ``seed``, which then wins.
+    """
+    matrix = dict(matrix or {})
+    for key, values in matrix.items():
+        if not isinstance(values, (list, tuple)) or not values:
+            raise SpecError(f"matrix axis {key!r} must be a non-empty sequence")
+    axes = list(matrix.items())
+    specs: List[ScenarioSpec] = []
+    for index, combo in enumerate(
+        itertools.product(*(values for _, values in axes)) if axes else [()]
+    ):
+        overrides: Dict[str, Any] = {key: value for (key, _), value in zip(axes, combo)}
+        spec = base.with_overrides(overrides)
+        if derive_seeds and "seed" not in matrix:
+            spec.seed = derive_seed(base.seed, index, spec.name)
+        suffix = "-".join(f"{key}={value}" for key, value in overrides.items())
+        if suffix:
+            spec.name = f"{spec.name}[{suffix}]"
+        specs.append(spec.validate())
+    return specs
+
+
+def expansion_count(matrix: Optional[Mapping[str, Sequence[Any]]]) -> int:
+    """Number of runs :func:`expand_matrix` would produce."""
+    count = 1
+    for values in (matrix or {}).values():
+        count *= max(len(values), 1)
+    return count
+
+
+def parse_matrix_axis(text: str) -> Tuple[str, List[Any]]:
+    """Parse a CLI ``key=v1,v2,...`` matrix axis with literal value coercion."""
+    if "=" not in text:
+        raise SpecError(f"matrix axis {text!r} is not of the form key=v1,v2,...")
+    key, _, values_text = text.partition("=")
+    values = [coerce_value(v) for v in values_text.split(",") if v != ""]
+    if not values:
+        raise SpecError(f"matrix axis {key!r} has no values")
+    return key.strip(), values
+
+
+def coerce_value(text: str) -> Any:
+    """Coerce a CLI string to bool/int/float when it looks like one."""
+    lowered = text.strip().lower()
+    if lowered in ("true", "yes", "on"):
+        return True
+    if lowered in ("false", "no", "off"):
+        return False
+    for kind in (int, float):
+        try:
+            return kind(text)
+        except ValueError:
+            continue
+    return text.strip()
+
+
+def parse_overrides(pairs: Iterable[str]) -> Dict[str, Any]:
+    """Parse CLI ``--set key=value`` pairs into an overrides dict.
+
+    A comma-separated value becomes a list of coerced items, so list fields
+    are settable from the shell: ``--set priorities=5,10,15``.
+    """
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SpecError(f"override {pair!r} is not of the form key=value")
+        key, _, value = pair.partition("=")
+        if "," in value:
+            overrides[key.strip()] = [coerce_value(v) for v in value.split(",")]
+        else:
+            overrides[key.strip()] = coerce_value(value)
+    return overrides

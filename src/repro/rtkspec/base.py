@@ -131,6 +131,16 @@ class RTKSpecKernel(SCModule):
             "tasks": [task.name for task in self.tasks()],
         }
 
+    def statistics(self) -> Dict[str, object]:
+        """Kernel-level run statistics for the campaign runner."""
+        return {
+            "ticks": self.tick_count,
+            "task_count": len(self._tasks),
+            "sleeping_tasks": sum(1 for task in self._tasks.values() if task.sleeping),
+            "service_calls": {},
+            "service_call_total": 0,
+        }
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

@@ -72,6 +72,10 @@ class Simulator:
         # Hook invoked at every evaluation cycle; used by the co-simulation
         # speed harness to model host-side (GUI) overhead.
         self.cycle_hooks: List[Callable[["Simulator"], None]] = []
+        # Hooks invoked after every timed advance, with the new time; the
+        # campaign runner uses them for lightweight run instrumentation.
+        self.advance_hooks: List[Callable[["Simulator", SimTime], None]] = []
+        self._prior_current = Simulator._current
         Simulator._current = self
 
     # ------------------------------------------------------------------
@@ -83,6 +87,33 @@ class Simulator:
         if cls._current is None:
             raise SimulationError("no simulator has been created")
         return cls._current
+
+    @classmethod
+    def reset(cls) -> None:
+        """Forget the class-level current simulator.
+
+        Repeated in-process runs (the campaign batch runner, tests) call this
+        between runs so that a finished simulation cannot leak into the next
+        one through the ``Simulator.current()`` singleton.
+        """
+        cls._current = None
+
+    def close(self) -> None:
+        """Detach this simulator from the class-level current slot.
+
+        Restores whichever simulator was current before this one was
+        created, making nested construction (framework inside a campaign
+        run) safe.  Idempotent.
+        """
+        if Simulator._current is self:
+            Simulator._current = self._prior_current
+        self._prior_current = None
+
+    def __enter__(self) -> "Simulator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -258,7 +289,9 @@ class Simulator:
                     break
                 next_time_ns = self._timed_queue[0][0]
                 if end_time is not None and next_time_ns > end_time.nanoseconds:
-                    self._now = end_time
+                    # Advance to the horizon (not the event) so advance
+                    # hooks observe the final interval of the run too.
+                    self._advance_to(end_time)
                     break
                 self._advance_to(SimTime(next_time_ns))
         except SimulationFinished:
@@ -266,7 +299,7 @@ class Simulator:
         if end_time is not None and self._now < end_time and not self._timed_queue \
                 and not self._runnable and not self._stop_requested:
             # Nothing left to do: report the requested horizon anyway.
-            self._now = end_time
+            self._advance_to(end_time)
         return self._now
 
     def stop(self) -> None:
@@ -423,6 +456,8 @@ class Simulator:
         if when < self._now:
             raise SimulationError("time cannot move backwards")
         self._now = when
+        for hook in self.advance_hooks:
+            hook(self, when)
         # Pop every callback scheduled for this instant.
         while self._timed_queue and self._timed_queue[0][0] == when.nanoseconds:
             __, __, callback = heapq.heappop(self._timed_queue)
@@ -431,6 +466,17 @@ class Simulator:
     # ------------------------------------------------------------------
     # Convenience helpers for tests & examples
     # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Kernel-level counters of the run so far (campaign instrumentation)."""
+        return {
+            "now_ms": self._now.to_ms(),
+            "delta_cycles": float(self._delta_count),
+            "processes": float(len(self._processes)),
+            "terminated_processes": float(
+                sum(1 for p in self._processes if p.state is ProcessState.TERMINATED)
+            ),
+        }
+
     def pending_activity(self) -> bool:
         """Whether any runnable process or scheduled activity remains."""
         return bool(self._runnable or self._delta_callbacks or self._timed_queue)

@@ -418,6 +418,24 @@ class TKernelOS(SCModule):
             self._svc_exit()
 
     # ------------------------------------------------------------------
+    # Campaign adapter
+    # ------------------------------------------------------------------
+    def statistics(self) -> Dict[str, object]:
+        """Kernel-level run statistics for the campaign runner.
+
+        Unlike :meth:`tk_ref_sys` this is a plain method (no service-call
+        context or cost) so the runner can call it after the simulation ends.
+        """
+        return {
+            "booted": self.booted,
+            "boot_time_ms": self.boot_time.to_ms() if self.boot_time else None,
+            "tick_handler_runs": self.tick_handler_runs,
+            "service_calls": dict(sorted(self.service_call_counts.items())),
+            "service_call_total": sum(self.service_call_counts.values()),
+            "task_count": len(self.tasks.all_tasks()),
+        }
+
+    # ------------------------------------------------------------------
     # Flat tk_* delegations (the T-Kernel API surface, Table 1 style)
     # ------------------------------------------------------------------
     # Task management.

@@ -1,0 +1,33 @@
+"""format_table hardening: padding short rows, rejecting overlong ones."""
+
+import pytest
+
+from repro.analysis.report import format_percentage, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment_unchanged(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer", 22]], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert lines[1].startswith("name")
+        assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+    def test_short_rows_are_padded_not_truncated(self):
+        text = format_table(["metric", "left", "right"], [["cpu", 5]])
+        row = text.splitlines()[-1]
+        assert "cpu" in row and "5" in row
+        # the padded cell renders as blanks, keeping the row full-width
+        assert len(row) == len(text.splitlines()[1])
+
+    def test_overlong_row_raises(self):
+        with pytest.raises(ValueError, match="row 1 has 3 cells"):
+            format_table(["a", "b"], [[1, 2], [1, 2, 3]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert text.splitlines()[0].startswith("a")
+
+
+def test_format_percentage():
+    assert format_percentage(0.1234) == "12.3%"

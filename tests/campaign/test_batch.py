@@ -1,0 +1,112 @@
+"""Batch engine: planning, parallel == serial, artifact writing."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import plan_batch, run_batch
+from repro.campaign.batch import default_worker_count
+from repro.campaign.metrics import aggregate_metrics, canonical_json, compare_metrics
+
+
+def small_matrix_specs():
+    """Four fast runs across two kernels (rtk scenarios are the cheapest)."""
+    return plan_batch(
+        ["rtk-round-robin", "rtk-priority"],
+        matrix={"seed": [1, 2]},
+        overrides={"duration_ms": 80.0},
+    )
+
+
+class TestPlanning:
+    def test_plan_expands_scenarios_times_matrix(self):
+        specs = plan_batch(
+            ["quickstart", "sync-tour"], matrix={"seed": [1, 2], "tick_ms": [1, 2]}
+        )
+        assert len(specs) == 8
+        assert len({spec.name for spec in specs}) == 8
+
+    def test_overrides_apply_to_every_run(self):
+        specs = small_matrix_specs()
+        assert all(spec.duration_ms == 80.0 for spec in specs)
+
+    def test_default_worker_count_is_at_least_two_for_batches(self):
+        assert default_worker_count(8) >= 2
+        assert default_worker_count(1) == 1
+
+
+class TestParallelExecution:
+    def test_parallel_matches_serial_byte_for_byte(self):
+        specs = small_matrix_specs()
+        serial = run_batch(specs, workers=1)
+        parallel = run_batch(specs, workers=2)
+        assert parallel.workers == 2
+        assert canonical_json(parallel.deterministic_document()) == \
+            canonical_json(serial.deterministic_document())
+
+    def test_results_keep_spec_order(self):
+        specs = small_matrix_specs()
+        batch = run_batch(specs, workers=2)
+        assert [r.metrics["scenario"] for r in batch.results] == \
+            [spec.name for spec in specs]
+
+    def test_workers_capped_by_run_count(self):
+        specs = small_matrix_specs()[:1]
+        batch = run_batch(specs, workers=16)
+        assert batch.workers == 1
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            run_batch([])
+
+
+class TestAggregation:
+    def test_aggregate_sums_and_means(self):
+        aggregate = aggregate_metrics(
+            [{"a": 2, "nested": {"b": 10}}, {"a": 4, "nested": {"b": 20}}]
+        )
+        assert aggregate["runs"] == 2
+        assert aggregate["total"]["a"] == 6.0
+        assert aggregate["mean"]["nested.b"] == 15.0
+
+    def test_missing_keys_average_over_occurrences(self):
+        aggregate = aggregate_metrics([{"a": 2}, {"b": 8}])
+        assert aggregate["mean"]["a"] == 2.0
+        assert aggregate["mean"]["b"] == 8.0
+
+    def test_booleans_are_not_metrics(self):
+        aggregate = aggregate_metrics([{"flag": True, "x": 1}])
+        assert "flag" not in aggregate["total"]
+
+    def test_compare_aligns_union_of_keys(self):
+        rows = compare_metrics({"a": 1, "shared": 5}, {"b": 2, "shared": 7})
+        by_key = {row[0]: row for row in rows}
+        assert by_key["shared"][3] == 2
+        assert by_key["a"][2] == ""  # missing right side
+        assert by_key["b"][1] == ""  # missing left side
+
+
+class TestArtifacts:
+    def test_write_outputs(self, tmp_path):
+        specs = small_matrix_specs()
+        batch = run_batch(specs, workers=2)
+        manifest = batch.write_outputs(str(tmp_path))
+
+        assert len(manifest["events"]) == len(specs)
+        for path in manifest["events"]:
+            assert os.path.exists(path)
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+            assert lines and all(json.loads(line) for line in lines)
+
+        with open(manifest["metrics"], "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["campaign"]["runs"] == len(specs)
+        assert len(document["runs"]) == len(specs)
+        assert document["aggregate"]["total"]["context_switches"] > 0
+        assert document["timing"]["workers"] == 2
+        # host timing never leaks into the deterministic sections
+        assert "wall_clock_seconds" not in canonical_json(
+            {"runs": document["runs"], "aggregate": document["aggregate"]}
+        )

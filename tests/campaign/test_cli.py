@@ -1,0 +1,88 @@
+"""The ``python -m repro`` command line, exercised through ``cli.main``."""
+
+import json
+
+from repro.campaign.cli import main
+
+
+class TestList:
+    def test_lists_every_builtin(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("quickstart", "videogame", "rtk-round-robin",
+                     "synthetic-tkernel"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_with_overrides_and_outputs(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main([
+            "run", "quickstart",
+            "--set", "duration_ms=30",
+            "--set", "items=2",
+            "--events-out", str(events),
+            "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "quickstart" in out and "wall clock" in out
+
+        document = json.loads(metrics.read_text())
+        assert document["spec"]["duration_ms"] == 30
+        assert document["spec"]["extra"]["items"] == 2
+        assert document["metrics"]["workload_metrics"]["produced"] == 2
+        assert "timing" in document
+
+        lines = events.read_text().splitlines()
+        assert lines and json.loads(lines[0])["t_ms"] >= 0
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["run", "does-not-exist"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_override_fails_cleanly(self, capsys):
+        assert main(["run", "quickstart", "--set", "duration_ms=-5"]) == 2
+        assert "duration_ms" in capsys.readouterr().err
+
+
+class TestBatchAndCompare:
+    def test_batch_writes_artifacts_and_compare_reads_them(self, tmp_path, capsys):
+        out_dir = tmp_path / "campaign"
+        code = main([
+            "batch",
+            "--scenario", "rtk-round-robin",
+            "--scenario", "rtk-priority",
+            "--matrix", "seed=1,2",
+            "--set", "duration_ms=60",
+            "--workers", "2",
+            "--out", str(out_dir),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 runs on 2 worker(s)" in out
+        assert "aggregate over 4 runs" in out
+
+        metrics_path = out_dir / "metrics.json"
+        document = json.loads(metrics_path.read_text())
+        assert document["campaign"]["runs"] == 4
+        assert len(list(out_dir.glob("events_*.jsonl"))) == 4
+
+        assert main(["compare", str(metrics_path), str(metrics_path)]) == 0
+        compare_out = capsys.readouterr().out
+        assert "aggregate.total.context_switches" in compare_out
+
+    def test_batch_serial_flag(self, tmp_path, capsys):
+        code = main([
+            "batch",
+            "--scenario", "rtk-priority",
+            "--matrix", "seed=1,2",
+            "--set", "duration_ms=40",
+            "--serial",
+            "--no-events",
+            "--out", str(tmp_path / "serial"),
+        ])
+        assert code == 0
+        assert "on 1 worker(s)" in capsys.readouterr().out
+        assert not list((tmp_path / "serial").glob("events_*.jsonl"))

@@ -1,0 +1,117 @@
+"""Runner behaviour: determinism, state isolation, event streams."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    ScenarioSpec,
+    get_scenario,
+    run_spec,
+    scenario_names,
+)
+from repro.sysc import SimulationError, Simulator
+
+#: Cheap scenarios that cover all three kernels and most workloads.
+SMOKE_SCENARIOS = ("quickstart", "sync-tour", "rtk-round-robin",
+                   "rtk-priority", "synthetic-tkernel", "synthetic-rtk")
+
+
+class TestRunSpec:
+    @pytest.mark.parametrize("name", SMOKE_SCENARIOS)
+    def test_builtin_scenario_produces_activity(self, name):
+        result = run_spec(get_scenario(name))
+        assert result.metrics["context_switches"] > 0
+        assert result.metrics["simulated_ms"] > 0
+        assert result.events, "event stream must not be empty"
+
+    def test_runner_resets_current_simulator(self):
+        Simulator.reset()  # start with no caller-owned simulator
+        run_spec(get_scenario("quickstart"))
+        with pytest.raises(SimulationError):
+            Simulator.current()
+
+    def test_runner_restores_caller_owned_simulator(self):
+        with Simulator("mine") as outer:
+            run_spec(get_scenario("rtk-priority"))
+            assert Simulator.current() is outer
+        Simulator.reset()
+
+    def test_timed_advances_metric_counts_horizon(self):
+        result = run_spec(get_scenario("quickstart"))
+        assert result.metrics["timed_advances"] > 0
+
+    def test_runner_resets_even_on_failure(self):
+        Simulator.reset()
+        spec = get_scenario("quickstart")
+        spec.workload = "raytracer"  # invalidated only at run time
+        with pytest.raises(Exception):
+            run_spec(spec)
+        with pytest.raises(SimulationError):
+            Simulator.current()
+
+    def test_metrics_shape(self):
+        result = run_spec(get_scenario("quickstart"))
+        metrics = result.metrics
+        assert metrics["scenario"] == "quickstart"
+        assert metrics["kernel"] == "tkernel"
+        assert 0.0 <= metrics["cpu_utilization"] <= 1.0
+        assert metrics["energy_mj"] > 0
+        assert metrics["syscall_total"] == sum(metrics["syscalls"].values())
+        assert metrics["workload_metrics"]["produced"] == 5
+        # timing is separated from the deterministic section
+        assert "wall_clock_seconds" not in metrics
+        assert result.timing["wall_clock_seconds"] >= 0
+
+    def test_events_are_time_ordered_and_jsonl_safe(self):
+        result = run_spec(get_scenario("sync-tour"))
+        times = [event["t_ms"] for event in result.events]
+        assert times == sorted(times)
+        for event in result.events:
+            line = json.dumps(event)
+            assert json.loads(line) == event
+
+    def test_collect_events_can_be_disabled(self):
+        result = run_spec(get_scenario("quickstart"), collect_events=False)
+        assert result.events == []
+        assert result.metrics["context_switches"] > 0
+
+
+class TestDeterminism:
+    def test_same_spec_and_seed_is_byte_identical(self):
+        first = run_spec(get_scenario("synthetic-tkernel"))
+        second = run_spec(get_scenario("synthetic-tkernel"))
+        assert first.metrics_json() == second.metrics_json()
+        assert first.events == second.events
+
+    def test_different_seed_changes_synthetic_workload(self):
+        base = get_scenario("synthetic-rtk")
+        other = get_scenario("synthetic-rtk").with_overrides({"seed": 999})
+        first = run_spec(base)
+        second = run_spec(other)
+        assert first.metrics_json() != second.metrics_json()
+
+    def test_back_to_back_runs_do_not_interfere(self):
+        solo = run_spec(get_scenario("quickstart")).metrics_json()
+        run_spec(get_scenario("rtk-priority"))
+        after_other = run_spec(get_scenario("quickstart")).metrics_json()
+        assert solo == after_other
+
+
+class TestRegistry:
+    def test_every_builtin_spec_validates(self):
+        for name in scenario_names():
+            spec = get_scenario(name)
+            assert spec.validate() is spec
+
+    def test_get_scenario_returns_fresh_copies(self):
+        first = get_scenario("quickstart")
+        first.duration_ms = 1.0
+        assert get_scenario("quickstart").duration_ms == 50.0
+
+    def test_synthetic_task_sets_depend_only_on_seed(self):
+        from repro.campaign.registry import _synthetic_task_set
+
+        spec_a = ScenarioSpec(name="a", workload="synthetic", seed=5)
+        spec_b = ScenarioSpec(name="b", workload="synthetic", seed=5)
+        assert _synthetic_task_set(spec_a) == _synthetic_task_set(spec_b)

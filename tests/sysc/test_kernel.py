@@ -322,3 +322,62 @@ class TestErrorHandling:
     def test_negative_callback_delay_rejected(self, sim):
         with pytest.raises(SimulationError):
             sim.schedule_callback(SimTime(-1), lambda: None)
+
+
+class TestCurrentSimulatorLifecycle:
+    def test_reset_clears_current(self):
+        Simulator("leaky")
+        Simulator.reset()
+        with pytest.raises(SimulationError):
+            Simulator.current()
+
+    def test_close_restores_prior_current(self):
+        outer = Simulator("outer")
+        inner = Simulator("inner")
+        assert Simulator.current() is inner
+        inner.close()
+        assert Simulator.current() is outer
+        outer.close()
+        Simulator.reset()
+
+    def test_context_manager_scopes_current(self):
+        with Simulator("scoped") as sim:
+            assert Simulator.current() is sim
+        with pytest.raises(SimulationError):
+            Simulator.current()
+
+    def test_repeated_runs_do_not_leak_state(self):
+        for expected in (3.0, 7.0):
+            with Simulator("run") as sim:
+
+                def body(expected=expected):
+                    yield Wait(SimTime.ms(expected))
+
+                sim.register_thread("p", body)
+                assert sim.run().to_ms() == expected
+                assert sim.stats()["processes"] == 1.0
+
+    def test_advance_hooks_observe_time(self):
+        times = []
+        with Simulator("hooked") as sim:
+            sim.advance_hooks.append(lambda s, when: times.append(when.to_ms()))
+
+            def body():
+                yield Wait(SimTime.ms(2))
+                yield Wait(SimTime.ms(3))
+
+            sim.register_thread("p", body)
+            sim.run()
+        assert times == [2.0, 5.0]
+
+    def test_advance_hooks_fire_for_the_run_horizon(self):
+        times = []
+        with Simulator("horizon") as sim:
+            sim.advance_hooks.append(lambda s, when: times.append(when.to_ms()))
+
+            def body():
+                yield Wait(SimTime.ms(10))
+
+            sim.register_thread("p", body)
+            sim.run(SimTime.ms(50))
+        assert times == [10.0, 50.0]
