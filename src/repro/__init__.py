@@ -21,6 +21,11 @@ Package layout
     co-simulation framework.
 ``repro.analysis``
     The evaluation harnesses (Table 2, Fig. 6, Fig. 7).
+``repro.obs``
+    The observability bus: one streaming event pipeline (typed topics,
+    pluggable sinks, zero cost when no sink is attached) that the kernel,
+    signals, SIM_API, T-Kernel services, BFM drivers and the campaign
+    runner all publish through.
 ``repro.campaign``
     The campaign runner (see below).
 
@@ -44,7 +49,7 @@ in a separate ``timing`` section.  Everything is scriptable from the shell::
     python -m repro compare left.json right.json
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "sysc",
@@ -54,5 +59,6 @@ __all__ = [
     "bfm",
     "app",
     "analysis",
+    "obs",
     "campaign",
 ]

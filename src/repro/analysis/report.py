@@ -42,3 +42,17 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
 def format_percentage(fraction: float) -> str:
     """Render a fraction as a percentage with one decimal."""
     return f"{fraction * 100:.1f}%"
+
+
+def format_event_counts(counter, title: str = "observability event counts") -> str:
+    """Render per-``(topic, kind)`` tallies from an observability counter.
+
+    *counter* is a :class:`repro.obs.sinks.CounterSink` (or any object with
+    a ``counts`` mapping keyed by ``(topic, kind)``).  Rows are sorted by
+    topic then kind so the table is deterministic.
+    """
+    rows = [
+        (topic, kind, count)
+        for (topic, kind), count in sorted(counter.counts.items())
+    ]
+    return format_table(["topic", "kind", "events"], rows, title=title)

@@ -23,12 +23,31 @@ from repro.sysc.time import SimTime
 
 
 class ExecutionTraceReport:
-    """Fig. 6: execution time/energy trace over a simulation window."""
+    """Fig. 6: execution time/energy trace over a simulation window.
 
-    def __init__(self, api: SimApi, start: "SimTime | int" = 0,
+    *source* may be a :class:`SimApi` (classic — reads its Gantt sink), a
+    :class:`GanttChart` directly, or any observability-bus sink exposing
+    ``events()`` (e.g. :class:`repro.obs.sinks.RingBufferSink` subscribed to
+    the ``sched`` topic), whose events are rebuilt into a chart.
+    """
+
+    def __init__(self, source: "SimApi | GanttChart | object",
+                 start: "SimTime | int" = 0,
                  stop: "SimTime | int | None" = None):
-        self.api = api
-        self.gantt: GanttChart = api.gantt
+        self.api: "SimApi | None" = None
+        if isinstance(source, SimApi):
+            self.api = source
+            self.gantt: GanttChart = source.gantt
+        elif isinstance(source, GanttChart):
+            self.gantt = source
+        elif hasattr(source, "events"):
+            # Ring sinks expose events() as a method, list sinks as a list.
+            events = source.events
+            self.gantt = GanttChart.from_events(events() if callable(events) else events)
+        else:
+            raise TypeError(
+                "source must be a SimApi, a GanttChart or a sink with events()"
+            )
         self.start = SimTime.coerce(start)
         self.stop = SimTime.coerce(stop) if stop is not None else self.gantt.end_time()
 

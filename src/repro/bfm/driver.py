@@ -36,6 +36,8 @@ class BusDriver:
         self.write_count = 0
         #: Hooks called after every completed access: fn(kind, address, value).
         self.access_hooks: List[Callable[[str, int, int], None]] = []
+        # Completed transactions publish on the bus's `bfm` topic.
+        self._obs_bfm = api.obs.topic("bfm")
 
     # ------------------------------------------------------------------
     # Handshake functions (generators: call with ``yield from``)
@@ -84,6 +86,12 @@ class BusDriver:
         )
 
     def _notify_hooks(self, kind: str, address: int, value: int) -> None:
+        topic = self._obs_bfm
+        if topic.enabled:
+            topic.emit(
+                kind, self.api.simulator.now.nanoseconds,
+                driver=self.name, address=address, value=value,
+            )
         for hook in self.access_hooks:
             hook(kind, address, value)
 

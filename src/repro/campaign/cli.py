@@ -57,7 +57,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--set", dest="overrides", action="append", default=[],
         metavar="KEY=VALUE", help="override a spec field or extra knob",
     )
-    run_parser.add_argument("--events-out", help="write the JSONL event stream here")
+    run_parser.add_argument(
+        "--events-out", metavar="PATH",
+        help="stream the JSONL event stream here *during* the run "
+        "(bounded memory; '-' streams to stdout)",
+    )
     run_parser.add_argument("--metrics-out", help="write the metrics JSON here")
 
     batch_parser = subparsers.add_parser(
@@ -127,7 +131,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides = parse_overrides(args.overrides)
         _note_extra_overrides(overrides)
         spec = spec.with_overrides(overrides).validate()
-    result = run_spec(spec)
+    if args.events_out:
+        # Events are streamed live over the observability bus while the
+        # simulation runs, never materialized in memory.
+        result = run_spec(spec, collect_events=False, events_stream=args.events_out)
+    else:
+        result = run_spec(spec)
     print(_run_summary_table([result.metrics]))
     timing = result.timing
     if timing.get("wall_clock_seconds") is not None:
@@ -136,8 +145,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"R/S = {timing['r_over_s']:.3f}   S/R = {timing['s_over_r']:.2f}"
         )
     if args.events_out:
-        result.write_events(args.events_out)
-        print(f"events  -> {args.events_out} ({len(result.events)} events)")
+        target = "stdout" if args.events_out == "-" else args.events_out
+        print(f"events  -> {target} ({result.events_streamed} events, streamed)")
     if args.metrics_out:
         result.write_metrics(args.metrics_out)
         print(f"metrics -> {args.metrics_out}")

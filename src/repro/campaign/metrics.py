@@ -15,11 +15,11 @@ A :class:`RunResult` separates what a run produced into three layers:
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Tuple
 
 from repro.core.gantt import GanttChart
+from repro.obs.bus import canonical_json  # re-exported; single encoder
 
 
 @dataclass
@@ -30,6 +30,9 @@ class RunResult:
     metrics: Dict[str, Any]
     timing: Dict[str, Any] = field(default_factory=dict)
     events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Events written by a live JSONL stream during the run (bounded-memory
+    #: mode); ``events`` stays empty in that case.
+    events_streamed: int = 0
 
     # ------------------------------------------------------------------
     # Serialization
@@ -56,11 +59,6 @@ class RunResult:
             for event in self.events:
                 handle.write(canonical_json(event))
                 handle.write("\n")
-
-
-def canonical_json(document: Mapping[str, Any]) -> str:
-    """Deterministic JSON encoding (sorted keys, tight separators)."""
-    return json.dumps(document, sort_keys=True, separators=(",", ":"))
 
 
 # ----------------------------------------------------------------------

@@ -5,8 +5,22 @@ The runner is the only place that knows how to go from a declarative
 :class:`~repro.campaign.metrics.RunResult`: it builds the scenario through
 the registry, runs the simulator for the spec's duration while measuring
 host wall-clock time (the Table 2 R measure), then harvests deterministic
-metrics (SIM_API counters, kernel statistics, energy, CPU utilisation) and
-the JSONL event stream from the Gantt recording.
+metrics (SIM_API counters, kernel statistics, energy, CPU utilisation).
+
+Events flow over the simulator's observability bus instead of being
+flattened out of an in-memory Gantt recording after the fact: the runner
+detaches SIM_API's Gantt sink (its history is never needed here — the
+per-event counters keep counting) and subscribes its own ``sched``-topic
+sink for the duration of the run:
+
+* ``events_stream=<path | "-" | file>`` — a streaming JSONL writer that
+  emits each event *during* the run at bounded memory (nothing is retained),
+* otherwise, with ``collect_events=True`` — an in-memory collector whose
+  output is byte-identical to the streamed form.
+
+Extra caller sinks (ring buffers, VCD writers, perf-trend collectors from
+follow-up PRs) ride along via ``sinks=``; they are unsubscribed when the run
+finishes.
 
 Every run is bracketed by :meth:`Simulator.reset` so repeated in-process
 runs — the whole point of the batch engine — cannot leak simulator state
@@ -17,16 +31,56 @@ simulator the *caller* owned before the run is put back afterwards.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict
+from typing import Any, Dict, IO, Optional, Sequence, Union
 
-from repro.campaign.metrics import RunResult, events_from_gantt
+from repro.campaign.metrics import RunResult
 from repro.campaign.registry import ScenarioBuild, build_scenario
 from repro.campaign.spec import ScenarioSpec
+from repro.core.gantt import GanttChart
+from repro.obs.bus import Event
+from repro.obs.sinks import JsonlStreamSink, ListSink
 from repro.sysc.kernel import Simulator
 from repro.sysc.time import SimTime
 
 
-def run_spec(spec: ScenarioSpec, collect_events: bool = True) -> RunResult:
+def _gantt_replay_events(gantt: GanttChart) -> "list[Event]":
+    """Rebuild ``sched`` events from a Gantt recording, in stream order.
+
+    Used to carry over events that scenario builders produced before the
+    runner could subscribe its sinks; ordering matches the live stream
+    (time-sorted, markers before slices at the same instant).
+    """
+    entries = []
+    order = 0
+    for marker in gantt.markers:
+        entries.append((
+            marker.time.nanoseconds, order,
+            Event("sched", marker.kind, marker.time.nanoseconds,
+                  {"thread": marker.thread}),
+        ))
+        order += 1
+    for segment in gantt.segments:
+        entries.append((
+            segment.start.nanoseconds, order,
+            Event("sched", "exec", segment.start.nanoseconds, {
+                "thread": segment.thread,
+                "dur_ns": segment.end.nanoseconds - segment.start.nanoseconds,
+                "context": segment.context,
+                "energy_nj": segment.energy_nj,
+                "label": segment.label,
+            }),
+        ))
+        order += 1
+    entries.sort(key=lambda entry: (entry[0], entry[1]))
+    return [event for _, _, event in entries]
+
+
+def run_spec(
+    spec: ScenarioSpec,
+    collect_events: bool = True,
+    events_stream: "Optional[Union[str, IO[str]]]" = None,
+    sinks: Sequence[Any] = (),
+) -> RunResult:
     """Run one scenario and return its structured result.
 
     A caller-owned current simulator is restored afterwards, so embedding a
@@ -35,24 +89,69 @@ def run_spec(spec: ScenarioSpec, collect_events: bool = True) -> RunResult:
     """
     spec.validate()
     prior = Simulator._current
+    stream_sink: Optional[JsonlStreamSink] = None
     try:
         build = build_scenario(spec)
+        bus = build.simulator.obs
+        # Scenario builders may already dispatch threads while wiring the
+        # workload; those events landed in the default Gantt sink before we
+        # could subscribe, so carry them over, then detach the chart — the
+        # runner never reads its history and long runs must not accumulate
+        # unbounded segment lists.
+        pre_events = _gantt_replay_events(build.api.gantt)
+        build.api.detach_gantt()
+        collector: Optional[ListSink] = None
+        if events_stream is not None:
+            stream_sink = JsonlStreamSink(events_stream, topics=("sched",))
+            bus.subscribe(stream_sink, ("sched",))
+        elif collect_events:
+            collector = ListSink(topics=("sched",))
+            bus.subscribe(collector, ("sched",))
+        for sink in sinks:
+            bus.subscribe(sink)
+        # Replay the pre-subscription events through the topic so every
+        # sched sink — stream, collector and caller-provided — sees the
+        # complete run from its very first dispatch.
+        sched_topic = bus.topic("sched")
+        if pre_events and sched_topic.enabled:
+            for event in pre_events:
+                sched_topic.emit(event.kind, event.t_ns, **event.fields)
+
         advances = [0]
         build.simulator.advance_hooks.append(
             lambda _sim, _when: advances.__setitem__(0, advances[0] + 1)
         )
+        campaign_topic = bus.topic("campaign")
+        if campaign_topic.enabled:
+            campaign_topic.emit(
+                "run_start", build.simulator.now.nanoseconds,
+                scenario=spec.name, kernel=spec.kernel, seed=spec.seed,
+            )
         start = time.perf_counter()
         build.simulator.run(SimTime.ms(spec.duration_ms))
         wall_clock_seconds = time.perf_counter() - start
+        if campaign_topic.enabled:
+            campaign_topic.emit(
+                "run_end", build.simulator.now.nanoseconds,
+                scenario=spec.name, seed=spec.seed,
+            )
         metrics = _collect_metrics(spec, build, timed_advances=advances[0])
         timing = _collect_timing(metrics["simulated_ms"], wall_clock_seconds)
-        events = events_from_gantt(build.api.gantt) if collect_events else []
+        events = collector.to_dicts() if collector is not None else []
+        for sink in sinks:
+            bus.unsubscribe(sink)
     finally:
+        if stream_sink is not None:
+            stream_sink.close()
         Simulator.reset()
         if prior is not None:
             Simulator._current = prior
     return RunResult(
-        spec=spec.to_dict(), metrics=metrics, timing=timing, events=events
+        spec=spec.to_dict(),
+        metrics=metrics,
+        timing=timing,
+        events=events,
+        events_streamed=stream_sink.lines_written if stream_sink else 0,
     )
 
 
@@ -86,8 +185,8 @@ def _collect_metrics(
         "threads": len(api.hashtb),
         "delta_cycles": simulator.stats()["delta_cycles"],
         "timed_advances": timed_advances,
-        "gantt_segments": len(api.gantt.segments),
-        "gantt_markers": len(api.gantt.markers),
+        "gantt_segments": api.segment_count,
+        "gantt_markers": api.marker_count,
         "kernel_stats": kernel_stats,
         "workload_metrics": build.workload_metrics(),
     }

@@ -10,7 +10,7 @@ the slices; rendering is plain text so it works headless.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.events import ExecutionContext
 from repro.sysc.time import SimTime
@@ -54,7 +54,16 @@ class GanttMarker:
 
 
 class GanttChart:
-    """Accumulates execution slices and point markers."""
+    """Accumulates execution slices and point markers.
+
+    The chart is an observability-bus *sink*: subscribed to the ``sched``
+    topic it rebuilds the classic recording from the stream — ``exec``
+    events become segments, everything else becomes a marker.  SIM_API
+    subscribes its chart by default; detaching it (``SimApi.detach_gantt``)
+    turns scheduling history off without touching any publisher.
+    """
+
+    topics = ("sched",)
 
     def __init__(self, name: str = "gantt"):
         self.name = name
@@ -71,6 +80,35 @@ class GanttChart:
     def add_marker(self, time: SimTime, thread: str, kind: str) -> None:
         """Record a point event such as ``dispatch`` or ``preempt``."""
         self.markers.append(GanttMarker(time, thread, kind))
+
+    def handle(self, event) -> None:
+        """Bus-sink entry point for ``sched``-topic events."""
+        fields = event.fields
+        if event.kind == "exec":
+            start = SimTime(event.t_ns)
+            self.segments.append(
+                GanttSegment(
+                    fields["thread"],
+                    start,
+                    start + SimTime(fields["dur_ns"]),
+                    fields["context"],
+                    fields["energy_nj"],
+                    fields["label"],
+                )
+            )
+        else:
+            self.markers.append(
+                GanttMarker(SimTime(event.t_ns), fields["thread"], event.kind)
+            )
+
+    @classmethod
+    def from_events(cls, events: "Iterable[object]", name: str = "gantt") -> "GanttChart":
+        """Rebuild a chart from ``sched`` events (e.g. a ring-buffer sink)."""
+        chart = cls(name)
+        for event in events:
+            if getattr(event, "topic", "sched") == "sched":
+                chart.handle(event)
+        return chart
 
     # -- queries ------------------------------------------------------------------
     def threads(self) -> List[str]:

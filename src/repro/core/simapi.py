@@ -53,7 +53,7 @@ from repro.core.etm import (
     default_service_call_annotations,
 )
 from repro.core.events import ExecutionContext, RunEvent, ThreadKind, ThreadState
-from repro.core.gantt import GanttChart, GanttSegment
+from repro.core.gantt import GanttChart
 from repro.core.hashtb import SimHashTB
 from repro.core.petri import Transition
 from repro.core.scheduler import PriorityScheduler, Scheduler
@@ -80,6 +80,7 @@ class SimApi:
         energy_model: Optional[EnergyModel] = None,
         annotations: Optional[AnnotationTable] = None,
         max_interrupt_nesting: Optional[int] = 16,
+        record_gantt: bool = True,
     ):
         self.simulator = simulator
         # Note: schedulers and annotation tables define __len__, so an empty
@@ -96,7 +97,19 @@ class SimApi:
 
         self.hashtb = SimHashTB()
         self.stack: SimStack[TThread] = SimStack(max_depth=max_interrupt_nesting)
+
+        # Scheduling history flows over the observability bus; the Gantt
+        # chart is just the default sink on the `sched` topic.  Detach it
+        # (detach_gantt) for bounded-memory runs — the integer counters
+        # below keep counting either way, without per-event records.
+        self.obs = simulator.obs
+        self._obs_sched = self.obs.topic("sched")
+        self._obs_irq = self.obs.topic("irq")
         self.gantt = GanttChart()
+        if record_gantt:
+            self.obs.subscribe(self.gantt, ("sched",))
+        self.marker_count = 0
+        self.segment_count = 0
 
         #: The T-THREAD currently holding the CPU (task or handler).
         self.running: Optional[TThread] = None
@@ -117,6 +130,24 @@ class SimApi:
 
         # Observers notified on every dispatch (used by debugging widgets).
         self.dispatch_observers: List[Callable[[TThread], None]] = []
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def detach_gantt(self) -> None:
+        """Stop accumulating Gantt history (bounded-memory campaign runs).
+
+        Scheduling events still flow to any other ``sched`` sinks, and the
+        ``marker_count``/``segment_count`` totals keep counting for free.
+        """
+        self.obs.unsubscribe(self.gantt)
+
+    def _emit_marker(self, kind: str, thread_name: str) -> None:
+        """Count a scheduling point event and publish it if anyone listens."""
+        self.marker_count += 1
+        topic = self._obs_sched
+        if topic.enabled:
+            topic.emit(kind, self.simulator.now.nanoseconds, thread=thread_name)
 
     # ------------------------------------------------------------------
     # Thread creation & identifiers
@@ -242,7 +273,7 @@ class SimApi:
         self._account_idle_end()
         self.running = thread
         self.dispatch_count += 1
-        self.gantt.add_marker(self.simulator.now, thread.name, "dispatch")
+        self._emit_marker("dispatch", thread.name)
         for observer in self.dispatch_observers:
             observer(thread)
         thread.grant_cpu(resume_event)
@@ -337,9 +368,17 @@ class SimApi:
                 chunk,
                 chunk_energy,
             )
-            self.gantt.add_segment(
-                GanttSegment(thread.name, start, end, context, chunk_energy, label)
-            )
+            self.segment_count += 1
+            topic = self._obs_sched
+            if topic.enabled:
+                topic.emit(
+                    "exec", start.nanoseconds,
+                    thread=thread.name,
+                    dur_ns=end.nanoseconds - start.nanoseconds,
+                    context=context,
+                    energy_nj=chunk_energy,
+                    label=label,
+                )
             remaining = remaining - chunk
         yield from self._maybe_suspend(thread)
 
@@ -388,7 +427,7 @@ class SimApi:
             return
         thread.preemption_count += 1
         self.preemption_count += 1
-        self.gantt.add_marker(self.simulator.now, thread.name, "preempt")
+        self._emit_marker("preempt", thread.name)
         # The preempted task keeps the head position of its priority level.
         self.make_ready(thread, at_head=True)
         chosen = self.scheduler.pop_next()
@@ -411,7 +450,7 @@ class SimApi:
             return
         handler = self._pending_handlers.popleft()
         thread.interrupted_count += 1
-        self.gantt.add_marker(self.simulator.now, thread.name, "interrupted")
+        self._emit_marker("interrupted", thread.name)
         self.stack.push(thread, handler, self.simulator.now)
         if self._pending_handlers:
             # Another interrupt is already pending: let it nest inside the
@@ -454,7 +493,7 @@ class SimApi:
         # A blocked thread no longer owns the dispatch-disable state.
         saved_disable = self._dispatch_disable_count
         self._dispatch_disable_count = 0
-        self.gantt.add_marker(self.simulator.now, thread.name, "sleep")
+        self._emit_marker("sleep", thread.name)
         self._release_cpu()
         self._dispatch_after_release()
         resume = yield from thread._suspend_until_regranted(suspend_state)
@@ -504,6 +543,12 @@ class SimApi:
         if not handler.is_handler:
             raise SimApiError(f"{handler.name!r} is not a handler T-THREAD")
         self.interrupt_count += 1
+        topic = self._obs_irq
+        if topic.enabled:
+            topic.emit(
+                "raise", self.simulator.now.nanoseconds,
+                handler=handler.name, deferred=self.running is not None,
+            )
         if self.running is None:
             self.stack.push(None, handler, self.simulator.now)
             self._grant(handler)
@@ -540,7 +585,7 @@ class SimApi:
         handler.set_state(ThreadState.DORMANT)
         if self.running is handler:
             self._release_cpu()
-        self.gantt.add_marker(self.simulator.now, handler.name, "handler_return")
+        self._emit_marker("handler_return", handler.name)
 
         if self._pending_handlers:
             # Service the next pending interrupt before resuming anything.
@@ -579,7 +624,7 @@ class SimApi:
             self.make_ready(interrupted, at_head=True)
             chosen = self.scheduler.pop_next()
             assert chosen is not None
-            self.gantt.add_marker(self.simulator.now, interrupted.name, "delayed_preempt")
+            self._emit_marker("delayed_preempt", interrupted.name)
             self._grant(chosen)
             return
         self._grant(interrupted)

@@ -1,0 +1,44 @@
+"""``repro.obs`` — the unified observability bus.
+
+One streaming event pipeline across the DES kernel, RTOS model, BFM and
+campaign layers.  See :mod:`repro.obs.bus` for the architecture and the
+zero-cost publishing contract, :mod:`repro.obs.sinks` for the consumption
+patterns.
+"""
+
+from repro.obs.bus import (
+    TOPICS,
+    Event,
+    EventBus,
+    Topic,
+    canonical_json,
+    event_to_dict,
+)
+from repro.obs.sinks import (
+    CounterSink,
+    JsonlStreamSink,
+    ListSink,
+    RingBufferSink,
+    Sink,
+    VcdStreamSink,
+)
+from repro.obs.vcd import vcd_identifier, vcd_value, vcd_var, vcd_width
+
+__all__ = [
+    "TOPICS",
+    "Event",
+    "EventBus",
+    "Topic",
+    "canonical_json",
+    "event_to_dict",
+    "Sink",
+    "ListSink",
+    "RingBufferSink",
+    "CounterSink",
+    "JsonlStreamSink",
+    "VcdStreamSink",
+    "vcd_identifier",
+    "vcd_value",
+    "vcd_var",
+    "vcd_width",
+]

@@ -1,0 +1,217 @@
+"""Pluggable sinks for the observability bus.
+
+A sink is any object with a ``handle(event)`` method; subscribing it to an
+:class:`~repro.obs.bus.EventBus` enables the topics it listens on.  A sink
+may declare a ``topics`` tuple used as the default subscription set, and may
+implement ``close()`` to flush/release resources when the run ends.
+
+Sinks here cover the bounded-memory consumption patterns the campaign layer
+needs:
+
+* :class:`RingBufferSink` — keep the most recent N events (post-mortem
+  debugging at bounded memory),
+* :class:`ListSink` — keep everything (tests, small interactive runs),
+* :class:`CounterSink` — per-``(topic, kind)`` tallies at O(1) memory,
+* :class:`JsonlStreamSink` — stream JSON Lines to a file/stdout *during*
+  the run instead of materializing the event list afterwards,
+* :class:`VcdStreamSink` — stream a waveform dump of selected signals.
+
+The Gantt builder (:class:`repro.core.gantt.GanttChart`) and the waveform
+recorder (:class:`repro.sysc.trace.TraceFile`) are sinks too; they live with
+their data models.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import deque
+from typing import Any, Dict, IO, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.bus import Event, canonical_json, event_to_dict
+from repro.obs.vcd import vcd_identifier, vcd_value, vcd_var
+
+
+def _open_target(target: "Union[str, IO[str]]") -> "Tuple[IO[str], bool]":
+    """Resolve a stream target: ``"-"`` → stdout, path → owned file handle,
+    anything else is treated as an open stream borrowed from the caller.
+    Returns ``(stream, owns_stream)``."""
+    if target == "-":
+        return sys.stdout, False
+    if isinstance(target, str):
+        return open(target, "w", encoding="utf-8"), True
+    return target, False
+
+
+class Sink:
+    """Base class for bus sinks (subclassing is optional — duck typing works)."""
+
+    #: Default topics :meth:`EventBus.subscribe` attaches the sink to.
+    topics: Optional[Tuple[str, ...]] = None
+
+    def handle(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        """Flush and release any resources the sink holds."""
+
+
+class ListSink(Sink):
+    """Collects every event in arrival order (unbounded; tests and small runs)."""
+
+    def __init__(self, topics: Optional[Sequence[str]] = None):
+        if topics is not None:
+            self.topics = tuple(topics)
+        self.events: List[Event] = []
+
+    def handle(self, event: Event) -> None:
+        self.events.append(event)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """The collected stream as JSON-safe dictionaries."""
+        return [event_to_dict(event) for event in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class RingBufferSink(Sink):
+    """Keeps the most recent *capacity* events — bounded-memory post-mortems."""
+
+    def __init__(self, capacity: int = 65536, topics: Optional[Sequence[str]] = None):
+        if capacity <= 0:
+            raise ValueError("ring buffer capacity must be positive")
+        if topics is not None:
+            self.topics = tuple(topics)
+        self.capacity = capacity
+        self._buffer: "deque[Event]" = deque(maxlen=capacity)
+        self.seen = 0
+
+    def handle(self, event: Event) -> None:
+        self.seen += 1
+        self._buffer.append(event)
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the front of the ring."""
+        return self.seen - len(self._buffer)
+
+    def events(self) -> List[Event]:
+        """The retained events, oldest first."""
+        return list(self._buffer)
+
+    def of_topic(self, topic: str) -> List[Event]:
+        """Retained events of one topic."""
+        return [event for event in self._buffer if event.topic == topic]
+
+    def of_kind(self, kind: str) -> List[Event]:
+        """Retained events of one kind."""
+        return [event for event in self._buffer if event.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class CounterSink(Sink):
+    """Tallies events per ``(topic, kind)`` without retaining them."""
+
+    def __init__(self, topics: Optional[Sequence[str]] = None):
+        if topics is not None:
+            self.topics = tuple(topics)
+        self.counts: Dict[Tuple[str, str], int] = {}
+
+    def handle(self, event: Event) -> None:
+        key = (event.topic, event.kind)
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    def count(self, topic: Optional[str] = None, kind: Optional[str] = None) -> int:
+        """Total over every ``(topic, kind)`` cell matching the filters."""
+        return sum(
+            value for (event_topic, event_kind), value in self.counts.items()
+            if (topic is None or event_topic == topic)
+            and (kind is None or event_kind == kind)
+        )
+
+    def total(self) -> int:
+        """All events seen."""
+        return sum(self.counts.values())
+
+
+class JsonlStreamSink(Sink):
+    """Streams events as JSON Lines while the simulation runs.
+
+    *target* may be a path (opened and owned by the sink), ``"-"`` for
+    stdout, or any open text stream (flushed but not closed).  Lines use the
+    campaign's canonical encoding (sorted keys, tight separators) so a
+    streamed file is byte-identical to one written from a collected list.
+    """
+
+    def __init__(self, target: Union[str, IO[str]], topics: Optional[Sequence[str]] = None):
+        if topics is not None:
+            self.topics = tuple(topics)
+        self._stream, self._owns_stream = _open_target(target)
+        self.lines_written = 0
+
+    def handle(self, event: Event) -> None:
+        self._stream.write(canonical_json(event_to_dict(event)))
+        self._stream.write("\n")
+        self.lines_written += 1
+
+    def close(self) -> None:
+        try:
+            self._stream.flush()
+        except ValueError:  # pragma: no cover - already-closed caller stream
+            return
+        if self._owns_stream:
+            self._stream.close()
+
+
+class VcdStreamSink(Sink):
+    """Streams a VCD waveform of selected signals as their changes settle.
+
+    The header (declarations plus initial ``#0`` values) is written at
+    construction from the signals' current values, so create the sink before
+    the run starts.  Unlike :meth:`TraceFile.to_vcd` nothing is retained in
+    memory — each settled change goes straight to the stream.
+    """
+
+    topics = ("signal",)
+
+    def __init__(self, signals: Iterable[Any], target: Union[str, IO[str]],
+                 timescale: str = "1ns"):
+        self._stream, self._owns_stream = _open_target(target)
+        self._identifiers: Dict[str, str] = {}
+        # Identity map so a same-named signal that was *not* declared can
+        # never corrupt a declared signal's waveform.
+        self._identifiers_by_signal: Dict[Any, str] = {}
+        self._last_time_ns = 0
+        lines = [f"$timescale {timescale} $end", "$scope module trace $end"]
+        initial_values = []
+        for index, signal in enumerate(signals):
+            identifier = vcd_identifier(index)
+            self._identifiers[signal.name] = identifier
+            self._identifiers_by_signal[signal] = identifier
+            lines.append(vcd_var(signal.name, signal.read(), identifier))
+            initial_values.append(vcd_value(signal.read(), identifier))
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+        lines.append("#0")
+        lines.extend(initial_values)
+        self._stream.write("\n".join(lines) + "\n")
+
+    def handle(self, event: Event) -> None:
+        publisher = event.fields.get("_signal")
+        if publisher is not None:
+            identifier = self._identifiers_by_signal.get(publisher)
+        else:
+            identifier = self._identifiers.get(event.fields.get("signal"))
+        if identifier is None:
+            return
+        if event.t_ns != self._last_time_ns:
+            self._stream.write(f"#{event.t_ns}\n")
+            self._last_time_ns = event.t_ns
+        self._stream.write(vcd_value(event.fields["new"], identifier) + "\n")
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()

@@ -1,0 +1,58 @@
+"""VCD (value change dump) encoding helpers.
+
+Shared by the batch exporter (:meth:`repro.sysc.trace.TraceFile.to_vcd`) and
+the streaming sink (:class:`repro.obs.sinks.VcdStreamSink`).  Two historical
+bugs live here now, fixed once for both writers:
+
+* identifiers were allocated as ``chr(33 + index)``, which walks off the end
+  of the printable range past ~94 signals and even collides with VCD keyword
+  characters; :func:`vcd_identifier` uses bijective base-94 numeration over
+  the full printable identifier alphabet (``!`` .. ``~``), giving unique
+  multi-character identifiers for any signal count;
+* every variable was declared ``wire 32`` even for 1-bit boolean signals;
+  :func:`vcd_width` sizes the declaration from the signal's value.
+"""
+
+from __future__ import annotations
+
+#: Printable VCD identifier alphabet: '!' (33) through '~' (126).
+_ALPHABET_SIZE = 94
+_ALPHABET_BASE = 33
+
+
+def vcd_identifier(index: int) -> str:
+    """Unique printable identifier for the *index*-th declared variable.
+
+    Bijective base-94: indices 0..93 map to single characters ``!``..``~``,
+    index 94 onwards to multi-character identifiers (``!!``, ``"!``, ...).
+    """
+    if index < 0:
+        raise ValueError("identifier index cannot be negative")
+    out = []
+    index += 1
+    while index > 0:
+        index -= 1
+        out.append(chr(_ALPHABET_BASE + index % _ALPHABET_SIZE))
+        index //= _ALPHABET_SIZE
+    return "".join(out)
+
+
+def vcd_width(value: object) -> int:
+    """Bit width to declare for a signal whose current value is *value*."""
+    if isinstance(value, bool):
+        return 1
+    return 32
+
+
+def vcd_var(name: str, value: object, identifier: str) -> str:
+    """A ``$var`` declaration line for one signal."""
+    return f"$var wire {vcd_width(value)} {identifier} {name} $end"
+
+
+def vcd_value(value: object, identifier: str) -> str:
+    """A value-change line for one signal."""
+    if isinstance(value, bool):
+        return f"{int(value)}{identifier}"
+    if isinstance(value, int):
+        return f"b{value:b} {identifier}"
+    return f"s{value} {identifier}"

@@ -23,6 +23,7 @@ import heapq
 import itertools
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.obs.bus import EventBus
 from repro.sysc.event import SCEvent
 from repro.sysc.process import (
     ProcessHandle,
@@ -45,6 +46,10 @@ class SimulationFinished(Exception):
     """Raised internally when ``stop()`` terminates the simulation."""
 
 
+#: Sentinel payload for timed-queue entries whose callable takes no argument.
+_NO_PAYLOAD = object()
+
+
 class Simulator:
     """A discrete-event simulator with SystemC-like scheduling semantics."""
 
@@ -55,12 +60,15 @@ class Simulator:
         self._now = SimTime(0)
         self._delta_count = 0
         self._sequence = itertools.count()
-        # Timed queue entries: (time_ns, seq, callback)
-        self._timed_queue: List[Tuple[int, int, Callable[[], None]]] = []
+        # Timed queue entries: (time_ns, seq, func, payload).  func is called
+        # with payload, or with no argument when payload is _NO_PAYLOAD; this
+        # keeps the hot wait path free of per-wait closure allocations.
+        self._timed_queue: List[Tuple[int, int, Callable, object]] = []
         # Processes runnable in the current evaluation phase.
         self._runnable: List[Tuple[ProcessHandle, ResumeReason]] = []
-        # Delta-cycle pending activations (event notifications & signal wakes).
-        self._delta_callbacks: List[Callable[[], None]] = []
+        # Delta-cycle pending activations (event notifications & signal
+        # wakes) as (func, payload) pairs — same no-closure discipline.
+        self._delta_callbacks: List[Tuple[Callable, object]] = []
         # Signal/channel update requests for the update phase.
         self._update_requests: List[Callable[[], None]] = []
         self._processes: List[ProcessHandle] = []
@@ -75,6 +83,15 @@ class Simulator:
         # Hooks invoked after every timed advance, with the new time; the
         # campaign runner uses them for lightweight run instrumentation.
         self.advance_hooks: List[Callable[["Simulator", SimTime], None]] = []
+        #: The observability bus of this simulation (one per simulator so
+        #: concurrent/nested simulations never share instrumentation state).
+        self.obs = EventBus()
+        self._obs_kernel = self.obs.topic("kernel")
+        # Bound methods cached once so the wait hot path allocates neither
+        # closures nor fresh method objects per wait request.
+        self._on_delta_wake = self._delta_wake
+        self._on_timed_wake = self._timed_wake
+        self._on_wait_timeout = self._wait_timeout
         self._prior_current = Simulator._current
         Simulator._current = self
 
@@ -193,18 +210,22 @@ class Simulator:
         self, event: SCEvent, delay: SimTime, token: object
     ) -> None:
         if delay.nanoseconds <= 0:
-            self._delta_callbacks.append(lambda: event._fire(token))
+            self._delta_callbacks.append((event._fire, token))
         else:
-            self.schedule_callback(delay, lambda: event._fire(token))
+            self._schedule_at(delay, event._fire, token)
 
     def schedule_callback(self, delay: "SimTime | int", callback: Callable[[], None]) -> None:
         """Schedule *callback* to run after *delay* of simulated time."""
         delay = SimTime.coerce(delay)
         if delay.nanoseconds < 0:
             raise SimulationError("cannot schedule a callback in the past")
-        when = self._now + delay
+        self._schedule_at(delay, callback, _NO_PAYLOAD)
+
+    def _schedule_at(self, delay: SimTime, func: Callable, payload: object) -> None:
+        """Push a timed-queue entry (internal; *delay* must be non-negative)."""
+        when_ns = self._now.nanoseconds + delay.nanoseconds
         heapq.heappush(
-            self._timed_queue, (when.nanoseconds, next(self._sequence), callback)
+            self._timed_queue, (when_ns, next(self._sequence), func, payload)
         )
 
     def _trigger_event(self, event: SCEvent, immediate: bool) -> None:
@@ -224,10 +245,34 @@ class Simulator:
         if process.waiting_on is not None and process.waiting_on is not event:
             process.waiting_on.remove_waiter(process)
         process.waiting_on = None
-        process._timeout_token = object()  # invalidate any pending timeout
+        process._timeout_token += 1  # invalidate any pending timeout
         process.state = ProcessState.READY
         process._resume_reason = reason
         self._runnable.append((process, reason))
+
+    # -- no-allocation wake/timeout trampolines (cached in __init__) -------
+    # Every queued wake carries the process's wait-generation token from
+    # scheduling time; throw_into/_wake_process bump the token, so a stale
+    # entry surviving in the delta/timed queues can never fire into a
+    # *later* wait of the same process.
+    def _delta_wake(self, payload: "Tuple[ProcessHandle, int]") -> None:
+        process, token = payload
+        if process._timeout_token == token:
+            self._wake_process(process, ResumeReason.DELTA)
+
+    def _timed_wake(self, payload: "Tuple[ProcessHandle, int]") -> None:
+        process, token = payload
+        if process._timeout_token == token:
+            self._wake_process(process, ResumeReason.TIME)
+
+    def _wait_timeout(self, payload: "Tuple[ProcessHandle, int, SCEvent]") -> None:
+        process, token, event = payload
+        if process._timeout_token == token and process.state is ProcessState.WAITING:
+            event.remove_waiter(process)
+            process.waiting_on = None
+            process.state = ProcessState.READY
+            process._resume_reason = ResumeReason.TIMEOUT
+            self._runnable.append((process, ResumeReason.TIMEOUT))
 
     # ------------------------------------------------------------------
     # Elaboration
@@ -240,7 +285,14 @@ class Simulator:
             self._elaborate_process(process)
 
     def _elaborate_process(self, process: ProcessHandle) -> None:
+        if process.state is ProcessState.TERMINATED:
+            # Killed before it ever started (throw_into on a never-started
+            # process): elaboration must not resurrect it.
+            return
         process.start()
+        topic = self._obs_kernel
+        if topic.enabled:
+            topic.emit("process_start", self._now.nanoseconds, process=process.name)
         if process.dont_initialize:
             process.state = ProcessState.WAITING
             self._subscribe_static(process)
@@ -309,9 +361,15 @@ class Simulator:
     # -- internal phases ---------------------------------------------------
     def _evaluate_and_update(self) -> None:
         """Run evaluation/update/delta phases until no delta activity remains."""
+        obs_kernel = self._obs_kernel
         while True:
             if self._runnable:
                 self._delta_count += 1
+                if obs_kernel.enabled:
+                    obs_kernel.emit(
+                        "delta", self._now.nanoseconds,
+                        cycle=self._delta_count, runnable=len(self._runnable),
+                    )
                 for hook in self.cycle_hooks:
                     hook(self)
                 self._evaluation_phase()
@@ -323,8 +381,8 @@ class Simulator:
             # Delta notification phase.
             if self._delta_callbacks:
                 callbacks, self._delta_callbacks = self._delta_callbacks, []
-                for callback in callbacks:
-                    callback()
+                for func, payload in callbacks:
+                    func(payload)
             if self._stop_requested:
                 return
             if not self._runnable:
@@ -353,14 +411,24 @@ class Simulator:
             else:
                 request = process.generator.send(reason)
         except StopIteration:
-            process._mark_terminated()
+            self._mark_process_end(process)
             return
         except SimulationFinished:
-            process._mark_terminated()
+            self._mark_process_end(process)
             raise
         finally:
             self._running_process = previous
         self._apply_wait_request(process, request)
+
+    def _mark_process_end(self, process: ProcessHandle) -> None:
+        """Terminate *process* and publish its lifecycle end event."""
+        process._mark_terminated()
+        topic = self._obs_kernel
+        if topic.enabled:
+            topic.emit(
+                "process_end", self._now.nanoseconds,
+                process=process.name, resumes=process.resume_count,
+            )
 
     def _apply_wait_request(self, process: ProcessHandle, request: object) -> None:
         process.state = ProcessState.WAITING
@@ -371,17 +439,17 @@ class Simulator:
         if isinstance(request, Wait):
             if request.duration.nanoseconds <= 0:
                 self._delta_callbacks.append(
-                    lambda: self._wake_process(process, ResumeReason.DELTA)
+                    (self._on_delta_wake, (process, process._timeout_token))
                 )
             else:
-                self.schedule_callback(
-                    request.duration,
-                    lambda: self._wake_process(process, ResumeReason.TIME),
+                self._schedule_at(
+                    request.duration, self._on_timed_wake,
+                    (process, process._timeout_token),
                 )
             return
         if isinstance(request, WaitDelta):
             self._delta_callbacks.append(
-                lambda: self._wake_process(process, ResumeReason.DELTA)
+                (self._on_delta_wake, (process, process._timeout_token))
             )
             return
         if isinstance(request, WaitEvent):
@@ -389,21 +457,15 @@ class Simulator:
             process.waiting_on = request.event
             return
         if isinstance(request, WaitEventTimeout):
+            if request.timeout.nanoseconds < 0:
+                raise SimulationError("cannot schedule a callback in the past")
             request.event.add_waiter(process)
             process.waiting_on = request.event
-            token = object()
+            token = process._timeout_token + 1
             process._timeout_token = token
-            event = request.event
-
-            def on_timeout() -> None:
-                if process._timeout_token is token and process.state is ProcessState.WAITING:
-                    event.remove_waiter(process)
-                    process.waiting_on = None
-                    process.state = ProcessState.READY
-                    process._resume_reason = ResumeReason.TIMEOUT
-                    self._runnable.append((process, ResumeReason.TIMEOUT))
-
-            self.schedule_callback(request.timeout, on_timeout)
+            self._schedule_at(
+                request.timeout, self._on_wait_timeout, (process, token, request.event)
+            )
             return
         if isinstance(request, SCEvent):
             # Allow yielding a bare event as shorthand for WaitEvent.
@@ -432,21 +494,25 @@ class Simulator:
             process.waiting_on = None
         for event in process.static_sensitivity:
             event.remove_waiter(process)
-        process._timeout_token = object()
+        process._timeout_token += 1
         # Drop any queued activation of this process.
         self._runnable = [(p, r) for (p, r) in self._runnable if p is not process]
+        if process.generator is None:
+            # Never elaborated/started: there is no body to unwind, the
+            # process simply dies (mirrors terminating a dormant task).
+            self._mark_process_end(process)
+            return
         previous = self._running_process
         self._running_process = process
         process.state = ProcessState.RUNNING
         try:
-            assert process.generator is not None
             request = process.generator.throw(exception)
         except StopIteration:
-            process._mark_terminated()
+            self._mark_process_end(process)
             return
         except type(exception):
             # The body let the exception escape entirely: the process dies.
-            process._mark_terminated()
+            self._mark_process_end(process)
             return
         finally:
             self._running_process = previous
@@ -456,12 +522,18 @@ class Simulator:
         if when < self._now:
             raise SimulationError("time cannot move backwards")
         self._now = when
+        topic = self._obs_kernel
+        if topic.enabled:
+            topic.emit("advance", when.nanoseconds, pending=len(self._timed_queue))
         for hook in self.advance_hooks:
             hook(self, when)
         # Pop every callback scheduled for this instant.
         while self._timed_queue and self._timed_queue[0][0] == when.nanoseconds:
-            __, __, callback = heapq.heappop(self._timed_queue)
-            callback()
+            __, __, func, payload = heapq.heappop(self._timed_queue)
+            if payload is _NO_PAYLOAD:
+                func()
+            else:
+                func(payload)
 
     # ------------------------------------------------------------------
     # Convenience helpers for tests & examples

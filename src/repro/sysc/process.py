@@ -103,7 +103,9 @@ class ProcessHandle:
     state: ProcessState = field(default=ProcessState.CREATED, init=False)
     generator: Optional[ProcessBody] = field(default=None, init=False)
     waiting_on: Optional[SCEvent] = field(default=None, init=False)
-    _timeout_token: Optional[object] = field(default=None, init=False)
+    # Generation counter identifying the pending wait-timeout; bumping it
+    # invalidates the timeout without allocating per-wait token objects.
+    _timeout_token: int = field(default=0, init=False)
     _resume_reason: ResumeReason = field(default=ResumeReason.START, init=False)
     resume_count: int = field(default=0, init=False)
     terminated_event: SCEvent = field(default=None, init=False)  # type: ignore[assignment]

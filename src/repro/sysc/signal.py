@@ -33,6 +33,9 @@ class Signal(Generic[T]):
         self.write_count = 0
         self.change_count = 0
         self._tracers: List["SignalObserver"] = []
+        # Cached `signal` topic of the owning simulator's observability bus:
+        # the settle path publishes with a single enabled-flag check.
+        self._obs_signal = self._simulator.obs.topic("signal")
 
     # -- value access -------------------------------------------------------
     def read(self) -> T:
@@ -64,6 +67,14 @@ class Signal(Generic[T]):
             self.posedge_event.notify_delta()
         if self._is_falling(old, new):
             self.negedge_event.notify_delta()
+        topic = self._obs_signal
+        if topic.enabled:
+            # `_signal` carries the publishing object for sinks that filter
+            # by identity (names need not be unique); JSON output drops it.
+            topic.emit(
+                "change", self._simulator.now.nanoseconds,
+                signal=self.name, old=old, new=new, _signal=self,
+            )
         for tracer in self._tracers:
             tracer.on_change(self, self._simulator.now, old, new)
 

@@ -4,13 +4,23 @@ The paper's case study probes BFM signals and variables in a waveform viewer
 (Fig. 4).  :class:`TraceFile` records settled signal values over time and can
 render a compact ASCII waveform or export VCD text, which is the headless
 substitute for that viewer.
+
+Since the observability bus landed, :class:`TraceFile` is a *sink* on the
+bus's ``signal`` topic rather than a per-signal observer: ``trace(signal)``
+subscribes it to the signal's simulator bus and records only the named
+signals it was asked to probe.  Records are kept both in arrival order
+(``records``) and in a per-signal index, so ``changes_of``/``value_at`` are
+O(changes-of-that-signal) with a bisect instead of scanning the full run
+history per query.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
+from repro.obs.vcd import vcd_identifier, vcd_value, vcd_var
 from repro.sysc.signal import Signal, SignalObserver
 from repro.sysc.time import SimTime
 
@@ -26,23 +36,65 @@ class TraceRecord:
 
 
 class TraceFile(SignalObserver):
-    """Records value changes of the signals attached to it."""
+    """Records value changes of the signals attached to it.
+
+    Works as an observability-bus sink (``handle``) and still honours the
+    legacy :class:`SignalObserver` interface (``on_change``) for callers that
+    attach it to a signal directly.
+    """
+
+    topics = ("signal",)
 
     def __init__(self, name: str = "trace"):
         self.name = name
         self.records: List[TraceRecord] = []
         self._signals: List[Signal] = []
         self._initial: Dict[str, object] = {}
+        self._names: Set[str] = set()
+        self._traced_signals: Set[Signal] = set()
+        self._by_signal: Dict[str, List[TraceRecord]] = {}
+        self._times_ns: Dict[str, List[int]] = {}
+        # Strong references so a bus is never mistaken for a later one that
+        # happens to reuse its memory address (identity-based membership).
+        self._subscribed_buses: Set[object] = set()
 
     # -- recording ----------------------------------------------------------
     def trace(self, signal: Signal) -> None:
         """Start tracing *signal*."""
-        signal.attach_observer(self)
+        bus = signal._simulator.obs
+        if bus not in self._subscribed_buses:
+            bus.subscribe(self, ("signal",))
+            self._subscribed_buses.add(bus)
         self._signals.append(signal)
+        self._names.add(signal.name)
+        self._traced_signals.add(signal)
         self._initial[signal.name] = signal.read()
+        self._by_signal.setdefault(signal.name, [])
+        self._times_ns.setdefault(signal.name, [])
+
+    def handle(self, event) -> None:
+        """Bus-sink entry point for ``signal``-topic events."""
+        fields = event.fields
+        # Filter by signal *identity* when the publisher provides it —
+        # signal names are not required to be unique — falling back to the
+        # name filter for synthetic events.
+        publisher = fields.get("_signal")
+        if publisher is not None:
+            if publisher not in self._traced_signals:
+                return
+        elif fields["signal"] not in self._names:
+            return
+        self._record(SimTime(event.t_ns), fields["signal"], fields["old"], fields["new"])
 
     def on_change(self, signal: Signal, when: SimTime, old: object, new: object) -> None:
-        self.records.append(TraceRecord(when, signal.name, old, new))
+        """Legacy direct-observer entry point (``signal.attach_observer``)."""
+        self._record(when, signal.name, old, new)
+
+    def _record(self, when: SimTime, name: str, old: object, new: object) -> None:
+        record = TraceRecord(when, name, old, new)
+        self.records.append(record)
+        self._by_signal.setdefault(name, []).append(record)
+        self._times_ns.setdefault(name, []).append(when.nanoseconds)
 
     # -- queries ---------------------------------------------------------------
     def signal_names(self) -> List[str]:
@@ -50,20 +102,19 @@ class TraceFile(SignalObserver):
         return [signal.name for signal in self._signals]
 
     def changes_of(self, signal_name: str) -> List[TraceRecord]:
-        """All recorded changes of one signal."""
-        return [record for record in self.records if record.signal == signal_name]
+        """All recorded changes of one signal (indexed, not a full scan)."""
+        return list(self._by_signal.get(signal_name, ()))
 
     def value_at(self, signal_name: str, when: "SimTime | int") -> object:
-        """The settled value of *signal_name* at time *when*."""
-        when = SimTime.coerce(when)
-        value = self._initial.get(signal_name)
-        for record in self.records:
-            if record.signal != signal_name:
-                continue
-            if record.time > when:
-                break
-            value = record.new
-        return value
+        """The settled value of *signal_name* at time *when* (bisect lookup)."""
+        when_ns = SimTime.coerce(when).nanoseconds
+        times = self._times_ns.get(signal_name)
+        if not times:
+            return self._initial.get(signal_name)
+        index = bisect_right(times, when_ns)
+        if index == 0:
+            return self._initial.get(signal_name)
+        return self._by_signal[signal_name][index - 1].new
 
     # -- rendering -------------------------------------------------------------
     def to_vcd(self, timescale: str = "1ns") -> str:
@@ -71,15 +122,15 @@ class TraceFile(SignalObserver):
         lines = [f"$timescale {timescale} $end", "$scope module trace $end"]
         identifiers: Dict[str, str] = {}
         for index, signal in enumerate(self._signals):
-            identifier = chr(33 + index)
+            identifier = vcd_identifier(index)
             identifiers[signal.name] = identifier
-            lines.append(f"$var wire 32 {identifier} {signal.name} $end")
+            lines.append(vcd_var(signal.name, self._initial.get(signal.name), identifier))
         lines.append("$upscope $end")
         lines.append("$enddefinitions $end")
         lines.append("#0")
         for name, value in self._initial.items():
             if name in identifiers:
-                lines.append(self._vcd_value(value, identifiers[name]))
+                lines.append(vcd_value(value, identifiers[name]))
         last_time = 0
         for record in self.records:
             if record.signal not in identifiers:
@@ -88,16 +139,8 @@ class TraceFile(SignalObserver):
             if time_ns != last_time:
                 lines.append(f"#{time_ns}")
                 last_time = time_ns
-            lines.append(self._vcd_value(record.new, identifiers[record.signal]))
+            lines.append(vcd_value(record.new, identifiers[record.signal]))
         return "\n".join(lines)
-
-    @staticmethod
-    def _vcd_value(value: object, identifier: str) -> str:
-        if isinstance(value, bool):
-            return f"{int(value)}{identifier}"
-        if isinstance(value, int):
-            return f"b{value:b} {identifier}"
-        return f"s{value} {identifier}"
 
     def render_ascii(
         self,

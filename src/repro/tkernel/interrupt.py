@@ -48,6 +48,7 @@ class InterruptManager:
         self.kernel = kernel
         self._handlers: Dict[int, InterruptHandler] = {}
         self.spurious_count = 0
+        self._obs_irq = kernel.api.obs.topic("irq")
 
     def all_handlers(self) -> List[InterruptHandler]:
         """All registered handlers ordered by interrupt number."""
@@ -118,11 +119,21 @@ class InterruptManager:
     def dispatch(self, intno: int) -> bool:
         """Notify the ISR for *intno*; returns whether one was registered."""
         handler = self._handlers.get(intno)
+        topic = self._obs_irq
         if handler is None or not handler.enabled:
             self.spurious_count += 1
+            if topic.enabled:
+                topic.emit(
+                    "spurious", self.kernel.simulator.now.nanoseconds, intno=intno
+                )
             return False
         handler.activation_count += 1
         assert handler.thread is not None
+        if topic.enabled:
+            topic.emit(
+                "dispatch", self.kernel.simulator.now.nanoseconds,
+                intno=intno, handler=handler.name,
+            )
         self.kernel.api.notify_interrupt(handler.thread)
         return True
 

@@ -107,6 +107,11 @@ class TKernelOS(SCModule):
         self.service_call_counts: Dict[str, int] = {}
         self.tick_handler_runs = 0
 
+        # Service-call enter/exit flows over the observability bus; the
+        # name stack pairs each `exit` with its `enter` across nesting.
+        self._obs_svc = simulator.obs.topic("svc")
+        self._svc_active: list = []
+
         # The three SC_THREADs of the central module (Fig. 3).
         self.sc_thread("boot", self._boot_process)
         self.sc_thread("thread_dispatch", self._thread_dispatch_process)
@@ -214,6 +219,15 @@ class TKernelOS(SCModule):
     def _svc_enter(self, name: str):
         """Enter a service call: atomicity plus the annotated call cost."""
         self.service_call_counts[name] = self.service_call_counts.get(name, 0) + 1
+        # The name stack is maintained unconditionally so a sink attached or
+        # detached mid-call cannot desynchronise later enter/exit pairings.
+        self._svc_active.append(name)
+        topic = self._obs_svc
+        if topic.enabled:
+            topic.emit(
+                "enter", self.simulator.now.nanoseconds,
+                name=name, depth=len(self._svc_active),
+            )
         if self._in_thread_context():
             self.api.dispatch_disable()
             if self.charge_service_costs:
@@ -224,6 +238,10 @@ class TKernelOS(SCModule):
 
     def _svc_exit(self) -> None:
         """Leave a service call: re-enable dispatching if we disabled it."""
+        name = self._svc_active.pop() if self._svc_active else ""
+        topic = self._obs_svc
+        if topic.enabled:
+            topic.emit("exit", self.simulator.now.nanoseconds, name=name)
         if self._in_thread_context() and not self.api.dispatch_enabled:
             self.api.dispatch_enable()
 

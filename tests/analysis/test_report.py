@@ -31,3 +31,43 @@ class TestFormatTable:
 
 def test_format_percentage():
     assert format_percentage(0.1234) == "12.3%"
+
+
+class TestObservabilityReports:
+    def test_execution_trace_report_from_ring_sink(self):
+        """The Fig. 6 report reads identically from api.gantt or a ring sink."""
+        from repro.analysis.trace import ExecutionTraceReport
+        from repro.campaign.registry import build_scenario, get_scenario
+        from repro.obs import RingBufferSink
+        from repro.sysc import SimTime, Simulator
+
+        spec = get_scenario("quickstart")
+        build = build_scenario(spec)
+        ring = build.simulator.obs.subscribe(RingBufferSink(), ("sched",))
+        build.simulator.run(SimTime.ms(spec.duration_ms))
+        from_api = ExecutionTraceReport(build.api)
+        from_ring = ExecutionTraceReport(ring)
+        Simulator.reset()
+        assert from_ring.threads() == from_api.threads()
+        assert from_ring.observed_dispatches() == from_api.observed_dispatches()
+        assert from_ring.render() == from_api.render()
+
+    def test_execution_trace_report_rejects_unknown_source(self):
+        from repro.analysis.trace import ExecutionTraceReport
+
+        with pytest.raises(TypeError):
+            ExecutionTraceReport(object())
+
+    def test_format_event_counts(self):
+        from repro.analysis.report import format_event_counts
+        from repro.obs import CounterSink, EventBus
+
+        bus = EventBus()
+        counter = bus.subscribe(CounterSink(), ("sched", "irq"))
+        bus.topic("sched").emit("dispatch", 0, thread="a")
+        bus.topic("sched").emit("dispatch", 1, thread="b")
+        bus.topic("irq").emit("raise", 2, handler="isr")
+        table = format_event_counts(counter)
+        assert "sched" in table and "dispatch" in table
+        lines = table.splitlines()
+        assert any("2" in line and "dispatch" in line for line in lines)

@@ -86,3 +86,34 @@ class TestBatchAndCompare:
         assert code == 0
         assert "on 1 worker(s)" in capsys.readouterr().out
         assert not list((tmp_path / "serial").glob("events_*.jsonl"))
+
+
+class TestEventStreamingCli:
+    def test_events_out_dash_streams_jsonl_to_stdout(self, capsys):
+        """`python -m repro run ... --events-out -` smoke test."""
+        code = main([
+            "run", "quickstart",
+            "--set", "duration_ms=20",
+            "--events-out", "-",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        jsonl = [line for line in out.splitlines() if line.startswith("{")]
+        assert len(jsonl) > 10
+        first = json.loads(jsonl[0])
+        assert {"t_ms", "kind"} <= set(first)
+        times = [json.loads(line)["t_ms"] for line in jsonl]
+        assert times == sorted(times)
+        assert "streamed" in out
+
+    def test_events_out_file_is_streamed_during_run(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        code = main([
+            "run", "rtk-priority",
+            "--set", "duration_ms=40",
+            "--events-out", str(events),
+        ])
+        assert code == 0
+        lines = events.read_text().splitlines()
+        assert lines and all(json.loads(line) for line in lines)
+        assert f"({len(lines)} events, streamed)" in capsys.readouterr().out

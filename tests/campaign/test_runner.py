@@ -115,3 +115,75 @@ class TestRegistry:
         spec_a = ScenarioSpec(name="a", workload="synthetic", seed=5)
         spec_b = ScenarioSpec(name="b", workload="synthetic", seed=5)
         assert _synthetic_task_set(spec_a) == _synthetic_task_set(spec_b)
+
+
+class TestEventStreaming:
+    def test_streamed_jsonl_is_byte_identical_to_collected_events(self):
+        import io
+
+        from repro.campaign.metrics import canonical_json
+
+        spec = get_scenario("rtk-round-robin")
+        collected = run_spec(spec)
+        stream = io.StringIO()
+        streamed = run_spec(spec, collect_events=False, events_stream=stream)
+        assert streamed.events == []  # bounded memory: nothing materialized
+        assert streamed.events_streamed == len(collected.events)
+        assert stream.getvalue().splitlines() == [
+            canonical_json(event) for event in collected.events
+        ]
+
+    def test_streaming_to_a_path_matches_write_events(self, tmp_path):
+        spec = get_scenario("quickstart")
+        collected = run_spec(spec)
+        written = tmp_path / "written.jsonl"
+        collected.write_events(str(written))
+        streamed_path = tmp_path / "streamed.jsonl"
+        run_spec(spec, collect_events=False, events_stream=str(streamed_path))
+        assert streamed_path.read_bytes() == written.read_bytes()
+
+    def test_events_match_legacy_gantt_flattening(self):
+        """Live bus streaming reproduces the old post-run Gantt conversion."""
+        from repro.campaign.metrics import events_from_gantt
+        from repro.campaign.registry import build_scenario
+        from repro.sysc import SimTime
+
+        spec = get_scenario("sync-tour")
+        live = run_spec(spec).events
+        build = build_scenario(spec)
+        build.simulator.run(SimTime.ms(spec.duration_ms))
+        legacy = events_from_gantt(build.api.gantt)
+        Simulator.reset()
+        assert live == legacy
+
+    def test_extra_sinks_ride_along_and_detach(self):
+        from repro.obs import CounterSink, RingBufferSink
+
+        counter = CounterSink(topics=("sched", "svc", "campaign"))
+        ring = RingBufferSink(capacity=16, topics=("sched",))
+        result = run_spec(get_scenario("quickstart"), sinks=[counter, ring])
+        assert counter.count(topic="sched", kind="dispatch") == \
+            result.metrics["context_switches"]
+        assert counter.count(topic="svc", kind="enter") == \
+            result.metrics["syscall_total"]
+        assert counter.count(topic="campaign", kind="run_start") == 1
+        assert counter.count(topic="campaign", kind="run_end") == 1
+        assert len(ring) <= 16  # bounded
+        assert ring.seen > 16
+
+    def test_gantt_counters_survive_detached_gantt(self):
+        result = run_spec(get_scenario("quickstart"))
+        assert result.metrics["gantt_segments"] > 0
+        assert result.metrics["gantt_markers"] > 0
+        exec_events = [e for e in result.events if e["kind"] == "exec"]
+        assert len(exec_events) == result.metrics["gantt_segments"]
+        assert len(result.events) - len(exec_events) == result.metrics["gantt_markers"]
+
+    def test_extra_sinks_see_pre_build_events_too(self):
+        """rtk builders dispatch at build time; caller sinks must not miss it."""
+        from repro.obs import CounterSink
+
+        counter = CounterSink(topics=("sched",))
+        result = run_spec(get_scenario("rtk-priority"), sinks=[counter])
+        assert counter.count(kind="dispatch") == result.metrics["context_switches"]
+        assert counter.total() == len(result.events)

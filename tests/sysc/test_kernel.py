@@ -381,3 +381,137 @@ class TestCurrentSimulatorLifecycle:
             sim.register_thread("p", body)
             sim.run(SimTime.ms(50))
         assert times == [10.0, 50.0]
+
+
+class TestThrowInto:
+    """Edge cases of throwing an exception into a waiting process."""
+
+    class Kill(Exception):
+        pass
+
+    def test_throw_into_process_on_static_sensitivity(self, sim):
+        trigger = sim.create_event("trigger")
+        log = []
+
+        def body():
+            try:
+                while True:
+                    yield None  # static sensitivity wait
+                    log.append("woke")
+            except TestThrowInto.Kill:
+                log.append("killed")
+
+        process = sim.register_thread("static", body, sensitivity=trigger)
+
+        def killer():
+            yield Wait(SimTime.ms(1))
+            sim.throw_into(process, TestThrowInto.Kill())
+            # The process must be fully detached from its sensitivity list.
+            assert trigger.waiter_count() == 0
+            trigger.notify()
+            yield Wait(SimTime.ms(1))
+
+        sim.register_thread("killer", killer)
+        sim.run()
+        assert log == ["killed"]
+        assert process.state is ProcessState.TERMINATED
+
+    def test_throw_while_timeout_pending_does_not_resurrect(self, sim):
+        event = sim.create_event("never")
+        log = []
+
+        def body():
+            try:
+                reason = yield WaitEventTimeout(event, SimTime.ms(5))
+                log.append(("resumed", reason))
+            except TestThrowInto.Kill:
+                log.append("killed")
+
+        process = sim.register_thread("waiter", body)
+
+        def killer():
+            yield Wait(SimTime.ms(1))
+            sim.throw_into(process, TestThrowInto.Kill())
+            # Run past the original 5 ms timeout: the stale timeout entry
+            # must not wake (or crash on) the terminated process.
+            yield Wait(SimTime.ms(10))
+
+        sim.register_thread("killer", killer)
+        sim.run()
+        assert log == ["killed"]
+        assert process.state is ProcessState.TERMINATED
+
+    def test_throw_rewait_keeps_new_wait_and_ignores_stale_timeout(self, sim):
+        event = sim.create_event("never")
+        log = []
+
+        def body():
+            try:
+                yield WaitEventTimeout(event, SimTime.ms(5))
+            except TestThrowInto.Kill:
+                # Unwinding code waits again: the new wait must be honoured
+                # and the *old* 5 ms timeout must not fire into it.
+                reason = yield WaitEventTimeout(event, SimTime.ms(20))
+                log.append(("after", sim.now.to_ms(), reason))
+
+        process = sim.register_thread("waiter", body)
+
+        def killer():
+            yield Wait(SimTime.ms(1))
+            sim.throw_into(process, TestThrowInto.Kill())
+
+        sim.register_thread("killer", killer)
+        sim.run()
+        assert log == [("after", 21.0, ResumeReason.TIMEOUT)]
+        assert process.state is ProcessState.TERMINATED
+
+    def test_throw_into_never_started_process(self, sim):
+        log = []
+
+        def body():
+            log.append("ran")  # pragma: no cover - must never execute
+            yield Wait(SimTime.ms(1))
+
+        victim = sim.register_thread("unborn", body)
+        sim.throw_into(victim, TestThrowInto.Kill())
+        assert victim.state is ProcessState.TERMINATED
+
+        def other():
+            yield Wait(SimTime.ms(1))
+
+        sim.register_thread("other", other)
+        sim.run()
+        # Elaboration must not resurrect the pre-terminated process.
+        assert log == []
+        assert victim.state is ProcessState.TERMINATED
+
+    def test_throw_into_running_process_rejected(self, sim):
+        def body():
+            with pytest.raises(SimulationError):
+                sim.throw_into(sim.get_process("self"), TestThrowInto.Kill())
+            yield Wait(SimTime.ms(1))
+
+        sim.register_thread("self", body)
+        sim.run()
+
+    def test_throw_rewait_ignores_stale_plain_wait_wake(self, sim):
+        log = []
+
+        def body():
+            try:
+                yield Wait(SimTime.ms(5))
+            except TestThrowInto.Kill:
+                # The stale 5 ms wake queued for the original wait must not
+                # fire into this new, longer wait.
+                reason = yield Wait(SimTime.ms(20))
+                log.append(("after", sim.now.to_ms(), reason))
+
+        process = sim.register_thread("waiter", body)
+
+        def killer():
+            yield Wait(SimTime.ms(1))
+            sim.throw_into(process, TestThrowInto.Kill())
+
+        sim.register_thread("killer", killer)
+        sim.run()
+        assert log == [("after", 21.0, ResumeReason.TIME)]

@@ -210,3 +210,78 @@ class TestTraceFile:
         art = trace.render_ascii(stop=SimTime.ms(6), step=SimTime.ms(1))
         assert "irq" in art
         assert "#" in art and "_" in art
+
+
+class TestVcdExportFixes:
+    def test_bool_signals_declared_one_bit_wide(self, sim):
+        flag = Signal("flag", False, sim)
+        word = Signal("word", 0, sim)
+        trace = TraceFile()
+        trace.trace(flag)
+        trace.trace(word)
+        vcd = trace.to_vcd()
+        assert "$var wire 1 ! flag $end" in vcd
+        assert '$var wire 32 " word $end' in vcd
+
+    def test_identifiers_stay_unique_past_94_signals(self, sim):
+        trace = TraceFile()
+        for index in range(120):
+            trace.trace(Signal(f"s{index}", 0, sim))
+        vcd = trace.to_vcd()
+        identifiers = [
+            line.split()[3] for line in vcd.splitlines() if line.startswith("$var")
+        ]
+        assert len(identifiers) == 120
+        assert len(set(identifiers)) == 120
+
+    def test_per_signal_index_isolates_queries(self, sim):
+        first = Signal("first", 0, sim)
+        second = Signal("second", 0, sim)
+        trace = TraceFile()
+        trace.trace(first)
+        trace.trace(second)
+
+        def writer():
+            yield Wait(SimTime.ms(1))
+            first.write(1)
+            yield Wait(SimTime.ms(1))
+            second.write(2)
+
+        sim.register_thread("writer", writer)
+        sim.run()
+        assert [r.new for r in trace.changes_of("first")] == [1]
+        assert [r.new for r in trace.changes_of("second")] == [2]
+        assert trace.value_at("second", SimTime.ms(1)) == 0
+        assert trace.value_at("second", SimTime.ms(3)) == 2
+
+    def test_untraced_signals_of_same_simulator_are_ignored(self, sim):
+        traced = Signal("traced", 0, sim)
+        untraced = Signal("untraced", 0, sim)
+        trace = TraceFile()
+        trace.trace(traced)
+
+        def writer():
+            yield Wait(SimTime.ms(1))
+            untraced.write(9)
+            traced.write(1)
+            yield Wait(SimTime.ms(1))
+
+        sim.register_thread("writer", writer)
+        sim.run()
+        assert [r.signal for r in trace.records] == ["traced"]
+
+    def test_same_named_untraced_signal_is_not_recorded(self, sim):
+        traced = Signal("data", 0, sim)
+        impostor = Signal("data", 0, sim)  # same name, different signal
+        trace = TraceFile()
+        trace.trace(traced)
+
+        def writer():
+            yield Wait(SimTime.ms(1))
+            impostor.write(99)
+            yield Wait(SimTime.ms(1))
+            traced.write(7)
+
+        sim.register_thread("writer", writer)
+        sim.run()
+        assert [r.new for r in trace.changes_of("data")] == [7]
