@@ -10,19 +10,22 @@ Two guards protect the ISSUE 2 acceptance criteria:
   catches gross regressions on any host.
 * **Wait hot-path microbenchmark** — PR 2 removed the per-wait closure and
   ``object()`` timeout-token allocations from
-  ``Simulator._apply_wait_request``/``_wake_process``.  Measured on the
-  development host (CPython 3.x, 8 procs):
+  ``Simulator._apply_wait_request``/``_wake_process``; PR 3 moved the whole
+  hot plane to int nanoseconds with a timestamp-bucketed timed queue and an
+  inlined evaluation loop.  Measured on the development host (CPython 3.x,
+  8 procs):
 
-  ====================  ==============  ==============
-  workload              seed (PR 1)     this PR
-  ====================  ==============  ==============
-  timed waits/s         ~325,000        ~495,000
-  event+timeout waits/s ~247,000        ~313,000
-  ====================  ==============  ==============
+  ====================  ==============  ==============  ==============
+  workload              seed (PR 1)     PR 2            PR 3
+  ====================  ==============  ==============  ==============
+  timed waits/s         ~325,000        ~495,000        ~1,400,000
+  event+timeout waits/s ~247,000        ~313,000        ~570,000
+  ====================  ==============  ==============  ==============
 
-  The asserted floors are deliberately ~6x below the measured numbers so
-  slow CI hosts pass while an accidental re-introduction of per-wait
-  allocation churn (typically 1.5-2x) still trips the wire over time.
+  The asserted floors here are deliberately far below the measured numbers
+  so slow CI hosts pass; the tighter PR-3 floors live in
+  ``benchmarks/test_perf_regression.py`` and the precise trajectory in
+  ``BENCH_PR<n>.json`` (``python -m repro bench``).
 
 The structural half of the guarantee — no ``Event`` record is *ever*
 constructed while no sink is attached — is asserted exactly in

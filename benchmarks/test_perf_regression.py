@@ -1,0 +1,71 @@
+"""Perf-regression floors for the PR-3 fast core.
+
+Guards the ISSUE 3 acceptance criteria with *generous, noise-tolerant*
+absolute floors: the development host measures far above these (see the
+table), so a slow CI host still passes while a structural regression —
+re-introducing per-wait allocations, a sorted() scan in the scheduler, a
+SimTime round-trip in the kernel loop — lands well below the wire.
+
+Measured on the development host (CPython 3.11; the "PR 2" column is the
+PR-2 code re-measured on *this* host at PR-3 time — PR 2's own table
+recorded ~495k/~313k on its host):
+
+====================  ==============  ==============
+workload              PR 2            PR 3 (this)
+====================  ==============  ==============
+timed waits/s         ~497,000        ~1,400,000
+event+timeout waits/s ~337,000        ~570,000
+dispatches/s          (unmeasured)    ~68,000
+scheduler ops/s       (unmeasured)    ~4,000,000
+====================  ==============  ==============
+
+The floors sit ~6-8x below the measured figures.  ``repro bench`` records
+the precise numbers per PR in ``BENCH_PR<n>.json``; this module only trips
+on gross regressions.
+"""
+
+from repro.perf.bench import (
+    bench_dispatch_rate,
+    bench_scheduler_ops,
+    bench_timed_wait_throughput,
+    bench_timeout_wait_throughput,
+)
+
+#: Conservative absolute floors for any plausible host.
+TIMED_WAIT_FLOOR = 180_000
+TIMEOUT_WAIT_FLOOR = 90_000
+DISPATCH_FLOOR = 9_000
+SCHEDULER_OPS_FLOOR = 500_000
+
+
+def test_timed_wait_throughput_floor():
+    rate = bench_timed_wait_throughput(waits=4000, repeats=3)
+    print(f"\ntimed waits: {rate:,.0f}/s (floor {TIMED_WAIT_FLOOR:,}/s)")
+    assert rate > TIMED_WAIT_FLOOR, (
+        f"timed-wait throughput {rate:,.0f}/s fell below the "
+        f"{TIMED_WAIT_FLOOR:,}/s floor — the kernel wait hot path regressed"
+    )
+
+
+def test_timeout_wait_throughput_floor():
+    rate = bench_timeout_wait_throughput(waits=2000, repeats=3)
+    print(f"\ntimeout waits: {rate:,.0f}/s (floor {TIMEOUT_WAIT_FLOOR:,}/s)")
+    assert rate > TIMEOUT_WAIT_FLOOR
+
+
+def test_dispatch_rate_floor():
+    rate = bench_dispatch_rate(rounds=2000, repeats=3)
+    print(f"\ndispatches: {rate:,.0f}/s (floor {DISPATCH_FLOOR:,}/s)")
+    assert rate > DISPATCH_FLOOR, (
+        f"dispatch rate {rate:,.0f}/s fell below the {DISPATCH_FLOOR:,}/s "
+        f"floor — the SIM_API dispatch/scheduler hot path regressed"
+    )
+
+
+def test_scheduler_ops_floor():
+    rate = bench_scheduler_ops(threads=64, rounds=500, repeats=3)
+    print(f"\nscheduler ops: {rate:,.0f}/s (floor {SCHEDULER_OPS_FLOOR:,}/s)")
+    assert rate > SCHEDULER_OPS_FLOOR, (
+        f"ready-queue ops {rate:,.0f}/s fell below the "
+        f"{SCHEDULER_OPS_FLOOR:,}/s floor — the bitmap scheduler regressed"
+    )

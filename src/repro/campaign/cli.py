@@ -1,12 +1,14 @@
 """``python -m repro`` — the campaign command line.
 
-Four subcommands make the campaign subsystem usable without writing code:
+Five subcommands make the campaign subsystem usable without writing code:
 
 * ``list`` — show the built-in scenario registry,
 * ``run`` — execute one scenario, with ``--set key=value`` knob overrides,
 * ``batch`` — expand a parameter matrix over one or more scenarios and fan
   the runs out across multiprocessing workers,
-* ``compare`` — align two metrics JSON files key by key.
+* ``compare`` — align two metrics JSON files key by key,
+* ``bench`` — kernel microbenchmarks + Table-2 S/R + campaign scenario
+  timing, written to the ``BENCH_PR<n>.json`` perf-trend trajectory file.
 
 Every run can export its JSONL event stream and JSON metrics; ``batch``
 always writes both into the output directory.
@@ -100,6 +102,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare_parser.add_argument("left", help="baseline metrics JSON")
     compare_parser.add_argument("right", help="candidate metrics JSON")
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run kernel microbenchmarks + Table-2 S/R + scenario timing "
+        "and write the perf-trend JSON",
+    )
+    bench_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="report file (default: BENCH_PR<n>.json of this checkout; "
+        "'-' prints the JSON to stdout only; required with --quick)",
+    )
+    bench_parser.add_argument(
+        "--scenario", dest="scenarios", action="append", default=[],
+        help="scenario to time (repeatable; default: the cheap builtins)",
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="shrink iteration counts (schema-valid but noisy numbers)",
+    )
 
     return parser
 
@@ -203,6 +224,44 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import (
+        default_report_path,
+        render_report,
+        run_benchmarks,
+        validate_report,
+        write_report,
+    )
+
+    if args.quick and args.out is None:
+        # Quick-mode numbers are noisy by design; never let them silently
+        # replace the committed trajectory file.
+        print(
+            "error: --quick requires an explicit --out (quick numbers must "
+            "not overwrite the committed trajectory file)",
+            file=sys.stderr,
+        )
+        return 2
+    document = run_benchmarks(
+        quick=args.quick, scenarios=args.scenarios or None
+    )
+    problems = validate_report(document)
+    if problems:  # pragma: no cover - a bug in the bench itself
+        for problem in problems:
+            print(f"error: invalid bench report: {problem}", file=sys.stderr)
+        return 1
+    if args.out == "-":
+        # Keep stdout pure JSON so '-' mode is pipeable; summary to stderr.
+        print(render_report(document), file=sys.stderr)
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    print(render_report(document))
+    out_path = args.out or default_report_path()
+    write_report(document, out_path)
+    print(f"report  -> {out_path}")
+    return 0
+
+
 def _note_extra_overrides(overrides: Dict[str, Any]) -> None:
     """Warn when a ``--set`` key is not a spec field (it becomes a workload
     knob, which is legitimate but also what a typo'd field name looks like)."""
@@ -259,6 +318,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "batch": _cmd_batch,
         "compare": _cmd_compare,
+        "bench": _cmd_bench,
     }
     try:
         return handlers[args.command](args)

@@ -89,6 +89,13 @@ class SimApi:
         self.system_tick = SimTime.coerce(system_tick)
         if self.system_tick.nanoseconds <= 0:
             raise SimApiError("system tick must be positive")
+        # Int-ns tick plus a reusable full-tick Wait: the SIM_Wait chunk loop
+        # allocates nothing for the (dominant) whole-tick chunks.
+        self._system_tick_ns = self.system_tick.nanoseconds
+        self._tick_wait = Wait(self.system_tick)
+        # Shared frozen Transition per (label, context): sim_wait fires one
+        # per chunk and the instances are value-identical, so cache them.
+        self._transition_cache: Dict[object, Transition] = {}
         self.timing_model = timing_model if timing_model is not None else TimingModel()
         self.energy_model = energy_model if energy_model is not None else EnergyModel()
         self.annotations = (
@@ -118,9 +125,10 @@ class SimApi:
         self._deferred_dispatch = False
         self._next_tid = 1
 
-        # Idle-time accounting for the energy distribution widget.
-        self._idle_since: Optional[SimTime] = SimTime(0)
-        self._idle_total = SimTime(0)
+        # Idle-time accounting for the energy distribution widget
+        # (integer nanoseconds; SimTime only at the cpu_idle_time boundary).
+        self._idle_since_ns: Optional[int] = 0
+        self._idle_total_ns = 0
 
         # Statistics counters surfaced by the benchmarks.
         self.dispatch_count = 0
@@ -147,7 +155,7 @@ class SimApi:
         self.marker_count += 1
         topic = self._obs_sched
         if topic.enabled:
-            topic.emit(kind, self.simulator.now.nanoseconds, thread=thread_name)
+            topic.emit(kind, self.simulator._now_ns, thread=thread_name)
 
     # ------------------------------------------------------------------
     # Thread creation & identifiers
@@ -300,20 +308,21 @@ class SimApi:
         self._account_idle_start()
 
     def _account_idle_start(self) -> None:
-        if self._idle_since is None:
-            self._idle_since = self.simulator.now
+        if self._idle_since_ns is None:
+            self._idle_since_ns = self.simulator._now_ns
 
     def _account_idle_end(self) -> None:
-        if self._idle_since is not None:
-            self._idle_total = self._idle_total + (self.simulator.now - self._idle_since)
-            self._idle_since = None
+        since_ns = self._idle_since_ns
+        if since_ns is not None:
+            self._idle_total_ns += self.simulator._now_ns - since_ns
+            self._idle_since_ns = None
 
     def cpu_idle_time(self) -> SimTime:
         """Total simulated time during which no T-THREAD held the CPU."""
-        total = self._idle_total
-        if self._idle_since is not None:
-            total = total + (self.simulator.now - self._idle_since)
-        return total
+        total_ns = self._idle_total_ns
+        if self._idle_since_ns is not None:
+            total_ns += self.simulator._now_ns - self._idle_since_ns
+        return SimTime(total_ns)
 
     # ------------------------------------------------------------------
     # SIM_Wait and preemption points
@@ -353,34 +362,60 @@ class SimApi:
             yield from self.preemption_point()
             return
 
-        energy_rate = energy_nj / total.to_ns() if total.to_ns() else 0.0
-        remaining = total
-        while remaining.nanoseconds > 0:
+        # The chunk loop runs on the int-ns plane: whole-tick chunks reuse
+        # one Wait object and one cached Transition, so steady-state
+        # execution annotates time without per-chunk boilerplate objects.
+        total_ns = total.nanoseconds
+        energy_rate = energy_nj / total_ns
+        tick_ns = self._system_tick_ns
+        simulator = self.simulator
+        transition = self._run_transition(label, context)
+        remaining_ns = total_ns
+        while remaining_ns > 0:
             yield from self._maybe_suspend(thread)
-            chunk = remaining if remaining < self.system_tick else self.system_tick
-            start = self.simulator.now
-            yield Wait(chunk)
-            end = self.simulator.now
-            chunk_energy = energy_rate * chunk.to_ns()
-            thread.token.fire(
-                Transition(label or f"T_run.{context.value}", RunEvent.CONTINUE, context),
-                end,
-                chunk,
-                chunk_energy,
-            )
+            if remaining_ns < tick_ns:
+                chunk_ns = remaining_ns
+                chunk = SimTime(chunk_ns)
+                wait = Wait(chunk)
+            else:
+                chunk_ns = tick_ns
+                chunk = self.system_tick
+                wait = self._tick_wait
+            start_ns = simulator._now_ns
+            yield wait
+            end_ns = simulator._now_ns
+            chunk_energy = energy_rate * chunk_ns
+            thread.token.fire(transition, simulator.now, chunk, chunk_energy)
             self.segment_count += 1
             topic = self._obs_sched
             if topic.enabled:
                 topic.emit(
-                    "exec", start.nanoseconds,
+                    "exec", start_ns,
                     thread=thread.name,
-                    dur_ns=end.nanoseconds - start.nanoseconds,
+                    dur_ns=end_ns - start_ns,
                     context=context,
                     energy_nj=chunk_energy,
                     label=label,
                 )
-            remaining = remaining - chunk
+            remaining_ns -= chunk_ns
         yield from self._maybe_suspend(thread)
+
+    def _run_transition(self, label: str, context: ExecutionContext) -> Transition:
+        """The shared ``T_run`` transition for a (label, context) pair.
+
+        Bounded: *label* is caller-supplied and may be dynamic (per-frame
+        labels in a long soak run), so past the cap fresh transitions are
+        constructed per call instead of cached forever.
+        """
+        key = (label, context)
+        transition = self._transition_cache.get(key)
+        if transition is None:
+            transition = Transition(
+                label or f"T_run.{context.value}", RunEvent.CONTINUE, context
+            )
+            if len(self._transition_cache) < 1024:
+                self._transition_cache[key] = transition
+        return transition
 
     def sim_wait_key(
         self,

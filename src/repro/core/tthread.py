@@ -69,6 +69,10 @@ class TThread:
         self.state = ThreadState.CREATED
         self.token = PetriToken(name)
         self.run_event: SCEvent = api.simulator.create_event(f"tthread.{name}.run")
+        # Reusable wait request for the CPU-grant handshake: the dispatch
+        # loop yields it once per suspension, and the kernel reads it
+        # without retaining it.
+        self._run_wait = WaitEvent(self.run_event)
 
         # CPU-grant handshake with the SIM_API dispatcher.
         self._cpu_granted = False
@@ -153,7 +157,7 @@ class TThread:
         while True:
             # Dormant: wait until the SIM_API library grants the CPU.
             while not self._cpu_granted:
-                yield WaitEvent(self.run_event)
+                yield self._run_wait
             resume = self._pending_resume_event
             self.activation_count += 1
             context = (
@@ -190,7 +194,7 @@ class TThread:
         self.set_state(suspend_state)
         self._cpu_granted = False
         while not self._cpu_granted:
-            yield WaitEvent(self.run_event)
+            yield self._run_wait
         return self._pending_resume_event
 
     def __repr__(self) -> str:

@@ -1,0 +1,41 @@
+"""``repro.perf`` — the performance-trend subsystem.
+
+Benchmarks the simulator's hot plane (kernel wait throughput, SIM_API
+dispatch rate, scheduler operations), regenerates the paper's Table-2 S/R
+speed measure, and times the campaign registry's scenarios by subscribing a
+:class:`~repro.obs.sinks.CounterSink` to the observability bus — the
+ROADMAP's prescribed aggregation path, no bespoke recording.
+
+``python -m repro bench`` runs everything and writes the ``BENCH_PR<n>.json``
+trajectory file each PR appends to; see :mod:`repro.perf.bench`.
+"""
+
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    CURRENT_PR,
+    default_report_path,
+    bench_dispatch_rate,
+    bench_scheduler_ops,
+    bench_table2_speed,
+    bench_timed_wait_throughput,
+    bench_timeout_wait_throughput,
+    run_benchmarks,
+    run_scenario_benchmarks,
+    validate_report,
+    write_report,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "CURRENT_PR",
+    "default_report_path",
+    "bench_dispatch_rate",
+    "bench_scheduler_ops",
+    "bench_table2_speed",
+    "bench_timed_wait_throughput",
+    "bench_timeout_wait_throughput",
+    "run_benchmarks",
+    "run_scenario_benchmarks",
+    "validate_report",
+    "write_report",
+]

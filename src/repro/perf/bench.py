@@ -1,0 +1,415 @@
+"""Kernel microbenchmarks, Table-2 S/R and the campaign perf trend.
+
+The paper's headline quantitative claim is co-simulation *speed* (Table 2),
+so every PR that touches the hot plane should leave a measured data point
+behind.  This module produces that data point:
+
+* **Kernel microbenchmarks** — timed-wait throughput, event+timeout wait
+  throughput (the two hot paths of ``Simulator``), the SIM_API dispatch rate
+  (block/wakeup ping-pong through the external scheduler) and raw
+  ready-queue operations of the bitmap :class:`PriorityScheduler`.
+* **Table-2 S/R** — the co-simulation speed measure regenerated through
+  :mod:`repro.analysis.speed` at a short reference window.
+* **Campaign scenario timing** — every (cheap) registry scenario run through
+  :func:`repro.campaign.runner.run_spec` with a
+  :class:`~repro.obs.sinks.CounterSink` subscribed to the ``campaign`` and
+  ``sched`` topics, exactly the aggregation route the ROADMAP prescribes for
+  perf trend tracking; the run's ``timing`` section (R, S/R) and the
+  counter tallies land in the report.
+
+``run_benchmarks`` assembles the full report document;
+``python -m repro bench`` writes it to ``BENCH_PR<n>.json`` so the repo
+accumulates a perf trajectory over PRs (compare the files to see the trend).
+Microbench numbers are host-dependent wall-clock measures — compare points
+measured on the same host only.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.scheduler import PriorityScheduler
+from repro.core.simapi import SimApi
+from repro.obs.sinks import CounterSink
+from repro.sysc.kernel import Simulator
+from repro.sysc.process import Wait, WaitEventTimeout
+from repro.sysc.time import SimTime
+
+#: Schema identifier of the report document.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: The PR this checkout's trajectory file belongs to; bumped by each PR that
+#: records a new data point.
+CURRENT_PR = 3
+
+#: Scenarios cheap enough to run on every ``repro bench`` invocation.
+DEFAULT_SCENARIOS = (
+    "quickstart",
+    "sync-tour",
+    "rtk-round-robin",
+    "rtk-priority",
+    "synthetic-tkernel",
+    "synthetic-rtk",
+)
+
+
+def default_report_path() -> str:
+    """The trajectory file this checkout's ``repro bench`` writes.
+
+    Anchored to the source-tree root (three levels above this package), not
+    the current working directory, so the committed trajectory file is
+    updated no matter where the CLI is invoked from.
+    """
+    import os
+
+    root = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "..", "..")
+    )
+    return os.path.join(root, f"BENCH_PR{CURRENT_PR}.json")
+
+
+# ----------------------------------------------------------------------
+# Kernel microbenchmarks
+# ----------------------------------------------------------------------
+def bench_timed_wait_throughput(
+    processes: int = 8, waits: int = 8000, repeats: int = 3
+) -> float:
+    """Timed waits per second through the kernel's bucketed timed queue.
+
+    The workload of ``benchmarks/test_obs_bus_overhead.py``: *processes*
+    generators each yielding *waits* 1 µs waits, no sinks attached.  The
+    best of *repeats* runs is returned (microbenchmarks take the minimum
+    wall clock, not the mean, to shed scheduler noise).
+    """
+    best = 0.0
+    for _ in range(repeats):
+        with Simulator("bench-timed") as sim:
+            def body():
+                request = Wait(SimTime(1000))
+                for _ in range(waits):
+                    yield request
+
+            for index in range(processes):
+                sim.register_thread(f"p{index}", body)
+            start = time.perf_counter()
+            sim.run()
+            elapsed = time.perf_counter() - start
+        Simulator.reset()
+        best = max(best, processes * waits / elapsed)
+    return best
+
+
+def bench_timeout_wait_throughput(
+    processes: int = 8, waits: int = 4000, repeats: int = 3
+) -> float:
+    """Event-wait-with-timeout waits per second (the timeout hot path)."""
+    best = 0.0
+    for _ in range(repeats):
+        with Simulator("bench-timeout") as sim:
+            def body():
+                event = sim.create_event()
+                request = WaitEventTimeout(event, SimTime(1000))
+                for _ in range(waits):
+                    yield request
+
+            for index in range(processes):
+                sim.register_thread(f"p{index}", body)
+            start = time.perf_counter()
+            sim.run()
+            elapsed = time.perf_counter() - start
+        Simulator.reset()
+        best = max(best, processes * waits / elapsed)
+    return best
+
+
+def bench_dispatch_rate(rounds: int = 4000, repeats: int = 3) -> float:
+    """SIM_API dispatches per second under a block/wakeup ping-pong.
+
+    A high-priority task blocks; a low-priority task wakes it and yields at
+    a preemption point.  Every round is two dispatches through the external
+    scheduler (grant high, high blocks, grant low), all within delta cycles
+    — the measure isolates dispatch machinery from timed-queue costs.
+    """
+    best = 0.0
+    for _ in range(repeats):
+        with Simulator("bench-dispatch") as sim:
+            api = SimApi(sim, scheduler=PriorityScheduler(), record_gantt=False)
+
+            def high_body():
+                for _ in range(rounds):
+                    yield from api.block_current()
+
+            high = api.create_thread("high", high_body, priority=5)
+
+            def low_body():
+                for _ in range(rounds):
+                    api.wakeup(high)
+                    yield from api.preemption_point()
+
+            low = api.create_thread("low", low_body, priority=20)
+            api.start_thread(high)
+            api.start_thread(low)
+            start = time.perf_counter()
+            sim.run()
+            elapsed = time.perf_counter() - start
+            dispatches = api.dispatch_count
+        Simulator.reset()
+        best = max(best, dispatches / elapsed)
+    return best
+
+
+class _SchedulerProbe:
+    """The minimal thread stand-in the ready-pool schedulers require."""
+
+    __slots__ = ("priority",)
+
+    def __init__(self, priority: int):
+        self.priority = priority
+
+
+def bench_scheduler_ops(
+    threads: int = 64, rounds: int = 2000, repeats: int = 3
+) -> float:
+    """Raw ready-queue operations per second of the bitmap scheduler.
+
+    One operation is one ``add_ready`` or one ``pop_next``; the probe set
+    spreads over 32 priority levels so the bitmap scan is exercised, not
+    just a single deque.
+    """
+    probes = [_SchedulerProbe(5 + (index % 32)) for index in range(threads)]
+    best = 0.0
+    for _ in range(repeats):
+        scheduler = PriorityScheduler()
+        start = time.perf_counter()
+        for _ in range(rounds):
+            for probe in probes:
+                scheduler.add_ready(probe)
+            while scheduler.pop_next() is not None:
+                pass
+        elapsed = time.perf_counter() - start
+        best = max(best, 2 * threads * rounds / elapsed)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Table-2 S/R
+# ----------------------------------------------------------------------
+def bench_table2_speed(
+    simulated_ms: int = 200,
+    lcd_update_periods_ms: Sequence[int] = (10,),
+    gui_host_seconds_per_callback: float = 0.0,
+) -> Dict[str, Any]:
+    """The Table-2 co-simulation speed rows at a short reference window.
+
+    With ``gui_host_seconds_per_callback=0`` the measure captures pure
+    simulator speed (the trend we track); the paper's GUI-overhead shape is
+    asserted separately in ``benchmarks/test_table2_cosim_speed.py``.
+    """
+    from repro.analysis.speed import measure_speed_table
+
+    rows = measure_speed_table(
+        lcd_update_periods_ms=lcd_update_periods_ms,
+        simulated_duration=SimTime.ms(simulated_ms),
+        gui_host_seconds_per_callback=gui_host_seconds_per_callback,
+    )
+    Simulator.reset()
+    row_documents = [
+        {
+            "gui_enabled": row.gui_enabled,
+            "lcd_update_period_ms": row.lcd_update_period_ms,
+            "simulated_seconds": row.simulated_seconds,
+            "wall_clock_seconds": row.wall_clock_seconds,
+            "r_over_s": row.r_over_s,
+            "s_over_r": row.s_over_r,
+        }
+        for row in rows
+    ]
+    no_gui = next(row for row in rows if not row.gui_enabled)
+    return {
+        "simulated_ms": simulated_ms,
+        "no_gui_s_over_r": no_gui.s_over_r,
+        "rows": row_documents,
+    }
+
+
+# ----------------------------------------------------------------------
+# Campaign scenario timing (the ROADMAP's CounterSink subscription route)
+# ----------------------------------------------------------------------
+def run_scenario_benchmarks(
+    scenarios: Sequence[str] = DEFAULT_SCENARIOS,
+) -> Dict[str, Dict[str, Any]]:
+    """Run each scenario once, timing it and tallying its event stream.
+
+    Uses ``run_spec(spec, sinks=[CounterSink(...)])`` — the bus does the
+    recording; the report keeps the host timing section plus O(1)-memory
+    per-kind event counts (dispatches, preemptions, campaign spans).
+    """
+    from repro.campaign.registry import get_scenario
+    from repro.campaign.runner import run_spec
+
+    results: Dict[str, Dict[str, Any]] = {}
+    for name in scenarios:
+        spec = get_scenario(name)
+        counter = CounterSink(topics=("campaign", "sched"))
+        result = run_spec(spec, collect_events=False, sinks=[counter])
+        events = {
+            f"{topic}/{kind}": count
+            for (topic, kind), count in sorted(counter.counts.items())
+        }
+        results[name] = {
+            "simulated_ms": result.metrics["simulated_ms"],
+            "wall_clock_seconds": result.timing["wall_clock_seconds"],
+            "r_over_s": result.timing["r_over_s"],
+            "s_over_r": result.timing["s_over_r"],
+            "context_switches": result.metrics["context_switches"],
+            "events": events,
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Report assembly
+# ----------------------------------------------------------------------
+def run_benchmarks(
+    quick: bool = False,
+    scenarios: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """Run every benchmark family and assemble the report document.
+
+    ``quick=True`` shrinks iteration counts for CI/schema tests; the
+    resulting numbers are valid but noisy — trajectory files should be
+    produced with the default settings.
+    """
+    from repro.campaign.registry import get_scenario
+
+    scenario_names = list(DEFAULT_SCENARIOS if scenarios is None else scenarios)
+    for name in scenario_names:
+        # Fail fast on a typo'd scenario name, before the (expensive)
+        # microbenchmark and Table-2 phases run.
+        get_scenario(name)
+    scale = 8 if quick else 1
+    microbench = {
+        "timed_waits_per_s": bench_timed_wait_throughput(
+            waits=8000 // scale, repeats=3 if not quick else 1
+        ),
+        "timeout_waits_per_s": bench_timeout_wait_throughput(
+            waits=4000 // scale, repeats=3 if not quick else 1
+        ),
+        "dispatches_per_s": bench_dispatch_rate(
+            rounds=4000 // scale, repeats=3 if not quick else 1
+        ),
+        "scheduler_ops_per_s": bench_scheduler_ops(
+            rounds=2000 // scale, repeats=3 if not quick else 1
+        ),
+    }
+    table2 = bench_table2_speed(simulated_ms=50 if quick else 200)
+    scenario_results = run_scenario_benchmarks(scenario_names)
+    return {
+        "schema": BENCH_SCHEMA,
+        "pr": CURRENT_PR,
+        "quick": quick,
+        "created_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "host": {
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
+        "microbench": microbench,
+        "table2": table2,
+        "scenarios": scenario_results,
+    }
+
+
+#: Keys (and nested keys) every report document must carry.
+_REQUIRED_TOP_LEVEL = (
+    "schema", "pr", "quick", "created_utc", "host",
+    "microbench", "table2", "scenarios",
+)
+_REQUIRED_MICROBENCH = (
+    "timed_waits_per_s", "timeout_waits_per_s",
+    "dispatches_per_s", "scheduler_ops_per_s",
+)
+_REQUIRED_SCENARIO = (
+    "simulated_ms", "wall_clock_seconds", "r_over_s", "s_over_r",
+    "context_switches", "events",
+)
+
+
+def validate_report(document: Dict[str, Any]) -> List[str]:
+    """Schema-check a report document; returns a list of problems (empty=ok)."""
+    problems: List[str] = []
+    for key in _REQUIRED_TOP_LEVEL:
+        if key not in document:
+            problems.append(f"missing top-level key {key!r}")
+    if document.get("schema") != BENCH_SCHEMA:
+        problems.append(
+            f"schema is {document.get('schema')!r}, expected {BENCH_SCHEMA!r}"
+        )
+    microbench = document.get("microbench", {})
+    for key in _REQUIRED_MICROBENCH:
+        value = microbench.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            problems.append(f"microbench.{key} must be a positive number, got {value!r}")
+    table2 = document.get("table2", {})
+    if not isinstance(table2.get("no_gui_s_over_r"), (int, float)):
+        problems.append("table2.no_gui_s_over_r must be a number")
+    if not table2.get("rows"):
+        problems.append("table2.rows must be non-empty")
+    scenarios = document.get("scenarios", {})
+    if not isinstance(scenarios, dict) or not scenarios:
+        problems.append("scenarios must be a non-empty mapping")
+    else:
+        for name, entry in scenarios.items():
+            for key in _REQUIRED_SCENARIO:
+                if key not in entry:
+                    problems.append(f"scenarios.{name} missing {key!r}")
+    return problems
+
+
+def write_report(document: Dict[str, Any], path: str) -> None:
+    """Write a report document as stable, human-diffable JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def render_report(document: Dict[str, Any]) -> str:
+    """A short console summary of a report document."""
+    from repro.analysis.report import format_table
+
+    micro = document["microbench"]
+    lines = [
+        f"bench (PR {document['pr']}, schema {document['schema']}"
+        + (", quick mode)" if document.get("quick") else ")"),
+        f"  timed waits      : {micro['timed_waits_per_s']:>12,.0f} /s",
+        f"  timeout waits    : {micro['timeout_waits_per_s']:>12,.0f} /s",
+        f"  dispatches       : {micro['dispatches_per_s']:>12,.0f} /s",
+        f"  scheduler ops    : {micro['scheduler_ops_per_s']:>12,.0f} /s",
+        f"  Table-2 S/R (no GUI): {document['table2']['no_gui_s_over_r']:.2f}",
+    ]
+    rows = [
+        (
+            name,
+            f"{entry['simulated_ms']:g}",
+            f"{entry['wall_clock_seconds']:.3f}",
+            f"{entry['s_over_r']:.2f}",
+            entry["context_switches"],
+        )
+        for name, entry in sorted(document["scenarios"].items())
+    ]
+    lines.append(
+        format_table(
+            ["scenario", "S [ms]", "R [s]", "S/R", "ctx sw"],
+            rows,
+            title="Campaign scenario timing",
+        )
+    )
+    return "\n".join(lines)

@@ -154,8 +154,9 @@ class RTKSpecKernel(SCModule):
         raise RuntimeError(f"running thread {running.name!r} is not an RTK task")
 
     def _tick_process(self):
+        tick_wait = Wait(self.system_tick)  # reused; the kernel never keeps it
         while True:
-            yield Wait(self.system_tick)
+            yield tick_wait
             self.tick_count += 1
             self._on_tick()
 

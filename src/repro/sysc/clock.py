@@ -41,12 +41,16 @@ class Clock(Signal[bool]):
         self.duty_cycle = duty_cycle
         self._high_time = SimTime(int(self.period.nanoseconds * duty_cycle))
         self._low_time = self.period - self._high_time
+        # Integer phase durations for the toggle hot path (the kernel's
+        # schedule_callback_ns fast lane — no SimTime coercion per edge).
+        self._high_ns = self._high_time.nanoseconds
+        self._low_ns = self._low_time.nanoseconds
         self._running = True
         self.posedge_count = 0
         if start_high:
-            simulator.schedule_callback(SimTime(0), self._go_high)
+            simulator.schedule_callback_ns(0, self._go_high)
         else:
-            simulator.schedule_callback(self._low_time, self._go_high)
+            simulator.schedule_callback_ns(self._low_ns, self._go_high)
 
     def stop(self) -> None:
         """Stop toggling (used to end a bounded co-simulation cleanly)."""
@@ -56,20 +60,20 @@ class Clock(Signal[bool]):
         """Resume toggling after :meth:`stop`."""
         if not self._running:
             self._running = True
-            self._simulator.schedule_callback(self._low_time, self._go_high)
+            self._simulator.schedule_callback_ns(self._low_ns, self._go_high)
 
     def _go_high(self) -> None:
         if not self._running:
             return
         self.posedge_count += 1
         self.write(True)
-        self._simulator.schedule_callback(self._high_time, self._go_low)
+        self._simulator.schedule_callback_ns(self._high_ns, self._go_low)
 
     def _go_low(self) -> None:
         if not self._running:
             return
         self.write(False)
-        self._simulator.schedule_callback(self._low_time, self._go_high)
+        self._simulator.schedule_callback_ns(self._low_ns, self._go_high)
 
     def __repr__(self) -> str:
         return f"Clock({self.name!r}, period={self.period.format()})"

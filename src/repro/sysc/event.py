@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.sysc.time import SimTime
+from repro.sysc.time import SimTime, ZERO_TIME
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sysc.kernel import Simulator
@@ -36,9 +36,12 @@ class SCEvent:
         self.name = name or f"event_{SCEvent._counter}"
         self._simulator = simulator
         self._waiting: "list[ProcessHandle]" = []
-        # Token identifying the currently pending notification so a
-        # cancelled/overridden notification can be recognised when it fires.
-        self._pending_token: Optional[object] = None
+        # Generation counter identifying the currently pending notification
+        # so a cancelled/overridden notification can be recognised when it
+        # fires; integers instead of per-notify token objects keep the
+        # signal-settle hot path allocation-free.
+        self._notify_generation = 0
+        self._pending_token: Optional[int] = None
         self._pending_time: Optional[SimTime] = None
         self.notify_count = 0
 
@@ -85,10 +88,10 @@ class SCEvent:
             self._cancel_pending()
         if self._pending_token is not None:
             return
-        token = object()
+        self._notify_generation = token = self._notify_generation + 1
         self._pending_token = token
-        self._pending_time = SimTime(0)
-        self.simulator._schedule_event_notification(self, SimTime(0), token)
+        self._pending_time = ZERO_TIME
+        self.simulator._schedule_event_notification(self, ZERO_TIME, token)
 
     def notify_after(self, delay: "SimTime | int") -> None:
         """Timed notification after *delay* (earlier notification wins)."""
@@ -101,7 +104,7 @@ class SCEvent:
             if self._pending_time <= delay:
                 return
             self._cancel_pending()
-        token = object()
+        self._notify_generation = token = self._notify_generation + 1
         self._pending_token = token
         self._pending_time = delay
         self.simulator._schedule_event_notification(self, delay, token)
@@ -119,13 +122,15 @@ class SCEvent:
         self._pending_token = None
         self._pending_time = None
 
-    def _fire(self, token: object) -> bool:
+    def _fire(self, token: int, _unused: object = None) -> bool:
         """Called by the kernel when a scheduled notification matures.
 
-        Returns ``True`` if the notification was still valid (not cancelled
-        nor overridden) and waiters were woken.
+        Accepts (and ignores) the second activation-entry payload slot so it
+        can sit directly in a ``(func, a, b)`` kernel entry.  Returns ``True``
+        if the notification was still valid (not cancelled nor overridden)
+        and waiters were woken.
         """
-        if token is not self._pending_token:
+        if token != self._pending_token:
             return False
         self._pending_token = None
         self._pending_time = None

@@ -15,13 +15,36 @@ Processes are cooperative generators (see :mod:`repro.sysc.process`).  The
 kernel is deliberately single-threaded: determinism is a requirement for the
 RTOS model on top (the paper's SIM_API relies on SystemC's deterministic
 cooperative scheduling).
+
+The fast core (PR 3)
+--------------------
+
+The hot plane operates on plain ``int`` nanoseconds end-to-end;
+:class:`~repro.sysc.time.SimTime` appears only at the public API boundary
+(``now``, ``run``, ``schedule_callback`` arguments).  Two structural choices
+carry the speed:
+
+* **Timestamp buckets over an integer heap.**  Timed activations are grouped
+  by their (integer) due time: ``{when_ns: [entries]}`` plus a heap of the
+  *distinct* timestamps.  RTOS workloads are tick-aligned — many activations
+  share each timestamp — so one heap operation amortises over a whole batch,
+  FIFO order within an instant falls out of list append order (no per-entry
+  sequence counter), and the same-timestamp batch pop is a plain list scan.
+  An entry appended to the live bucket *during* its batch (a zero-delay
+  callback) is still executed in that batch, matching the historical heapq
+  behaviour.
+* **Uniform ``(func, a, b)`` activation entries.**  Timed and delta
+  activations both carry two payload slots invoked as ``func(a, b)`` —
+  process wakes are ``(trampoline, process, wait_token)``, event
+  notifications ``(event._fire, token, None)``, plain callbacks
+  ``(self._run_callback, callback, None)`` — so the hot path never allocates
+  a nested payload tuple or a closure.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import Callable, Dict, List, Optional, Iterable, Tuple
 
 from repro.obs.bus import EventBus
 from repro.sysc.event import SCEvent
@@ -35,7 +58,7 @@ from repro.sysc.process import (
     WaitEventTimeout,
     as_sensitivity,
 )
-from repro.sysc.time import SimTime
+from repro.sysc.time import SimTime, ZERO_TIME
 
 
 class SimulationError(RuntimeError):
@@ -46,8 +69,18 @@ class SimulationFinished(Exception):
     """Raised internally when ``stop()`` terminates the simulation."""
 
 
-#: Sentinel payload for timed-queue entries whose callable takes no argument.
-_NO_PAYLOAD = object()
+#: One timed/delta activation ``(func, a, b)``.  ``func`` is either a real
+#: callable invoked as ``func(a, b)`` or one of the sentinels below, which
+#: the queue drains dispatch on by identity — the wake logic for each
+#: sentinel kind exists exactly once, in its drain.
+_Entry = Tuple[object, object, object]
+
+#: Sentinel: wake process *a* from a timed wait if token *b* is current.
+_TIMED_WAKE = object()
+#: Sentinel: wake process *a* from a delta wait if token *b* is current.
+_DELTA_WAKE = object()
+#: Sentinel: time out process *a*'s event wait if token *b* is current.
+_WAIT_TIMEOUT = object()
 
 
 class Simulator:
@@ -57,18 +90,22 @@ class Simulator:
 
     def __init__(self, name: str = "sim"):
         self.name = name
-        self._now = SimTime(0)
+        # The int-nanosecond time plane; `now` materialises a SimTime lazily.
+        self._now_ns = 0
+        self._now_cache: SimTime = ZERO_TIME
         self._delta_count = 0
-        self._sequence = itertools.count()
-        # Timed queue entries: (time_ns, seq, func, payload).  func is called
-        # with payload, or with no argument when payload is _NO_PAYLOAD; this
-        # keeps the hot wait path free of per-wait closure allocations.
-        self._timed_queue: List[Tuple[int, int, Callable, object]] = []
-        # Processes runnable in the current evaluation phase.
-        self._runnable: List[Tuple[ProcessHandle, ResumeReason]] = []
+        # Timed activations bucketed by integer due time, with a heap of the
+        # distinct timestamps.  Invariant: a timestamp is in the heap exactly
+        # while its bucket exists (except the one being drained right now).
+        self._timed_buckets: Dict[int, List[_Entry]] = {}
+        self._timed_heap: List[int] = []
+        self._timed_len = 0
+        # Processes runnable in the current evaluation phase; each carries
+        # its resume reason in `_resume_reason` (set at wake time).
+        self._runnable: List[ProcessHandle] = []
         # Delta-cycle pending activations (event notifications & signal
-        # wakes) as (func, payload) pairs — same no-closure discipline.
-        self._delta_callbacks: List[Tuple[Callable, object]] = []
+        # wakes) — same (func, a, b) discipline as the timed plane.
+        self._delta_callbacks: List[_Entry] = []
         # Signal/channel update requests for the update phase.
         self._update_requests: List[Callable[[], None]] = []
         self._processes: List[ProcessHandle] = []
@@ -87,11 +124,9 @@ class Simulator:
         #: concurrent/nested simulations never share instrumentation state).
         self.obs = EventBus()
         self._obs_kernel = self.obs.topic("kernel")
-        # Bound methods cached once so the wait hot path allocates neither
-        # closures nor fresh method objects per wait request.
-        self._on_delta_wake = self._delta_wake
-        self._on_timed_wake = self._timed_wake
-        self._on_wait_timeout = self._wait_timeout
+        # Bound method cached once so callback scheduling allocates no
+        # fresh method object per request (process wakes use sentinels).
+        self._on_run_callback = self._run_callback
         self._prior_current = Simulator._current
         Simulator._current = self
 
@@ -137,8 +172,16 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def now(self) -> SimTime:
-        """Current simulation time."""
-        return self._now
+        """Current simulation time (a cached boundary object)."""
+        cache = self._now_cache
+        if cache.nanoseconds != self._now_ns:
+            self._now_cache = cache = SimTime(self._now_ns)
+        return cache
+
+    @property
+    def now_ns(self) -> int:
+        """Current simulation time as an integer number of nanoseconds."""
+        return self._now_ns
 
     @property
     def delta_count(self) -> int:
@@ -210,23 +253,40 @@ class Simulator:
         self, event: SCEvent, delay: SimTime, token: object
     ) -> None:
         if delay.nanoseconds <= 0:
-            self._delta_callbacks.append((event._fire, token))
+            self._delta_callbacks.append((event._fire, token, None))
         else:
-            self._schedule_at(delay, event._fire, token)
+            self._schedule_at_ns(
+                self._now_ns + delay.nanoseconds, event._fire, token, None
+            )
 
     def schedule_callback(self, delay: "SimTime | int", callback: Callable[[], None]) -> None:
         """Schedule *callback* to run after *delay* of simulated time."""
-        delay = SimTime.coerce(delay)
-        if delay.nanoseconds < 0:
+        delay_ns = delay.nanoseconds if isinstance(delay, SimTime) \
+            else SimTime.coerce(delay).nanoseconds
+        if delay_ns < 0:
             raise SimulationError("cannot schedule a callback in the past")
-        self._schedule_at(delay, callback, _NO_PAYLOAD)
-
-    def _schedule_at(self, delay: SimTime, func: Callable, payload: object) -> None:
-        """Push a timed-queue entry (internal; *delay* must be non-negative)."""
-        when_ns = self._now.nanoseconds + delay.nanoseconds
-        heapq.heappush(
-            self._timed_queue, (when_ns, next(self._sequence), func, payload)
+        self._schedule_at_ns(
+            self._now_ns + delay_ns, self._on_run_callback, callback, None
         )
+
+    def schedule_callback_ns(self, delay_ns: int, callback: Callable[[], None]) -> None:
+        """Int-nanosecond fast path of :meth:`schedule_callback`."""
+        if delay_ns < 0:
+            raise SimulationError("cannot schedule a callback in the past")
+        self._schedule_at_ns(
+            self._now_ns + delay_ns, self._on_run_callback, callback, None
+        )
+
+    def _schedule_at_ns(
+        self, when_ns: int, func: object, a: object, b: object
+    ) -> None:
+        """Append a timed activation (internal; *when_ns* must be >= now)."""
+        bucket = self._timed_buckets.get(when_ns)
+        if bucket is None:
+            self._timed_buckets[when_ns] = bucket = []
+            heappush(self._timed_heap, when_ns)
+        bucket.append((func, a, b))
+        self._timed_len += 1
 
     def _trigger_event(self, event: SCEvent, immediate: bool) -> None:
         """Wake every process waiting on *event*."""
@@ -237,42 +297,29 @@ class Simulator:
     def _wake_process(
         self, process: ProcessHandle, reason: ResumeReason, event: Optional[SCEvent] = None
     ) -> None:
-        if process.state is ProcessState.TERMINATED:
-            return
         if process.state is not ProcessState.WAITING:
+            # TERMINATED, or already woken in this phase.
             return
         # Detach from whatever the process was waiting on.
-        if process.waiting_on is not None and process.waiting_on is not event:
-            process.waiting_on.remove_waiter(process)
+        waiting_on = process.waiting_on
+        if waiting_on is not None and waiting_on is not event:
+            waiting_on.remove_waiter(process)
         process.waiting_on = None
         process._timeout_token += 1  # invalidate any pending timeout
         process.state = ProcessState.READY
         process._resume_reason = reason
-        self._runnable.append((process, reason))
+        self._runnable.append(process)
 
-    # -- no-allocation wake/timeout trampolines (cached in __init__) -------
-    # Every queued wake carries the process's wait-generation token from
-    # scheduling time; throw_into/_wake_process bump the token, so a stale
-    # entry surviving in the delta/timed queues can never fire into a
+    # Process wakes are queued as (_TIMED_WAKE | _DELTA_WAKE | _WAIT_TIMEOUT,
+    # process, token) sentinel entries and handled inline by the queue
+    # drains.  Every queued wake carries the process's wait-generation token
+    # from scheduling time; throw_into/_wake_process bump the token, so a
+    # stale entry surviving in the delta/timed queues can never fire into a
     # *later* wait of the same process.
-    def _delta_wake(self, payload: "Tuple[ProcessHandle, int]") -> None:
-        process, token = payload
-        if process._timeout_token == token:
-            self._wake_process(process, ResumeReason.DELTA)
 
-    def _timed_wake(self, payload: "Tuple[ProcessHandle, int]") -> None:
-        process, token = payload
-        if process._timeout_token == token:
-            self._wake_process(process, ResumeReason.TIME)
-
-    def _wait_timeout(self, payload: "Tuple[ProcessHandle, int, SCEvent]") -> None:
-        process, token, event = payload
-        if process._timeout_token == token and process.state is ProcessState.WAITING:
-            event.remove_waiter(process)
-            process.waiting_on = None
-            process.state = ProcessState.READY
-            process._resume_reason = ResumeReason.TIMEOUT
-            self._runnable.append((process, ResumeReason.TIMEOUT))
+    @staticmethod
+    def _run_callback(callback: Callable[[], None], _unused: object) -> None:
+        callback()
 
     # ------------------------------------------------------------------
     # Elaboration
@@ -292,13 +339,14 @@ class Simulator:
         process.start()
         topic = self._obs_kernel
         if topic.enabled:
-            topic.emit("process_start", self._now.nanoseconds, process=process.name)
+            topic.emit("process_start", self._now_ns, process=process.name)
         if process.dont_initialize:
             process.state = ProcessState.WAITING
             self._subscribe_static(process)
         else:
             process.state = ProcessState.READY
-            self._runnable.append((process, ResumeReason.START))
+            process._resume_reason = ResumeReason.START
+            self._runnable.append(process)
 
     def _subscribe_static(self, process: ProcessHandle) -> None:
         if not process.static_sensitivity:
@@ -326,10 +374,11 @@ class Simulator:
         self._elaborate()
         self._started = True
         self._stop_requested = False
-        end_time: Optional[SimTime] = None
+        end_ns: Optional[int] = None
         if duration is not None:
-            end_time = self._now + SimTime.coerce(duration)
+            end_ns = self._now_ns + SimTime.coerce(duration).nanoseconds
 
+        heap = self._timed_heap
         try:
             while True:
                 self._evaluate_and_update()
@@ -337,22 +386,22 @@ class Simulator:
                     break
                 if self._runnable:
                     continue
-                if not self._timed_queue:
+                if not heap:
                     break
-                next_time_ns = self._timed_queue[0][0]
-                if end_time is not None and next_time_ns > end_time.nanoseconds:
+                next_ns = heap[0]
+                if end_ns is not None and next_ns > end_ns:
                     # Advance to the horizon (not the event) so advance
                     # hooks observe the final interval of the run too.
-                    self._advance_to(end_time)
+                    self._advance_to_ns(end_ns)
                     break
-                self._advance_to(SimTime(next_time_ns))
+                self._advance_to_ns(next_ns)
         except SimulationFinished:
             pass
-        if end_time is not None and self._now < end_time and not self._timed_queue \
+        if end_ns is not None and self._now_ns < end_ns and not heap \
                 and not self._runnable and not self._stop_requested:
             # Nothing left to do: report the requested horizon anyway.
-            self._advance_to(end_time)
-        return self._now
+            self._advance_to_ns(end_ns)
+        return self.now
 
     def stop(self) -> None:
         """Request simulation stop (honoured at the next scheduling point)."""
@@ -360,19 +409,84 @@ class Simulator:
 
     # -- internal phases ---------------------------------------------------
     def _evaluate_and_update(self) -> None:
-        """Run evaluation/update/delta phases until no delta activity remains."""
+        """Run evaluation/update/delta phases until no delta activity remains.
+
+        The evaluation loop and the ``Wait`` request handling are inlined:
+        this is the hottest code in the simulator and every function call
+        here is paid once per process resume.
+        """
         obs_kernel = self._obs_kernel
+        terminated = ProcessState.TERMINATED
+        running = ProcessState.RUNNING
+        waiting = ProcessState.WAITING
+        buckets = self._timed_buckets
+        heap = self._timed_heap
+        timed_wake = _TIMED_WAKE
+        delta_wake = _DELTA_WAKE
+        ready = ProcessState.READY
+        delta_reason = ResumeReason.DELTA
         while True:
             if self._runnable:
                 self._delta_count += 1
                 if obs_kernel.enabled:
                     obs_kernel.emit(
-                        "delta", self._now.nanoseconds,
+                        "delta", self._now_ns,
                         cycle=self._delta_count, runnable=len(self._runnable),
                     )
-                for hook in self.cycle_hooks:
-                    hook(self)
-                self._evaluation_phase()
+                if self.cycle_hooks:
+                    for hook in self.cycle_hooks:
+                        hook(self)
+                # Evaluation phase.
+                runnable, self._runnable = self._runnable, []
+                now_ns = self._now_ns
+                for process in runnable:
+                    if process.state is terminated:
+                        continue
+                    process.state = running
+                    process.resume_count = resume_count = process.resume_count + 1
+                    self._running_process = process
+                    try:
+                        if resume_count != 1:
+                            request = process._send(process._resume_reason)
+                        else:
+                            # First activation: a just-started generator
+                            # cannot receive a value; prime it with next().
+                            request = next(process.generator)
+                    except StopIteration:
+                        self._running_process = None
+                        self._mark_process_end(process)
+                        if self._stop_requested:
+                            break
+                        continue
+                    except SimulationFinished:
+                        self._running_process = None
+                        self._mark_process_end(process)
+                        raise
+                    except BaseException:
+                        self._running_process = None
+                        raise
+                    self._running_process = None
+                    if type(request) is Wait:
+                        process.state = waiting
+                        duration_ns = request.duration.nanoseconds
+                        if duration_ns > 0:
+                            when_ns = now_ns + duration_ns
+                            bucket = buckets.get(when_ns)
+                            if bucket is None:
+                                buckets[when_ns] = bucket = []
+                                heappush(heap, when_ns)
+                            bucket.append(
+                                (timed_wake, process, process._timeout_token)
+                            )
+                            self._timed_len += 1
+                        else:
+                            self._delta_callbacks.append(
+                                (delta_wake, process, process._timeout_token)
+                            )
+                    else:
+                        self._apply_wait_request(process, request)
+                    if self._stop_requested:
+                        break
             # Update phase.
             if self._update_requests:
                 updates, self._update_requests = self._update_requests, []
@@ -381,44 +495,25 @@ class Simulator:
             # Delta notification phase.
             if self._delta_callbacks:
                 callbacks, self._delta_callbacks = self._delta_callbacks, []
-                for func, payload in callbacks:
-                    func(payload)
+                append_runnable = self._runnable.append
+                for func, a, b in callbacks:
+                    if func is delta_wake:
+                        # Delta wake of a process (the common entry kind).
+                        if a._timeout_token == b and a.state is waiting:
+                            waiting_on = a.waiting_on
+                            if waiting_on is not None:
+                                waiting_on.remove_waiter(a)
+                                a.waiting_on = None
+                            a._timeout_token = b + 1
+                            a.state = ready
+                            a._resume_reason = delta_reason
+                            append_runnable(a)
+                    else:
+                        func(a, b)
             if self._stop_requested:
                 return
             if not self._runnable:
                 return
-
-    def _evaluation_phase(self) -> None:
-        runnable, self._runnable = self._runnable, []
-        for process, reason in runnable:
-            if process.state is ProcessState.TERMINATED:
-                continue
-            self._resume_process(process, reason)
-            if self._stop_requested:
-                return
-
-    def _resume_process(self, process: ProcessHandle, reason: ResumeReason) -> None:
-        process.state = ProcessState.RUNNING
-        process.resume_count += 1
-        previous = self._running_process
-        self._running_process = process
-        try:
-            assert process.generator is not None
-            if process.resume_count == 1:
-                # First activation: a just-started generator cannot receive a
-                # value, so prime it with next().
-                request = next(process.generator)
-            else:
-                request = process.generator.send(reason)
-        except StopIteration:
-            self._mark_process_end(process)
-            return
-        except SimulationFinished:
-            self._mark_process_end(process)
-            raise
-        finally:
-            self._running_process = previous
-        self._apply_wait_request(process, request)
 
     def _mark_process_end(self, process: ProcessHandle) -> None:
         """Terminate *process* and publish its lifecycle end event."""
@@ -426,31 +521,73 @@ class Simulator:
         topic = self._obs_kernel
         if topic.enabled:
             topic.emit(
-                "process_end", self._now.nanoseconds,
+                "process_end", self._now_ns,
                 process=process.name, resumes=process.resume_count,
             )
 
     def _apply_wait_request(self, process: ProcessHandle, request: object) -> None:
         process.state = ProcessState.WAITING
+        if type(request) is Wait:
+            # The dominant request kind: checked first, scheduled inline.
+            duration_ns = request.duration.nanoseconds
+            if duration_ns > 0:
+                when_ns = self._now_ns + duration_ns
+                bucket = self._timed_buckets.get(when_ns)
+                if bucket is None:
+                    self._timed_buckets[when_ns] = bucket = []
+                    heappush(self._timed_heap, when_ns)
+                bucket.append(
+                    (_TIMED_WAKE, process, process._timeout_token)
+                )
+                self._timed_len += 1
+            else:
+                self._delta_callbacks.append(
+                    (_DELTA_WAKE, process, process._timeout_token)
+                )
+            return
+        if type(request) is WaitEvent:
+            request.event.add_waiter(process)
+            process.waiting_on = request.event
+            return
         if request is None:
             # Argument-less wait: static sensitivity.
             self._subscribe_static(process)
             return
+        if type(request) is WaitEventTimeout:
+            if request.timeout.nanoseconds < 0:
+                raise SimulationError("cannot schedule a callback in the past")
+            request.event.add_waiter(process)
+            process.waiting_on = request.event
+            token = process._timeout_token + 1
+            process._timeout_token = token
+            self._schedule_at_ns(
+                self._now_ns + request.timeout.nanoseconds,
+                _WAIT_TIMEOUT, process, token,
+            )
+            return
+        if type(request) is WaitDelta:
+            self._delta_callbacks.append(
+                (_DELTA_WAKE, process, process._timeout_token)
+            )
+            return
+        if isinstance(request, SCEvent):
+            # Allow yielding a bare event as shorthand for WaitEvent.
+            request.add_waiter(process)
+            process.waiting_on = request
+            return
+        # Subclassed wait-request kinds (the exact-type checks above missed):
+        # re-enter through the same branches so the semantics exist once.
         if isinstance(request, Wait):
-            if request.duration.nanoseconds <= 0:
-                self._delta_callbacks.append(
-                    (self._on_delta_wake, (process, process._timeout_token))
+            duration_ns = request.duration.nanoseconds
+            if duration_ns > 0:
+                self._schedule_at_ns(
+                    self._now_ns + duration_ns,
+                    _TIMED_WAKE, process, process._timeout_token,
                 )
             else:
-                self._schedule_at(
-                    request.duration, self._on_timed_wake,
-                    (process, process._timeout_token),
+                self._delta_callbacks.append(
+                    (_DELTA_WAKE, process, process._timeout_token)
                 )
-            return
-        if isinstance(request, WaitDelta):
-            self._delta_callbacks.append(
-                (self._on_delta_wake, (process, process._timeout_token))
-            )
             return
         if isinstance(request, WaitEvent):
             request.event.add_waiter(process)
@@ -463,14 +600,15 @@ class Simulator:
             process.waiting_on = request.event
             token = process._timeout_token + 1
             process._timeout_token = token
-            self._schedule_at(
-                request.timeout, self._on_wait_timeout, (process, token, request.event)
+            self._schedule_at_ns(
+                self._now_ns + request.timeout.nanoseconds,
+                _WAIT_TIMEOUT, process, token,
             )
             return
-        if isinstance(request, SCEvent):
-            # Allow yielding a bare event as shorthand for WaitEvent.
-            request.add_waiter(process)
-            process.waiting_on = request
+        if isinstance(request, WaitDelta):
+            self._delta_callbacks.append(
+                (_DELTA_WAKE, process, process._timeout_token)
+            )
             return
         raise SimulationError(
             f"process {process.name!r} yielded an unsupported wait request: {request!r}"
@@ -495,8 +633,10 @@ class Simulator:
         for event in process.static_sensitivity:
             event.remove_waiter(process)
         process._timeout_token += 1
-        # Drop any queued activation of this process.
-        self._runnable = [(p, r) for (p, r) in self._runnable if p is not process]
+        # Drop any queued activation of this process — in place: the queue
+        # drains cache `self._runnable.append`, so the list object must
+        # never be swapped out from under a running drain.
+        self._runnable[:] = [p for p in self._runnable if p is not process]
         if process.generator is None:
             # Never elaborated/started: there is no body to unwind, the
             # process simply dies (mirrors terminating a dormant task).
@@ -518,22 +658,73 @@ class Simulator:
             self._running_process = previous
         self._apply_wait_request(process, request)
 
-    def _advance_to(self, when: SimTime) -> None:
-        if when < self._now:
+    def _advance_to_ns(self, when_ns: int) -> None:
+        if when_ns < self._now_ns:
             raise SimulationError("time cannot move backwards")
-        self._now = when
+        self._now_ns = when_ns
         topic = self._obs_kernel
         if topic.enabled:
-            topic.emit("advance", when.nanoseconds, pending=len(self._timed_queue))
-        for hook in self.advance_hooks:
-            hook(self, when)
-        # Pop every callback scheduled for this instant.
-        while self._timed_queue and self._timed_queue[0][0] == when.nanoseconds:
-            __, __, func, payload = heapq.heappop(self._timed_queue)
-            if payload is _NO_PAYLOAD:
-                func()
-            else:
-                func(payload)
+            topic.emit("advance", when_ns, pending=self._timed_len)
+        if self.advance_hooks:
+            when = self.now
+            for hook in self.advance_hooks:
+                hook(self, when)
+        # Drain the bucket scheduled for this instant, if any.  Entries
+        # appended to the live bucket during the drain (zero-delay
+        # callbacks) run within the same batch.
+        heap = self._timed_heap
+        if heap and heap[0] == when_ns:
+            heappop(heap)
+            buckets = self._timed_buckets
+            bucket = buckets[when_ns]
+            waiting = ProcessState.WAITING
+            ready = ProcessState.READY
+            time_reason = ResumeReason.TIME
+            timeout_reason = ResumeReason.TIMEOUT
+            append_runnable = self._runnable.append
+            index = 0
+            try:
+                while index < len(bucket):
+                    func, a, b = bucket[index]
+                    index += 1
+                    if func is _TIMED_WAKE:
+                        # Timed wake of a process (the dominant entry kind).
+                        if a._timeout_token == b and a.state is waiting:
+                            waiting_on = a.waiting_on
+                            if waiting_on is not None:
+                                waiting_on.remove_waiter(a)
+                                a.waiting_on = None
+                            a._timeout_token = b + 1
+                            a.state = ready
+                            a._resume_reason = time_reason
+                            append_runnable(a)
+                    elif func is _WAIT_TIMEOUT:
+                        # Event-wait timeout: if the token still matches, the
+                        # wait that scheduled it is still active, so
+                        # `waiting_on` is exactly its event.  The token is
+                        # (historically) not bumped here.
+                        if a._timeout_token == b and a.state is waiting:
+                            event = a.waiting_on
+                            if event is not None:
+                                event.remove_waiter(a)
+                            a.waiting_on = None
+                            a.state = ready
+                            a._resume_reason = timeout_reason
+                            append_runnable(a)
+                    else:
+                        func(a, b)
+            finally:
+                # Keep the queue invariant even when an entry raises: drop
+                # the executed prefix, and either retire the bucket or put
+                # its (unprocessed) remainder back under its timestamp —
+                # mirroring the old heapq behaviour, where entries not yet
+                # popped simply stayed queued.
+                self._timed_len -= index
+                if index < len(bucket):
+                    del bucket[:index]
+                    heappush(heap, when_ns)
+                else:
+                    del buckets[when_ns]
 
     # ------------------------------------------------------------------
     # Convenience helpers for tests & examples
@@ -541,7 +732,7 @@ class Simulator:
     def stats(self) -> Dict[str, float]:
         """Kernel-level counters of the run so far (campaign instrumentation)."""
         return {
-            "now_ms": self._now.to_ms(),
+            "now_ms": self._now_ns / 1_000_000,
             "delta_cycles": float(self._delta_count),
             "processes": float(len(self._processes)),
             "terminated_processes": float(
@@ -551,16 +742,16 @@ class Simulator:
 
     def pending_activity(self) -> bool:
         """Whether any runnable process or scheduled activity remains."""
-        return bool(self._runnable or self._delta_callbacks or self._timed_queue)
+        return bool(self._runnable or self._delta_callbacks or self._timed_buckets)
 
     def time_to_next_activity(self) -> Optional[SimTime]:
         """Delay until the next timed activity, or None if none is pending."""
-        if not self._timed_queue:
+        if not self._timed_heap:
             return None
-        return SimTime(self._timed_queue[0][0]) - self._now
+        return SimTime(self._timed_heap[0] - self._now_ns)
 
     def __repr__(self) -> str:
         return (
-            f"Simulator({self.name!r}, now={self._now.format()}, "
+            f"Simulator({self.name!r}, now={self.now.format()}, "
             f"processes={len(self._processes)})"
         )

@@ -44,24 +44,25 @@ class ProcessState(enum.Enum):
     TERMINATED = "terminated"
 
 
-@dataclass
+@dataclass(slots=True)
 class Wait:
     """Wait for a simulated duration."""
 
     duration: SimTime
 
     def __post_init__(self) -> None:
-        self.duration = SimTime.coerce(self.duration)
+        if type(self.duration) is not SimTime:
+            self.duration = SimTime.coerce(self.duration)
 
 
-@dataclass
+@dataclass(slots=True)
 class WaitEvent:
     """Wait for a single event (dynamic sensitivity)."""
 
     event: SCEvent
 
 
-@dataclass
+@dataclass(slots=True)
 class WaitEventTimeout:
     """Wait for an event with a timeout."""
 
@@ -69,10 +70,11 @@ class WaitEventTimeout:
     timeout: SimTime
 
     def __post_init__(self) -> None:
-        self.timeout = SimTime.coerce(self.timeout)
+        if type(self.timeout) is not SimTime:
+            self.timeout = SimTime.coerce(self.timeout)
 
 
-@dataclass
+@dataclass(slots=True)
 class WaitDelta:
     """Wait for one delta cycle."""
 
@@ -90,9 +92,13 @@ class ResumeReason(enum.Enum):
 ProcessBody = Generator[object, ResumeReason, None]
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessHandle:
-    """Book-keeping for one SC_THREAD-style process."""
+    """Book-keeping for one SC_THREAD-style process.
+
+    Slotted: handles are touched on every wake/resume of the kernel's hot
+    loop, so attribute access must not go through an instance ``__dict__``.
+    """
 
     name: str
     factory: Callable[[], ProcessBody]
@@ -109,6 +115,9 @@ class ProcessHandle:
     _resume_reason: ResumeReason = field(default=ResumeReason.START, init=False)
     resume_count: int = field(default=0, init=False)
     terminated_event: SCEvent = field(default=None, init=False)  # type: ignore[assignment]
+    # Bound `generator.send`, cached at start() so every resume skips the
+    # generator attribute walk and method-object creation.
+    _send: Optional[Callable[[object], object]] = field(default=None, init=False)
 
     def __post_init__(self) -> None:
         self.terminated_event = SCEvent(
@@ -120,6 +129,7 @@ class ProcessHandle:
         """Instantiate the generator; called by the simulator at elaboration."""
         if self.generator is None:
             self.generator = self.factory()
+            self._send = self.generator.send
 
     def is_alive(self) -> bool:
         """Whether the process has not yet terminated."""

@@ -72,11 +72,13 @@ class Signal(Generic[T]):
             # `_signal` carries the publishing object for sinks that filter
             # by identity (names need not be unique); JSON output drops it.
             topic.emit(
-                "change", self._simulator.now.nanoseconds,
+                "change", self._simulator._now_ns,
                 signal=self.name, old=old, new=new, _signal=self,
             )
-        for tracer in self._tracers:
-            tracer.on_change(self, self._simulator.now, old, new)
+        if self._tracers:
+            now = self._simulator.now
+            for tracer in self._tracers:
+                tracer.on_change(self, now, old, new)
 
     @staticmethod
     def _is_rising(old: T, new: T) -> bool:

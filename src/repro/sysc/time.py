@@ -12,13 +12,24 @@ Convenience constructors mirror the SystemC time units::
     SimTime.us(3)       # 3 microseconds
     SimTime.ms(1)       # the default system tick of the paper's RTC
     SimTime.sec(1)      # the reference simulated second of Table 2
+
+Fast-core convention (PR 3)
+---------------------------
+
+:class:`SimTime` is the *public boundary type*: every API that accepts or
+returns a time speaks :class:`SimTime` (or a bare number of nanoseconds).
+The simulator's hot plane — the timed queue, the delta machinery, signal
+settling, SIM_Wait chunking — operates on plain ``int`` nanoseconds
+internally and converts at the boundary.  To keep that boundary cheap the
+class is slotted, comparisons are hand-written with an integer fast path
+(no ``functools.total_ordering`` dispatch chain), and :meth:`coerce`
+returns ``int`` inputs without a ``float``/``round`` round-trip.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from functools import total_ordering
 
 
 class TimeUnit(enum.IntEnum):
@@ -36,8 +47,7 @@ MS = TimeUnit.MS
 SEC = TimeUnit.SEC
 
 
-@total_ordering
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class SimTime:
     """An absolute or relative simulation time, stored in nanoseconds."""
 
@@ -47,22 +57,30 @@ class SimTime:
     @classmethod
     def ns(cls, value: float) -> "SimTime":
         """Create a time of *value* nanoseconds."""
-        return cls(int(round(value * NS)))
+        if type(value) is int:
+            return cls(value)
+        return cls(int(round(value)))
 
     @classmethod
     def us(cls, value: float) -> "SimTime":
         """Create a time of *value* microseconds."""
-        return cls(int(round(value * US)))
+        if type(value) is int:
+            return cls(value * 1_000)
+        return cls(int(round(value * 1_000)))
 
     @classmethod
     def ms(cls, value: float) -> "SimTime":
         """Create a time of *value* milliseconds."""
-        return cls(int(round(value * MS)))
+        if type(value) is int:
+            return cls(value * 1_000_000)
+        return cls(int(round(value * 1_000_000)))
 
     @classmethod
     def sec(cls, value: float) -> "SimTime":
         """Create a time of *value* seconds."""
-        return cls(int(round(value * SEC)))
+        if type(value) is int:
+            return cls(value * 1_000_000_000)
+        return cls(int(round(value * 1_000_000_000)))
 
     @classmethod
     def zero(cls) -> "SimTime":
@@ -74,10 +92,13 @@ class SimTime:
         """Coerce *value* into a :class:`SimTime`.
 
         Bare numbers are interpreted as nanoseconds, matching the internal
-        resolution.
+        resolution.  ``int`` inputs take a direct path; only ``float`` (and
+        other real numbers) pay the rounding conversion.
         """
         if isinstance(value, SimTime):
             return value
+        if type(value) is int:
+            return cls(value)
         return cls(int(round(value)))
 
     # -- conversions ------------------------------------------------------
@@ -99,12 +120,16 @@ class SimTime:
 
     # -- arithmetic -------------------------------------------------------
     def __add__(self, other: "SimTime | int") -> "SimTime":
+        if isinstance(other, SimTime):
+            return SimTime(self.nanoseconds + other.nanoseconds)
         return SimTime(self.nanoseconds + SimTime.coerce(other).nanoseconds)
 
     def __radd__(self, other: "SimTime | int") -> "SimTime":
         return self.__add__(other)
 
     def __sub__(self, other: "SimTime | int") -> "SimTime":
+        if isinstance(other, SimTime):
+            return SimTime(self.nanoseconds - other.nanoseconds)
         return SimTime(self.nanoseconds - SimTime.coerce(other).nanoseconds)
 
     def __mul__(self, factor: int) -> "SimTime":
@@ -126,6 +151,9 @@ class SimTime:
         return self.nanoseconds != 0
 
     # -- ordering ---------------------------------------------------------
+    # Hand-written with the SimTime/SimTime integer comparison first: the
+    # @total_ordering dispatch chain (__gt__ -> not __lt__ and not __eq__)
+    # showed up in kernel-loop profiles.
     def __eq__(self, other: object) -> bool:
         if isinstance(other, SimTime):
             return self.nanoseconds == other.nanoseconds
@@ -133,11 +161,38 @@ class SimTime:
             return self.nanoseconds == other
         return NotImplemented
 
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
     def __lt__(self, other: "SimTime | int | float") -> bool:
         if isinstance(other, SimTime):
             return self.nanoseconds < other.nanoseconds
         if isinstance(other, (int, float)):
             return self.nanoseconds < other
+        return NotImplemented
+
+    def __le__(self, other: "SimTime | int | float") -> bool:
+        if isinstance(other, SimTime):
+            return self.nanoseconds <= other.nanoseconds
+        if isinstance(other, (int, float)):
+            return self.nanoseconds <= other
+        return NotImplemented
+
+    def __gt__(self, other: "SimTime | int | float") -> bool:
+        if isinstance(other, SimTime):
+            return self.nanoseconds > other.nanoseconds
+        if isinstance(other, (int, float)):
+            return self.nanoseconds > other
+        return NotImplemented
+
+    def __ge__(self, other: "SimTime | int | float") -> bool:
+        if isinstance(other, SimTime):
+            return self.nanoseconds >= other.nanoseconds
+        if isinstance(other, (int, float)):
+            return self.nanoseconds >= other
         return NotImplemented
 
     def __hash__(self) -> int:

@@ -164,11 +164,12 @@ class TKernelOS(SCModule):
 
     def _thread_dispatch_process(self):
         """Tick handler: sensitive to the system tick (RTC or internal)."""
+        if self.tick_signal is not None:
+            tick_wait = WaitEvent(self.tick_signal.posedge_event)
+        else:
+            tick_wait = Wait(self.system_tick)
         while True:
-            if self.tick_signal is not None:
-                yield WaitEvent(self.tick_signal.posedge_event)
-            else:
-                yield Wait(self.system_tick)
+            yield tick_wait  # reused every tick; the kernel never keeps it
             self._timer_handler()
 
     def _timer_handler(self) -> None:
@@ -225,7 +226,7 @@ class TKernelOS(SCModule):
         topic = self._obs_svc
         if topic.enabled:
             topic.emit(
-                "enter", self.simulator.now.nanoseconds,
+                "enter", self.simulator._now_ns,
                 name=name, depth=len(self._svc_active),
             )
         if self._in_thread_context():
@@ -241,7 +242,7 @@ class TKernelOS(SCModule):
         name = self._svc_active.pop() if self._svc_active else ""
         topic = self._obs_svc
         if topic.enabled:
-            topic.emit("exit", self.simulator.now.nanoseconds, name=name)
+            topic.emit("exit", self.simulator._now_ns, name=name)
         if self._in_thread_context() and not self.api.dispatch_enabled:
             self.api.dispatch_enable()
 
@@ -368,7 +369,9 @@ class TKernelOS(SCModule):
         if base_change:
             tcb.base_priority = priority
         scheduler = self.api.scheduler
-        in_ready_pool = tcb.thread in scheduler.ready_threads()
+        # Membership via the scheduler's O(1) __contains__ (the thread→level
+        # map), not a ready_threads() materialisation + second removal scan.
+        in_ready_pool = tcb.thread in scheduler
         if in_ready_pool:
             scheduler.remove(tcb.thread)
         tcb.thread.priority = priority

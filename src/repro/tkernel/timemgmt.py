@@ -23,7 +23,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.sysc.time import SimTime
 
 
-@dataclass
+@dataclass(slots=True)
 class TimerHandle:
     """Handle for one scheduled timer action (cancellable)."""
 
@@ -109,7 +109,8 @@ class TimeManager:
     def process_due(self, now: SimTime) -> int:
         """Run every action whose due time has been reached; returns the count."""
         fired = 0
-        while self._queue and self._queue[0][0] <= now.to_ns():
+        now_ns = now.nanoseconds
+        while self._queue and self._queue[0][0] <= now_ns:
             _, _, handle = heapq.heappop(self._queue)
             if handle.cancelled or handle.fired:
                 continue

@@ -1,0 +1,320 @@
+"""Determinism invariants of the ready-pool schedulers and the DES kernel.
+
+These tests pin the *observable scheduling contract* that every kernel model
+(RTK-Spec I/II, RTK-Spec TRON) relies on:
+
+* same-priority threads are served FIFO in `add_ready` order,
+* `add_ready_first` re-inserts a preempted thread at the *head* of its own
+  priority level and nowhere else,
+* `remove` takes a thread out without disturbing the relative order of the
+  others,
+* events scheduled for the same simulated instant fire in scheduling order
+  (the same-timestamp batch-pop of the kernel).
+
+They were written against the original sorted-dict scheduler and the original
+heapq timed queue, so the bitmap scheduler and the bucketed timed queue are
+provably drop-in: the exact same assertions must keep passing.
+"""
+
+import pytest
+
+from repro.core.scheduler import PriorityScheduler, RoundRobinScheduler
+from repro.sysc import SimTime, Simulator, Wait, WaitEvent
+
+
+class FakeThread:
+    """The scheduler only needs `.priority`, identity and hashability."""
+
+    def __init__(self, name, priority):
+        self.name = name
+        self.priority = priority
+
+    def __repr__(self):
+        return f"FakeThread({self.name!r}, prio={self.priority})"
+
+
+def names(threads):
+    return [thread.name for thread in threads]
+
+
+class TestPrioritySchedulerInvariants:
+    def test_same_priority_fifo_fairness(self):
+        scheduler = PriorityScheduler()
+        a, b, c = (FakeThread(n, 10) for n in "abc")
+        scheduler.add_ready(a)
+        scheduler.add_ready(b)
+        scheduler.add_ready(c)
+        assert names(scheduler.ready_threads()) == ["a", "b", "c"]
+        assert scheduler.pop_next() is a
+        assert scheduler.pop_next() is b
+        assert scheduler.pop_next() is c
+        assert scheduler.pop_next() is None
+
+    def test_interleaved_levels_keep_per_level_fifo(self):
+        scheduler = PriorityScheduler()
+        order = [
+            FakeThread("hi1", 5), FakeThread("lo1", 20), FakeThread("hi2", 5),
+            FakeThread("mid1", 10), FakeThread("lo2", 20), FakeThread("hi3", 5),
+        ]
+        for thread in order:
+            scheduler.add_ready(thread)
+        assert names(scheduler.ready_threads()) == [
+            "hi1", "hi2", "hi3", "mid1", "lo1", "lo2",
+        ]
+        popped = [scheduler.pop_next().name for _ in range(6)]
+        assert popped == ["hi1", "hi2", "hi3", "mid1", "lo1", "lo2"]
+
+    def test_add_ready_first_inserts_at_level_head(self):
+        scheduler = PriorityScheduler()
+        first = FakeThread("first", 10)
+        second = FakeThread("second", 10)
+        other = FakeThread("other", 5)
+        scheduler.add_ready(first)
+        scheduler.add_ready(other)
+        # A preempted task keeps the head position of *its own* level.
+        scheduler.add_ready_first(second)
+        assert names(scheduler.ready_threads()) == ["other", "second", "first"]
+        assert scheduler.select_next() is other
+
+    def test_add_ready_is_idempotent(self):
+        scheduler = PriorityScheduler()
+        thread = FakeThread("once", 10)
+        scheduler.add_ready(thread)
+        scheduler.add_ready(thread)
+        scheduler.add_ready_first(thread)
+        assert names(scheduler.ready_threads()) == ["once"]
+        assert len(scheduler) == 1
+
+    def test_remove_preserves_relative_order(self):
+        scheduler = PriorityScheduler()
+        threads = [FakeThread(n, 10) for n in ("a", "b", "c", "d")]
+        for thread in threads:
+            scheduler.add_ready(thread)
+        scheduler.remove(threads[1])
+        assert names(scheduler.ready_threads()) == ["a", "c", "d"]
+        # Removing an absent thread is a silent no-op.
+        scheduler.remove(threads[1])
+        assert names(scheduler.ready_threads()) == ["a", "c", "d"]
+
+    def test_select_next_does_not_remove(self):
+        scheduler = PriorityScheduler()
+        thread = FakeThread("only", 3)
+        scheduler.add_ready(thread)
+        assert scheduler.select_next() is thread
+        assert scheduler.select_next() is thread
+        assert len(scheduler) == 1
+
+    def test_lower_number_wins(self):
+        scheduler = PriorityScheduler()
+        urgent = FakeThread("urgent", 1)
+        relaxed = FakeThread("relaxed", 200)
+        scheduler.add_ready(relaxed)
+        scheduler.add_ready(urgent)
+        assert scheduler.pop_next() is urgent
+        assert scheduler.pop_next() is relaxed
+
+    def test_membership_and_len(self):
+        scheduler = PriorityScheduler()
+        inside = FakeThread("inside", 8)
+        outside = FakeThread("outside", 8)
+        scheduler.add_ready(inside)
+        assert inside in scheduler
+        assert outside not in scheduler
+        assert len(scheduler) == 1
+
+    def test_priority_range_enforced(self):
+        scheduler = PriorityScheduler(priority_levels=16)
+        with pytest.raises(ValueError):
+            scheduler.add_ready(FakeThread("too-high", 16))
+        with pytest.raises(ValueError):
+            scheduler.add_ready(FakeThread("negative", -1))
+
+    def test_requeue_for_priority_change_moves_to_tail(self):
+        scheduler = PriorityScheduler()
+        mover = FakeThread("mover", 20)
+        sitter = FakeThread("sitter", 10)
+        scheduler.add_ready(sitter)
+        scheduler.add_ready(mover)
+        scheduler.requeue_for_priority_change(mover, 10)
+        assert mover.priority == 10
+        assert names(scheduler.ready_threads()) == ["sitter", "mover"]
+
+    def test_should_preempt_only_on_strictly_higher_urgency(self):
+        scheduler = PriorityScheduler()
+        running = FakeThread("running", 10)
+        assert scheduler.should_preempt(None, FakeThread("any", 128))
+        assert scheduler.should_preempt(running, FakeThread("hi", 5))
+        assert not scheduler.should_preempt(running, FakeThread("peer", 10))
+        assert not scheduler.should_preempt(running, FakeThread("lo", 30))
+
+
+class TestRoundRobinInvariants:
+    def test_fifo_order_and_rotation(self):
+        scheduler = RoundRobinScheduler()
+        a, b, c = (FakeThread(n, 0) for n in "abc")
+        for thread in (a, b, c):
+            scheduler.add_ready(thread)
+        assert scheduler.pop_next() is a
+        scheduler.add_ready(a)  # the rotated time slice re-appends at the tail
+        assert names(scheduler.ready_threads()) == ["b", "c", "a"]
+
+    def test_add_ready_is_idempotent(self):
+        scheduler = RoundRobinScheduler()
+        thread = FakeThread("once", 0)
+        scheduler.add_ready(thread)
+        scheduler.add_ready(thread)
+        assert names(scheduler.ready_threads()) == ["once"]
+
+    def test_remove_then_readd_goes_to_tail(self):
+        scheduler = RoundRobinScheduler()
+        a, b = FakeThread("a", 0), FakeThread("b", 0)
+        scheduler.add_ready(a)
+        scheduler.add_ready(b)
+        scheduler.remove(a)
+        scheduler.add_ready(a)
+        assert names(scheduler.ready_threads()) == ["b", "a"]
+
+    def test_never_preempts_on_readiness(self):
+        scheduler = RoundRobinScheduler()
+        running = FakeThread("running", 0)
+        assert not scheduler.should_preempt(running, FakeThread("new", 0))
+        assert scheduler.should_preempt(None, FakeThread("new", 0))
+
+
+class TestKernelSameTimestampOrder:
+    """The kernel's same-instant batch pop is FIFO in scheduling order."""
+
+    def test_callbacks_at_same_instant_fire_in_scheduling_order(self):
+        with Simulator("order") as sim:
+            log = []
+            for index in range(5):
+                sim.schedule_callback(
+                    SimTime.us(10), (lambda i=index: log.append(i))
+                )
+            sim.run()
+            assert log == [0, 1, 2, 3, 4]
+        Simulator.reset()
+
+    def test_same_timestamp_wakes_follow_wait_scheduling_order(self):
+        with Simulator("wake-order") as sim:
+            log = []
+
+            def body(name, delay_ns):
+                def run():
+                    yield Wait(SimTime(delay_ns))
+                    log.append(name)
+                return run
+
+            # All three waits mature at t=1000ns; registration order rules.
+            sim.register_thread("first", body("first", 1000))
+            sim.register_thread("second", body("second", 1000))
+            sim.register_thread("third", body("third", 1000))
+            sim.run()
+            assert log == ["first", "second", "third"]
+        Simulator.reset()
+
+    def test_mixed_instants_pop_time_then_fifo(self):
+        with Simulator("mixed") as sim:
+            log = []
+            sim.schedule_callback(SimTime(200), lambda: log.append("late-1"))
+            sim.schedule_callback(SimTime(100), lambda: log.append("early-1"))
+            sim.schedule_callback(SimTime(200), lambda: log.append("late-2"))
+            sim.schedule_callback(SimTime(100), lambda: log.append("early-2"))
+            sim.run()
+            assert log == ["early-1", "early-2", "late-1", "late-2"]
+        Simulator.reset()
+
+    def test_callback_scheduled_during_batch_at_same_instant_runs_in_batch(self):
+        with Simulator("nested") as sim:
+            log = []
+
+            def outer():
+                log.append("outer")
+                sim.schedule_callback(SimTime(0), lambda: log.append("inner"))
+
+            sim.schedule_callback(SimTime(50), outer)
+            sim.run()
+            assert log == ["outer", "inner"]
+            assert sim.now == SimTime(50)
+        Simulator.reset()
+
+    def test_raising_callback_keeps_remaining_same_instant_entries(self):
+        """An entry that raises must not orphan the rest of its batch."""
+        with Simulator("raise") as sim:
+            log = []
+
+            def boom():
+                raise RuntimeError("boom")
+
+            sim.schedule_callback(SimTime(10), lambda: log.append("before"))
+            sim.schedule_callback(SimTime(10), boom)
+            sim.schedule_callback(SimTime(10), lambda: log.append("after"))
+            with pytest.raises(RuntimeError):
+                sim.run()
+            assert log == ["before"]
+            # The unprocessed tail stays queued (as with the old heapq
+            # implementation); resuming the run executes it.
+            assert sim.pending_activity()
+            sim.run()
+            assert log == ["before", "after"]
+            assert not sim.pending_activity()
+        Simulator.reset()
+
+    def test_throw_into_during_batch_does_not_lose_other_wakes(self):
+        """A throw_into run by a same-instant callback must not orphan the
+        wakes drained after it (the runnable list is filtered in place)."""
+        with Simulator("throw-batch") as sim:
+            log = []
+
+            class Victim(Exception):
+                pass
+
+            def victim_body():
+                try:
+                    yield Wait(SimTime(1000))
+                except Victim:
+                    return
+
+            def bystander_body():
+                yield Wait(SimTime(100))
+                log.append("woke")
+                yield Wait(SimTime(100))
+                log.append("woke again")
+
+            victim = sim.register_thread("victim", victim_body)
+            # Callback first, bystander's wake second in the same t=100 batch.
+            sim.schedule_callback(SimTime(100), lambda: sim.throw_into(victim, Victim()))
+            sim.register_thread("bystander", bystander_body)
+            sim.run()
+            assert log == ["woke", "woke again"]
+            # The victim's stale t=1000 wake entry still advances time (and
+            # is filtered by its wait token), exactly as with the old heapq.
+            assert sim.now == SimTime(1000)
+        Simulator.reset()
+
+    def test_event_wake_and_timed_wake_order_is_stable(self):
+        with Simulator("event-vs-time") as sim:
+            event = sim.create_event("go")
+            log = []
+
+            def waiter():
+                yield WaitEvent(event)
+                log.append("event-waiter")
+
+            def timed():
+                yield Wait(SimTime(100))
+                log.append("timed")
+
+            def notifier():
+                yield Wait(SimTime(100))
+                log.append("notifier")
+                event.notify()
+
+            sim.register_thread("waiter", waiter)
+            sim.register_thread("timed", timed)
+            sim.register_thread("notifier", notifier)
+            sim.run()
+            # Timed wakes mature in wait order; the event wake lands in the
+            # same evaluation the notifier triggered it in.
+            assert log == ["timed", "notifier", "event-waiter"]
+        Simulator.reset()

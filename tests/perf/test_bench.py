@@ -1,0 +1,150 @@
+"""Schema and CLI tests for the ``repro.perf`` bench harness."""
+
+import json
+
+import pytest
+
+from repro.campaign.cli import main as cli_main
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    CURRENT_PR,
+    bench_scheduler_ops,
+    bench_table2_speed,
+    default_report_path,
+    render_report,
+    run_benchmarks,
+    run_scenario_benchmarks,
+    validate_report,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    """One quick full-benchmark document shared by the schema tests."""
+    return run_benchmarks(quick=True, scenarios=["quickstart", "rtk-priority"])
+
+
+class TestReportSchema:
+    def test_quick_report_is_schema_valid(self, quick_report):
+        assert validate_report(quick_report) == []
+
+    def test_report_identity_fields(self, quick_report):
+        assert quick_report["schema"] == BENCH_SCHEMA
+        assert quick_report["pr"] == CURRENT_PR
+        assert quick_report["quick"] is True
+        assert quick_report["host"]["python"]
+
+    def test_microbench_rates_positive(self, quick_report):
+        for key, value in quick_report["microbench"].items():
+            assert value > 0, key
+
+    def test_scenarios_cover_request(self, quick_report):
+        assert set(quick_report["scenarios"]) == {"quickstart", "rtk-priority"}
+        entry = quick_report["scenarios"]["quickstart"]
+        assert entry["simulated_ms"] == 50.0
+        assert entry["wall_clock_seconds"] > 0
+        # The CounterSink on the campaign topic saw the run's span events.
+        assert entry["events"]["campaign/run_start"] == 1
+        assert entry["events"]["campaign/run_end"] == 1
+        # And the sched topic tallied the dispatch markers.
+        assert entry["events"]["sched/dispatch"] == entry["context_switches"]
+
+    def test_validate_report_flags_problems(self, quick_report):
+        broken = dict(quick_report)
+        broken.pop("microbench")
+        broken["schema"] = "nonsense/9"
+        problems = validate_report(broken)
+        assert any("microbench" in problem for problem in problems)
+        assert any("schema" in problem for problem in problems)
+
+    def test_write_report_round_trips(self, quick_report, tmp_path):
+        path = tmp_path / "bench.json"
+        write_report(quick_report, str(path))
+        loaded = json.loads(path.read_text())
+        assert validate_report(loaded) == []
+        assert loaded == quick_report
+
+    def test_render_report_mentions_every_scenario(self, quick_report):
+        text = render_report(quick_report)
+        for name in quick_report["scenarios"]:
+            assert name in text
+
+
+class TestPieces:
+    def test_default_report_path_tracks_pr_and_is_anchored(self):
+        import os
+
+        path = default_report_path()
+        assert os.path.basename(path) == f"BENCH_PR{CURRENT_PR}.json"
+        # Anchored to the source tree, not the current working directory.
+        assert os.path.isabs(path)
+        assert os.path.isdir(os.path.join(os.path.dirname(path), "src"))
+
+    def test_scheduler_ops_bench_runs_small(self):
+        assert bench_scheduler_ops(threads=8, rounds=5, repeats=1) > 0
+
+    def test_table2_rows_shape(self):
+        table2 = bench_table2_speed(simulated_ms=20)
+        assert table2["no_gui_s_over_r"] > 0
+        assert any(not row["gui_enabled"] for row in table2["rows"])
+
+    def test_scenario_benchmarks_time_the_run(self):
+        results = run_scenario_benchmarks(["rtk-round-robin"])
+        entry = results["rtk-round-robin"]
+        assert entry["s_over_r"] > 0
+        assert entry["events"]["sched/dispatch"] >= 1
+
+
+class TestBenchCli:
+    def test_bench_writes_schema_valid_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_TEST.json"
+        code = cli_main([
+            "bench", "--quick", "--scenario", "quickstart",
+            "--out", str(out),
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "timed waits" in captured
+        document = json.loads(out.read_text())
+        assert validate_report(document) == []
+        assert document["scenarios"].keys() == {"quickstart"}
+
+    def test_unknown_scenario_fails_fast(self):
+        """A typo'd scenario name dies before the expensive phases run."""
+        import time
+
+        from repro.campaign.spec import SpecError
+        from repro.perf.bench import run_benchmarks
+
+        start = time.perf_counter()
+        with pytest.raises(SpecError):
+            run_benchmarks(quick=False, scenarios=["videogme"])
+        assert time.perf_counter() - start < 1.0
+
+    def test_stdout_mode_keeps_stdout_pure_json(self, capsys):
+        code = cli_main(["bench", "--quick", "--scenario", "rtk-priority",
+                         "--out", "-"])
+        assert code == 0
+        captured = capsys.readouterr()
+        document = json.loads(captured.out)  # stdout must be JSON only
+        assert validate_report(document) == []
+        assert "timed waits" in captured.err
+
+    def test_quick_mode_refuses_default_out(self, capsys):
+        """--quick must never silently overwrite the trajectory file."""
+        code = cli_main(["bench", "--quick"])
+        assert code == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_committed_trajectory_file_is_valid(self):
+        """The checked-in BENCH_PR<n>.json must match the live schema."""
+        import os
+
+        path = default_report_path()
+        if not os.path.exists(path):
+            pytest.skip("trajectory file not generated in this checkout")
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert validate_report(document) == []
+        assert document["quick"] is False
