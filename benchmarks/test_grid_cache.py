@@ -1,0 +1,107 @@
+"""Grid result-store guard: a cache hit must stay cheap, forever.
+
+The whole point of the content-addressed store is *never recompute*: a hit
+replays stored artifacts without building a simulator or advancing a single
+delta cycle.  Two properties are pinned here:
+
+* **No re-simulation.**  On a warm store, the scenario builder is never
+  invoked — structurally asserted by poisoning ``build_scenario``.
+* **Bounded lookup overhead.**  Hit cost is verification + artifact I/O
+  (hash two small files, read the metrics document) — it must stay well
+  below the fresh simulation it replaces, and must not grow with the
+  simulated horizon the way simulation time does.  The wall-time assertion
+  is deliberately generous (hit < half of fresh) so a slow CI disk cannot
+  flake it, while a structural regression — re-simulating on hit, hashing
+  per-event, re-parsing the stream for a metrics-only replay — lands far
+  over the wire.
+"""
+
+import time
+
+import pytest
+
+from repro.campaign import get_scenario, run_spec
+from repro.grid import ResultStore
+
+
+def timed(fn, repeats=3):
+    """Best-of-N wall clock (microbenchmark convention: min, not mean)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(str(tmp_path / "cache"))
+
+
+def test_cache_hit_never_rebuilds_the_scenario(store, monkeypatch):
+    spec = get_scenario("synthetic-rtk")
+    run_spec(spec, collect_events=False, store=store)
+
+    import repro.campaign.runner as runner_module
+
+    def forbidden(_spec):
+        raise AssertionError("cache hit re-simulated: build_scenario was called")
+
+    monkeypatch.setattr(runner_module, "build_scenario", forbidden)
+    hit = run_spec(spec, collect_events=False, store=store)
+    assert hit.cached
+    assert hit.metrics["scenario"] == spec.name
+
+
+def test_cache_hit_wall_time_is_bounded(store):
+    spec = get_scenario("synthetic-rtk")  # 150 ms horizon: a real simulation
+
+    start = time.perf_counter()
+    fresh = run_spec(spec, collect_events=False, store=store)
+    fresh_seconds = time.perf_counter() - start
+    assert not fresh.cached
+
+    hit, hit_seconds = timed(
+        lambda: run_spec(spec, collect_events=False, store=store)
+    )
+    assert hit.cached
+    print(f"\nfresh: {fresh_seconds * 1e3:.1f} ms   "
+          f"hit: {hit_seconds * 1e3:.2f} ms   "
+          f"speedup: {fresh_seconds / hit_seconds:.0f}x")
+    assert hit_seconds < fresh_seconds / 2, (
+        f"cache hit took {hit_seconds:.3f}s vs {fresh_seconds:.3f}s fresh — "
+        "lookup overhead is no longer O(artifact size)"
+    )
+
+
+def test_cache_hit_does_not_scale_with_simulated_horizon(store):
+    """Doubling the horizon multiplies simulation work, not hit work.
+
+    Hit cost is dominated by artifact verification (events file hashing),
+    which grows with the *event stream size*, never with re-simulation.
+    The tolerance (8x for a 4x horizon) leaves room for I/O noise while
+    catching any path that re-enters the simulator.
+    """
+    short = get_scenario("rtk-priority").with_overrides(
+        {"duration_ms": 50.0}
+    ).validate()
+    long = get_scenario("rtk-priority").with_overrides(
+        {"duration_ms": 200.0}
+    ).validate()
+    run_spec(short, collect_events=False, store=store)
+    run_spec(long, collect_events=False, store=store)
+
+    _, short_hit = timed(
+        lambda: run_spec(short, collect_events=False, store=store), repeats=5
+    )
+    _, long_hit = timed(
+        lambda: run_spec(long, collect_events=False, store=store), repeats=5
+    )
+    print(f"\nhit @50ms: {short_hit * 1e3:.2f} ms   "
+          f"hit @200ms: {long_hit * 1e3:.2f} ms")
+    assert long_hit < max(short_hit * 8, 0.05), (
+        f"hit time grew {long_hit / short_hit:.1f}x for a 4x horizon — "
+        "the hit path is re-simulating"
+    )

@@ -8,6 +8,25 @@ the aggregate — the programmatic twin of:
     python -m repro batch --scenario rtk-round-robin --scenario rtk-priority \
         --matrix seed=1,2 --matrix task_count=4,6 --out campaign_out
 
+The script then repeats the sweep through a grid result store
+(``repro.grid.ResultStore``): the second pass completes entirely from
+cache — zero simulations — with the deterministic aggregate byte-identical
+to the fresh one.
+
+The same sweep scales out across hosts with the shard verbs.  Every worker
+expands the same matrix and takes its deterministic slice; the merge is
+byte-identical (``aggregate.json`` + per-run event streams) to running the
+whole batch on one host:
+
+    SWEEP="--scenario rtk-round-robin --scenario rtk-priority \
+           --matrix seed=1,2 --matrix task_count=4,6"
+    python -m repro shard plan  --shards 4 --index 3 $SWEEP   # what runs where
+    python -m repro shard run   --shards 4 --index $I $SWEEP \
+        --cache sweep_cache --out shard$I                     # per host/process
+    python -m repro shard merge shard0 shard1 shard2 shard3 --out merged
+
+Interrupted shards resume from the cache, skipping completed runs.
+
 Run with:  python examples/campaign_batch.py [workers]
 """
 
@@ -51,6 +70,19 @@ def main():
     out_dir = os.path.join(tempfile.gettempdir(), "repro_campaign_example")
     manifest = batch.write_outputs(out_dir)
     print(f"\nartifacts: {manifest['metrics']} + {len(manifest['events'])} event files")
+
+    # The grid result store: repeat the sweep, simulate nothing.
+    from repro.grid import ResultStore
+    from repro.obs.bus import canonical_json
+
+    store = ResultStore(os.path.join(out_dir, "cache"))
+    warm = run_batch(specs, workers=workers, store=store)     # fills the store
+    cached = run_batch(specs, workers=workers, store=store)   # replays it
+    assert cached.cache_hits == len(specs)
+    assert canonical_json(cached.deterministic_document()) == \
+        canonical_json(warm.deterministic_document())
+    print(f"cached re-run: {cached.cache_hits}/{len(specs)} hits, "
+          f"aggregate byte-identical ({store})")
 
 
 if __name__ == "__main__":

@@ -16,6 +16,19 @@ The command-line equivalent of this script is:
 
     python -m repro run quickstart --set duration_ms=50
 
+Since the grid subsystem (PR 4) the same run also caches: point the run at
+a result store and a repeat replays the stored metrics + event stream
+byte-identically instead of re-simulating —
+
+    python -m repro run quickstart --cache ~/.cache/repro-grid   # simulates
+    python -m repro run quickstart --cache ~/.cache/repro-grid   # cache hit
+    python -m repro cache stats    --cache ~/.cache/repro-grid
+
+(or export REPRO_CACHE_DIR once and drop the flag; --no-cache / --refresh
+are the escape hatches).  Specs also load from files: save
+``json.dumps(spec.to_dict())`` anywhere and run it with
+``python -m repro run --spec myspec.json``.
+
 Run with:  python examples/quickstart.py
 """
 

@@ -34,6 +34,9 @@ from repro.campaign.spec import (
     SpecError,
     derive_seed,
     expand_matrix,
+    load_spec_dir,
+    load_spec_file,
+    spec_hash,
 )
 
 __all__ = [
@@ -49,8 +52,11 @@ __all__ = [
     "events_from_gantt",
     "expand_matrix",
     "get_scenario",
+    "load_spec_dir",
+    "load_spec_file",
     "plan_batch",
     "register_scenario",
+    "spec_hash",
     "run_batch",
     "run_spec",
     "scenario_description",

@@ -13,7 +13,15 @@ Artifacts written by :meth:`BatchResult.write_outputs`:
 
 * ``events_NNN_<scenario>.jsonl`` — the per-run JSONL event stream,
 * ``metrics.json`` — the aggregated metrics document (per-run deterministic
-  metrics, aggregate totals/means, and the non-deterministic timing block).
+  metrics, aggregate totals/means, and the non-deterministic timing block),
+* ``aggregate.json`` — the deterministic document alone, in canonical JSON:
+  the artifact that is byte-identical across serial, parallel, cached and
+  sharded executions of the same sweep.
+
+With a grid :class:`~repro.grid.store.ResultStore` attached, the engine
+consults the cache before fanning out: verified entries replay without
+simulating, only the misses go to the workers, and every fresh result is
+stored afterwards — so a repeated sweep completes with zero simulations.
 """
 
 from __future__ import annotations
@@ -22,12 +30,22 @@ import multiprocessing
 import os
 import re
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.campaign.metrics import RunResult, aggregate_metrics, canonical_json
 from repro.campaign.registry import get_scenario
 from repro.campaign.runner import run_spec
 from repro.campaign.spec import ScenarioSpec, expand_matrix
+
+
+def run_events_filename(index: int, scenario: str) -> str:
+    """The canonical per-run events artifact name for global run *index*.
+
+    Shared by the batch writer and the shard executor so a merged sharded
+    sweep reproduces a single-host batch's artifact names exactly.
+    """
+    return f"events_{index:03d}_{_slugify(scenario)}.jsonl"
+
 
 def default_worker_count(run_count: int) -> int:
     """The batch engine's default parallelism for *run_count* runs.
@@ -44,14 +62,20 @@ def plan_batch(
     scenarios: Sequence[Union[str, ScenarioSpec]],
     matrix: Optional[Mapping[str, Sequence[Any]]] = None,
     overrides: Optional[Mapping[str, Any]] = None,
+    derive_seeds: bool = True,
 ) -> List[ScenarioSpec]:
-    """Expand scenario names/specs × overrides × matrix into the run list."""
+    """Expand scenario names/specs × overrides × matrix into the run list.
+
+    ``derive_seeds=False`` keeps every run's stated seed instead of deriving
+    per-run seeds from the expansion index — the right mode for explicit
+    spec documents loaded from files.
+    """
     specs: List[ScenarioSpec] = []
     for scenario in scenarios:
         base = get_scenario(scenario) if isinstance(scenario, str) else scenario
         if overrides:
             base = base.with_overrides(overrides)
-        specs.extend(expand_matrix(base, matrix))
+        specs.extend(expand_matrix(base, matrix, derive_seeds=derive_seeds))
     return specs
 
 
@@ -82,6 +106,11 @@ class BatchResult:
     def __post_init__(self) -> None:
         if not self.aggregate:
             self.aggregate = aggregate_metrics(r.metrics for r in self.results)
+
+    @property
+    def cache_hits(self) -> int:
+        """Runs served from the grid result store instead of simulated."""
+        return sum(1 for result in self.results if result.cached)
 
     # ------------------------------------------------------------------
     # Documents
@@ -117,62 +146,116 @@ class BatchResult:
     def write_outputs(self, out_dir: str, include_events: bool = True) -> Dict[str, Any]:
         """Write per-run JSONL event streams and the aggregate metrics JSON.
 
-        Returns a manifest: the metrics path and the per-run event paths.
+        Returns a manifest: the metrics/aggregate paths and the per-run
+        event paths.  ``aggregate.json`` holds the deterministic document in
+        canonical JSON — the byte-identity artifact the sharded sweep's
+        merge reproduces.
         """
         os.makedirs(out_dir, exist_ok=True)
         event_paths: List[str] = []
         if include_events:
             for index, result in enumerate(self.results):
-                slug = _slugify(result.metrics["scenario"])
-                events_path = os.path.join(out_dir, f"events_{index:03d}_{slug}.jsonl")
+                events_path = os.path.join(
+                    out_dir, run_events_filename(index, result.metrics["scenario"])
+                )
                 result.write_events(events_path)
                 event_paths.append(events_path)
         metrics_path = os.path.join(out_dir, "metrics.json")
         with open(metrics_path, "w", encoding="utf-8") as handle:
             handle.write(canonical_json(self.document()))
             handle.write("\n")
-        return {"metrics": metrics_path, "events": event_paths}
+        aggregate_path = os.path.join(out_dir, "aggregate.json")
+        with open(aggregate_path, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(self.deterministic_document()))
+            handle.write("\n")
+        return {
+            "metrics": metrics_path,
+            "aggregate": aggregate_path,
+            "events": event_paths,
+        }
 
 
 def run_batch(
     specs: Sequence[ScenarioSpec],
     workers: Optional[int] = None,
     collect_events: bool = True,
+    store: Optional[Any] = None,
+    refresh: bool = False,
 ) -> BatchResult:
     """Execute *specs*, serially or across a multiprocessing pool.
 
     Results always come back in spec order regardless of which worker
     finished first, so serial and parallel batches aggregate identically.
+
+    With *store* (a grid :class:`~repro.grid.store.ResultStore`), every spec
+    is looked up first and verified entries replay instead of executing;
+    only the misses are simulated (events always collected then, so the new
+    cache entries are complete) and each is stored as soon as it finishes —
+    an interrupted batch keeps its completed runs cached for the resume.
+    ``refresh=True`` skips the lookup and overwrites the entries with
+    freshly simulated results.
     """
     if not specs:
         raise ValueError("batch has no runs")
     for spec in specs:
         spec.validate()
+
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    pending: List[Tuple[int, ScenarioSpec]] = list(enumerate(specs))
+    if store is not None and not refresh:
+        misses: List[Tuple[int, ScenarioSpec]] = []
+        for index, spec in pending:
+            hit = store.lookup(spec)
+            if hit is not None:
+                results[index] = hit.replay(collect_events=collect_events)
+            else:
+                misses.append((index, spec))
+        pending = misses
+
     if workers is None:
-        workers = default_worker_count(len(specs))
-    workers = max(1, min(workers, len(specs)))
+        workers = default_worker_count(len(pending)) if pending else 1
+    workers = max(1, min(workers, max(len(pending), 1)))
+    run_events = collect_events or store is not None
 
-    if workers == 1:
-        results = [run_spec(spec, collect_events=collect_events) for spec in specs]
-        return BatchResult(results=results, workers=1)
+    if pending:
+        if workers == 1:
+            # run_spec's own store integration tees every run into the
+            # store as it finishes, so an interrupted batch keeps each
+            # completed run cached for the resume.
+            for index, spec in pending:
+                result = run_spec(spec, collect_events=run_events,
+                                  store=store, refresh=refresh)
+                if not collect_events:
+                    result.events = []
+                results[index] = result
+        else:
+            payloads = [
+                {"spec": spec.to_dict(), "collect_events": run_events}
+                for _, spec in pending
+            ]
+            context = _pool_context()
+            with context.Pool(processes=workers) as pool:
+                # imap (ordered) rather than map: results stream back as
+                # their runs finish, so each is cached incrementally from
+                # the coordinator — no two workers ever write one entry,
+                # and an interrupted batch keeps what it completed.
+                for (index, _), raw in zip(
+                    pending, pool.imap(_execute_spec_dict, payloads)
+                ):
+                    result = RunResult(
+                        spec=raw["spec"],
+                        metrics=raw["metrics"],
+                        timing=raw["timing"],
+                        events=raw["events"],
+                    )
+                    if store is not None:
+                        store.put_result(result)
+                    if not collect_events:
+                        result.events = []
+                    results[index] = result
 
-    payloads = [
-        {"spec": spec.to_dict(), "collect_events": collect_events}
-        for spec in specs
-    ]
-    context = _pool_context()
-    with context.Pool(processes=workers) as pool:
-        raw_results = pool.map(_execute_spec_dict, payloads)
-    results = [
-        RunResult(
-            spec=raw["spec"],
-            metrics=raw["metrics"],
-            timing=raw["timing"],
-            events=raw["events"],
-        )
-        for raw in raw_results
-    ]
-    return BatchResult(results=results, workers=workers)
+    return BatchResult(results=[r for r in results if r is not None],
+                       workers=workers)
 
 
 def _pool_context():

@@ -1,23 +1,34 @@
 """``python -m repro`` — the campaign command line.
 
-Five subcommands make the campaign subsystem usable without writing code:
+Subcommands make the campaign + grid subsystems usable without writing code:
 
 * ``list`` — show the built-in scenario registry,
-* ``run`` — execute one scenario, with ``--set key=value`` knob overrides,
-* ``batch`` — expand a parameter matrix over one or more scenarios and fan
-  the runs out across multiprocessing workers,
+* ``run`` — execute one scenario (registry name or ``--spec file.json``),
+  with ``--set key=value`` knob overrides,
+* ``batch`` — expand a parameter matrix over one or more scenarios (and/or a
+  ``--spec-dir`` of spec documents) and fan the runs out across
+  multiprocessing workers,
+* ``shard plan|run|merge`` — deterministically partition the expanded
+  matrix over N independent workers, execute one shard (streaming,
+  resumable from the result store), and reassemble shard outputs into the
+  exact single-host batch artifact set,
+* ``cache stats|gc|clear`` — inspect and maintain the grid result store,
 * ``compare`` — align two metrics JSON files key by key,
 * ``bench`` — kernel microbenchmarks + Table-2 S/R + campaign scenario
   timing, written to the ``BENCH_PR<n>.json`` perf-trend trajectory file.
 
-Every run can export its JSONL event stream and JSON metrics; ``batch``
-always writes both into the output directory.
+Caching: ``run``, ``batch`` and ``shard run`` consult the content-addressed
+result store rooted at ``--cache DIR`` (default: the ``REPRO_CACHE_DIR``
+environment variable).  A verified cache hit replays stored artifacts
+byte-identically instead of simulating; ``--no-cache`` skips the store
+entirely and ``--refresh`` re-simulates and overwrites the entries.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -30,7 +41,15 @@ from repro.campaign.registry import (
     scenario_names,
 )
 from repro.campaign.runner import run_spec
-from repro.campaign.spec import SpecError, parse_matrix_axis, parse_overrides
+from repro.campaign.spec import (
+    ScenarioSpec,
+    SpecError,
+    load_spec_dir,
+    load_spec_file,
+    parse_matrix_axis,
+    parse_overrides,
+)
+from repro.grid.store import GridError
 
 #: The default batch: every cheap built-in scenario crossed with two seeds,
 #: which expands to eight runs — a meaningful parallelism demo out of the box.
@@ -42,19 +61,128 @@ DEFAULT_BATCH_SCENARIOS = (
 )
 DEFAULT_BATCH_MATRIX = {"seed": [1, 2]}
 
+#: Environment variable naming the default result-store root.
+CACHE_ENV = "REPRO_CACHE_DIR"
+
+
+# ----------------------------------------------------------------------
+# Shared argument groups
+# ----------------------------------------------------------------------
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="grid result-store root consulted before simulating "
+        f"(default: ${CACHE_ENV} when set)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="never consult or fill the result store",
+    )
+    parser.add_argument(
+        "--refresh", action="store_true",
+        help="re-simulate even on a cache hit and overwrite the entry",
+    )
+
+
+def _add_selection_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario", dest="scenarios", action="append", default=[],
+        help="scenario to include (repeatable; default: "
+        + ", ".join(DEFAULT_BATCH_SCENARIOS) + ")",
+    )
+    parser.add_argument(
+        "--spec-dir", metavar="DIR", default=None,
+        help="also include every *.json ScenarioSpec document in DIR "
+        "(sorted by filename; runs keep their stated seeds and the default "
+        "seed matrix is disabled)",
+    )
+    parser.add_argument(
+        "--matrix", dest="matrix", action="append", default=[],
+        metavar="KEY=V1,V2,...",
+        help="parameter axis to sweep (repeatable; default: seed=1,2 "
+        "unless --spec-dir is given)",
+    )
+    parser.add_argument(
+        "--set", dest="overrides", action="append", default=[],
+        metavar="KEY=VALUE", help="override applied to every run",
+    )
+
+
+def _store_from_args(args: argparse.Namespace, required: bool = False):
+    """Build the ResultStore the cache flags describe (or ``None``)."""
+    if getattr(args, "no_cache", False):
+        if getattr(args, "refresh", False):
+            raise GridError("--refresh needs the cache; drop --no-cache")
+        return None
+    root = getattr(args, "cache", None) or os.environ.get(CACHE_ENV)
+    if root is None:
+        if required:
+            raise GridError(
+                f"no result store: pass --cache DIR or set ${CACHE_ENV}"
+            )
+        if getattr(args, "refresh", False):
+            raise GridError(
+                f"--refresh needs a result store: pass --cache DIR or set ${CACHE_ENV}"
+            )
+        return None
+    from repro.grid.store import ResultStore
+
+    return ResultStore(root)
+
+
+def _selected_specs(args: argparse.Namespace) -> List[ScenarioSpec]:
+    """Expand the selection flags into the sweep's global run list.
+
+    The expansion is deterministic in the flags alone — scenario order,
+    sorted spec-dir filenames, matrix key order — so every shard of a sweep
+    computes the identical list and the identical derived seeds.  Seed
+    derivation is per base: registry scenarios decorrelate their matrix
+    points with derived per-run seeds as always, while explicit spec
+    documents keep their stated seeds.
+    """
+    names: List[str] = list(args.scenarios)
+    file_specs: List[ScenarioSpec] = (
+        load_spec_dir(args.spec_dir) if args.spec_dir else []
+    )
+    if not names and not file_specs:
+        names = list(DEFAULT_BATCH_SCENARIOS)
+    matrix: Dict[str, List[Any]] = {}
+    for axis in args.matrix:
+        key, values = parse_matrix_axis(axis)
+        matrix[key] = values
+    if not matrix and not args.spec_dir:
+        matrix = dict(DEFAULT_BATCH_MATRIX)
+    overrides = parse_overrides(args.overrides) if args.overrides else None
+    if overrides:
+        _note_extra_overrides(overrides)
+    specs = plan_batch(names, matrix=matrix, overrides=overrides)
+    specs += plan_batch(file_specs, matrix=matrix, overrides=overrides,
+                        derive_seeds=False)
+    return specs
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="RTK-Spec TRON simulation campaigns: declarative scenario "
-        "specs, a parallel batch runner, and metrics/event export.",
+        "specs, a parallel batch runner, a content-addressed result cache, "
+        "cross-host sharding, and metrics/event export.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list the built-in scenarios")
+    subparsers.add_parser("list", help="list the built-in scenarios") \
+        .set_defaults(handler=_cmd_list)
 
     run_parser = subparsers.add_parser("run", help="run one scenario")
-    run_parser.add_argument("scenario", help="registry scenario name")
+    run_parser.set_defaults(handler=_cmd_run)
+    run_parser.add_argument(
+        "scenario", nargs="?", default=None,
+        help="registry scenario name (or use --spec)",
+    )
+    run_parser.add_argument(
+        "--spec", metavar="PATH", default=None,
+        help="load the scenario from a ScenarioSpec JSON document",
+    )
     run_parser.add_argument(
         "--set", dest="overrides", action="append", default=[],
         metavar="KEY=VALUE", help="override a spec field or extra knob",
@@ -65,24 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(bounded memory; '-' streams to stdout)",
     )
     run_parser.add_argument("--metrics-out", help="write the metrics JSON here")
+    _add_cache_args(run_parser)
 
     batch_parser = subparsers.add_parser(
         "batch", help="expand a parameter matrix and run it in parallel"
     )
-    batch_parser.add_argument(
-        "--scenario", dest="scenarios", action="append", default=[],
-        help="scenario to include (repeatable; default: "
-        + ", ".join(DEFAULT_BATCH_SCENARIOS) + ")",
-    )
-    batch_parser.add_argument(
-        "--matrix", dest="matrix", action="append", default=[],
-        metavar="KEY=V1,V2,...",
-        help="parameter axis to sweep (repeatable; default: seed=1,2)",
-    )
-    batch_parser.add_argument(
-        "--set", dest="overrides", action="append", default=[],
-        metavar="KEY=VALUE", help="override applied to every run",
-    )
+    batch_parser.set_defaults(handler=_cmd_batch)
+    _add_selection_args(batch_parser)
     batch_parser.add_argument(
         "--workers", type=int, default=None,
         help="worker processes (default: one per core, at least 2)",
@@ -96,10 +213,78 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument(
         "--no-events", action="store_true", help="skip the per-run event streams"
     )
+    _add_cache_args(batch_parser)
+
+    shard_parser = subparsers.add_parser(
+        "shard", help="partition a sweep across hosts: plan, run one shard, merge"
+    )
+    shard_subparsers = shard_parser.add_subparsers(
+        dest="shard_command", required=True
+    )
+
+    shard_plan = shard_subparsers.add_parser(
+        "plan", help="print the run list one shard of the sweep executes"
+    )
+    shard_plan.set_defaults(handler=_cmd_shard_plan)
+    shard_plan.add_argument("--shards", type=int, required=True,
+                            help="total number of shards")
+    shard_plan.add_argument("--index", type=int, required=True,
+                            help="this shard's index (0-based)")
+    _add_selection_args(shard_plan)
+    shard_plan.add_argument(
+        "--json", action="store_true",
+        help="emit the shard's runs as JSON Lines ({index, spec}) for scripting",
+    )
+
+    shard_run = shard_subparsers.add_parser(
+        "run", help="execute one shard, streaming per-run JSONL event files"
+    )
+    shard_run.set_defaults(handler=_cmd_shard_run)
+    shard_run.add_argument("--shards", type=int, required=True)
+    shard_run.add_argument("--index", type=int, required=True)
+    _add_selection_args(shard_run)
+    shard_run.add_argument(
+        "--out", default=None,
+        help="shard output directory (default: shard_<index>_of_<shards>)",
+    )
+    _add_cache_args(shard_run)
+
+    shard_merge = shard_subparsers.add_parser(
+        "merge", help="reassemble shard outputs into the single-host batch artifacts"
+    )
+    shard_merge.set_defaults(handler=_cmd_shard_merge)
+    shard_merge.add_argument(
+        "shard_dirs", nargs="+", metavar="SHARD_DIR",
+        help="every shard's output directory",
+    )
+    shard_merge.add_argument("--out", required=True, help="merged output directory")
+    shard_merge.add_argument(
+        "--no-events", action="store_true",
+        help="merge metrics only, skip the event streams",
+    )
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect and maintain the grid result store"
+    )
+    cache_subparsers = cache_parser.add_subparsers(
+        dest="cache_command", required=True
+    )
+    for name, help_text, handler in (
+        ("stats", "entry counts, health and sizes of the store", _cmd_cache_stats),
+        ("gc", "drop stale/corrupt entries and staging residue", _cmd_cache_gc),
+        ("clear", "remove every entry from the store", _cmd_cache_clear),
+    ):
+        sub = cache_subparsers.add_parser(name, help=help_text)
+        sub.set_defaults(handler=handler)
+        sub.add_argument(
+            "--cache", metavar="DIR", default=None,
+            help=f"result-store root (default: ${CACHE_ENV} when set)",
+        )
 
     compare_parser = subparsers.add_parser(
         "compare", help="compare two metrics JSON files"
     )
+    compare_parser.set_defaults(handler=_cmd_compare)
     compare_parser.add_argument("left", help="baseline metrics JSON")
     compare_parser.add_argument("right", help="candidate metrics JSON")
 
@@ -108,6 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run kernel microbenchmarks + Table-2 S/R + scenario timing "
         "and write the perf-trend JSON",
     )
+    bench_parser.set_defaults(handler=_cmd_bench)
     bench_parser.add_argument(
         "--out", default=None, metavar="PATH",
         help="report file (default: BENCH_PR<n>.json of this checkout; "
@@ -147,20 +333,35 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    spec = get_scenario(args.scenario)
+    if (args.scenario is None) == (args.spec is None):
+        print("error: give exactly one of a scenario name or --spec PATH",
+              file=sys.stderr)
+        return 2
+    if args.spec is not None:
+        spec = load_spec_file(args.spec)
+    else:
+        spec = get_scenario(args.scenario)
     if args.overrides:
         overrides = parse_overrides(args.overrides)
         _note_extra_overrides(overrides)
         spec = spec.with_overrides(overrides).validate()
+    store = _store_from_args(args)
     if args.events_out:
         # Events are streamed live over the observability bus while the
         # simulation runs, never materialized in memory.
-        result = run_spec(spec, collect_events=False, events_stream=args.events_out)
+        result = run_spec(spec, collect_events=False,
+                          events_stream=args.events_out,
+                          store=store, refresh=args.refresh)
     else:
-        result = run_spec(spec)
+        result = run_spec(spec, store=store, refresh=args.refresh)
     print(_run_summary_table([result.metrics]))
     timing = result.timing
-    if timing.get("wall_clock_seconds") is not None:
+    if result.cached:
+        print(
+            f"cache hit: replayed stored artifacts in "
+            f"{timing['wall_clock_seconds']:.3f} s (no simulation)"
+        )
+    elif timing.get("wall_clock_seconds") is not None:
         print(
             f"wall clock R = {timing['wall_clock_seconds']:.3f} s   "
             f"R/S = {timing['r_over_s']:.3f}   S/R = {timing['s_over_r']:.2f}"
@@ -175,25 +376,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    scenarios: List[str] = args.scenarios or list(DEFAULT_BATCH_SCENARIOS)
-    matrix: Dict[str, List[Any]] = {}
-    for axis in args.matrix:
-        key, values = parse_matrix_axis(axis)
-        matrix[key] = values
-    if not matrix:
-        matrix = dict(DEFAULT_BATCH_MATRIX)
-    overrides = parse_overrides(args.overrides) if args.overrides else None
-
-    if overrides:
-        _note_extra_overrides(overrides)
-    specs = plan_batch(scenarios, matrix=matrix, overrides=overrides)
+    specs = _selected_specs(args)
+    store = _store_from_args(args)
     workers = 1 if args.serial else args.workers
     if workers is None:
         workers = default_worker_count(len(specs))
     workers = max(1, min(workers, len(specs)))
     print(f"batch: {len(specs)} runs on {workers} worker(s)")
 
-    batch = run_batch(specs, workers=workers, collect_events=not args.no_events)
+    batch = run_batch(specs, workers=workers,
+                      collect_events=not args.no_events,
+                      store=store, refresh=args.refresh)
     manifest = batch.write_outputs(args.out, include_events=not args.no_events)
 
     print(_run_summary_table([result.metrics for result in batch.results]))
@@ -204,9 +397,103 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"{aggregate['total'].get('preemptions', 0):.0f} preemptions, "
         f"{aggregate['total'].get('energy_mj', 0.0):.4f} mJ"
     )
+    if store is not None:
+        print(f"cache: {batch.cache_hits} hit(s), "
+              f"{len(batch.results) - batch.cache_hits} simulated")
     print(f"metrics -> {manifest['metrics']}")
     if not args.no_events:
         print(f"events  -> {len(manifest['events'])} JSONL files in {args.out}")
+    return 0
+
+
+def _cmd_shard_plan(args: argparse.Namespace) -> int:
+    from repro.grid.shard import plan_shard
+
+    specs = _selected_specs(args)
+    plan = plan_shard(specs, args.shards, args.index)
+    if args.json:
+        for global_index, spec in plan.runs:
+            print(json.dumps(
+                {"index": global_index, "spec": spec.to_dict()}, sort_keys=True
+            ))
+        return 0
+    rows = [
+        (global_index, spec.name, spec.kernel, spec.workload, spec.seed,
+         f"{spec.duration_ms:g}")
+        for global_index, spec in plan.runs
+    ]
+    print(
+        format_table(
+            ["#", "scenario", "kernel", "workload", "seed", "duration [ms]"],
+            rows,
+            title=f"Shard {plan.index}/{plan.shards}: "
+            f"{len(plan)} of {plan.total} runs",
+        )
+    )
+    return 0
+
+
+def _cmd_shard_run(args: argparse.Namespace) -> int:
+    from repro.grid.executor import run_shard
+    from repro.grid.shard import plan_shard
+
+    specs = _selected_specs(args)
+    plan = plan_shard(specs, args.shards, args.index)
+    out_dir = args.out or f"shard_{plan.index}_of_{plan.shards}"
+    store = _store_from_args(args)
+    print(f"shard {plan.index}/{plan.shards}: {len(plan)} of {plan.total} runs "
+          f"-> {out_dir}" + ("" if store is None else f"  (cache: {store.root})"))
+    document = run_shard(plan, out_dir, store=store, refresh=args.refresh)
+    print(_run_summary_table(
+        [entry["run"]["metrics"] for entry in document["runs"]]
+    ))
+    print(f"shard complete: {document['executed']} simulated, "
+          f"{document['cached']} from cache; metrics -> "
+          f"{os.path.join(out_dir, 'shard.json')}")
+    return 0
+
+
+def _cmd_shard_merge(args: argparse.Namespace) -> int:
+    from repro.grid.executor import merge_shards
+
+    manifest = merge_shards(
+        args.shard_dirs, args.out, include_events=not args.no_events
+    )
+    print(f"merged {manifest['runs']} runs from {manifest['shards']} shard(s)")
+    print(f"metrics   -> {manifest['metrics']}")
+    print(f"aggregate -> {manifest['aggregate']}")
+    if not args.no_events:
+        print(f"events    -> {len(manifest['events'])} JSONL files in {args.out}")
+    return 0
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    store = _store_from_args(args, required=True)
+    stats = store.stats()
+    print(f"store {stats['root']}")
+    print(f"  entries : {stats['entries']} "
+          f"({stats['valid']} valid, {stats['stale']} stale, "
+          f"{stats['corrupt']} corrupt)")
+    print(f"  size    : {stats['bytes']:,} bytes, "
+          f"{stats['events_lines']:,} stored events")
+    if stats["scenarios"]:
+        rows = sorted(stats["scenarios"].items())
+        print(format_table(["scenario", "entries"], rows, title="By scenario"))
+    return 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    store = _store_from_args(args, required=True)
+    swept = store.gc()
+    print(f"gc: removed {swept['removed']} unusable entr(y/ies), "
+          f"kept {swept['kept']}, cleared {swept['staging_removed']} staging file(s)")
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    store = _store_from_args(args, required=True)
+    removed = store.clear()
+    print(f"clear: removed {removed} entr(y/ies) from {store.root}")
     return 0
 
 
@@ -265,8 +552,6 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _note_extra_overrides(overrides: Dict[str, Any]) -> None:
     """Warn when a ``--set`` key is not a spec field (it becomes a workload
     knob, which is legitimate but also what a typo'd field name looks like)."""
-    from repro.campaign.spec import ScenarioSpec
-
     fields = set(ScenarioSpec.__dataclass_fields__) - {"extra"}
     for key in overrides:
         if key not in fields:
@@ -275,13 +560,29 @@ def _note_extra_overrides(overrides: Dict[str, Any]) -> None:
 
 
 def _load_comparable(path: str) -> Dict[str, Any]:
-    """Reduce a metrics file (single run or batch aggregate) to one dict."""
+    """Reduce a metrics file (single run or batch aggregate) to one dict.
+
+    Missing files surface as ``OSError`` and malformed JSON as
+    ``JSONDecodeError`` (both turned into one-line errors by ``main``); a
+    JSON document that is not a metrics-shaped object raises
+    :class:`GridError` instead of tracebacking downstream.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         document = json.load(handle)
+    if not isinstance(document, dict):
+        raise GridError(
+            f"{path!r} is not a metrics document (expected a JSON object, "
+            f"got {type(document).__name__})"
+        )
     if "aggregate" in document:
         return {"aggregate": document["aggregate"]}
     if "metrics" in document:
-        return document["metrics"]
+        metrics = document["metrics"]
+        if not isinstance(metrics, dict):
+            raise GridError(
+                f"{path!r} is not a metrics document ('metrics' is not an object)"
+            )
+        return metrics
     return document
 
 
@@ -313,16 +614,12 @@ def _run_summary_table(metrics_list: List[Dict[str, Any]]) -> str:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    handlers = {
-        "list": _cmd_list,
-        "run": _cmd_run,
-        "batch": _cmd_batch,
-        "compare": _cmd_compare,
-        "bench": _cmd_bench,
-    }
     try:
-        return handlers[args.command](args)
+        return args.handler(args)
     except SpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except GridError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except OSError as error:

@@ -33,6 +33,10 @@ class RunResult:
     #: Events written by a live JSONL stream during the run (bounded-memory
     #: mode); ``events`` stays empty in that case.
     events_streamed: int = 0
+    #: Whether this result was replayed from the grid result store instead
+    #: of simulated.  Never part of the deterministic document — a cached
+    #: replay is byte-identical to the fresh run it stands in for.
+    cached: bool = False
 
     # ------------------------------------------------------------------
     # Serialization

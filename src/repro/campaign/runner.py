@@ -80,16 +80,36 @@ def run_spec(
     collect_events: bool = True,
     events_stream: "Optional[Union[str, IO[str]]]" = None,
     sinks: Sequence[Any] = (),
+    store: Optional[Any] = None,
+    refresh: bool = False,
 ) -> RunResult:
     """Run one scenario and return its structured result.
+
+    With a grid :class:`~repro.grid.store.ResultStore` attached via *store*,
+    the run is served from the cache when a verified entry for the spec
+    exists: stored metrics and the stored JSONL stream are replayed
+    byte-identically through the requested output mode and no simulation
+    happens (``result.cached`` is ``True``).  On a miss — or always, with
+    ``refresh=True`` — the run executes normally while a staging
+    ``JsonlStreamSink`` tees the live event stream into the store, and the
+    finished artifacts become the new entry.  Caller *sinks* want the live
+    bus, so providing any disables the cache lookup for that call.
 
     A caller-owned current simulator is restored afterwards, so embedding a
     campaign run inside an interactive session is safe; with no caller
     simulator the class-level slot is left cleanly reset.
     """
     spec.validate()
+    if store is not None and not refresh and not sinks:
+        hit = store.lookup(spec)
+        if hit is not None:
+            return hit.replay(
+                collect_events=collect_events, events_stream=events_stream
+            )
     prior = Simulator._current
     stream_sink: Optional[JsonlStreamSink] = None
+    staging_sink: Optional[JsonlStreamSink] = None
+    staging_path: Optional[str] = None
     try:
         build = build_scenario(spec)
         bus = build.simulator.obs
@@ -107,6 +127,12 @@ def run_spec(
         elif collect_events:
             collector = ListSink(topics=("sched",))
             bus.subscribe(collector, ("sched",))
+        if store is not None:
+            # Tee the live stream into the store's staging area so the new
+            # cache entry holds the exact bytes a streamed run would emit.
+            staging_path = store.staging_events_path(store.key_of(spec))
+            staging_sink = JsonlStreamSink(staging_path, topics=("sched",))
+            bus.subscribe(staging_sink, ("sched",))
         for sink in sinks:
             bus.subscribe(sink)
         # Replay the pre-subscription events through the topic so every
@@ -140,9 +166,15 @@ def run_spec(
         events = collector.to_dicts() if collector is not None else []
         for sink in sinks:
             bus.unsubscribe(sink)
+        if staging_sink is not None:
+            staging_sink.close()
+            store.put(spec.to_dict(), metrics, events_path=staging_path)
+            staging_sink = None
     finally:
         if stream_sink is not None:
             stream_sink.close()
+        if staging_sink is not None:  # run failed before the entry was stored
+            staging_sink.close()
         Simulator.reset()
         if prior is not None:
             Simulator._current = prior

@@ -16,10 +16,15 @@ per-run seed derived from the base seed and the run's position.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import json
+import os
 import zlib
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.bus import canonical_json
 
 #: Kernel models a scenario can run on.
 KERNELS = ("tkernel", "rtkspec1", "rtkspec2")
@@ -186,6 +191,72 @@ class ScenarioSpec:
         if extra:
             spec.extra = {**self.extra, **extra}
         return spec
+
+
+# ----------------------------------------------------------------------
+# Content addressing
+# ----------------------------------------------------------------------
+def spec_hash_from_document(document: Mapping[str, Any]) -> str:
+    """SHA-256 of the canonical JSON of a spec document.
+
+    This is the grid result store's cache key: two specs hash identically
+    exactly when their ``to_dict`` forms are equal, on every host and in
+    every process.  The canonical encoder (sorted keys, tight separators) is
+    the same one behind the metrics/event files, so the key contract cannot
+    drift from the artifact contract.
+    """
+    return hashlib.sha256(canonical_json(document).encode("utf-8")).hexdigest()
+
+
+def spec_hash(spec: "ScenarioSpec") -> str:
+    """SHA-256 cache key of a scenario spec (see :func:`spec_hash_from_document`)."""
+    return spec_hash_from_document(spec.to_dict())
+
+
+# ----------------------------------------------------------------------
+# Spec documents on disk
+# ----------------------------------------------------------------------
+def load_spec_file(path: str) -> ScenarioSpec:
+    """Load and validate one ``ScenarioSpec`` JSON document from *path*.
+
+    The file holds the ``to_dict`` form of a spec (a batch metrics file's
+    ``spec`` section works verbatim).  Anything that is not a valid spec —
+    unreadable file, malformed JSON, a non-object document, unknown fields,
+    inconsistent knobs — raises :class:`SpecError` with a one-line message.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as error:
+        raise SpecError(f"cannot read spec file {path!r}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise SpecError(f"spec file {path!r} is not valid JSON: {error}") from None
+    if not isinstance(document, Mapping):
+        raise SpecError(
+            f"spec file {path!r} must hold a JSON object, got "
+            f"{type(document).__name__}"
+        )
+    try:
+        return ScenarioSpec.from_dict(document).validate()
+    except SpecError as error:
+        raise SpecError(f"spec file {path!r}: {error}") from None
+
+
+def load_spec_dir(directory: str) -> List[ScenarioSpec]:
+    """Load every ``*.json`` spec document under *directory*, sorted by name.
+
+    Sorting makes the resulting run order (and therefore derived seeds and
+    shard assignments) independent of filesystem enumeration order.
+    """
+    try:
+        names = sorted(
+            name for name in os.listdir(directory) if name.endswith(".json")
+        )
+    except OSError as error:
+        raise SpecError(f"cannot read spec directory {directory!r}: {error}") from None
+    if not names:
+        raise SpecError(f"spec directory {directory!r} has no *.json documents")
+    return [load_spec_file(os.path.join(directory, name)) for name in names]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,45 @@
+"""``repro.grid`` — never-recompute, scale-out sweep infrastructure.
+
+Two halves turn the single-host campaign batch engine into a grid:
+
+* the **result store** (:mod:`repro.grid.store`) — a content-addressed
+  on-disk cache keyed on the SHA-256 of the canonical spec JSON, holding
+  each run's deterministic metrics, its JSONL event stream and an
+  integrity manifest (schema + producing-code fingerprint + artifact
+  digests).  ``run_spec`` and ``run_batch`` consult it: a verified hit
+  replays stored artifacts byte-identically instead of simulating.
+* the **shard planner + resumable executor** (:mod:`repro.grid.shard`,
+  :mod:`repro.grid.executor`) — deterministic round-robin partitioning of
+  an expanded matrix over N independent workers, per-shard streaming
+  execution that resumes from the store, and a merge that reassembles the
+  exact single-host batch artifact set (``aggregate.json`` byte-identical).
+
+CLI surface: ``python -m repro shard plan|run|merge`` and
+``python -m repro cache stats|gc|clear``; ``repro run``/``repro batch``
+take ``--cache DIR`` (or ``REPRO_CACHE_DIR``) with ``--no-cache`` /
+``--refresh`` escape hatches.
+"""
+
+from repro.grid.executor import SHARD_SCHEMA, merge_shards, run_shard
+from repro.grid.shard import ShardPlan, plan_all_shards, plan_shard
+from repro.grid.store import (
+    STORE_SCHEMA,
+    GridError,
+    ResultStore,
+    StoredResult,
+    code_fingerprint,
+)
+
+__all__ = [
+    "GridError",
+    "ResultStore",
+    "SHARD_SCHEMA",
+    "STORE_SCHEMA",
+    "ShardPlan",
+    "StoredResult",
+    "code_fingerprint",
+    "merge_shards",
+    "plan_all_shards",
+    "plan_shard",
+    "run_shard",
+]

@@ -1,0 +1,221 @@
+"""Execute one shard of a sweep and merge shard outputs back together.
+
+The executor is the worker half of the grid: given a :class:`ShardPlan` it
+runs each assigned spec, streaming the run's ``sched`` events through a
+:class:`~repro.obs.sinks.JsonlStreamSink` straight into the per-run artifact
+file (bounded memory — exactly the ROADMAP's sharding recipe: workers
+stream JSONL per shard, the coordinator concatenates).  Artifact names
+carry the *global* run index, so :func:`merge_shards` reassembles a sweep
+by pure file collection.
+
+Resumability comes from the result store: every run goes through
+:func:`~repro.campaign.runner.run_spec` with the shard's store attached, so
+a shard that was interrupted and restarted replays its completed runs from
+cache and only simulates the remainder.  A second pass over an untouched
+sweep therefore executes zero simulations.
+
+Each shard directory holds a ``shard.json`` document (schema
+:data:`SHARD_SCHEMA`): the shard geometry, per-run deterministic metrics
+documents keyed by global index, timing, and cache accounting.  The merge
+validates the geometry (same shard count and sweep size everywhere, every
+global index present exactly once) and then writes the same artifacts a
+single-host batch writes — ``metrics.json``, ``aggregate.json`` and the
+per-run event streams — with ``aggregate.json`` byte-identical to the
+batch's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.campaign.batch import run_events_filename
+from repro.campaign.metrics import aggregate_metrics
+from repro.campaign.runner import run_spec
+from repro.grid.shard import ShardPlan
+from repro.grid.store import GridError, ResultStore
+from repro.obs.bus import canonical_json
+
+#: Schema identifier of the ``shard.json`` document.
+SHARD_SCHEMA = "repro-grid-shard/1"
+
+#: Name of the per-shard metrics document inside a shard output directory.
+SHARD_DOCUMENT = "shard.json"
+
+
+def run_shard(
+    plan: ShardPlan,
+    out_dir: str,
+    store: Optional[ResultStore] = None,
+    refresh: bool = False,
+    progress: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Execute *plan*, writing per-run event streams and ``shard.json``.
+
+    Runs execute serially within the shard — sharding itself is the
+    parallelism (one shard per host/process); within one shard, serial
+    streaming keeps memory bounded and makes resume granularity one run.
+    *progress*, if given, is called as ``progress(global_index, result)``
+    after each run.  Returns the shard document.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    entries: List[Dict[str, Any]] = []
+    executed = cached = 0
+    for global_index, spec in plan.runs:
+        events_name = run_events_filename(global_index, spec.name)
+        result = run_spec(
+            spec,
+            collect_events=False,
+            events_stream=os.path.join(out_dir, events_name),
+            store=store,
+            refresh=refresh,
+        )
+        if result.cached:
+            cached += 1
+        else:
+            executed += 1
+        entries.append({
+            "index": global_index,
+            "scenario": spec.name,
+            "events": events_name,
+            "events_streamed": result.events_streamed,
+            "cached": result.cached,
+            "run": result.metrics_document(),
+            "timing": result.timing,
+        })
+        if progress is not None:
+            progress(global_index, result)
+    document = {
+        "schema": SHARD_SCHEMA,
+        "shards": plan.shards,
+        "index": plan.index,
+        "total": plan.total,
+        "executed": executed,
+        "cached": cached,
+        "runs": entries,
+    }
+    with open(os.path.join(out_dir, SHARD_DOCUMENT), "w", encoding="utf-8") as handle:
+        handle.write(canonical_json(document))
+        handle.write("\n")
+    return document
+
+
+# ----------------------------------------------------------------------
+# Merge
+# ----------------------------------------------------------------------
+def _load_shard_document(shard_dir: str) -> Dict[str, Any]:
+    """Read and structurally validate one shard's ``shard.json``."""
+    path = os.path.join(shard_dir, SHARD_DOCUMENT)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as error:
+        raise GridError(f"cannot read shard metrics file {path!r}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise GridError(f"corrupt shard metrics file {path!r}: {error}") from None
+    if not isinstance(document, dict) or document.get("schema") != SHARD_SCHEMA:
+        raise GridError(
+            f"{path!r} is not a shard metrics document "
+            f"(expected schema {SHARD_SCHEMA!r})"
+        )
+    for key in ("shards", "index", "total", "runs"):
+        if key not in document:
+            raise GridError(f"shard metrics file {path!r} is missing {key!r}")
+    return document
+
+
+def merge_shards(
+    shard_dirs: Sequence[str],
+    out_dir: str,
+    include_events: bool = True,
+) -> Dict[str, Any]:
+    """Reassemble shard outputs into the single-host batch artifact set.
+
+    Validates that the shard documents describe one sweep (identical shard
+    count and total), that every global run index of the sweep is present
+    exactly once, and that every referenced event stream exists — any
+    violation raises :class:`GridError` with a one-line message.  Writes
+    ``metrics.json``, ``aggregate.json`` and the per-run event streams into
+    *out_dir*; ``aggregate.json`` is byte-identical to the one a
+    single-host ``repro batch`` over the same matrix writes.
+    """
+    if not shard_dirs:
+        raise GridError("no shard directories to merge")
+    documents = [(d, _load_shard_document(d)) for d in shard_dirs]
+
+    shards = documents[0][1]["shards"]
+    total = documents[0][1]["total"]
+    for shard_dir, document in documents:
+        if document["shards"] != shards or document["total"] != total:
+            raise GridError(
+                f"shard geometry mismatch: {shard_dir!r} describes "
+                f"{document['shards']} shard(s) over {document['total']} runs, "
+                f"expected {shards} over {total}"
+            )
+
+    by_index: Dict[int, Dict[str, Any]] = {}
+    source_dirs: Dict[int, str] = {}
+    for shard_dir, document in documents:
+        for entry in document["runs"]:
+            index = entry["index"]
+            if index in by_index:
+                raise GridError(
+                    f"run index {index} appears in both "
+                    f"{source_dirs[index]!r} and {shard_dir!r}"
+                )
+            by_index[index] = entry
+            source_dirs[index] = shard_dir
+    missing = [index for index in range(total) if index not in by_index]
+    if missing:
+        raise GridError(
+            f"sweep is incomplete: missing run indices {missing} "
+            f"({len(by_index)} of {total} runs present — merge every shard)"
+        )
+
+    os.makedirs(out_dir, exist_ok=True)
+    ordered = [by_index[index] for index in range(total)]
+    event_paths: List[str] = []
+    if include_events:
+        for entry in ordered:
+            source = os.path.join(source_dirs[entry["index"]], entry["events"])
+            if not os.path.isfile(source):
+                raise GridError(f"missing event stream {source!r}")
+            destination = os.path.join(out_dir, entry["events"])
+            if os.path.abspath(source) != os.path.abspath(destination):
+                shutil.copyfile(source, destination)
+            event_paths.append(destination)
+
+    runs = [entry["run"] for entry in ordered]
+    deterministic = {
+        "campaign": {
+            "runs": total,
+            "scenarios": [run["metrics"]["scenario"] for run in runs],
+        },
+        "runs": runs,
+        "aggregate": aggregate_metrics(run["metrics"] for run in runs),
+    }
+    document = dict(deterministic)
+    document["timing"] = {
+        "shards": shards,
+        "executed": sum(doc["executed"] for _, doc in documents),
+        "cached": sum(doc["cached"] for _, doc in documents),
+        "per_run": [entry["timing"] for entry in ordered],
+    }
+
+    metrics_path = os.path.join(out_dir, "metrics.json")
+    with open(metrics_path, "w", encoding="utf-8") as handle:
+        handle.write(canonical_json(document))
+        handle.write("\n")
+    aggregate_path = os.path.join(out_dir, "aggregate.json")
+    with open(aggregate_path, "w", encoding="utf-8") as handle:
+        handle.write(canonical_json(deterministic))
+        handle.write("\n")
+    return {
+        "metrics": metrics_path,
+        "aggregate": aggregate_path,
+        "events": event_paths,
+        "runs": total,
+        "shards": shards,
+    }

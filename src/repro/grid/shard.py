@@ -1,0 +1,63 @@
+"""Deterministic sharding of an expanded campaign matrix.
+
+Scale-out across hosts needs no coordinator: every worker expands the same
+scenario selection (same scenarios, same matrix, same overrides — therefore
+the same global run order and the same derived per-run seeds) and takes the
+slice :func:`plan_shard` deterministically assigns to its index.  Runs keep
+their *global* index through execution and into artifact names, so a merge
+is a pure reassembly and the aggregate is byte-identical to a single-host
+batch over the full matrix.
+
+Partitioning is round-robin (``global_index % shards == shard_index``):
+every shard count yields a balanced split (sizes differ by at most one) and
+adjacent matrix points — often the most expensive neighbours, e.g. a swept
+``task_count`` axis — spread across shards instead of clumping on one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.campaign.spec import ScenarioSpec
+from repro.grid.store import GridError
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One shard's slice of a sweep: (global index, spec) pairs."""
+
+    #: Total number of shards the sweep is split into.
+    shards: int
+    #: This shard's index, ``0 <= index < shards``.
+    index: int
+    #: Total runs in the full (unsharded) sweep.
+    total: int
+    #: This shard's runs, ascending by global index.
+    runs: Tuple[Tuple[int, ScenarioSpec], ...]
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+
+def plan_shard(
+    specs: Sequence[ScenarioSpec], shards: int, index: int
+) -> ShardPlan:
+    """The slice of *specs* that shard *index* of *shards* executes."""
+    if shards < 1:
+        raise GridError(f"shard count must be at least 1, got {shards}")
+    if not 0 <= index < shards:
+        raise GridError(
+            f"shard index must be in [0, {shards - 1}], got {index}"
+        )
+    runs = tuple(
+        (global_index, spec)
+        for global_index, spec in enumerate(specs)
+        if global_index % shards == index
+    )
+    return ShardPlan(shards=shards, index=index, total=len(specs), runs=runs)
+
+
+def plan_all_shards(specs: Sequence[ScenarioSpec], shards: int) -> List[ShardPlan]:
+    """Every shard's plan — the planner's view of the whole sweep."""
+    return [plan_shard(specs, shards, index) for index in range(shards)]

@@ -1,0 +1,457 @@
+"""The content-addressed result store: never simulate the same spec twice.
+
+Every campaign run is a pure function of its :class:`ScenarioSpec` — metrics
+and the JSONL event stream are deterministic by construction (the batch
+engine's parallel == serial guarantee rests on exactly that).  The store
+exploits it: results are cached on disk under the SHA-256 of the canonical
+spec JSON (:func:`repro.campaign.spec.spec_hash`), so a sweep that was
+interrupted, repeated, re-sharded or re-run on another host replays stored
+artifacts byte-identically instead of re-simulating.
+
+Layout (two-level fan-out keeps directories small at millions of entries)::
+
+    <root>/
+      .staging/                 in-flight artifacts (atomically renamed in)
+      ab/ab12…ef/               one entry per spec hash
+        manifest.json           schema, spec hash, code fingerprint, digests
+        metrics.json            canonical deterministic metrics document
+        events.jsonl            the run's sched-topic event stream
+
+Integrity: an entry is served only when its manifest parses, carries the
+current schema and *code fingerprint* (a digest of the ``repro`` package
+sources — results produced by different code never leak across versions),
+and the stored artifacts match their recorded SHA-256 digests.  Anything
+less — a truncated write, a poisoned file, a stale version — is a cache
+miss; the entry is recomputed and overwritten, and ``gc()`` sweeps it.
+
+Entries are written to ``.staging`` first and atomically renamed into
+place, so an interrupted sweep never leaves a half-entry that a resumed
+sweep could mistake for a result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import time
+from typing import Any, Dict, IO, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.campaign.metrics import RunResult
+from repro.campaign.spec import ScenarioSpec, spec_hash_from_document
+from repro.obs.bus import canonical_json
+from repro.obs.sinks import _open_target
+
+#: Schema identifier of store entries; bump on incompatible layout changes.
+STORE_SCHEMA = "repro-grid-store/1"
+
+
+class GridError(RuntimeError):
+    """A grid-layer failure that deserves a one-line CLI error, not a traceback."""
+
+
+# ----------------------------------------------------------------------
+# Code fingerprint
+# ----------------------------------------------------------------------
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Digest of every ``repro`` source file — the producing-code identity.
+
+    A cache entry records the fingerprint of the code that produced it;
+    lookups only serve entries whose fingerprint matches the running code,
+    so editing any simulator/campaign source invalidates stale results
+    instead of replaying them.  Computed once per process (~1 ms).
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        hasher = hashlib.sha256()
+        for dirpath, dirnames, filenames in os.walk(package_root):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for name in sorted(f for f in filenames if f.endswith(".py")):
+                path = os.path.join(dirpath, name)
+                relative = os.path.relpath(path, package_root)
+                hasher.update(relative.encode("utf-8"))
+                hasher.update(b"\0")
+                with open(path, "rb") as handle:
+                    hasher.update(handle.read())
+                hasher.update(b"\0")
+        _FINGERPRINT = hasher.hexdigest()
+    return _FINGERPRINT
+
+
+def _file_sha256(path: str) -> str:
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Stored results
+# ----------------------------------------------------------------------
+class StoredResult:
+    """A verified cache entry, ready to replay its artifacts."""
+
+    __slots__ = ("key", "entry_dir", "manifest")
+
+    def __init__(self, key: str, entry_dir: str, manifest: Dict[str, Any]):
+        self.key = key
+        self.entry_dir = entry_dir
+        self.manifest = manifest
+
+    @property
+    def metrics_path(self) -> str:
+        return os.path.join(self.entry_dir, "metrics.json")
+
+    @property
+    def events_path(self) -> str:
+        return os.path.join(self.entry_dir, "events.jsonl")
+
+    def metrics_document(self) -> Dict[str, Any]:
+        """The stored deterministic metrics document (``{"spec", "metrics"}``)."""
+        with open(self.metrics_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """The stored event stream as JSON documents."""
+        with open(self.events_path, "r", encoding="utf-8") as handle:
+            return [json.loads(line) for line in handle if line.strip()]
+
+    def stream_events_to(self, target: "Union[str, IO[str]]") -> int:
+        """Copy the stored JSONL stream to *target* byte for byte.
+
+        *target* follows the sink convention: a path, ``"-"`` for stdout or
+        an open text stream.  Returns the number of lines written.
+        """
+        stream, owns_stream = _open_target(target)
+        lines = 0
+        try:
+            with open(self.events_path, "r", encoding="utf-8") as source:
+                for line in source:
+                    stream.write(line)
+                    lines += 1
+            stream.flush()
+        finally:
+            if owns_stream:
+                stream.close()
+        return lines
+
+    def gantt(self, name: str = "gantt"):
+        """Rebuild the run's Gantt chart from the stored stream (no re-sim)."""
+        from repro.core.gantt import GanttChart
+        from repro.obs.replay import read_events_jsonl
+
+        return GanttChart.from_events(read_events_jsonl(self.events_path), name=name)
+
+    def replay(
+        self,
+        collect_events: bool = True,
+        events_stream: "Optional[Union[str, IO[str]]]" = None,
+    ) -> RunResult:
+        """Reconstruct the :class:`RunResult` this entry was produced from.
+
+        Mirrors :func:`repro.campaign.runner.run_spec`'s output modes: with
+        *events_stream* the stored JSONL is copied to the target (and
+        ``events`` stays empty); otherwise *collect_events* loads the stream
+        into memory.  The ``timing`` section carries ``cached: True`` plus
+        the replay wall clock — speed measures (R, S/R) are host facts about
+        a simulation that did not happen here, so they are ``None``.
+        """
+        start = time.perf_counter()
+        document = self.metrics_document()
+        events: List[Dict[str, Any]] = []
+        events_streamed = 0
+        if events_stream is not None:
+            events_streamed = self.stream_events_to(events_stream)
+        elif collect_events:
+            events = self.events()
+        timing = {
+            "cached": True,
+            "wall_clock_seconds": time.perf_counter() - start,
+            "r_over_s": None,
+            "s_over_r": None,
+        }
+        return RunResult(
+            spec=document["spec"],
+            metrics=document["metrics"],
+            timing=timing,
+            events=events,
+            events_streamed=events_streamed,
+            cached=True,
+        )
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+class ResultStore:
+    """Content-addressed on-disk cache of campaign run results."""
+
+    def __init__(self, root: str, fingerprint: Optional[str] = None):
+        self.root = os.path.abspath(root)
+        self.fingerprint = fingerprint or code_fingerprint()
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- paths -------------------------------------------------------------
+    def entry_dir(self, key: str) -> str:
+        """Directory of the entry for cache key *key*."""
+        return os.path.join(self.root, key[:2], key)
+
+    def _staging_dir(self) -> str:
+        staging = os.path.join(self.root, ".staging")
+        os.makedirs(staging, exist_ok=True)
+        return staging
+
+    def staging_events_path(self, key: str) -> str:
+        """A staging path for streaming events during a run.
+
+        Unique per (key, process) so two processes simulating the same spec
+        against one store can never interleave writes; whichever ``put``
+        lands last wins the entry, atomically.
+        """
+        return os.path.join(
+            self._staging_dir(), f"{key}.{os.getpid()}.events.jsonl"
+        )
+
+    # -- lookup ------------------------------------------------------------
+    def lookup(self, spec: "Union[ScenarioSpec, Mapping[str, Any]]") -> Optional[StoredResult]:
+        """The verified entry for *spec*, or ``None`` on any kind of miss.
+
+        A miss is silent whether the entry is absent, stale (other code
+        fingerprint or schema) or corrupt (unparseable manifest, artifact
+        digest mismatch) — the caller's job is simply to recompute;
+        ``stats()``/``gc()`` report and sweep the bad entries.
+        """
+        return self.lookup_key(self.key_of(spec))
+
+    def lookup_key(self, key: str) -> Optional[StoredResult]:
+        """Like :meth:`lookup` but addressed by the cache key directly."""
+        entry_dir = self.entry_dir(key)
+        manifest = self._verified_manifest(key, entry_dir)
+        if manifest is None:
+            return None
+        return StoredResult(key, entry_dir, manifest)
+
+    def key_of(self, spec: "Union[ScenarioSpec, Mapping[str, Any]]") -> str:
+        """The cache key of a spec (object or ``to_dict`` document)."""
+        document = spec.to_dict() if isinstance(spec, ScenarioSpec) else dict(spec)
+        return spec_hash_from_document(document)
+
+    def _verified_manifest(self, key: str, entry_dir: str) -> Optional[Dict[str, Any]]:
+        manifest_path = os.path.join(entry_dir, "manifest.json")
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(manifest, dict):
+            return None
+        if manifest.get("schema") != STORE_SCHEMA:
+            return None
+        if manifest.get("spec_hash") != key:
+            return None
+        if manifest.get("fingerprint") != self.fingerprint:
+            return None
+        for artifact, digest_key in (
+            ("metrics.json", "metrics_sha256"),
+            ("events.jsonl", "events_sha256"),
+        ):
+            path = os.path.join(entry_dir, artifact)
+            try:
+                if _file_sha256(path) != manifest.get(digest_key):
+                    return None
+            except OSError:
+                return None
+        return manifest
+
+    # -- writing -----------------------------------------------------------
+    def put(
+        self,
+        spec_document: Mapping[str, Any],
+        metrics: Mapping[str, Any],
+        events: Optional[Iterable[Mapping[str, Any]]] = None,
+        events_path: Optional[str] = None,
+    ) -> StoredResult:
+        """Store one run's deterministic artifacts; returns the new entry.
+
+        The event stream comes either as in-memory documents (*events*) or
+        as an already-written JSONL file (*events_path*, consumed — moved
+        into the entry).  Both spellings produce identical bytes because the
+        canonical encoder is shared with the live streaming sink.  An
+        existing entry for the same key is atomically replaced.
+        """
+        if (events is None) == (events_path is None):
+            raise ValueError("put() needs exactly one of events / events_path")
+        key = spec_hash_from_document(spec_document)
+        staging = os.path.join(self._staging_dir(), f"{key}.{os.getpid()}.entry")
+        if os.path.isdir(staging):
+            shutil.rmtree(staging)
+        os.makedirs(staging)
+
+        metrics_path = os.path.join(staging, "metrics.json")
+        with open(metrics_path, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(
+                {"spec": dict(spec_document), "metrics": dict(metrics)}
+            ))
+            handle.write("\n")
+
+        staged_events = os.path.join(staging, "events.jsonl")
+        if events_path is not None:
+            # shutil.move rather than os.replace: the caller's file may live
+            # on another filesystem than the store.
+            shutil.move(events_path, staged_events)
+            with open(staged_events, "r", encoding="utf-8") as handle:
+                event_lines = sum(1 for _ in handle)
+        else:
+            event_lines = 0
+            with open(staged_events, "w", encoding="utf-8") as handle:
+                for event in events:
+                    handle.write(canonical_json(event))
+                    handle.write("\n")
+                    event_lines += 1
+
+        manifest = {
+            "schema": STORE_SCHEMA,
+            "spec_hash": key,
+            "scenario": spec_document.get("name", ""),
+            "fingerprint": self.fingerprint,
+            "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "events_lines": event_lines,
+            "events_bytes": os.path.getsize(staged_events),
+            "events_sha256": _file_sha256(staged_events),
+            "metrics_bytes": os.path.getsize(metrics_path),
+            "metrics_sha256": _file_sha256(metrics_path),
+        }
+        with open(os.path.join(staging, "manifest.json"), "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(manifest))
+            handle.write("\n")
+
+        entry_dir = self.entry_dir(key)
+        os.makedirs(os.path.dirname(entry_dir), exist_ok=True)
+        try:
+            # Atomic when no entry exists yet — the common case.
+            os.replace(staging, entry_dir)
+        except OSError:
+            # Replacing an existing entry, or a concurrent writer landed
+            # first.  Content addressing makes every winner equivalent, so
+            # clear and retry once; if another writer beats us again, keep
+            # theirs and drop our redundant staging copy.
+            shutil.rmtree(entry_dir, ignore_errors=True)
+            try:
+                os.replace(staging, entry_dir)
+            except OSError:
+                shutil.rmtree(staging, ignore_errors=True)
+        return StoredResult(key, entry_dir, manifest)
+
+    def put_result(self, result: RunResult) -> StoredResult:
+        """Store a finished :class:`RunResult` (must carry its events)."""
+        return self.put(result.spec, result.metrics, events=result.events)
+
+    # -- maintenance -------------------------------------------------------
+    def _entry_dirs(self) -> List[Tuple[str, str]]:
+        entries: List[Tuple[str, str]] = []
+        for prefix in sorted(os.listdir(self.root)):
+            if prefix.startswith(".") or not os.path.isdir(
+                os.path.join(self.root, prefix)
+            ):
+                continue
+            for key in sorted(os.listdir(os.path.join(self.root, prefix))):
+                path = os.path.join(self.root, prefix, key)
+                # Stray regular files (editor droppings, interrupted tools)
+                # are not entries; ignoring them keeps stats/gc/clear able
+                # to operate on — and repair — a damaged store.
+                if os.path.isdir(path):
+                    entries.append((key, path))
+        return entries
+
+    def stats(self) -> Dict[str, Any]:
+        """Inventory of the store: entry health, sizes, per-scenario counts."""
+        valid = stale = corrupt = 0
+        total_bytes = 0
+        events_lines = 0
+        scenarios: Dict[str, int] = {}
+        for key, entry_dir in self._entry_dirs():
+            for name in os.listdir(entry_dir):
+                try:
+                    total_bytes += os.path.getsize(os.path.join(entry_dir, name))
+                except OSError:
+                    pass
+            manifest = self._verified_manifest(key, entry_dir)
+            if manifest is not None:
+                valid += 1
+                events_lines += manifest.get("events_lines", 0)
+                scenario = manifest.get("scenario", "")
+                scenarios[scenario] = scenarios.get(scenario, 0) + 1
+                continue
+            # Distinguish "other code version" from "damaged": a manifest
+            # that parses and self-describes consistently but carries a
+            # different fingerprint/schema is stale, everything else corrupt.
+            try:
+                with open(os.path.join(entry_dir, "manifest.json"),
+                          "r", encoding="utf-8") as handle:
+                    raw = json.load(handle)
+                if isinstance(raw, dict) and raw.get("spec_hash") == key and (
+                    raw.get("fingerprint") != self.fingerprint
+                    or raw.get("schema") != STORE_SCHEMA
+                ):
+                    stale += 1
+                else:
+                    corrupt += 1
+            except (OSError, json.JSONDecodeError):
+                corrupt += 1
+        return {
+            "root": self.root,
+            "entries": valid + stale + corrupt,
+            "valid": valid,
+            "stale": stale,
+            "corrupt": corrupt,
+            "bytes": total_bytes,
+            "events_lines": events_lines,
+            "scenarios": dict(sorted(scenarios.items())),
+        }
+
+    def gc(self) -> Dict[str, int]:
+        """Drop unusable entries (stale or corrupt) and stray staging files."""
+        removed = kept = 0
+        for key, entry_dir in self._entry_dirs():
+            if self._verified_manifest(key, entry_dir) is None:
+                shutil.rmtree(entry_dir)
+                removed += 1
+            else:
+                kept += 1
+        staging = os.path.join(self.root, ".staging")
+        staging_removed = 0
+        if os.path.isdir(staging):
+            for name in os.listdir(staging):
+                path = os.path.join(staging, name)
+                if os.path.isdir(path):
+                    shutil.rmtree(path)
+                else:
+                    os.remove(path)
+                staging_removed += 1
+        # Empty fan-out directories left behind by removals.
+        for prefix in os.listdir(self.root):
+            path = os.path.join(self.root, prefix)
+            if not prefix.startswith(".") and os.path.isdir(path) and not os.listdir(path):
+                os.rmdir(path)
+        return {"removed": removed, "kept": kept, "staging_removed": staging_removed}
+
+    def clear(self) -> int:
+        """Remove every entry (and staging residue); returns entries removed."""
+        removed = 0
+        for _, entry_dir in self._entry_dirs():
+            shutil.rmtree(entry_dir)
+            removed += 1
+        self.gc()
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._entry_dirs())
+
+    def __repr__(self) -> str:
+        return f"ResultStore({self.root!r}, entries={len(self)})"

@@ -3,7 +3,8 @@
 One streaming event pipeline across the DES kernel, RTOS model, BFM and
 campaign layers.  See :mod:`repro.obs.bus` for the architecture and the
 zero-cost publishing contract, :mod:`repro.obs.sinks` for the consumption
-patterns.
+patterns, and :mod:`repro.obs.replay` for rebuilding events (and the Gantt
+chart) from stored JSONL streams without re-simulating.
 """
 
 from repro.obs.bus import (
@@ -22,6 +23,7 @@ from repro.obs.sinks import (
     Sink,
     VcdStreamSink,
 )
+from repro.obs.replay import event_from_dict, read_events_jsonl
 from repro.obs.vcd import vcd_identifier, vcd_value, vcd_var, vcd_width
 
 __all__ = [
@@ -31,6 +33,8 @@ __all__ = [
     "Topic",
     "canonical_json",
     "event_to_dict",
+    "event_from_dict",
+    "read_events_jsonl",
     "Sink",
     "ListSink",
     "RingBufferSink",

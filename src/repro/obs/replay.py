@@ -1,0 +1,85 @@
+"""Replay: turn stored JSONL event streams back into bus events.
+
+The streaming sinks serialize bus events into JSON documents
+(:func:`repro.obs.bus.event_to_dict`); this module is the inverse for the
+``sched`` topic, which is the stream the campaign layer persists.  Replaying
+matters for the grid result store: a cache hit must rebuild every derived
+report — above all the Gantt chart — from the stored artifacts instead of
+re-simulating::
+
+    from repro.core.gantt import GanttChart
+    from repro.obs.replay import read_events_jsonl
+
+    chart = GanttChart.from_events(read_events_jsonl("events.jsonl"))
+
+Round-trip contract: for any event the campaign stream writes,
+``event_from_dict(event_to_dict(e))`` reproduces ``e``'s topic, kind,
+timestamp and (for ``sched`` events) the field shape the Gantt sink
+consumes.  Timestamps are exact — ``t_ms`` is ``t_ns / 1e6`` and the
+round-trip ``round(t_ms * 1e6)`` recovers the integer nanosecond for any
+simulation time below ~2^52 ns (≈ 52 days), far beyond campaign horizons.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Iterator, Mapping, Union
+
+from repro.core.events import ExecutionContext
+from repro.obs.bus import Event
+
+
+def _ns(t_ms: float) -> int:
+    """Recover the integer nanosecond timestamp behind a ``t_ms`` field."""
+    return round(t_ms * 1_000_000)
+
+
+def event_from_dict(document: Mapping[str, Any]) -> Event:
+    """Rebuild a bus :class:`Event` from its serialized JSON document.
+
+    ``sched`` documents (no explicit ``topic`` key) are restored to the
+    exact in-process shape the publishers emit — ``exec`` slices get their
+    ``dur_ns`` and :class:`ExecutionContext` back — so sinks written against
+    the live stream (``GanttChart``, counters, ring buffers) consume replayed
+    streams unchanged.  Documents of other topics keep their payload fields
+    as serialized.
+    """
+    topic = document.get("topic", "sched")
+    kind = document["kind"]
+    t_ns = _ns(document["t_ms"])
+    if topic == "sched":
+        if kind == "exec":
+            return Event("sched", "exec", t_ns, {
+                "thread": document["thread"],
+                "dur_ns": _ns(document["dur_ms"]),
+                "context": ExecutionContext(document["context"]),
+                "energy_nj": document["energy_nj"],
+                "label": document["label"],
+            })
+        return Event("sched", kind, t_ns, {"thread": document["thread"]})
+    fields: Dict[str, Any] = {
+        key: value for key, value in document.items()
+        if key not in ("topic", "kind", "t_ms")
+    }
+    return Event(topic, kind, t_ns, fields)
+
+
+def read_events_jsonl(source: Union[str, IO[str]]) -> Iterator[Event]:
+    """Stream bus events out of a JSONL file (path or open text stream).
+
+    Blank lines are skipped; anything else must be one serialized event per
+    line, as written by :class:`~repro.obs.sinks.JsonlStreamSink` or
+    :meth:`~repro.campaign.metrics.RunResult.write_events`.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            yield from _decode_lines(handle)
+    else:
+        yield from _decode_lines(source)
+
+
+def _decode_lines(handle: IO[str]) -> Iterator[Event]:
+    for line in handle:
+        line = line.strip()
+        if line:
+            yield event_from_dict(json.loads(line))

@@ -10,6 +10,9 @@ behind.  This module produces that data point:
   ready-queue operations of the bitmap :class:`PriorityScheduler`.
 * **Table-2 S/R** — the co-simulation speed measure regenerated through
   :mod:`repro.analysis.speed` at a short reference window.
+* **Grid cached-vs-fresh timing** — one scenario simulated into a throwaway
+  result store, then replayed from it; the report records both wall clocks
+  and the speedup (the PR-4 never-recompute claim).
 * **Campaign scenario timing** — every (cheap) registry scenario run through
   :func:`repro.campaign.runner.run_spec` with a
   :class:`~repro.obs.sinks.CounterSink` subscribed to the ``campaign`` and
@@ -45,7 +48,7 @@ BENCH_SCHEMA = "repro-bench/1"
 
 #: The PR this checkout's trajectory file belongs to; bumped by each PR that
 #: records a new data point.
-CURRENT_PR = 3
+CURRENT_PR = 4
 
 #: Scenarios cheap enough to run on every ``repro bench`` invocation.
 DEFAULT_SCENARIOS = (
@@ -273,6 +276,50 @@ def run_scenario_benchmarks(
 
 
 # ----------------------------------------------------------------------
+# Grid cached-vs-fresh timing
+# ----------------------------------------------------------------------
+def bench_cache_hit(
+    scenario: str = "synthetic-rtk", repeats: int = 3
+) -> Dict[str, Any]:
+    """Cached-vs-fresh timing of the grid result store.
+
+    One fresh run fills a throwaway store, then the best of *repeats* cache
+    hits is measured (metrics-only replay — the mode the batch engine uses
+    to skip completed runs).  The speedup is the PR-4 headline: a hit costs
+    artifact verification, not simulation, so it should sit orders of
+    magnitude under the fresh run and stay flat as scenarios grow.
+    """
+    import shutil
+    import tempfile
+
+    from repro.campaign.registry import get_scenario
+    from repro.campaign.runner import run_spec
+    from repro.grid.store import ResultStore
+
+    root = tempfile.mkdtemp(prefix="repro-bench-grid-")
+    try:
+        store = ResultStore(root)
+        spec = get_scenario(scenario)
+        start = time.perf_counter()
+        run_spec(spec, collect_events=False, store=store)
+        fresh_seconds = time.perf_counter() - start
+        hit_seconds = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = run_spec(spec, collect_events=False, store=store)
+            hit_seconds = min(hit_seconds, time.perf_counter() - start)
+            assert result.cached  # a miss here would time a simulation
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "scenario": scenario,
+        "fresh_seconds": fresh_seconds,
+        "hit_seconds": hit_seconds,
+        "speedup": fresh_seconds / hit_seconds if hit_seconds else None,
+    }
+
+
+# ----------------------------------------------------------------------
 # Report assembly
 # ----------------------------------------------------------------------
 def run_benchmarks(
@@ -309,6 +356,7 @@ def run_benchmarks(
     }
     table2 = bench_table2_speed(simulated_ms=50 if quick else 200)
     scenario_results = run_scenario_benchmarks(scenario_names)
+    grid = bench_cache_hit(repeats=1 if quick else 3)
     return {
         "schema": BENCH_SCHEMA,
         "pr": CURRENT_PR,
@@ -324,6 +372,7 @@ def run_benchmarks(
         },
         "microbench": microbench,
         "table2": table2,
+        "grid": grid,
         "scenarios": scenario_results,
     }
 
@@ -331,7 +380,7 @@ def run_benchmarks(
 #: Keys (and nested keys) every report document must carry.
 _REQUIRED_TOP_LEVEL = (
     "schema", "pr", "quick", "created_utc", "host",
-    "microbench", "table2", "scenarios",
+    "microbench", "table2", "grid", "scenarios",
 )
 _REQUIRED_MICROBENCH = (
     "timed_waits_per_s", "timeout_waits_per_s",
@@ -363,6 +412,11 @@ def validate_report(document: Dict[str, Any]) -> List[str]:
         problems.append("table2.no_gui_s_over_r must be a number")
     if not table2.get("rows"):
         problems.append("table2.rows must be non-empty")
+    grid = document.get("grid", {})
+    for key in ("fresh_seconds", "hit_seconds", "speedup"):
+        value = grid.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            problems.append(f"grid.{key} must be a positive number, got {value!r}")
     scenarios = document.get("scenarios", {})
     if not isinstance(scenarios, dict) or not scenarios:
         problems.append("scenarios must be a non-empty mapping")
@@ -395,6 +449,13 @@ def render_report(document: Dict[str, Any]) -> str:
         f"  scheduler ops    : {micro['scheduler_ops_per_s']:>12,.0f} /s",
         f"  Table-2 S/R (no GUI): {document['table2']['no_gui_s_over_r']:.2f}",
     ]
+    grid = document.get("grid")
+    if grid:
+        lines.append(
+            f"  grid cache hit   : {grid['hit_seconds'] * 1e3:>9.2f} ms vs "
+            f"{grid['fresh_seconds'] * 1e3:.1f} ms fresh "
+            f"({grid['speedup']:.0f}x, {grid['scenario']})"
+        )
     rows = [
         (
             name,

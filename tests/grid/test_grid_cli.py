@@ -1,0 +1,251 @@
+"""The grid CLI surface: shard/cache verbs, spec files, cache flags, errors."""
+
+import json
+
+import pytest
+
+from repro.campaign import get_scenario
+from repro.campaign.cli import main
+
+
+def write_spec(path, **overrides):
+    spec = get_scenario("rtk-priority").with_overrides(
+        {"duration_ms": 30.0, **overrides}
+    ).validate()
+    path.write_text(json.dumps(spec.to_dict()))
+    return spec
+
+
+SWEEP_ARGS = [
+    "--scenario", "rtk-round-robin",
+    "--scenario", "rtk-priority",
+    "--matrix", "seed=1,2",
+    "--set", "duration_ms=40",
+]
+
+
+class TestSpecFiles:
+    def test_run_from_spec_file(self, tmp_path, capsys):
+        write_spec(tmp_path / "spec.json")
+        assert main(["run", "--spec", str(tmp_path / "spec.json")]) == 0
+        assert "rtk-priority" in capsys.readouterr().out
+
+    def test_run_needs_exactly_one_source(self, capsys):
+        assert main(["run"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_missing_spec_file_fails_cleanly(self, capsys):
+        assert main(["run", "--spec", "does-not-exist.json"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "cannot read spec file" in err
+
+    def test_malformed_spec_file_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ nope")
+        assert main(["run", "--spec", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_unknown_field_in_spec_file_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "x", "bogus_field": 1}))
+        assert main(["run", "--spec", str(bad)]) == 2
+        assert "bogus_field" in capsys.readouterr().err
+
+    def test_non_object_spec_file_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")
+        assert main(["run", "--spec", str(bad)]) == 2
+        assert "JSON object" in capsys.readouterr().err
+
+    def test_batch_spec_dir(self, tmp_path, capsys):
+        spec_dir = tmp_path / "specs"
+        spec_dir.mkdir()
+        write_spec(spec_dir / "a.json", seed=1)
+        write_spec(spec_dir / "b.json", seed=2)
+        out = tmp_path / "out"
+        code = main([
+            "batch", "--spec-dir", str(spec_dir),
+            "--serial", "--no-events", "--out", str(out),
+        ])
+        assert code == 0
+        assert "2 runs on 1 worker(s)" in capsys.readouterr().out
+        document = json.loads((out / "metrics.json").read_text())
+        assert document["campaign"]["runs"] == 2
+        assert [run["spec"]["seed"] for run in document["runs"]] == [1, 2]
+
+    def test_mixed_selection_derives_registry_seeds_only(self, tmp_path, capsys):
+        """--spec-dir must not disable seed derivation for --scenario bases."""
+        spec_dir = tmp_path / "specs"
+        spec_dir.mkdir()
+        explicit = write_spec(spec_dir / "a.json", seed=7, name="filespec")
+        code = main([
+            "shard", "plan", "--shards", "1", "--index", "0", "--json",
+            "--scenario", "rtk-priority",
+            "--spec-dir", str(spec_dir),
+            "--matrix", "duration_ms=30,40",
+        ])
+        assert code == 0
+        documents = [json.loads(line)
+                     for line in capsys.readouterr().out.splitlines() if line]
+        registry = [d["spec"] for d in documents
+                    if d["spec"]["name"].startswith("rtk-priority")]
+        file_runs = [d["spec"] for d in documents
+                     if d["spec"]["name"].startswith("filespec")]
+        assert len(registry) == 2 and len(file_runs) == 2
+        # Registry matrix points got decorrelated derived seeds...
+        assert registry[0]["seed"] != registry[1]["seed"]
+        # ...while the explicit spec document kept its stated seed.
+        assert all(run["seed"] == explicit.seed for run in file_runs)
+
+    def test_empty_spec_dir_fails_cleanly(self, tmp_path, capsys):
+        empty = tmp_path / "specs"
+        empty.mkdir()
+        assert main(["batch", "--spec-dir", str(empty)]) == 2
+        assert "no *.json documents" in capsys.readouterr().err
+
+
+class TestCacheFlags:
+    def test_run_cache_roundtrip(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["run", "rtk-priority", "--set", "duration_ms=30",
+                "--cache", cache]
+        assert main(args) == 0
+        assert "cache hit" not in capsys.readouterr().out
+        assert main(args) == 0
+        assert "cache hit" in capsys.readouterr().out
+
+    def test_refresh_forces_simulation(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["run", "rtk-priority", "--set", "duration_ms=30",
+                "--cache", cache]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--refresh"]) == 0
+        assert "cache hit" not in capsys.readouterr().out
+
+    def test_no_cache_ignores_environment(self, tmp_path, capsys, monkeypatch):
+        cache = str(tmp_path / "cache")
+        monkeypatch.setenv("REPRO_CACHE_DIR", cache)
+        args = ["run", "rtk-priority", "--set", "duration_ms=30"]
+        assert main(args) == 0  # fills the env-named store
+        capsys.readouterr()
+        assert main(args + ["--no-cache"]) == 0
+        assert "cache hit" not in capsys.readouterr().out
+        assert main(args) == 0
+        assert "cache hit" in capsys.readouterr().out
+
+    def test_refresh_without_store_fails_cleanly(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["run", "rtk-priority", "--refresh"]) == 2
+        assert "--refresh needs a result store" in capsys.readouterr().err
+
+    def test_batch_reports_cache_hits(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["batch"] + SWEEP_ARGS + [
+            "--serial", "--no-events", "--cache", cache,
+            "--out", str(tmp_path / "out"),
+        ]
+        assert main(args) == 0
+        assert "cache: 0 hit(s), 4 simulated" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "cache: 4 hit(s), 0 simulated" in capsys.readouterr().out
+
+
+class TestCacheVerbs:
+    def test_stats_gc_clear(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["run", "rtk-priority", "--set", "duration_ms=30",
+                     "--cache", cache]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache", cache]) == 0
+        out = capsys.readouterr().out
+        assert "1 valid" in out and "rtk-priority" in out
+        assert main(["cache", "gc", "--cache", cache]) == 0
+        assert "kept 1" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache", cache]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache", cache]) == 0
+        assert "entries : 0" in capsys.readouterr().out
+
+    def test_cache_verbs_need_a_store(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "stats"]) == 2
+        assert "no result store" in capsys.readouterr().err
+
+
+class TestShardVerbs:
+    def test_plan_prints_the_shard_slice(self, capsys):
+        assert main(["shard", "plan", "--shards", "2", "--index", "1"]
+                    + SWEEP_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Shard 1/2: 2 of 4 runs" in out
+
+    def test_plan_json_mode_emits_spec_documents(self, capsys):
+        assert main(["shard", "plan", "--shards", "2", "--index", "0",
+                     "--json"] + SWEEP_ARGS) == 0
+        lines = capsys.readouterr().out.splitlines()
+        documents = [json.loads(line) for line in lines if line]
+        assert [d["index"] for d in documents] == [0, 2]
+        assert all("spec" in d for d in documents)
+
+    def test_plan_bad_geometry_fails_cleanly(self, capsys):
+        assert main(["shard", "plan", "--shards", "2", "--index", "5"]) == 2
+        assert "shard index" in capsys.readouterr().err
+
+    def test_shard_run_and_merge_match_batch(self, tmp_path, capsys):
+        batch_out = tmp_path / "batch"
+        assert main(["batch"] + SWEEP_ARGS + [
+            "--serial", "--out", str(batch_out),
+        ]) == 0
+        shard_dirs = []
+        for index in range(2):
+            out = tmp_path / f"shard{index}"
+            shard_dirs.append(str(out))
+            assert main(["shard", "run", "--shards", "2", "--index", str(index)]
+                        + SWEEP_ARGS + ["--out", str(out)]) == 0
+        merged = tmp_path / "merged"
+        assert main(["shard", "merge", *shard_dirs, "--out", str(merged)]) == 0
+        assert "merged 4 runs from 2 shard(s)" in capsys.readouterr().out
+        assert (merged / "aggregate.json").read_bytes() == \
+            (batch_out / "aggregate.json").read_bytes()
+
+    def test_merge_missing_dir_fails_cleanly(self, tmp_path, capsys):
+        assert main(["shard", "merge", str(tmp_path / "ghost"),
+                     "--out", str(tmp_path / "out")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "shard metrics file" in err
+        assert "Traceback" not in err
+
+    def test_merge_corrupt_document_fails_cleanly(self, tmp_path, capsys):
+        shard_dir = tmp_path / "shard"
+        shard_dir.mkdir()
+        (shard_dir / "shard.json").write_text("{ bad json")
+        assert main(["shard", "merge", str(shard_dir),
+                     "--out", str(tmp_path / "out")]) == 2
+        assert "corrupt shard metrics file" in capsys.readouterr().err
+
+
+class TestCompareHardening:
+    def test_compare_missing_file(self, capsys):
+        assert main(["compare", "ghost-left.json", "ghost-right.json"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+
+    def test_compare_invalid_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all")
+        assert main(["compare", str(bad), str(bad)]) == 2
+        assert "not a metrics JSON file" in capsys.readouterr().err
+
+    def test_compare_non_object_document(self, tmp_path, capsys):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2, 3]")
+        assert main(["compare", str(bad), str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "not a metrics document" in err and "Traceback" not in err
+
+    def test_compare_non_object_metrics_section(self, tmp_path, capsys):
+        bad = tmp_path / "weird.json"
+        bad.write_text(json.dumps({"metrics": [1, 2]}))
+        assert main(["compare", str(bad), str(bad)]) == 2
+        assert "not a metrics document" in capsys.readouterr().err

@@ -1,0 +1,242 @@
+"""Shard planning, execution, resume, and merge == batch byte-identity."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import plan_batch, run_batch
+from repro.campaign.batch import run_events_filename
+from repro.grid import (
+    GridError,
+    ResultStore,
+    merge_shards,
+    plan_all_shards,
+    plan_shard,
+    run_shard,
+)
+
+
+def sweep_specs():
+    """Six fast runs across the two cheap RTK scheduler scenarios."""
+    return plan_batch(
+        ["rtk-round-robin", "rtk-priority"],
+        matrix={"seed": [1, 2, 3]},
+        overrides={"duration_ms": 40.0},
+    )
+
+
+class TestPlanning:
+    def test_shards_partition_the_sweep(self):
+        specs = sweep_specs()
+        plans = plan_all_shards(specs, 4)
+        seen = sorted(
+            index for plan in plans for index, _ in plan.runs
+        )
+        assert seen == list(range(len(specs)))
+        assert all(plan.total == len(specs) for plan in plans)
+
+    def test_round_robin_assignment(self):
+        specs = sweep_specs()
+        plan = plan_shard(specs, 3, 1)
+        assert [index for index, _ in plan.runs] == [1, 4]
+        assert all(index % 3 == 1 for index, _ in plan.runs)
+
+    def test_balanced_within_one_run(self):
+        specs = sweep_specs()
+        sizes = [len(plan) for plan in plan_all_shards(specs, 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_single_shard_is_the_whole_sweep(self):
+        specs = sweep_specs()
+        plan = plan_shard(specs, 1, 0)
+        assert len(plan) == len(specs)
+
+    def test_invalid_geometry_rejected(self):
+        specs = sweep_specs()
+        with pytest.raises(GridError):
+            plan_shard(specs, 0, 0)
+        with pytest.raises(GridError):
+            plan_shard(specs, 2, 2)
+        with pytest.raises(GridError):
+            plan_shard(specs, 2, -1)
+
+
+class TestShardedSweep:
+    @pytest.mark.parametrize("shards", [1, 2, 3])
+    def test_merge_is_byte_identical_to_single_host_batch(self, tmp_path, shards):
+        specs = sweep_specs()
+        batch = run_batch(specs, workers=2)
+        batch_dir = tmp_path / "batch"
+        batch.write_outputs(str(batch_dir))
+
+        shard_dirs = []
+        for index in range(shards):
+            shard_dir = tmp_path / f"shard{index}"
+            run_shard(plan_shard(specs, shards, index), str(shard_dir))
+            shard_dirs.append(str(shard_dir))
+        merged_dir = tmp_path / "merged"
+        manifest = merge_shards(shard_dirs, str(merged_dir))
+        assert manifest["runs"] == len(specs)
+
+        assert (merged_dir / "aggregate.json").read_bytes() == \
+            (batch_dir / "aggregate.json").read_bytes()
+        batch_events = sorted(p.name for p in batch_dir.glob("events_*.jsonl"))
+        merged_events = sorted(p.name for p in merged_dir.glob("events_*.jsonl"))
+        assert merged_events == batch_events
+        for name in batch_events:
+            assert (merged_dir / name).read_bytes() == \
+                (batch_dir / name).read_bytes()
+
+    def test_event_files_carry_global_indices(self, tmp_path):
+        specs = sweep_specs()
+        plan = plan_shard(specs, 3, 2)
+        document = run_shard(plan, str(tmp_path / "s2"))
+        expected = [
+            run_events_filename(index, spec.name) for index, spec in plan.runs
+        ]
+        assert [entry["events"] for entry in document["runs"]] == expected
+        for name in expected:
+            assert (tmp_path / "s2" / name).is_file()
+
+    def test_interrupted_shard_resumes_from_the_store(self, tmp_path):
+        specs = sweep_specs()
+        store = ResultStore(str(tmp_path / "cache"))
+        plan = plan_shard(specs, 2, 0)
+        first = run_shard(plan, str(tmp_path / "attempt1"), store=store)
+        assert first["executed"] == len(plan) and first["cached"] == 0
+        # The "interrupted" output directory is gone; the store is not.
+        second = run_shard(plan, str(tmp_path / "attempt2"), store=store)
+        assert second["executed"] == 0 and second["cached"] == len(plan)
+        for entry in second["runs"]:
+            a = (tmp_path / "attempt1" / entry["events"]).read_bytes()
+            b = (tmp_path / "attempt2" / entry["events"]).read_bytes()
+            assert a == b
+
+    def test_fully_cached_sweep_executes_zero_simulations(self, tmp_path, monkeypatch):
+        specs = sweep_specs()
+        store = ResultStore(str(tmp_path / "cache"))
+        warm = run_batch(specs, workers=1, store=store)
+        assert warm.cache_hits == 0
+
+        # Any attempt to build a simulator now is an error: the second sweep
+        # must be served entirely from the store.
+        import repro.campaign.runner as runner_module
+
+        def forbidden(spec):
+            raise AssertionError(f"simulated {spec.name} despite a warm cache")
+
+        monkeypatch.setattr(runner_module, "build_scenario", forbidden)
+        cached = run_batch(specs, workers=1, store=store)
+        assert cached.cache_hits == len(specs)
+        assert canonical(cached) == canonical(warm)
+
+        shard_doc = run_shard(
+            plan_shard(specs, 2, 1), str(tmp_path / "shard"), store=store
+        )
+        assert shard_doc["executed"] == 0
+
+    def test_interrupted_batch_keeps_completed_runs_cached(
+        self, tmp_path, monkeypatch
+    ):
+        specs = sweep_specs()
+        store = ResultStore(str(tmp_path / "cache"))
+
+        # "Interrupt" the batch by making the third run's scenario explode.
+        import repro.campaign.runner as runner_module
+
+        real_build = runner_module.build_scenario
+        doomed = specs[2].name
+
+        def flaky_build(spec):
+            if spec.name == doomed:
+                raise KeyboardInterrupt
+            return real_build(spec)
+
+        monkeypatch.setattr(runner_module, "build_scenario", flaky_build)
+        with pytest.raises(KeyboardInterrupt):
+            run_batch(specs, workers=1, store=store)
+        # The two completed runs were cached incrementally.
+        assert store.lookup(specs[0]) is not None
+        assert store.lookup(specs[1]) is not None
+        assert store.lookup(specs[2]) is None
+
+        monkeypatch.setattr(runner_module, "build_scenario", real_build)
+        resumed = run_batch(specs, workers=1, store=store)
+        assert resumed.cache_hits == 2
+
+    def test_parallel_batch_fills_and_then_hits_the_store(self, tmp_path):
+        specs = sweep_specs()
+        store = ResultStore(str(tmp_path / "cache"))
+        fresh = run_batch(specs, workers=2, store=store)
+        assert fresh.cache_hits == 0
+        again = run_batch(specs, workers=2, store=store)
+        assert again.cache_hits == len(specs)
+        assert canonical(again) == canonical(fresh)
+
+
+def canonical(batch):
+    from repro.obs.bus import canonical_json
+
+    return canonical_json(batch.deterministic_document())
+
+
+class TestMergeHardening:
+    def make_shards(self, tmp_path, shards=2):
+        specs = sweep_specs()
+        dirs = []
+        for index in range(shards):
+            shard_dir = tmp_path / f"shard{index}"
+            run_shard(plan_shard(specs, shards, index), str(shard_dir))
+            dirs.append(str(shard_dir))
+        return dirs
+
+    def test_missing_shard_document(self, tmp_path):
+        with pytest.raises(GridError, match="cannot read shard metrics file"):
+            merge_shards([str(tmp_path / "nope")], str(tmp_path / "out"))
+
+    def test_corrupt_shard_document(self, tmp_path):
+        shard_dir = tmp_path / "shard"
+        shard_dir.mkdir()
+        (shard_dir / "shard.json").write_text("{ truncated")
+        with pytest.raises(GridError, match="corrupt shard metrics file"):
+            merge_shards([str(shard_dir)], str(tmp_path / "out"))
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        shard_dir = tmp_path / "shard"
+        shard_dir.mkdir()
+        (shard_dir / "shard.json").write_text(json.dumps({"schema": "other/1"}))
+        with pytest.raises(GridError, match="not a shard metrics document"):
+            merge_shards([str(shard_dir)], str(tmp_path / "out"))
+
+    def test_incomplete_sweep_lists_missing_indices(self, tmp_path):
+        dirs = self.make_shards(tmp_path, shards=3)
+        with pytest.raises(GridError, match="missing run indices"):
+            merge_shards(dirs[:2], str(tmp_path / "out"))
+
+    def test_duplicate_run_indices_rejected(self, tmp_path):
+        dirs = self.make_shards(tmp_path, shards=2)
+        with pytest.raises(GridError, match="appears in both"):
+            merge_shards([dirs[0], dirs[0], dirs[1]], str(tmp_path / "out"))
+
+    def test_geometry_mismatch_rejected(self, tmp_path):
+        specs = sweep_specs()
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        run_shard(plan_shard(specs, 2, 0), str(a))
+        run_shard(plan_shard(specs, 3, 1), str(b))
+        with pytest.raises(GridError, match="shard geometry mismatch"):
+            merge_shards([str(a), str(b)], str(tmp_path / "out"))
+
+    def test_missing_event_stream_rejected(self, tmp_path):
+        dirs = self.make_shards(tmp_path, shards=2)
+        document = json.loads(
+            (tmp_path / "shard0" / "shard.json").read_text()
+        )
+        os.remove(os.path.join(dirs[0], document["runs"][0]["events"]))
+        with pytest.raises(GridError, match="missing event stream"):
+            merge_shards(dirs, str(tmp_path / "out"))
+
+    def test_no_shards_rejected(self, tmp_path):
+        with pytest.raises(GridError, match="no shard directories"):
+            merge_shards([], str(tmp_path / "out"))

@@ -1,0 +1,236 @@
+"""The content-addressed result store: keys, integrity, maintenance."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import get_scenario, run_spec, spec_hash
+from repro.campaign.spec import spec_hash_from_document
+from repro.grid import ResultStore, code_fingerprint
+from repro.obs.bus import canonical_json
+
+
+def cheap_spec(seed=0, duration_ms=30.0):
+    return get_scenario("rtk-priority").with_overrides(
+        {"duration_ms": duration_ms, "seed": seed}
+    ).validate()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(str(tmp_path / "cache"))
+
+
+class TestKeys:
+    def test_key_is_sha256_of_canonical_spec_json(self):
+        spec = cheap_spec()
+        import hashlib
+
+        expected = hashlib.sha256(
+            canonical_json(spec.to_dict()).encode("utf-8")
+        ).hexdigest()
+        assert spec_hash(spec) == expected
+
+    def test_equal_specs_share_a_key_different_specs_do_not(self, store):
+        assert store.key_of(cheap_spec(seed=1)) == store.key_of(cheap_spec(seed=1))
+        assert store.key_of(cheap_spec(seed=1)) != store.key_of(cheap_spec(seed=2))
+
+    def test_spec_object_and_document_hash_identically(self, store):
+        spec = cheap_spec()
+        assert store.key_of(spec) == spec_hash_from_document(spec.to_dict())
+
+
+class TestRoundTrip:
+    def test_fresh_run_populates_then_hit_replays(self, store):
+        spec = cheap_spec()
+        fresh = run_spec(spec, store=store)
+        assert not fresh.cached
+        hit = run_spec(spec, store=store)
+        assert hit.cached
+        assert hit.metrics_json() == fresh.metrics_json()
+        assert [canonical_json(e) for e in hit.events] == \
+            [canonical_json(e) for e in fresh.events]
+
+    def test_hit_timing_is_marked_cached_without_speed_measures(self, store):
+        spec = cheap_spec()
+        run_spec(spec, store=store)
+        hit = run_spec(spec, store=store)
+        assert hit.timing["cached"] is True
+        assert hit.timing["r_over_s"] is None
+        assert hit.timing["s_over_r"] is None
+
+    def test_refresh_forces_a_simulation_and_rewrites_the_entry(self, store):
+        spec = cheap_spec()
+        run_spec(spec, store=store)
+        refreshed = run_spec(spec, store=store, refresh=True)
+        assert not refreshed.cached
+        assert store.lookup(spec) is not None
+
+    def test_caller_sinks_disable_the_cache_lookup(self, store):
+        from repro.obs.sinks import CounterSink
+
+        spec = cheap_spec()
+        run_spec(spec, store=store)
+        counter = CounterSink(topics=("sched",))
+        live = run_spec(spec, store=store, sinks=[counter])
+        assert not live.cached
+        assert counter.total() > 0
+
+    def test_streamed_replay_is_byte_identical_to_streamed_fresh_run(
+        self, store, tmp_path
+    ):
+        spec = cheap_spec()
+        fresh_path = tmp_path / "fresh.jsonl"
+        hit_path = tmp_path / "hit.jsonl"
+        run_spec(spec, collect_events=False, events_stream=str(fresh_path),
+                 store=store)
+        hit = run_spec(spec, collect_events=False, events_stream=str(hit_path),
+                       store=store)
+        assert hit.cached
+        assert hit_path.read_bytes() == fresh_path.read_bytes()
+        assert hit.events_streamed == len(hit_path.read_text().splitlines())
+
+    def test_gantt_rebuilds_from_the_stored_stream(self, store):
+        spec = cheap_spec()
+        fresh = run_spec(spec, store=store)
+        chart = store.lookup(spec).gantt()
+        assert len(chart.segments) == fresh.metrics["gantt_segments"]
+        assert len(chart.markers) == fresh.metrics["gantt_markers"]
+        assert not chart.overlapping_segments()
+
+
+class TestIntegrity:
+    def test_fingerprint_mismatch_is_a_miss(self, store, tmp_path):
+        spec = cheap_spec()
+        run_spec(spec, store=store)
+        other_code = ResultStore(store.root, fingerprint="0" * 64)
+        assert other_code.lookup(spec) is None
+        assert ResultStore(store.root).lookup(spec) is not None
+
+    def test_tampered_events_detected_and_recomputed(self, store):
+        spec = cheap_spec()
+        run_spec(spec, store=store)
+        entry = store.lookup(spec)
+        with open(entry.events_path, "a", encoding="utf-8") as handle:
+            handle.write('{"t_ms":0,"thread":"evil","kind":"dispatch"}\n')
+        assert store.lookup(spec) is None
+        recomputed = run_spec(spec, store=store)
+        assert not recomputed.cached
+        assert store.lookup(spec) is not None  # entry repaired
+
+    def test_tampered_metrics_detected(self, store):
+        spec = cheap_spec()
+        run_spec(spec, store=store)
+        entry = store.lookup(spec)
+        document = entry.metrics_document()
+        document["metrics"]["context_switches"] = 10**9
+        with open(entry.metrics_path, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(document) + "\n")
+        assert store.lookup(spec) is None
+
+    def test_unparseable_manifest_is_a_miss(self, store):
+        spec = cheap_spec()
+        run_spec(spec, store=store)
+        entry = store.lookup(spec)
+        with open(os.path.join(entry.entry_dir, "manifest.json"), "w") as handle:
+            handle.write("{ nope")
+        assert store.lookup(spec) is None
+
+    def test_code_fingerprint_is_stable_within_a_process(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+
+
+class TestMaintenance:
+    def test_stats_counts_valid_stale_and_corrupt(self, store):
+        run_spec(cheap_spec(seed=1), store=store)
+        run_spec(cheap_spec(seed=2), store=store)
+        run_spec(cheap_spec(seed=3), store=store)
+        # Stale: same layout, other fingerprint.
+        entry = store.lookup(cheap_spec(seed=2))
+        manifest = dict(entry.manifest)
+        manifest["fingerprint"] = "f" * 64
+        with open(os.path.join(entry.entry_dir, "manifest.json"), "w") as handle:
+            handle.write(canonical_json(manifest) + "\n")
+        # Corrupt: damaged events artifact.
+        entry3 = store.lookup(cheap_spec(seed=3))
+        with open(entry3.events_path, "a") as handle:
+            handle.write("garbage\n")
+        stats = store.stats()
+        assert stats["entries"] == 3
+        assert stats["valid"] == 1
+        assert stats["stale"] == 1
+        assert stats["corrupt"] == 1
+        assert stats["bytes"] > 0
+
+    def test_gc_sweeps_unusable_entries_only(self, store):
+        run_spec(cheap_spec(seed=1), store=store)
+        run_spec(cheap_spec(seed=2), store=store)
+        entry = store.lookup(cheap_spec(seed=2))
+        with open(entry.events_path, "w") as handle:
+            handle.write("poison\n")
+        swept = store.gc()
+        assert swept == {"removed": 1, "kept": 1, "staging_removed": 0}
+        assert store.lookup(cheap_spec(seed=1)) is not None
+        assert store.lookup(cheap_spec(seed=2)) is None
+
+    def test_stray_files_in_fanout_dirs_do_not_break_maintenance(self, store):
+        run_spec(cheap_spec(seed=1), store=store)
+        entry = store.lookup(cheap_spec(seed=1))
+        prefix_dir = os.path.dirname(entry.entry_dir)
+        with open(os.path.join(prefix_dir, ".DS_Store"), "w") as handle:
+            handle.write("junk")
+        stats = store.stats()
+        assert stats["entries"] == 1 and stats["valid"] == 1
+        assert store.gc()["kept"] == 1
+        assert store.lookup(cheap_spec(seed=1)) is not None
+        assert store.clear() == 1
+
+    def test_clear_empties_the_store(self, store):
+        run_spec(cheap_spec(seed=1), store=store)
+        run_spec(cheap_spec(seed=2), store=store)
+        assert store.clear() == 2
+        assert len(store) == 0
+        assert store.stats()["entries"] == 0
+
+    def test_put_requires_exactly_one_events_source(self, store):
+        with pytest.raises(ValueError):
+            store.put(cheap_spec().to_dict(), {}, events=None, events_path=None)
+        with pytest.raises(ValueError):
+            store.put(cheap_spec().to_dict(), {}, events=[], events_path="x")
+
+
+class TestReplayModule:
+    def test_event_round_trip_through_serialization(self):
+        from repro.core.events import ExecutionContext
+        from repro.obs.bus import Event, event_to_dict
+        from repro.obs.replay import event_from_dict
+
+        marker = Event("sched", "dispatch", 1_500_000, {"thread": "t1"})
+        restored = event_from_dict(event_to_dict(marker))
+        assert (restored.topic, restored.kind, restored.t_ns) == \
+            ("sched", "dispatch", 1_500_000)
+        assert restored.fields == {"thread": "t1"}
+
+        segment = Event("sched", "exec", 2_000_001, {
+            "thread": "t2", "dur_ns": 333, "context": ExecutionContext.TASK,
+            "energy_nj": 4.5, "label": "job",
+        })
+        restored = event_from_dict(event_to_dict(segment))
+        assert restored.t_ns == 2_000_001
+        assert restored.fields["dur_ns"] == 333
+        assert restored.fields["context"] is ExecutionContext.TASK
+
+    def test_read_events_jsonl_skips_blank_lines(self, tmp_path):
+        from repro.obs.replay import read_events_jsonl
+
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"t_ms":0.001,"thread":"a","kind":"dispatch"}\n'
+            "\n"
+            '{"t_ms":0.002,"thread":"a","kind":"preempt"}\n'
+        )
+        events = list(read_events_jsonl(str(path)))
+        assert [event.kind for event in events] == ["dispatch", "preempt"]
+        assert events[0].t_ns == 1_000
