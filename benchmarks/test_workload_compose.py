@@ -1,0 +1,90 @@
+"""Workload-plane guard: composing a scenario must stay cheap, forever.
+
+The composition layer replaced the monolithic builders; its resolution work
+(registry lookup, component construction, describe) must remain a rounding
+error next to the actual scenario wiring — otherwise family sweeps pay a
+per-member tax the old builders never charged.  Three properties pinned:
+
+* **Bounded resolution overhead.**  ``compose(spec)`` (parts only, no
+  build) must cost a small fraction of ``build_scenario(spec)`` (parts +
+  simulator + kernel + tasks).  Generous factor: resolution is dict lookups
+  and frozen-dataclass construction, wiring builds a whole simulator.
+* **Bounded family expansion.**  Expanding 100 members is pure seeded
+  sampling — it must complete in well under a second and never build a
+  simulator.
+* **Describe is build-free.**  ``repro describe`` powers tooling loops; it
+  must never construct a simulator as a side effect.
+"""
+
+import time
+
+from repro.campaign.registry import build_scenario, get_scenario
+from repro.campaign.spec import spec_hash
+from repro.workload import FamilySpec, compose, expand_family
+
+
+def timed(fn, repeats=5):
+    """Best-of-N wall clock (microbenchmark convention: min, not mean)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def test_compose_overhead_is_a_fraction_of_the_build(request):
+    from repro.sysc.kernel import Simulator
+
+    spec = get_scenario("synthetic-rtk")
+
+    def compose_many():
+        for _ in range(50):
+            compose(spec)
+
+    def build_once():
+        build = build_scenario(spec)
+        Simulator.reset()
+        return build
+
+    _, compose_seconds = timed(compose_many)
+    per_compose = compose_seconds / 50
+    _, build_seconds = timed(build_once)
+    print(f"\ncompose: {per_compose * 1e6:.1f} us   "
+          f"build: {build_seconds * 1e3:.2f} ms")
+    # Resolution must stay well under the wiring it fronts.  The old
+    # builders paid zero resolution cost; half a build is an enormous
+    # allowance that only a structural regression (building inside
+    # compose/resolve) can breach.
+    assert per_compose < max(build_seconds / 2, 0.002), (
+        f"compose() costs {per_compose * 1e3:.2f} ms per call vs "
+        f"{build_seconds * 1e3:.2f} ms per build — resolution is doing "
+        "wiring work"
+    )
+
+
+def test_family_expansion_of_100_members_is_subsecond():
+    family = FamilySpec(name="bench", count=100, seed=5,
+                        kernels=("tkernel", "rtkspec1", "rtkspec2"))
+    members, seconds = timed(lambda: expand_family(family), repeats=3)
+    assert len(members) == 100
+    assert len({spec_hash(spec) for spec in members}) == 100
+    print(f"\nexpand 100 members: {seconds * 1e3:.1f} ms")
+    assert seconds < 1.0, (
+        f"expanding 100 family members took {seconds:.2f}s — member "
+        "sampling is no longer pure arithmetic"
+    )
+
+
+def test_compose_and_describe_never_build_a_simulator(monkeypatch):
+    import repro.sysc.kernel as kernel_module
+
+    def forbidden(*args, **kwargs):
+        raise AssertionError("compose/describe constructed a Simulator")
+
+    monkeypatch.setattr(kernel_module.Simulator, "__init__", forbidden)
+    for name in ("quickstart", "videogame", "rtk-priority", "synthetic-rtk"):
+        spec = get_scenario(name)
+        composition = compose(spec)
+        composition.describe(spec)

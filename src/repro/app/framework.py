@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 
 from repro.app.videogame import KEY_LEFT, KEY_RIGHT, VideoGameApplication, VideoGameConfig
 from repro.app.widgets import WidgetCostModel, WidgetSet
-from repro.bfm.i8051 import I8051BFM
+from repro.bfm.i8051 import BFM_CONTROLLERS, BFM_PERIPHERALS, I8051BFM
 from repro.core.scheduler import PriorityScheduler
 from repro.core.simapi import SimApi
 from repro.sysc.kernel import Simulator
@@ -62,7 +62,8 @@ class FrameworkConfig:
                    lcd_update_period_ms: int = 10,
                    key_period_ms: int = 120,
                    render_cycles: Optional[int] = None,
-                   trace_waveforms: bool = False) -> "FrameworkConfig":
+                   trace_waveforms: bool = False,
+                   tick_ms: float = 1.0) -> "FrameworkConfig":
         """Build a config from the flat knobs a campaign scenario exposes."""
         duration_ms = int(duration_ms)
         game = VideoGameConfig(
@@ -77,6 +78,7 @@ class FrameworkConfig:
             game=game,
             key_script=cls.default_key_script(duration_ms, period_ms=key_period_ms),
             trace_waveforms=trace_waveforms,
+            tick=SimTime.ms(tick_ms),
         )
 
 
@@ -189,11 +191,8 @@ class CoSimulationFramework:
             "kernel_processes": [
                 handle.name for handle in self.kernel.threads
             ],
-            "bfm_controllers": [
-                "rtc", "bus_driver", "memory_controller", "interrupt_controller",
-                "serial_io", "parallel_io",
-            ],
-            "peripherals": ["lcd", "keypad", "seven_segment_display"],
+            "bfm_controllers": list(BFM_CONTROLLERS),
+            "peripherals": list(BFM_PERIPHERALS),
             "widgets": ["lcd_widget", "keypad_widget", "ssd_widget", "battery_widget"],
             "application_tasks": list(self.application.task_ids) or
                 ["T1_lcd", "T2_keypad", "T3_ssd", "T4_idle"],

@@ -32,6 +32,17 @@ KEYPAD_PORT = 1
 SSD_PORT = 2
 SPARE_PORT = 3
 
+#: The controllers an assembled i8051 BFM wires together (Fig. 5), in the
+#: order they are constructed; the workload plane's Platform component
+#: reports these in ``repro describe``.
+BFM_CONTROLLERS = (
+    "rtc", "bus_driver", "memory_controller", "interrupt_controller",
+    "serial_io", "parallel_io",
+)
+
+#: The case-study peripherals attached to the parallel ports.
+BFM_PERIPHERALS = ("lcd", "keypad", "seven_segment_display")
+
 
 class I8051BFM(SCModule):
     """Cycle-budgeted bus functional model of an i8051-class platform."""

@@ -21,13 +21,24 @@ from repro.campaign.metrics import (
     events_from_gantt,
 )
 from repro.campaign.registry import (
-    ScenarioBuild,
     build_scenario,
+    describe_scenario,
     get_scenario,
     register_scenario,
     scenario_description,
     scenario_names,
 )
+
+
+def __getattr__(name: str):
+    # ScenarioBuild lives in repro.workload.components, whose modules import
+    # repro.campaign.spec; re-export it lazily so neither package needs the
+    # other fully initialized at import time.
+    if name == "ScenarioBuild":
+        from repro.workload.components import ScenarioBuild
+
+        return ScenarioBuild
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 from repro.campaign.runner import run_spec
 from repro.campaign.spec import (
     ScenarioSpec,
@@ -49,6 +60,7 @@ __all__ = [
     "build_scenario",
     "compare_metrics",
     "derive_seed",
+    "describe_scenario",
     "events_from_gantt",
     "expand_matrix",
     "get_scenario",

@@ -248,7 +248,7 @@ def run_batch(
                         timing=raw["timing"],
                         events=raw["events"],
                     )
-                    if store is not None:
+                    if store is not None and _spec_is_cacheable(spec):
                         store.put_result(result)
                     if not collect_events:
                         result.events = []
@@ -256,6 +256,20 @@ def run_batch(
 
     return BatchResult(results=[r for r in results if r is not None],
                        workers=workers)
+
+
+def _spec_is_cacheable(spec: ScenarioSpec) -> bool:
+    """Whether the grid store may hold this spec's artifacts.
+
+    Stored entries are a sched-only contract; a workload whose probes add
+    topics must never be cached (its stored stream would replay fewer
+    topics than a fresh run emits).  ``run_spec`` enforces this on the
+    serial path by skipping the staging fill — the parallel coordinator
+    must apply the same rule before ``put_result``.
+    """
+    from repro.workload.components import compose
+
+    return compose(spec).probes.topics == ("sched",)
 
 
 def _pool_context():

@@ -2,12 +2,14 @@
 
 Subcommands make the campaign + grid subsystems usable without writing code:
 
-* ``list`` — show the built-in scenario registry,
+* ``list`` — show the built-in scenario registry (``--json`` for tooling),
+* ``describe`` — print a scenario's composed platform/kernel/workload/probes
+  parts with every parameter resolved, as canonical JSON,
 * ``run`` — execute one scenario (registry name or ``--spec file.json``),
   with ``--set key=value`` knob overrides,
 * ``batch`` — expand a parameter matrix over one or more scenarios (and/or a
-  ``--spec-dir`` of spec documents) and fan the runs out across
-  multiprocessing workers,
+  ``--spec-dir`` of spec documents, and/or ``--family`` workload-family
+  documents) and fan the runs out across multiprocessing workers,
 * ``shard plan|run|merge`` — deterministically partition the expanded
   matrix over N independent workers, execute one shard (streaming,
   resumable from the result store), and reassemble shard outputs into the
@@ -36,6 +38,7 @@ from repro.analysis.report import format_table
 from repro.campaign.batch import default_worker_count, plan_batch, run_batch
 from repro.campaign.metrics import compare_metrics
 from repro.campaign.registry import (
+    describe_scenario,
     get_scenario,
     scenario_description,
     scenario_names,
@@ -97,6 +100,13 @@ def _add_selection_args(parser: argparse.ArgumentParser) -> None:
         "seed matrix is disabled)",
     )
     parser.add_argument(
+        "--family", dest="families", action="append", default=[],
+        metavar="PATH",
+        help="also include every member of the workload-family document at "
+        "PATH (repeatable; members keep their derived seeds and the default "
+        "seed matrix is disabled)",
+    )
+    parser.add_argument(
         "--matrix", dest="matrix", action="append", default=[],
         metavar="KEY=V1,V2,...",
         help="parameter axis to sweep (repeatable; default: seed=1,2 "
@@ -134,30 +144,36 @@ def _selected_specs(args: argparse.Namespace) -> List[ScenarioSpec]:
     """Expand the selection flags into the sweep's global run list.
 
     The expansion is deterministic in the flags alone — scenario order,
-    sorted spec-dir filenames, matrix key order — so every shard of a sweep
-    computes the identical list and the identical derived seeds.  Seed
-    derivation is per base: registry scenarios decorrelate their matrix
-    points with derived per-run seeds as always, while explicit spec
-    documents keep their stated seeds.
+    sorted spec-dir filenames, family-document seeds, matrix key order — so
+    every shard of a sweep computes the identical list and the identical
+    derived seeds.  Seed derivation is per base: registry scenarios
+    decorrelate their matrix points with derived per-run seeds as always,
+    while explicit spec documents and generated family members keep their
+    stated/derived seeds.
     """
     names: List[str] = list(args.scenarios)
     file_specs: List[ScenarioSpec] = (
         load_spec_dir(args.spec_dir) if args.spec_dir else []
     )
-    if not names and not file_specs:
+    family_specs: List[ScenarioSpec] = []
+    for family_path in getattr(args, "families", []):
+        from repro.workload.families import expand_family, load_family_file
+
+        family_specs += expand_family(load_family_file(family_path))
+    if not names and not file_specs and not family_specs:
         names = list(DEFAULT_BATCH_SCENARIOS)
     matrix: Dict[str, List[Any]] = {}
     for axis in args.matrix:
         key, values = parse_matrix_axis(axis)
         matrix[key] = values
-    if not matrix and not args.spec_dir:
+    if not matrix and not args.spec_dir and not family_specs:
         matrix = dict(DEFAULT_BATCH_MATRIX)
     overrides = parse_overrides(args.overrides) if args.overrides else None
     if overrides:
         _note_extra_overrides(overrides)
     specs = plan_batch(names, matrix=matrix, overrides=overrides)
-    specs += plan_batch(file_specs, matrix=matrix, overrides=overrides,
-                        derive_seeds=False)
+    specs += plan_batch(file_specs + family_specs, matrix=matrix,
+                        overrides=overrides, derive_seeds=False)
     return specs
 
 
@@ -170,8 +186,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list the built-in scenarios") \
-        .set_defaults(handler=_cmd_list)
+    list_parser = subparsers.add_parser("list", help="list the built-in scenarios")
+    list_parser.set_defaults(handler=_cmd_list)
+    list_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the registry as a canonical JSON array for tooling",
+    )
+
+    describe_parser = subparsers.add_parser(
+        "describe",
+        help="print a scenario's composed platform/kernel/workload/probes "
+        "parts as canonical JSON",
+    )
+    describe_parser.set_defaults(handler=_cmd_describe)
+    describe_parser.add_argument(
+        "scenario", nargs="?", default=None,
+        help="registry scenario name (or use --spec)",
+    )
+    describe_parser.add_argument(
+        "--spec", metavar="PATH", default=None,
+        help="describe the scenario in a ScenarioSpec JSON document",
+    )
+    describe_parser.add_argument(
+        "--set", dest="overrides", action="append", default=[],
+        metavar="KEY=VALUE", help="override a spec field or extra knob",
+    )
 
     run_parser = subparsers.add_parser("run", help="run one scenario")
     run_parser.set_defaults(handler=_cmd_run)
@@ -315,6 +354,23 @@ def build_parser() -> argparse.ArgumentParser:
 # Subcommands
 # ----------------------------------------------------------------------
 def _cmd_list(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        from repro.campaign.spec import spec_hash
+        from repro.obs.bus import canonical_json
+
+        entries = []
+        for name in scenario_names():
+            spec = get_scenario(name)
+            entries.append({
+                "name": name,
+                "description": scenario_description(name),
+                "kernel": spec.kernel,
+                "workload": spec.workload,
+                "duration_ms": spec.duration_ms,
+                "spec_hash": spec_hash(spec),
+            })
+        print(canonical_json(entries))
+        return 0
     rows = []
     for name in scenario_names():
         spec = get_scenario(name)
@@ -332,11 +388,23 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _cmd_describe(args: argparse.Namespace) -> int:
+    spec = _spec_from_run_args(args)
+    if spec is None:
+        return 2
+    from repro.obs.bus import canonical_json
+
+    print(canonical_json(describe_scenario(spec)))
+    return 0
+
+
+def _spec_from_run_args(args: argparse.Namespace) -> Optional[ScenarioSpec]:
+    """Resolve the scenario/--spec/--set trio shared by ``run`` and
+    ``describe``; prints the usage error and returns ``None`` on misuse."""
     if (args.scenario is None) == (args.spec is None):
         print("error: give exactly one of a scenario name or --spec PATH",
               file=sys.stderr)
-        return 2
+        return None
     if args.spec is not None:
         spec = load_spec_file(args.spec)
     else:
@@ -345,6 +413,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides = parse_overrides(args.overrides)
         _note_extra_overrides(overrides)
         spec = spec.with_overrides(overrides).validate()
+    return spec
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _spec_from_run_args(args)
+    if spec is None:
+        return 2
     store = _store_from_args(args)
     if args.events_out:
         # Events are streamed live over the observability bus while the

@@ -1,8 +1,7 @@
-"""Built-in scenarios and the workload builders behind them.
+"""The named-scenario registry, built on the composable workload plane.
 
 Every experiment the ``examples/`` scripts hand-wire is available here as a
-named :class:`~repro.campaign.spec.ScenarioSpec` plus a *builder* that
-assembles the simulator, kernel model and application for one run:
+named :class:`~repro.campaign.spec.ScenarioSpec`:
 
 ==========================  ====================================================
 Scenario                    Covers
@@ -18,33 +17,24 @@ Scenario                    Covers
 ``synthetic-rtk``           seeded synthetic periodic task set on RTK-Spec II
 ==========================  ====================================================
 
-Builders return a :class:`ScenarioBuild`: the simulator to run plus the
-callables the runner uses to collect kernel statistics and
-workload-specific metrics afterwards.
+Construction goes through :mod:`repro.workload`: a spec resolves to a
+Platform × KernelProfile × Workload × Probes :class:`Composition`
+(``repro describe`` prints it), and :func:`build_scenario` asks the
+composition to assemble the runnable :class:`ScenarioBuild` — the
+simulator plus the callables the runner uses to collect kernel statistics
+and workload-specific metrics afterwards.  The old monolithic builder
+functions are gone; their event streams are pinned byte-identical through
+this layer by ``tests/campaign/test_golden_streams.py``.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
 
 from repro.campaign.spec import ScenarioSpec, SpecError
-from repro.core.events import ExecutionContext
-from repro.core.simapi import SimApi
-from repro.sysc.kernel import Simulator
-from repro.sysc.time import SimTime
 
-
-@dataclass
-class ScenarioBuild:
-    """A fully-wired scenario, ready for the runner to execute."""
-
-    simulator: Simulator
-    api: SimApi
-    kernel_statistics: Callable[[], Dict[str, Any]]
-    workload_metrics: Callable[[], Dict[str, Any]]
-
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.workload.components import ScenarioBuild
 
 #: name -> (description, spec factory)
 _BUILTINS: Dict[str, Tuple[str, Callable[[], ScenarioSpec]]] = {}
@@ -81,354 +71,44 @@ def _require(name: str) -> Tuple[str, Callable[[], ScenarioSpec]]:
 
 
 # ----------------------------------------------------------------------
-# Workload builders
+# Construction through the workload plane
 # ----------------------------------------------------------------------
-def build_scenario(spec: ScenarioSpec) -> ScenarioBuild:
+# repro.workload modules import repro.campaign.spec (whose parent package
+# import lands here), so the workload plane must only be imported lazily —
+# at build/describe time — never at registry import time.
+def build_scenario(spec: ScenarioSpec) -> "ScenarioBuild":
     """Assemble the simulator and workload described by *spec*."""
-    spec.validate()
-    try:
-        builder = _WORKLOAD_BUILDERS[spec.workload]
-    except KeyError:
-        raise SpecError(f"no builder for workload {spec.workload!r}") from None
-    return builder(spec)
+    from repro.workload.components import compose
+
+    return compose(spec).build(spec)
 
 
-def _build_quickstart(spec: ScenarioSpec) -> ScenarioBuild:
-    """Producer/consumer pairs over semaphores plus a cyclic heartbeat."""
-    from repro.tkernel import TKernelOS
+def describe_scenario(spec: ScenarioSpec) -> Dict[str, object]:
+    """The composed parts of *spec* with every parameter resolved."""
+    from repro.campaign.spec import spec_hash
+    from repro.workload.components import compose
 
-    items = int(spec.extra.get("items", 5))
-    heartbeat_ms = int(spec.extra.get("heartbeat_ms", 10))
-    pairs = max(1, spec.task_count // 2)
-    counters = {"produced": 0, "consumed": 0, "heartbeats": 0}
-
-    def user_main(kernel):
-        api = kernel.api
-        for pair in range(pairs):
-            semid = yield from kernel.tk_cre_sem(
-                isemcnt=0, maxsem=items, name=f"items{pair}"
-            )
-
-            def producer(stacd, exinf, semid=semid):
-                for _ in range(items):
-                    yield from api.sim_wait(
-                        duration=SimTime.ms(spec.period_ms), label="produce"
-                    )
-                    yield from kernel.tk_sig_sem(semid)
-                    counters["produced"] += 1
-
-            def consumer(stacd, exinf, semid=semid):
-                for _ in range(items):
-                    yield from kernel.tk_wai_sem(semid)
-                    yield from api.sim_wait(
-                        duration=SimTime.ms(max(spec.period_ms / 3.0, 0.5)),
-                        label="consume",
-                    )
-                    counters["consumed"] += 1
-
-            producer_id = yield from kernel.tk_cre_tsk(
-                producer, itskpri=10 + pair, name=f"producer{pair}"
-            )
-            consumer_id = yield from kernel.tk_cre_tsk(
-                consumer, itskpri=5 + pair, name=f"consumer{pair}"
-            )
-            yield from kernel.tk_sta_tsk(producer_id)
-            yield from kernel.tk_sta_tsk(consumer_id)
-
-        def heartbeat(exinf):
-            yield from api.sim_wait(
-                duration=SimTime.us(200), context=ExecutionContext.HANDLER
-            )
-            counters["heartbeats"] += 1
-
-        cycid = yield from kernel.tk_cre_cyc(
-            heartbeat, cyctim=heartbeat_ms, name="heartbeat"
-        )
-        yield from kernel.tk_sta_cyc(cycid)
-
-    simulator = Simulator(spec.name)
-    kernel = TKernelOS(
-        simulator, user_main=user_main, system_tick=SimTime.ms(spec.tick_ms)
-    )
-    return ScenarioBuild(
-        simulator=simulator,
-        api=kernel.api,
-        kernel_statistics=kernel.statistics,
-        workload_metrics=lambda: dict(counters),
-    )
+    composition = compose(spec)
+    return {
+        "scenario": spec.name,
+        "spec": spec.to_dict(),
+        "spec_hash": spec_hash(spec),
+        "composition": composition.describe(spec),
+    }
 
 
-def _build_sync_tour(spec: ScenarioSpec) -> ScenarioBuild:
-    """The sync-primitives tour: flags, mutexes, mailboxes, buffers, pools."""
-    from repro.tkernel import TA_INHERIT, TA_WMUL, TKernelOS, TWF_ANDW
+def __getattr__(name: str):
+    """Back-compat lazy re-exports from the workload plane.
 
-    samples = int(spec.extra.get("samples", 4))
-    sample_ms = float(spec.extra.get("sample_ms", 2.0))
-    counters = {"samples_sent": 0, "samples_processed": 0, "supervised": 0}
+    ``ScenarioBuild`` (and the composition types) moved to
+    :mod:`repro.workload.components`; importing them from here keeps
+    working without creating an import cycle at package-init time.
+    """
+    if name in ("ScenarioBuild", "Composition", "compose"):
+        from repro.workload import components
 
-    def user_main(kernel):
-        api = kernel.api
-        flag_id = yield from kernel.tk_cre_flg(iflgptn=0, flgatr=TA_WMUL, name="phases")
-        mutex_id = yield from kernel.tk_cre_mtx(mtxatr=TA_INHERIT, name="shared")
-        mailbox_id = yield from kernel.tk_cre_mbx(name="commands")
-        buffer_id = yield from kernel.tk_cre_mbf(bufsz=64, maxmsz=16, name="samples")
-        pool_id = yield from kernel.tk_cre_mpf(mpfcnt=3, blfsz=32, name="pool")
-
-        def sensor(stacd, exinf):
-            for sample in range(samples):
-                yield from api.sim_wait(duration=SimTime.ms(sample_ms), label="sample")
-                yield from kernel.tk_snd_mbf(buffer_id, ("sample", sample), size=4)
-                yield from kernel.tk_set_flg(flag_id, 0b01)
-                counters["samples_sent"] += 1
-            yield from kernel.tk_snd_mbx(mailbox_id, "shutdown")
-            yield from kernel.tk_set_flg(flag_id, 0b10)
-
-        def processor(stacd, exinf):
-            while True:
-                ercd, payload, size = yield from kernel.tk_rcv_mbf(buffer_id, tmout=50)
-                if ercd != 0:
-                    return
-                yield from kernel.tk_loc_mtx(mutex_id)
-                yield from api.sim_wait(duration=SimTime.ms(1), label="process")
-                yield from kernel.tk_unl_mtx(mutex_id)
-                ercd, block = yield from kernel.tk_get_mpf(pool_id)
-                counters["samples_processed"] += 1
-                yield from kernel.tk_rel_mpf(pool_id, block)
-
-        def supervisor(stacd, exinf):
-            yield from kernel.tk_wai_flg(flag_id, 0b11, TWF_ANDW)
-            yield from kernel.tk_rcv_mbx(mailbox_id)
-            counters["supervised"] += 1
-
-        for name, fn, pri in [("sensor", sensor, 10), ("processor", processor, 8),
-                              ("supervisor", supervisor, 5)]:
-            task_id = yield from kernel.tk_cre_tsk(fn, itskpri=pri, name=name)
-            yield from kernel.tk_sta_tsk(task_id)
-
-    simulator = Simulator(spec.name)
-    kernel = TKernelOS(
-        simulator, user_main=user_main, system_tick=SimTime.ms(spec.tick_ms)
-    )
-    return ScenarioBuild(
-        simulator=simulator,
-        api=kernel.api,
-        kernel_statistics=kernel.statistics,
-        workload_metrics=lambda: dict(counters),
-    )
-
-
-def _build_framework(spec: ScenarioSpec, render_cycles=None) -> ScenarioBuild:
-    """The full Fig. 5 co-simulation framework (video game + BFM + widgets)."""
-    from repro.app.framework import CoSimulationFramework, FrameworkConfig
-
-    config = FrameworkConfig.from_knobs(
-        duration_ms=spec.duration_ms,
-        gui_enabled=spec.gui_enabled,
-        lcd_update_period_ms=spec.bfm_access_period_ms,
-        key_period_ms=int(spec.extra.get("key_period_ms", 80)),
-        render_cycles=render_cycles,
-    )
-    framework = CoSimulationFramework(config, name=spec.name)
-
-    def workload_metrics() -> Dict[str, Any]:
-        application = framework.application.summary()
-        bfm = framework.bfm.access_statistics()
-        framework.widgets.battery.update()
-        return {
-            "frames_rendered": application["frames_rendered"],
-            "keys_handled": application["keys_handled"],
-            "score": application["score"],
-            "bus_accesses": bfm["bus_accesses"],
-            "interrupts_raised": bfm["interrupts_raised"],
-            "gui_callbacks": framework.widgets.callback_count(),
-            "battery_remaining_fraction": framework.widgets.battery.remaining_fraction,
-        }
-
-    return ScenarioBuild(
-        simulator=framework.simulator,
-        api=framework.api,
-        kernel_statistics=framework.kernel.statistics,
-        workload_metrics=workload_metrics,
-    )
-
-
-def _build_videogame(spec: ScenarioSpec) -> ScenarioBuild:
-    return _build_framework(spec)
-
-
-def _build_energy_profile(spec: ScenarioSpec) -> ScenarioBuild:
-    render_cycles = int(spec.extra.get("render_cycles", 400))
-    return _build_framework(spec, render_cycles=render_cycles)
-
-
-def _make_rtk_kernel(spec: ScenarioSpec, simulator: Simulator):
-    from repro.rtkspec import RTKSpec1, RTKSpec2
-
-    if spec.kernel == "rtkspec1":
-        return RTKSpec1(
-            simulator,
-            system_tick=SimTime.ms(spec.tick_ms),
-            time_slice_ticks=spec.time_slice_ticks,
-        )
-    return RTKSpec2(simulator, system_tick=SimTime.ms(spec.tick_ms))
-
-
-def _scheduler_comparison_task_set(spec: ScenarioSpec) -> List[Tuple[str, int, float]]:
-    """The fixed four-task workload of the scheduler-comparison example,
-    extended deterministically when the spec asks for more tasks."""
-    base = [
-        ("logger", 30, 12.0),
-        ("control", 5, 6.0),
-        ("comms", 15, 9.0),
-        ("background", 40, 15.0),
-    ]
-    tasks = base[: spec.task_count]
-    rng = random.Random(spec.seed)
-    while len(tasks) < spec.task_count:
-        index = len(tasks)
-        tasks.append(
-            (f"extra{index}", rng.randrange(5, 45), float(rng.randrange(4, 16)))
-        )
-    if spec.priorities:
-        tasks = [
-            (name, priority, execution_ms)
-            for (name, _, execution_ms), priority in zip(tasks, spec.priorities)
-        ]
-    return tasks
-
-
-def _build_scheduler_comparison(spec: ScenarioSpec) -> ScenarioBuild:
-    """An identical one-shot task set run under the chosen RTK-Spec kernel."""
-    simulator = Simulator(spec.name)
-    kernel = _make_rtk_kernel(spec, simulator)
-    completions: Dict[str, float] = {}
-
-    def make_body(name: str, execution_ms: float):
-        def body():
-            yield from kernel.api.sim_wait(
-                duration=SimTime.ms(execution_ms), label=name
-            )
-            completions[name] = simulator.now.to_ms()
-
-        return body
-
-    for name, priority, execution_ms in _scheduler_comparison_task_set(spec):
-        task = kernel.create_task(
-            make_body(name, execution_ms), priority=priority, name=name
-        )
-        kernel.start_task(task)
-
-    def workload_metrics() -> Dict[str, Any]:
-        return {
-            "completions": len(completions),
-            "completion_times_ms": {
-                name: completions[name] for name in sorted(completions)
-            },
-            "makespan_ms": max(completions.values()) if completions else None,
-        }
-
-    return ScenarioBuild(
-        simulator=simulator,
-        api=kernel.api,
-        kernel_statistics=kernel.statistics,
-        workload_metrics=workload_metrics,
-    )
-
-
-def _synthetic_task_set(spec: ScenarioSpec) -> List[Tuple[str, int, float, float]]:
-    """Draw a periodic task set (name, priority, period_ms, execution_ms)
-    from the spec's seed.  Same seed, same set — on every host."""
-    rng = random.Random(spec.seed)
-    tasks = []
-    for index in range(spec.task_count):
-        period = spec.period_ms * rng.choice((1, 2, 4))
-        execution = max(0.5, round(period * rng.uniform(0.1, 0.4), 3))
-        if spec.priorities:
-            priority = spec.priorities[index]
-        else:
-            priority = 5 + rng.randrange(0, 40)
-        tasks.append((f"syn{index}", priority, period, execution))
-    return tasks
-
-
-def _build_synthetic(spec: ScenarioSpec) -> ScenarioBuild:
-    """A seeded synthetic periodic task set on any kernel model."""
-    jobs = int(spec.extra.get("jobs", 3))
-    tasks = _synthetic_task_set(spec)
-    counters = {"jobs_completed": 0}
-
-    if spec.kernel == "tkernel":
-        from repro.tkernel import TKernelOS
-
-        def user_main(kernel):
-            api = kernel.api
-
-            def make_body(period_ms: float, execution_ms: float):
-                def body(stacd, exinf):
-                    for _ in range(jobs):
-                        yield from api.sim_wait(
-                            duration=SimTime.ms(execution_ms), label="job"
-                        )
-                        counters["jobs_completed"] += 1
-                        yield from kernel.tk_dly_tsk(int(period_ms))
-
-                return body
-
-            for name, priority, period_ms, execution_ms in tasks:
-                task_id = yield from kernel.tk_cre_tsk(
-                    make_body(period_ms, execution_ms),
-                    itskpri=min(priority, 140),
-                    name=name,
-                )
-                yield from kernel.tk_sta_tsk(task_id)
-
-        simulator = Simulator(spec.name)
-        kernel = TKernelOS(
-            simulator, user_main=user_main, system_tick=SimTime.ms(spec.tick_ms)
-        )
-        return ScenarioBuild(
-            simulator=simulator,
-            api=kernel.api,
-            kernel_statistics=kernel.statistics,
-            workload_metrics=lambda: dict(counters),
-        )
-
-    simulator = Simulator(spec.name)
-    kernel = _make_rtk_kernel(spec, simulator)
-
-    def make_body(period_ms: float, execution_ms: float):
-        def body():
-            for _ in range(jobs):
-                yield from kernel.api.sim_wait(
-                    duration=SimTime.ms(execution_ms), label="job"
-                )
-                counters["jobs_completed"] += 1
-                yield from kernel.delay(SimTime.ms(period_ms))
-
-        return body
-
-    for name, priority, period_ms, execution_ms in tasks:
-        task = kernel.create_task(
-            make_body(period_ms, execution_ms), priority=priority, name=name
-        )
-        kernel.start_task(task)
-
-    return ScenarioBuild(
-        simulator=simulator,
-        api=kernel.api,
-        kernel_statistics=kernel.statistics,
-        workload_metrics=lambda: dict(counters),
-    )
-
-
-_WORKLOAD_BUILDERS: Dict[str, Callable[[ScenarioSpec], ScenarioBuild]] = {
-    "quickstart": _build_quickstart,
-    "sync_tour": _build_sync_tour,
-    "videogame": _build_videogame,
-    "energy_profile": _build_energy_profile,
-    "scheduler_comparison": _build_scheduler_comparison,
-    "synthetic": _build_synthetic,
-}
+        return getattr(components, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 # ----------------------------------------------------------------------

@@ -33,8 +33,13 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, IO, Optional, Sequence, Union
 
+from typing import TYPE_CHECKING
+
 from repro.campaign.metrics import RunResult
-from repro.campaign.registry import ScenarioBuild, build_scenario
+from repro.campaign.registry import build_scenario
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.workload.components import ScenarioBuild
 from repro.campaign.spec import ScenarioSpec
 from repro.core.gantt import GanttChart
 from repro.obs.bus import Event
@@ -120,16 +125,24 @@ def run_spec(
         # unbounded segment lists.
         pre_events = _gantt_replay_events(build.api.gantt)
         build.api.detach_gantt()
+        # The composition's probes decide which topics the run's sinks see;
+        # the default — sched alone — is the stored-artifact contract.
+        probe_topics = build.probes.topics
         collector: Optional[ListSink] = None
         if events_stream is not None:
-            stream_sink = JsonlStreamSink(events_stream, topics=("sched",))
-            bus.subscribe(stream_sink, ("sched",))
+            stream_sink = JsonlStreamSink(events_stream, topics=probe_topics)
+            bus.subscribe(stream_sink, probe_topics)
         elif collect_events:
-            collector = ListSink(topics=("sched",))
-            bus.subscribe(collector, ("sched",))
-        if store is not None:
+            collector = ListSink(topics=probe_topics)
+            bus.subscribe(collector, probe_topics)
+        if store is not None and probe_topics == ("sched",):
             # Tee the live stream into the store's staging area so the new
             # cache entry holds the exact bytes a streamed run would emit.
+            # Stored artifacts are a sched-only contract: a workload whose
+            # probes add topics is never cached (fill skipped here; nothing
+            # is ever stored under its hash, so lookups miss too) — a hit
+            # replaying fewer topics than the fresh run would break the
+            # byte-identity invariant.
             staging_path = store.staging_events_path(store.key_of(spec))
             staging_sink = JsonlStreamSink(staging_path, topics=("sched",))
             bus.subscribe(staging_sink, ("sched",))
@@ -188,7 +201,7 @@ def run_spec(
 
 
 def _collect_metrics(
-    spec: ScenarioSpec, build: ScenarioBuild, timed_advances: int = 0
+    spec: ScenarioSpec, build: "ScenarioBuild", timed_advances: int = 0
 ) -> Dict[str, Any]:
     """Deterministic simulation metrics of a finished run."""
     api = build.api

@@ -29,7 +29,7 @@ from repro.obs.bus import canonical_json
 #: Kernel models a scenario can run on.
 KERNELS = ("tkernel", "rtkspec1", "rtkspec2")
 
-#: Built-in workload families (see :mod:`repro.campaign.registry`).
+#: Built-in workload families (see :mod:`repro.workload.builtins`).
 WORKLOADS = (
     "quickstart",
     "sync_tour",
@@ -37,6 +37,7 @@ WORKLOADS = (
     "energy_profile",
     "scheduler_comparison",
     "synthetic",
+    "generated",
 )
 
 #: Workloads that are wired to RTK-Spec TRON object services and therefore
@@ -106,6 +107,22 @@ class ScenarioSpec:
             raise SpecError(
                 f"invalid scenario {self.name!r}: priorities must be a list "
                 f"of integers, got {self.priorities!r}"
+            )
+        if not isinstance(self.name, str):
+            raise SpecError(
+                f"invalid scenario: name must be a string, got {self.name!r}"
+            )
+        if not isinstance(self.gui_enabled, bool):
+            raise SpecError(
+                f"invalid scenario {self.name!r}: gui_enabled must be a "
+                f"boolean, got {self.gui_enabled!r}"
+            )
+        if not isinstance(self.extra, Mapping) or any(
+            not isinstance(key, str) for key in self.extra
+        ):
+            raise SpecError(
+                f"invalid scenario {self.name!r}: extra must be a mapping "
+                f"with string keys, got {self.extra!r}"
             )
         if not self.name:
             problems.append("name must not be empty")
@@ -322,10 +339,13 @@ def parse_matrix_axis(text: str) -> Tuple[str, List[Any]]:
     if "=" not in text:
         raise SpecError(f"matrix axis {text!r} is not of the form key=v1,v2,...")
     key, _, values_text = text.partition("=")
+    key = key.strip()
+    if not key:
+        raise SpecError(f"matrix axis {text!r} has an empty key")
     values = [coerce_value(v) for v in values_text.split(",") if v != ""]
     if not values:
         raise SpecError(f"matrix axis {key!r} has no values")
-    return key.strip(), values
+    return key, values
 
 
 def coerce_value(text: str) -> Any:
@@ -354,8 +374,11 @@ def parse_overrides(pairs: Iterable[str]) -> Dict[str, Any]:
         if "=" not in pair:
             raise SpecError(f"override {pair!r} is not of the form key=value")
         key, _, value = pair.partition("=")
+        key = key.strip()
+        if not key:
+            raise SpecError(f"override {pair!r} has an empty key")
         if "," in value:
-            overrides[key.strip()] = [coerce_value(v) for v in value.split(",")]
+            overrides[key] = [coerce_value(v) for v in value.split(",")]
         else:
-            overrides[key.strip()] = coerce_value(value)
+            overrides[key] = coerce_value(value)
     return overrides

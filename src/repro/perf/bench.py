@@ -48,7 +48,7 @@ BENCH_SCHEMA = "repro-bench/1"
 
 #: The PR this checkout's trajectory file belongs to; bumped by each PR that
 #: records a new data point.
-CURRENT_PR = 4
+CURRENT_PR = 5
 
 #: Scenarios cheap enough to run on every ``repro bench`` invocation.
 DEFAULT_SCENARIOS = (
@@ -319,6 +319,36 @@ def bench_cache_hit(
     }
 
 
+def bench_workload_plane(scale: int = 1) -> Dict[str, Any]:
+    """Scenario-plane timing: composition resolution and family expansion.
+
+    The PR-5 numbers: how many scenario compositions resolve per second
+    (registry lookup + component construction, the per-member tax every
+    family sweep pays before wiring) and how long a 100-member seeded
+    family takes to expand into validated specs.
+    """
+    from repro.campaign.registry import get_scenario
+    from repro.workload import FamilySpec, compose, expand_family
+
+    spec = get_scenario("synthetic-rtk")
+    rounds = max(1, 2000 // scale)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        compose(spec)
+    compose_seconds = time.perf_counter() - start
+
+    family = FamilySpec(name="bench", count=100, seed=5,
+                        kernels=("tkernel", "rtkspec1", "rtkspec2"))
+    start = time.perf_counter()
+    members = expand_family(family)
+    expand_seconds = time.perf_counter() - start
+    return {
+        "composes_per_s": rounds / compose_seconds if compose_seconds else None,
+        "family_members": len(members),
+        "family_expand_seconds": expand_seconds,
+    }
+
+
 # ----------------------------------------------------------------------
 # Report assembly
 # ----------------------------------------------------------------------
@@ -357,6 +387,7 @@ def run_benchmarks(
     table2 = bench_table2_speed(simulated_ms=50 if quick else 200)
     scenario_results = run_scenario_benchmarks(scenario_names)
     grid = bench_cache_hit(repeats=1 if quick else 3)
+    workload = bench_workload_plane(scale=scale)
     return {
         "schema": BENCH_SCHEMA,
         "pr": CURRENT_PR,
@@ -373,6 +404,7 @@ def run_benchmarks(
         "microbench": microbench,
         "table2": table2,
         "grid": grid,
+        "workload": workload,
         "scenarios": scenario_results,
     }
 
@@ -380,7 +412,7 @@ def run_benchmarks(
 #: Keys (and nested keys) every report document must carry.
 _REQUIRED_TOP_LEVEL = (
     "schema", "pr", "quick", "created_utc", "host",
-    "microbench", "table2", "grid", "scenarios",
+    "microbench", "table2", "grid", "workload", "scenarios",
 )
 _REQUIRED_MICROBENCH = (
     "timed_waits_per_s", "timeout_waits_per_s",
@@ -417,6 +449,18 @@ def validate_report(document: Dict[str, Any]) -> List[str]:
         value = grid.get(key)
         if not isinstance(value, (int, float)) or value <= 0:
             problems.append(f"grid.{key} must be a positive number, got {value!r}")
+    workload = document.get("workload", {})
+    for key in ("composes_per_s", "family_expand_seconds"):
+        value = workload.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            problems.append(
+                f"workload.{key} must be a positive number, got {value!r}"
+            )
+    if workload.get("family_members") != 100:
+        problems.append(
+            "workload.family_members must be 100, got "
+            f"{workload.get('family_members')!r}"
+        )
     scenarios = document.get("scenarios", {})
     if not isinstance(scenarios, dict) or not scenarios:
         problems.append("scenarios must be a non-empty mapping")
@@ -455,6 +499,13 @@ def render_report(document: Dict[str, Any]) -> str:
             f"  grid cache hit   : {grid['hit_seconds'] * 1e3:>9.2f} ms vs "
             f"{grid['fresh_seconds'] * 1e3:.1f} ms fresh "
             f"({grid['speedup']:.0f}x, {grid['scenario']})"
+        )
+    workload = document.get("workload")
+    if workload:
+        lines.append(
+            f"  scenario compose : {workload['composes_per_s']:>12,.0f} /s   "
+            f"family expand ({workload['family_members']} members): "
+            f"{workload['family_expand_seconds'] * 1e3:.1f} ms"
         )
     rows = [
         (

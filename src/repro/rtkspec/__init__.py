@@ -11,8 +11,14 @@ but with a minimal task API (create/start/sleep/wakeup/delay/exit), which is
 what a bare-metal 8051 scheduler typically offers.
 """
 
-from repro.rtkspec.base import RTKSpecKernel, RTKTask
+from repro.rtkspec.base import (
+    KERNEL_MODELS,
+    RTKSpecKernel,
+    RTKTask,
+    kernel_model_class,
+)
 from repro.rtkspec.rtk1 import RTKSpec1
 from repro.rtkspec.rtk2 import RTKSpec2
 
-__all__ = ["RTKSpecKernel", "RTKTask", "RTKSpec1", "RTKSpec2"]
+__all__ = ["KERNEL_MODELS", "RTKSpecKernel", "RTKTask", "RTKSpec1",
+           "RTKSpec2", "kernel_model_class"]

@@ -22,6 +22,22 @@ from repro.sysc.time import SimTime
 #: Signature of an RTK-Spec task function (no start code / exinf here).
 RTKTaskFunction = Callable[[], Generator[object, object, None]]
 
+#: Campaign model key -> kernel class; subclasses register themselves via
+#: ``model_key`` so :class:`~repro.workload.KernelProfile` instantiates
+#: kernels by spec name without hard-wiring the class list anywhere.
+KERNEL_MODELS: Dict[str, type] = {}
+
+
+def kernel_model_class(model_key: str) -> type:
+    """The RTK-Spec kernel class registered under *model_key*."""
+    try:
+        return KERNEL_MODELS[model_key]
+    except KeyError:
+        known = ", ".join(sorted(KERNEL_MODELS))
+        raise KeyError(
+            f"unknown RTK-Spec kernel model {model_key!r} (known: {known})"
+        ) from None
+
 
 class RTKTask:
     """A task of the RTK-Spec I/II kernels."""
@@ -43,6 +59,15 @@ class RTKSpecKernel(SCModule):
 
     #: Name reported by :meth:`describe`; subclasses override.
     kernel_name = "RTK-Spec"
+
+    #: Campaign spec kernel key; subclasses that set it are registered in
+    #: :data:`KERNEL_MODELS` automatically.
+    model_key = ""
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        if cls.__dict__.get("model_key"):
+            KERNEL_MODELS[cls.model_key] = cls
 
     def __init__(
         self,

@@ -18,6 +18,7 @@ class RTKSpec1(RTKSpecKernel):
     """Round-robin kernel (RTK-Spec I)."""
 
     kernel_name = "RTK-Spec I"
+    model_key = "rtkspec1"
 
     def __init__(
         self,

@@ -18,6 +18,7 @@ class RTKSpec2(RTKSpecKernel):
     """Priority-based preemptive kernel (RTK-Spec II)."""
 
     kernel_name = "RTK-Spec II"
+    model_key = "rtkspec2"
 
     def __init__(
         self,

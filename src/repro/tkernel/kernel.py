@@ -60,6 +60,9 @@ UserMain = Callable[["TKernelOS"], Generator[object, object, None]]
 class TKernelOS(SCModule):
     """The T-Kernel/OS simulation model (RTK-Spec TRON)."""
 
+    #: Campaign spec kernel key (see :class:`repro.workload.KernelProfile`).
+    model_key = "tkernel"
+
     def __init__(
         self,
         simulator: Simulator,

@@ -1,0 +1,68 @@
+"""repro.workload — the composable scenario plane.
+
+Scenarios are compositions of four orthogonal parts — :class:`Platform`
+(BFM hardware set), :class:`KernelProfile` (kernel model + knobs),
+:class:`Workload` (declarative task sets / named applications) and
+:class:`Probes` (obs-bus sink wiring) — resolved from a
+:class:`~repro.campaign.spec.ScenarioSpec` by :func:`compose`.
+
+:mod:`repro.workload.tasks` is the declarative task model (arrival laws,
+compute bursts, service-call mixes); :mod:`repro.workload.families` expands
+a small seeded :class:`FamilySpec` into unbounded distinct-but-reproducible
+scenario specs that flow through the grid unchanged.
+"""
+
+from repro.workload.components import (
+    Composition,
+    KernelProfile,
+    PLATFORM_KINDS,
+    Platform,
+    Probes,
+    ScenarioBuild,
+    Workload,
+    compose,
+    register_workload,
+    workload_component,
+    workload_names,
+)
+from repro.workload.tasks import (
+    ARRIVAL_LAWS,
+    SERVICE_CALLS,
+    CyclicDef,
+    TaskDef,
+    parse_taskset,
+)
+from repro.workload.families import (
+    FAMILY_SCHEMA,
+    FamilySpec,
+    expand_family,
+    family_member,
+    load_family_file,
+)
+
+# Importing the builtins registers every built-in workload component.
+from repro.workload import builtins as _builtins  # noqa: F401
+
+__all__ = [
+    "ARRIVAL_LAWS",
+    "Composition",
+    "CyclicDef",
+    "FAMILY_SCHEMA",
+    "FamilySpec",
+    "KernelProfile",
+    "PLATFORM_KINDS",
+    "Platform",
+    "Probes",
+    "SERVICE_CALLS",
+    "ScenarioBuild",
+    "TaskDef",
+    "Workload",
+    "compose",
+    "expand_family",
+    "family_member",
+    "load_family_file",
+    "parse_taskset",
+    "register_workload",
+    "workload_component",
+    "workload_names",
+]

@@ -1,0 +1,580 @@
+"""The built-in workload components.
+
+Every workload family the registry knows is one :class:`Workload` component
+here: the paper's named applications (quickstart, sync tour, the Fig. 5
+video-game framework and its energy-profile variant), the RTK-Spec
+scheduler comparison, the legacy seeded ``synthetic`` periodic sets, and
+the fully-declarative ``generated`` family the
+:mod:`repro.workload.families` generator emits.
+
+These are refactors of the old monolithic ``campaign/registry.py`` builder
+functions into the Platform × KernelProfile × Workload × Probes component
+model; their event streams and metrics are byte-identical to the
+pre-refactor builders (pinned by ``tests/campaign/test_golden_streams.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Tuple
+
+from repro.campaign.spec import ScenarioSpec, SpecError
+from repro.core.events import ExecutionContext
+from repro.sysc.time import SimTime
+from repro.workload.components import (
+    Composition,
+    Platform,
+    ScenarioBuild,
+    Workload,
+    register_workload,
+)
+from repro.workload.tasks import install_rtk_tasks, parse_taskset, \
+    tkernel_user_main
+
+
+@register_workload
+class QuickstartWorkload(Workload):
+    """Producer/consumer pairs over semaphores plus a cyclic heartbeat."""
+
+    name = "quickstart"
+    kernels = ("tkernel",)
+
+    def resolve(self, spec: ScenarioSpec) -> Dict[str, Any]:
+        pairs = max(1, spec.task_count // 2)
+        return {
+            "pairs": pairs,
+            "items": int(spec.extra.get("items", 5)),
+            "produce_period_ms": spec.period_ms,
+            "consume_ms": max(spec.period_ms / 3.0, 0.5),
+            "heartbeat_ms": int(spec.extra.get("heartbeat_ms", 10)),
+            "tasks": [
+                name
+                for pair in range(pairs)
+                for name in (f"producer{pair}", f"consumer{pair}")
+            ],
+            "handlers": ["heartbeat"],
+        }
+
+    def build(self, spec: ScenarioSpec, composition: Composition) -> ScenarioBuild:
+        # Wire exactly the parameters resolve() advertises: `repro describe`
+        # and the run can never drift apart.
+        params = self.resolve(spec)
+        items = params["items"]
+        heartbeat_ms = params["heartbeat_ms"]
+        pairs = params["pairs"]
+        produce_period_ms = params["produce_period_ms"]
+        consume_ms = params["consume_ms"]
+        counters = {"produced": 0, "consumed": 0, "heartbeats": 0}
+
+        def user_main(kernel):
+            api = kernel.api
+            for pair in range(pairs):
+                semid = yield from kernel.tk_cre_sem(
+                    isemcnt=0, maxsem=items, name=f"items{pair}"
+                )
+
+                def producer(stacd, exinf, semid=semid):
+                    for _ in range(items):
+                        yield from api.sim_wait(
+                            duration=SimTime.ms(produce_period_ms), label="produce"
+                        )
+                        yield from kernel.tk_sig_sem(semid)
+                        counters["produced"] += 1
+
+                def consumer(stacd, exinf, semid=semid):
+                    for _ in range(items):
+                        yield from kernel.tk_wai_sem(semid)
+                        yield from api.sim_wait(
+                            duration=SimTime.ms(consume_ms), label="consume"
+                        )
+                        counters["consumed"] += 1
+
+                producer_id = yield from kernel.tk_cre_tsk(
+                    producer, itskpri=10 + pair, name=f"producer{pair}"
+                )
+                consumer_id = yield from kernel.tk_cre_tsk(
+                    consumer, itskpri=5 + pair, name=f"consumer{pair}"
+                )
+                yield from kernel.tk_sta_tsk(producer_id)
+                yield from kernel.tk_sta_tsk(consumer_id)
+
+            def heartbeat(exinf):
+                yield from api.sim_wait(
+                    duration=SimTime.us(200), context=ExecutionContext.HANDLER
+                )
+                counters["heartbeats"] += 1
+
+            cycid = yield from kernel.tk_cre_cyc(
+                heartbeat, cyctim=heartbeat_ms, name="heartbeat"
+            )
+            yield from kernel.tk_sta_cyc(cycid)
+
+        simulator = composition.platform.create_simulator(spec.name)
+        kernel = composition.kernel.instantiate(simulator, user_main=user_main)
+        return ScenarioBuild(
+            simulator=simulator,
+            api=kernel.api,
+            kernel_statistics=kernel.statistics,
+            workload_metrics=lambda: dict(counters),
+            probes=composition.probes,
+        )
+
+
+@register_workload
+class SyncTourWorkload(Workload):
+    """The sync-primitives tour: flags, mutexes, mailboxes, buffers, pools."""
+
+    name = "sync_tour"
+    kernels = ("tkernel",)
+
+    def resolve(self, spec: ScenarioSpec) -> Dict[str, Any]:
+        return {
+            "samples": int(spec.extra.get("samples", 4)),
+            "sample_ms": float(spec.extra.get("sample_ms", 2.0)),
+            "tasks": ["sensor", "processor", "supervisor"],
+            "objects": ["eventflag", "mutex", "mailbox", "msgbuf", "mempool"],
+        }
+
+    def build(self, spec: ScenarioSpec, composition: Composition) -> ScenarioBuild:
+        from repro.tkernel import TA_INHERIT, TA_WMUL, TWF_ANDW
+
+        params = self.resolve(spec)
+        samples = params["samples"]
+        sample_ms = params["sample_ms"]
+        counters = {"samples_sent": 0, "samples_processed": 0, "supervised": 0}
+
+        def user_main(kernel):
+            api = kernel.api
+            flag_id = yield from kernel.tk_cre_flg(
+                iflgptn=0, flgatr=TA_WMUL, name="phases"
+            )
+            mutex_id = yield from kernel.tk_cre_mtx(mtxatr=TA_INHERIT, name="shared")
+            mailbox_id = yield from kernel.tk_cre_mbx(name="commands")
+            buffer_id = yield from kernel.tk_cre_mbf(
+                bufsz=64, maxmsz=16, name="samples"
+            )
+            pool_id = yield from kernel.tk_cre_mpf(mpfcnt=3, blfsz=32, name="pool")
+
+            def sensor(stacd, exinf):
+                for sample in range(samples):
+                    yield from api.sim_wait(
+                        duration=SimTime.ms(sample_ms), label="sample"
+                    )
+                    yield from kernel.tk_snd_mbf(buffer_id, ("sample", sample), size=4)
+                    yield from kernel.tk_set_flg(flag_id, 0b01)
+                    counters["samples_sent"] += 1
+                yield from kernel.tk_snd_mbx(mailbox_id, "shutdown")
+                yield from kernel.tk_set_flg(flag_id, 0b10)
+
+            def processor(stacd, exinf):
+                while True:
+                    ercd, payload, size = yield from kernel.tk_rcv_mbf(
+                        buffer_id, tmout=50
+                    )
+                    if ercd != 0:
+                        return
+                    yield from kernel.tk_loc_mtx(mutex_id)
+                    yield from api.sim_wait(duration=SimTime.ms(1), label="process")
+                    yield from kernel.tk_unl_mtx(mutex_id)
+                    ercd, block = yield from kernel.tk_get_mpf(pool_id)
+                    counters["samples_processed"] += 1
+                    yield from kernel.tk_rel_mpf(pool_id, block)
+
+            def supervisor(stacd, exinf):
+                yield from kernel.tk_wai_flg(flag_id, 0b11, TWF_ANDW)
+                yield from kernel.tk_rcv_mbx(mailbox_id)
+                counters["supervised"] += 1
+
+            for name, fn, pri in [("sensor", sensor, 10), ("processor", processor, 8),
+                                  ("supervisor", supervisor, 5)]:
+                task_id = yield from kernel.tk_cre_tsk(fn, itskpri=pri, name=name)
+                yield from kernel.tk_sta_tsk(task_id)
+
+        simulator = composition.platform.create_simulator(spec.name)
+        kernel = composition.kernel.instantiate(simulator, user_main=user_main)
+        return ScenarioBuild(
+            simulator=simulator,
+            api=kernel.api,
+            kernel_statistics=kernel.statistics,
+            workload_metrics=lambda: dict(counters),
+            probes=composition.probes,
+        )
+
+
+class _FrameworkWorkload(Workload):
+    """Shared base of the Fig. 5 co-simulation framework workloads.
+
+    The i8051 platform of these scenarios is monolithic by construction —
+    :class:`~repro.app.framework.CoSimulationFramework` wires BFM, kernel,
+    application and widgets in one pass — so the composition hands its
+    platform and kernel knobs to the framework instead of assembling the
+    parts itself.
+    """
+
+    name = "videogame"
+    kernels = ("tkernel",)
+
+    def platform_for(self, spec: ScenarioSpec) -> Platform:
+        return Platform(
+            kind="i8051",
+            tick_ms=spec.tick_ms,
+            bfm_access_period_ms=spec.bfm_access_period_ms,
+            gui_enabled=spec.gui_enabled,
+        )
+
+    def _render_cycles(self, spec: ScenarioSpec):
+        return None
+
+    def resolve(self, spec: ScenarioSpec) -> Dict[str, Any]:
+        resolved: Dict[str, Any] = {
+            "application": "videogame",
+            "lcd_update_period_ms": spec.bfm_access_period_ms,
+            "key_period_ms": int(spec.extra.get("key_period_ms", 80)),
+            "tasks": ["T1_lcd", "T2_keypad", "T3_ssd", "T4_idle"],
+            "handlers": ["H1_cyclic", "H2_alarm", "keypad_isr"],
+        }
+        render_cycles = self._render_cycles(spec)
+        if render_cycles is not None:
+            resolved["render_cycles"] = render_cycles
+        return resolved
+
+    def build(self, spec: ScenarioSpec, composition: Composition) -> ScenarioBuild:
+        from repro.app.framework import CoSimulationFramework, FrameworkConfig
+
+        platform = composition.platform
+        params = self.resolve(spec)
+        config = FrameworkConfig.from_knobs(
+            duration_ms=spec.duration_ms,
+            gui_enabled=platform.gui_enabled,
+            lcd_update_period_ms=platform.bfm_access_period_ms,
+            key_period_ms=params["key_period_ms"],
+            render_cycles=params.get("render_cycles"),
+            tick_ms=platform.tick_ms,
+        )
+        framework = CoSimulationFramework(config, name=spec.name)
+
+        def workload_metrics() -> Dict[str, Any]:
+            application = framework.application.summary()
+            bfm = framework.bfm.access_statistics()
+            framework.widgets.battery.update()
+            return {
+                "frames_rendered": application["frames_rendered"],
+                "keys_handled": application["keys_handled"],
+                "score": application["score"],
+                "bus_accesses": bfm["bus_accesses"],
+                "interrupts_raised": bfm["interrupts_raised"],
+                "gui_callbacks": framework.widgets.callback_count(),
+                "battery_remaining_fraction":
+                    framework.widgets.battery.remaining_fraction,
+            }
+
+        return ScenarioBuild(
+            simulator=framework.simulator,
+            api=framework.api,
+            kernel_statistics=framework.kernel.statistics,
+            workload_metrics=workload_metrics,
+            probes=composition.probes,
+        )
+
+
+@register_workload
+class VideogameWorkload(_FrameworkWorkload):
+    """Full Fig. 5 co-simulation: video game + i8051 BFM + GUI widgets."""
+
+    name = "videogame"
+
+
+@register_workload
+class EnergyProfileWorkload(_FrameworkWorkload):
+    """The Fig. 7 energy-distribution variant with a render budget knob."""
+
+    name = "energy_profile"
+
+    def _render_cycles(self, spec: ScenarioSpec):
+        return int(spec.extra.get("render_cycles", 400))
+
+
+@register_workload
+class SchedulerComparisonWorkload(Workload):
+    """An identical one-shot task set run under the chosen RTK-Spec kernel."""
+
+    name = "scheduler_comparison"
+    kernels = ("rtkspec1", "rtkspec2")
+
+    @staticmethod
+    def task_set(spec: ScenarioSpec) -> List[Tuple[str, int, float]]:
+        """The fixed four-task workload of the scheduler-comparison example,
+        extended deterministically when the spec asks for more tasks."""
+        base = [
+            ("logger", 30, 12.0),
+            ("control", 5, 6.0),
+            ("comms", 15, 9.0),
+            ("background", 40, 15.0),
+        ]
+        tasks = base[: spec.task_count]
+        rng = random.Random(spec.seed)
+        while len(tasks) < spec.task_count:
+            index = len(tasks)
+            tasks.append(
+                (f"extra{index}", rng.randrange(5, 45), float(rng.randrange(4, 16)))
+            )
+        if spec.priorities:
+            tasks = [
+                (name, priority, execution_ms)
+                for (name, _, execution_ms), priority
+                in zip(tasks, spec.priorities)
+            ]
+        return tasks
+
+    def resolve(self, spec: ScenarioSpec) -> Dict[str, Any]:
+        return {
+            "tasks": [
+                {"name": name, "priority": priority, "execution_ms": execution_ms}
+                for name, priority, execution_ms in self.task_set(spec)
+            ],
+        }
+
+    def build(self, spec: ScenarioSpec, composition: Composition) -> ScenarioBuild:
+        simulator = composition.platform.create_simulator(spec.name)
+        kernel = composition.kernel.instantiate(simulator)
+        completions: Dict[str, float] = {}
+
+        def make_body(name: str, execution_ms: float):
+            def body():
+                yield from kernel.api.sim_wait(
+                    duration=SimTime.ms(execution_ms), label=name
+                )
+                completions[name] = simulator.now.to_ms()
+
+            return body
+
+        for name, priority, execution_ms in self.task_set(spec):
+            task = kernel.create_task(
+                make_body(name, execution_ms), priority=priority, name=name
+            )
+            kernel.start_task(task)
+
+        def workload_metrics() -> Dict[str, Any]:
+            return {
+                "completions": len(completions),
+                "completion_times_ms": {
+                    name: completions[name] for name in sorted(completions)
+                },
+                "makespan_ms": max(completions.values()) if completions else None,
+            }
+
+        return ScenarioBuild(
+            simulator=simulator,
+            api=kernel.api,
+            kernel_statistics=kernel.statistics,
+            workload_metrics=workload_metrics,
+            probes=composition.probes,
+        )
+
+
+@register_workload
+class SyntheticWorkload(Workload):
+    """A seeded synthetic periodic task set on any kernel model.
+
+    Predates the declarative ``generated`` family and stays for spec-hash
+    compatibility: existing stored results and the builtin
+    ``synthetic-tkernel``/``synthetic-rtk`` scenarios keep their cache keys.
+    """
+
+    name = "synthetic"
+
+    @staticmethod
+    def task_set(spec: ScenarioSpec) -> List[Tuple[str, int, float, float]]:
+        """Draw a periodic task set (name, priority, period_ms, execution_ms)
+        from the spec's seed.  Same seed, same set — on every host."""
+        rng = random.Random(spec.seed)
+        tasks = []
+        for index in range(spec.task_count):
+            period = spec.period_ms * rng.choice((1, 2, 4))
+            execution = max(0.5, round(period * rng.uniform(0.1, 0.4), 3))
+            if spec.priorities:
+                priority = spec.priorities[index]
+            else:
+                priority = 5 + rng.randrange(0, 40)
+            tasks.append((f"syn{index}", priority, period, execution))
+        return tasks
+
+    def resolve(self, spec: ScenarioSpec) -> Dict[str, Any]:
+        return {
+            "jobs": int(spec.extra.get("jobs", 3)),
+            "tasks": [
+                {"name": name, "priority": priority, "period_ms": period_ms,
+                 "execution_ms": execution_ms}
+                for name, priority, period_ms, execution_ms in self.task_set(spec)
+            ],
+        }
+
+    def build(self, spec: ScenarioSpec, composition: Composition) -> ScenarioBuild:
+        params = self.resolve(spec)
+        jobs = params["jobs"]
+        tasks = [
+            (task["name"], task["priority"], task["period_ms"],
+             task["execution_ms"])
+            for task in params["tasks"]
+        ]
+        counters = {"jobs_completed": 0}
+
+        if spec.kernel == "tkernel":
+            def user_main(kernel):
+                api = kernel.api
+
+                def make_body(period_ms: float, execution_ms: float):
+                    def body(stacd, exinf):
+                        for _ in range(jobs):
+                            yield from api.sim_wait(
+                                duration=SimTime.ms(execution_ms), label="job"
+                            )
+                            counters["jobs_completed"] += 1
+                            yield from kernel.tk_dly_tsk(int(period_ms))
+
+                    return body
+
+                for name, priority, period_ms, execution_ms in tasks:
+                    task_id = yield from kernel.tk_cre_tsk(
+                        make_body(period_ms, execution_ms),
+                        itskpri=min(priority, 140),
+                        name=name,
+                    )
+                    yield from kernel.tk_sta_tsk(task_id)
+
+            simulator = composition.platform.create_simulator(spec.name)
+            kernel = composition.kernel.instantiate(simulator, user_main=user_main)
+            return ScenarioBuild(
+                simulator=simulator,
+                api=kernel.api,
+                kernel_statistics=kernel.statistics,
+                workload_metrics=lambda: dict(counters),
+                probes=composition.probes,
+            )
+
+        simulator = composition.platform.create_simulator(spec.name)
+        kernel = composition.kernel.instantiate(simulator)
+
+        def make_body(period_ms: float, execution_ms: float):
+            def body():
+                for _ in range(jobs):
+                    yield from kernel.api.sim_wait(
+                        duration=SimTime.ms(execution_ms), label="job"
+                    )
+                    counters["jobs_completed"] += 1
+                    yield from kernel.delay(SimTime.ms(period_ms))
+
+            return body
+
+        for name, priority, period_ms, execution_ms in tasks:
+            task = kernel.create_task(
+                make_body(period_ms, execution_ms), priority=priority, name=name
+            )
+            kernel.start_task(task)
+
+        return ScenarioBuild(
+            simulator=simulator,
+            api=kernel.api,
+            kernel_statistics=kernel.statistics,
+            workload_metrics=lambda: dict(counters),
+            probes=composition.probes,
+        )
+
+
+@register_workload
+class GeneratedWorkload(Workload):
+    """A fully-declarative task-set workload, usually family-generated.
+
+    The spec's ``extra['tasks']`` (a list of
+    :class:`~repro.workload.tasks.TaskDef` documents) and optional
+    ``extra['cyclics']`` carry the whole task graph as plain JSON; the
+    optional ``extra['platform']`` knob picks ``bare`` (default) or ``rtc``
+    (kernel tick driven by a BFM real-time clock, tkernel only).
+    """
+
+    name = "generated"
+
+    def _platform_kind(self, spec: ScenarioSpec) -> str:
+        """Cheap platform/shape validation — no per-task parsing.
+
+        ``compose()`` calls this through :meth:`platform_for` while
+        :meth:`build`/:meth:`resolve` do the full task-set parse, so a
+        scenario build parses the declarative documents exactly once.
+        """
+        tasks = spec.extra.get("tasks", ())
+        if not isinstance(tasks, (list, tuple)) or not tasks:
+            raise SpecError("generated workload needs a non-empty 'tasks' list")
+        platform_kind = spec.extra.get("platform", "bare")
+        if platform_kind not in ("bare", "rtc"):
+            raise SpecError(
+                f"generated workload platform must be 'bare' or 'rtc', "
+                f"got {platform_kind!r}"
+            )
+        if platform_kind == "rtc" and spec.kernel != "tkernel":
+            raise SpecError(
+                f"platform 'rtc' needs kernel 'tkernel', not {spec.kernel!r}"
+            )
+        return platform_kind
+
+    def _taskset(self, spec: ScenarioSpec):
+        tasks, cyclics = parse_taskset(
+            spec.extra.get("tasks", ()), spec.extra.get("cyclics", ())
+        )
+        if spec.kernel != "tkernel":
+            if cyclics:
+                raise SpecError(
+                    "cyclic handlers need kernel 'tkernel', "
+                    f"not {spec.kernel!r}"
+                )
+            for task in tasks:
+                if task.services:
+                    raise SpecError(
+                        f"task {task.name!r} has a service-call mix, which "
+                        f"needs kernel 'tkernel', not {spec.kernel!r}"
+                    )
+                # The tkernel interpreter clamps priorities into the ITRON
+                # range; the minimal RTK API passes them straight to the
+                # scheduler, whose ready bitmap covers [0, 256).
+                if task.priority >= 256:
+                    raise SpecError(
+                        f"task {task.name!r}: priority {task.priority} is "
+                        f"outside the RTK-Spec scheduler range [1, 256)"
+                    )
+        return tasks, cyclics
+
+    def platform_for(self, spec: ScenarioSpec) -> Platform:
+        return Platform(kind=self._platform_kind(spec), tick_ms=spec.tick_ms)
+
+    def resolve(self, spec: ScenarioSpec) -> Dict[str, Any]:
+        tasks, cyclics = self._taskset(spec)
+        return {
+            "seed": spec.seed,
+            "tasks": [task.to_dict() for task in tasks],
+            "cyclics": [cyclic.to_dict() for cyclic in cyclics],
+        }
+
+    def build(self, spec: ScenarioSpec, composition: Composition) -> ScenarioBuild:
+        tasks, cyclics = self._taskset(spec)
+        counters = {"jobs_completed": 0, "service_rounds": 0, "handler_fires": 0}
+
+        simulator = composition.platform.create_simulator(spec.name)
+        if spec.kernel == "tkernel":
+            tick_signal = None
+            if composition.platform.kind == "rtc":
+                tick_signal = composition.platform.create_rtc(simulator).tick_signal
+            kernel = composition.kernel.instantiate(
+                simulator,
+                user_main=tkernel_user_main(tasks, cyclics, spec.seed, counters),
+                tick_signal=tick_signal,
+            )
+        else:
+            kernel = composition.kernel.instantiate(simulator)
+            install_rtk_tasks(kernel, tasks, spec.seed, counters)
+
+        return ScenarioBuild(
+            simulator=simulator,
+            api=kernel.api,
+            kernel_statistics=kernel.statistics,
+            workload_metrics=lambda: dict(counters),
+            probes=composition.probes,
+        )

@@ -1,0 +1,293 @@
+"""The composable scenario plane: Platform × KernelProfile × Workload × Probes.
+
+Scenario construction used to be nine hand-wired monolithic builder
+functions; this module factors every scenario into four orthogonal,
+declaratively-describable parts:
+
+* :class:`Platform` — the BFM hardware set underneath the kernel: a bare
+  simulator, a BFM real-time clock driving the kernel tick, or the full
+  i8051 BFM (bus, intc, rtc, peripherals, budgets) of the Fig. 5 framework.
+* :class:`KernelProfile` — which kernel model runs (RTK-Spec TRON, I or II)
+  plus its configuration knobs (tick, time slice).
+* :class:`Workload` — what the software does: declarative task sets with
+  arrival laws, compute bursts, service-call mixes and handler patterns
+  (see :mod:`repro.workload.tasks`), or one of the paper's named
+  applications.
+* :class:`Probes` — which observability-bus topics the campaign runner
+  streams/collects for the run.
+
+:func:`compose` resolves a :class:`~repro.campaign.spec.ScenarioSpec` into
+a :class:`Composition` of those four parts; ``Composition.build`` assembles
+the runnable :class:`ScenarioBuild` and ``Composition.describe`` renders the
+resolved parts as a canonical-JSON-able document (the ``repro describe``
+verb).  The composition layer is a pure refactor of the old builders: the
+event streams and metrics it produces are byte-identical (pinned by
+``tests/campaign/test_golden_streams.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.campaign.spec import KERNELS, ScenarioSpec, SpecError
+from repro.core.simapi import SimApi
+from repro.sysc.kernel import Simulator
+from repro.sysc.time import SimTime
+
+#: Hardware sets a scenario can run on.
+PLATFORM_KINDS = ("bare", "rtc", "i8051")
+
+
+@dataclass(frozen=True)
+class Platform:
+    """The BFM hardware set a scenario runs on.
+
+    ``bare`` is a naked DES simulator (the kernel generates its own tick);
+    ``rtc`` adds a BFM :class:`~repro.bfm.rtc.RealTimeClock` whose tick
+    signal drives the kernel's dispatch process; ``i8051`` is the paper's
+    full Fig. 5 BFM — bus driver, memory controller, interrupt controller,
+    RTC, serial/parallel I/O and the LCD/keypad/SSD peripherals — assembled
+    by :class:`~repro.app.framework.CoSimulationFramework`.
+    """
+
+    kind: str = "bare"
+    tick_ms: float = 1.0
+    #: i8051 only: the LCD access period (the Table 2 speed knob).
+    bfm_access_period_ms: int = 10
+    #: i8051 only: whether the GUI widgets (and their host cost) attach.
+    gui_enabled: bool = False
+
+    def validate(self) -> "Platform":
+        if self.kind not in PLATFORM_KINDS:
+            raise SpecError(
+                f"unknown platform kind {self.kind!r} "
+                f"(choose from {PLATFORM_KINDS})"
+            )
+        return self
+
+    def describe(self) -> Dict[str, Any]:
+        """The resolved hardware set, JSON-safe."""
+        document: Dict[str, Any] = {"kind": self.kind, "tick_ms": self.tick_ms}
+        if self.kind == "rtc":
+            document["controllers"] = ["rtc"]
+        elif self.kind == "i8051":
+            from repro.bfm.i8051 import BFM_CONTROLLERS, BFM_PERIPHERALS
+
+            document.update(
+                controllers=list(BFM_CONTROLLERS),
+                peripherals=list(BFM_PERIPHERALS),
+                bfm_access_period_ms=self.bfm_access_period_ms,
+                gui_enabled=self.gui_enabled,
+            )
+        return document
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def create_simulator(self, name: str) -> Simulator:
+        """The DES simulator every platform kind starts from."""
+        return Simulator(name)
+
+    def create_rtc(self, simulator: Simulator):
+        """The BFM real-time clock of an ``rtc`` platform."""
+        from repro.bfm.rtc import RealTimeClock
+
+        return RealTimeClock(simulator, resolution=SimTime.ms(self.tick_ms))
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Which kernel model runs, and how it is configured."""
+
+    model: str = "tkernel"
+    tick_ms: float = 1.0
+    #: Round-robin time slice in ticks (rtkspec1 only).
+    time_slice_ticks: int = 4
+
+    def validate(self) -> "KernelProfile":
+        if self.model not in KERNELS:
+            raise SpecError(
+                f"unknown kernel model {self.model!r} (choose from {KERNELS})"
+            )
+        return self
+
+    def describe(self) -> Dict[str, Any]:
+        document: Dict[str, Any] = {"model": self.model, "tick_ms": self.tick_ms}
+        if self.model == "rtkspec1":
+            document["time_slice_ticks"] = self.time_slice_ticks
+        return document
+
+    def instantiate(
+        self,
+        simulator: Simulator,
+        user_main: Optional[Callable] = None,
+        tick_signal: Any = None,
+    ):
+        """Build the configured kernel model on *simulator*.
+
+        ``user_main`` is the T-Kernel initial-task body (tkernel only);
+        ``tick_signal`` hands tick generation to a platform clock.
+        """
+        if self.model == "tkernel":
+            from repro.tkernel import TKernelOS
+
+            return TKernelOS(
+                simulator,
+                user_main=user_main,
+                system_tick=SimTime.ms(self.tick_ms),
+                tick_signal=tick_signal,
+            )
+        from repro.rtkspec.base import kernel_model_class
+
+        cls = kernel_model_class(self.model)
+        if self.model == "rtkspec1":
+            return cls(
+                simulator,
+                system_tick=SimTime.ms(self.tick_ms),
+                time_slice_ticks=self.time_slice_ticks,
+            )
+        return cls(simulator, system_tick=SimTime.ms(self.tick_ms))
+
+
+@dataclass(frozen=True)
+class Probes:
+    """Observability-bus sink wiring for the run.
+
+    ``topics`` are the bus topics the campaign runner's event sinks
+    (streaming JSONL writer or in-memory collector) subscribe to.  The
+    default — the ``sched`` topic alone — is the artifact contract every
+    stored cache entry and shard stream is built on, so compositions only
+    add topics, never remove ``sched`` — and a workload that does add
+    topics opts out of result-store caching (the runner skips the store
+    fill, so its runs always simulate live; see ``run_spec``).
+    """
+
+    topics: Tuple[str, ...] = ("sched",)
+
+    def validate(self) -> "Probes":
+        if "sched" not in self.topics:
+            raise SpecError("probes must keep the 'sched' topic (artifact contract)")
+        return self
+
+    def describe(self) -> Dict[str, Any]:
+        return {"topics": list(self.topics)}
+
+
+@dataclass
+class ScenarioBuild:
+    """A fully-wired scenario, ready for the runner to execute."""
+
+    simulator: Simulator
+    api: SimApi
+    kernel_statistics: Callable[[], Dict[str, Any]]
+    workload_metrics: Callable[[], Dict[str, Any]]
+    probes: Probes = field(default_factory=Probes)
+
+
+class Workload:
+    """Base class of the workload component: what the software does.
+
+    Subclasses declare their registry ``name``, the kernel models they can
+    run on, and implement :meth:`resolve` (the declarative parameter view
+    behind ``repro describe``) and :meth:`build` (the wiring).
+    """
+
+    #: Workload-family key (matches ``ScenarioSpec.workload``).
+    name: str = ""
+    #: Kernel models this workload can run on.
+    kernels: Tuple[str, ...] = KERNELS
+
+    def platform_for(self, spec: ScenarioSpec) -> Platform:
+        """The hardware set this workload needs for *spec* (default: bare)."""
+        return Platform(kind="bare", tick_ms=spec.tick_ms)
+
+    def probes_for(self, spec: ScenarioSpec) -> Probes:
+        """The bus topics the runner should record (default: ``sched``)."""
+        return Probes()
+
+    def resolve(self, spec: ScenarioSpec) -> Dict[str, Any]:
+        """The fully-resolved workload parameters of *spec*, JSON-safe."""
+        raise NotImplementedError
+
+    def build(self, spec: ScenarioSpec, composition: "Composition") -> ScenarioBuild:
+        """Wire the workload onto the composition's platform and kernel."""
+        raise NotImplementedError
+
+
+#: name -> workload component instance.
+_WORKLOAD_COMPONENTS: Dict[str, Workload] = {}
+
+
+def register_workload(component) -> Any:
+    """Register a workload component under its ``name`` (last wins).
+
+    Accepts an instance or a :class:`Workload` subclass (instantiated here),
+    so it doubles as a class decorator; the decorated name stays bound to
+    the class.
+    """
+    instance = component() if isinstance(component, type) else component
+    if not instance.name:
+        raise SpecError("workload component needs a non-empty name")
+    _WORKLOAD_COMPONENTS[instance.name] = instance
+    return component
+
+
+def workload_component(name: str) -> Workload:
+    """The registered workload component called *name*."""
+    try:
+        return _WORKLOAD_COMPONENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(_WORKLOAD_COMPONENTS))
+        raise SpecError(
+            f"no workload component {name!r} (known: {known})"
+        ) from None
+
+
+def workload_names() -> List[str]:
+    """All registered workload component names, sorted."""
+    return sorted(_WORKLOAD_COMPONENTS)
+
+
+@dataclass(frozen=True)
+class Composition:
+    """One scenario, factored into its four orthogonal parts."""
+
+    platform: Platform
+    kernel: KernelProfile
+    workload: Workload
+    probes: Probes
+
+    def build(self, spec: ScenarioSpec) -> ScenarioBuild:
+        """Assemble the runnable scenario the composition describes."""
+        return self.workload.build(spec, self)
+
+    def describe(self, spec: ScenarioSpec) -> Dict[str, Any]:
+        """The composed parts with every parameter resolved, JSON-safe."""
+        return {
+            "platform": self.platform.describe(),
+            "kernel": self.kernel.describe(),
+            "workload": {"name": self.workload.name, **self.workload.resolve(spec)},
+            "probes": self.probes.describe(),
+        }
+
+
+def compose(spec: ScenarioSpec) -> Composition:
+    """Resolve *spec* into its Platform/KernelProfile/Workload/Probes parts."""
+    spec.validate()
+    workload = workload_component(spec.workload)
+    if spec.kernel not in workload.kernels:
+        raise SpecError(
+            f"workload {workload.name!r} cannot run on kernel {spec.kernel!r} "
+            f"(supported: {workload.kernels})"
+        )
+    return Composition(
+        platform=workload.platform_for(spec).validate(),
+        kernel=KernelProfile(
+            model=spec.kernel,
+            tick_ms=spec.tick_ms,
+            time_slice_ticks=spec.time_slice_ticks,
+        ).validate(),
+        workload=workload,
+        probes=workload.probes_for(spec).validate(),
+    )

@@ -1,0 +1,362 @@
+"""Declarative task sets: arrival laws, compute bursts, service-call mixes.
+
+A generated scenario's software is a list of :class:`TaskDef` documents
+(plus optional :class:`CyclicDef` handler patterns) carried in the spec's
+``extra["tasks"]`` knob — plain JSON, so task graphs flow through
+``spec_hash``, the result store and the shard planner exactly like every
+other spec field.
+
+Each task releases a finite number of *jobs*.  A job is: a compute burst
+(``execution_ms`` of SIM_Wait), an optional service-call mix (semaphore,
+event-flag or mailbox round-trips on shared kernel objects — deadlock-free
+by construction because every blocking call is preceded by its own post),
+then the arrival gap to the next release drawn from the task's arrival law:
+
+=============  =====================================================
+``periodic``   fixed ``period_ms`` gap
+``jittered``   ``period_ms`` plus a seeded uniform jitter in
+               ``[0, jitter_ms]``
+``sporadic``   a seeded uniform gap in ``[min_gap_ms, max_gap_ms]``
+``bursty``     ``burst_size`` releases ``intra_gap_ms`` apart, then a
+               ``burst_gap_ms`` pause
+=============  =====================================================
+
+All randomness is per-task ``random.Random`` instances seeded from the
+spec's seed via :func:`~repro.campaign.spec.derive_seed` — no wall clock,
+no global RNG, so the same spec replays the same trajectory on every host.
+
+Two interpreters install a task set on a live kernel:
+:func:`tkernel_user_main` (RTK-Spec TRON service calls, cyclic handlers)
+and :func:`install_rtk_tasks` (the minimal RTK-Spec I/II task API, compute
+and delays only).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.campaign.spec import SpecError, derive_seed
+from repro.sysc.time import SimTime
+
+#: Supported arrival laws.
+ARRIVAL_LAWS = ("periodic", "jittered", "sporadic", "bursty")
+
+#: Service-call mixes a task's job can exercise (RTK-Spec TRON only).
+SERVICE_CALLS = ("sem", "flag", "mbx")
+
+#: Fields each arrival law resolves (beyond the common set).
+_LAW_FIELDS = {
+    "periodic": ("period_ms",),
+    "jittered": ("period_ms", "jitter_ms"),
+    "sporadic": ("min_gap_ms", "max_gap_ms"),
+    "bursty": ("burst_size", "intra_gap_ms", "burst_gap_ms"),
+}
+
+
+@dataclass(frozen=True)
+class TaskDef:
+    """One declarative task: arrival law + compute burst + service mix."""
+
+    name: str
+    priority: int = 10
+    execution_ms: float = 1.0
+    law: str = "periodic"
+    jobs: int = 3
+    period_ms: float = 10.0
+    jitter_ms: float = 2.0
+    min_gap_ms: float = 5.0
+    max_gap_ms: float = 20.0
+    burst_size: int = 3
+    intra_gap_ms: float = 1.0
+    burst_gap_ms: float = 20.0
+    services: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Validation & serialization
+    # ------------------------------------------------------------------
+    def validate(self) -> "TaskDef":
+        # Type checks come first — a mistyped task document must surface as
+        # a one-line SpecError, never as a TypeError from a comparison.
+        def is_number(value) -> bool:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+        def is_int(value) -> bool:
+            return isinstance(value, int) and not isinstance(value, bool)
+
+        problems: List[str] = []
+        if not isinstance(self.name, str) or not self.name:
+            problems.append("name must be a non-empty string")
+        if self.law not in ARRIVAL_LAWS:
+            problems.append(
+                f"unknown arrival law {self.law!r} (choose from {ARRIVAL_LAWS})"
+            )
+        if not is_int(self.priority) or self.priority < 1:
+            problems.append("priority must be a positive integer")
+        if not is_number(self.execution_ms) or self.execution_ms <= 0:
+            problems.append("execution_ms must be a positive number")
+        if not is_int(self.jobs) or self.jobs < 1:
+            problems.append("jobs must be an integer, at least 1")
+        if self.law in ("periodic", "jittered") and (
+            not is_number(self.period_ms) or self.period_ms <= 0
+        ):
+            problems.append("period_ms must be a positive number")
+        if self.law == "jittered" and (
+            not is_number(self.jitter_ms) or self.jitter_ms < 0
+        ):
+            problems.append("jitter_ms must be a non-negative number")
+        if self.law == "sporadic" and not (
+            is_number(self.min_gap_ms) and is_number(self.max_gap_ms)
+            and 0 < self.min_gap_ms <= self.max_gap_ms
+        ):
+            problems.append("sporadic needs 0 < min_gap_ms <= max_gap_ms")
+        if self.law == "bursty" and not (
+            is_int(self.burst_size) and self.burst_size >= 1
+            and is_number(self.intra_gap_ms) and self.intra_gap_ms > 0
+            and is_number(self.burst_gap_ms) and self.burst_gap_ms > 0
+        ):
+            problems.append(
+                "bursty needs burst_size >= 1 and positive intra/burst gaps"
+            )
+        if not isinstance(self.services, (list, tuple)):
+            problems.append(f"services must be a list, got {self.services!r}")
+        else:
+            unknown_services = [s for s in self.services if s not in SERVICE_CALLS]
+            if unknown_services:
+                problems.append(
+                    f"unknown service calls {unknown_services!r} "
+                    f"(choose from {SERVICE_CALLS})"
+                )
+        if problems:
+            raise SpecError(f"invalid task {self.name!r}: " + "; ".join(problems))
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A minimal JSON-safe document: common fields + the law's fields."""
+        document: Dict[str, Any] = {
+            "name": self.name,
+            "priority": self.priority,
+            "execution_ms": self.execution_ms,
+            "law": self.law,
+            "jobs": self.jobs,
+        }
+        for field_name in _LAW_FIELDS.get(self.law, ()):
+            document[field_name] = getattr(self, field_name)
+        if self.services:
+            document["services"] = list(self.services)
+        return document
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TaskDef":
+        if not isinstance(data, Mapping):
+            raise SpecError(f"task must be a JSON object, got {type(data).__name__}")
+        known = set(cls.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(f"unknown task fields: {sorted(unknown)}")
+        if "name" not in data:
+            raise SpecError("task needs a 'name'")
+        payload = dict(data)
+        if "services" in payload:
+            services = payload["services"]
+            if not isinstance(services, (list, tuple)):
+                raise SpecError(
+                    f"task {payload['name']!r}: services must be a list"
+                )
+            payload["services"] = tuple(services)
+        return cls(**payload).validate()
+
+    # ------------------------------------------------------------------
+    # Arrival law
+    # ------------------------------------------------------------------
+    def gap_ms(self, rng: random.Random, job_index: int) -> float:
+        """The seeded arrival gap after job *job_index* (milliseconds)."""
+        if self.law == "periodic":
+            return self.period_ms
+        if self.law == "jittered":
+            return round(self.period_ms + self.jitter_ms * rng.random(), 3)
+        if self.law == "sporadic":
+            return round(rng.uniform(self.min_gap_ms, self.max_gap_ms), 3)
+        # bursty: short intra-burst gaps, a long pause after each burst
+        if (job_index + 1) % self.burst_size == 0:
+            return self.burst_gap_ms
+        return self.intra_gap_ms
+
+
+@dataclass(frozen=True)
+class CyclicDef:
+    """A periodic handler pattern (RTK-Spec TRON cyclic handler)."""
+
+    name: str
+    period_ms: int = 10
+    execution_us: int = 100
+
+    def validate(self) -> "CyclicDef":
+        if not isinstance(self.name, str) or not self.name:
+            raise SpecError("cyclic handler needs a non-empty name")
+        for field_name in ("period_ms", "execution_us"):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise SpecError(
+                    f"cyclic {self.name!r}: {field_name} must be an "
+                    f"integer, at least 1"
+                )
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "period_ms": self.period_ms,
+            "execution_us": self.execution_us,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CyclicDef":
+        if not isinstance(data, Mapping):
+            raise SpecError(
+                f"cyclic must be a JSON object, got {type(data).__name__}"
+            )
+        known = set(cls.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(f"unknown cyclic fields: {sorted(unknown)}")
+        if "name" not in data:
+            raise SpecError("cyclic needs a 'name'")
+        return cls(**dict(data)).validate()
+
+
+def parse_taskset(
+    tasks: Sequence[Mapping[str, Any]],
+    cyclics: Sequence[Mapping[str, Any]] = (),
+) -> Tuple[List[TaskDef], List[CyclicDef]]:
+    """Parse and validate the declarative ``extra['tasks']``/``['cyclics']``."""
+    if not isinstance(tasks, (list, tuple)) or not tasks:
+        raise SpecError("generated workload needs a non-empty 'tasks' list")
+    if not isinstance(cyclics, (list, tuple)):
+        raise SpecError("'cyclics' must be a list")
+    parsed_tasks = [TaskDef.from_dict(task) for task in tasks]
+    names = [task.name for task in parsed_tasks]
+    if len(set(names)) != len(names):
+        raise SpecError(f"duplicate task names in task set: {names!r}")
+    return parsed_tasks, [CyclicDef.from_dict(cyclic) for cyclic in cyclics]
+
+
+# ----------------------------------------------------------------------
+# Interpreters
+# ----------------------------------------------------------------------
+def tkernel_user_main(
+    tasks: Sequence[TaskDef],
+    cyclics: Sequence[CyclicDef],
+    seed: int,
+    counters: Dict[str, int],
+):
+    """An RTK-Spec TRON initial task installing the declarative task set.
+
+    Shared service objects (one semaphore, one event flag, one mailbox) are
+    created once when any task's mix needs them; every job's mix is a
+    self-balancing round-trip (post before block), so generated task graphs
+    cannot deadlock regardless of priorities or arrival interleavings.
+    """
+    from repro.core.events import ExecutionContext
+
+    need_sem = any("sem" in task.services for task in tasks)
+    need_flag = any("flag" in task.services for task in tasks)
+    need_mbx = any("mbx" in task.services for task in tasks)
+
+    def user_main(kernel):
+        api = kernel.api
+        sem_id = flag_id = mbx_id = None
+        if need_sem:
+            sem_id = yield from kernel.tk_cre_sem(
+                isemcnt=0, maxsem=32767, name="wl.sem"
+            )
+        if need_flag:
+            flag_id = yield from kernel.tk_cre_flg(iflgptn=0, name="wl.flg")
+        if need_mbx:
+            mbx_id = yield from kernel.tk_cre_mbx(name="wl.mbx")
+
+        def make_body(task: TaskDef, task_index: int):
+            rng = random.Random(derive_seed(seed, task_index, task.name))
+
+            def body(stacd, exinf):
+                for job in range(task.jobs):
+                    yield from api.sim_wait(
+                        duration=SimTime.ms(task.execution_ms), label=task.name
+                    )
+                    for service in task.services:
+                        if service == "sem":
+                            yield from kernel.tk_sig_sem(sem_id)
+                            yield from kernel.tk_wai_sem(sem_id)
+                        elif service == "flag":
+                            yield from kernel.tk_set_flg(flag_id, 0b1)
+                            yield from kernel.tk_clr_flg(flag_id, 0)
+                        elif service == "mbx":
+                            yield from kernel.tk_snd_mbx(mbx_id, (task.name, job))
+                            yield from kernel.tk_rcv_mbx(mbx_id)
+                        counters["service_rounds"] += 1
+                    counters["jobs_completed"] += 1
+                    if job + 1 < task.jobs:
+                        gap = max(1, int(round(task.gap_ms(rng, job))))
+                        yield from kernel.tk_dly_tsk(gap)
+
+            return body
+
+        for task_index, task in enumerate(tasks):
+            task_id = yield from kernel.tk_cre_tsk(
+                make_body(task, task_index),
+                itskpri=min(task.priority, 140),
+                name=task.name,
+            )
+            yield from kernel.tk_sta_tsk(task_id)
+
+        def make_handler(cyclic: CyclicDef):
+            def handler(exinf):
+                yield from api.sim_wait(
+                    duration=SimTime.us(cyclic.execution_us),
+                    context=ExecutionContext.HANDLER,
+                )
+                counters["handler_fires"] += 1
+
+            return handler
+
+        for cyclic in cyclics:
+            cyc_id = yield from kernel.tk_cre_cyc(
+                make_handler(cyclic), cyctim=cyclic.period_ms, name=cyclic.name
+            )
+            yield from kernel.tk_sta_cyc(cyc_id)
+
+    return user_main
+
+
+def install_rtk_tasks(
+    kernel,
+    tasks: Sequence[TaskDef],
+    seed: int,
+    counters: Dict[str, int],
+) -> None:
+    """Install the declarative task set through the minimal RTK-Spec API.
+
+    RTK-Spec I/II expose only create/start/delay, so tasks must carry no
+    service-call mix (enforced by the generated workload's resolver).
+    """
+
+    def make_body(task: TaskDef, task_index: int):
+        rng = random.Random(derive_seed(seed, task_index, task.name))
+
+        def body():
+            for job in range(task.jobs):
+                yield from kernel.api.sim_wait(
+                    duration=SimTime.ms(task.execution_ms), label=task.name
+                )
+                counters["jobs_completed"] += 1
+                if job + 1 < task.jobs:
+                    yield from kernel.delay(SimTime.ms(task.gap_ms(rng, job)))
+
+        return body
+
+    for task_index, task in enumerate(tasks):
+        handle = kernel.create_task(
+            make_body(task, task_index), priority=task.priority, name=task.name
+        )
+        kernel.start_task(handle)

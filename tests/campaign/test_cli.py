@@ -117,3 +117,136 @@ class TestEventStreamingCli:
         lines = events.read_text().splitlines()
         assert lines and all(json.loads(line) for line in lines)
         assert f"({len(lines)} events, streamed)" in capsys.readouterr().out
+
+
+class TestDescribe:
+    def test_describe_prints_the_composed_parts_as_canonical_json(self, capsys):
+        from repro.obs.bus import canonical_json
+
+        assert main(["describe", "quickstart"]) == 0
+        out = capsys.readouterr().out.strip()
+        document = json.loads(out)
+        assert out == canonical_json(document)  # canonical encoding
+        composition = document["composition"]
+        assert set(composition) == {"platform", "kernel", "workload", "probes"}
+        assert composition["platform"]["kind"] == "bare"
+        assert composition["kernel"]["model"] == "tkernel"
+        assert composition["workload"]["name"] == "quickstart"
+        assert composition["probes"]["topics"] == ["sched"]
+        assert document["spec_hash"]
+
+    def test_describe_resolves_overrides(self, capsys):
+        assert main(["describe", "videogame", "--set",
+                     "bfm_access_period_ms=40"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        platform = document["composition"]["platform"]
+        assert platform["kind"] == "i8051"
+        assert platform["bfm_access_period_ms"] == 40
+        assert "rtc" in platform["controllers"]
+
+    def test_describe_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["describe", "does-not-exist"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err and len(err.strip().splitlines()) == 1
+
+    def test_describe_needs_exactly_one_source(self, capsys):
+        assert main(["describe"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+
+class TestListJson:
+    def test_list_json_is_machine_readable(self, capsys):
+        from repro.campaign.registry import scenario_names
+
+        assert main(["list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert [entry["name"] for entry in entries] == scenario_names()
+        assert all(
+            {"name", "description", "kernel", "workload", "duration_ms",
+             "spec_hash"} <= set(entry)
+            for entry in entries
+        )
+
+
+class TestHardening:
+    """Unknown scenarios / bad --set values: one-line errors, exit 2."""
+
+    def test_bad_set_type_fails_cleanly(self, capsys):
+        assert main(["run", "quickstart", "--set", "duration_ms=soon"]) == 2
+        err = capsys.readouterr().err
+        assert "duration_ms" in err and len(err.strip().splitlines()) == 1
+
+    def test_bad_set_shape_fails_cleanly(self, capsys):
+        assert main(["run", "quickstart", "--set", "duration_ms"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_empty_set_key_fails_cleanly(self, capsys):
+        assert main(["run", "quickstart", "--set", "=5"]) == 2
+        assert "empty key" in capsys.readouterr().err
+
+    def test_bool_field_type_is_checked(self, capsys):
+        assert main(["run", "quickstart", "--set", "gui_enabled=maybe"]) == 2
+        assert "gui_enabled" in capsys.readouterr().err
+
+    def test_batch_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["batch", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_batch_bad_matrix_axis_fails_cleanly(self, capsys):
+        assert main(["batch", "--scenario", "rtk-priority",
+                     "--matrix", "seed"]) == 2
+        assert "matrix axis" in capsys.readouterr().err
+        assert main(["batch", "--scenario", "rtk-priority",
+                     "--matrix", "=1,2"]) == 2
+        assert "empty key" in capsys.readouterr().err
+
+    def test_unknown_set_key_still_passes_through_with_a_note(
+        self, tmp_path, capsys
+    ):
+        code = main(["run", "quickstart", "--set", "duration_ms=20",
+                     "--set", "items=1", "--set", "mystery_knob=3"])
+        assert code == 0
+        assert "mystery_knob" in capsys.readouterr().err  # the typo note
+
+
+class TestFamilyCli:
+    def _family_path(self, tmp_path, count=6):
+        from repro.workload import FamilySpec
+
+        family = FamilySpec(name="cli", count=count, seed=13,
+                            kernels=("tkernel", "rtkspec2"), duration_ms=8.0)
+        path = tmp_path / "family.json"
+        path.write_text(json.dumps(family.to_dict()))
+        return str(path)
+
+    def test_batch_expands_family_members(self, tmp_path, capsys):
+        code = main(["batch", "--family", self._family_path(tmp_path),
+                     "--serial", "--no-events",
+                     "--out", str(tmp_path / "out")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch: 6 runs" in out
+        document = json.loads((tmp_path / "out" / "metrics.json").read_text())
+        assert [run["spec"]["name"] for run in document["runs"]] == \
+            [f"cli/{i:04d}" for i in range(6)]
+
+    def test_shard_plan_slices_the_family_deterministically(
+        self, tmp_path, capsys
+    ):
+        path = self._family_path(tmp_path)
+        seen = []
+        for index in range(3):
+            assert main(["shard", "plan", "--shards", "3",
+                         "--index", str(index), "--family", path,
+                         "--json"]) == 0
+            for line in capsys.readouterr().out.splitlines():
+                record = json.loads(line)
+                seen.append((record["index"], record["spec"]["name"]))
+        assert sorted(index for index, _ in seen) == list(range(6))
+
+    def test_bad_family_file_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"name\": \"x\", \"count\": 0}")
+        assert main(["batch", "--family", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "count" in err and len(err.strip().splitlines()) == 1

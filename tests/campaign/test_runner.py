@@ -110,11 +110,11 @@ class TestRegistry:
         assert get_scenario("quickstart").duration_ms == 50.0
 
     def test_synthetic_task_sets_depend_only_on_seed(self):
-        from repro.campaign.registry import _synthetic_task_set
+        from repro.workload.builtins import SyntheticWorkload
 
         spec_a = ScenarioSpec(name="a", workload="synthetic", seed=5)
         spec_b = ScenarioSpec(name="b", workload="synthetic", seed=5)
-        assert _synthetic_task_set(spec_a) == _synthetic_task_set(spec_b)
+        assert SyntheticWorkload.task_set(spec_a) == SyntheticWorkload.task_set(spec_b)
 
 
 class TestEventStreaming:

@@ -169,3 +169,40 @@ class TestCliParsing:
         spec.priorities = "1,2"
         with pytest.raises(SpecError, match="priorities must be a list"):
             spec.validate()
+
+
+class TestValidationHardening:
+    """PR-5 hardening: type errors surface as one-line SpecErrors."""
+
+    def test_gui_enabled_must_be_a_bool(self):
+        spec = ScenarioSpec(name="x", gui_enabled="yes")
+        with pytest.raises(SpecError, match="gui_enabled"):
+            spec.validate()
+
+    def test_extra_must_be_a_string_keyed_mapping(self):
+        with pytest.raises(SpecError, match="extra"):
+            ScenarioSpec(name="x", extra=[("items", 3)]).validate()
+        with pytest.raises(SpecError, match="extra"):
+            ScenarioSpec(name="x", extra={3: "items"}).validate()
+
+    def test_name_must_be_a_string(self):
+        with pytest.raises(SpecError, match="name"):
+            ScenarioSpec(name=7).validate()
+
+    def test_generated_workload_is_known(self):
+        spec = ScenarioSpec(name="x", workload="generated")
+        assert spec.validate() is spec
+
+    def test_empty_override_key_rejected(self):
+        from repro.campaign.spec import parse_overrides
+
+        with pytest.raises(SpecError, match="empty key"):
+            parse_overrides(["=3"])
+        with pytest.raises(SpecError, match="empty key"):
+            parse_overrides([" =3"])
+
+    def test_empty_matrix_axis_key_rejected(self):
+        from repro.campaign.spec import parse_matrix_axis
+
+        with pytest.raises(SpecError, match="empty key"):
+            parse_matrix_axis("=1,2")

@@ -1,0 +1,297 @@
+"""The composable scenario plane: compose(), components, task model."""
+
+import pytest
+
+from repro.campaign.spec import ScenarioSpec, SpecError
+from repro.workload import (
+    KernelProfile,
+    Platform,
+    Probes,
+    TaskDef,
+    compose,
+    workload_component,
+    workload_names,
+)
+from repro.workload.tasks import CyclicDef, parse_taskset
+
+
+class TestCompose:
+    def test_every_spec_workload_has_a_component(self):
+        from repro.campaign.spec import WORKLOADS
+
+        assert workload_names() == sorted(WORKLOADS)
+
+    def test_composition_parts_resolve_from_the_spec(self):
+        spec = ScenarioSpec(
+            name="x", kernel="rtkspec1", workload="scheduler_comparison",
+            tick_ms=2.0, time_slice_ticks=7,
+        )
+        composition = compose(spec)
+        assert composition.platform.kind == "bare"
+        assert composition.platform.tick_ms == 2.0
+        assert composition.kernel.model == "rtkspec1"
+        assert composition.kernel.time_slice_ticks == 7
+        assert composition.workload.name == "scheduler_comparison"
+        assert composition.probes.topics == ("sched",)
+
+    def test_framework_workloads_compose_the_i8051_platform(self):
+        spec = ScenarioSpec(
+            name="x", kernel="tkernel", workload="videogame",
+            gui_enabled=True, bfm_access_period_ms=25,
+        )
+        platform = compose(spec).platform
+        assert platform.kind == "i8051"
+        assert platform.bfm_access_period_ms == 25
+        described = platform.describe()
+        assert "interrupt_controller" in described["controllers"]
+        assert "lcd" in described["peripherals"]
+
+    def test_describe_is_json_safe_and_fully_resolved(self):
+        from repro.obs.bus import canonical_json
+
+        spec = ScenarioSpec(name="x", kernel="rtkspec2", workload="synthetic",
+                            seed=11, task_count=3)
+        document = compose(spec).describe(spec)
+        canonical_json(document)  # must not raise
+        assert len(document["workload"]["tasks"]) == 3
+        assert document["kernel"] == {"model": "rtkspec2", "tick_ms": 1.0}
+
+    def test_workload_kernel_mismatch_is_a_spec_error(self):
+        spec = ScenarioSpec(name="x", kernel="rtkspec2", workload="quickstart")
+        with pytest.raises(SpecError):
+            compose(spec)
+
+    def test_unknown_component_name_is_a_spec_error(self):
+        with pytest.raises(SpecError, match="no workload component"):
+            workload_component("nope")
+
+
+class TestComponentValidation:
+    def test_platform_kind_is_checked(self):
+        with pytest.raises(SpecError, match="platform kind"):
+            Platform(kind="fpga").validate()
+
+    def test_kernel_model_is_checked(self):
+        with pytest.raises(SpecError, match="kernel model"):
+            KernelProfile(model="linux").validate()
+
+    def test_probes_must_keep_the_sched_topic(self):
+        with pytest.raises(SpecError, match="sched"):
+            Probes(topics=("irq",)).validate()
+        assert Probes(topics=("sched", "irq")).validate()
+
+
+class TestKernelModelRegistry:
+    def test_rtk_kernels_register_their_model_keys(self):
+        from repro.rtkspec import KERNEL_MODELS, RTKSpec1, RTKSpec2, \
+            kernel_model_class
+
+        assert KERNEL_MODELS["rtkspec1"] is RTKSpec1
+        assert KERNEL_MODELS["rtkspec2"] is RTKSpec2
+        assert kernel_model_class("rtkspec2") is RTKSpec2
+        with pytest.raises(KeyError, match="unknown RTK-Spec kernel"):
+            kernel_model_class("rtkspec99")
+
+    def test_kernel_profile_instantiates_by_model_key(self):
+        from repro.rtkspec import RTKSpec1
+        from repro.sysc.kernel import Simulator
+
+        simulator = Simulator("t")
+        kernel = KernelProfile(
+            model="rtkspec1", tick_ms=1.0, time_slice_ticks=9
+        ).instantiate(simulator)
+        assert isinstance(kernel, RTKSpec1)
+        assert kernel.time_slice_ticks == 9
+        Simulator.reset()
+
+
+class TestTaskModel:
+    def test_law_specific_round_trip(self):
+        task = TaskDef(name="t0", law="sporadic", min_gap_ms=2.0,
+                       max_gap_ms=8.0, services=("sem",)).validate()
+        document = task.to_dict()
+        assert document["law"] == "sporadic"
+        assert "period_ms" not in document  # only the law's fields serialize
+        assert TaskDef.from_dict(document) == TaskDef.from_dict(document)
+
+    def test_unknown_fields_and_laws_are_rejected(self):
+        with pytest.raises(SpecError, match="unknown task fields"):
+            TaskDef.from_dict({"name": "t", "wcet": 3})
+        with pytest.raises(SpecError, match="arrival law"):
+            TaskDef(name="t", law="poisson").validate()
+        with pytest.raises(SpecError, match="service calls"):
+            TaskDef(name="t", services=("rpc",)).validate()
+
+    def test_gaps_are_deterministic_per_seed(self):
+        import random
+
+        task = TaskDef(name="t", law="jittered", period_ms=10.0, jitter_ms=4.0)
+        gaps_a = [task.gap_ms(random.Random(7), j) for j in range(5)]
+        gaps_b = [task.gap_ms(random.Random(7), j) for j in range(5)]
+        assert gaps_a == gaps_b
+        assert all(10.0 <= gap <= 14.0 for gap in gaps_a)
+
+    def test_bursty_gap_alternates_intra_and_burst(self):
+        import random
+
+        task = TaskDef(name="t", law="bursty", burst_size=2,
+                       intra_gap_ms=1.0, burst_gap_ms=30.0)
+        rng = random.Random(0)
+        assert [task.gap_ms(rng, j) for j in range(4)] == [1.0, 30.0, 1.0, 30.0]
+
+    def test_parse_taskset_rejects_duplicates_and_empties(self):
+        with pytest.raises(SpecError, match="non-empty"):
+            parse_taskset([])
+        with pytest.raises(SpecError, match="duplicate"):
+            parse_taskset([{"name": "t"}, {"name": "t"}])
+        tasks, cyclics = parse_taskset(
+            [{"name": "a"}, {"name": "b"}],
+            [{"name": "c", "period_ms": 5, "execution_us": 80}],
+        )
+        assert [task.name for task in tasks] == ["a", "b"]
+        assert isinstance(cyclics[0], CyclicDef)
+
+
+class TestGeneratedWorkload:
+    def _spec(self, **kwargs):
+        base = dict(
+            name="gen", kernel="tkernel", workload="generated",
+            duration_ms=20.0, seed=5,
+            extra={"tasks": [
+                {"name": "t0", "law": "periodic", "period_ms": 5.0,
+                 "execution_ms": 1.0, "jobs": 2, "services": ["sem"]},
+                {"name": "t1", "law": "sporadic", "min_gap_ms": 2.0,
+                 "max_gap_ms": 6.0, "execution_ms": 0.5, "jobs": 2},
+            ]},
+        )
+        base.update(kwargs)
+        return ScenarioSpec(**base)
+
+    def test_runs_and_counts_jobs_and_service_rounds(self):
+        from repro.campaign.runner import run_spec
+
+        result = run_spec(self._spec())
+        workload = result.metrics["workload_metrics"]
+        assert workload["jobs_completed"] == 4
+        assert workload["service_rounds"] == 2
+        assert result.metrics["syscall_total"] > 0
+
+    def test_is_deterministic(self):
+        from repro.campaign.runner import run_spec
+
+        first = run_spec(self._spec())
+        second = run_spec(self._spec())
+        assert first.metrics_json() == second.metrics_json()
+        assert first.events == second.events
+
+    def test_cyclic_handler_pattern_fires(self):
+        from repro.campaign.runner import run_spec
+
+        spec = self._spec()
+        spec.extra["cyclics"] = [
+            {"name": "cyc", "period_ms": 5, "execution_us": 100}
+        ]
+        result = run_spec(spec)
+        assert result.metrics["workload_metrics"]["handler_fires"] > 0
+
+    def test_rtc_platform_drives_the_kernel_tick(self):
+        from repro.campaign.runner import run_spec
+
+        spec = self._spec()
+        spec.extra["platform"] = "rtc"
+        assert compose(spec).platform.kind == "rtc"
+        result = run_spec(spec)
+        assert result.metrics["workload_metrics"]["jobs_completed"] == 4
+        assert result.metrics["kernel_stats"]["tick_handler_runs"] > 0
+
+    def test_rtk_members_reject_tkernel_only_features(self):
+        from repro.campaign.registry import build_scenario, describe_scenario
+
+        spec = self._spec(kernel="rtkspec2")
+        with pytest.raises(SpecError, match="service-call mix"):
+            build_scenario(spec)
+        with pytest.raises(SpecError, match="service-call mix"):
+            describe_scenario(spec)
+        spec.extra["tasks"] = [{"name": "t0"}]
+        spec.extra["cyclics"] = [{"name": "c", "period_ms": 5,
+                                  "execution_us": 50}]
+        with pytest.raises(SpecError, match="cyclic"):
+            build_scenario(spec)
+        del spec.extra["cyclics"]
+        spec.extra["platform"] = "rtc"
+        with pytest.raises(SpecError, match="rtc"):
+            compose(spec)  # rejected at composition time, before any parse
+
+    def test_rtk_priority_outside_scheduler_range_is_a_spec_error(self):
+        from repro.campaign.registry import build_scenario
+
+        spec = self._spec(kernel="rtkspec2")
+        spec.extra["tasks"] = [{"name": "t0", "priority": 300}]
+        with pytest.raises(SpecError, match=r"\[1, 256\)"):
+            build_scenario(spec)
+        # the tkernel interpreter clamps instead, so the same document runs
+        spec = self._spec()
+        spec.extra["tasks"] = [{"name": "t0", "priority": 300}]
+        build_scenario(spec)
+        from repro.sysc.kernel import Simulator
+
+        Simulator.reset()
+
+    def test_rtk_generated_runs(self):
+        from repro.campaign.runner import run_spec
+
+        spec = self._spec(kernel="rtkspec2")
+        spec.extra["tasks"] = [
+            {"name": "t0", "law": "bursty", "burst_size": 2,
+             "intra_gap_ms": 1.0, "burst_gap_ms": 8.0,
+             "execution_ms": 1.0, "jobs": 3},
+        ]
+        result = run_spec(spec)
+        assert result.metrics["workload_metrics"]["jobs_completed"] == 3
+
+    def test_missing_tasks_is_a_one_line_spec_error(self):
+        with pytest.raises(SpecError, match="non-empty 'tasks'"):
+            compose(ScenarioSpec(name="gen", workload="generated"))
+
+
+class TestProbesCacheContract:
+    def test_extended_probes_are_never_cached_serial_or_parallel(
+        self, tmp_path, monkeypatch
+    ):
+        """Stored artifacts are sched-only: a workload whose probes add
+        topics must not populate the store from either batch path."""
+        from repro.campaign.batch import run_batch
+        from repro.grid.store import ResultStore
+        from repro.workload.components import Probes, workload_component
+
+        component = workload_component("synthetic")
+        monkeypatch.setattr(
+            component, "probes_for",
+            lambda spec: Probes(topics=("sched", "svc")),
+        )
+        specs = [
+            ScenarioSpec(name=f"probed{i}", kernel="rtkspec2",
+                         workload="synthetic", duration_ms=10.0, seed=i)
+            for i in range(2)
+        ]
+        store = ResultStore(str(tmp_path / "cache"))
+
+        serial = run_batch(specs, workers=1, store=store)
+        assert serial.cache_hits == 0
+        assert all(store.lookup(spec) is None for spec in specs)
+
+        parallel = run_batch(specs, workers=2, store=store)
+        assert parallel.cache_hits == 0
+        assert all(store.lookup(spec) is None for spec in specs)
+
+
+class TestLazyImportSeam:
+    def test_scenario_build_reexports_resolve_lazily(self):
+        import repro.campaign as campaign
+        import repro.campaign.registry as registry
+        from repro.workload.components import ScenarioBuild
+
+        assert campaign.ScenarioBuild is ScenarioBuild
+        assert registry.ScenarioBuild is ScenarioBuild
+        with pytest.raises(AttributeError):
+            registry.does_not_exist

@@ -1,0 +1,128 @@
+"""Seeded workload families: reproducible expansion + grid round-trip."""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import ScenarioSpec, SpecError, spec_hash
+from repro.workload import FamilySpec, expand_family, family_member, \
+    load_family_file
+
+
+class TestFamilyExpansion:
+    def test_expansion_is_deterministic_and_distinct(self):
+        family = FamilySpec(name="mix", count=100, seed=42,
+                            kernels=("tkernel", "rtkspec1", "rtkspec2"),
+                            duration_ms=10.0, cyclic_rate=0.3, rtc_rate=0.2)
+        members = expand_family(family)
+        assert len(members) == 100
+        hashes = [spec_hash(spec) for spec in members]
+        # >= 100 distinct generated scenarios, stable across expansions.
+        assert len(set(hashes)) == 100
+        assert [spec_hash(spec) for spec in expand_family(family)] == hashes
+
+    def test_members_regenerate_in_isolation(self):
+        family = FamilySpec(name="solo", count=50, seed=9)
+        full = expand_family(family)
+        assert family_member(family, 17).to_dict() == full[17].to_dict()
+        with pytest.raises(SpecError, match="members"):
+            family_member(family, 50)
+
+    def test_members_are_valid_generated_specs(self):
+        family = FamilySpec(name="valid", count=20, seed=1,
+                            kernels=("tkernel", "rtkspec2"),
+                            cyclic_rate=1.0, rtc_rate=1.0)
+        for spec in expand_family(family):
+            assert isinstance(spec, ScenarioSpec)
+            assert spec.workload == "generated"
+            assert len(spec.extra["tasks"]) == spec.task_count
+            if spec.kernel == "tkernel":
+                # rate 1.0: every tkernel member gets the handler + rtc parts
+                assert spec.extra["cyclics"]
+                assert spec.extra["platform"] == "rtc"
+            else:
+                assert "cyclics" not in spec.extra
+                for task in spec.extra["tasks"]:
+                    assert "services" not in task
+
+    def test_seed_changes_the_family(self):
+        base = FamilySpec(name="s", count=10, seed=0)
+        other = FamilySpec(name="s", count=10, seed=1)
+        assert [spec_hash(s) for s in expand_family(base)] != \
+            [spec_hash(s) for s in expand_family(other)]
+
+    def test_document_round_trip_and_validation(self, tmp_path):
+        family = FamilySpec(name="disk", count=5, seed=3, laws=("bursty",))
+        path = tmp_path / "family.json"
+        path.write_text(json.dumps(family.to_dict()))
+        assert load_family_file(str(path)) == family
+
+        with pytest.raises(SpecError, match="unknown family fields"):
+            FamilySpec.from_dict({"name": "x", "burst": 3})
+        with pytest.raises(SpecError, match="count"):
+            FamilySpec(name="x", count=0).validate()
+        with pytest.raises(SpecError, match="utilization"):
+            FamilySpec(name="x", utilization=(0.5, 1.5)).validate()
+        with pytest.raises(SpecError, match="arrival law"):
+            FamilySpec(name="x", laws=("random",)).validate()
+        with pytest.raises(SpecError, match="schema"):
+            FamilySpec.from_dict({"schema": "nope/9", "name": "x"})
+        with pytest.raises(SpecError, match="family file"):
+            load_family_file(str(tmp_path / "missing.json"))
+
+    def test_mistyped_documents_stay_one_line_spec_errors(self):
+        """Wrong JSON types must never escape as TypeError/ValueError."""
+        with pytest.raises(SpecError, match="duration_ms"):
+            FamilySpec.from_dict({"name": "x", "duration_ms": "40"})
+        with pytest.raises(SpecError, match="task_count"):
+            FamilySpec.from_dict({"name": "x", "task_count": [3]})
+        with pytest.raises(SpecError, match="utilization"):
+            FamilySpec.from_dict({"name": "x", "utilization": [0.2]})
+        with pytest.raises(SpecError, match="service_rate"):
+            FamilySpec.from_dict({"name": "x", "service_rate": "half"})
+        with pytest.raises(SpecError, match="kernels"):
+            FamilySpec(name="x", kernels="tkernel").validate()
+        with pytest.raises(SpecError, match="period_choices_ms"):
+            FamilySpec(name="x", period_choices_ms=(5.0, "10")).validate()
+
+
+class TestFamilyGridRoundTrip:
+    def test_family_sweeps_through_store_with_zero_warm_simulations(
+        self, tmp_path, monkeypatch
+    ):
+        """A generated family flows through the grid unchanged: the warm
+        second sweep is served entirely from the store — no builds."""
+        from repro.campaign import runner as runner_module
+        from repro.campaign.batch import run_batch
+        from repro.grid.store import ResultStore
+
+        family = FamilySpec(name="grid", count=100, seed=7,
+                            kernels=("tkernel", "rtkspec2"),
+                            duration_ms=5.0, jobs=(1, 2))
+        members = expand_family(family)
+        assert len({spec_hash(spec) for spec in members}) == 100
+        store = ResultStore(str(tmp_path / "cache"))
+
+        cold = run_batch(members, workers=1, store=store)
+        assert cold.cache_hits == 0
+
+        def forbidden(spec):  # pragma: no cover - the assertion is the point
+            raise AssertionError(f"warm sweep simulated {spec.name}")
+
+        monkeypatch.setattr(runner_module, "build_scenario", forbidden)
+        warm = run_batch(members, workers=1, store=store)
+        assert warm.cache_hits == len(members)
+        from repro.obs.bus import canonical_json
+
+        assert canonical_json(warm.deterministic_document()) == \
+            canonical_json(cold.deterministic_document())
+
+    def test_family_shards_cover_every_member_exactly_once(self):
+        from repro.grid.shard import plan_all_shards
+
+        members = expand_family(FamilySpec(name="sh", count=10, seed=2))
+        plans = plan_all_shards(members, 3)
+        indices = sorted(
+            index for plan in plans for index, _ in plan.runs
+        )
+        assert indices == list(range(10))
