@@ -1,0 +1,116 @@
+"""Analytics corpus-index guard: warm queries must stay cheap and sim-free.
+
+The analytics plane's contract is *zero simulation on a warm store*: the
+index is a pure function of stored artifacts, and every query/report reads
+the index (plus, for stream-derived reports, the stored JSONL) — nothing
+ever re-enters the simulator.  Two properties are pinned here:
+
+* **No simulation.**  Building the index and querying it on a warm store
+  never constructs a :class:`~repro.sysc.kernel.Simulator` — structurally
+  asserted by poisoning ``Simulator.__init__``.
+* **Bounded cost.**  Index rebuild throughput and warm-query latency carry
+  deliberately generous absolute floors (an order of magnitude under the
+  measured trajectory numbers in ``BENCH_PR6.json``), so a slow CI host
+  cannot flake them while an accidental O(simulation) or O(events) path in
+  the query plane lands far over the wire.
+"""
+
+import time
+
+import pytest
+
+from repro.analytics.corpus import build_index, open_index
+from repro.grid.store import ResultStore
+
+#: Synthetic corpus size: big enough to amortize per-query setup, small
+#: enough that the fabrication itself stays in the millisecond range.
+RUNS = 32
+
+
+def _fill_store(store: ResultStore, runs: int = RUNS) -> None:
+    """Fabricate *runs* store entries through ``put`` — no simulation."""
+    for index in range(runs):
+        spec = {
+            "name": f"guard/{index:04d}", "kernel": "tkernel",
+            "workload": "generated", "seed": index, "duration_ms": 40.0,
+            "extra": {"family": "guard", "variant": index % 4},
+        }
+        metrics = {
+            "scenario": spec["name"], "kernel": "tkernel", "seed": index,
+            "context_switches": 10 + index, "preemptions": index % 5,
+            "cpu_utilization": round(0.2 + (index % 10) / 50.0, 6),
+            "energy_mj": round(0.1 + index / 1000.0, 6),
+        }
+        events = [
+            {"topic": "sched", "kind": "exec", "t_ns": 1000 * slot,
+             "thread": "t0", "dur_ns": 500}
+            for slot in range(4)
+        ]
+        store.put(spec, metrics, events=events)
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = ResultStore(str(tmp_path / "cache"))
+    _fill_store(store)
+    return store
+
+
+def test_warm_query_never_constructs_a_simulator(store, monkeypatch):
+    import repro.sysc.kernel as kernel_module
+
+    def forbidden(self, *args, **kwargs):
+        raise AssertionError(
+            "analytics touched the simulator: Simulator() was constructed"
+        )
+
+    monkeypatch.setattr(kernel_module.Simulator, "__init__", forbidden)
+
+    build_index(store)
+    with open_index(store) as index:
+        headers, rows = index.query(where=("spec.kernel=tkernel",))
+        assert len(rows) == RUNS
+        headers, rows = index.query(
+            group_by=("spec.extra.family",),
+            aggregate=("count", "mean:metrics.cpu_utilization"),
+        )
+        assert rows[0][1] == RUNS
+
+
+def test_index_rebuild_throughput_floor(store):
+    best = 0.0
+    for _ in range(3):
+        start = time.perf_counter()
+        stats = build_index(store)
+        elapsed = time.perf_counter() - start
+        best = max(best, RUNS / elapsed if elapsed else float("inf"))
+    assert stats["runs"] == RUNS
+    print(f"\nindex rebuild: {best:,.0f} runs/s")
+    # Trajectory measured ~3,800 runs/s (BENCH_PR6.json); the floor leaves
+    # >10x headroom for slow CI hosts.
+    assert best > 200, (
+        f"index rebuild managed only {best:.0f} runs/s — "
+        "the build path has stopped being a cheap manifest scan"
+    )
+
+
+def test_warm_query_latency_floor(store):
+    build_index(store)
+    with open_index(store) as index:
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            for _ in range(20):
+                index.query(
+                    where=("spec.kernel=tkernel",),
+                    group_by=("spec.extra.family",),
+                    aggregate=("count", "mean:metrics.cpu_utilization"),
+                )
+            best = min(best, (time.perf_counter() - start) / 20)
+    print(f"\nwarm query: {best * 1e3:.3f} ms")
+    # Trajectory measured ~0.06 ms; 50 ms catches any path that re-reads
+    # store artifacts (or worse, simulates) per query.
+    assert best < 0.05, (
+        f"warm query took {best * 1e3:.1f} ms — the query plane is no "
+        "longer an indexed read"
+    )

@@ -29,6 +29,16 @@ are the escape hatches).  Specs also load from files: save
 ``json.dumps(spec.to_dict())`` anywhere and run it with
 ``python -m repro run --spec myspec.json``.
 
+Once a cache holds runs, the analytics plane (PR 6) answers questions
+across all of them without simulating anything —
+
+    python -m repro index build --cache ~/.cache/repro-grid
+    python -m repro query --cache ~/.cache/repro-grid \
+        --group-by spec.kernel --agg count --agg mean:cpu_utilization
+    python -m repro report audit --cache ~/.cache/repro-grid
+
+(see examples/trace_analytics.py for the full walkthrough).
+
 Run with:  python examples/quickstart.py
 """
 

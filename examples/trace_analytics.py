@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""The trace analytics plane: index a warm corpus, query it, audit it.
+
+A sweep leaves a content-addressed result store behind; everything after
+that is pure artifact analysis — the corpus index is a deterministic
+function of the store, queries and reports never construct a simulator,
+and pipeline telemetry (host wall-clock phase spans) lives strictly in a
+sidecar, never inside the deterministic artifacts.  The CLI twin:
+
+    python -m repro batch --family family.json --cache sweep_cache \
+        --out out/ --telemetry           # spans -> out/telemetry.jsonl
+    python -m repro index build --cache sweep_cache
+    python -m repro index status --cache sweep_cache
+    python -m repro query --cache sweep_cache \
+        --where kernel=tkernel --group-by spec.workload \
+        --agg count --agg mean:cpu_utilization --json
+    python -m repro report audit     --cache sweep_cache
+    python -m repro report deadlines --cache sweep_cache
+    python -m repro report latency   --cache sweep_cache
+    python -m repro report family    --cache sweep_cache
+    python -m repro report telemetry out/telemetry.jsonl
+
+Run with:  python examples/trace_analytics.py
+"""
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.analytics import (  # noqa: E402
+    build_index,
+    deadline_report,
+    family_report,
+    format_telemetry_summary,
+    index_status,
+    latency_report,
+    open_index,
+    schedulability_audit,
+    TelemetryRecorder,
+)
+from repro.campaign.batch import run_batch  # noqa: E402
+from repro.grid.store import ResultStore  # noqa: E402
+from repro.obs.bus import canonical_json  # noqa: E402
+from repro.workload.families import FamilySpec, expand_family  # noqa: E402
+
+
+def main():
+    root = tempfile.mkdtemp(prefix="repro-analytics-demo-")
+    store = ResultStore(os.path.join(root, "cache"))
+
+    # 1. One small periodic family swept into the store — the only phase
+    #    that simulates anything.  The recorder collects pipeline spans.
+    family = FamilySpec(name="demo", count=6, seed=17, duration_ms=30.0,
+                        laws=("periodic",)).validate()
+    telemetry = TelemetryRecorder()
+    run_batch(expand_family(family), workers=1, collect_events=False,
+              store=store, telemetry=telemetry)
+    print(format_telemetry_summary(telemetry.summary()))
+
+    # 2. Index the corpus: one row per run, spec knobs x metrics, rebuilt
+    #    as a pure function of the store (wall clock never enters it).
+    stats = build_index(store)
+    print(f"\nindexed {stats['runs']} runs x {stats['columns']} columns")
+    print(f"fresh: {index_status(store)['fresh']}")
+
+    # 3. Ask questions across the corpus — no simulation from here on.
+    with open_index(store) as index:
+        headers, rows = index.query(
+            group_by=["spec.kernel"],
+            aggregate=["count", "mean:metrics.cpu_utilization",
+                       "max:metrics.preemptions"],
+        )
+        print("\n--- grouped query (canonical JSON) ---")
+        print(canonical_json(index.documents(headers, rows)))
+
+        print("\n--- schedulability audit (RM bound) ---")
+        for row in schedulability_audit(index):
+            print(f"{row['name']:<12} U={row['requested_utilization']:.3f} "
+                  f"bound={row['rm_bound']:.3f}  {row['verdict']}")
+
+        print("\n--- deadline reconstruction ---")
+        for row in deadline_report(index, store):
+            print(f"{row['name']:<12} jobs={row['jobs']:<3} "
+                  f"misses={row['misses']:<3} "
+                  f"p99 response {row['response_p99_ms']:.2f} ms")
+
+        print("\n--- execution-slice latency (aggregate) ---")
+        print(canonical_json(latency_report(index, store)["aggregate"]))
+
+        print("\n--- per-family means ---")
+        for row in family_report(index):
+            print(f"{row['family']:<12} runs={row['runs']} "
+                  f"mean CPU {row['mean.metrics.cpu_utilization']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -28,6 +28,12 @@ Package layout
     runner all publish through.
 ``repro.campaign``
     The campaign runner (see below).
+``repro.analytics``
+    The trace analytics plane: a deterministic sqlite corpus index over
+    the result store (``repro index``/``repro query``), warm-store audit
+    reports (schedulability, deadline misses, latency distributions,
+    per-family tables) that never re-simulate, and pipeline telemetry
+    spans written to a ``telemetry.jsonl`` sidecar.
 
 Campaign runner
 ---------------
@@ -47,6 +53,9 @@ in a separate ``timing`` section.  Everything is scriptable from the shell::
     python -m repro run quickstart --set duration_ms=50
     python -m repro batch --matrix seed=1,2   # parallel matrix sweep
     python -m repro compare left.json right.json
+    python -m repro index build --cache DIR   # corpus index over the store
+    python -m repro query --cache DIR --group-by spec.kernel --agg count
+    python -m repro report audit --cache DIR  # warm-store, zero simulation
 """
 
 __version__ = "1.2.0"
@@ -61,4 +70,5 @@ __all__ = [
     "analysis",
     "obs",
     "campaign",
+    "analytics",
 ]

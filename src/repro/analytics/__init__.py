@@ -1,0 +1,63 @@
+"""``repro.analytics`` — the trace analytics plane.
+
+Three layers over a warm result store:
+
+* :mod:`repro.analytics.corpus` — a stdlib-``sqlite3`` columnar index of
+  every verified store entry (spec knobs × metrics), rebuilt as a pure
+  function of the store; ``repro index build|status`` and ``repro query``.
+* :mod:`repro.analytics.reports` — schedulability audits, deadline-miss and
+  latency distributions and per-family regression tables, all from stored
+  artifacts with zero simulation; ``repro report``.
+* :mod:`repro.analytics.telemetry` — span-based pipeline phase timing over
+  the ``telemetry`` obs topic, written to sidecar ``telemetry.jsonl`` files
+  and summarized by ``repro batch/shard --telemetry``.  Telemetry is wall
+  clock and never enters spec hashes, stored artifacts or golden streams.
+"""
+
+from repro.analytics.corpus import (
+    AnalyticsError,
+    CORPUS_SCHEMA,
+    CorpusIndex,
+    build_index,
+    corpus_fingerprint,
+    default_index_path,
+    index_status,
+    open_index,
+    parse_filter,
+)
+from repro.analytics.reports import (
+    deadline_report,
+    family_report,
+    latency_report,
+    rm_bound,
+    schedulability_audit,
+)
+from repro.analytics.telemetry import (
+    TELEMETRY_SCHEMA,
+    TelemetryRecorder,
+    format_telemetry_summary,
+    load_telemetry,
+    summarize_spans,
+)
+
+__all__ = [
+    "AnalyticsError",
+    "CORPUS_SCHEMA",
+    "CorpusIndex",
+    "TELEMETRY_SCHEMA",
+    "TelemetryRecorder",
+    "build_index",
+    "corpus_fingerprint",
+    "deadline_report",
+    "default_index_path",
+    "family_report",
+    "format_telemetry_summary",
+    "index_status",
+    "latency_report",
+    "load_telemetry",
+    "open_index",
+    "parse_filter",
+    "rm_bound",
+    "schedulability_audit",
+    "summarize_spans",
+]

@@ -1,0 +1,388 @@
+"""The corpus index: a queryable columnar view of a result store.
+
+A warm :class:`~repro.grid.store.ResultStore` holds one directory per run —
+perfect for byte-identical replay, useless for asking "mean preemptions by
+kernel where utilization > 0.5".  This module builds a stdlib-``sqlite3``
+index over the store: **one row per verified entry**, one column per spec
+knob (the canonical spec JSON flattened by
+:func:`repro.workload.knobs.flatten_knobs`) and per metric (the metrics
+document flattened the same way), keyed by the entry's spec hash.
+
+The index is a *pure function of the store*:
+
+* rows come only from digest-verified entries (``ResultStore.iter_results``)
+  in ascending key order,
+* column order is sorted,
+* nothing host- or time-dependent is stored — in particular the manifest's
+  ``created_utc`` wall clock never enters the index, so the corpora of a
+  serial batch and a sharded merge of the same family index identically,
+* booleans are stored as SQLite integers (0/1); structured knobs (task
+  lists, priorities) are canonical-JSON strings.
+
+Rebuilding twice therefore yields byte-identical query output, and
+:func:`corpus_fingerprint` — a digest over the store's code fingerprint and
+every entry's recorded artifact digests — lets :func:`index_status` detect
+staleness without re-reading artifacts.  The index file lives *inside* the
+store root as ``.corpus.sqlite``: dot-prefixed names are invisible to the
+store's own entry walk, and the index travels with the corpus it describes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.grid.store import GridError, ResultStore
+from repro.obs.bus import canonical_json
+from repro.workload.knobs import flatten_knobs
+
+#: Schema identifier of the corpus index; bump on incompatible changes.
+CORPUS_SCHEMA = "repro-analytics-corpus/1"
+
+#: Index filename inside the store root (dot-prefixed: not a store entry).
+INDEX_FILENAME = ".corpus.sqlite"
+
+
+class AnalyticsError(GridError):
+    """An analytics-layer failure worth a one-line CLI error."""
+
+
+def default_index_path(store: ResultStore) -> str:
+    """Where the corpus index of *store* lives."""
+    return os.path.join(store.root, INDEX_FILENAME)
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting
+# ----------------------------------------------------------------------
+def corpus_fingerprint(store: ResultStore) -> str:
+    """Digest of the store's indexable content, cheap to recompute.
+
+    Hashes the code fingerprint plus every current-version entry's key and
+    recorded artifact digests (manifest reads only — no artifact re-hash),
+    in sorted key order.  Any entry added, removed, replaced or produced by
+    other code changes the fingerprint, which is how :func:`index_status`
+    detects a stale index.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(store.fingerprint.encode("utf-8"))
+    for key, entry_dir in store._entry_dirs():
+        try:
+            with open(os.path.join(entry_dir, "manifest.json"),
+                      "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(manifest, dict):
+            continue
+        if manifest.get("spec_hash") != key:
+            continue
+        if manifest.get("fingerprint") != store.fingerprint:
+            continue
+        hasher.update(
+            f"{key}:{manifest.get('metrics_sha256', '')}"
+            f":{manifest.get('events_sha256', '')}".encode("utf-8")
+        )
+        hasher.update(b"\0")
+    return hasher.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Building
+# ----------------------------------------------------------------------
+def _quote(identifier: str) -> str:
+    """Quote a column identifier for SQLite (names contain dots)."""
+    return '"' + identifier.replace('"', '""') + '"'
+
+
+def build_index(
+    store: ResultStore, path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """(Re)build the corpus index of *store*; returns build statistics.
+
+    The index is written to ``<path>.tmp`` and atomically renamed into
+    place, so a concurrent reader never sees a half-built index.
+    """
+    path = path or default_index_path(store)
+    fingerprint = corpus_fingerprint(store)
+
+    rows: List[Dict[str, Any]] = []
+    columns: List[str] = ["key"]
+    seen = {"key"}
+    for result in store.iter_results():
+        document = result.metrics_document()
+        row: Dict[str, Any] = {"key": result.key}
+        for knob, value in flatten_knobs(document.get("spec", {})).items():
+            row[f"spec.{knob}"] = value
+        for metric, value in flatten_knobs(document.get("metrics", {})).items():
+            row[f"metrics.{metric}"] = value
+        for column in row:
+            if column not in seen:
+                seen.add(column)
+                columns.append(column)
+        rows.append(row)
+    columns = ["key"] + sorted(column for column in columns if column != "key")
+
+    staging = path + ".tmp"
+    if os.path.exists(staging):
+        os.remove(staging)
+    connection = sqlite3.connect(staging)
+    try:
+        connection.execute(
+            "CREATE TABLE runs (" + ", ".join(
+                _quote(column) + (" PRIMARY KEY" if column == "key" else "")
+                for column in columns
+            ) + ")"
+        )
+        connection.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)")
+        placeholder = ", ".join("?" for _ in columns)
+        insert = (
+            "INSERT INTO runs (" + ", ".join(_quote(c) for c in columns)
+            + f") VALUES ({placeholder})"
+        )
+        for row in rows:
+            connection.execute(
+                insert, [_to_sqlite(row.get(column)) for column in columns]
+            )
+        for meta_key, meta_value in (
+            ("schema", CORPUS_SCHEMA),
+            ("store_fingerprint", store.fingerprint),
+            ("corpus_fingerprint", fingerprint),
+            ("runs", str(len(rows))),
+            ("columns", canonical_json({"columns": columns})),
+        ):
+            connection.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?)",
+                (meta_key, meta_value),
+            )
+        connection.commit()
+    finally:
+        connection.close()
+    os.replace(staging, path)
+    return {
+        "path": path,
+        "runs": len(rows),
+        "columns": len(columns),
+        "corpus_fingerprint": fingerprint,
+    }
+
+
+def _to_sqlite(value: Any) -> Any:
+    """Map a flattened knob/metric value to its SQLite cell value."""
+    if isinstance(value, bool):
+        return int(value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# Opening & status
+# ----------------------------------------------------------------------
+def _read_meta(path: str) -> Dict[str, str]:
+    connection = sqlite3.connect(path)
+    try:
+        return dict(connection.execute("SELECT key, value FROM meta"))
+    except sqlite3.Error as error:
+        raise AnalyticsError(
+            f"corpus index {path!r} is unreadable: {error}"
+        ) from None
+    finally:
+        connection.close()
+
+
+def index_status(
+    store: ResultStore, path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Health of the corpus index: presence, size, freshness vs. the store."""
+    path = path or default_index_path(store)
+    current = corpus_fingerprint(store)
+    if not os.path.exists(path):
+        return {
+            "path": path,
+            "present": False,
+            "fresh": False,
+            "runs": 0,
+            "columns": 0,
+            "corpus_fingerprint": current,
+        }
+    meta = _read_meta(path)
+    recorded = meta.get("corpus_fingerprint", "")
+    columns = json.loads(meta.get("columns", '{"columns": []}'))["columns"]
+    return {
+        "path": path,
+        "present": True,
+        "fresh": (
+            recorded == current and meta.get("schema") == CORPUS_SCHEMA
+        ),
+        "schema": meta.get("schema", ""),
+        "runs": int(meta.get("runs", "0")),
+        "columns": len(columns),
+        "recorded_fingerprint": recorded,
+        "corpus_fingerprint": current,
+    }
+
+
+class CorpusIndex:
+    """An open, queryable corpus index."""
+
+    def __init__(self, path: str, connection: sqlite3.Connection,
+                 columns: List[str], rebuilt: bool):
+        self.path = path
+        self.connection = connection
+        self.columns = columns
+        #: Whether :func:`open_index` rebuilt the index to open it.
+        self.rebuilt = rebuilt
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "CorpusIndex":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # -- column resolution -------------------------------------------------
+    def resolve_column(self, name: str) -> str:
+        """Resolve a user-facing column name: exact, then ``spec.``/``metrics.``."""
+        for candidate in (name, f"spec.{name}", f"metrics.{name}"):
+            if candidate in self.columns:
+                return candidate
+        near = [c for c in self.columns if name in c][:8]
+        hint = f" (similar: {', '.join(near)})" if near else ""
+        raise AnalyticsError(f"no corpus column {name!r}{hint}")
+
+    # -- querying ----------------------------------------------------------
+    def query(
+        self,
+        select: Optional[Sequence[str]] = None,
+        where: Sequence[str] = (),
+        group_by: Sequence[str] = (),
+        aggregate: Sequence[str] = (),
+        limit: Optional[int] = None,
+    ) -> Tuple[List[str], List[Tuple[Any, ...]]]:
+        """Run one query; returns ``(headers, rows)`` deterministically.
+
+        *where* entries are ``column OP value`` filters (see
+        :func:`parse_filter`); *aggregate* entries are ``count`` or
+        ``fn:column`` with ``fn`` in sum/mean/min/max.  Row mode orders by
+        ``key``; grouped mode orders by the group columns — either way the
+        output bytes depend only on the corpus content.
+        """
+        clauses: List[str] = []
+        parameters: List[Any] = []
+        for filter_text in where:
+            column, op, value = parse_filter(filter_text)
+            clauses.append(f"{_quote(self.resolve_column(column))} {op} ?")
+            parameters.append(_to_sqlite(value))
+        where_sql = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+
+        if group_by or aggregate:
+            groups = [self.resolve_column(g) for g in group_by]
+            headers = list(groups)
+            selects = [_quote(g) for g in groups]
+            for spec_text in (aggregate or ["count"]):
+                alias, sql = self._aggregate_sql(spec_text)
+                headers.append(alias)
+                selects.append(sql)
+            sql = f"SELECT {', '.join(selects)} FROM runs{where_sql}"
+            if groups:
+                sql += " GROUP BY " + ", ".join(_quote(g) for g in groups)
+                sql += " ORDER BY " + ", ".join(_quote(g) for g in groups)
+        else:
+            if select:
+                headers = [self.resolve_column(c) for c in select]
+            else:
+                headers = [c for c in DEFAULT_SELECT if c in self.columns]
+                if not headers:
+                    headers = self.columns[: 8]
+            sql = (
+                f"SELECT {', '.join(_quote(h) for h in headers)} "
+                f"FROM runs{where_sql} ORDER BY \"key\""
+            )
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        rows = self.connection.execute(sql, parameters).fetchall()
+        return headers, rows
+
+    def _aggregate_sql(self, text: str) -> Tuple[str, str]:
+        if text == "count":
+            return "count", "COUNT(*)"
+        function, _, column = text.partition(":")
+        sql_fn = {"sum": "SUM", "mean": "AVG", "min": "MIN", "max": "MAX"}.get(
+            function
+        )
+        if sql_fn is None or not column:
+            raise AnalyticsError(
+                f"bad aggregate {text!r} (want count or sum/mean/min/max:column)"
+            )
+        resolved = self.resolve_column(column)
+        return f"{function}:{resolved}", f"{sql_fn}({_quote(resolved)})"
+
+    def documents(
+        self, headers: Sequence[str], rows: Sequence[Sequence[Any]],
+    ) -> List[Dict[str, Any]]:
+        """Rows as JSON-safe documents (the ``--json`` output form)."""
+        return [dict(zip(headers, row)) for row in rows]
+
+
+#: Row-mode columns shown when the user selects nothing explicitly.
+DEFAULT_SELECT = (
+    "key", "spec.name", "spec.kernel", "spec.workload", "spec.seed",
+    "metrics.context_switches", "metrics.preemptions",
+    "metrics.cpu_utilization", "metrics.energy_mj",
+)
+
+#: Comparison operators a filter may use, longest first (parse order).
+FILTER_OPS = ("==", "!=", "<=", ">=", "=", "<", ">")
+
+
+def parse_filter(text: str) -> Tuple[str, str, Any]:
+    """Parse a ``column OP value`` filter string.
+
+    Values are coerced like CLI matrix values (bool/int/float/str); ``=``
+    and ``==`` both mean SQL equality.
+    """
+    from repro.campaign.spec import coerce_value
+
+    for op in FILTER_OPS:
+        if op in text:
+            column, _, value_text = text.partition(op)
+            column = column.strip()
+            value_text = value_text.strip()
+            if not column or value_text == "":
+                break
+            sql_op = "=" if op in ("=", "==") else op
+            return column, sql_op, coerce_value(value_text)
+    raise AnalyticsError(
+        f"bad filter {text!r} (want column OP value, OP one of {FILTER_OPS})"
+    )
+
+
+def open_index(
+    store: ResultStore,
+    path: Optional[str] = None,
+    auto_build: bool = True,
+) -> CorpusIndex:
+    """Open the corpus index of *store*, rebuilding when missing or stale.
+
+    With ``auto_build=False`` a missing or stale index raises
+    :class:`AnalyticsError` instead (the ``repro query --no-build`` path).
+    """
+    path = path or default_index_path(store)
+    status = index_status(store, path)
+    rebuilt = False
+    if not status["fresh"]:
+        if not auto_build:
+            state = "missing" if not status["present"] else "stale"
+            raise AnalyticsError(
+                f"corpus index {path!r} is {state}; run 'repro index build'"
+            )
+        build_index(store, path)
+        rebuilt = True
+    meta = _read_meta(path)
+    columns = json.loads(meta["columns"])["columns"]
+    connection = sqlite3.connect(path)
+    return CorpusIndex(path, connection, columns, rebuilt)

@@ -1,0 +1,327 @@
+"""Audit reports over a warm corpus: answers without re-simulating.
+
+Every report here is a pure read over the corpus index and the stored
+artifacts it points at — the acceptance bar (pinned by
+``tests/analytics/test_reports.py`` with a poisoned ``build_scenario``) is
+that producing any report from a warm store executes **zero simulations**.
+
+Reports:
+
+* :func:`schedulability_audit` — per run: requested utilization of the
+  generated periodic task set (Σ Cᵢ/Tᵢ), the Liu–Layland rate-monotonic
+  bound n·(2^(1/n)−1), the measured CPU utilization, and a verdict.
+* :func:`deadline_report` — per run: deadline misses reconstructed from the
+  stored ``sched`` stream (periodic tasks: job *k* of task (C, T) arrives
+  at k·T, must accumulate C of execution by (k+1)·T), plus response-time
+  percentiles from a :class:`~repro.obs.sinks.StreamingHistogram`.
+* :func:`latency_report` — per run and aggregate: execution-slice duration
+  percentiles streamed through a :class:`~repro.obs.sinks.HistogramSink`
+  over the replayed stored stream.
+* :func:`family_report` — per family: run counts and metric means, with
+  optional delta columns against a baseline family (regression tables).
+
+The deadline reconstruction is a *heuristic for generated periodic tasks*:
+it assumes the declared jobs arrive strictly periodically from t = 0 and
+that a task's execution slices serve its jobs in order.  Jittered, sporadic
+and bursty tasks have no static deadline, so only ``law == "periodic"``
+tasks are audited; runs without a generated task set are skipped.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analytics.corpus import AnalyticsError, CorpusIndex
+from repro.grid.store import ResultStore
+from repro.obs.replay import read_events_jsonl
+from repro.obs.sinks import HistogramSink, StreamingHistogram
+
+
+# ----------------------------------------------------------------------
+# Shared row access
+# ----------------------------------------------------------------------
+def _select_rows(
+    index: CorpusIndex, columns: Sequence[str], where: Sequence[str],
+) -> List[Dict[str, Any]]:
+    """Index rows as documents, only the columns that exist in the corpus."""
+    present = [c for c in columns if c in index.columns]
+    if "key" not in present:
+        present = ["key"] + present
+    headers, rows = index.query(select=present, where=where)
+    return index.documents(headers, rows)
+
+
+def _tasks_of(row: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """The generated task set of an index row, or ``[]`` when absent."""
+    raw = row.get("spec.extra.tasks")
+    if not isinstance(raw, str) or not raw:
+        return []
+    try:
+        tasks = json.loads(raw)
+    except json.JSONDecodeError:
+        return []
+    return tasks if isinstance(tasks, list) else []
+
+
+def _periodic_tasks(tasks: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    return [
+        dict(task) for task in tasks
+        if task.get("law") == "periodic"
+        and isinstance(task.get("period_ms"), (int, float))
+        and isinstance(task.get("execution_ms"), (int, float))
+    ]
+
+
+# ----------------------------------------------------------------------
+# Schedulability audit
+# ----------------------------------------------------------------------
+def rm_bound(task_count: int) -> float:
+    """Liu–Layland rate-monotonic utilization bound for *task_count* tasks."""
+    if task_count <= 0:
+        return 0.0
+    return task_count * (2.0 ** (1.0 / task_count) - 1.0)
+
+
+def schedulability_audit(
+    index: CorpusIndex, where: Sequence[str] = (),
+) -> List[Dict[str, Any]]:
+    """Per-run schedulability audit rows, sorted by run key."""
+    rows = _select_rows(
+        index,
+        ["key", "spec.name", "spec.kernel", "spec.extra.tasks",
+         "metrics.cpu_utilization", "metrics.preemptions"],
+        where,
+    )
+    audit: List[Dict[str, Any]] = []
+    for row in rows:
+        periodic = _periodic_tasks(_tasks_of(row))
+        requested = sum(
+            task["execution_ms"] / task["period_ms"] for task in periodic
+        )
+        bound = rm_bound(len(periodic))
+        if not periodic:
+            verdict = "-"
+        elif requested > 1.0:
+            verdict = "overload"
+        elif requested <= bound:
+            verdict = "rm-bound-ok"
+        else:
+            verdict = "check"
+        audit.append({
+            "key": row["key"],
+            "name": row.get("spec.name", ""),
+            "kernel": row.get("spec.kernel", ""),
+            "periodic_tasks": len(periodic),
+            "requested_utilization": round(requested, 6),
+            "rm_bound": round(bound, 6),
+            "measured_utilization": row.get("metrics.cpu_utilization"),
+            "verdict": verdict,
+        })
+    return audit
+
+
+# ----------------------------------------------------------------------
+# Deadline reconstruction
+# ----------------------------------------------------------------------
+def _exec_slices_by_thread(
+    store: ResultStore, key: str,
+) -> Dict[str, List[Tuple[int, int]]]:
+    """Per-thread ``(start_ns, dur_ns)`` execution slices of a stored run."""
+    entry = store.lookup_key(key)
+    if entry is None:
+        raise AnalyticsError(
+            f"store entry {key!r} vanished or failed verification"
+        )
+    slices: Dict[str, List[Tuple[int, int]]] = {}
+    for event in read_events_jsonl(entry.events_path):
+        if event.topic == "sched" and event.kind == "exec":
+            slices.setdefault(event.fields["thread"], []).append(
+                (event.t_ns, event.fields["dur_ns"])
+            )
+    return slices
+
+
+def _job_completions_ns(
+    slices: Sequence[Tuple[int, int]], execution_ns: float, jobs: int,
+) -> List[Optional[float]]:
+    """Completion instants of jobs 0..jobs-1, interpolated inside slices.
+
+    Job *k* completes the moment the thread's cumulative execution crosses
+    ``(k + 1) * execution_ns``; a job whose budget is never reached within
+    the stored horizon completes ``None``.
+    """
+    completions: List[Optional[float]] = []
+    cumulative = 0.0
+    slice_index = 0
+    for job in range(jobs):
+        needed = (job + 1) * execution_ns
+        while slice_index < len(slices):
+            start, duration = slices[slice_index]
+            if cumulative + duration >= needed - 1e-9:
+                within = needed - cumulative
+                completions.append(start + within)
+                break
+            cumulative += duration
+            slice_index += 1
+        else:
+            completions.append(None)
+            continue
+    return completions
+
+
+def deadline_report(
+    index: CorpusIndex, store: ResultStore, where: Sequence[str] = (),
+) -> List[Dict[str, Any]]:
+    """Per-run deadline-miss rows for generated periodic task sets."""
+    rows = _select_rows(
+        index, ["key", "spec.name", "spec.kernel", "spec.extra.tasks"], where,
+    )
+    report: List[Dict[str, Any]] = []
+    for row in rows:
+        periodic = _periodic_tasks(_tasks_of(row))
+        if not periodic:
+            continue
+        slices = _exec_slices_by_thread(store, row["key"])
+        jobs_total = 0
+        misses = 0
+        response = StreamingHistogram()
+        for task in periodic:
+            period_ns = task["period_ms"] * 1e6
+            execution_ns = task["execution_ms"] * 1e6
+            jobs = int(task.get("jobs", 1))
+            completions = _job_completions_ns(
+                slices.get(task["name"], ()), execution_ns, jobs,
+            )
+            for job, completion in enumerate(completions):
+                jobs_total += 1
+                arrival = job * period_ns
+                deadline = arrival + period_ns
+                if completion is None or completion > deadline + 1e-9:
+                    misses += 1
+                if completion is not None and completion >= arrival:
+                    response.add(completion - arrival)
+        summary = response.snapshot()
+        report.append({
+            "key": row["key"],
+            "name": row.get("spec.name", ""),
+            "kernel": row.get("spec.kernel", ""),
+            "jobs": jobs_total,
+            "misses": misses,
+            "miss_ratio": round(misses / jobs_total, 6) if jobs_total else 0.0,
+            "response_p50_ms": round(summary["p50"] / 1e6, 6),
+            "response_p99_ms": round(summary["p99"] / 1e6, 6),
+        })
+    return report
+
+
+# ----------------------------------------------------------------------
+# Latency distributions
+# ----------------------------------------------------------------------
+def latency_report(
+    index: CorpusIndex, store: ResultStore, where: Sequence[str] = (),
+) -> Dict[str, Any]:
+    """Execution-slice duration percentiles per run plus an aggregate.
+
+    Each stored ``sched`` stream replays through a
+    :class:`~repro.obs.sinks.HistogramSink`; the per-run histograms merge
+    into one corpus-wide aggregate — O(1) memory however large the sweep.
+    """
+    rows = _select_rows(index, ["key", "spec.name", "spec.kernel"], where)
+    runs: List[Dict[str, Any]] = []
+    aggregate = StreamingHistogram()
+    for row in rows:
+        entry = store.lookup_key(row["key"])
+        if entry is None:
+            raise AnalyticsError(
+                f"store entry {row['key']!r} vanished or failed verification"
+            )
+        sink = HistogramSink()
+        for event in read_events_jsonl(entry.events_path):
+            sink.handle(event)
+        snapshot = sink.snapshot()
+        aggregate.merge(sink.histogram)
+        runs.append({
+            "key": row["key"],
+            "name": row.get("spec.name", ""),
+            "kernel": row.get("spec.kernel", ""),
+            "slices": int(snapshot["count"]),
+            "p50_us": round(snapshot["p50"] / 1e3, 3),
+            "p90_us": round(snapshot["p90"] / 1e3, 3),
+            "p99_us": round(snapshot["p99"] / 1e3, 3),
+            "max_us": round(snapshot["max"] / 1e3, 3),
+        })
+    overall = aggregate.snapshot()
+    return {
+        "runs": runs,
+        "aggregate": {
+            "slices": int(overall["count"]),
+            "p50_us": round(overall["p50"] / 1e3, 3),
+            "p90_us": round(overall["p90"] / 1e3, 3),
+            "p99_us": round(overall["p99"] / 1e3, 3),
+            "max_us": round(overall["max"] / 1e3, 3),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Per-family regression tables
+# ----------------------------------------------------------------------
+#: Metrics a family table summarizes by default.
+FAMILY_METRICS = (
+    "metrics.context_switches", "metrics.preemptions",
+    "metrics.cpu_utilization", "metrics.energy_mj",
+)
+
+
+def family_report(
+    index: CorpusIndex,
+    where: Sequence[str] = (),
+    metrics: Sequence[str] = FAMILY_METRICS,
+    baseline: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Per-family run counts and metric means, sorted by family name.
+
+    Runs carrying a generated-family tag group under ``spec.extra.family``;
+    anything else groups under its workload name.  With *baseline* set, each
+    row gains ``delta.<metric>`` columns against the named family's means —
+    the regression-table view.
+    """
+    group_column = (
+        "spec.extra.family" if "spec.extra.family" in index.columns
+        else "spec.workload"
+    )
+    wanted = [m for m in metrics if index.columns and m in index.columns]
+    headers, rows = index.query(
+        group_by=[group_column],
+        aggregate=["count"] + [f"mean:{m}" for m in wanted],
+        where=where,
+    )
+    documents: List[Dict[str, Any]] = []
+    for row in rows:
+        document: Dict[str, Any] = {"family": row[0], "runs": row[1]}
+        for metric, value in zip(wanted, row[2:]):
+            document[f"mean.{metric}"] = (
+                round(value, 6) if isinstance(value, float) else value
+            )
+        documents.append(document)
+    documents = [d for d in documents if d["family"] is not None]
+    if baseline is not None:
+        base = next(
+            (d for d in documents if d["family"] == baseline), None
+        )
+        if base is None:
+            known = ", ".join(str(d["family"]) for d in documents)
+            raise AnalyticsError(
+                f"baseline family {baseline!r} not in corpus (known: {known})"
+            )
+        for document in documents:
+            for metric in wanted:
+                mean_key = f"mean.{metric}"
+                reference = base.get(mean_key)
+                value = document.get(mean_key)
+                if isinstance(reference, (int, float)) and isinstance(
+                    value, (int, float)
+                ):
+                    document[f"delta.{metric}"] = round(value - reference, 6)
+    return documents

@@ -84,14 +84,25 @@ def _execute_spec_dict(payload: Dict[str, Any]) -> Dict[str, Any]:
 
     Honouring ``collect_events`` here matters: with events disabled the
     worker never flattens the Gantt recording nor ships it back over IPC.
+    With ``telemetry`` requested, the worker collects its own phase spans
+    locally and ships them back as plain dicts for the coordinator to
+    adopt — recorders themselves never cross the process boundary.
     """
     spec = ScenarioSpec.from_dict(payload["spec"])
-    result = run_spec(spec, collect_events=payload["collect_events"])
+    recorder = None
+    if payload.get("telemetry"):
+        from repro.analytics.telemetry import TelemetryRecorder
+
+        recorder = TelemetryRecorder()
+    result = run_spec(
+        spec, collect_events=payload["collect_events"], telemetry=recorder
+    )
     return {
         "spec": result.spec,
         "metrics": result.metrics,
         "timing": result.timing,
         "events": result.events,
+        "telemetry": recorder.spans if recorder is not None else [],
     }
 
 
@@ -181,6 +192,7 @@ def run_batch(
     collect_events: bool = True,
     store: Optional[Any] = None,
     refresh: bool = False,
+    telemetry: Optional[Any] = None,
 ) -> BatchResult:
     """Execute *specs*, serially or across a multiprocessing pool.
 
@@ -194,6 +206,11 @@ def run_batch(
     an interrupted batch keeps its completed runs cached for the resume.
     ``refresh=True`` skips the lookup and overwrites the entries with
     freshly simulated results.
+
+    *telemetry* (a :class:`~repro.analytics.telemetry.TelemetryRecorder`)
+    collects phase spans across the whole batch; parallel workers record
+    spans locally and the coordinator adopts them tagged with the global
+    run index.  Telemetry never changes the batch's deterministic output.
     """
     if not specs:
         raise ValueError("batch has no runs")
@@ -205,9 +222,19 @@ def run_batch(
     if store is not None and not refresh:
         misses: List[Tuple[int, ScenarioSpec]] = []
         for index, spec in pending:
-            hit = store.lookup(spec)
+            if telemetry is not None:
+                with telemetry.span("lookup", run=index):
+                    hit = store.lookup(spec)
+            else:
+                hit = store.lookup(spec)
             if hit is not None:
-                results[index] = hit.replay(collect_events=collect_events)
+                if telemetry is not None:
+                    with telemetry.span("replay", run=index):
+                        results[index] = hit.replay(
+                            collect_events=collect_events
+                        )
+                else:
+                    results[index] = hit.replay(collect_events=collect_events)
             else:
                 misses.append((index, spec))
         pending = misses
@@ -224,13 +251,18 @@ def run_batch(
             # completed run cached for the resume.
             for index, spec in pending:
                 result = run_spec(spec, collect_events=run_events,
-                                  store=store, refresh=refresh)
+                                  store=store, refresh=refresh,
+                                  telemetry=telemetry)
                 if not collect_events:
                     result.events = []
                 results[index] = result
         else:
             payloads = [
-                {"spec": spec.to_dict(), "collect_events": run_events}
+                {
+                    "spec": spec.to_dict(),
+                    "collect_events": run_events,
+                    "telemetry": telemetry is not None,
+                }
                 for _, spec in pending
             ]
             context = _pool_context()
@@ -239,7 +271,7 @@ def run_batch(
                 # their runs finish, so each is cached incrementally from
                 # the coordinator — no two workers ever write one entry,
                 # and an interrupted batch keeps what it completed.
-                for (index, _), raw in zip(
+                for (index, pending_spec), raw in zip(
                     pending, pool.imap(_execute_spec_dict, payloads)
                 ):
                     result = RunResult(
@@ -248,8 +280,14 @@ def run_batch(
                         timing=raw["timing"],
                         events=raw["events"],
                     )
-                    if store is not None and _spec_is_cacheable(spec):
-                        store.put_result(result)
+                    if telemetry is not None:
+                        telemetry.adopt(raw.get("telemetry", []), run=index)
+                    if store is not None and _spec_is_cacheable(pending_spec):
+                        if telemetry is not None:
+                            with telemetry.span("store", run=index):
+                                store.put_result(result)
+                        else:
+                            store.put_result(result)
                     if not collect_events:
                         result.events = []
                     results[index] = result

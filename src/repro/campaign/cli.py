@@ -15,9 +15,21 @@ Subcommands make the campaign + grid subsystems usable without writing code:
   resumable from the result store), and reassemble shard outputs into the
   exact single-host batch artifact set,
 * ``cache stats|gc|clear`` — inspect and maintain the grid result store,
+* ``index build|status`` — (re)build and inspect the analytics corpus index
+  over a warm result store (a sqlite view: spec knobs × metrics per run),
+* ``query`` — filter/group/aggregate the corpus (table or canonical JSON),
+* ``report audit|deadlines|latency|family|telemetry`` — schedulability
+  audits, deadline-miss and latency distributions, per-family regression
+  tables (all zero-simulation over a warm store) and telemetry summaries,
 * ``compare`` — align two metrics JSON files key by key,
 * ``bench`` — kernel microbenchmarks + Table-2 S/R + campaign scenario
   timing, written to the ``BENCH_PR<n>.json`` perf-trend trajectory file.
+
+``batch`` and ``shard run|merge`` accept ``--telemetry``: pipeline phase
+spans (compose → build → run → store → merge) are collected over the obs
+bus's ``telemetry`` topic, written to a ``telemetry.jsonl`` sidecar in the
+output directory and summarized on stdout.  Telemetry is wall-clock data
+and never enters spec hashes, stored artifacts or golden streams.
 
 Caching: ``run``, ``batch`` and ``shard run`` consult the content-addressed
 result store rooted at ``--cache DIR`` (default: the ``REPRO_CACHE_DIR``
@@ -252,6 +264,11 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument(
         "--no-events", action="store_true", help="skip the per-run event streams"
     )
+    batch_parser.add_argument(
+        "--telemetry", action="store_true",
+        help="collect pipeline phase spans into <out>/telemetry.jsonl and "
+        "print a per-phase summary",
+    )
     _add_cache_args(batch_parser)
 
     shard_parser = subparsers.add_parser(
@@ -286,6 +303,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="shard output directory (default: shard_<index>_of_<shards>)",
     )
+    shard_run.add_argument(
+        "--telemetry", action="store_true",
+        help="collect pipeline phase spans into <out>/telemetry.jsonl and "
+        "print a per-phase summary",
+    )
     _add_cache_args(shard_run)
 
     shard_merge = shard_subparsers.add_parser(
@@ -300,6 +322,10 @@ def build_parser() -> argparse.ArgumentParser:
     shard_merge.add_argument(
         "--no-events", action="store_true",
         help="merge metrics only, skip the event streams",
+    )
+    shard_merge.add_argument(
+        "--telemetry", action="store_true",
+        help="time the merge into <out>/telemetry.jsonl and print a summary",
     )
 
     cache_parser = subparsers.add_parser(
@@ -319,6 +345,128 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache", metavar="DIR", default=None,
             help=f"result-store root (default: ${CACHE_ENV} when set)",
         )
+
+    index_parser = subparsers.add_parser(
+        "index", help="build/inspect the analytics corpus index over a store"
+    )
+    index_subparsers = index_parser.add_subparsers(
+        dest="index_command", required=True
+    )
+    index_build = index_subparsers.add_parser(
+        "build", help="(re)build the corpus index from the store's entries"
+    )
+    index_build.set_defaults(handler=_cmd_index_build)
+    index_status_parser = index_subparsers.add_parser(
+        "status", help="index presence, size and freshness vs. the store"
+    )
+    index_status_parser.set_defaults(handler=_cmd_index_status)
+    for sub in (index_build, index_status_parser):
+        sub.add_argument(
+            "--cache", metavar="DIR", default=None,
+            help=f"result-store root (default: ${CACHE_ENV} when set)",
+        )
+
+    query_parser = subparsers.add_parser(
+        "query", help="filter/group/aggregate the corpus index"
+    )
+    query_parser.set_defaults(handler=_cmd_query)
+    query_parser.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help=f"result-store root (default: ${CACHE_ENV} when set)",
+    )
+    query_parser.add_argument(
+        "--where", action="append", default=[], metavar="COL OP VALUE",
+        help="row filter, e.g. 'kernel=tkernel' or 'cpu_utilization>0.5' "
+        "(repeatable; filters AND together)",
+    )
+    query_parser.add_argument(
+        "--select", action="append", default=[], metavar="COL",
+        help="column to show in row mode (repeatable; default: a standard "
+        "knob/metric set)",
+    )
+    query_parser.add_argument(
+        "--group-by", action="append", default=[], metavar="COL",
+        help="group rows by this column (repeatable; switches to aggregate mode)",
+    )
+    query_parser.add_argument(
+        "--agg", action="append", default=[], metavar="FN[:COL]",
+        help="aggregate: count, or sum/mean/min/max:column (repeatable; "
+        "default in grouped mode: count)",
+    )
+    query_parser.add_argument(
+        "--limit", type=int, default=None, help="cap the number of output rows"
+    )
+    query_parser.add_argument(
+        "--json", action="store_true",
+        help="emit canonical JSON (the byte-stable machine form) instead of a table",
+    )
+    query_parser.add_argument(
+        "--no-build", action="store_true",
+        help="fail if the index is missing/stale instead of rebuilding it",
+    )
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="audit reports over a warm corpus (zero simulation) "
+        "and telemetry summaries",
+    )
+    report_subparsers = report_parser.add_subparsers(
+        dest="report_command", required=True
+    )
+    report_audit = report_subparsers.add_parser(
+        "audit", help="per-run schedulability audit (RM bound vs. requested "
+        "and measured utilization)",
+    )
+    report_audit.set_defaults(handler=_cmd_report_audit)
+    report_deadlines = report_subparsers.add_parser(
+        "deadlines", help="deadline misses + response-time percentiles "
+        "reconstructed from stored streams (generated periodic tasks)",
+    )
+    report_deadlines.set_defaults(handler=_cmd_report_deadlines)
+    report_latency = report_subparsers.add_parser(
+        "latency", help="execution-slice latency percentiles per run and "
+        "aggregate, streamed from stored events",
+    )
+    report_latency.set_defaults(handler=_cmd_report_latency)
+    report_family = report_subparsers.add_parser(
+        "family", help="per-family run counts and metric means "
+        "(regression table with --baseline)",
+    )
+    report_family.set_defaults(handler=_cmd_report_family)
+    report_family.add_argument(
+        "--baseline", default=None, metavar="FAMILY",
+        help="add delta columns against this family's means",
+    )
+    report_family.add_argument(
+        "--metric", dest="metrics", action="append", default=[],
+        metavar="COL", help="metric column to average (repeatable; default: "
+        "context switches, preemptions, CPU utilization, energy)",
+    )
+    for sub in (report_audit, report_deadlines, report_latency, report_family):
+        sub.add_argument(
+            "--cache", metavar="DIR", default=None,
+            help=f"result-store root (default: ${CACHE_ENV} when set)",
+        )
+        sub.add_argument(
+            "--where", action="append", default=[], metavar="COL OP VALUE",
+            help="corpus filter (same syntax as 'repro query --where')",
+        )
+        sub.add_argument(
+            "--json", action="store_true",
+            help="emit canonical JSON instead of a table",
+        )
+    report_telemetry = report_subparsers.add_parser(
+        "telemetry", help="summarize a telemetry.jsonl sidecar per phase"
+    )
+    report_telemetry.set_defaults(handler=_cmd_report_telemetry)
+    report_telemetry.add_argument(
+        "telemetry_path", metavar="TELEMETRY_JSONL",
+        help="sidecar written by batch/shard --telemetry",
+    )
+    report_telemetry.add_argument(
+        "--json", action="store_true",
+        help="emit the per-phase rollup as canonical JSON",
+    )
 
     compare_parser = subparsers.add_parser(
         "compare", help="compare two metrics JSON files"
@@ -450,8 +598,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _telemetry_recorder(args: argparse.Namespace):
+    """A TelemetryRecorder when ``--telemetry`` was given, else ``None``."""
+    if not getattr(args, "telemetry", False):
+        return None
+    from repro.analytics.telemetry import TelemetryRecorder
+
+    return TelemetryRecorder()
+
+
+def _finish_telemetry(recorder, out_dir: str) -> None:
+    """Write the sidecar and print the per-phase summary (no-op without
+    a recorder).  The sidecar sits beside the outputs, never inside them."""
+    if recorder is None:
+        return
+    from repro.analytics.telemetry import format_telemetry_summary
+
+    os.makedirs(out_dir, exist_ok=True)
+    sidecar = os.path.join(out_dir, "telemetry.jsonl")
+    recorder.write_jsonl(sidecar)
+    print(format_telemetry_summary(recorder.summary()))
+    print(f"telemetry -> {sidecar} ({len(recorder)} spans)")
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
-    specs = _selected_specs(args)
+    telemetry = _telemetry_recorder(args)
+    if telemetry is not None:
+        with telemetry.span("plan"):
+            specs = _selected_specs(args)
+    else:
+        specs = _selected_specs(args)
     store = _store_from_args(args)
     workers = 1 if args.serial else args.workers
     if workers is None:
@@ -461,8 +637,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     batch = run_batch(specs, workers=workers,
                       collect_events=not args.no_events,
-                      store=store, refresh=args.refresh)
+                      store=store, refresh=args.refresh,
+                      telemetry=telemetry)
     manifest = batch.write_outputs(args.out, include_events=not args.no_events)
+    _finish_telemetry(telemetry, args.out)
 
     print(_run_summary_table([result.metrics for result in batch.results]))
     aggregate = batch.aggregate
@@ -512,13 +690,21 @@ def _cmd_shard_run(args: argparse.Namespace) -> int:
     from repro.grid.executor import run_shard
     from repro.grid.shard import plan_shard
 
-    specs = _selected_specs(args)
-    plan = plan_shard(specs, args.shards, args.index)
+    telemetry = _telemetry_recorder(args)
+    if telemetry is not None:
+        with telemetry.span("plan"):
+            specs = _selected_specs(args)
+            plan = plan_shard(specs, args.shards, args.index)
+    else:
+        specs = _selected_specs(args)
+        plan = plan_shard(specs, args.shards, args.index)
     out_dir = args.out or f"shard_{plan.index}_of_{plan.shards}"
     store = _store_from_args(args)
     print(f"shard {plan.index}/{plan.shards}: {len(plan)} of {plan.total} runs "
           f"-> {out_dir}" + ("" if store is None else f"  (cache: {store.root})"))
-    document = run_shard(plan, out_dir, store=store, refresh=args.refresh)
+    document = run_shard(plan, out_dir, store=store, refresh=args.refresh,
+                         telemetry=telemetry)
+    _finish_telemetry(telemetry, out_dir)
     print(_run_summary_table(
         [entry["run"]["metrics"] for entry in document["runs"]]
     ))
@@ -531,9 +717,12 @@ def _cmd_shard_run(args: argparse.Namespace) -> int:
 def _cmd_shard_merge(args: argparse.Namespace) -> int:
     from repro.grid.executor import merge_shards
 
+    telemetry = _telemetry_recorder(args)
     manifest = merge_shards(
-        args.shard_dirs, args.out, include_events=not args.no_events
+        args.shard_dirs, args.out, include_events=not args.no_events,
+        telemetry=telemetry,
     )
+    _finish_telemetry(telemetry, args.out)
     print(f"merged {manifest['runs']} runs from {manifest['shards']} shard(s)")
     print(f"metrics   -> {manifest['metrics']}")
     print(f"aggregate -> {manifest['aggregate']}")
@@ -569,6 +758,180 @@ def _cmd_cache_clear(args: argparse.Namespace) -> int:
     store = _store_from_args(args, required=True)
     removed = store.clear()
     print(f"clear: removed {removed} entr(y/ies) from {store.root}")
+    return 0
+
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    from repro.analytics.corpus import build_index
+
+    store = _store_from_args(args, required=True)
+    stats = build_index(store)
+    print(f"index built: {stats['runs']} run(s), {stats['columns']} column(s)")
+    print(f"index   -> {stats['path']}")
+    print(f"corpus  -> {stats['corpus_fingerprint']}")
+    return 0
+
+
+def _cmd_index_status(args: argparse.Namespace) -> int:
+    from repro.analytics.corpus import index_status
+
+    store = _store_from_args(args, required=True)
+    status = index_status(store)
+    print(f"index {status['path']}")
+    if not status["present"]:
+        print("  present : no  (run 'repro index build')")
+        return 0
+    print(f"  present : yes  (schema {status['schema']})")
+    print(f"  fresh   : {'yes' if status['fresh'] else 'no  (rebuild needed)'}")
+    print(f"  runs    : {status['runs']}, columns: {status['columns']}")
+    print(f"  recorded: {status['recorded_fingerprint']}")
+    print(f"  store   : {status['corpus_fingerprint']}")
+    return 0
+
+
+def _open_corpus(args: argparse.Namespace, auto_build: bool = True):
+    """The report/query handlers' shared store + open-index prologue."""
+    from repro.analytics.corpus import open_index
+
+    store = _store_from_args(args, required=True)
+    index = open_index(store, auto_build=auto_build)
+    if index.rebuilt:
+        print(f"note: corpus index rebuilt ({index.path})", file=sys.stderr)
+    return store, index
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.obs.bus import canonical_json
+
+    _, index = _open_corpus(args, auto_build=not args.no_build)
+    with index:
+        headers, rows = index.query(
+            select=args.select or None,
+            where=args.where,
+            group_by=args.group_by,
+            aggregate=args.agg,
+            limit=args.limit,
+        )
+        documents = index.documents(headers, rows)
+    if args.json:
+        print(canonical_json(documents))
+        return 0
+    rendered = [
+        tuple("" if value is None else value for value in row) for row in rows
+    ]
+    print(format_table(list(headers), rendered,
+                       title=f"Corpus query ({len(rows)} row(s))"))
+    return 0
+
+
+def _report_documents(args: argparse.Namespace, documents, headers, title) -> int:
+    """Render one report as canonical JSON (``--json``) or a table."""
+    from repro.obs.bus import canonical_json
+
+    if args.json:
+        print(canonical_json(documents))
+        return 0
+    rows = [
+        tuple("" if doc.get(h) is None else doc.get(h) for h in headers)
+        for doc in documents
+    ]
+    print(format_table(list(headers), rows, title=title))
+    return 0
+
+
+def _cmd_report_audit(args: argparse.Namespace) -> int:
+    from repro.analytics.reports import schedulability_audit
+
+    _, index = _open_corpus(args)
+    with index:
+        audit = schedulability_audit(index, where=args.where)
+    return _report_documents(
+        args, audit,
+        ["key", "name", "kernel", "periodic_tasks", "requested_utilization",
+         "rm_bound", "measured_utilization", "verdict"],
+        "Schedulability audit",
+    )
+
+
+def _cmd_report_deadlines(args: argparse.Namespace) -> int:
+    from repro.analytics.reports import deadline_report
+
+    store, index = _open_corpus(args)
+    with index:
+        report = deadline_report(index, store, where=args.where)
+    return _report_documents(
+        args, report,
+        ["key", "name", "kernel", "jobs", "misses", "miss_ratio",
+         "response_p50_ms", "response_p99_ms"],
+        "Deadline report (generated periodic task sets)",
+    )
+
+
+def _cmd_report_latency(args: argparse.Namespace) -> int:
+    from repro.analytics.reports import latency_report
+    from repro.obs.bus import canonical_json
+
+    store, index = _open_corpus(args)
+    with index:
+        report = latency_report(index, store, where=args.where)
+    if args.json:
+        print(canonical_json(report))
+        return 0
+    headers = ["key", "name", "kernel", "slices", "p50_us", "p90_us",
+               "p99_us", "max_us"]
+    rows = [tuple(doc.get(h, "") for h in headers) for doc in report["runs"]]
+    aggregate = report["aggregate"]
+    rows.append(tuple(
+        ["(aggregate)", "", ""] + [aggregate[h] for h in headers[3:]]
+    ))
+    print(format_table(headers, rows, title="Execution-slice latency"))
+    return 0
+
+
+def _cmd_report_family(args: argparse.Namespace) -> int:
+    from repro.analytics.reports import FAMILY_METRICS, family_report
+
+    _, index = _open_corpus(args)
+    metrics = tuple(args.metrics) if args.metrics else FAMILY_METRICS
+    with index:
+        report = family_report(
+            index, where=args.where, metrics=metrics, baseline=args.baseline,
+        )
+    headers: List[str] = ["family", "runs"]
+    for document in report:
+        for column in document:
+            if column not in headers:
+                headers.append(column)
+    rendered = []
+    for document in report:
+        rendered.append(tuple(
+            "" if document.get(h) is None else document.get(h) for h in headers
+        ))
+    if args.json:
+        from repro.obs.bus import canonical_json
+
+        print(canonical_json(report))
+        return 0
+    print(format_table(headers, rendered, title="Per-family metrics"))
+    return 0
+
+
+def _cmd_report_telemetry(args: argparse.Namespace) -> int:
+    from repro.analytics.telemetry import (
+        format_telemetry_summary,
+        load_telemetry,
+        summarize_spans,
+    )
+    from repro.obs.bus import canonical_json
+
+    spans = load_telemetry(args.telemetry_path)
+    summary = summarize_spans(spans)
+    if args.json:
+        print(canonical_json(summary))
+        return 0
+    print(format_telemetry_summary(
+        summary, title=f"Telemetry ({len(spans)} span(s))"
+    ))
     return 0
 
 

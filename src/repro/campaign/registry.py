@@ -76,11 +76,21 @@ def _require(name: str) -> Tuple[str, Callable[[], ScenarioSpec]]:
 # repro.workload modules import repro.campaign.spec (whose parent package
 # import lands here), so the workload plane must only be imported lazily —
 # at build/describe time — never at registry import time.
-def build_scenario(spec: ScenarioSpec) -> "ScenarioBuild":
-    """Assemble the simulator and workload described by *spec*."""
+def build_scenario(spec: ScenarioSpec, telemetry=None) -> "ScenarioBuild":
+    """Assemble the simulator and workload described by *spec*.
+
+    With a :class:`~repro.analytics.telemetry.TelemetryRecorder` attached
+    via *telemetry*, the ``compose`` and ``build`` phases are timed as
+    separate spans; the default path stays span-free and allocation-free.
+    """
     from repro.workload.components import compose
 
-    return compose(spec).build(spec)
+    if telemetry is None:
+        return compose(spec).build(spec)
+    with telemetry.span("compose", scenario=spec.name):
+        composition = compose(spec)
+    with telemetry.span("build", scenario=spec.name):
+        return composition.build(spec)
 
 
 def describe_scenario(spec: ScenarioSpec) -> Dict[str, object]:

@@ -87,6 +87,7 @@ def run_spec(
     sinks: Sequence[Any] = (),
     store: Optional[Any] = None,
     refresh: bool = False,
+    telemetry: Optional[Any] = None,
 ) -> RunResult:
     """Run one scenario and return its structured result.
 
@@ -103,11 +104,27 @@ def run_spec(
     A caller-owned current simulator is restored afterwards, so embedding a
     campaign run inside an interactive session is safe; with no caller
     simulator the class-level slot is left cleanly reset.
+
+    *telemetry* (a :class:`~repro.analytics.telemetry.TelemetryRecorder`)
+    collects pipeline phase spans — compose/build/run/store on the fresh
+    path, lookup/replay on a cache hit.  Spans are host wall clock and never
+    touch the run's deterministic artifacts: the recorder rides the bus's
+    ``telemetry`` topic, which no stored stream subscribes to.
     """
     spec.validate()
     if store is not None and not refresh and not sinks:
-        hit = store.lookup(spec)
+        if telemetry is not None:
+            with telemetry.span("lookup", scenario=spec.name):
+                hit = store.lookup(spec)
+        else:
+            hit = store.lookup(spec)
         if hit is not None:
+            if telemetry is not None:
+                with telemetry.span("replay", scenario=spec.name):
+                    return hit.replay(
+                        collect_events=collect_events,
+                        events_stream=events_stream,
+                    )
             return hit.replay(
                 collect_events=collect_events, events_stream=events_stream
             )
@@ -116,8 +133,15 @@ def run_spec(
     staging_sink: Optional[JsonlStreamSink] = None
     staging_path: Optional[str] = None
     try:
-        build = build_scenario(spec)
+        if telemetry is None:
+            build = build_scenario(spec)
+        else:
+            build = build_scenario(spec, telemetry=telemetry)
         bus = build.simulator.obs
+        if telemetry is not None:
+            # Simulator-side publishers may emit on the telemetry topic;
+            # route them into the same recorder as the runner's own spans.
+            bus.subscribe(telemetry, ("telemetry",))
         # Scenario builders may already dispatch threads while wiring the
         # workload; those events landed in the default Gantt sink before we
         # could subscribe, so carry them over, then detach the chart — the
@@ -169,6 +193,8 @@ def run_spec(
         start = time.perf_counter()
         build.simulator.run(SimTime.ms(spec.duration_ms))
         wall_clock_seconds = time.perf_counter() - start
+        if telemetry is not None:
+            telemetry.record("run", wall_clock_seconds, scenario=spec.name)
         if campaign_topic.enabled:
             campaign_topic.emit(
                 "run_end", build.simulator.now.nanoseconds,
@@ -179,9 +205,15 @@ def run_spec(
         events = collector.to_dicts() if collector is not None else []
         for sink in sinks:
             bus.unsubscribe(sink)
+        if telemetry is not None:
+            bus.unsubscribe(telemetry)
         if staging_sink is not None:
             staging_sink.close()
-            store.put(spec.to_dict(), metrics, events_path=staging_path)
+            if telemetry is not None:
+                with telemetry.span("store", scenario=spec.name):
+                    store.put(spec.to_dict(), metrics, events_path=staging_path)
+            else:
+                store.put(spec.to_dict(), metrics, events_path=staging_path)
             staging_sink = None
     finally:
         if stream_sink is not None:

@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.campaign.batch import run_events_filename
@@ -51,6 +52,7 @@ def run_shard(
     store: Optional[ResultStore] = None,
     refresh: bool = False,
     progress: Optional[Any] = None,
+    telemetry: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Execute *plan*, writing per-run event streams and ``shard.json``.
 
@@ -59,19 +61,33 @@ def run_shard(
     streaming keeps memory bounded and makes resume granularity one run.
     *progress*, if given, is called as ``progress(global_index, result)``
     after each run.  Returns the shard document.
+
+    *telemetry* collects per-run phase spans tagged with the global run
+    index; spans stay outside ``shard.json`` and every event stream (the
+    caller writes them to a sidecar), so the shard artifacts remain
+    byte-identical with or without instrumentation.
     """
     os.makedirs(out_dir, exist_ok=True)
     entries: List[Dict[str, Any]] = []
     executed = cached = 0
     for global_index, spec in plan.runs:
         events_name = run_events_filename(global_index, spec.name)
+        run_telemetry = None
+        if telemetry is not None:
+            from repro.analytics.telemetry import TelemetryRecorder
+
+            run_telemetry = TelemetryRecorder()
         result = run_spec(
             spec,
             collect_events=False,
             events_stream=os.path.join(out_dir, events_name),
             store=store,
             refresh=refresh,
+            telemetry=run_telemetry,
         )
+        if telemetry is not None:
+            telemetry.adopt(run_telemetry.spans, run=global_index,
+                            shard=plan.index)
         if result.cached:
             cached += 1
         else:
@@ -130,6 +146,7 @@ def merge_shards(
     shard_dirs: Sequence[str],
     out_dir: str,
     include_events: bool = True,
+    telemetry: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Reassemble shard outputs into the single-host batch artifact set.
 
@@ -140,7 +157,11 @@ def merge_shards(
     ``metrics.json``, ``aggregate.json`` and the per-run event streams into
     *out_dir*; ``aggregate.json`` is byte-identical to the one a
     single-host ``repro batch`` over the same matrix writes.
+
+    *telemetry* records the merge as one ``merge`` span; the written
+    artifacts are identical with or without it.
     """
+    merge_start = time.perf_counter()
     if not shard_dirs:
         raise GridError("no shard directories to merge")
     documents = [(d, _load_shard_document(d)) for d in shard_dirs]
@@ -212,6 +233,11 @@ def merge_shards(
     with open(aggregate_path, "w", encoding="utf-8") as handle:
         handle.write(canonical_json(deterministic))
         handle.write("\n")
+    if telemetry is not None:
+        telemetry.record(
+            "merge", time.perf_counter() - merge_start,
+            shards=shards, runs=total,
+        )
     return {
         "metrics": metrics_path,
         "aggregate": aggregate_path,

@@ -352,6 +352,20 @@ class ResultStore:
         """Store a finished :class:`RunResult` (must carry its events)."""
         return self.put(result.spec, result.metrics, events=result.events)
 
+    # -- iteration ---------------------------------------------------------
+    def iter_results(self) -> "Iterable[StoredResult]":
+        """Every verified entry, in ascending cache-key order.
+
+        Stale and corrupt entries are skipped silently (same policy as
+        :meth:`lookup`); the analytics corpus index is built from exactly
+        this view, so an index row always comes from a digest-verified
+        entry produced by the running code version.
+        """
+        for key, entry_dir in self._entry_dirs():
+            manifest = self._verified_manifest(key, entry_dir)
+            if manifest is not None:
+                yield StoredResult(key, entry_dir, manifest)
+
     # -- maintenance -------------------------------------------------------
     def _entry_dirs(self) -> List[Tuple[str, str]]:
         entries: List[Tuple[str, str]] = []

@@ -17,10 +17,12 @@ from repro.obs.bus import (
 )
 from repro.obs.sinks import (
     CounterSink,
+    HistogramSink,
     JsonlStreamSink,
     ListSink,
     RingBufferSink,
     Sink,
+    StreamingHistogram,
     VcdStreamSink,
 )
 from repro.obs.replay import event_from_dict, read_events_jsonl
@@ -39,6 +41,8 @@ __all__ = [
     "ListSink",
     "RingBufferSink",
     "CounterSink",
+    "HistogramSink",
+    "StreamingHistogram",
     "JsonlStreamSink",
     "VcdStreamSink",
     "vcd_identifier",

@@ -28,7 +28,17 @@ Topics
 ``signal``  settled signal value changes (:class:`repro.sysc.signal.Signal`)
 ``bfm``     BFM bus transactions (:class:`repro.bfm.driver.BusDriver`)
 ``campaign`` campaign run lifecycle (:func:`repro.campaign.runner.run_spec`)
+``telemetry`` pipeline phase spans — compose/build/run/store/merge
+            wall-clock timings emitted by the campaign and grid layers
+            (:mod:`repro.analytics.telemetry`)
 ==========  ==========================================================
+
+The ``telemetry`` topic is the one stream that carries *wall-clock* data
+(phase durations in host seconds).  It exists for sweep profiling only and
+is contractually excluded from everything deterministic: telemetry never
+enters spec hashes, stored result-store artifacts, aggregate documents or
+golden streams — it is written to sidecar ``telemetry.jsonl`` files beside
+the outputs, never inside them.
 
 The zero-cost fast path
 -----------------------
@@ -57,7 +67,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 #: The fixed topic namespace of the bus.
 TOPICS: Tuple[str, ...] = (
-    "kernel", "sched", "svc", "irq", "signal", "bfm", "campaign",
+    "kernel", "sched", "svc", "irq", "signal", "bfm", "campaign", "telemetry",
 )
 
 

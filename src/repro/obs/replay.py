@@ -64,22 +64,38 @@ def event_from_dict(document: Mapping[str, Any]) -> Event:
     return Event(topic, kind, t_ns, fields)
 
 
-def read_events_jsonl(source: Union[str, IO[str]]) -> Iterator[Event]:
+def read_events_jsonl(
+    source: Union[str, IO[str]], recover: bool = False,
+) -> Iterator[Event]:
     """Stream bus events out of a JSONL file (path or open text stream).
 
     Blank lines are skipped; anything else must be one serialized event per
     line, as written by :class:`~repro.obs.sinks.JsonlStreamSink` or
     :meth:`~repro.campaign.metrics.RunResult.write_events`.
+
+    With ``recover=True`` lines that fail to decode — malformed JSON, or a
+    valid JSON document missing required event fields (e.g. the truncated
+    tail of an interrupted run) — are skipped instead of raising, so a
+    partial file still yields its valid prefix.  The default stays strict:
+    stored cache artifacts are digest-verified before replay, so a decode
+    error there is corruption worth crashing on.
     """
     if isinstance(source, str):
         with open(source, "r", encoding="utf-8") as handle:
-            yield from _decode_lines(handle)
+            yield from _decode_lines(handle, recover)
     else:
-        yield from _decode_lines(source)
+        yield from _decode_lines(source, recover)
 
 
-def _decode_lines(handle: IO[str]) -> Iterator[Event]:
+def _decode_lines(handle: IO[str], recover: bool = False) -> Iterator[Event]:
     for line in handle:
         line = line.strip()
-        if line:
+        if not line:
+            continue
+        if recover:
+            try:
+                yield event_from_dict(json.loads(line))
+            except (json.JSONDecodeError, KeyError, ValueError, TypeError):
+                continue
+        else:
             yield event_from_dict(json.loads(line))

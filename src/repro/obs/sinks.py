@@ -14,7 +14,14 @@ needs:
 * :class:`CounterSink` — per-``(topic, kind)`` tallies at O(1) memory,
 * :class:`JsonlStreamSink` — stream JSON Lines to a file/stdout *during*
   the run instead of materializing the event list afterwards,
-* :class:`VcdStreamSink` — stream a waveform dump of selected signals.
+* :class:`VcdStreamSink` — stream a waveform dump of selected signals,
+* :class:`HistogramSink` — stream selected numeric event fields into a
+  bounded :class:`StreamingHistogram` (per-run percentile metrics at O(1)
+  memory; the analytics report plane's latency distributions).
+
+Every sink is a context manager (``with JsonlStreamSink(path) as sink:``)
+and ``close()`` is idempotent, so an interrupted run still flushes a valid,
+parseable prefix on the way out.
 
 The Gantt builder (:class:`repro.core.gantt.GanttChart`) and the waveform
 recorder (:class:`repro.sysc.trace.TraceFile`) are sinks too; they live with
@@ -23,9 +30,12 @@ their data models.
 
 from __future__ import annotations
 
+import math
 import sys
 from collections import deque
-from typing import Any, Dict, IO, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any, Callable, Dict, IO, Iterable, List, Optional, Sequence, Tuple, Union,
+)
 
 from repro.obs.bus import Event, canonical_json, event_to_dict
 from repro.obs.vcd import vcd_identifier, vcd_value, vcd_var
@@ -52,7 +62,15 @@ class Sink:
         raise NotImplementedError
 
     def close(self) -> None:  # pragma: no cover - default no-op
-        """Flush and release any resources the sink holds."""
+        """Flush and release any resources the sink holds (idempotent)."""
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        # Close on the error path too: a crashed run must still flush the
+        # stream so the file on disk is a valid, parseable prefix.
+        self.close()
 
 
 class ListSink(Sink):
@@ -135,6 +153,18 @@ class CounterSink(Sink):
         """All events seen."""
         return sum(self.counts.values())
 
+    def snapshot(self) -> Dict[str, int]:
+        """The tallies as ``{"topic/kind": count}`` in sorted key order.
+
+        Iteration order of ``counts`` follows arrival order, which varies
+        run to run; the snapshot sorts so any JSON rendered from it is
+        byte-stable across hosts and Python hash seeds.
+        """
+        return {
+            f"{topic}/{kind}": self.counts[(topic, kind)]
+            for topic, kind in sorted(self.counts)
+        }
+
 
 class JsonlStreamSink(Sink):
     """Streams events as JSON Lines while the simulation runs.
@@ -149,14 +179,19 @@ class JsonlStreamSink(Sink):
         if topics is not None:
             self.topics = tuple(topics)
         self._stream, self._owns_stream = _open_target(target)
+        self._closed = False
         self.lines_written = 0
 
     def handle(self, event: Event) -> None:
-        self._stream.write(canonical_json(event_to_dict(event)))
-        self._stream.write("\n")
+        # One write per event: an interruption between events leaves whole
+        # lines only, so the file on disk is always a parseable prefix.
+        self._stream.write(canonical_json(event_to_dict(event)) + "\n")
         self.lines_written += 1
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         try:
             self._stream.flush()
         except ValueError:  # pragma: no cover - already-closed caller stream
@@ -179,6 +214,7 @@ class VcdStreamSink(Sink):
     def __init__(self, signals: Iterable[Any], target: Union[str, IO[str]],
                  timescale: str = "1ns"):
         self._stream, self._owns_stream = _open_target(target)
+        self._closed = False
         self._identifiers: Dict[str, str] = {}
         # Identity map so a same-named signal that was *not* declared can
         # never corrupt a declared signal's waveform.
@@ -212,6 +248,151 @@ class VcdStreamSink(Sink):
         self._stream.write(vcd_value(event.fields["new"], identifier) + "\n")
 
     def close(self) -> None:
-        self._stream.flush()
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._stream.flush()
+        except ValueError:  # pragma: no cover - already-closed caller stream
+            return
         if self._owns_stream:
             self._stream.close()
+
+
+class StreamingHistogram:
+    """A log2-bucketed streaming histogram: O(1) memory, deterministic.
+
+    Values are tallied into power-of-two buckets (bucket *b* covers
+    ``(2^(b-1), 2^b]``; non-positive values land in a dedicated zero
+    bucket), so the summary a run produces depends only on the values
+    fed in — never on their count or arrival order beyond the tallies
+    themselves.  Percentiles interpolate linearly inside the covering
+    bucket and clamp to the observed ``[min, max]``, which keeps small
+    samples exact at the extremes and large samples within a 2× bucket
+    of the true quantile.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._buckets: Dict[int, int] = {}
+
+    @staticmethod
+    def _bucket_of(value: float) -> int:
+        if value <= 0:
+            return -(2 ** 30)  # the zero/negative bucket, below everything
+        mantissa, exponent = math.frexp(value)
+        # frexp: value = mantissa * 2^exponent with mantissa in [0.5, 1).
+        # Exact powers of two (mantissa 0.5) belong to the lower bucket.
+        return exponent - 1 if mantissa == 0.5 else exponent
+
+    def add(self, value: float) -> None:
+        """Tally one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = self._bucket_of(value)
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold *other*'s tallies into this histogram."""
+        self.count += other.count
+        self.total += other.total
+        for source in (other.min, other.max):
+            if source is None:
+                continue
+            if self.min is None or source < self.min:
+                self.min = source
+            if self.max is None or source > self.max:
+                self.max = source
+        for bucket, tally in other._buckets.items():
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + tally
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The *q*-quantile (``q`` in [0, 1]) by bucket interpolation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile wants q in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        assert self.min is not None and self.max is not None
+        rank = q * self.count
+        cumulative = 0
+        for bucket in sorted(self._buckets):
+            tally = self._buckets[bucket]
+            if cumulative + tally >= rank:
+                if bucket == self._bucket_of(0.0):
+                    return max(0.0, self.min)
+                low, high = 2.0 ** (bucket - 1), 2.0 ** bucket
+                fraction = (rank - cumulative) / tally
+                value = low + (high - low) * fraction
+                return min(max(value, self.min), self.max)
+            cumulative += tally
+        return self.max
+
+    def snapshot(self) -> Dict[str, float]:
+        """Count/min/max/mean and fixed percentiles, JSON-safe and sorted."""
+        return {
+            "count": self.count,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
+
+class HistogramSink(Sink):
+    """Streams one numeric event field into a :class:`StreamingHistogram`.
+
+    By default it measures ``sched``/``exec`` slice durations (``dur_ns``) —
+    the per-run latency distribution the analytics report plane summarizes —
+    but any topic/kind/field combination works, and a ``value`` callable can
+    derive the measure from the whole event (e.g. inter-dispatch gaps).
+    Events of matching kind that lack the field are counted as ``skipped``
+    rather than raising, so a sink can sit on a mixed stream.
+    """
+
+    def __init__(
+        self,
+        field: str = "dur_ns",
+        topics: Sequence[str] = ("sched",),
+        kinds: Optional[Sequence[str]] = ("exec",),
+        value: Optional[Callable[[Event], Optional[float]]] = None,
+    ):
+        self.topics = tuple(topics)
+        self.field = field
+        self.kinds = tuple(kinds) if kinds is not None else None
+        self._value = value
+        self.histogram = StreamingHistogram()
+        self.skipped = 0
+
+    def handle(self, event: Event) -> None:
+        if self.kinds is not None and event.kind not in self.kinds:
+            return
+        if self._value is not None:
+            measured = self._value(event)
+            if measured is None:
+                self.skipped += 1
+                return
+        else:
+            raw = event.fields.get(self.field)
+            if not isinstance(raw, (int, float)) or isinstance(raw, bool):
+                self.skipped += 1
+                return
+            measured = raw
+        self.histogram.add(measured)
+
+    def snapshot(self) -> Dict[str, float]:
+        """The underlying histogram's summary document."""
+        return self.histogram.snapshot()

@@ -48,7 +48,7 @@ BENCH_SCHEMA = "repro-bench/1"
 
 #: The PR this checkout's trajectory file belongs to; bumped by each PR that
 #: records a new data point.
-CURRENT_PR = 5
+CURRENT_PR = 6
 
 #: Scenarios cheap enough to run on every ``repro bench`` invocation.
 DEFAULT_SCENARIOS = (
@@ -260,10 +260,7 @@ def run_scenario_benchmarks(
         spec = get_scenario(name)
         counter = CounterSink(topics=("campaign", "sched"))
         result = run_spec(spec, collect_events=False, sinks=[counter])
-        events = {
-            f"{topic}/{kind}": count
-            for (topic, kind), count in sorted(counter.counts.items())
-        }
+        events = counter.snapshot()
         results[name] = {
             "simulated_ms": result.metrics["simulated_ms"],
             "wall_clock_seconds": result.timing["wall_clock_seconds"],
@@ -349,6 +346,75 @@ def bench_workload_plane(scale: int = 1) -> Dict[str, Any]:
     }
 
 
+def bench_analytics(
+    runs: int = 64, repeats: int = 3, queries: int = 50
+) -> Dict[str, Any]:
+    """Corpus-index rebuild throughput and warm-query latency (the PR-6
+    analytics plane).
+
+    A throwaway store is filled with *runs* synthetic entries through
+    ``ResultStore.put`` — fabricated spec/metrics documents, no simulation —
+    then the index is rebuilt (best of *repeats*, reported as entries
+    indexed per second) and a representative filtered group-by query runs
+    against the warm index (best mean latency of *repeats* rounds of
+    *queries* queries).
+    """
+    import shutil
+    import tempfile
+
+    from repro.analytics.corpus import build_index, open_index
+    from repro.grid.store import ResultStore
+
+    root = tempfile.mkdtemp(prefix="repro-bench-analytics-")
+    try:
+        store = ResultStore(root)
+        for index in range(runs):
+            spec = {
+                "name": f"bench/{index:04d}", "kernel": "tkernel",
+                "workload": "generated", "seed": index, "duration_ms": 40.0,
+                "extra": {"family": "bench", "variant": index % 4},
+            }
+            metrics = {
+                "scenario": spec["name"], "kernel": "tkernel", "seed": index,
+                "context_switches": 10 + index, "preemptions": index % 5,
+                "cpu_utilization": round(0.2 + (index % 10) / 50.0, 6),
+                "energy_mj": round(0.1 + index / 1000.0, 6),
+            }
+            events = [
+                {"topic": "sched", "kind": "exec", "t_ns": 1000 * slot,
+                 "thread": "t0", "dur_ns": 500}
+                for slot in range(4)
+            ]
+            store.put(spec, metrics, events=events)
+
+        build_rate = 0.0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            build_index(store)
+            elapsed = time.perf_counter() - start
+            build_rate = max(build_rate, runs / elapsed if elapsed else 0.0)
+
+        query_seconds = float("inf")
+        with open_index(store) as corpus:
+            for _ in range(repeats):
+                start = time.perf_counter()
+                for _ in range(queries):
+                    corpus.query(
+                        where=("spec.kernel=tkernel",),
+                        group_by=("spec.extra.family",),
+                        aggregate=("count", "mean:metrics.cpu_utilization"),
+                    )
+                elapsed = time.perf_counter() - start
+                query_seconds = min(query_seconds, elapsed / queries)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "runs": runs,
+        "index_runs_per_s": build_rate,
+        "warm_query_ms": query_seconds * 1e3,
+    }
+
+
 # ----------------------------------------------------------------------
 # Report assembly
 # ----------------------------------------------------------------------
@@ -388,6 +454,10 @@ def run_benchmarks(
     scenario_results = run_scenario_benchmarks(scenario_names)
     grid = bench_cache_hit(repeats=1 if quick else 3)
     workload = bench_workload_plane(scale=scale)
+    analytics = bench_analytics(
+        runs=16 if quick else 64, repeats=1 if quick else 3,
+        queries=10 if quick else 50,
+    )
     return {
         "schema": BENCH_SCHEMA,
         "pr": CURRENT_PR,
@@ -405,6 +475,7 @@ def run_benchmarks(
         "table2": table2,
         "grid": grid,
         "workload": workload,
+        "analytics": analytics,
         "scenarios": scenario_results,
     }
 
@@ -412,7 +483,7 @@ def run_benchmarks(
 #: Keys (and nested keys) every report document must carry.
 _REQUIRED_TOP_LEVEL = (
     "schema", "pr", "quick", "created_utc", "host",
-    "microbench", "table2", "grid", "workload", "scenarios",
+    "microbench", "table2", "grid", "workload", "analytics", "scenarios",
 )
 _REQUIRED_MICROBENCH = (
     "timed_waits_per_s", "timeout_waits_per_s",
@@ -455,6 +526,13 @@ def validate_report(document: Dict[str, Any]) -> List[str]:
         if not isinstance(value, (int, float)) or value <= 0:
             problems.append(
                 f"workload.{key} must be a positive number, got {value!r}"
+            )
+    analytics = document.get("analytics", {})
+    for key in ("runs", "index_runs_per_s", "warm_query_ms"):
+        value = analytics.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            problems.append(
+                f"analytics.{key} must be a positive number, got {value!r}"
             )
     if workload.get("family_members") != 100:
         problems.append(
@@ -506,6 +584,12 @@ def render_report(document: Dict[str, Any]) -> str:
             f"  scenario compose : {workload['composes_per_s']:>12,.0f} /s   "
             f"family expand ({workload['family_members']} members): "
             f"{workload['family_expand_seconds'] * 1e3:.1f} ms"
+        )
+    analytics = document.get("analytics")
+    if analytics:
+        lines.append(
+            f"  corpus index     : {analytics['index_runs_per_s']:>12,.0f} "
+            f"runs/s rebuild   warm query: {analytics['warm_query_ms']:.3f} ms"
         )
     rows = [
         (

@@ -39,6 +39,7 @@ from repro.workload.families import (
     family_member,
     load_family_file,
 )
+from repro.workload.knobs import canonical_json_value, flatten_knobs
 
 # Importing the builtins registers every built-in workload component.
 from repro.workload import builtins as _builtins  # noqa: F401
@@ -57,9 +58,11 @@ __all__ = [
     "ScenarioBuild",
     "TaskDef",
     "Workload",
+    "canonical_json_value",
     "compose",
     "expand_family",
     "family_member",
+    "flatten_knobs",
     "load_family_file",
     "parse_taskset",
     "register_workload",

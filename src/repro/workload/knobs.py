@@ -1,0 +1,54 @@
+"""Knob flattening: one flat, sorted view of a nested spec document.
+
+The analytics corpus index stores one row per run with one column per spec
+knob, so the nested ``ScenarioSpec.to_dict()`` document (top-level fields
+plus the free-form ``extra`` mapping, which itself nests task lists and
+platform hints) has to flatten into stable scalar columns.
+
+:func:`flatten_knobs` walks the document depth-first:
+
+* mappings recurse with dotted keys (``extra.family``, ``extra.member``),
+* scalar leaves — numbers, booleans, strings — are kept as-is,
+* any other leaf (lists such as ``priorities`` or ``extra.tasks``, or
+  ``None``) is rendered to its canonical-JSON string, so structurally
+  identical values compare equal as column values and nothing is lost —
+  report code can parse the JSON back when it needs the structure.
+
+The output is sorted by key, so two equal documents always flatten to the
+same ordered column set — the basis of the corpus index's byte-identical
+query output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Union
+
+#: A flattened knob value: what a corpus-index column can hold.
+KnobValue = Union[bool, int, float, str]
+
+
+def flatten_knobs(
+    document: Mapping[str, Any], prefix: str = "",
+) -> Dict[str, KnobValue]:
+    """Flatten a nested JSON-safe document into sorted dotted-key scalars."""
+    flat: Dict[str, KnobValue] = {}
+    for key, value in document.items():
+        if not isinstance(key, str):
+            raise TypeError(
+                f"knob keys must be strings, got {type(key).__name__}: {key!r}"
+            )
+        dotted = f"{prefix}{key}"
+        if isinstance(value, Mapping):
+            flat.update(flatten_knobs(value, prefix=f"{dotted}."))
+        elif isinstance(value, bool) or isinstance(value, (int, float, str)):
+            flat[dotted] = value
+        else:
+            # Lists, None, anything structured: canonical JSON string.
+            flat[dotted] = canonical_json_value(value)
+    return {key: flat[key] for key in sorted(flat)}
+
+
+def canonical_json_value(value: Any) -> str:
+    """The canonical-JSON string of any JSON-safe value (not just objects)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,177 @@
+"""The analytics CLI surface: index/query/report verbs and --telemetry.
+
+Everything drives :func:`repro.campaign.cli.main` exactly as a shell would,
+over a small warm corpus built once per module.  JSON outputs are parsed
+back (they must be canonical and machine-stable); error paths must exit 2
+with one-line messages.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign.cli import main
+from repro.grid.store import ResultStore
+from repro.workload.families import FamilySpec
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """A warm cache dir holding one small periodic family."""
+    root = tmp_path_factory.mktemp("analytics_cli")
+    cache = str(root / "cache")
+    family_path = str(root / "family.json")
+    family = FamilySpec(name="clifam", count=3, seed=5, duration_ms=20.0,
+                        laws=("periodic",)).validate()
+    with open(family_path, "w", encoding="utf-8") as handle:
+        json.dump(family.to_dict(), handle)
+    assert main([
+        "batch", "--family", family_path, "--serial", "--no-events",
+        "--out", str(root / "out"), "--cache", cache,
+    ]) == 0
+    return cache
+
+
+class TestIndexVerbs:
+    def test_build_then_status_fresh(self, corpus, capsys):
+        assert main(["index", "build", "--cache", corpus]) == 0
+        out = capsys.readouterr().out
+        assert "index built: 3 run(s)" in out
+
+        assert main(["index", "status", "--cache", corpus]) == 0
+        out = capsys.readouterr().out
+        assert "fresh   : yes" in out
+
+    def test_status_on_missing_index(self, tmp_path, capsys):
+        ResultStore(str(tmp_path / "empty"))
+        assert main(["index", "status", "--cache",
+                     str(tmp_path / "empty")]) == 0
+        assert "present : no" in capsys.readouterr().out
+
+    def test_index_needs_a_store(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["index", "build"]) == 2
+        assert "no result store" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_row_mode_json_is_canonical_and_stable(self, corpus, capsys):
+        assert main(["query", "--cache", corpus, "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["query", "--cache", corpus, "--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        documents = json.loads(first)
+        assert len(documents) == 3
+        assert all(doc["spec.workload"] == "generated" for doc in documents)
+
+    def test_where_and_select(self, corpus, capsys):
+        assert main([
+            "query", "--cache", corpus, "--json",
+            "--where", "kernel=tkernel", "--select", "key",
+            "--select", "spec.name",
+        ]) == 0
+        documents = json.loads(capsys.readouterr().out)
+        assert len(documents) == 3
+        assert set(documents[0]) == {"key", "spec.name"}
+
+    def test_group_by_aggregates(self, corpus, capsys):
+        assert main([
+            "query", "--cache", corpus, "--json",
+            "--group-by", "kernel", "--agg", "count",
+            "--agg", "mean:cpu_utilization",
+        ]) == 0
+        documents = json.loads(capsys.readouterr().out)
+        assert documents[0]["count"] == 3
+
+    def test_table_mode_renders(self, corpus, capsys):
+        assert main(["query", "--cache", corpus, "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Corpus query (2 row(s))" in out
+
+    def test_unknown_column_exits_2(self, corpus, capsys):
+        assert main([
+            "query", "--cache", corpus, "--where", "bogus=1",
+        ]) == 2
+        assert "no corpus column" in capsys.readouterr().err
+
+    def test_no_build_refuses_missing_index(self, tmp_path, capsys):
+        cache = str(tmp_path / "fresh")
+        ResultStore(cache)
+        assert main(["query", "--cache", cache, "--no-build"]) == 2
+        assert "repro index build" in capsys.readouterr().err
+
+
+class TestReports:
+    def test_audit_json(self, corpus, capsys):
+        assert main(["report", "audit", "--cache", corpus, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 3
+        assert all("verdict" in row for row in rows)
+
+    def test_deadlines_table(self, corpus, capsys):
+        assert main(["report", "deadlines", "--cache", corpus]) == 0
+        assert "miss_ratio" in capsys.readouterr().out
+
+    def test_latency_json_has_aggregate(self, corpus, capsys):
+        assert main(["report", "latency", "--cache", corpus, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["aggregate"]["slices"] > 0
+
+    def test_family_with_baseline(self, corpus, capsys):
+        assert main([
+            "report", "family", "--cache", corpus, "--json",
+            "--baseline", "clifam",
+        ]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["family"] == "clifam" and rows[0]["runs"] == 3
+
+    def test_unknown_baseline_exits_2(self, corpus, capsys):
+        assert main([
+            "report", "family", "--cache", corpus, "--baseline", "nope",
+        ]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestTelemetryFlag:
+    def test_batch_telemetry_sidecar_and_summary(self, corpus, tmp_path,
+                                                 capsys):
+        out_dir = str(tmp_path / "telemetry_out")
+        assert main([
+            "batch", "--scenario", "synthetic-tkernel",
+            "--matrix", "seed=1", "--set", "duration_ms=20",
+            "--serial", "--no-events", "--no-cache",
+            "--out", out_dir, "--telemetry",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline telemetry" in out
+        sidecar = os.path.join(out_dir, "telemetry.jsonl")
+        assert os.path.isfile(sidecar)
+
+        assert main(["report", "telemetry", sidecar]) == 0
+        out = capsys.readouterr().out
+        assert "run" in out and "plan" in out
+
+    def test_report_telemetry_json(self, corpus, tmp_path, capsys):
+        out_dir = str(tmp_path / "t2")
+        assert main([
+            "batch", "--scenario", "quickstart", "--matrix", "seed=1",
+            "--set", "duration_ms=20", "--serial", "--no-events",
+            "--no-cache", "--out", out_dir, "--telemetry",
+        ]) == 0
+        capsys.readouterr()
+        sidecar = os.path.join(out_dir, "telemetry.jsonl")
+        assert main(["report", "telemetry", sidecar, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["run"]["spans"] == 1
+
+    def test_batch_without_flag_writes_no_sidecar(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "plain_out")
+        assert main([
+            "batch", "--scenario", "quickstart", "--matrix", "seed=1",
+            "--set", "duration_ms=20", "--serial", "--no-events",
+            "--no-cache", "--out", out_dir,
+        ]) == 0
+        capsys.readouterr()
+        assert not os.path.exists(os.path.join(out_dir, "telemetry.jsonl"))

@@ -1,0 +1,194 @@
+"""The corpus index: a pure, deterministic function of the result store.
+
+The acceptance bar for the analytics plane's index layer:
+
+* rebuilding the index twice over the same store yields **byte-identical**
+  canonical query output,
+* a store filled by a serial batch and a store filled by a sharded
+  run+merge of the *same family* index to byte-identical query output
+  (wall-clock manifest fields never leak into the index),
+* the index goes stale when the store changes and ``open_index`` rebuilds
+  it (or refuses, with ``auto_build=False``).
+"""
+
+import os
+
+import pytest
+
+from repro.analytics.corpus import (
+    AnalyticsError,
+    CorpusIndex,
+    build_index,
+    corpus_fingerprint,
+    default_index_path,
+    index_status,
+    open_index,
+    parse_filter,
+)
+from repro.campaign.batch import run_batch
+from repro.grid.executor import merge_shards, run_shard
+from repro.grid.shard import plan_shard
+from repro.grid.store import ResultStore
+from repro.obs.bus import canonical_json
+from repro.workload.families import FamilySpec, expand_family
+
+FAMILY = FamilySpec(
+    name="corpus-family", count=4, seed=21, duration_ms=20.0,
+    laws=("periodic",),
+)
+
+
+@pytest.fixture(scope="module")
+def family_specs():
+    return expand_family(FAMILY)
+
+
+def query_bytes(store):
+    """The canonical row-mode query output of a store's (fresh) index."""
+    with open_index(store) as index:
+        headers, rows = index.query()
+        return canonical_json(index.documents(headers, rows))
+
+
+class TestDeterminism:
+    def test_rebuild_twice_is_byte_identical(self, tmp_path, family_specs):
+        store = ResultStore(str(tmp_path / "cache"))
+        run_batch(family_specs, workers=1, collect_events=False, store=store)
+
+        build_index(store)
+        first = query_bytes(store)
+        os.remove(default_index_path(store))
+        build_index(store)
+        second = query_bytes(store)
+        assert first == second
+
+    def test_serial_and_sharded_corpora_index_identically(
+        self, tmp_path, family_specs
+    ):
+        serial_store = ResultStore(str(tmp_path / "serial_cache"))
+        run_batch(family_specs, workers=1, collect_events=False,
+                  store=serial_store)
+
+        sharded_store = ResultStore(str(tmp_path / "sharded_cache"))
+        shard_dirs = []
+        for shard_index in range(2):
+            plan = plan_shard(family_specs, 2, shard_index)
+            shard_dir = str(tmp_path / f"shard_{shard_index}")
+            run_shard(plan, shard_dir, store=sharded_store)
+            shard_dirs.append(shard_dir)
+        merge_shards(shard_dirs, str(tmp_path / "merged"))
+
+        assert query_bytes(serial_store) == query_bytes(sharded_store)
+
+    def test_grouped_query_is_deterministic(self, tmp_path, family_specs):
+        store = ResultStore(str(tmp_path / "cache"))
+        run_batch(family_specs, workers=1, collect_events=False, store=store)
+        outputs = set()
+        for _ in range(2):
+            build_index(store)
+            with open_index(store) as index:
+                headers, rows = index.query(
+                    group_by=["spec.kernel"],
+                    aggregate=["count", "mean:metrics.cpu_utilization"],
+                )
+                outputs.add(canonical_json(index.documents(headers, rows)))
+        assert len(outputs) == 1
+
+
+class TestFreshness:
+    def test_missing_index_reports_absent(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        status = index_status(store)
+        assert status["present"] is False and status["fresh"] is False
+
+    def test_store_change_goes_stale_and_rebuilds(self, tmp_path, family_specs):
+        store = ResultStore(str(tmp_path / "cache"))
+        run_batch(family_specs[:2], workers=1, collect_events=False,
+                  store=store)
+        build_index(store)
+        assert index_status(store)["fresh"] is True
+
+        run_batch(family_specs[2:], workers=1, collect_events=False,
+                  store=store)
+        assert index_status(store)["fresh"] is False
+
+        with open_index(store) as index:
+            assert index.rebuilt is True
+        assert index_status(store)["fresh"] is True
+
+    def test_no_build_refuses_stale_index(self, tmp_path, family_specs):
+        store = ResultStore(str(tmp_path / "cache"))
+        run_batch(family_specs[:2], workers=1, collect_events=False,
+                  store=store)
+        with pytest.raises(AnalyticsError, match="missing"):
+            open_index(store, auto_build=False)
+        build_index(store)
+        with open_index(store, auto_build=False) as index:
+            assert index.rebuilt is False
+
+    def test_fingerprint_ignores_wall_clock(self, tmp_path, family_specs):
+        """The corpus fingerprint digests content hashes, not ``created_utc``
+        — re-storing identical artifacts must not invalidate the index."""
+        store = ResultStore(str(tmp_path / "cache"))
+        run_batch(family_specs[:2], workers=1, collect_events=False,
+                  store=store)
+        before = corpus_fingerprint(store)
+        run_batch(family_specs[:2], workers=1, collect_events=False,
+                  store=store, refresh=True)
+        assert corpus_fingerprint(store) == before
+
+
+class TestQueries:
+    @pytest.fixture(scope="class")
+    def index(self, tmp_path_factory, family_specs):
+        store = ResultStore(
+            str(tmp_path_factory.mktemp("corpus") / "cache")
+        )
+        run_batch(family_specs, workers=1, collect_events=False, store=store)
+        with open_index(store) as index:
+            yield index
+
+    def test_row_mode_orders_by_key(self, index):
+        headers, rows = index.query(select=["key"])
+        keys = [row[0] for row in rows]
+        assert keys == sorted(keys) and len(keys) == FAMILY.count
+
+    def test_where_filters_rows(self, index):
+        headers, rows = index.query(
+            select=["key", "spec.name"], where=["spec.seed>=0"],
+        )
+        assert len(rows) == FAMILY.count
+        headers, rows = index.query(
+            select=["key"], where=["spec.kernel!=tkernel"],
+        )
+        assert rows == []
+
+    def test_short_column_names_resolve(self, index):
+        assert index.resolve_column("kernel") == "spec.kernel"
+        assert index.resolve_column("context_switches") == (
+            "metrics.context_switches"
+        )
+
+    def test_unknown_column_lists_similar(self, index):
+        with pytest.raises(AnalyticsError, match="no corpus column"):
+            index.resolve_column("kernle")
+
+    def test_bad_aggregate_rejected(self, index):
+        with pytest.raises(AnalyticsError, match="bad aggregate"):
+            index.query(group_by=["spec.kernel"], aggregate=["median:x"])
+
+    def test_limit_caps_rows(self, index):
+        headers, rows = index.query(select=["key"], limit=2)
+        assert len(rows) == 2
+
+
+class TestParseFilter:
+    def test_operators(self):
+        assert parse_filter("kernel=tkernel") == ("kernel", "=", "tkernel")
+        assert parse_filter("seed==3") == ("seed", "=", 3)
+        assert parse_filter("util>=0.5") == ("util", ">=", 0.5)
+        assert parse_filter("misses!=0") == ("misses", "!=", 0)
+
+    def test_malformed_filter_rejected(self):
+        with pytest.raises(AnalyticsError):
+            parse_filter("no-operator-here")

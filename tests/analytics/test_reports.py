@@ -1,0 +1,168 @@
+"""Audit reports over a warm corpus — with the zero-simulation guarantee.
+
+The headline acceptance test lives here: every ``repro report`` flavour
+runs over a warm store with ``build_scenario`` poisoned *and*
+``Simulator.__init__`` poisoned, proving the report plane is pure artifact
+analysis.  The report content itself is checked against the known structure
+of generated periodic families (requested utilization, RM bounds, deadline
+reconstruction, latency percentiles, per-family means).
+"""
+
+import math
+
+import pytest
+
+from repro.analytics.corpus import open_index
+from repro.analytics.reports import (
+    deadline_report,
+    family_report,
+    latency_report,
+    rm_bound,
+    schedulability_audit,
+)
+from repro.campaign import get_scenario, run_spec
+from repro.campaign.batch import run_batch
+from repro.grid.store import ResultStore
+from repro.workload.families import FamilySpec, expand_family
+
+FAMILY = FamilySpec(
+    name="report-family", count=4, seed=11, duration_ms=30.0,
+    laws=("periodic",),
+)
+
+
+@pytest.fixture(scope="module")
+def warm(tmp_path_factory):
+    """A warm store + fresh index over one periodic family and one
+    registry scenario (the non-periodic audit row)."""
+    store = ResultStore(str(tmp_path_factory.mktemp("reports") / "cache"))
+    specs = expand_family(FAMILY)
+    run_batch(specs, workers=1, collect_events=False, store=store)
+    run_spec(
+        get_scenario("rtk-priority").with_overrides(
+            {"duration_ms": 30.0}
+        ).validate(),
+        collect_events=False, store=store,
+    )
+    return store
+
+
+@pytest.fixture()
+def sealed(warm, monkeypatch):
+    """The warm corpus with every simulation entry point poisoned."""
+    import repro.campaign.runner as runner_module
+    import repro.sysc.kernel as kernel_module
+
+    def forbidden_build(_spec):
+        raise AssertionError("report plane called build_scenario")
+
+    def forbidden_sim(self, *args, **kwargs):
+        raise AssertionError("report plane constructed a Simulator")
+
+    monkeypatch.setattr(runner_module, "build_scenario", forbidden_build)
+    monkeypatch.setattr(kernel_module.Simulator, "__init__", forbidden_sim)
+    return warm
+
+
+class TestZeroSimulation:
+    def test_every_report_runs_without_simulating(self, sealed):
+        with open_index(sealed) as index:
+            audit = schedulability_audit(index)
+            deadlines = deadline_report(index, sealed)
+            latency = latency_report(index, sealed)
+            families = family_report(index)
+        assert len(audit) == FAMILY.count + 1
+        assert len(deadlines) == FAMILY.count
+        assert len(latency["runs"]) == FAMILY.count + 1
+        assert len(families) >= 1
+
+
+class TestAudit:
+    def test_periodic_rows_carry_utilization_and_bound(self, warm):
+        with open_index(warm) as index:
+            audit = schedulability_audit(index)
+        periodic = [row for row in audit if row["periodic_tasks"] > 0]
+        assert len(periodic) == FAMILY.count
+        for row in periodic:
+            assert 0.0 < row["requested_utilization"]
+            assert row["rm_bound"] == pytest.approx(
+                rm_bound(row["periodic_tasks"]), abs=1e-6
+            )
+            assert row["verdict"] in ("rm-bound-ok", "check", "overload")
+
+    def test_non_generated_rows_get_dash_verdict(self, warm):
+        with open_index(warm) as index:
+            audit = schedulability_audit(index)
+        rows = [row for row in audit if row["periodic_tasks"] == 0]
+        assert len(rows) == 1 and rows[0]["verdict"] == "-"
+
+    def test_where_filters_the_audit(self, warm):
+        with open_index(warm) as index:
+            audit = schedulability_audit(
+                index, where=["spec.workload=generated"],
+            )
+        assert len(audit) == FAMILY.count
+
+    def test_rm_bound_values(self):
+        assert rm_bound(0) == 0.0
+        assert rm_bound(1) == 1.0
+        assert math.isclose(rm_bound(2), 2 * (2 ** 0.5 - 1))
+
+
+class TestDeadlines:
+    def test_rows_reconstruct_jobs_and_percentiles(self, warm):
+        with open_index(warm) as index:
+            report = deadline_report(index, warm)
+        assert len(report) == FAMILY.count
+        for row in report:
+            assert row["jobs"] > 0
+            assert 0 <= row["misses"] <= row["jobs"]
+            assert row["miss_ratio"] == pytest.approx(
+                row["misses"] / row["jobs"], abs=1e-6
+            )
+            assert 0.0 <= row["response_p50_ms"] <= row["response_p99_ms"]
+
+    def test_deterministic_across_calls(self, warm):
+        from repro.obs.bus import canonical_json
+
+        with open_index(warm) as index:
+            first = canonical_json(deadline_report(index, warm))
+            second = canonical_json(deadline_report(index, warm))
+        assert first == second
+
+
+class TestLatency:
+    def test_percentiles_ordered_and_aggregated(self, warm):
+        with open_index(warm) as index:
+            report = latency_report(index, warm)
+        total = 0
+        for row in report["runs"]:
+            assert row["p50_us"] <= row["p90_us"] <= row["p99_us"]
+            assert row["p99_us"] <= row["max_us"]
+            total += row["slices"]
+        assert report["aggregate"]["slices"] == total
+        assert report["aggregate"]["max_us"] == max(
+            row["max_us"] for row in report["runs"]
+        )
+
+
+class TestFamilies:
+    def test_family_rows_group_and_average(self, warm):
+        with open_index(warm) as index:
+            report = family_report(index)
+        by_family = {row["family"]: row for row in report}
+        assert by_family[FAMILY.name]["runs"] == FAMILY.count
+        assert "mean.metrics.cpu_utilization" in by_family[FAMILY.name]
+
+    def test_baseline_adds_deltas(self, warm):
+        with open_index(warm) as index:
+            report = family_report(index, baseline=FAMILY.name)
+        base = next(row for row in report if row["family"] == FAMILY.name)
+        assert base["delta.metrics.cpu_utilization"] == pytest.approx(0.0)
+
+    def test_unknown_baseline_rejected(self, warm):
+        from repro.analytics.corpus import AnalyticsError
+
+        with open_index(warm) as index:
+            with pytest.raises(AnalyticsError, match="baseline"):
+                family_report(index, baseline="no-such-family")

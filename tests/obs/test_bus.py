@@ -62,6 +62,7 @@ class TestTopic:
     def test_topic_namespace_is_fixed(self):
         assert set(TOPICS) == {
             "kernel", "sched", "svc", "irq", "signal", "bfm", "campaign",
+            "telemetry",
         }
 
 

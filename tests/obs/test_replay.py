@@ -1,0 +1,118 @@
+"""Replay round trips and damaged-stream recovery.
+
+``event_from_dict(event_to_dict(e))`` must reproduce topic, kind,
+timestamp and payload shape for every topic in the bus namespace — the
+``sched`` topic restores the exact in-process shape (``dur_ns``,
+:class:`ExecutionContext`), the rest keep their serialized payloads.
+``read_events_jsonl`` stays strict by default (stored cache artifacts are
+digest-verified, so a decode error is corruption worth crashing on) and
+recovers with ``recover=True`` — malformed lines and truncated tails are
+skipped, yielding the valid prefix.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.core.events import ExecutionContext
+from repro.obs.bus import TOPICS, Event, canonical_json, event_to_dict
+from repro.obs.replay import event_from_dict, read_events_jsonl
+
+
+def sample_event(topic):
+    """One representative event per bus topic."""
+    if topic == "sched":
+        return Event("sched", "exec", 1_500_000, {
+            "thread": "worker", "dur_ns": 250_000,
+            "context": ExecutionContext.TASK,
+            "energy_nj": 12.5, "label": "slice",
+        })
+    return Event(topic, f"{topic}_kind", 2_000_000, {
+        "detail": f"{topic}-payload", "value": 3,
+    })
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("topic", TOPICS)
+    def test_every_topic_round_trips(self, topic):
+        original = sample_event(topic)
+        replayed = event_from_dict(event_to_dict(original))
+        assert replayed.topic == original.topic
+        assert replayed.kind == original.kind
+        assert replayed.t_ns == original.t_ns
+        assert replayed.fields == original.fields
+
+    def test_round_trip_is_byte_stable(self):
+        """Serialize → replay → serialize is the identity on bytes."""
+        for topic in TOPICS:
+            document = event_to_dict(sample_event(topic))
+            again = event_to_dict(event_from_dict(document))
+            assert canonical_json(again) == canonical_json(document)
+
+    def test_sched_marker_round_trips(self):
+        marker = Event("sched", "dispatch", 3_000_000, {"thread": "t1"})
+        replayed = event_from_dict(event_to_dict(marker))
+        assert replayed.fields == {"thread": "t1"}
+        assert replayed.t_ns == 3_000_000
+
+    def test_stream_round_trips_through_file(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        events = [sample_event(topic) for topic in TOPICS]
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(canonical_json(event_to_dict(event)) + "\n")
+        replayed = list(read_events_jsonl(path))
+        assert [e.topic for e in replayed] == list(TOPICS)
+        assert [e.t_ns for e in replayed] == [e.t_ns for e in events]
+
+
+class TestRecovery:
+    def good_line(self, t_ms=1.0):
+        return canonical_json(
+            {"t_ms": t_ms, "thread": "t0", "kind": "dispatch"}
+        )
+
+    def test_strict_mode_raises_on_malformed_json(self):
+        stream = io.StringIO(self.good_line() + "\n{ torn li")
+        with pytest.raises(json.JSONDecodeError):
+            list(read_events_jsonl(stream))
+
+    def test_strict_mode_raises_on_missing_fields(self):
+        stream = io.StringIO('{"t_ms": 1.0, "kind": "dispatch"}\n')
+        with pytest.raises(KeyError):
+            list(read_events_jsonl(stream))
+
+    def test_recover_skips_malformed_lines(self):
+        stream = io.StringIO("\n".join([
+            self.good_line(1.0),
+            "{ torn li",            # interrupted write
+            '{"not": "an event"}',  # valid JSON, wrong shape
+            self.good_line(2.0),
+        ]))
+        events = list(read_events_jsonl(stream, recover=True))
+        assert [event.t_ns for event in events] == [1_000_000, 2_000_000]
+
+    def test_recover_yields_valid_prefix_of_truncated_file(self, tmp_path):
+        path = str(tmp_path / "partial.jsonl")
+        full = self.good_line(1.0) + "\n" + self.good_line(2.0) + "\n"
+        # Simulate an interrupted run: the last line is half-written.
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(full[: len(full) - 8])
+        events = list(read_events_jsonl(path, recover=True))
+        assert [event.t_ns for event in events] == [1_000_000]
+
+    def test_blank_lines_skipped_in_both_modes(self):
+        content = "\n" + self.good_line() + "\n\n"
+        assert len(list(read_events_jsonl(io.StringIO(content)))) == 1
+        assert len(list(
+            read_events_jsonl(io.StringIO(content), recover=True)
+        )) == 1
+
+    def test_recovered_and_strict_agree_on_clean_streams(self):
+        content = "\n".join(self.good_line(float(t)) for t in range(5))
+        strict = list(read_events_jsonl(io.StringIO(content)))
+        recovered = list(
+            read_events_jsonl(io.StringIO(content), recover=True)
+        )
+        assert [e.t_ns for e in strict] == [e.t_ns for e in recovered]

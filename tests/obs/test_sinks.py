@@ -1,0 +1,233 @@
+"""Sink hardening: context managers, flush-on-error, idempotent close,
+byte-stable snapshots, and the streaming histogram plane.
+
+Complements ``test_bus.py`` (which pins the bus/sink wiring semantics);
+this module pins the PR-6 hardening contract:
+
+* every sink is a context manager whose ``__exit__`` closes — including on
+  the error path, so a crashed run still flushes a valid, parseable prefix,
+* ``close()`` is idempotent on the stream sinks,
+* each JSONL event is a single ``write`` — an interruption between events
+  never leaves a torn line,
+* :meth:`CounterSink.snapshot` is byte-stable (sorted key order),
+* :class:`StreamingHistogram` / :class:`HistogramSink` summarize numeric
+  streams at O(1) memory with deterministic, merge-stable percentiles.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.core.events import ExecutionContext
+from repro.obs.bus import Event, canonical_json
+from repro.obs.sinks import (
+    CounterSink,
+    HistogramSink,
+    JsonlStreamSink,
+    StreamingHistogram,
+    VcdStreamSink,
+)
+
+
+def sched_exec(t_ns=1000, dur_ns=500, thread="t0"):
+    return Event("sched", "exec", t_ns, {
+        "thread": thread, "dur_ns": dur_ns,
+        "context": ExecutionContext.TASK,
+        "energy_nj": 0.0, "label": None,
+    })
+
+
+class _Signal:
+    def __init__(self, name, value=0):
+        self.name = name
+        self._value = value
+
+    def read(self):
+        return self._value
+
+
+class TestJsonlHardening:
+    def test_context_manager_closes_owned_stream(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with JsonlStreamSink(path) as sink:
+            sink.handle(sched_exec())
+        assert sink._closed
+        with open(path, "r", encoding="utf-8") as handle:
+            assert len(handle.readlines()) == 1
+
+    def test_flushes_on_error_path(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with pytest.raises(RuntimeError):
+            with JsonlStreamSink(path) as sink:
+                sink.handle(sched_exec())
+                raise RuntimeError("mid-run crash")
+        # The file on disk is a valid, parseable prefix.
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle]
+        assert len(lines) == 1 and lines[0]["kind"] == "exec"
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlStreamSink(str(tmp_path / "e.jsonl"))
+        sink.handle(sched_exec())
+        sink.close()
+        sink.close()  # second close must not raise on the closed stream
+
+    def test_each_event_is_one_write(self):
+        """A torn line can only come from multi-part writes; assert the
+        sink emits each event as exactly one complete-line write."""
+        writes = []
+
+        class Spy(io.StringIO):
+            def write(self, text):
+                writes.append(text)
+                return super().write(text)
+
+        spy = Spy()
+        sink = JsonlStreamSink(spy)
+        sink.handle(sched_exec())
+        sink.handle(sched_exec(t_ns=2000))
+        sink.close()
+        assert len(writes) == 2
+        assert all(text.endswith("\n") for text in writes)
+        for text in writes:
+            json.loads(text)  # every write is one whole JSON line
+
+    def test_borrowed_stream_left_open(self):
+        stream = io.StringIO()
+        with JsonlStreamSink(stream) as sink:
+            sink.handle(sched_exec())
+        assert not stream.closed
+        assert stream.getvalue().count("\n") == 1
+
+    def test_close_tolerates_caller_closed_stream(self):
+        stream = io.StringIO()
+        sink = JsonlStreamSink(stream)
+        stream.close()
+        sink.close()  # must swallow the ValueError from flush
+
+
+class TestVcdHardening:
+    def test_context_manager_and_idempotent_close(self, tmp_path):
+        path = str(tmp_path / "trace.vcd")
+        with VcdStreamSink([_Signal("clk")], path) as sink:
+            pass
+        sink.close()
+        with open(path, "r", encoding="utf-8") as handle:
+            assert "$enddefinitions" in handle.read()
+
+
+class TestCounterSnapshot:
+    def test_snapshot_sorted_regardless_of_arrival(self):
+        forward = CounterSink()
+        backward = CounterSink()
+        events = [
+            Event("sched", "exec", 0, {}),
+            Event("campaign", "run_start", 0, {}),
+            Event("sched", "dispatch", 0, {}),
+        ]
+        for event in events:
+            forward.handle(event)
+        for event in reversed(events):
+            backward.handle(event)
+        assert canonical_json(forward.snapshot()) == (
+            canonical_json(backward.snapshot())
+        )
+        assert list(forward.snapshot()) == sorted(forward.snapshot())
+
+    def test_snapshot_keys_are_topic_slash_kind(self):
+        sink = CounterSink()
+        sink.handle(Event("sched", "exec", 0, {}))
+        sink.handle(Event("sched", "exec", 0, {}))
+        assert sink.snapshot() == {"sched/exec": 2}
+
+
+class TestStreamingHistogram:
+    def test_tracks_count_min_max_mean(self):
+        histogram = StreamingHistogram()
+        for value in (1.0, 2.0, 3.0, 10.0):
+            histogram.add(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 4
+        assert snapshot["min"] == 1.0 and snapshot["max"] == 10.0
+        assert snapshot["mean"] == pytest.approx(4.0)
+
+    def test_percentiles_clamped_to_observed_range(self):
+        histogram = StreamingHistogram()
+        for value in (5.0, 7.0, 9.0):
+            histogram.add(value)
+        assert histogram.percentile(0.0) >= 5.0
+        assert histogram.percentile(1.0) <= 9.0
+        assert 5.0 <= histogram.percentile(0.5) <= 9.0
+
+    def test_order_independent(self):
+        import random
+
+        values = [float(v) for v in range(1, 200)]
+        shuffled = list(values)
+        random.Random(3).shuffle(shuffled)
+        forward, scrambled = StreamingHistogram(), StreamingHistogram()
+        for value in values:
+            forward.add(value)
+        for value in shuffled:
+            scrambled.add(value)
+        assert forward.snapshot() == scrambled.snapshot()
+
+    def test_merge_equals_single_stream(self):
+        merged, single = StreamingHistogram(), StreamingHistogram()
+        left, right = StreamingHistogram(), StreamingHistogram()
+        for value in (1.0, 4.0, 16.0):
+            left.add(value)
+            single.add(value)
+        for value in (2.0, 8.0, 1000.0):
+            right.add(value)
+            single.add(value)
+        merged.merge(left)
+        merged.merge(right)
+        assert merged.snapshot() == single.snapshot()
+
+    def test_nonpositive_values_get_the_floor_bucket(self):
+        histogram = StreamingHistogram()
+        histogram.add(0.0)
+        histogram.add(-5.0)
+        histogram.add(100.0)
+        assert histogram.min == -5.0
+        assert histogram.percentile(0.01) == pytest.approx(0.0, abs=5.0)
+
+    def test_empty_histogram_is_safe(self):
+        histogram = StreamingHistogram()
+        assert histogram.percentile(0.5) == 0.0
+        assert histogram.snapshot()["count"] == 0
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram().percentile(1.5)
+
+
+class TestHistogramSink:
+    def test_measures_exec_durations_by_default(self):
+        sink = HistogramSink()
+        sink.handle(sched_exec(dur_ns=100))
+        sink.handle(sched_exec(dur_ns=300))
+        sink.handle(Event("sched", "dispatch", 0, {"thread": "t0"}))
+        snapshot = sink.snapshot()
+        assert snapshot["count"] == 2
+        assert snapshot["max"] == 300.0
+
+    def test_missing_or_non_numeric_field_skipped(self):
+        sink = HistogramSink()
+        sink.handle(Event("sched", "exec", 0, {"thread": "t0"}))
+        sink.handle(Event("sched", "exec", 0, {"thread": "t0",
+                                               "dur_ns": True}))
+        assert sink.skipped == 2 and sink.snapshot()["count"] == 0
+
+    def test_value_callable_derives_measure(self):
+        sink = HistogramSink(
+            kinds=None,
+            value=lambda event: event.fields.get("dur_ns", 0) * 2 or None,
+        )
+        sink.handle(sched_exec(dur_ns=50))
+        sink.handle(Event("sched", "dispatch", 0, {"thread": "t0"}))
+        assert sink.snapshot()["count"] == 1
+        assert sink.snapshot()["max"] == 100.0
+        assert sink.skipped == 1

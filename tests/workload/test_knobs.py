@@ -1,0 +1,50 @@
+"""Knob flattening: the spec/metrics → index-column transformation."""
+
+import pytest
+
+from repro.workload.knobs import canonical_json_value, flatten_knobs
+
+
+class TestFlattenKnobs:
+    def test_nested_mappings_flatten_dotted(self):
+        flat = flatten_knobs({"a": {"b": {"c": 1}}, "d": 2})
+        assert flat == {"a.b.c": 1, "d": 2}
+
+    def test_scalars_kept_as_is(self):
+        flat = flatten_knobs({
+            "i": 3, "f": 0.5, "s": "text", "b": True, "n": None,
+        })
+        assert flat["i"] == 3 and flat["f"] == 0.5 and flat["s"] == "text"
+        assert flat["b"] is True
+        # None is not a scalar knob; it serializes canonically.
+        assert flat["n"] == "null"
+
+    def test_lists_become_canonical_json_strings(self):
+        flat = flatten_knobs({"tasks": [{"name": "t0"}, {"name": "t1"}]})
+        assert flat["tasks"] == '[{"name":"t0"},{"name":"t1"}]'
+
+    def test_output_is_sorted(self):
+        flat = flatten_knobs({"z": 1, "a": {"y": 2, "b": 3}, "m": 4})
+        assert list(flat) == sorted(flat)
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(TypeError):
+            flatten_knobs({1: "x"})
+        with pytest.raises(TypeError):
+            flatten_knobs({"ok": {2: "nested"}})
+
+    def test_deterministic_across_insertion_orders(self):
+        forward = flatten_knobs({"a": 1, "b": {"c": [3, 2]}})
+        backward = flatten_knobs({"b": {"c": [3, 2]}, "a": 1})
+        assert forward == backward and list(forward) == list(backward)
+
+
+class TestCanonicalJsonValue:
+    def test_sorted_keys_tight_separators(self):
+        assert canonical_json_value({"b": 1, "a": [2, 3]}) == (
+            '{"a":[2,3],"b":1}'
+        )
+
+    def test_scalar_values(self):
+        assert canonical_json_value(True) == "true"
+        assert canonical_json_value(None) == "null"
