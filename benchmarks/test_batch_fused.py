@@ -1,0 +1,107 @@
+"""Fused-executor perf guards: the speedup must survive, structurally.
+
+Two layers of protection for the PR-7 headline number:
+
+* **Wall-clock floor.**  On a short-run family sweep — the fixed-cost
+  dominated regime fusing targets — the fused engine must stay ≥1.5x the
+  per-process engine.  The committed trajectory number is ~2.2x; the floor
+  leaves room for CI noise while catching a structural regression (losing
+  composition reuse, shipping events per-run again, per-run process round
+  trips) which lands far below the wire.
+* **Structural invariant.**  The fused path composes each distinct spec at
+  most once per process.  This is the property the wall-clock floor
+  ultimately rests on, asserted directly so a cache regression is named,
+  not inferred from timing.
+
+The committed ``BENCH_PR7.json`` batch section is validated here too — the
+acceptance artifact must show the ≥2x sweep on a ≥24-member family.
+"""
+
+import gc
+import json
+import os
+import time
+
+import pytest
+
+from repro.campaign.batch import run_batch
+from repro.workload.families import FamilySpec, expand_family
+
+MEMBERS = 24
+
+
+@pytest.fixture(scope="module")
+def family_specs():
+    family = FamilySpec(
+        name="bench-fuse", count=MEMBERS, seed=9,
+        kernels=("tkernel", "rtkspec1", "rtkspec2"), duration_ms=5.0,
+    )
+    specs = expand_family(family)
+    # Warm imports + the process composition cache outside the timed region.
+    run_batch(specs[:2], workers=1, collect_events=False)
+    return specs
+
+
+def best_of(fn, repeats=2):
+    best = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_fused_sweep_is_at_least_1_5x_per_process(family_specs):
+    per_process = best_of(
+        lambda: run_batch(family_specs, collect_events=False, fuse=False)
+    )
+    fused = best_of(
+        lambda: run_batch(family_specs, collect_events=False, fuse=True)
+    )
+    speedup = per_process / fused
+    print(f"\nper-process: {MEMBERS / per_process:,.0f} runs/s   "
+          f"fused: {MEMBERS / fused:,.0f} runs/s   speedup: {speedup:.2f}x")
+    assert speedup >= 1.5, (
+        f"fused sweep only {speedup:.2f}x the per-process engine — "
+        "composition reuse / grouped IPC / pooled plumbing regressed"
+    )
+
+
+def test_fused_path_never_recomposes_a_seen_spec(monkeypatch):
+    import repro.workload.components as components
+    from repro.campaign.fused import process_composition_cache
+
+    composed = []
+    real_compose = components.compose
+
+    def counting(spec, *args, **kwargs):
+        composed.append(spec.name)
+        return real_compose(spec, *args, **kwargs)
+
+    monkeypatch.setattr(components, "compose", counting)
+    specs = expand_family(FamilySpec(
+        name="fuse-once", count=4, seed=2, duration_ms=5.0,
+    ))
+    process_composition_cache().clear()
+    try:
+        # Each spec twice in one sweep: distinct runs, shared compositions.
+        run_batch(specs + specs, workers=1, collect_events=False, fuse=True)
+        assert len(composed) == len(specs), (
+            f"fused sweep composed {len(composed)} times for "
+            f"{len(specs)} distinct specs: {composed}"
+        )
+    finally:
+        process_composition_cache().clear()
+
+
+def test_committed_trajectory_shows_the_fused_speedup():
+    from repro.perf.bench import default_report_path
+
+    path = default_report_path()
+    if not os.path.exists(path):
+        pytest.skip("trajectory file not generated in this checkout")
+    with open(path, "r", encoding="utf-8") as handle:
+        batch = json.load(handle)["batch"]
+    assert batch["members"] >= 24
+    assert batch["fused_speedup"] >= 2.0

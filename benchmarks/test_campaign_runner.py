@@ -23,7 +23,7 @@ def test_cli_batch_smoke(tmp_path, capsys):
 
     assert main(argv) == 0
     out = capsys.readouterr().out
-    assert f"{len(SCENARIOS)} runs on 2 worker(s)" in out
+    assert f"{len(SCENARIOS)} runs on 2 fused worker(s)" in out
 
     document = json.loads((out_dir / "metrics.json").read_text())
     assert document["campaign"]["runs"] == len(SCENARIOS)

@@ -46,7 +46,7 @@ def test_cache_hit_never_rebuilds_the_scenario(store, monkeypatch):
 
     import repro.campaign.runner as runner_module
 
-    def forbidden(_spec):
+    def forbidden(_spec, *args, **kwargs):
         raise AssertionError("cache hit re-simulated: build_scenario was called")
 
     monkeypatch.setattr(runner_module, "build_scenario", forbidden)

@@ -8,6 +8,15 @@ the aggregate — the programmatic twin of:
     python -m repro batch --scenario rtk-round-robin --scenario rtk-priority \
         --matrix seed=1,2 --matrix task_count=4,6 --out campaign_out
 
+Sweeps run **fused** by default (``--fuse``): many members per worker
+process, compositions memoized, events shipped back only when needed —
+about 2x a per-process sweep on short-run families, with byte-identical
+artifacts.  ``--no-fuse`` (or ``fuse=False`` below) restores the
+one-process-round-trip-per-run engine, and the perf-trend gate keeps the
+difference honest across PRs:
+
+    python -m repro bench compare BENCH_PR6.json BENCH_PR7.json
+
 The script then repeats the sweep through a grid result store
 (``repro.grid.ResultStore``): the second pass completes entirely from
 cache — zero simulations — with the deterministic aggregate byte-identical
@@ -51,8 +60,12 @@ def main():
     for spec in specs:
         print(f"  {spec.name:<40} kernel={spec.kernel:<9} seed={spec.seed}")
 
-    batch = run_batch(specs, workers=workers)
-    print(f"\nexecuted on {batch.workers} worker(s)")
+    batch = run_batch(specs, workers=workers)          # fused by default
+    print(f"\nexecuted on {batch.workers} worker(s), fused")
+
+    # The pre-fused engine produces the same bytes, just slower.
+    unfused = run_batch(specs, workers=workers, fuse=False)
+    assert unfused.aggregate == batch.aggregate
 
     print("\nper-run completions (workload metrics):")
     for result in batch.results:

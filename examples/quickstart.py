@@ -39,6 +39,13 @@ across all of them without simulating anything —
 
 (see examples/trace_analytics.py for the full walkthrough).
 
+Sweeps fuse by default since PR 7 — ``python -m repro batch ...`` runs many
+members per worker process, reusing compositions and event plumbing
+(``--no-fuse`` opts out; artifacts are byte-identical either way), and the
+perf trajectory is enforceable:
+
+    python -m repro bench compare BENCH_PR6.json BENCH_PR7.json
+
 Run with:  python examples/quickstart.py
 """
 

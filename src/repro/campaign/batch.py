@@ -32,6 +32,14 @@ import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.campaign.fused import (
+    FusedRunContext,
+    _execute_group,
+    cached_composition,
+    compute_chunksize,
+    fused_worker_count,
+    paused_gc,
+)
 from repro.campaign.metrics import RunResult, aggregate_metrics, canonical_json
 from repro.campaign.registry import get_scenario
 from repro.campaign.runner import run_spec
@@ -193,6 +201,7 @@ def run_batch(
     store: Optional[Any] = None,
     refresh: bool = False,
     telemetry: Optional[Any] = None,
+    fuse: bool = True,
 ) -> BatchResult:
     """Execute *specs*, serially or across a multiprocessing pool.
 
@@ -201,16 +210,25 @@ def run_batch(
 
     With *store* (a grid :class:`~repro.grid.store.ResultStore`), every spec
     is looked up first and verified entries replay instead of executing;
-    only the misses are simulated (events always collected then, so the new
-    cache entries are complete) and each is stored as soon as it finishes —
-    an interrupted batch keeps its completed runs cached for the resume.
-    ``refresh=True`` skips the lookup and overwrites the entries with
-    freshly simulated results.
+    only the misses are simulated (events collected when a run is bound for
+    the store, so the new cache entries are complete) and each is stored as
+    soon as it finishes — an interrupted batch keeps its completed runs
+    cached for the resume.  ``refresh=True`` skips the lookup and
+    overwrites the entries with freshly simulated results.
 
     *telemetry* (a :class:`~repro.analytics.telemetry.TelemetryRecorder`)
     collects phase spans across the whole batch; parallel workers record
     spans locally and the coordinator adopts them tagged with the global
     run index.  Telemetry never changes the batch's deterministic output.
+
+    *fuse* (default on) runs the batch through the fused engine
+    (:mod:`repro.campaign.fused`): compositions are cached per distinct
+    spec, worker payloads carry *groups* of runs instead of one spec per
+    IPC round trip, event lists cross the process boundary only when the
+    coordinator needs them, and the default worker count drops the ≥2
+    floor (a single-core host runs fused batches in-process — the faster
+    path there).  ``fuse=False`` is the pre-fused one-spec-per-round-trip
+    engine; both produce byte-identical deterministic documents.
     """
     if not specs:
         raise ValueError("batch has no runs")
@@ -240,60 +258,184 @@ def run_batch(
         pending = misses
 
     if workers is None:
-        workers = default_worker_count(len(pending)) if pending else 1
+        if not pending:
+            workers = 1
+        elif fuse:
+            workers = fused_worker_count(len(pending))
+        else:
+            workers = default_worker_count(len(pending))
     workers = max(1, min(workers, max(len(pending), 1)))
-    run_events = collect_events or store is not None
 
     if pending:
         if workers == 1:
-            # run_spec's own store integration tees every run into the
-            # store as it finishes, so an interrupted batch keeps each
-            # completed run cached for the resume.
-            for index, spec in pending:
-                result = run_spec(spec, collect_events=run_events,
-                                  store=store, refresh=refresh,
-                                  telemetry=telemetry)
-                if not collect_events:
-                    result.events = []
-                results[index] = result
+            _run_pending_serial(
+                pending, results, collect_events=collect_events, store=store,
+                refresh=refresh, telemetry=telemetry, fuse=fuse,
+            )
+        elif fuse:
+            _run_pending_fused(
+                pending, results, workers=workers,
+                collect_events=collect_events, store=store,
+                telemetry=telemetry,
+            )
         else:
-            payloads = [
-                {
-                    "spec": spec.to_dict(),
-                    "collect_events": run_events,
-                    "telemetry": telemetry is not None,
-                }
-                for _, spec in pending
-            ]
-            context = _pool_context()
-            with context.Pool(processes=workers) as pool:
-                # imap (ordered) rather than map: results stream back as
-                # their runs finish, so each is cached incrementally from
-                # the coordinator — no two workers ever write one entry,
-                # and an interrupted batch keeps what it completed.
-                for (index, pending_spec), raw in zip(
-                    pending, pool.imap(_execute_spec_dict, payloads)
-                ):
-                    result = RunResult(
-                        spec=raw["spec"],
-                        metrics=raw["metrics"],
-                        timing=raw["timing"],
-                        events=raw["events"],
-                    )
-                    if telemetry is not None:
-                        telemetry.adopt(raw.get("telemetry", []), run=index)
-                    if store is not None and _spec_is_cacheable(pending_spec):
-                        if telemetry is not None:
-                            with telemetry.span("store", run=index):
-                                store.put_result(result)
-                        else:
-                            store.put_result(result)
-                    if not collect_events:
-                        result.events = []
-                    results[index] = result
+            _run_pending_pooled(
+                pending, results, workers=workers,
+                collect_events=collect_events, store=store,
+                telemetry=telemetry,
+            )
 
     return BatchResult(results=[r for r in results if r is not None],
                        workers=workers)
+
+
+def _run_pending_serial(
+    pending: List[Tuple[int, ScenarioSpec]],
+    results: List[Optional[RunResult]],
+    collect_events: bool,
+    store: Optional[Any],
+    refresh: bool,
+    telemetry: Optional[Any],
+    fuse: bool,
+) -> None:
+    """Run the misses in-process, one after another.
+
+    run_spec's own store integration tees every run into the store as it
+    finishes, so an interrupted batch keeps each completed run cached for
+    the resume.  The fused path threads one :class:`FusedRunContext`
+    through all runs (cached compositions + pooled collector); the
+    pre-fused path keeps the historical behaviour of collecting events
+    whenever a store is attached, even for runs the store then rejects.
+    """
+    run_events = collect_events or store is not None
+    if not fuse:
+        for index, spec in pending:
+            result = run_spec(spec, collect_events=run_events, store=store,
+                              refresh=refresh, telemetry=telemetry)
+            if not collect_events:
+                result.events = []
+            results[index] = result
+        return
+    context = FusedRunContext()
+    with paused_gc():
+        for index, spec in pending:
+            result = run_spec(spec, collect_events=collect_events,
+                              store=store, refresh=refresh,
+                              telemetry=telemetry, fused=context)
+            context.reap()
+            if not collect_events:
+                result.events = []
+            results[index] = result
+
+
+def _run_pending_fused(
+    pending: List[Tuple[int, ScenarioSpec]],
+    results: List[Optional[RunResult]],
+    workers: int,
+    collect_events: bool,
+    store: Optional[Any],
+    telemetry: Optional[Any],
+) -> None:
+    """Fan grouped payloads out to the pool — the fused parallel engine.
+
+    One IPC round trip carries a whole group of runs; each raw result
+    comes back with the run's global index and its cacheability flag, so
+    the coordinator stores it without re-composing the spec.  Groups keep
+    expansion order, so results stream back ordered and the store fills
+    incrementally — an interrupted batch keeps its completed groups.
+    """
+    chunk = compute_chunksize(len(pending), workers)
+    groups = [pending[at:at + chunk] for at in range(0, len(pending), chunk)]
+    payloads = [
+        {
+            "specs": [(index, spec.to_dict()) for index, spec in group],
+            "collect_events": collect_events,
+            "need_store_events": store is not None,
+            "telemetry": telemetry is not None,
+        }
+        for group in groups
+    ]
+    context = _pool_context()
+    with context.Pool(processes=workers) as pool:
+        for raws in pool.imap(_execute_group, payloads):
+            for raw in raws:
+                index = raw["index"]
+                result = RunResult(
+                    spec=raw["spec"],
+                    metrics=raw["metrics"],
+                    timing=raw["timing"],
+                    events=raw["events"],
+                )
+                if telemetry is not None:
+                    telemetry.adopt(raw["telemetry"], run=index)
+                if store is not None and raw["cacheable"]:
+                    if telemetry is not None:
+                        with telemetry.span("store", run=index):
+                            store.put_result(result)
+                    else:
+                        store.put_result(result)
+                if not collect_events:
+                    result.events = []
+                results[index] = result
+
+
+def _run_pending_pooled(
+    pending: List[Tuple[int, ScenarioSpec]],
+    results: List[Optional[RunResult]],
+    workers: int,
+    collect_events: bool,
+    store: Optional[Any],
+    telemetry: Optional[Any],
+) -> None:
+    """The pre-fused pool: one spec per task, with a computed chunksize.
+
+    Kept as the ``fuse=False`` reference engine and the fused path's
+    benchmark baseline.  Two historical costs are still fixed here: tasks
+    ship with a chunksize matched to the sweep instead of 1, and a worker
+    only collects/ships a run's event list when the coordinator will
+    actually use it (the caller wants events, or the run is cacheable and
+    bound for the store).
+    """
+    cacheable = [
+        store is not None and _spec_is_cacheable(spec)
+        for _, spec in pending
+    ]
+    payloads = [
+        {
+            "spec": spec.to_dict(),
+            "collect_events": collect_events or cacheable[at],
+            "telemetry": telemetry is not None,
+        }
+        for at, (_, spec) in enumerate(pending)
+    ]
+    context = _pool_context()
+    with context.Pool(processes=workers) as pool:
+        # imap (ordered) rather than map: results stream back as their
+        # runs finish, so each is cached incrementally from the
+        # coordinator — no two workers ever write one entry, and an
+        # interrupted batch keeps what it completed.
+        for at, raw in enumerate(
+            pool.imap(_execute_spec_dict, payloads,
+                      chunksize=compute_chunksize(len(pending), workers))
+        ):
+            index = pending[at][0]
+            result = RunResult(
+                spec=raw["spec"],
+                metrics=raw["metrics"],
+                timing=raw["timing"],
+                events=raw["events"],
+            )
+            if telemetry is not None:
+                telemetry.adopt(raw.get("telemetry", []), run=index)
+            if cacheable[at]:
+                if telemetry is not None:
+                    with telemetry.span("store", run=index):
+                        store.put_result(result)
+                else:
+                    store.put_result(result)
+            if not collect_events:
+                result.events = []
+            results[index] = result
 
 
 def _spec_is_cacheable(spec: ScenarioSpec) -> bool:
@@ -303,11 +445,11 @@ def _spec_is_cacheable(spec: ScenarioSpec) -> bool:
     topics must never be cached (its stored stream would replay fewer
     topics than a fresh run emits).  ``run_spec`` enforces this on the
     serial path by skipping the staging fill — the parallel coordinator
-    must apply the same rule before ``put_result``.
+    must apply the same rule before ``put_result``.  The check resolves
+    through the process-wide composition cache, so a sweep composes each
+    distinct spec once on the coordinator no matter how many runs share it.
     """
-    from repro.workload.components import compose
-
-    return compose(spec).probes.topics == ("sched",)
+    return cached_composition(spec).probes.topics == ("sched",)
 
 
 def _pool_context():

@@ -253,10 +253,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_selection_args(batch_parser)
     batch_parser.add_argument(
         "--workers", type=int, default=None,
-        help="worker processes (default: one per core, at least 2)",
+        help="worker processes (default: one per core; at least 2 with "
+        "--no-fuse)",
     )
     batch_parser.add_argument(
         "--serial", action="store_true", help="force serial execution"
+    )
+    batch_parser.add_argument(
+        "--fuse", dest="fuse", action="store_true", default=True,
+        help="fused engine: group runs per worker, reuse compositions and "
+        "event plumbing (default)",
+    )
+    batch_parser.add_argument(
+        "--no-fuse", dest="fuse", action="store_false",
+        help="pre-fused engine: one process round trip per run",
     )
     batch_parser.add_argument(
         "--out", default="campaign_out", help="output directory (default: campaign_out)"
@@ -307,6 +317,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", action="store_true",
         help="collect pipeline phase spans into <out>/telemetry.jsonl and "
         "print a per-phase summary",
+    )
+    shard_run.add_argument(
+        "--fuse", dest="fuse", action="store_true", default=True,
+        help="reuse compositions and event plumbing across the shard's "
+        "runs (default)",
+    )
+    shard_run.add_argument(
+        "--no-fuse", dest="fuse", action="store_false",
+        help="build every run from scratch",
     )
     _add_cache_args(shard_run)
 
@@ -494,6 +513,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="shrink iteration counts (schema-valid but noisy numbers)",
     )
+    bench_subparsers = bench_parser.add_subparsers(dest="bench_command")
+    bench_compare = bench_subparsers.add_parser(
+        "compare",
+        help="diff two trajectory files and gate on perf regressions",
+    )
+    bench_compare.set_defaults(handler=_cmd_bench_compare)
+    bench_compare.add_argument("old", help="baseline BENCH_PR<n>.json")
+    bench_compare.add_argument("new", help="candidate BENCH_PR<m>.json")
+    bench_compare.add_argument(
+        "--max-regress", type=float, default=None, metavar="PCT",
+        help="fail (exit 1) when a directional metric regresses by more "
+        "than PCT percent (default: 10)",
+    )
+    bench_compare.add_argument(
+        "--json", action="store_true",
+        help="emit the comparison document as JSON instead of the table",
+    )
 
     return parser
 
@@ -631,14 +667,20 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     store = _store_from_args(args)
     workers = 1 if args.serial else args.workers
     if workers is None:
-        workers = default_worker_count(len(specs))
+        if args.fuse:
+            from repro.campaign.fused import fused_worker_count
+
+            workers = fused_worker_count(len(specs))
+        else:
+            workers = default_worker_count(len(specs))
     workers = max(1, min(workers, len(specs)))
-    print(f"batch: {len(specs)} runs on {workers} worker(s)")
+    engine = "fused" if args.fuse else "per-process"
+    print(f"batch: {len(specs)} runs on {workers} {engine} worker(s)")
 
     batch = run_batch(specs, workers=workers,
                       collect_events=not args.no_events,
                       store=store, refresh=args.refresh,
-                      telemetry=telemetry)
+                      telemetry=telemetry, fuse=args.fuse)
     manifest = batch.write_outputs(args.out, include_events=not args.no_events)
     _finish_telemetry(telemetry, args.out)
 
@@ -703,7 +745,7 @@ def _cmd_shard_run(args: argparse.Namespace) -> int:
     print(f"shard {plan.index}/{plan.shards}: {len(plan)} of {plan.total} runs "
           f"-> {out_dir}" + ("" if store is None else f"  (cache: {store.root})"))
     document = run_shard(plan, out_dir, store=store, refresh=args.refresh,
-                         telemetry=telemetry)
+                         telemetry=telemetry, fuse=args.fuse)
     _finish_telemetry(telemetry, out_dir)
     print(_run_summary_table(
         [entry["run"]["metrics"] for entry in document["runs"]]
@@ -985,6 +1027,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     write_report(document, out_path)
     print(f"report  -> {out_path}")
     return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.perf.compare import (
+        DEFAULT_MAX_REGRESS_PCT,
+        ReportError,
+        compare_reports,
+        format_compare,
+        load_report,
+    )
+
+    threshold = (
+        DEFAULT_MAX_REGRESS_PCT if args.max_regress is None else args.max_regress
+    )
+    try:
+        old = load_report(args.old)
+        new = load_report(args.new)
+    except ReportError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    document = compare_reports(old, new, max_regress_pct=threshold)
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(format_compare(document))
+    return 1 if document["verdict"] == "regression" else 0
 
 
 def _note_extra_overrides(overrides: Dict[str, Any]) -> None:

@@ -1,0 +1,266 @@
+"""Fused multi-run execution: amortize per-run setup across a sweep.
+
+A sweep run the pre-fused way pays, for every member, the full
+build-from-scratch path: one composition resolution, one IPC round trip
+per run (spec out, metrics *and* the whole event list back — even when the
+caller is going to discard it), plus the process fan-out itself.  For the
+short runs that dominate batch/family sweeps those fixed costs rival the
+simulation time.
+
+This module is the fused engine the batch and shard planes share:
+
+* :class:`CompositionCache` — ``compose(spec)`` memoized per spec hash.
+  Caching is safe because a :class:`~repro.workload.components.Composition`
+  is a frozen dataclass of frozen parts whose workload component is a
+  stateless registry singleton; per-run state only appears at
+  ``Composition.build`` time.  Distinct specs can never collide: the key is
+  the content hash of the canonical spec document.
+* :class:`FusedRunContext` — the per-process reusable plumbing: the
+  composition cache plus a pooled event collector the runner clears and
+  re-subscribes instead of allocating a fresh ``ListSink`` per run.
+* :func:`run_group` / :func:`_execute_group` — run a *group* of specs
+  inside one process (the worker entry point of the fused parallel batch):
+  one IPC round trip carries many runs, events are shipped back only when
+  the coordinator actually needs them (caller collects, or the run is
+  bound for the result store), and each run's cacheability rides along so
+  the coordinator never re-composes just to decide ``put_result``.
+* :func:`fused_worker_count` / :func:`compute_chunksize` — the fused
+  engine's parallelism policy.  Unlike the pre-fused default there is no
+  ≥2-worker floor: on a single-core host a pool cannot beat the in-process
+  loop, so the fused path runs serially there — that *is* the fast path.
+
+Determinism is untouched: the fused engine reorders no runs, derives no
+seeds and adds nothing to any deterministic artifact — serial, parallel,
+fused and sharded-merged aggregates stay byte-identical (pinned by
+``tests/campaign/test_fused.py``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import gc
+import os
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.campaign.spec import ScenarioSpec, spec_hash
+from repro.obs.sinks import ListSink
+
+#: Upper bound on memoized compositions per process (a sweep with more
+#: distinct specs than this recycles the oldest entries FIFO).
+COMPOSITION_CACHE_LIMIT = 4096
+
+#: Upper bound on specs per fused worker payload: groups stay small enough
+#: that results keep streaming back for incremental store fills / resume.
+MAX_GROUP_SIZE = 32
+
+#: Target payloads per worker when grouping a sweep — enough slack that an
+#: unlucky worker with slow runs doesn't straggle the whole pool.
+_GROUPS_PER_WORKER = 4
+
+#: Runs between explicit collections while the cyclic collector is paused —
+#: bounds the garbage backlog of an arbitrarily long fused sweep.
+_COLLECT_EVERY = 64
+
+
+@contextlib.contextmanager
+def paused_gc() -> Iterator[None]:
+    """Pause the cyclic collector across a fused run loop.
+
+    Every run churns generator/thread cycles fast enough that the
+    collector's periodic scans land *inside* measured simulation time; the
+    fused loops run with collection paused and reap explicitly every
+    :data:`_COLLECT_EVERY` runs instead (:meth:`FusedRunContext.reap`).
+    No-op when the caller already disabled the collector — their policy
+    wins, including on exit.
+    """
+    if not gc.isenabled():
+        yield
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+
+
+class CompositionCache:
+    """``compose(spec)`` memoized per spec hash, with hit/miss counters."""
+
+    def __init__(self, limit: int = COMPOSITION_CACHE_LIMIT):
+        self.limit = limit
+        self.hits = 0
+        self.misses = 0
+        self._compositions: Dict[str, Any] = {}
+
+    def composition_for(self, spec: ScenarioSpec, key: Optional[str] = None):
+        """The (possibly cached) composition of *spec*.
+
+        *key* lets a caller that already computed the spec hash skip the
+        recomputation.
+        """
+        if key is None:
+            key = spec_hash(spec)
+        composition = self._compositions.get(key)
+        if composition is not None:
+            self.hits += 1
+            return composition
+        from repro.workload.components import compose
+
+        composition = compose(spec)
+        self.misses += 1
+        if len(self._compositions) >= self.limit:
+            self._compositions.pop(next(iter(self._compositions)))
+        self._compositions[key] = composition
+        return composition
+
+    def clear(self) -> None:
+        self._compositions.clear()
+        self.hits = self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._compositions)
+
+
+#: The process-wide cache: the coordinator's cacheability checks, fused
+#: serial loops and (via fork inheritance) fresh pool workers all share it.
+_PROCESS_CACHE = CompositionCache()
+
+
+def cached_composition(spec: ScenarioSpec, key: Optional[str] = None):
+    """Resolve *spec* through the process-wide composition cache."""
+    return _PROCESS_CACHE.composition_for(spec, key)
+
+
+def process_composition_cache() -> CompositionCache:
+    """The process-wide cache itself (tests clear/inspect it)."""
+    return _PROCESS_CACHE
+
+
+class FusedRunContext:
+    """Reusable per-process run plumbing for many ``run_spec`` calls.
+
+    Holds the composition cache and one pooled event collector; the runner
+    resolves the spec's composition through the cache (skipping the compose
+    phase on every repeat) and checks the collector out per run instead of
+    allocating a sink each time.  One context must only drive one run at a
+    time — exactly the fused engine's serial-within-a-process discipline.
+    """
+
+    def __init__(self, compositions: Optional[CompositionCache] = None):
+        self.compositions = (
+            _PROCESS_CACHE if compositions is None else compositions
+        )
+        self.collector = ListSink()
+        self.runs = 0
+
+    def checkout_collector(self, topics: Sequence[str]) -> ListSink:
+        """The pooled collector, retargeted to *topics* and emptied."""
+        self.collector.topics = tuple(topics)
+        self.collector.clear()
+        return self.collector
+
+    def reap(self) -> None:
+        """Count one finished run; collect when the paused-GC backlog is due."""
+        self.runs += 1
+        if self.runs % _COLLECT_EVERY == 0 and not gc.isenabled():
+            gc.collect()
+
+
+def fused_worker_count(run_count: int) -> int:
+    """Default parallelism of the fused engine for *run_count* runs.
+
+    One worker per actual core and never more workers than runs — with no
+    ≥2 floor: on a single-core host the process pool only adds fork and
+    IPC cost on top of the same serial execution, so the fused default is
+    the in-process loop there.
+    """
+    cores = os.cpu_count() or 1
+    return max(1, min(cores, run_count))
+
+
+def compute_chunksize(pending: int, workers: int) -> int:
+    """Specs per worker payload for a sweep of *pending* runs.
+
+    Large enough to amortize the per-round-trip IPC cost, small enough
+    that results stream back for incremental store fills and that the pool
+    load-balances (about :data:`_GROUPS_PER_WORKER` payloads per worker),
+    capped at :data:`MAX_GROUP_SIZE`.
+    """
+    if pending <= 0:
+        return 1
+    if workers <= 1:
+        return pending
+    per_worker = -(-pending // (workers * _GROUPS_PER_WORKER))
+    return max(1, min(MAX_GROUP_SIZE, per_worker))
+
+
+def run_group(
+    indexed_specs: Sequence[Tuple[int, ScenarioSpec]],
+    collect_events: bool = True,
+    need_store_events: bool = False,
+    telemetry: bool = False,
+    context: Optional[FusedRunContext] = None,
+) -> List[Dict[str, Any]]:
+    """Run ``(global_index, spec)`` pairs in this process, fused.
+
+    Returns one raw result dict per run — the coordinator-facing shape:
+    spec/metrics/timing/events plus the run's global ``index``, its
+    ``cacheable`` flag (probes == sched-only, the stored-artifact
+    contract) and the worker-local telemetry spans.  Events are collected
+    only when the caller wants them (*collect_events*) or the run is bound
+    for the result store (*need_store_events* and cacheable) — nothing is
+    built just to be discarded after the IPC round trip.
+    """
+    from repro.campaign.runner import run_spec
+
+    if context is None:
+        context = FusedRunContext()
+    raws: List[Dict[str, Any]] = []
+    with paused_gc():
+        for index, spec in indexed_specs:
+            composition = context.compositions.composition_for(spec)
+            cacheable = composition.probes.topics == ("sched",)
+            run_events = collect_events or (need_store_events and cacheable)
+            recorder = None
+            if telemetry:
+                from repro.analytics.telemetry import TelemetryRecorder
+
+                recorder = TelemetryRecorder()
+            result = run_spec(
+                spec, collect_events=run_events, telemetry=recorder,
+                fused=context,
+            )
+            context.reap()
+            raws.append({
+                "index": index,
+                "spec": result.spec,
+                "metrics": result.metrics,
+                "timing": result.timing,
+                "events": result.events,
+                "cacheable": cacheable,
+                "telemetry": recorder.spans if recorder is not None else [],
+            })
+    return raws
+
+
+#: The pool worker's long-lived context: a worker that receives several
+#: groups over its lifetime keeps its composition cache warm across them.
+_WORKER_CONTEXT: Optional[FusedRunContext] = None
+
+
+def _execute_group(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Pool worker entry point: run one serialized group (stays picklable)."""
+    global _WORKER_CONTEXT
+    if _WORKER_CONTEXT is None:
+        _WORKER_CONTEXT = FusedRunContext()
+    indexed = [
+        (index, ScenarioSpec.from_dict(document))
+        for index, document in payload["specs"]
+    ]
+    return run_group(
+        indexed,
+        collect_events=payload["collect_events"],
+        need_store_events=payload["need_store_events"],
+        telemetry=payload["telemetry"],
+        context=_WORKER_CONTEXT,
+    )

@@ -76,19 +76,27 @@ def _require(name: str) -> Tuple[str, Callable[[], ScenarioSpec]]:
 # repro.workload modules import repro.campaign.spec (whose parent package
 # import lands here), so the workload plane must only be imported lazily —
 # at build/describe time — never at registry import time.
-def build_scenario(spec: ScenarioSpec, telemetry=None) -> "ScenarioBuild":
+def build_scenario(spec: ScenarioSpec, telemetry=None, composition=None) -> "ScenarioBuild":
     """Assemble the simulator and workload described by *spec*.
 
     With a :class:`~repro.analytics.telemetry.TelemetryRecorder` attached
     via *telemetry*, the ``compose`` and ``build`` phases are timed as
     separate spans; the default path stays span-free and allocation-free.
-    """
-    from repro.workload.components import compose
 
+    *composition* is a precomposed
+    :class:`~repro.workload.components.Composition` for this very spec —
+    usually out of a fused run context's cache — and skips the compose
+    phase entirely (so no ``compose`` span is recorded for such runs).
+    """
+    if composition is None:
+        from repro.workload.components import compose
+
+        if telemetry is None:
+            return compose(spec).build(spec)
+        with telemetry.span("compose", scenario=spec.name):
+            composition = compose(spec)
     if telemetry is None:
-        return compose(spec).build(spec)
-    with telemetry.span("compose", scenario=spec.name):
-        composition = compose(spec)
+        return composition.build(spec)
     with telemetry.span("build", scenario=spec.name):
         return composition.build(spec)
 

@@ -88,6 +88,7 @@ def run_spec(
     store: Optional[Any] = None,
     refresh: bool = False,
     telemetry: Optional[Any] = None,
+    fused: Optional[Any] = None,
 ) -> RunResult:
     """Run one scenario and return its structured result.
 
@@ -110,6 +111,13 @@ def run_spec(
     path, lookup/replay on a cache hit.  Spans are host wall clock and never
     touch the run's deterministic artifacts: the recorder rides the bus's
     ``telemetry`` topic, which no stored stream subscribes to.
+
+    *fused* (a :class:`~repro.campaign.fused.FusedRunContext`) reuses
+    per-process plumbing across many calls: the spec's composition comes
+    from the context's cache (compose is skipped on every repeat) and the
+    in-memory event collector is the context's pooled sink instead of a
+    fresh allocation.  Reuse never reaches a deterministic artifact — a
+    fused run's result is byte-identical to a build-from-scratch run.
     """
     spec.validate()
     if store is not None and not refresh and not sinks:
@@ -133,7 +141,15 @@ def run_spec(
     staging_sink: Optional[JsonlStreamSink] = None
     staging_path: Optional[str] = None
     try:
-        if telemetry is None:
+        if fused is not None:
+            # The fused engine's reuse path: the composition comes out of
+            # the context's per-process cache, so a sweep composes each
+            # distinct spec once no matter how many members repeat it.
+            build = build_scenario(
+                spec, telemetry=telemetry,
+                composition=fused.compositions.composition_for(spec),
+            )
+        elif telemetry is None:
             build = build_scenario(spec)
         else:
             build = build_scenario(spec, telemetry=telemetry)
@@ -157,7 +173,10 @@ def run_spec(
             stream_sink = JsonlStreamSink(events_stream, topics=probe_topics)
             bus.subscribe(stream_sink, probe_topics)
         elif collect_events:
-            collector = ListSink(topics=probe_topics)
+            if fused is not None:
+                collector = fused.checkout_collector(probe_topics)
+            else:
+                collector = ListSink(topics=probe_topics)
             bus.subscribe(collector, probe_topics)
         if store is not None and probe_topics == ("sched",):
             # Tee the live stream into the store's staging area so the new

@@ -26,6 +26,7 @@ batch's.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import shutil
@@ -53,6 +54,7 @@ def run_shard(
     refresh: bool = False,
     progress: Optional[Any] = None,
     telemetry: Optional[Any] = None,
+    fuse: bool = True,
 ) -> Dict[str, Any]:
     """Execute *plan*, writing per-run event streams and ``shard.json``.
 
@@ -66,43 +68,60 @@ def run_shard(
     index; spans stay outside ``shard.json`` and every event stream (the
     caller writes them to a sidecar), so the shard artifacts remain
     byte-identical with or without instrumentation.
+
+    *fuse* (default on) threads one
+    :class:`~repro.campaign.fused.FusedRunContext` through the shard's
+    runs, so repeated specs compose once per shard process instead of once
+    per run; ``fuse=False`` restores the build-from-scratch path.  The
+    written artifacts are byte-identical either way.
     """
+    fused_context = None
+    gc_pause: Any = contextlib.nullcontext()
+    if fuse:
+        from repro.campaign.fused import FusedRunContext, paused_gc
+
+        fused_context = FusedRunContext()
+        gc_pause = paused_gc()
     os.makedirs(out_dir, exist_ok=True)
     entries: List[Dict[str, Any]] = []
     executed = cached = 0
-    for global_index, spec in plan.runs:
-        events_name = run_events_filename(global_index, spec.name)
-        run_telemetry = None
-        if telemetry is not None:
-            from repro.analytics.telemetry import TelemetryRecorder
+    with gc_pause:
+        for global_index, spec in plan.runs:
+            events_name = run_events_filename(global_index, spec.name)
+            run_telemetry = None
+            if telemetry is not None:
+                from repro.analytics.telemetry import TelemetryRecorder
 
-            run_telemetry = TelemetryRecorder()
-        result = run_spec(
-            spec,
-            collect_events=False,
-            events_stream=os.path.join(out_dir, events_name),
-            store=store,
-            refresh=refresh,
-            telemetry=run_telemetry,
-        )
-        if telemetry is not None:
-            telemetry.adopt(run_telemetry.spans, run=global_index,
-                            shard=plan.index)
-        if result.cached:
-            cached += 1
-        else:
-            executed += 1
-        entries.append({
-            "index": global_index,
-            "scenario": spec.name,
-            "events": events_name,
-            "events_streamed": result.events_streamed,
-            "cached": result.cached,
-            "run": result.metrics_document(),
-            "timing": result.timing,
-        })
-        if progress is not None:
-            progress(global_index, result)
+                run_telemetry = TelemetryRecorder()
+            result = run_spec(
+                spec,
+                collect_events=False,
+                events_stream=os.path.join(out_dir, events_name),
+                store=store,
+                refresh=refresh,
+                telemetry=run_telemetry,
+                fused=fused_context,
+            )
+            if fused_context is not None:
+                fused_context.reap()
+            if telemetry is not None:
+                telemetry.adopt(run_telemetry.spans, run=global_index,
+                                shard=plan.index)
+            if result.cached:
+                cached += 1
+            else:
+                executed += 1
+            entries.append({
+                "index": global_index,
+                "scenario": spec.name,
+                "events": events_name,
+                "events_streamed": result.events_streamed,
+                "cached": result.cached,
+                "run": result.metrics_document(),
+                "timing": result.timing,
+            })
+            if progress is not None:
+                progress(global_index, result)
     document = {
         "schema": SHARD_SCHEMA,
         "shards": plan.shards,

@@ -88,6 +88,10 @@ class ListSink(Sink):
         """The collected stream as JSON-safe dictionaries."""
         return [event_to_dict(event) for event in self.events]
 
+    def clear(self) -> None:
+        """Drop every collected event — pooled reuse across fused runs."""
+        self.events.clear()
+
     def __len__(self) -> int:
         return len(self.events)
 

@@ -14,6 +14,7 @@ from repro.perf.bench import (
     BENCH_SCHEMA,
     CURRENT_PR,
     default_report_path,
+    bench_batch_fused,
     bench_dispatch_rate,
     bench_scheduler_ops,
     bench_table2_speed,
@@ -23,6 +24,15 @@ from repro.perf.bench import (
     run_scenario_benchmarks,
     validate_report,
     write_report,
+)
+from repro.perf.compare import (
+    COMPARE_SCHEMA,
+    DEFAULT_MAX_REGRESS_PCT,
+    ReportError,
+    compare_reports,
+    format_compare,
+    load_report,
+    metric_direction,
 )
 
 __all__ = [
@@ -38,4 +48,12 @@ __all__ = [
     "run_scenario_benchmarks",
     "validate_report",
     "write_report",
+    "COMPARE_SCHEMA",
+    "DEFAULT_MAX_REGRESS_PCT",
+    "ReportError",
+    "bench_batch_fused",
+    "compare_reports",
+    "format_compare",
+    "load_report",
+    "metric_direction",
 ]

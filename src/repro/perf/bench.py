@@ -48,7 +48,7 @@ BENCH_SCHEMA = "repro-bench/1"
 
 #: The PR this checkout's trajectory file belongs to; bumped by each PR that
 #: records a new data point.
-CURRENT_PR = 6
+CURRENT_PR = 7
 
 #: Scenarios cheap enough to run on every ``repro bench`` invocation.
 DEFAULT_SCENARIOS = (
@@ -346,6 +346,60 @@ def bench_workload_plane(scale: int = 1) -> Dict[str, Any]:
     }
 
 
+def bench_batch_fused(
+    members: int = 24, duration_ms: float = 5.0, repeats: int = 3
+) -> Dict[str, Any]:
+    """Fused vs per-process sweep throughput over a generated family.
+
+    The PR-7 headline: a seeded mixed-kernel :class:`FamilySpec` of short
+    runs — the regime where per-run fixed costs (process fan-out, IPC
+    round trips, composition, collector allocation, GC scans) rival the
+    simulation itself — swept once through the pre-fused pool engine
+    (``fuse=False``, the per-process baseline) and once through the fused
+    engine at its default worker count.  Both sweeps produce byte-identical
+    deterministic documents; only the wall clock differs.  Best of
+    *repeats* per engine, with an explicit collection between timings so
+    neither engine pays the other's garbage backlog.
+    """
+    import gc
+
+    from repro.campaign.batch import default_worker_count, run_batch
+    from repro.campaign.fused import fused_worker_count
+    from repro.workload.families import FamilySpec, expand_family
+
+    family = FamilySpec(
+        name="bench-batch", count=members, seed=9,
+        kernels=("tkernel", "rtkspec1", "rtkspec2"),
+        duration_ms=duration_ms,
+    )
+    specs = expand_family(family)
+    # Warm imports and the composition cache outside the timed region (the
+    # fork-based pool inherits the warm state, so both engines benefit).
+    run_batch(specs[:2], workers=1, collect_events=False)
+
+    per_process = fused = 0.0
+    for _ in range(repeats):
+        gc.collect()
+        start = time.perf_counter()
+        run_batch(specs, collect_events=False, fuse=False)
+        elapsed = time.perf_counter() - start
+        per_process = max(per_process, members / elapsed)
+        gc.collect()
+        start = time.perf_counter()
+        run_batch(specs, collect_events=False, fuse=True)
+        elapsed = time.perf_counter() - start
+        fused = max(fused, members / elapsed)
+    return {
+        "members": members,
+        "duration_ms": duration_ms,
+        "per_process_workers": default_worker_count(members),
+        "fused_workers": fused_worker_count(members),
+        "per_process_runs_per_s": per_process,
+        "fused_runs_per_s": fused,
+        "fused_speedup": fused / per_process if per_process else None,
+    }
+
+
 def bench_analytics(
     runs: int = 64, repeats: int = 3, queries: int = 50
 ) -> Dict[str, Any]:
@@ -458,6 +512,9 @@ def run_benchmarks(
         runs=16 if quick else 64, repeats=1 if quick else 3,
         queries=10 if quick else 50,
     )
+    batch = bench_batch_fused(
+        members=8 if quick else 24, repeats=1 if quick else 3
+    )
     return {
         "schema": BENCH_SCHEMA,
         "pr": CURRENT_PR,
@@ -476,6 +533,7 @@ def run_benchmarks(
         "grid": grid,
         "workload": workload,
         "analytics": analytics,
+        "batch": batch,
         "scenarios": scenario_results,
     }
 
@@ -483,7 +541,8 @@ def run_benchmarks(
 #: Keys (and nested keys) every report document must carry.
 _REQUIRED_TOP_LEVEL = (
     "schema", "pr", "quick", "created_utc", "host",
-    "microbench", "table2", "grid", "workload", "analytics", "scenarios",
+    "microbench", "table2", "grid", "workload", "analytics", "batch",
+    "scenarios",
 )
 _REQUIRED_MICROBENCH = (
     "timed_waits_per_s", "timeout_waits_per_s",
@@ -533,6 +592,14 @@ def validate_report(document: Dict[str, Any]) -> List[str]:
         if not isinstance(value, (int, float)) or value <= 0:
             problems.append(
                 f"analytics.{key} must be a positive number, got {value!r}"
+            )
+    batch = document.get("batch", {})
+    for key in ("members", "per_process_runs_per_s", "fused_runs_per_s",
+                "fused_speedup"):
+        value = batch.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            problems.append(
+                f"batch.{key} must be a positive number, got {value!r}"
             )
     if workload.get("family_members") != 100:
         problems.append(
@@ -590,6 +657,13 @@ def render_report(document: Dict[str, Any]) -> str:
         lines.append(
             f"  corpus index     : {analytics['index_runs_per_s']:>12,.0f} "
             f"runs/s rebuild   warm query: {analytics['warm_query_ms']:.3f} ms"
+        )
+    batch = document.get("batch")
+    if batch:
+        lines.append(
+            f"  fused sweep      : {batch['fused_runs_per_s']:>12,.0f} runs/s "
+            f"vs {batch['per_process_runs_per_s']:,.0f} per-process "
+            f"({batch['fused_speedup']:.2f}x, {batch['members']} members)"
         )
     rows = [
         (

@@ -1,0 +1,206 @@
+"""Enforceable perf-delta gate between two ``repro-bench/1`` reports.
+
+``repro bench compare OLD.json NEW.json`` aligns two trajectory files
+metric-by-metric and renders a delta table; with ``--max-regress`` it
+becomes a CI gate that exits non-zero when any *directional* metric moved
+the wrong way by more than the threshold.
+
+Direction is inferred from the metric's leaf name — the report schema is
+deliberately suffix-consistent: ``*_per_s`` / ``*speedup`` / ``s_over_r``
+are throughput-like (higher is better), ``*_seconds`` / ``*_ms`` /
+``r_over_s`` are latency-like (lower is better).  Configuration echoes
+(simulated horizons, member counts, PR numbers, host facts) carry no
+direction and are reported as ``info`` — they can never trip the gate.
+
+Exit codes are the gate contract: 0 = no regression beyond threshold,
+1 = at least one regression, 2 = a report could not be read/parsed
+(:class:`ReportError`, one-line message).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.campaign.metrics import flatten_numeric
+from repro.perf.bench import BENCH_SCHEMA
+
+#: Schema identifier of the comparison document ``--json`` emits.
+COMPARE_SCHEMA = "repro-bench-compare/1"
+
+#: Default regression tolerance (percent) — generous enough that ordinary
+#: run-to-run benchmark noise passes, tight enough that a real structural
+#: slowdown (2x anywhere) cannot hide.
+DEFAULT_MAX_REGRESS_PCT = 10.0
+
+#: Leaf names that end in a directional suffix but are configuration, not
+#: measurement (a horizon of 200 ms is not "worse" than 150 ms).
+NEUTRAL_LEAVES = frozenset({
+    "simulated_ms", "duration_ms", "lcd_update_period_ms",
+    "simulated_seconds",
+})
+
+
+class ReportError(ValueError):
+    """A report file that cannot serve as a comparison side."""
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Read *path* as a ``repro-bench/1`` document or raise ReportError."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as error:
+        raise ReportError(f"cannot read bench report {path!r}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise ReportError(f"corrupt bench report {path!r}: {error}") from None
+    if not isinstance(document, dict) or document.get("schema") != BENCH_SCHEMA:
+        raise ReportError(
+            f"{path!r} is not a bench report "
+            f"(expected schema {BENCH_SCHEMA!r}, "
+            f"got {document.get('schema') if isinstance(document, dict) else type(document).__name__!r})"
+        )
+    return document
+
+
+def metric_direction(key: str) -> Optional[str]:
+    """``"higher"``/``"lower"``-is-better for flattened metric *key*, or None.
+
+    None means the metric is informational: compared and displayed, never
+    gated.  Direction comes from the leaf name's suffix so new benchmark
+    sections inherit gating for free as long as they follow the report's
+    naming convention.
+    """
+    leaf = key.rsplit(".", 1)[-1]
+    if leaf in NEUTRAL_LEAVES or leaf == "pr":
+        return None
+    if leaf.endswith("r_over_s"):
+        return "lower"
+    if leaf.endswith("s_over_r"):
+        return "higher"
+    if leaf.endswith("_per_s") or leaf.endswith("speedup"):
+        return "higher"
+    if leaf.endswith("_seconds") or leaf.endswith("_ms"):
+        return "lower"
+    return None
+
+
+def compare_reports(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    max_regress_pct: float = DEFAULT_MAX_REGRESS_PCT,
+) -> Dict[str, Any]:
+    """Align two report documents metric-by-metric.
+
+    Returns the comparison document: one row per flattened numeric key in
+    either report, each carrying old/new values, the percentage delta, the
+    inferred direction and a status — ``ok`` (within threshold),
+    ``improved`` (moved the right way by more than the threshold),
+    ``regression`` (moved the wrong way by more than the threshold),
+    ``info`` (no direction), ``added``/``removed`` (one-sided).  The
+    verdict is ``"regression"`` iff any row regressed.
+    """
+    old_flat = flatten_numeric(old)
+    new_flat = flatten_numeric(new)
+    rows: List[Dict[str, Any]] = []
+    regressions: List[str] = []
+    for key in sorted(set(old_flat) | set(new_flat)):
+        old_value = old_flat.get(key)
+        new_value = new_flat.get(key)
+        row: Dict[str, Any] = {
+            "metric": key,
+            "old": old_value,
+            "new": new_value,
+            "direction": metric_direction(key),
+            "delta_pct": None,
+        }
+        if old_value is None:
+            row["status"] = "added"
+        elif new_value is None:
+            row["status"] = "removed"
+        else:
+            if old_value != 0:
+                row["delta_pct"] = (new_value - old_value) / abs(old_value) * 100.0
+            direction = row["direction"]
+            if direction is None or row["delta_pct"] is None:
+                row["status"] = "info"
+            else:
+                # A "regression" is movement against the metric's grain
+                # beyond the tolerance; equal movement the other way is an
+                # improvement worth surfacing, not just "ok".
+                signed = row["delta_pct"] if direction == "higher" else -row["delta_pct"]
+                if signed < -max_regress_pct:
+                    row["status"] = "regression"
+                    regressions.append(key)
+                elif signed > max_regress_pct:
+                    row["status"] = "improved"
+                else:
+                    row["status"] = "ok"
+        rows.append(row)
+    return {
+        "schema": COMPARE_SCHEMA,
+        "old_pr": old.get("pr"),
+        "new_pr": new.get("pr"),
+        "old_quick": bool(old.get("quick")),
+        "new_quick": bool(new.get("quick")),
+        "max_regress_pct": max_regress_pct,
+        "rows": rows,
+        "regressions": regressions,
+        "verdict": "regression" if regressions else "ok",
+    }
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, int):
+        return f"{value:,}"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:g}"
+
+
+def format_compare(document: Dict[str, Any]) -> str:
+    """Render a comparison document as the CLI's delta table + verdict."""
+    from repro.analysis.report import format_table
+
+    rows = []
+    for row in document["rows"]:
+        delta = row["delta_pct"]
+        rows.append((
+            row["metric"],
+            _format_value(row["old"]),
+            _format_value(row["new"]),
+            "" if delta is None else f"{delta:+.1f}%",
+            row["status"],
+        ))
+    table = format_table(
+        ["metric", "old", "new", "delta", "status"],
+        rows,
+        title=(
+            f"bench compare: PR {document['old_pr']} -> PR {document['new_pr']}"
+            f" (max regress {document['max_regress_pct']:g}%)"
+        ),
+    )
+    if document["regressions"]:
+        verdict = (
+            f"REGRESSION: {len(document['regressions'])} metric(s) beyond "
+            f"{document['max_regress_pct']:g}%: "
+            + ", ".join(document["regressions"])
+        )
+    else:
+        verdict = (
+            f"ok: no directional metric regressed beyond "
+            f"{document['max_regress_pct']:g}%"
+        )
+    quick_sides = [
+        side for side, flag in (
+            ("old", document["old_quick"]), ("new", document["new_quick"])
+        ) if flag
+    ]
+    if quick_sides:
+        verdict += (
+            f"  [note: {' and '.join(quick_sides)} report(s) are quick-mode "
+            "— numbers are noisy]"
+        )
+    return table + "\n" + verdict

@@ -53,7 +53,7 @@ def sealed(warm, monkeypatch):
     import repro.campaign.runner as runner_module
     import repro.sysc.kernel as kernel_module
 
-    def forbidden_build(_spec):
+    def forbidden_build(_spec, *args, **kwargs):
         raise AssertionError("report plane called build_scenario")
 
     def forbidden_sim(self, *args, **kwargs):

@@ -61,7 +61,7 @@ class TestBatchAndCompare:
         ])
         assert code == 0
         out = capsys.readouterr().out
-        assert "4 runs on 2 worker(s)" in out
+        assert "4 runs on 2 fused worker(s)" in out
         assert "aggregate over 4 runs" in out
 
         metrics_path = out_dir / "metrics.json"
@@ -84,7 +84,7 @@ class TestBatchAndCompare:
             "--out", str(tmp_path / "serial"),
         ])
         assert code == 0
-        assert "on 1 worker(s)" in capsys.readouterr().out
+        assert "on 1 fused worker(s)" in capsys.readouterr().out
         assert not list((tmp_path / "serial").glob("events_*.jsonl"))
 
 

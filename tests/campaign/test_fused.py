@@ -1,0 +1,228 @@
+"""Fused-engine contracts: byte-identity, resume, and grouping policy.
+
+The fused executor (``repro.campaign.fused``) is a pure performance
+refactor: amortized compositions, pooled collectors, grouped IPC — none of
+it may leak into any deterministic artifact.  These tests pin the strong
+form of that claim: for the same spec list, the serial pre-fused engine,
+the fused in-process loop, the fused worker pool and a sharded+merged
+sweep all write **byte-identical** ``aggregate.json`` and per-run event
+streams.
+"""
+
+import hashlib
+import os
+
+import pytest
+
+from repro.campaign.batch import run_batch, run_events_filename
+from repro.campaign.fused import (
+    MAX_GROUP_SIZE,
+    CompositionCache,
+    FusedRunContext,
+    compute_chunksize,
+    fused_worker_count,
+    process_composition_cache,
+)
+from repro.campaign.registry import get_scenario, scenario_names
+from repro.grid.executor import merge_shards, run_shard
+from repro.grid.shard import plan_shard
+from repro.grid.store import ResultStore
+from repro.workload.families import FamilySpec, expand_family
+
+
+def _digest(path):
+    with open(path, "rb") as handle:
+        return hashlib.sha256(handle.read()).hexdigest()
+
+
+def _artifact_digests(out_dir, specs):
+    """sha256 of aggregate.json and of every per-run event stream."""
+    digests = {"aggregate.json": _digest(os.path.join(out_dir, "aggregate.json"))}
+    for index, spec in enumerate(specs):
+        name = run_events_filename(index, spec.name)
+        digests[name] = _digest(os.path.join(out_dir, name))
+    return digests
+
+
+def _run_to_dir(specs, out_dir, **kwargs):
+    batch = run_batch(specs, **kwargs)
+    batch.write_outputs(str(out_dir))
+    return batch
+
+
+# ----------------------------------------------------------------------
+# Byte-identity across engines
+# ----------------------------------------------------------------------
+class TestEngineByteIdentity:
+    def test_all_builtins_identical_across_four_engines(self, tmp_path):
+        """Every builtin, through every engine, bytes for bytes."""
+        specs = [get_scenario(name) for name in scenario_names()]
+        engines = {
+            "serial": dict(workers=1, fuse=False),
+            "fused-serial": dict(workers=1, fuse=True),
+            "fused-pool": dict(workers=2, fuse=True),
+            "pool": dict(workers=2, fuse=False),
+        }
+        digests = {}
+        for label, kwargs in engines.items():
+            out = tmp_path / label
+            _run_to_dir(specs, out, **kwargs)
+            digests[label] = _artifact_digests(out, specs)
+        reference = digests.pop("serial")
+        for label, other in digests.items():
+            assert other == reference, f"{label} diverged from serial"
+
+    def test_family_sweep_matches_sharded_merge(self, tmp_path):
+        """A generated family: fused batch == fused shards + merge."""
+        family = FamilySpec(
+            name="fuse-id", count=8, seed=3,
+            kernels=("tkernel", "rtkspec1"), duration_ms=10.0,
+        )
+        specs = expand_family(family)
+
+        batch_dir = tmp_path / "batch"
+        _run_to_dir(specs, batch_dir, fuse=True)
+
+        shard_dirs = []
+        for index in range(2):
+            shard_dir = tmp_path / f"shard{index}"
+            run_shard(plan_shard(specs, 2, index), str(shard_dir), fuse=True)
+            shard_dirs.append(str(shard_dir))
+        merged_dir = tmp_path / "merged"
+        merge_shards(shard_dirs, str(merged_dir))
+
+        assert _artifact_digests(str(batch_dir), specs) == \
+            _artifact_digests(str(merged_dir), specs)
+
+    def test_fused_matches_prefused_with_store_attached(self, tmp_path):
+        """Cold-store sweeps are identical too (store fills en route)."""
+        specs = expand_family(FamilySpec(
+            name="fuse-store", count=6, seed=5, duration_ms=10.0,
+        ))
+        fused_dir, plain_dir = tmp_path / "fused", tmp_path / "plain"
+        fused = _run_to_dir(
+            specs, fused_dir, workers=2, fuse=True,
+            store=ResultStore(str(tmp_path / "cache_a")),
+        )
+        plain = _run_to_dir(
+            specs, plain_dir, workers=2, fuse=False,
+            store=ResultStore(str(tmp_path / "cache_b")),
+        )
+        assert fused.cache_hits == plain.cache_hits == 0
+        assert _artifact_digests(str(fused_dir), specs) == \
+            _artifact_digests(str(plain_dir), specs)
+
+
+# ----------------------------------------------------------------------
+# Resume: an interrupted fused sweep re-simulates nothing
+# ----------------------------------------------------------------------
+class TestFusedResume:
+    def test_interrupted_batch_resumes_without_resimulation(
+        self, tmp_path, monkeypatch
+    ):
+        specs = expand_family(FamilySpec(
+            name="fuse-resume", count=8, seed=11, duration_ms=10.0,
+        ))
+        store = ResultStore(str(tmp_path / "cache"))
+
+        # "Interrupt" after half the sweep: only the first four runs made
+        # it into the store.
+        first = run_batch(specs[:4], store=store, fuse=True)
+        assert first.cache_hits == 0
+
+        resumed = run_batch(specs, store=store, fuse=True)
+        assert resumed.cache_hits == 4
+
+        # A second full pass replays everything — and never even builds a
+        # scenario, let alone simulates one.
+        import repro.campaign.runner as runner_module
+
+        def forbidden(spec, *args, **kwargs):
+            raise AssertionError(
+                "resume re-simulated: build_scenario was called"
+            )
+
+        monkeypatch.setattr(runner_module, "build_scenario", forbidden)
+        replayed = run_batch(specs, store=store, fuse=True)
+        assert replayed.cache_hits == len(specs)
+        assert replayed.aggregate == resumed.aggregate
+
+
+# ----------------------------------------------------------------------
+# Grouping / caching policy units
+# ----------------------------------------------------------------------
+class TestFusedPolicy:
+    def test_fused_worker_count_has_no_two_worker_floor(self):
+        assert fused_worker_count(1) == 1
+        cores = os.cpu_count() or 1
+        assert fused_worker_count(1000) == cores
+
+    def test_compute_chunksize_serial_takes_everything(self):
+        assert compute_chunksize(24, 1) == 24
+        assert compute_chunksize(0, 4) == 1
+
+    def test_compute_chunksize_balances_and_caps(self):
+        # ~4 payloads per worker...
+        assert compute_chunksize(64, 2) == 8
+        # ...never zero...
+        assert compute_chunksize(3, 8) == 1
+        # ...and never beyond the streaming cap.
+        assert compute_chunksize(100_000, 2) == MAX_GROUP_SIZE
+
+    def test_composition_cache_hits_and_evicts(self):
+        cache = CompositionCache(limit=2)
+        a, b, c = (get_scenario(name) for name in scenario_names()[:3])
+        first = cache.composition_for(a)
+        assert cache.composition_for(a) is first
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.composition_for(b)
+        cache.composition_for(c)  # evicts a (FIFO)
+        assert len(cache) == 2
+        assert cache.composition_for(a) is not first or cache.misses == 3
+
+    def test_spec_is_cacheable_composes_once(self, monkeypatch):
+        import repro.workload.components as components
+        from repro.campaign.batch import _spec_is_cacheable
+
+        calls = []
+        real_compose = components.compose
+
+        def counting(spec, *args, **kwargs):
+            calls.append(spec.name)
+            return real_compose(spec, *args, **kwargs)
+
+        monkeypatch.setattr(components, "compose", counting)
+        process_composition_cache().clear()
+        try:
+            spec = get_scenario("rtk-priority")
+            assert _spec_is_cacheable(spec)
+            assert _spec_is_cacheable(spec)
+            assert calls == ["rtk-priority"]
+        finally:
+            process_composition_cache().clear()
+
+    def test_checkout_collector_reuses_one_sink(self):
+        context = FusedRunContext(compositions=CompositionCache())
+        sink = context.checkout_collector(("sched",))
+        sink.events.append({"topic": "sched"})
+        again = context.checkout_collector(("sched", "sim"))
+        assert again is sink
+        assert again.events == []
+        assert again.topics == ("sched", "sim")
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestFuseFlag:
+    @pytest.mark.parametrize("flag", ["--fuse", "--no-fuse"])
+    def test_batch_cli_accepts_fuse_flags(self, flag, tmp_path, capsys):
+        from repro.campaign.cli import main as cli_main
+
+        code = cli_main([
+            "batch", "--scenario", "rtk-priority", "--serial",
+            "--no-events", flag, "--out", str(tmp_path / "out"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert ("fused" in out) == (flag == "--fuse")

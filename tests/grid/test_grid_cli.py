@@ -68,7 +68,7 @@ class TestSpecFiles:
             "--serial", "--no-events", "--out", str(out),
         ])
         assert code == 0
-        assert "2 runs on 1 worker(s)" in capsys.readouterr().out
+        assert "2 runs on 1 fused worker(s)" in capsys.readouterr().out
         document = json.loads((out / "metrics.json").read_text())
         assert document["campaign"]["runs"] == 2
         assert [run["spec"]["seed"] for run in document["runs"]] == [1, 2]

@@ -123,7 +123,7 @@ class TestShardedSweep:
         # must be served entirely from the store.
         import repro.campaign.runner as runner_module
 
-        def forbidden(spec):
+        def forbidden(spec, *args, **kwargs):
             raise AssertionError(f"simulated {spec.name} despite a warm cache")
 
         monkeypatch.setattr(runner_module, "build_scenario", forbidden)
@@ -148,10 +148,10 @@ class TestShardedSweep:
         real_build = runner_module.build_scenario
         doomed = specs[2].name
 
-        def flaky_build(spec):
+        def flaky_build(spec, *args, **kwargs):
             if spec.name == doomed:
                 raise KeyboardInterrupt
-            return real_build(spec)
+            return real_build(spec, *args, **kwargs)
 
         monkeypatch.setattr(runner_module, "build_scenario", flaky_build)
         with pytest.raises(KeyboardInterrupt):

@@ -1,0 +1,188 @@
+"""The perf-delta gate: ``repro bench compare`` semantics and exit codes.
+
+The gate's contract is exit-code shaped — 0 clean, 1 regression, 2 unusable
+input — because CI consumes it blind.  Direction inference is pinned
+per-suffix so a renamed or newly added metric family keeps gating without a
+registry edit.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.cli import main as cli_main
+from repro.perf.bench import BENCH_SCHEMA
+from repro.perf.compare import (
+    COMPARE_SCHEMA,
+    DEFAULT_MAX_REGRESS_PCT,
+    ReportError,
+    compare_reports,
+    format_compare,
+    load_report,
+    metric_direction,
+)
+
+
+def make_report(**metrics):
+    """A minimal schema-tagged report with one flattenable section."""
+    document = {"schema": BENCH_SCHEMA, "pr": 7, "quick": False}
+    document["microbench"] = dict(metrics)
+    return document
+
+
+def write(tmp_path, name, document):
+    path = tmp_path / name
+    path.write_text(json.dumps(document))
+    return str(path)
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize("key,expected", [
+        ("microbench.dispatches_per_s", "higher"),
+        ("batch.fused_speedup", "higher"),
+        ("scenarios.quickstart.s_over_r", "higher"),
+        ("table2.no_gui_s_over_r", "higher"),
+        ("scenarios.quickstart.r_over_s", "lower"),
+        ("grid.hit_seconds", "lower"),
+        ("analytics.warm_query_ms", "lower"),
+        # Configuration echoes: directional-looking suffixes, no direction.
+        ("scenarios.quickstart.simulated_ms", None),
+        ("batch.duration_ms", None),
+        ("workload.family_members", None),
+        ("pr", None),
+        ("scenarios.quickstart.context_switches", None),
+    ])
+    def test_suffix_rules(self, key, expected):
+        assert metric_direction(key) == expected
+
+
+class TestCompareReports:
+    def test_within_threshold_is_ok(self):
+        old = make_report(dispatches_per_s=1000.0)
+        new = make_report(dispatches_per_s=950.0)  # -5% on higher-is-better
+        document = compare_reports(old, new)
+        assert document["verdict"] == "ok"
+        assert document["schema"] == COMPARE_SCHEMA
+        (row,) = [r for r in document["rows"]
+                  if r["metric"] == "microbench.dispatches_per_s"]
+        assert row["status"] == "ok"
+        assert row["delta_pct"] == pytest.approx(-5.0)
+
+    def test_regression_beyond_threshold_trips(self):
+        old = make_report(dispatches_per_s=1000.0, hit_seconds=0.01)
+        new = make_report(dispatches_per_s=1000.0, hit_seconds=0.02)
+        document = compare_reports(old, new)
+        assert document["verdict"] == "regression"
+        assert document["regressions"] == ["microbench.hit_seconds"]
+
+    def test_improvement_and_custom_threshold(self):
+        old = make_report(dispatches_per_s=1000.0)
+        new = make_report(dispatches_per_s=1200.0)
+        (row,) = [r for r in compare_reports(old, new)["rows"]
+                  if r["metric"] == "microbench.dispatches_per_s"]
+        assert row["status"] == "improved"
+        # The same +20% flips to regression under lower-is-better.
+        old = make_report(run_seconds=1.0)
+        new = make_report(run_seconds=1.2)
+        tight = compare_reports(old, new, max_regress_pct=5.0)
+        assert tight["verdict"] == "regression"
+        loose = compare_reports(old, new, max_regress_pct=25.0)
+        assert loose["verdict"] == "ok"
+
+    def test_added_and_removed_metrics_never_gate(self):
+        old = make_report(gone_per_s=10.0)
+        new = make_report(fresh_per_s=10.0)
+        document = compare_reports(old, new)
+        statuses = {r["metric"].rsplit(".", 1)[-1]: r["status"]
+                    for r in document["rows"]
+                    if r["metric"].startswith("microbench.")}
+        assert statuses == {"gone_per_s": "removed", "fresh_per_s": "added"}
+        assert document["verdict"] == "ok"
+
+    def test_zero_baseline_is_informational(self):
+        old = make_report(odd_per_s=0.0)
+        new = make_report(odd_per_s=5.0)
+        (row,) = [r for r in compare_reports(old, new)["rows"]
+                  if r["metric"] == "microbench.odd_per_s"]
+        assert row["status"] == "info"
+        assert row["delta_pct"] is None
+
+    def test_format_compare_renders_table_and_verdict(self):
+        old = make_report(dispatches_per_s=1000.0)
+        new = make_report(dispatches_per_s=500.0)
+        text = format_compare(compare_reports(old, new))
+        assert "microbench.dispatches_per_s" in text
+        assert "-50.0%" in text
+        assert "REGRESSION" in text
+
+
+class TestLoadReport:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReportError, match="cannot read"):
+            load_report(str(tmp_path / "nope.json"))
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        with pytest.raises(ReportError, match="corrupt"):
+            load_report(str(path))
+
+    def test_wrong_schema(self, tmp_path):
+        path = write(tmp_path, "other.json", {"schema": "other/1"})
+        with pytest.raises(ReportError, match="not a bench report"):
+            load_report(path)
+
+
+class TestCli:
+    def test_clean_compare_exits_zero(self, tmp_path, capsys):
+        old = write(tmp_path, "old.json", make_report(dispatches_per_s=1000.0))
+        new = write(tmp_path, "new.json", make_report(dispatches_per_s=1010.0))
+        assert cli_main(["bench", "compare", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "no directional metric regressed" in out
+        assert f"{DEFAULT_MAX_REGRESS_PCT:g}%" in out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        old = write(tmp_path, "old.json", make_report(dispatches_per_s=1000.0))
+        new = write(tmp_path, "new.json", make_report(dispatches_per_s=800.0))
+        assert cli_main(["bench", "compare", old, new]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_max_regress_flag_loosens_the_gate(self, tmp_path):
+        old = write(tmp_path, "old.json", make_report(dispatches_per_s=1000.0))
+        new = write(tmp_path, "new.json", make_report(dispatches_per_s=800.0))
+        assert cli_main([
+            "bench", "compare", old, new, "--max-regress", "25",
+        ]) == 0
+
+    def test_unreadable_report_is_one_line_error_exit_two(
+        self, tmp_path, capsys
+    ):
+        good = write(tmp_path, "good.json", make_report(x_per_s=1.0))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        assert cli_main(["bench", "compare", str(bad), good]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith("error:")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_mismatched_schema_exit_two(self, tmp_path, capsys):
+        good = write(tmp_path, "good.json", make_report(x_per_s=1.0))
+        other = write(tmp_path, "other.json",
+                      {"schema": "repro-campaign-metrics/1"})
+        assert cli_main(["bench", "compare", good, other]) == 2
+        assert "not a bench report" in capsys.readouterr().err
+
+    def test_json_mode_emits_comparison_document(self, tmp_path, capsys):
+        old = write(tmp_path, "old.json", make_report(dispatches_per_s=1.0))
+        new = write(tmp_path, "new.json", make_report(dispatches_per_s=1.0))
+        assert cli_main(["bench", "compare", old, new, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == COMPARE_SCHEMA
+        assert document["verdict"] == "ok"
+
+    def test_plain_bench_parser_still_accepts_quick(self, capsys):
+        """Adding the subcommand must not break `repro bench --quick`."""
+        assert cli_main(["bench", "--quick"]) == 2  # refuses default --out
+        assert "--out" in capsys.readouterr().err

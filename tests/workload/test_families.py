@@ -106,7 +106,7 @@ class TestFamilyGridRoundTrip:
         cold = run_batch(members, workers=1, store=store)
         assert cold.cache_hits == 0
 
-        def forbidden(spec):  # pragma: no cover - the assertion is the point
+        def forbidden(spec, *args, **kwargs):  # pragma: no cover - the assertion is the point
             raise AssertionError(f"warm sweep simulated {spec.name}")
 
         monkeypatch.setattr(runner_module, "build_scenario", forbidden)
