@@ -1,0 +1,86 @@
+"""Resilience-plane perf guard: failure envelopes must be nearly free.
+
+The PR-8 contract is that every CLI sweep runs with the resilient engine
+by default, so its clean-path cost is the cost of *every* sweep.  Two
+layers of protection:
+
+* **Wall-clock ceiling.**  On a warm 24-member fused family sweep the
+  resilient engine (default policy: envelopes, retry accounting, chaos
+  points armed but dormant) must stay within 20% of the plain fused
+  engine.  The committed trajectory number is ~0, and single-core CI
+  hosts show ±10% run-to-run jitter on a half-second sweep — the ceiling
+  sits above the noise while still catching a structural regression
+  (per-run deep copies, sidecar writes on the hot path, an accidental
+  watchdog arm on every advance), which costs far more than 20%.
+* **Committed trajectory.**  ``BENCH_PR8.json``'s resilience section must
+  show ≤3% overhead, the acceptance number for the PR.
+"""
+
+import gc
+import json
+import os
+import time
+
+import pytest
+
+from repro.campaign.batch import run_batch
+from repro.resilience.envelope import ResiliencePolicy
+from repro.workload.families import FamilySpec, expand_family
+
+MEMBERS = 24
+
+
+@pytest.fixture(scope="module")
+def family_specs():
+    family = FamilySpec(
+        name="bench-resilience", count=MEMBERS, seed=9,
+        kernels=("tkernel", "rtkspec1", "rtkspec2"), duration_ms=5.0,
+    )
+    specs = expand_family(family)
+    # Warm imports + the process composition cache outside the timed region.
+    run_batch(specs[:2], workers=1, collect_events=False)
+    run_batch(specs[:2], workers=1, collect_events=False,
+              policy=ResiliencePolicy())
+    return specs
+
+
+def best_of(fn, repeats=4):
+    best = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_clean_sweep_overhead_is_within_20_percent(family_specs):
+    policy = ResiliencePolicy()
+    plain = best_of(
+        lambda: run_batch(family_specs, workers=1, collect_events=False)
+    )
+    resilient = best_of(
+        lambda: run_batch(family_specs, workers=1, collect_events=False,
+                          policy=policy)
+    )
+    overhead = (resilient / plain - 1.0) * 100.0
+    print(f"\nplain: {MEMBERS / plain:,.0f} runs/s   "
+          f"resilient: {MEMBERS / resilient:,.0f} runs/s   "
+          f"overhead: {overhead:.2f}%")
+    assert overhead <= 20.0, (
+        f"resilient engine costs {overhead:.2f}% on a clean sweep — "
+        "envelope bookkeeping / chaos points / retry accounting grew a "
+        "hot-path cost"
+    )
+
+
+def test_committed_trajectory_shows_noise_level_overhead():
+    from repro.perf.bench import default_report_path
+
+    path = default_report_path()
+    if not os.path.exists(path):
+        pytest.skip("trajectory file not generated in this checkout")
+    with open(path, "r", encoding="utf-8") as handle:
+        resilience = json.load(handle)["resilience"]
+    assert resilience["members"] >= 24
+    assert resilience["overhead_pct"] <= 3.0

@@ -46,6 +46,25 @@ perf trajectory is enforceable:
 
     python -m repro bench compare BENCH_PR6.json BENCH_PR7.json
 
+When sweeps fail (PR 8), the sweep keeps going: a bad member is retried
+(transient failures re-run the identical spec + seed, up to
+``--max-attempts``), runaway runs are cancelled by watchdog budgets, and
+persistent failures quarantine with a structured record in a
+``failures.jsonl`` sidecar while every healthy run completes and
+aggregates —
+
+    python -m repro batch --family big_family.json --cache DIR \
+        --run-timeout 30 --max-attempts 3        # exit 1: partial, usable
+    cat campaign_out/failures.jsonl              # who failed, where, why
+    python -m repro cache verify --cache DIR --repair   # quarantine rot
+    python -m repro batch --family big_family.json --cache DIR  # resume:
+        # completed runs replay from the store, only the gaps simulate
+
+Shard merges degrade the same way: ``repro shard merge ... --allow-partial``
+merges whatever exists and writes a ``coverage.json`` naming the missing
+run indices and absent shards (``--fail-fast`` flips a sweep to abort on
+first failure with exit 2 instead).
+
 Run with:  python examples/quickstart.py
 """
 

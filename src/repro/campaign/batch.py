@@ -43,7 +43,7 @@ from repro.campaign.fused import (
 from repro.campaign.metrics import RunResult, aggregate_metrics, canonical_json
 from repro.campaign.registry import get_scenario
 from repro.campaign.runner import run_spec
-from repro.campaign.spec import ScenarioSpec, expand_matrix
+from repro.campaign.spec import ScenarioSpec, SpecError, expand_matrix
 
 
 def run_events_filename(index: int, scenario: str) -> str:
@@ -116,11 +116,25 @@ def _execute_spec_dict(payload: Dict[str, Any]) -> Dict[str, Any]:
 
 @dataclass
 class BatchResult:
-    """The outcome of one batch: ordered run results plus the aggregate."""
+    """The outcome of one batch: ordered run results plus the aggregate.
+
+    A resilient batch (one executed with a
+    :class:`~repro.resilience.envelope.ResiliencePolicy`) may complete
+    *partially*: ``results`` then holds only the successful runs,
+    ``indices`` their global run indices (so artifact names keep the
+    planned numbering), ``outcomes`` one summary document per requested
+    run and ``failures`` the per-attempt
+    :class:`~repro.resilience.envelope.FailureRecord` list bound for the
+    ``failures.jsonl`` sidecar.  The aggregate is always computed over the
+    successes alone — failure data never enters a deterministic artifact.
+    """
 
     results: List[RunResult]
     workers: int
     aggregate: Dict[str, Any] = field(default_factory=dict)
+    indices: Optional[List[int]] = None
+    outcomes: List[Dict[str, Any]] = field(default_factory=list)
+    failures: List[Any] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self.aggregate:
@@ -130,6 +144,12 @@ class BatchResult:
     def cache_hits(self) -> int:
         """Runs served from the grid result store instead of simulated."""
         return sum(1 for result in self.results if result.cached)
+
+    @property
+    def quarantined(self) -> List[Any]:
+        """The failure records of runs that exhausted their attempts."""
+        return [record for record in self.failures
+                if getattr(record, "quarantined", False)]
 
     # ------------------------------------------------------------------
     # Documents
@@ -173,7 +193,9 @@ class BatchResult:
         os.makedirs(out_dir, exist_ok=True)
         event_paths: List[str] = []
         if include_events:
-            for index, result in enumerate(self.results):
+            for position, result in enumerate(self.results):
+                index = (self.indices[position] if self.indices is not None
+                         else position)
                 events_path = os.path.join(
                     out_dir, run_events_filename(index, result.metrics["scenario"])
                 )
@@ -202,6 +224,7 @@ def run_batch(
     refresh: bool = False,
     telemetry: Optional[Any] = None,
     fuse: bool = True,
+    policy: Optional[Any] = None,
 ) -> BatchResult:
     """Execute *specs*, serially or across a multiprocessing pool.
 
@@ -229,9 +252,24 @@ def run_batch(
     floor (a single-core host runs fused batches in-process — the faster
     path there).  ``fuse=False`` is the pre-fused one-spec-per-round-trip
     engine; both produce byte-identical deterministic documents.
+
+    *policy* (a :class:`~repro.resilience.envelope.ResiliencePolicy`)
+    switches to the fault-tolerant engine
+    (:func:`repro.resilience.executor.run_batch_resilient`): failures are
+    enveloped instead of raised, transients retry, persistent failures
+    quarantine and the sweep keeps going.  Without a policy, any failure
+    raises through — the historical contract.
     """
+    if policy is not None:
+        from repro.resilience.executor import run_batch_resilient
+
+        return run_batch_resilient(
+            specs, workers=workers, collect_events=collect_events,
+            store=store, refresh=refresh, telemetry=telemetry, fuse=fuse,
+            policy=policy,
+        )
     if not specs:
-        raise ValueError("batch has no runs")
+        raise SpecError("batch has no runs")
     for spec in specs:
         spec.validate()
 

@@ -14,7 +14,8 @@ Subcommands make the campaign + grid subsystems usable without writing code:
   matrix over N independent workers, execute one shard (streaming,
   resumable from the result store), and reassemble shard outputs into the
   exact single-host batch artifact set,
-* ``cache stats|gc|clear`` — inspect and maintain the grid result store,
+* ``cache stats|gc|clear|verify`` — inspect and maintain the grid result
+  store (``verify --repair`` quarantines entries failing integrity checks),
 * ``index build|status`` — (re)build and inspect the analytics corpus index
   over a warm result store (a sqlite view: spec knobs × metrics per run),
 * ``query`` — filter/group/aggregate the corpus (table or canonical JSON),
@@ -30,6 +31,17 @@ spans (compose → build → run → store → merge) are collected over the obs
 bus's ``telemetry`` topic, written to a ``telemetry.jsonl`` sidecar in the
 output directory and summarized on stdout.  Telemetry is wall-clock data
 and never enters spec hashes, stored artifacts or golden streams.
+
+Failure semantics: ``batch`` and ``shard run`` envelope failures instead of
+crashing the sweep.  Each failed run's per-attempt records land in a
+``failures.jsonl`` sidecar (never in spec hashes, stored artifacts or golden
+streams), transient failures retry up to ``--max-attempts`` with identical
+spec and seed, runaway runs are cancelled by ``--run-timeout`` /
+``--sim-budget-ns`` watchdogs, and persistent failures quarantine.  Exit
+codes: 0 — everything ran; 1 — usable but partial (quarantined runs, a
+coverage-gapped ``--allow-partial`` merge, failing ``cache verify``);
+2 — unusable invocation (bad arguments, unreadable inputs, ``--fail-fast``
+abort).
 
 Caching: ``run``, ``batch`` and ``shard run`` consult the content-addressed
 result store rooted at ``--cache DIR`` (default: the ``REPRO_CACHE_DIR``
@@ -65,6 +77,14 @@ from repro.campaign.spec import (
     parse_overrides,
 )
 from repro.grid.store import GridError
+from repro.resilience.envelope import (
+    EXIT_OK,
+    EXIT_PARTIAL,
+    EXIT_UNUSABLE,
+    ResilienceAbort,
+    ResiliencePolicy,
+    write_failures,
+)
 
 #: The default batch: every cheap built-in scenario crossed with two seeds,
 #: which expands to eight runs — a meaningful parallelism demo out of the box.
@@ -97,6 +117,52 @@ def _add_cache_args(parser: argparse.ArgumentParser) -> None:
         "--refresh", action="store_true",
         help="re-simulate even on a cache hit and overwrite the entry",
     )
+
+
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-attempts", type=int, default=2, metavar="N",
+        help="attempts per run before quarantine; transient failures "
+        "(worker crashes, I/O) retry with identical spec and seed "
+        "(default: 2)",
+    )
+    parser.add_argument(
+        "--run-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock watchdog budget per run (default: unlimited)",
+    )
+    parser.add_argument(
+        "--sim-budget-ns", type=int, default=None, metavar="NS",
+        help="simulated-time watchdog budget per run in nanoseconds — a "
+        "deterministic ceiling, so timed-out runs are never retried "
+        "(default: unlimited)",
+    )
+    parser.add_argument(
+        "--failures-out", metavar="PATH", default=None,
+        help="failure-record sidecar (default: <out>/failures.jsonl; "
+        "written only when failures occurred or PATH was given)",
+    )
+    parser.add_argument(
+        "--keep-going", dest="keep_going", action="store_true", default=True,
+        help="continue past failed runs: quarantine them, aggregate over "
+        "the successes and exit 1 (default)",
+    )
+    parser.add_argument(
+        "--fail-fast", dest="keep_going", action="store_false",
+        help="abort the sweep on the first non-ok run (exit 2)",
+    )
+
+
+def _policy_from_args(args: argparse.Namespace) -> ResiliencePolicy:
+    """The sweep's :class:`ResiliencePolicy` (always on at the CLI)."""
+    try:
+        return ResiliencePolicy(
+            max_attempts=args.max_attempts,
+            run_timeout_s=args.run_timeout,
+            sim_budget_ns=args.sim_budget_ns,
+            keep_going=args.keep_going,
+        )
+    except ValueError as error:
+        raise SpecError(str(error)) from None
 
 
 def _add_selection_args(parser: argparse.ArgumentParser) -> None:
@@ -280,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
         "print a per-phase summary",
     )
     _add_cache_args(batch_parser)
+    _add_resilience_args(batch_parser)
 
     shard_parser = subparsers.add_parser(
         "shard", help="partition a sweep across hosts: plan, run one shard, merge"
@@ -328,6 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="build every run from scratch",
     )
     _add_cache_args(shard_run)
+    _add_resilience_args(shard_run)
 
     shard_merge = shard_subparsers.add_parser(
         "merge", help="reassemble shard outputs into the single-host batch artifacts"
@@ -345,6 +413,12 @@ def build_parser() -> argparse.ArgumentParser:
     shard_merge.add_argument(
         "--telemetry", action="store_true",
         help="time the merge into <out>/telemetry.jsonl and print a summary",
+    )
+    shard_merge.add_argument(
+        "--allow-partial", action="store_true",
+        help="merge whatever shards/runs exist, report the gaps in "
+        "<out>/coverage.json and exit 1 when runs are missing "
+        "(default: refuse to merge with shards absent)",
     )
 
     cache_parser = subparsers.add_parser(
@@ -364,6 +438,19 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache", metavar="DIR", default=None,
             help=f"result-store root (default: ${CACHE_ENV} when set)",
         )
+    cache_verify = cache_subparsers.add_parser(
+        "verify", help="check every entry's manifest and artifact digests"
+    )
+    cache_verify.set_defaults(handler=_cmd_cache_verify)
+    cache_verify.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help=f"result-store root (default: ${CACHE_ENV} when set)",
+    )
+    cache_verify.add_argument(
+        "--repair", action="store_true",
+        help="move failing entries into the store's .quarantine/ directory "
+        "so later sweeps re-simulate them",
+    )
 
     index_parser = subparsers.add_parser(
         "index", help="build/inspect the analytics corpus index over a store"
@@ -677,10 +764,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     engine = "fused" if args.fuse else "per-process"
     print(f"batch: {len(specs)} runs on {workers} {engine} worker(s)")
 
+    policy = _policy_from_args(args)
     batch = run_batch(specs, workers=workers,
                       collect_events=not args.no_events,
                       store=store, refresh=args.refresh,
-                      telemetry=telemetry, fuse=args.fuse)
+                      telemetry=telemetry, fuse=args.fuse, policy=policy)
     manifest = batch.write_outputs(args.out, include_events=not args.no_events)
     _finish_telemetry(telemetry, args.out)
 
@@ -698,7 +786,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     print(f"metrics -> {manifest['metrics']}")
     if not args.no_events:
         print(f"events  -> {len(manifest['events'])} JSONL files in {args.out}")
-    return 0
+    if batch.failures or args.failures_out:
+        failures_path = (args.failures_out
+                         or os.path.join(args.out, "failures.jsonl"))
+        written = write_failures(failures_path, batch.failures)
+        print(f"failures -> {failures_path} ({written} record(s))")
+    quarantined = batch.quarantined
+    if quarantined:
+        print(f"{len(quarantined)} of {len(specs)} run(s) quarantined:",
+              file=sys.stderr)
+        for record in quarantined:
+            print(f"  {record.summary()}", file=sys.stderr)
+        return EXIT_PARTIAL
+    return EXIT_OK
 
 
 def _cmd_shard_plan(args: argparse.Namespace) -> int:
@@ -744,8 +844,9 @@ def _cmd_shard_run(args: argparse.Namespace) -> int:
     store = _store_from_args(args)
     print(f"shard {plan.index}/{plan.shards}: {len(plan)} of {plan.total} runs "
           f"-> {out_dir}" + ("" if store is None else f"  (cache: {store.root})"))
+    policy = _policy_from_args(args)
     document = run_shard(plan, out_dir, store=store, refresh=args.refresh,
-                         telemetry=telemetry, fuse=args.fuse)
+                         telemetry=telemetry, fuse=args.fuse, policy=policy)
     _finish_telemetry(telemetry, out_dir)
     print(_run_summary_table(
         [entry["run"]["metrics"] for entry in document["runs"]]
@@ -753,7 +854,17 @@ def _cmd_shard_run(args: argparse.Namespace) -> int:
     print(f"shard complete: {document['executed']} simulated, "
           f"{document['cached']} from cache; metrics -> "
           f"{os.path.join(out_dir, 'shard.json')}")
-    return 0
+    if document.get("failed"):
+        sidecar = os.path.join(out_dir, "failures.jsonl")
+        if args.failures_out and args.failures_out != sidecar:
+            import shutil
+
+            shutil.copyfile(sidecar, args.failures_out)
+            sidecar = args.failures_out
+        print(f"{document['failed']} run(s) quarantined; "
+              f"failures -> {sidecar}", file=sys.stderr)
+        return EXIT_PARTIAL
+    return EXIT_OK
 
 
 def _cmd_shard_merge(args: argparse.Namespace) -> int:
@@ -762,15 +873,20 @@ def _cmd_shard_merge(args: argparse.Namespace) -> int:
     telemetry = _telemetry_recorder(args)
     manifest = merge_shards(
         args.shard_dirs, args.out, include_events=not args.no_events,
-        telemetry=telemetry,
+        telemetry=telemetry, allow_partial=args.allow_partial,
     )
     _finish_telemetry(telemetry, args.out)
-    print(f"merged {manifest['runs']} runs from {manifest['shards']} shard(s)")
+    print(f"merged {manifest['merged']} runs from {manifest['shards']} shard(s)")
     print(f"metrics   -> {manifest['metrics']}")
     print(f"aggregate -> {manifest['aggregate']}")
     if not args.no_events:
         print(f"events    -> {len(manifest['events'])} JSONL files in {args.out}")
-    return 0
+    if manifest["missing"]:
+        print(f"partial merge: {manifest['merged']} of {manifest['runs']} "
+              f"runs; missing indices {manifest['missing']}; "
+              f"coverage -> {manifest['coverage']}", file=sys.stderr)
+        return EXIT_PARTIAL
+    return EXIT_OK
 
 
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
@@ -801,6 +917,22 @@ def _cmd_cache_clear(args: argparse.Namespace) -> int:
     removed = store.clear()
     print(f"clear: removed {removed} entr(y/ies) from {store.root}")
     return 0
+
+
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    store = _store_from_args(args, required=True)
+    report = store.verify(repair=args.repair)
+    print(f"verify: {report['checked']} entr(y/ies) checked, "
+          f"{len(report['bad'])} failing")
+    for item in report["bad"]:
+        scenario = f" ({item['scenario']})" if item["scenario"] else ""
+        print(f"  {item['key'][:16]}{scenario}: {'; '.join(item['problems'])}")
+    if args.repair and report["quarantined"]:
+        print(f"repair: moved {report['quarantined']} entr(y/ies) to "
+              f"{store.quarantine_dir()}")
+    if report["bad"] and not args.repair:
+        return EXIT_PARTIAL
+    return EXIT_OK
 
 
 def _cmd_index_build(args: argparse.Namespace) -> int:
@@ -1122,18 +1254,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except ResilienceAbort as error:
+        print(f"error: fail-fast abort: {error}", file=sys.stderr)
+        return EXIT_UNUSABLE
     except SpecError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_UNUSABLE
     except GridError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_UNUSABLE
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_UNUSABLE
     except json.JSONDecodeError as error:
         print(f"error: not a metrics JSON file: {error}", file=sys.stderr)
-        return 2
+        return EXIT_UNUSABLE
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

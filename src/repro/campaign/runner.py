@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING
 
 from repro.campaign.metrics import RunResult
 from repro.campaign.registry import build_scenario
+from repro.resilience.hooks import chaos_point, tag_phase
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.workload.components import ScenarioBuild
@@ -89,6 +90,7 @@ def run_spec(
     refresh: bool = False,
     telemetry: Optional[Any] = None,
     fused: Optional[Any] = None,
+    budget: Optional[Any] = None,
 ) -> RunResult:
     """Run one scenario and return its structured result.
 
@@ -118,6 +120,13 @@ def run_spec(
     in-memory event collector is the context's pooled sink instead of a
     fresh allocation.  Reuse never reaches a deterministic artifact — a
     fused run's result is byte-identical to a build-from-scratch run.
+
+    *budget* (a :class:`~repro.resilience.watchdog.RunBudget`) arms a
+    watchdog on the simulator's advance hooks: a run exceeding its
+    simulated-ns or wall-clock ceiling is cancelled with a
+    :class:`~repro.resilience.watchdog.WatchdogTimeout` — the normal
+    cleanup path still closes sinks and resets the simulator, and a
+    cancelled run is never stored.
     """
     spec.validate()
     if store is not None and not refresh and not sinks:
@@ -141,18 +150,27 @@ def run_spec(
     staging_sink: Optional[JsonlStreamSink] = None
     staging_path: Optional[str] = None
     try:
-        if fused is not None:
-            # The fused engine's reuse path: the composition comes out of
-            # the context's per-process cache, so a sweep composes each
-            # distinct spec once no matter how many members repeat it.
-            build = build_scenario(
-                spec, telemetry=telemetry,
-                composition=fused.compositions.composition_for(spec),
-            )
-        elif telemetry is None:
-            build = build_scenario(spec)
-        else:
-            build = build_scenario(spec, telemetry=telemetry)
+        try:
+            chaos_point("build", scenario=spec.name)
+            if fused is not None:
+                # The fused engine's reuse path: the composition comes out of
+                # the context's per-process cache, so a sweep composes each
+                # distinct spec once no matter how many members repeat it.
+                build = build_scenario(
+                    spec, telemetry=telemetry,
+                    composition=fused.compositions.composition_for(spec),
+                )
+            elif telemetry is None:
+                build = build_scenario(spec)
+            else:
+                build = build_scenario(spec, telemetry=telemetry)
+        except Exception as error:
+            tag_phase(error, "build")
+            raise
+        if budget is not None:
+            from repro.resilience.watchdog import Watchdog
+
+            Watchdog(budget).arm(build.simulator)
         bus = build.simulator.obs
         if telemetry is not None:
             # Simulator-side publishers may emit on the telemetry topic;
@@ -209,6 +227,7 @@ def run_spec(
                 "run_start", build.simulator.now.nanoseconds,
                 scenario=spec.name, kernel=spec.kernel, seed=spec.seed,
             )
+        chaos_point("run-start", scenario=spec.name)
         start = time.perf_counter()
         build.simulator.run(SimTime.ms(spec.duration_ms))
         wall_clock_seconds = time.perf_counter() - start
@@ -228,12 +247,23 @@ def run_spec(
             bus.unsubscribe(telemetry)
         if staging_sink is not None:
             staging_sink.close()
-            if telemetry is not None:
-                with telemetry.span("store", scenario=spec.name):
-                    store.put(spec.to_dict(), metrics, events_path=staging_path)
-            else:
-                store.put(spec.to_dict(), metrics, events_path=staging_path)
+            try:
+                chaos_point("store", scenario=spec.name)
+                if telemetry is not None:
+                    with telemetry.span("store", scenario=spec.name):
+                        entry = store.put(
+                            spec.to_dict(), metrics, events_path=staging_path
+                        )
+                else:
+                    entry = store.put(
+                        spec.to_dict(), metrics, events_path=staging_path
+                    )
+            except Exception as error:
+                tag_phase(error, "store")
+                raise
             staging_sink = None
+            chaos_point("stored", scenario=spec.name,
+                        entry_dir=entry.entry_dir)
     finally:
         if stream_sink is not None:
             stream_sink.close()

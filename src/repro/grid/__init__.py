@@ -25,6 +25,7 @@ from repro.grid.shard import ShardPlan, plan_all_shards, plan_shard
 from repro.grid.store import (
     STORE_SCHEMA,
     GridError,
+    GridUsageError,
     ResultStore,
     StoredResult,
     code_fingerprint,
@@ -32,6 +33,7 @@ from repro.grid.store import (
 
 __all__ = [
     "GridError",
+    "GridUsageError",
     "ResultStore",
     "SHARD_SCHEMA",
     "STORE_SCHEMA",

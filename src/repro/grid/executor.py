@@ -55,6 +55,7 @@ def run_shard(
     progress: Optional[Any] = None,
     telemetry: Optional[Any] = None,
     fuse: bool = True,
+    policy: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Execute *plan*, writing per-run event streams and ``shard.json``.
 
@@ -74,6 +75,14 @@ def run_shard(
     runs, so repeated specs compose once per shard process instead of once
     per run; ``fuse=False`` restores the build-from-scratch path.  The
     written artifacts are byte-identical either way.
+
+    *policy* (a :class:`~repro.resilience.envelope.ResiliencePolicy`)
+    envelopes failures instead of raising them through: a failed run
+    leaves no entry in ``shard.json`` (the merge's coverage reporting
+    names the gap), its per-attempt records land in a
+    ``failures.jsonl`` sidecar next to the shard document, and the
+    document's ``failed`` count is non-zero.  Failure data never enters
+    ``shard.json`` or any event stream.
     """
     fused_context = None
     gc_pause: Any = contextlib.nullcontext()
@@ -82,26 +91,58 @@ def run_shard(
 
         fused_context = FusedRunContext()
         gc_pause = paused_gc()
+    budget = policy.budget() if policy is not None else None
+    failure_records: List[Any] = []
     os.makedirs(out_dir, exist_ok=True)
     entries: List[Dict[str, Any]] = []
-    executed = cached = 0
+    executed = cached = failed = 0
     with gc_pause:
         for global_index, spec in plan.runs:
             events_name = run_events_filename(global_index, spec.name)
+            events_path = os.path.join(out_dir, events_name)
             run_telemetry = None
             if telemetry is not None:
                 from repro.analytics.telemetry import TelemetryRecorder
 
                 run_telemetry = TelemetryRecorder()
-            result = run_spec(
-                spec,
-                collect_events=False,
-                events_stream=os.path.join(out_dir, events_name),
-                store=store,
-                refresh=refresh,
-                telemetry=run_telemetry,
-                fused=fused_context,
-            )
+            if policy is None:
+                result = run_spec(
+                    spec,
+                    collect_events=False,
+                    events_stream=events_path,
+                    store=store,
+                    refresh=refresh,
+                    telemetry=run_telemetry,
+                    fused=fused_context,
+                )
+            else:
+                from repro.resilience.envelope import ResilienceAbort
+                from repro.resilience.executor import execute_with_retries
+
+                def run_once(_attempt: int, spec: Any = spec) -> Any:
+                    # Each attempt reopens the stream path, so a retry
+                    # overwrites the failed attempt's partial stream.
+                    return run_spec(
+                        spec, collect_events=False,
+                        events_stream=events_path, store=store,
+                        refresh=refresh, telemetry=run_telemetry,
+                        fused=fused_context, budget=budget,
+                    )
+
+                result, _outcome, records = execute_with_retries(
+                    run_once, spec, global_index, policy)
+                failure_records.extend(records)
+                if result is None:
+                    failed += 1
+                    # A failed run's partial stream must not look like an
+                    # artifact to a later merge.
+                    with contextlib.suppress(OSError):
+                        os.remove(events_path)
+                    if fused_context is not None:
+                        fused_context.reap()
+                    if not policy.keep_going:
+                        raise ResilienceAbort(records[-1])
+                    continue
             if fused_context is not None:
                 fused_context.reap()
             if telemetry is not None:
@@ -122,6 +163,11 @@ def run_shard(
             })
             if progress is not None:
                 progress(global_index, result)
+    if failure_records:
+        from repro.resilience.envelope import write_failures
+
+        write_failures(os.path.join(out_dir, "failures.jsonl"),
+                       failure_records)
     document = {
         "schema": SHARD_SCHEMA,
         "shards": plan.shards,
@@ -129,6 +175,7 @@ def run_shard(
         "total": plan.total,
         "executed": executed,
         "cached": cached,
+        "failed": failed,
         "runs": entries,
     }
     with open(os.path.join(out_dir, SHARD_DOCUMENT), "w", encoding="utf-8") as handle:
@@ -161,21 +208,34 @@ def _load_shard_document(shard_dir: str) -> Dict[str, Any]:
     return document
 
 
+#: Schema identifier of the ``coverage.json`` gap manifest.
+COVERAGE_SCHEMA = "repro-coverage/1"
+
+
 def merge_shards(
     shard_dirs: Sequence[str],
     out_dir: str,
     include_events: bool = True,
     telemetry: Optional[Any] = None,
+    allow_partial: bool = False,
 ) -> Dict[str, Any]:
     """Reassemble shard outputs into the single-host batch artifact set.
 
     Validates that the shard documents describe one sweep (identical shard
     count and total), that every global run index of the sweep is present
     exactly once, and that every referenced event stream exists — any
-    violation raises :class:`GridError` with a one-line message.  Writes
-    ``metrics.json``, ``aggregate.json`` and the per-run event streams into
-    *out_dir*; ``aggregate.json`` is byte-identical to the one a
-    single-host ``repro batch`` over the same matrix writes.
+    violation raises :class:`GridError` with a one-line message naming
+    exactly which global run indices and which shard indices are absent.
+    Writes ``metrics.json``, ``aggregate.json`` and the per-run event
+    streams into *out_dir*; ``aggregate.json`` is byte-identical to the
+    one a single-host ``repro batch`` over the same matrix writes.
+
+    *allow_partial* degrades gracefully instead: whatever runs exist are
+    merged (the aggregate covers exactly those), and a machine-readable
+    ``coverage.json`` gap manifest (schema :data:`COVERAGE_SCHEMA`) records
+    the missing run indices and absent shards.  A full sweep merged with
+    ``allow_partial=True`` writes the identical ``aggregate.json`` plus a
+    gap-free manifest.
 
     *telemetry* records the merge as one ``merge`` span; the written
     artifacts are identical with or without it.
@@ -183,7 +243,23 @@ def merge_shards(
     merge_start = time.perf_counter()
     if not shard_dirs:
         raise GridError("no shard directories to merge")
-    documents = [(d, _load_shard_document(d)) for d in shard_dirs]
+    documents = []
+    unreadable_dirs: List[str] = []
+    unreadable_reasons: List[str] = []
+    for shard_dir in shard_dirs:
+        # A named dir whose shard.json is missing or corrupt is an absent
+        # shard: fold it into the precise gap report below instead of
+        # dying on the first bad directory.
+        try:
+            documents.append((shard_dir, _load_shard_document(shard_dir)))
+        except GridError as error:
+            unreadable_dirs.append(shard_dir)
+            unreadable_reasons.append(str(error))
+    if not documents:
+        raise GridError(
+            "none of the shard directories contain a readable shard "
+            "document: " + "; ".join(unreadable_reasons)
+        )
 
     shards = documents[0][1]["shards"]
     total = documents[0][1]["total"]
@@ -208,29 +284,53 @@ def merge_shards(
             by_index[index] = entry
             source_dirs[index] = shard_dir
     missing = [index for index in range(total) if index not in by_index]
-    if missing:
+    present_shards = sorted({document["index"] for _, document in documents})
+    absent_shards = sorted(set(range(shards)) - set(present_shards))
+    if missing and not allow_partial:
+        absent = (f"; absent shard(s): {absent_shards}"
+                  if absent_shards else "")
+        bad_dirs = (f"; unreadable shard dir(s): {unreadable_dirs}"
+                    if unreadable_dirs else "")
         raise GridError(
             f"sweep is incomplete: missing run indices {missing} "
-            f"({len(by_index)} of {total} runs present — merge every shard)"
+            f"({len(by_index)} of {total} runs present{absent}{bad_dirs}) — "
+            f"merge every shard or pass --allow-partial"
+        )
+    if unreadable_dirs and not allow_partial:
+        raise GridError(
+            f"unreadable shard dir(s): {unreadable_dirs} — every run is "
+            "covered elsewhere, but a named shard directory holds no "
+            "readable shard document"
         )
 
     os.makedirs(out_dir, exist_ok=True)
-    ordered = [by_index[index] for index in range(total)]
+    ordered = [by_index[index] for index in sorted(by_index)]
+    unreadable: List[int] = []
     event_paths: List[str] = []
     if include_events:
+        kept: List[Dict[str, Any]] = []
         for entry in ordered:
             source = os.path.join(source_dirs[entry["index"]], entry["events"])
             if not os.path.isfile(source):
+                if allow_partial:
+                    # The run's metrics exist but its stream is gone —
+                    # drop it entirely so the merged artifact set stays
+                    # self-consistent, and report it as a gap.
+                    unreadable.append(entry["index"])
+                    continue
                 raise GridError(f"missing event stream {source!r}")
             destination = os.path.join(out_dir, entry["events"])
             if os.path.abspath(source) != os.path.abspath(destination):
                 shutil.copyfile(source, destination)
             event_paths.append(destination)
+            kept.append(entry)
+        if allow_partial:
+            ordered = kept
 
     runs = [entry["run"] for entry in ordered]
     deterministic = {
         "campaign": {
-            "runs": total,
+            "runs": len(runs),
             "scenarios": [run["metrics"]["scenario"] for run in runs],
         },
         "runs": runs,
@@ -252,6 +352,25 @@ def merge_shards(
     with open(aggregate_path, "w", encoding="utf-8") as handle:
         handle.write(canonical_json(deterministic))
         handle.write("\n")
+
+    all_missing = sorted(set(missing) | set(unreadable))
+    coverage_path: Optional[str] = None
+    if allow_partial:
+        coverage = {
+            "schema": COVERAGE_SCHEMA,
+            "total": total,
+            "shards": shards,
+            "merged": len(runs),
+            "merged_indices": [entry["index"] for entry in ordered],
+            "missing_indices": all_missing,
+            "present_shards": present_shards,
+            "absent_shards": absent_shards,
+        }
+        coverage_path = os.path.join(out_dir, "coverage.json")
+        with open(coverage_path, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(coverage))
+            handle.write("\n")
+
     if telemetry is not None:
         telemetry.record(
             "merge", time.perf_counter() - merge_start,
@@ -262,5 +381,8 @@ def merge_shards(
         "aggregate": aggregate_path,
         "events": event_paths,
         "runs": total,
+        "merged": len(runs),
+        "missing": all_missing,
+        "coverage": coverage_path,
         "shards": shards,
     }

@@ -51,6 +51,15 @@ class GridError(RuntimeError):
     """A grid-layer failure that deserves a one-line CLI error, not a traceback."""
 
 
+class GridUsageError(GridError, ValueError):
+    """A grid API called with unusable arguments.
+
+    Both a :class:`GridError` (the CLI renders it as a one-line error with
+    exit code 2) and a :class:`ValueError` (callers that guard argument
+    mistakes the Python way keep working).
+    """
+
+
 # ----------------------------------------------------------------------
 # Code fingerprint
 # ----------------------------------------------------------------------
@@ -242,21 +251,36 @@ class ResultStore:
         document = spec.to_dict() if isinstance(spec, ScenarioSpec) else dict(spec)
         return spec_hash_from_document(document)
 
-    def _verified_manifest(self, key: str, entry_dir: str) -> Optional[Dict[str, Any]]:
+    def entry_problems(
+        self, key: str, entry_dir: str
+    ) -> Tuple[Optional[Dict[str, Any]], List[str]]:
+        """Integrity report for one entry: ``(manifest, problems)``.
+
+        An empty problem list means the entry is servable; otherwise each
+        string names one verification failure (unreadable/corrupt manifest,
+        schema or fingerprint mismatch, artifact digest mismatch).  The
+        manifest is returned even for failing entries when it parses at
+        all, so callers can still name the scenario they are discarding.
+        """
         manifest_path = os.path.join(entry_dir, "manifest.json")
         try:
             with open(manifest_path, "r", encoding="utf-8") as handle:
                 manifest = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            return None
+        except OSError as error:
+            return None, [f"unreadable manifest: {error}"]
+        except json.JSONDecodeError as error:
+            return None, [f"corrupt manifest: {error}"]
         if not isinstance(manifest, dict):
-            return None
+            return None, ["manifest is not a JSON object"]
+        problems: List[str] = []
         if manifest.get("schema") != STORE_SCHEMA:
-            return None
+            problems.append(
+                f"schema {manifest.get('schema')!r} != {STORE_SCHEMA!r}"
+            )
         if manifest.get("spec_hash") != key:
-            return None
+            problems.append("spec_hash does not match the entry key")
         if manifest.get("fingerprint") != self.fingerprint:
-            return None
+            problems.append("code fingerprint mismatch (stale entry)")
         for artifact, digest_key in (
             ("metrics.json", "metrics_sha256"),
             ("events.jsonl", "events_sha256"),
@@ -264,9 +288,15 @@ class ResultStore:
             path = os.path.join(entry_dir, artifact)
             try:
                 if _file_sha256(path) != manifest.get(digest_key):
-                    return None
+                    problems.append(f"{artifact} digest mismatch")
             except OSError:
-                return None
+                problems.append(f"{artifact} missing or unreadable")
+        return manifest, problems
+
+    def _verified_manifest(self, key: str, entry_dir: str) -> Optional[Dict[str, Any]]:
+        manifest, problems = self.entry_problems(key, entry_dir)
+        if problems:
+            return None
         return manifest
 
     # -- writing -----------------------------------------------------------
@@ -286,7 +316,9 @@ class ResultStore:
         existing entry for the same key is atomically replaced.
         """
         if (events is None) == (events_path is None):
-            raise ValueError("put() needs exactly one of events / events_path")
+            raise GridUsageError(
+                "put() needs exactly one of events / events_path"
+            )
         key = spec_hash_from_document(spec_document)
         staging = os.path.join(self._staging_dir(), f"{key}.{os.getpid()}.entry")
         if os.path.isdir(staging):
@@ -429,6 +461,51 @@ class ResultStore:
             "scenarios": dict(sorted(scenarios.items())),
         }
 
+    def quarantine_dir(self) -> str:
+        """Where :meth:`verify` moves failing entries (never served)."""
+        return os.path.join(self.root, ".quarantine")
+
+    def verify(self, repair: bool = False) -> Dict[str, Any]:
+        """Scan every entry and report the ones failing verification.
+
+        Today a damaged entry is only ever discovered lazily, as a silent
+        cache miss; ``verify`` surfaces them all at once.  Returns
+        ``{"checked", "bad": [{key, scenario, problems}], "quarantined"}``.
+        With *repair*, each failing entry is moved into the store's
+        ``.quarantine/`` directory (a dot-directory, so it is invisible to
+        lookups, stats and iteration) where it can be inspected or
+        deleted; the store itself is clean afterwards.
+        """
+        bad: List[Dict[str, Any]] = []
+        checked = 0
+        for key, entry_dir in self._entry_dirs():
+            checked += 1
+            manifest, problems = self.entry_problems(key, entry_dir)
+            if not problems:
+                continue
+            scenario = ""
+            if isinstance(manifest, dict):
+                scenario = manifest.get("scenario", "")
+            bad.append({"key": key, "scenario": scenario,
+                        "problems": problems})
+        quarantined = 0
+        if repair and bad:
+            quarantine_root = self.quarantine_dir()
+            os.makedirs(quarantine_root, exist_ok=True)
+            for item in bad:
+                entry_dir = self.entry_dir(item["key"])
+                destination = os.path.join(quarantine_root, item["key"])
+                shutil.rmtree(destination, ignore_errors=True)
+                shutil.move(entry_dir, destination)
+                quarantined += 1
+            # Fan-out directories emptied by the moves.
+            for prefix in os.listdir(self.root):
+                path = os.path.join(self.root, prefix)
+                if (not prefix.startswith(".") and os.path.isdir(path)
+                        and not os.listdir(path)):
+                    os.rmdir(path)
+        return {"checked": checked, "bad": bad, "quarantined": quarantined}
+
     def gc(self) -> Dict[str, int]:
         """Drop unusable entries (stale or corrupt) and stray staging files."""
         removed = kept = 0
@@ -461,6 +538,7 @@ class ResultStore:
         for _, entry_dir in self._entry_dirs():
             shutil.rmtree(entry_dir)
             removed += 1
+        shutil.rmtree(self.quarantine_dir(), ignore_errors=True)
         self.gc()
         return removed
 

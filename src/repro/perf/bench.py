@@ -48,7 +48,7 @@ BENCH_SCHEMA = "repro-bench/1"
 
 #: The PR this checkout's trajectory file belongs to; bumped by each PR that
 #: records a new data point.
-CURRENT_PR = 7
+CURRENT_PR = 8
 
 #: Scenarios cheap enough to run on every ``repro bench`` invocation.
 DEFAULT_SCENARIOS = (
@@ -400,6 +400,57 @@ def bench_batch_fused(
     }
 
 
+def bench_resilience(
+    members: int = 24, duration_ms: float = 5.0, repeats: int = 3
+) -> Dict[str, Any]:
+    """Failure-envelope bookkeeping overhead on a clean fused sweep.
+
+    The PR-8 gate: the same seeded family swept once through the plain
+    fused serial engine and once through the resilient engine with the
+    default :class:`~repro.resilience.envelope.ResiliencePolicy` — retry
+    accounting, outcome envelopes and chaos points armed, but every run
+    healthy.  Both sweeps produce byte-identical deterministic documents;
+    the resilient one may only pay a small bookkeeping tax
+    (``overhead_pct``, gated at 3% in the committed trajectory).
+    """
+    import gc
+
+    from repro.campaign.batch import run_batch
+    from repro.resilience.envelope import ResiliencePolicy
+    from repro.workload.families import FamilySpec, expand_family
+
+    family = FamilySpec(
+        name="bench-resilience", count=members, seed=9,
+        kernels=("tkernel", "rtkspec1", "rtkspec2"),
+        duration_ms=duration_ms,
+    )
+    specs = expand_family(family)
+    policy = ResiliencePolicy()
+    # Warm imports and the composition cache outside the timed region.
+    run_batch(specs[:2], workers=1, collect_events=False)
+    run_batch(specs[:2], workers=1, collect_events=False, policy=policy)
+
+    plain = resilient = 0.0
+    for _ in range(repeats):
+        gc.collect()
+        start = time.perf_counter()
+        run_batch(specs, workers=1, collect_events=False)
+        elapsed = time.perf_counter() - start
+        plain = max(plain, members / elapsed)
+        gc.collect()
+        start = time.perf_counter()
+        run_batch(specs, workers=1, collect_events=False, policy=policy)
+        elapsed = time.perf_counter() - start
+        resilient = max(resilient, members / elapsed)
+    return {
+        "members": members,
+        "duration_ms": duration_ms,
+        "plain_runs_per_s": plain,
+        "resilient_runs_per_s": resilient,
+        "overhead_pct": (plain / resilient - 1.0) * 100.0 if resilient else None,
+    }
+
+
 def bench_analytics(
     runs: int = 64, repeats: int = 3, queries: int = 50
 ) -> Dict[str, Any]:
@@ -515,6 +566,9 @@ def run_benchmarks(
     batch = bench_batch_fused(
         members=8 if quick else 24, repeats=1 if quick else 3
     )
+    resilience = bench_resilience(
+        members=8 if quick else 24, repeats=1 if quick else 3
+    )
     return {
         "schema": BENCH_SCHEMA,
         "pr": CURRENT_PR,
@@ -534,6 +588,7 @@ def run_benchmarks(
         "workload": workload,
         "analytics": analytics,
         "batch": batch,
+        "resilience": resilience,
         "scenarios": scenario_results,
     }
 
@@ -542,7 +597,7 @@ def run_benchmarks(
 _REQUIRED_TOP_LEVEL = (
     "schema", "pr", "quick", "created_utc", "host",
     "microbench", "table2", "grid", "workload", "analytics", "batch",
-    "scenarios",
+    "resilience", "scenarios",
 )
 _REQUIRED_MICROBENCH = (
     "timed_waits_per_s", "timeout_waits_per_s",
@@ -601,6 +656,20 @@ def validate_report(document: Dict[str, Any]) -> List[str]:
             problems.append(
                 f"batch.{key} must be a positive number, got {value!r}"
             )
+    resilience = document.get("resilience", {})
+    for key in ("members", "plain_runs_per_s", "resilient_runs_per_s"):
+        value = resilience.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            problems.append(
+                f"resilience.{key} must be a positive number, got {value!r}"
+            )
+    if not isinstance(resilience.get("overhead_pct"), (int, float)):
+        # Negative is fine (noise can favour the resilient engine); absent
+        # or non-numeric is not.
+        problems.append(
+            "resilience.overhead_pct must be a number, got "
+            f"{resilience.get('overhead_pct')!r}"
+        )
     if workload.get("family_members") != 100:
         problems.append(
             "workload.family_members must be 100, got "
@@ -664,6 +733,14 @@ def render_report(document: Dict[str, Any]) -> str:
             f"  fused sweep      : {batch['fused_runs_per_s']:>12,.0f} runs/s "
             f"vs {batch['per_process_runs_per_s']:,.0f} per-process "
             f"({batch['fused_speedup']:.2f}x, {batch['members']} members)"
+        )
+    resilience = document.get("resilience")
+    if resilience:
+        lines.append(
+            f"  resilience tax   : {resilience['overhead_pct']:>11.2f} % "
+            f"({resilience['resilient_runs_per_s']:,.0f} vs "
+            f"{resilience['plain_runs_per_s']:,.0f} runs/s, "
+            f"{resilience['members']} members)"
         )
     rows = [
         (

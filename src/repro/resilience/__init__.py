@@ -1,0 +1,80 @@
+"""Fault-tolerant sweep execution: envelopes, watchdogs, retry, chaos.
+
+The resilience plane turns all-or-nothing sweeps into campaigns that
+survive bad members: failures become structured outcomes in a
+``failures.jsonl`` sidecar (never a deterministic artifact), runaway runs
+are cancelled by per-run budgets, transient failures retry without
+changing a single output byte, persistent ones quarantine, and a crashed
+pool worker triggers group bisection to isolate the poison spec.
+
+Layering:
+
+* :mod:`repro.resilience.hooks` — the only module production paths import
+  (no-op chaos points, phase tagging, the current-run-index slot);
+* :mod:`repro.resilience.watchdog` — per-run wall-clock / simulated-ns
+  budgets armed through the simulator's advance hooks;
+* :mod:`repro.resilience.envelope` — outcomes, failure records, the
+  sidecar, retry classification, policy and the CLI exit taxonomy;
+* :mod:`repro.resilience.executor` — the resilient batch engine
+  (:func:`repro.campaign.batch.run_batch` delegates here when a policy is
+  attached);
+* :mod:`repro.resilience.chaos` — the deterministic fault injector; only
+  ever loaded by a harness that installs it explicitly.
+"""
+
+from repro.resilience.envelope import (
+    EXIT_OK,
+    EXIT_PARTIAL,
+    EXIT_UNUSABLE,
+    FAILURES_SCHEMA,
+    OUTCOME_CRASHED,
+    OUTCOME_FAILED,
+    OUTCOME_OK,
+    OUTCOME_TIMED_OUT,
+    OUTCOMES,
+    FailureLog,
+    FailureRecord,
+    ResilienceAbort,
+    ResiliencePolicy,
+    WorkerCrash,
+    is_transient,
+    load_failures,
+    write_failures,
+)
+from repro.resilience.watchdog import RunBudget, Watchdog, WatchdogTimeout
+
+
+def __getattr__(name):
+    # The executor pulls in the campaign layer, which itself imports
+    # ``repro.resilience.hooks`` — resolve it lazily so importing this
+    # package from the runner's hot path can never cycle.
+    if name in ("execute_with_retries", "run_batch_resilient"):
+        from repro.resilience import executor
+
+        return getattr(executor, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "EXIT_OK",
+    "EXIT_PARTIAL",
+    "EXIT_UNUSABLE",
+    "FAILURES_SCHEMA",
+    "OUTCOME_CRASHED",
+    "OUTCOME_FAILED",
+    "OUTCOME_OK",
+    "OUTCOME_TIMED_OUT",
+    "OUTCOMES",
+    "FailureLog",
+    "FailureRecord",
+    "ResilienceAbort",
+    "ResiliencePolicy",
+    "RunBudget",
+    "Watchdog",
+    "WatchdogTimeout",
+    "WorkerCrash",
+    "execute_with_retries",
+    "is_transient",
+    "load_failures",
+    "run_batch_resilient",
+    "write_failures",
+]

@@ -1,0 +1,347 @@
+"""Failure envelopes: structured outcomes instead of raw tracebacks.
+
+Every run a resilient sweep executes ends in exactly one of four outcomes
+(:data:`OUTCOME_OK`, :data:`OUTCOME_FAILED`, :data:`OUTCOME_TIMED_OUT`,
+:data:`OUTCOME_CRASHED`).  A non-ok run produces one
+:class:`FailureRecord` per attempt — a canonical, JSONL-able document
+carrying the spec hash, the pipeline phase the exception escaped from,
+the exception class/message, a truncated traceback and the attempt
+number — and the *last* record of a run that exhausted its attempts is
+marked ``quarantined`` (the quarantine ledger is simply the set of
+quarantined records).
+
+Failure records follow the telemetry rule exactly: they live only in a
+``failures.jsonl`` sidecar (schema :data:`FAILURES_SCHEMA`), never in
+spec hashes, stored artifacts, deterministic aggregates or golden
+streams.  Aggregates are computed over successes alone.
+
+Retry classification is deliberately narrow: *transient* means the class
+of failure that can genuinely differ on a retry of the identical,
+deterministic run — worker crashes, host I/O (``OSError``), and anything
+that explicitly marks itself ``transient = True`` (the chaos harness's
+transient faults do).  Watchdog timeouts are never transient: the
+simulated-time ceiling is deterministic, so a retry would time out
+identically.  Because retries re-run the *same* spec with the *same*
+derived seed, a sweep whose transient failures all succeeded on retry is
+byte-identical to a sweep that never failed.
+
+The CLI's exit-code taxonomy lives here too: 0 — everything ran and
+aggregated; 1 — the sweep is usable but partial (quarantined runs, a
+coverage-gapped merge, failed integrity checks); 2 — the invocation was
+unusable (bad arguments, unreadable inputs, fail-fast abort refusing to
+produce output).
+"""
+
+from __future__ import annotations
+
+import json
+import traceback as _traceback
+from dataclasses import dataclass
+from typing import Any, Dict, IO, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.resilience.hooks import phase_of
+from repro.resilience.watchdog import RunBudget
+
+# -- outcomes ----------------------------------------------------------
+OUTCOME_OK = "ok"
+OUTCOME_FAILED = "failed"
+OUTCOME_TIMED_OUT = "timed-out"
+OUTCOME_CRASHED = "crashed"
+
+OUTCOMES = (OUTCOME_OK, OUTCOME_FAILED, OUTCOME_TIMED_OUT, OUTCOME_CRASHED)
+
+#: Schema identifier carried by every failure record.
+FAILURES_SCHEMA = "repro-failures/1"
+
+#: Lines kept from the tail of a formatted traceback (the raising frames).
+TRACEBACK_LIMIT_LINES = 20
+
+#: Characters kept of an exception message.
+MESSAGE_LIMIT = 500
+
+# -- exit-code taxonomy ------------------------------------------------
+EXIT_OK = 0
+EXIT_PARTIAL = 1
+EXIT_UNUSABLE = 2
+
+
+class WorkerCrash(RuntimeError):
+    """A pool worker process died (SIGKILL, OOM, hard crash) mid-run.
+
+    Raised coordinator-side when the pool reports brokenness; transient by
+    definition — the crash is a host event, not a property of the spec —
+    so the run retries up to the policy's attempt cap before quarantine.
+    """
+
+    outcome = OUTCOME_CRASHED
+    transient = True
+
+
+class ResilienceAbort(RuntimeError):
+    """Fail-fast: the first non-ok outcome aborted the sweep.
+
+    Carries the triggering :class:`FailureRecord`; the CLI renders it as a
+    one-line error with exit code :data:`EXIT_UNUSABLE` (a fail-fast sweep
+    refuses to produce partial output, unlike ``keep_going`` mode which
+    completes with :data:`EXIT_PARTIAL`).
+    """
+
+    def __init__(self, record: "FailureRecord"):
+        self.record = record
+        super().__init__(record.summary())
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether a retry of the identical run could plausibly succeed."""
+    if getattr(error, "transient", False):
+        return True
+    return isinstance(error, OSError)
+
+
+def outcome_of(error: BaseException) -> str:
+    """The outcome class of a failed attempt (never :data:`OUTCOME_OK`)."""
+    outcome = getattr(error, "outcome", None)
+    if outcome in (OUTCOME_TIMED_OUT, OUTCOME_CRASHED, OUTCOME_FAILED):
+        return outcome
+    return OUTCOME_FAILED
+
+
+# -- records -----------------------------------------------------------
+@dataclass
+class FailureRecord:
+    """One failed attempt of one run, in canonical sidecar form."""
+
+    outcome: str
+    scenario: str
+    spec_hash: str
+    phase: str
+    exception: str
+    message: str
+    traceback: str = ""
+    attempt: int = 1
+    index: Optional[int] = None
+    transient: bool = False
+    quarantined: bool = False
+
+    @classmethod
+    def from_exception(
+        cls,
+        error: BaseException,
+        spec: Any,
+        attempt: int = 1,
+        index: Optional[int] = None,
+    ) -> "FailureRecord":
+        """Envelope *error* raised while executing *spec*.
+
+        *spec* is a :class:`~repro.campaign.spec.ScenarioSpec` or its
+        ``to_dict`` document; the spec hash is computed here so a failure
+        is addressable against the result store without ever entering it.
+        """
+        from repro.campaign.spec import spec_hash, spec_hash_from_document
+
+        try:
+            if isinstance(spec, Mapping):
+                key = spec_hash_from_document(spec)
+            else:
+                key = spec_hash(spec)
+        except Exception:  # a spec too malformed to hash still gets a record
+            key = ""
+        formatted = _traceback.format_exception(
+            type(error), error, error.__traceback__
+        )
+        tail = "".join(formatted).splitlines(keepends=True)
+        if isinstance(spec, Mapping):
+            scenario = spec.get("name", "") or ""
+        else:
+            scenario = getattr(spec, "name", "") or ""
+        return cls(
+            outcome=outcome_of(error),
+            scenario=scenario,
+            spec_hash=key,
+            phase=phase_of(error),
+            exception=type(error).__name__,
+            message=str(error)[:MESSAGE_LIMIT],
+            traceback="".join(tail[-TRACEBACK_LIMIT_LINES:]),
+            attempt=attempt,
+            index=index,
+            transient=is_transient(error),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": FAILURES_SCHEMA,
+            "outcome": self.outcome,
+            "scenario": self.scenario,
+            "spec_hash": self.spec_hash,
+            "phase": self.phase,
+            "exception": self.exception,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempt": self.attempt,
+            "index": self.index,
+            "transient": self.transient,
+            "quarantined": self.quarantined,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "FailureRecord":
+        return cls(
+            outcome=document.get("outcome", OUTCOME_FAILED),
+            scenario=document.get("scenario", ""),
+            spec_hash=document.get("spec_hash", ""),
+            phase=document.get("phase", "run"),
+            exception=document.get("exception", ""),
+            message=document.get("message", ""),
+            traceback=document.get("traceback", ""),
+            attempt=int(document.get("attempt", 1)),
+            index=document.get("index"),
+            transient=bool(document.get("transient", False)),
+            quarantined=bool(document.get("quarantined", False)),
+        )
+
+    def summary(self) -> str:
+        """The one-line human form (CLI failure listings)."""
+        where = f"run {self.index} " if self.index is not None else ""
+        return (
+            f"{where}({self.scenario}) {self.outcome} in phase "
+            f"{self.phase} after attempt {self.attempt}: "
+            f"{self.exception}: {self.message}"
+        )
+
+
+# -- the sidecar -------------------------------------------------------
+class FailureLog:
+    """Append-only ``failures.jsonl`` writer, flushed per record.
+
+    Each line is one :class:`FailureRecord` document in canonical JSON.
+    Flush-per-line means a sweep killed mid-write loses at most one —
+    possibly torn — trailing line, which :func:`load_failures` tolerates.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.lines_written = 0
+        self._handle: Optional[IO[str]] = None
+
+    def append(self, record: "Union[FailureRecord, Mapping[str, Any]]") -> None:
+        from repro.obs.bus import canonical_json
+
+        document = (
+            record.to_dict() if isinstance(record, FailureRecord)
+            else dict(record)
+        )
+        if self._handle is None:
+            self._handle = open(self.path, "w", encoding="utf-8")
+        self._handle.write(canonical_json(document))
+        self._handle.write("\n")
+        self._handle.flush()
+        self.lines_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "FailureLog":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+def write_failures(
+    path: str, records: Iterable["Union[FailureRecord, Mapping[str, Any]]"]
+) -> int:
+    """Write *records* to the sidecar at *path*; returns lines written.
+
+    Unlike a bare :class:`FailureLog`, this always creates the file — an
+    explicitly requested sidecar should exist even when empty.
+    """
+    with FailureLog(path) as log:
+        for record in records:
+            log.append(record)
+        written = log.lines_written
+    if written == 0:
+        open(path, "w", encoding="utf-8").close()
+    return written
+
+
+def load_failures(path: str) -> Tuple[List[Dict[str, Any]], int]:
+    """Read a failures sidecar, skipping torn lines.
+
+    Returns ``(records, torn_lines)`` — a torn trailing line (the process
+    died mid-write) or an injected torn write must not take the readable
+    records down with it.
+    """
+    records: List[Dict[str, Any]] = []
+    torn = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                document = json.loads(line)
+            except json.JSONDecodeError:
+                torn += 1
+                continue
+            if isinstance(document, dict):
+                records.append(document)
+            else:
+                torn += 1
+    return records, torn
+
+
+# -- policy ------------------------------------------------------------
+@dataclass
+class ResiliencePolicy:
+    """How a sweep treats its failures.
+
+    The default policy — used by the CLI whenever a sweep runs — envelopes
+    failures, retries transients once, keeps going past quarantined runs
+    and aggregates over the successes.  ``policy=None`` at the library
+    layer keeps the historical raise-through behaviour.
+    """
+
+    #: Total attempts per run (first try included); transient failures
+    #: retry until this cap, persistent ones quarantine immediately.
+    max_attempts: int = 2
+    #: Host wall-clock budget per run, seconds (``None`` = unlimited).
+    run_timeout_s: Optional[float] = None
+    #: Simulated-time budget per run, nanoseconds (``None`` = unlimited).
+    sim_budget_ns: Optional[int] = None
+    #: Keep sweeping past failed runs (quarantine + partial exit code);
+    #: ``False`` aborts on the first non-ok outcome (fail-fast).
+    keep_going: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.run_timeout_s is not None and self.run_timeout_s <= 0:
+            raise ValueError("run_timeout_s must be positive")
+        if self.sim_budget_ns is not None and self.sim_budget_ns <= 0:
+            raise ValueError("sim_budget_ns must be positive")
+
+    def budget(self) -> Optional[RunBudget]:
+        """The per-run :class:`RunBudget`, or ``None`` when unlimited."""
+        if self.run_timeout_s is None and self.sim_budget_ns is None:
+            return None
+        return RunBudget(wall_seconds=self.run_timeout_s,
+                         sim_ns=self.sim_budget_ns)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "max_attempts": self.max_attempts,
+            "run_timeout_s": self.run_timeout_s,
+            "sim_budget_ns": self.sim_budget_ns,
+            "keep_going": self.keep_going,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "ResiliencePolicy":
+        return cls(
+            max_attempts=int(document.get("max_attempts", 2)),
+            run_timeout_s=document.get("run_timeout_s"),
+            sim_budget_ns=document.get("sim_budget_ns"),
+            keep_going=bool(document.get("keep_going", True)),
+        )

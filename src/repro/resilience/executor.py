@@ -1,0 +1,615 @@
+"""Resilient sweep execution: retry, quarantine, crashed-worker bisection.
+
+This is the fault-tolerant twin of :func:`repro.campaign.batch.run_batch`
+(which delegates here whenever a :class:`ResiliencePolicy` is attached).
+The deterministic contract is unchanged — a resilient sweep whose runs all
+succeed (including after transient-failure retries, which re-run the same
+spec with the same derived seed) produces byte-identical artifacts to a
+plain sweep — but failures stop being sweep-fatal:
+
+* every run finishes in a structured outcome (``ok`` / ``failed`` /
+  ``timed-out`` / ``crashed``) with per-attempt :class:`FailureRecord`\\ s
+  destined for the ``failures.jsonl`` sidecar;
+* transient failures (worker crash, host I/O, injected transients) retry
+  up to ``policy.max_attempts``; persistent ones quarantine immediately;
+  watchdog timeouts never retry (a deterministic ceiling repeats);
+* a pool worker dying mid-group triggers *bisection*: the group's members
+  are re-dispatched individually, each in its own single-worker pool, so
+  the poison spec is isolated precisely and the innocents complete —
+  fused batching no longer widens one bad member's blast radius.
+
+The pooled path runs on :class:`concurrent.futures.ProcessPoolExecutor`
+rather than ``multiprocessing.Pool`` because only the former surfaces a
+SIGKILL-ed worker as :class:`BrokenProcessPool` instead of hanging.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.fused import (
+    FusedRunContext,
+    cached_composition,
+    compute_chunksize,
+    fused_worker_count,
+    paused_gc,
+)
+from repro.campaign.metrics import RunResult
+from repro.campaign.spec import ScenarioSpec, SpecError
+from repro.resilience.envelope import (
+    OUTCOME_OK,
+    FailureRecord,
+    ResilienceAbort,
+    ResiliencePolicy,
+    WorkerCrash,
+    is_transient,
+)
+from repro.resilience.hooks import (
+    chaos_point,
+    clear_run_index,
+    set_run_index,
+    tag_phase,
+)
+from repro.resilience.watchdog import WatchdogTimeout
+
+Group = List[Tuple[int, ScenarioSpec]]
+
+
+def execute_with_retries(
+    run_once: Callable[[int], Any],
+    spec: Any,
+    index: Optional[int],
+    policy: ResiliencePolicy,
+) -> Tuple[Optional[Any], Dict[str, Any], List[FailureRecord]]:
+    """Drive one run through the policy's attempt loop.
+
+    *run_once* is called with the attempt number (1-based) and either
+    returns the run's result or raises.  Returns ``(result, outcome_doc,
+    records)``: ``result`` is ``None`` when every attempt failed, the
+    outcome doc summarises the run for the batch report, and ``records``
+    holds one :class:`FailureRecord` per failed attempt (the last one
+    ``quarantined`` when the run never succeeded).  Retries re-invoke the
+    identical deterministic run, so a retried success changes no artifact.
+    """
+    records: List[FailureRecord] = []
+    result = None
+    attempt = 0
+    while True:
+        attempt += 1
+        set_run_index(index)
+        try:
+            result = run_once(attempt)
+            break
+        except WatchdogTimeout as error:
+            # The ceiling is part of the run's deterministic definition —
+            # a retry would cancel at the same advance, so don't bother.
+            records.append(FailureRecord.from_exception(
+                error, spec, attempt=attempt, index=index))
+            break
+        except Exception as error:
+            record = FailureRecord.from_exception(
+                error, spec, attempt=attempt, index=index)
+            records.append(record)
+            if record.transient and attempt < policy.max_attempts:
+                continue
+            break
+        finally:
+            clear_run_index()
+    if result is None and records:
+        records[-1].quarantined = True
+    outcome = {
+        "index": index,
+        "scenario": _scenario_name(spec),
+        "outcome": OUTCOME_OK if result is not None else records[-1].outcome,
+        "attempts": attempt,
+    }
+    return result, outcome, records
+
+
+def _scenario_name(spec: Any) -> str:
+    if isinstance(spec, dict):
+        return spec.get("name", "") or ""
+    return getattr(spec, "name", "") or ""
+
+
+def run_batch_resilient(
+    specs: Sequence[ScenarioSpec],
+    workers: Optional[int] = None,
+    collect_events: bool = True,
+    store: Optional[Any] = None,
+    refresh: bool = False,
+    telemetry: Optional[Any] = None,
+    fuse: bool = True,
+    policy: Optional[ResiliencePolicy] = None,
+):
+    """:func:`run_batch` with failure envelopes instead of raise-through.
+
+    Same signature plus *policy*; returns a
+    :class:`~repro.campaign.batch.BatchResult` whose ``results`` hold the
+    successful runs (aggregate computed over exactly those), ``indices``
+    their global run indices, ``outcomes`` one summary per requested run
+    and ``failures`` the per-attempt records bound for the sidecar.
+
+    With ``policy.keep_going`` unset, the first non-ok outcome raises
+    :class:`ResilienceAbort` instead (fail-fast — no partial output).
+    """
+    from repro.campaign.batch import BatchResult, default_worker_count
+
+    if policy is None:
+        policy = ResiliencePolicy()
+    if not specs:
+        raise SpecError("batch has no runs")
+
+    slots: List[Optional[RunResult]] = [None] * len(specs)
+    outcome_docs: Dict[int, Dict[str, Any]] = {}
+    failures: List[FailureRecord] = []
+    pending: Group = []
+    for index, spec in enumerate(specs):
+        try:
+            spec.validate()
+        except Exception as error:
+            # A spec that cannot validate is persistent by definition.
+            tag_phase(error, "validate")
+            record = FailureRecord.from_exception(
+                error, spec, attempt=1, index=index)
+            record.quarantined = True
+            failures.append(record)
+            outcome_docs[index] = {
+                "index": index, "scenario": _scenario_name(spec),
+                "outcome": record.outcome, "attempts": 1,
+            }
+            if not policy.keep_going:
+                raise ResilienceAbort(record)
+        else:
+            pending.append((index, spec))
+
+    if store is not None and not refresh:
+        misses: Group = []
+        for index, spec in pending:
+            # A store problem during lookup/replay is never fatal: the
+            # entry reads as a miss and the run simply re-simulates.
+            try:
+                if telemetry is not None:
+                    with telemetry.span("lookup", run=index):
+                        hit = store.lookup(spec)
+                else:
+                    hit = store.lookup(spec)
+            except Exception:
+                hit = None
+            if hit is None:
+                misses.append((index, spec))
+                continue
+            try:
+                if telemetry is not None:
+                    with telemetry.span("replay", run=index):
+                        replayed = hit.replay(collect_events=collect_events)
+                else:
+                    replayed = hit.replay(collect_events=collect_events)
+            except Exception:
+                misses.append((index, spec))
+                continue
+            slots[index] = replayed
+            outcome_docs[index] = {
+                "index": index, "scenario": _scenario_name(spec),
+                "outcome": OUTCOME_OK, "attempts": 0, "cached": True,
+            }
+        pending = misses
+
+    if workers is None:
+        if not pending:
+            workers = 1
+        elif fuse:
+            workers = fused_worker_count(len(pending))
+        else:
+            workers = default_worker_count(len(pending))
+    workers = max(1, min(workers, max(len(pending), 1)))
+
+    if pending:
+        if workers == 1:
+            _resilient_serial(
+                pending, slots, outcome_docs, failures,
+                collect_events=collect_events, store=store, refresh=refresh,
+                telemetry=telemetry, policy=policy, fuse=fuse,
+            )
+        else:
+            _resilient_pooled(
+                pending, slots, outcome_docs, failures, workers=workers,
+                collect_events=collect_events, store=store,
+                telemetry=telemetry, policy=policy, fuse=fuse,
+            )
+
+    indices = [index for index, result in enumerate(slots)
+               if result is not None]
+    failures.sort(key=lambda record: (
+        record.index if record.index is not None else -1, record.attempt))
+    return BatchResult(
+        results=[slots[index] for index in indices],
+        workers=workers,
+        indices=indices,
+        outcomes=[outcome_docs[index] for index in sorted(outcome_docs)],
+        failures=failures,
+    )
+
+
+# ----------------------------------------------------------------------
+# Serial path
+# ----------------------------------------------------------------------
+def _resilient_serial(
+    pending: Group,
+    slots: List[Optional[RunResult]],
+    outcome_docs: Dict[int, Dict[str, Any]],
+    failures: List[FailureRecord],
+    collect_events: bool,
+    store: Optional[Any],
+    refresh: bool,
+    telemetry: Optional[Any],
+    policy: ResiliencePolicy,
+    fuse: bool,
+) -> None:
+    """The in-process loop, mirroring ``_run_pending_serial`` + envelopes."""
+    from repro.campaign.runner import run_spec
+
+    budget = policy.budget()
+    run_events = collect_events or store is not None
+    context = FusedRunContext() if fuse else None
+    guard = paused_gc() if fuse else contextlib.nullcontext()
+    with guard:
+        for index, spec in pending:
+            def run_once(_attempt: int, spec: ScenarioSpec = spec) -> RunResult:
+                result = run_spec(
+                    spec,
+                    collect_events=collect_events if fuse else run_events,
+                    store=store, refresh=refresh, telemetry=telemetry,
+                    fused=context, budget=budget,
+                )
+                if context is not None:
+                    context.reap()
+                return result
+
+            result, outcome, records = execute_with_retries(
+                run_once, spec, index, policy)
+            failures.extend(records)
+            outcome_docs[index] = outcome
+            if result is not None:
+                if not collect_events:
+                    result.events = []
+                slots[index] = result
+            elif not policy.keep_going:
+                raise ResilienceAbort(records[-1])
+
+
+# ----------------------------------------------------------------------
+# Pooled path with bisection
+# ----------------------------------------------------------------------
+def _resilient_pooled(
+    pending: Group,
+    slots: List[Optional[RunResult]],
+    outcome_docs: Dict[int, Dict[str, Any]],
+    failures: List[FailureRecord],
+    workers: int,
+    collect_events: bool,
+    store: Optional[Any],
+    telemetry: Optional[Any],
+    policy: ResiliencePolicy,
+    fuse: bool,
+) -> None:
+    from repro.campaign.batch import _pool_context
+
+    chunk = compute_chunksize(len(pending), workers) if fuse else 1
+    groups: List[Group] = [
+        pending[at:at + chunk] for at in range(0, len(pending), chunk)
+    ]
+    payload_base = {
+        "collect_events": collect_events,
+        "need_store_events": store is not None,
+        "telemetry": telemetry is not None,
+        "fuse": fuse,
+        "policy": policy.to_dict(),
+    }
+    mp_context = _pool_context()
+
+    def ingest(raws: List[Dict[str, Any]]) -> None:
+        for raw in raws:
+            index = raw["index"]
+            records = [FailureRecord.from_dict(document)
+                       for document in raw.get("records", ())]
+            failures.extend(records)
+            if raw["outcome"] != OUTCOME_OK:
+                outcome_docs[index] = {
+                    "index": index, "scenario": raw.get("scenario", ""),
+                    "outcome": raw["outcome"], "attempts": raw["attempts"],
+                }
+                if not policy.keep_going:
+                    raise ResilienceAbort(records[-1])
+                continue
+            result = RunResult(
+                spec=raw["spec"], metrics=raw["metrics"],
+                timing=raw["timing"], events=raw["events"],
+            )
+            if telemetry is not None:
+                telemetry.adopt(raw["telemetry"], run=index)
+            if store is not None and raw["cacheable"]:
+                store_failure = _store_result(
+                    store, result, index, telemetry, policy)
+                if store_failure is not None:
+                    # Store fill is best-effort caching: the run stays in
+                    # the aggregate, the failure goes to the sidecar.
+                    failures.append(store_failure)
+            if not collect_events:
+                result.events = []
+            slots[index] = result
+            outcome_docs[index] = {
+                "index": index, "scenario": raw.get("scenario", ""),
+                "outcome": OUTCOME_OK, "attempts": raw["attempts"],
+            }
+
+    def dispatch_failure(group: Group, error: BaseException) -> None:
+        # The group's worker call itself failed (bad payload, unpicklable
+        # result) before per-member enveloping could run: persistent.
+        tag_phase(error, "dispatch")
+        for index, spec in group:
+            record = FailureRecord.from_exception(
+                error, spec, attempt=1, index=index)
+            record.quarantined = True
+            failures.append(record)
+            outcome_docs[index] = {
+                "index": index, "scenario": _scenario_name(spec),
+                "outcome": record.outcome, "attempts": 1,
+            }
+            if not policy.keep_going:
+                raise ResilienceAbort(record)
+
+    queue: List[Tuple[Group, bool]] = [(group, False) for group in groups]
+    crash_attempts: Dict[int, int] = {}
+    while queue:
+        shared = [group for group, isolated in queue if not isolated]
+        singles = [group for group, isolated in queue if isolated]
+        queue = []
+
+        crashed: List[Group] = []
+        if shared:
+            crashed = _dispatch_shared(
+                shared, workers, payload_base, mp_context, ingest,
+                dispatch_failure,
+            )
+        for group in crashed:
+            if len(group) > 1:
+                # Bisection: the worker died somewhere inside this group —
+                # re-dispatch every member alone to isolate the poison.
+                queue.extend(([member], True) for member in group)
+            else:
+                queue.append((group, True))
+
+        for group in singles:
+            if not _dispatch_isolated(
+                group, payload_base, mp_context, ingest, dispatch_failure,
+            ):
+                continue
+            # Its own single-worker pool died: the blame is precise.
+            (index, spec), = group
+            crash_attempts[index] = crash_attempts.get(index, 0) + 1
+            attempt = crash_attempts[index]
+            error = WorkerCrash(
+                f"pool worker died while running run {index} ({spec.name})"
+            )
+            record = FailureRecord.from_exception(
+                error, spec, attempt=attempt, index=index)
+            failures.append(record)
+            if attempt < policy.max_attempts:
+                queue.append((group, True))
+                continue
+            record.quarantined = True
+            outcome_docs[index] = {
+                "index": index, "scenario": spec.name,
+                "outcome": record.outcome, "attempts": attempt,
+            }
+            if not policy.keep_going:
+                raise ResilienceAbort(record)
+
+
+def _payload(group: Group, payload_base: Dict[str, Any]) -> Dict[str, Any]:
+    payload = dict(payload_base)
+    payload["specs"] = [(index, spec.to_dict()) for index, spec in group]
+    return payload
+
+
+def _dispatch_shared(
+    groups: List[Group],
+    workers: int,
+    payload_base: Dict[str, Any],
+    mp_context: Any,
+    ingest: Callable[[List[Dict[str, Any]]], None],
+    dispatch_failure: Callable[[Group, BaseException], None],
+) -> List[Group]:
+    """Fan *groups* out over one pool; returns the groups that crashed.
+
+    When the pool breaks, every unfinished future reports
+    :class:`BrokenProcessPool` — including innocents that merely shared
+    the pool with the dying worker — so crashed groups carry no blame
+    here; isolation assigns it.
+    """
+    crashed: List[Group] = []
+    executor = ProcessPoolExecutor(max_workers=workers, mp_context=mp_context)
+    try:
+        futures: Dict[Any, Group] = {}
+        for at, group in enumerate(groups):
+            try:
+                future = executor.submit(
+                    _execute_group_resilient, _payload(group, payload_base))
+            except BrokenProcessPool:
+                crashed.extend(groups[at:])
+                break
+            futures[future] = group
+        for future in as_completed(futures):
+            group = futures[future]
+            try:
+                raws = future.result()
+            except BrokenProcessPool:
+                crashed.append(group)
+                continue
+            except Exception as error:
+                dispatch_failure(group, error)
+                continue
+            ingest(raws)
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return crashed
+
+
+def _dispatch_isolated(
+    group: Group,
+    payload_base: Dict[str, Any],
+    mp_context: Any,
+    ingest: Callable[[List[Dict[str, Any]]], None],
+    dispatch_failure: Callable[[Group, BaseException], None],
+) -> bool:
+    """Run one single-member group in its own pool; ``True`` if it crashed."""
+    executor = ProcessPoolExecutor(max_workers=1, mp_context=mp_context)
+    try:
+        future = executor.submit(
+            _execute_group_resilient, _payload(group, payload_base))
+        try:
+            raws = future.result()
+        except BrokenProcessPool:
+            return True
+        except Exception as error:
+            dispatch_failure(group, error)
+            return False
+        ingest(raws)
+        return False
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _store_result(
+    store: Any,
+    result: RunResult,
+    index: int,
+    telemetry: Optional[Any],
+    policy: ResiliencePolicy,
+) -> Optional[FailureRecord]:
+    """Coordinator-side store fill with its own retry loop.
+
+    Returns a (non-quarantining) failure record when the fill failed for
+    good — caching is best-effort, so the result itself survives.
+    """
+    scenario = result.metrics.get("scenario", "")
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            chaos_point("store", scenario=scenario, index=index)
+            if telemetry is not None:
+                with telemetry.span("store", run=index):
+                    entry = store.put_result(result)
+            else:
+                entry = store.put_result(result)
+            chaos_point("stored", scenario=scenario, index=index,
+                        entry_dir=entry.entry_dir)
+            return None
+        except Exception as error:
+            tag_phase(error, "store")
+            if is_transient(error) and attempt < policy.max_attempts:
+                continue
+            return FailureRecord.from_exception(
+                error, result.spec, attempt=attempt, index=index)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+#: The pool worker's long-lived fused context (mirrors the plain engine).
+_WORKER_CONTEXT: Optional[FusedRunContext] = None
+
+
+def _execute_group_resilient(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Pool worker entry point: run one group, enveloping per member.
+
+    Unlike the plain fused worker, a member's failure is caught *here*:
+    the raw result ships either the run's data (``outcome == "ok"``) or
+    its failure records, so one bad member never poisons the group's IPC
+    round trip.  Only a hard process death escapes — and the coordinator's
+    bisection path handles that.
+    """
+    global _WORKER_CONTEXT
+    policy = ResiliencePolicy.from_dict(payload["policy"])
+    context: Optional[FusedRunContext] = None
+    if payload["fuse"]:
+        if _WORKER_CONTEXT is None:
+            _WORKER_CONTEXT = FusedRunContext()
+        context = _WORKER_CONTEXT
+    raws: List[Dict[str, Any]] = []
+    with paused_gc():
+        for index, document in payload["specs"]:
+            spec = ScenarioSpec.from_dict(document)
+            raws.append(_run_member(
+                spec, index, policy=policy, context=context,
+                collect_events=payload["collect_events"],
+                need_store_events=payload["need_store_events"],
+                want_telemetry=payload["telemetry"],
+            ))
+    return raws
+
+
+def _run_member(
+    spec: ScenarioSpec,
+    index: int,
+    policy: ResiliencePolicy,
+    context: Optional[FusedRunContext],
+    collect_events: bool,
+    need_store_events: bool,
+    want_telemetry: bool,
+) -> Dict[str, Any]:
+    from repro.campaign.runner import run_spec
+
+    budget = policy.budget()
+    extras: Dict[str, Any] = {}
+
+    def run_once(_attempt: int) -> RunResult:
+        try:
+            if context is not None:
+                composition = context.compositions.composition_for(spec)
+            else:
+                composition = cached_composition(spec)
+        except Exception as error:
+            tag_phase(error, "build")
+            raise
+        cacheable = composition.probes.topics == ("sched",)
+        run_events = collect_events or (need_store_events and cacheable)
+        recorder = None
+        if want_telemetry:
+            from repro.analytics.telemetry import TelemetryRecorder
+
+            recorder = TelemetryRecorder()
+        result = run_spec(
+            spec, collect_events=run_events, telemetry=recorder,
+            fused=context, budget=budget,
+        )
+        if context is not None:
+            context.reap()
+        extras["cacheable"] = cacheable
+        extras["telemetry"] = recorder.spans if recorder is not None else []
+        return result
+
+    result, outcome, records = execute_with_retries(
+        run_once, spec, index, policy)
+    raw = {
+        "index": index,
+        "scenario": spec.name,
+        "outcome": outcome["outcome"],
+        "attempts": outcome["attempts"],
+        "records": [record.to_dict() for record in records],
+    }
+    if result is not None:
+        raw.update({
+            "spec": result.spec,
+            "metrics": result.metrics,
+            "timing": result.timing,
+            "events": result.events,
+            "cacheable": extras["cacheable"],
+            "telemetry": extras["telemetry"],
+        })
+    return raw

@@ -1,0 +1,95 @@
+"""Production-side attachment points for the resilience plane.
+
+This module is the *only* resilience import the execution hot path is
+allowed to carry: a chaos-injection point that is a no-op unless a test
+harness explicitly installed an injector (:mod:`repro.resilience.chaos`
+never loads otherwise), the current-run-index slot the batch executors
+publish for failure attribution, and the phase tagger that lets the
+runner label where in the pipeline an exception escaped.
+
+Everything here is deliberately tiny and import-free so that
+``repro.campaign.runner`` / ``repro.grid`` can depend on it without
+pulling the rest of the resilience machinery into every simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+#: The installed chaos injector, or ``None`` in production (the default —
+#: every :func:`chaos_point` call is then a dict lookup plus a branch).
+_INJECTOR: Optional[Any] = None
+
+#: Global run index of the run currently executing in this process, set by
+#: the resilient executors so failure records and chaos matching can name
+#: the run even from code that only sees the spec.
+_RUN_INDEX: Optional[int] = None
+
+
+def chaos_point(phase: str, scenario: Optional[str] = None,
+                index: Optional[int] = None, **info: Any) -> None:
+    """Fire the installed chaos injector at a named pipeline *phase*.
+
+    Phases used by the execution pipeline: ``build`` (before scenario
+    construction), ``run-start`` (before the simulation loop), ``store``
+    (before a result-store fill) and ``stored`` (after a fill, with the
+    entry directory in *info*).  With no injector installed — always, in
+    production — this returns immediately.
+    """
+    injector = _INJECTOR
+    if injector is None:
+        return
+    if index is None:
+        index = _RUN_INDEX
+    injector.fire(phase, scenario=scenario, index=index, **info)
+
+
+def chaos_enabled() -> bool:
+    """Whether a chaos injector is currently installed in this process."""
+    return _INJECTOR is not None
+
+
+def install_injector(injector: Any) -> None:
+    """Install *injector* (an object with ``fire(phase, **ctx)``)."""
+    global _INJECTOR
+    _INJECTOR = injector
+
+
+def uninstall_injector() -> None:
+    """Remove the installed injector; :func:`chaos_point` becomes a no-op."""
+    global _INJECTOR
+    _INJECTOR = None
+
+
+def set_run_index(index: Optional[int]) -> None:
+    """Publish the global run index the current process is executing."""
+    global _RUN_INDEX
+    _RUN_INDEX = index
+
+
+def clear_run_index() -> None:
+    global _RUN_INDEX
+    _RUN_INDEX = None
+
+
+def current_run_index() -> Optional[int]:
+    return _RUN_INDEX
+
+
+def tag_phase(error: BaseException, phase: str) -> None:
+    """Label *error* with the pipeline phase it escaped from.
+
+    First tag wins — an exception tagged ``build`` deep in the stack keeps
+    that attribution when an outer wrapper re-tags.  Exceptions with
+    ``__slots__`` silently stay untagged (they fall back to ``run``).
+    """
+    if getattr(error, "_repro_phase", None) is None:
+        try:
+            error._repro_phase = phase  # type: ignore[attr-defined]
+        except (AttributeError, TypeError):  # pragma: no cover - slotted
+            pass
+
+
+def phase_of(error: BaseException) -> str:
+    """The pipeline phase recorded on *error* (default: ``run``)."""
+    return getattr(error, "_repro_phase", None) or "run"

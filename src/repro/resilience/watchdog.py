@@ -1,0 +1,114 @@
+"""Per-run budgets: cancel runaway simulations, deterministically.
+
+A :class:`RunBudget` caps one run along two independent axes:
+
+* ``sim_ns`` — a ceiling on *simulated* time.  Checked on every kernel
+  advance with one integer compare, so the cancellation point is a pure
+  function of the event timeline: the same spec with the same budget is
+  cancelled at exactly the same advance on every host, every time.
+* ``wall_seconds`` — a ceiling on *host* time, for runs that stop making
+  simulated progress at all (livelock in a delta cycle storm, a pathological
+  workload, an injected clock overrun).  Wall clock is inherently
+  non-deterministic, so it is the coarse backstop — checked every 64
+  advances to keep it off the hot path — while the sim ceiling is the
+  precise, reproducible one.
+
+The :class:`Watchdog` arms itself through ``Simulator.advance_hooks`` (the
+existing observation point — no kernel changes) and raises
+:class:`WatchdogTimeout` out of ``Simulator.run()``; the runner's normal
+cleanup path then closes sinks and resets the simulator, and the resilient
+executors classify the run as ``timed-out``.  Timeouts are never retried:
+a deterministic ceiling would simply time out again.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+#: Advances between wall-clock checks (power of two; masked, not modulo'd).
+_WALL_CHECK_MASK = 63
+
+
+class WatchdogTimeout(RuntimeError):
+    """A run exceeded its budget and was cancelled by the watchdog.
+
+    ``kind`` is ``"sim"`` (simulated-ns ceiling — deterministic) or
+    ``"wall"`` (host wall-clock ceiling).  The class-level ``outcome`` and
+    ``transient`` attributes let the failure-envelope layer classify the
+    exception without importing this module.
+    """
+
+    outcome = "timed-out"
+    transient = False
+
+    def __init__(self, message: str, kind: str):
+        super().__init__(message)
+        self.kind = kind
+
+
+@dataclass(frozen=True)
+class RunBudget:
+    """What one run is allowed to consume before the watchdog cancels it."""
+
+    #: Host wall-clock ceiling in seconds (``None`` = unlimited).
+    wall_seconds: Optional[float] = None
+    #: Simulated-time ceiling in nanoseconds past the run's start
+    #: (``None`` = unlimited).
+    sim_ns: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.wall_seconds is not None and self.wall_seconds <= 0:
+            raise ValueError("wall_seconds budget must be positive")
+        if self.sim_ns is not None and self.sim_ns <= 0:
+            raise ValueError("sim_ns budget must be positive")
+
+    @property
+    def unlimited(self) -> bool:
+        return self.wall_seconds is None and self.sim_ns is None
+
+
+class Watchdog:
+    """Arms a :class:`RunBudget` on a simulator via its advance hooks."""
+
+    __slots__ = ("budget", "_clock", "_deadline_ns", "_wall_deadline", "_calls")
+
+    def __init__(self, budget: RunBudget,
+                 clock: Callable[[], float] = time.monotonic):
+        self.budget = budget
+        self._clock = clock
+        self._deadline_ns: Optional[int] = None
+        self._wall_deadline: Optional[float] = None
+        self._calls = 0
+
+    def arm(self, simulator) -> None:
+        """Attach to *simulator*; ceilings are relative to its current time."""
+        if self.budget.unlimited:
+            return
+        if self.budget.sim_ns is not None:
+            self._deadline_ns = simulator.now_ns + self.budget.sim_ns
+        if self.budget.wall_seconds is not None:
+            self._wall_deadline = self._clock() + self.budget.wall_seconds
+        simulator.advance_hooks.append(self._on_advance)
+
+    def _on_advance(self, simulator, _when) -> None:
+        deadline_ns = self._deadline_ns
+        if deadline_ns is not None and simulator.now_ns > deadline_ns:
+            raise WatchdogTimeout(
+                f"simulated-time budget exceeded: advanced to "
+                f"{simulator.now_ns} ns past the {deadline_ns} ns ceiling",
+                kind="sim",
+            )
+        calls = self._calls
+        self._calls = calls + 1
+        if (
+            self._wall_deadline is not None
+            and (calls & _WALL_CHECK_MASK) == 0
+            and self._clock() > self._wall_deadline
+        ):
+            raise WatchdogTimeout(
+                f"wall-clock budget of {self.budget.wall_seconds:g} s "
+                f"exceeded at {simulator.now_ns} ns simulated",
+                kind="wall",
+            )

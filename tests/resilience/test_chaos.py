@@ -1,0 +1,116 @@
+"""Chaos-injector contracts: explicit, targeted, deterministic, once."""
+
+import os
+
+import pytest
+
+from repro.resilience.chaos import (
+    ChaosError,
+    ChaosInjection,
+    ChaosInjector,
+    TransientChaosError,
+    chaos_active,
+    choose_index,
+)
+from repro.resilience.hooks import chaos_enabled, chaos_point, phase_of
+
+
+class TestInjectionSpec:
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosInjection(kind="meteor-strike")
+
+    def test_matchers_narrow_by_phase_scenario_and_index(self):
+        injection = ChaosInjection(kind="raise", phase="build",
+                                   scenario="s", index=3)
+        assert injection.matches("build", "s", 3)
+        assert not injection.matches("run-start", "s", 3)
+        assert not injection.matches("build", "other", 3)
+        assert not injection.matches("build", "s", 4)
+
+    def test_none_matchers_are_wildcards(self):
+        injection = ChaosInjection(kind="raise")
+        assert injection.matches("stored", "anything", 99)
+
+
+class TestFiring:
+    def test_production_chaos_point_is_a_no_op(self):
+        assert not chaos_enabled()
+        chaos_point("build", scenario="s", index=0)  # must not raise
+
+    def test_chaos_active_installs_and_uninstalls(self):
+        injector = ChaosInjector([], seed=1)
+        with chaos_active(injector):
+            assert chaos_enabled()
+        assert not chaos_enabled()
+
+    def test_raise_kinds_carry_phase_and_transience(self):
+        injector = ChaosInjector([
+            ChaosInjection(kind="raise", phase="stored"),
+        ])
+        with chaos_active(injector):
+            with pytest.raises(ChaosError) as caught:
+                chaos_point("stored", scenario="s", index=0)
+        assert phase_of(caught.value) == "store"
+        assert not getattr(caught.value, "transient")
+
+        injector = ChaosInjector([
+            ChaosInjection(kind="raise-transient", phase="run-start"),
+        ])
+        with chaos_active(injector):
+            with pytest.raises(TransientChaosError) as caught:
+                chaos_point("run-start", scenario="s", index=0)
+        assert getattr(caught.value, "transient")
+
+    def test_once_marker_burns_after_the_first_fire(self, tmp_path):
+        marker = str(tmp_path / "fired")
+        injector = ChaosInjector([
+            ChaosInjection(kind="raise", once_marker=marker),
+        ])
+        with chaos_active(injector):
+            with pytest.raises(ChaosError):
+                chaos_point("build", scenario="s", index=0)
+            chaos_point("build", scenario="s", index=0)  # burned: silent
+        assert os.path.exists(marker)
+
+    def test_corrupt_store_flips_one_byte(self, tmp_path):
+        target = tmp_path / "events.jsonl"
+        original = b'{"t_ns": 100}\n{"t_ns": 200}\n'
+        target.write_bytes(original)
+        injector = ChaosInjector([
+            ChaosInjection(kind="corrupt-store", phase="stored"),
+        ])
+        with chaos_active(injector):
+            chaos_point("stored", scenario="s", index=0,
+                        entry_dir=str(tmp_path))
+        mutated = target.read_bytes()
+        assert mutated != original
+        assert len(mutated) == len(original)
+        assert sum(a != b for a, b in zip(mutated, original)) == 1
+
+    def test_torn_write_truncates(self, tmp_path):
+        target = tmp_path / "events.jsonl"
+        target.write_bytes(b"x" * 100)
+        injector = ChaosInjector([
+            ChaosInjection(kind="torn-write", phase="stored"),
+        ])
+        with chaos_active(injector):
+            chaos_point("stored", scenario="s", index=0,
+                        entry_dir=str(tmp_path))
+        assert target.stat().st_size == 60
+
+
+class TestChooseIndex:
+    def test_stable_across_calls(self):
+        assert choose_index(7, 24) == choose_index(7, 24)
+        assert choose_index(7, 24, salt="kill") == \
+            choose_index(7, 24, salt="kill")
+
+    def test_in_range_and_seed_sensitive(self):
+        picks = {choose_index(seed, 24) for seed in range(50)}
+        assert all(0 <= pick < 24 for pick in picks)
+        assert len(picks) > 1
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            choose_index(0, 0)

@@ -1,0 +1,175 @@
+"""Failure-envelope contracts: records, sidecar, policy, exit taxonomy."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign.registry import get_scenario
+from repro.campaign.spec import spec_hash
+from repro.resilience.envelope import (
+    EXIT_OK,
+    EXIT_PARTIAL,
+    EXIT_UNUSABLE,
+    FAILURES_SCHEMA,
+    OUTCOME_CRASHED,
+    OUTCOME_FAILED,
+    OUTCOME_TIMED_OUT,
+    FailureLog,
+    FailureRecord,
+    ResiliencePolicy,
+    WorkerCrash,
+    is_transient,
+    load_failures,
+    outcome_of,
+    write_failures,
+)
+from repro.resilience.hooks import phase_of, tag_phase
+from repro.resilience.watchdog import RunBudget, WatchdogTimeout
+
+
+class TestClassification:
+    def test_oserror_is_transient(self):
+        assert is_transient(OSError("disk hiccup"))
+
+    def test_marked_exceptions_are_transient(self):
+        assert is_transient(WorkerCrash("pool died"))
+
+    def test_plain_exceptions_are_persistent(self):
+        assert not is_transient(ValueError("bad knob"))
+
+    def test_watchdog_timeouts_are_never_transient(self):
+        # A deterministic ceiling would time out identically on retry.
+        assert not is_transient(WatchdogTimeout("over budget", kind="sim"))
+
+    def test_outcome_of_maps_exception_classes(self):
+        assert outcome_of(WatchdogTimeout("x", kind="sim")) == OUTCOME_TIMED_OUT
+        assert outcome_of(WorkerCrash("x")) == OUTCOME_CRASHED
+        assert outcome_of(ValueError("x")) == OUTCOME_FAILED
+
+
+class TestPhaseTagging:
+    def test_default_phase_is_run(self):
+        assert phase_of(ValueError("untagged")) == "run"
+
+    def test_first_tag_wins(self):
+        error = ValueError("deep failure")
+        tag_phase(error, "build")
+        tag_phase(error, "store")  # outer wrapper must not re-attribute
+        assert phase_of(error) == "build"
+
+
+class TestFailureRecord:
+    def test_from_exception_addresses_the_spec(self):
+        spec = get_scenario("quickstart")
+        try:
+            raise ValueError("knob out of range")
+        except ValueError as error:
+            record = FailureRecord.from_exception(error, spec, attempt=1,
+                                                  index=3)
+        assert record.spec_hash == spec_hash(spec)
+        assert record.scenario == spec.name
+        assert record.outcome == OUTCOME_FAILED
+        assert record.exception == "ValueError"
+        assert record.index == 3
+        assert "knob out of range" in record.message
+        assert "ValueError" in record.traceback
+
+    def test_from_exception_accepts_spec_documents(self):
+        spec = get_scenario("quickstart")
+        record = FailureRecord.from_exception(OSError("io"), spec.to_dict())
+        assert record.spec_hash == spec_hash(spec)
+        assert record.transient
+
+    def test_round_trips_through_the_sidecar_document(self):
+        record = FailureRecord(
+            outcome=OUTCOME_FAILED, scenario="s", spec_hash="abc",
+            phase="build", exception="ValueError", message="m",
+            traceback="tb", attempt=2, index=7, transient=True,
+            quarantined=True,
+        )
+        document = record.to_dict()
+        assert document["schema"] == FAILURES_SCHEMA
+        assert FailureRecord.from_dict(document) == record
+
+    def test_summary_is_one_line(self):
+        record = FailureRecord(
+            outcome=OUTCOME_FAILED, scenario="s", spec_hash="abc",
+            phase="run", exception="ValueError", message="m",
+        )
+        assert "\n" not in record.summary()
+
+
+class TestSidecar:
+    def test_write_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "failures.jsonl")
+        records = [
+            FailureRecord(outcome=OUTCOME_FAILED, scenario="a",
+                          spec_hash="1", phase="run", exception="E",
+                          message="one"),
+            FailureRecord(outcome=OUTCOME_TIMED_OUT, scenario="b",
+                          spec_hash="2", phase="run", exception="W",
+                          message="two", quarantined=True),
+        ]
+        assert write_failures(path, records) == 2
+        loaded, torn = load_failures(path)
+        assert torn == 0
+        assert [FailureRecord.from_dict(doc) for doc in loaded] == records
+
+    def test_torn_trailing_line_is_skipped_not_fatal(self, tmp_path):
+        path = str(tmp_path / "failures.jsonl")
+        write_failures(path, [FailureRecord(
+            outcome=OUTCOME_FAILED, scenario="a", spec_hash="1",
+            phase="run", exception="E", message="m",
+        )])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": "repro-fail')  # died mid-write
+        loaded, torn = load_failures(path)
+        assert len(loaded) == 1
+        assert torn == 1
+
+    def test_log_creates_no_file_until_a_record_lands(self, tmp_path):
+        path = str(tmp_path / "failures.jsonl")
+        with FailureLog(path):
+            pass
+        assert not os.path.exists(path)
+
+    def test_lines_are_canonical_json(self, tmp_path):
+        path = str(tmp_path / "failures.jsonl")
+        write_failures(path, [FailureRecord(
+            outcome=OUTCOME_FAILED, scenario="a", spec_hash="1",
+            phase="run", exception="E", message="m",
+        )])
+        line = open(path, encoding="utf-8").read().strip()
+        document = json.loads(line)
+        assert list(document) == sorted(document)
+
+
+class TestPolicy:
+    def test_defaults_retry_once_and_keep_going(self):
+        policy = ResiliencePolicy()
+        assert policy.max_attempts == 2
+        assert policy.keep_going
+        assert policy.budget() is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(run_timeout_s=0)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(sim_budget_ns=-1)
+
+    def test_budget_carries_both_ceilings(self):
+        policy = ResiliencePolicy(run_timeout_s=2.5, sim_budget_ns=10_000)
+        assert policy.budget() == RunBudget(wall_seconds=2.5, sim_ns=10_000)
+
+    def test_round_trips_for_worker_payloads(self):
+        policy = ResiliencePolicy(max_attempts=3, sim_budget_ns=5,
+                                  keep_going=False)
+        assert ResiliencePolicy.from_dict(policy.to_dict()) == policy
+
+
+def test_exit_taxonomy_is_pinned():
+    # The ROADMAP standing contract: 0 ok, 1 usable-but-partial, 2 unusable.
+    assert (EXIT_OK, EXIT_PARTIAL, EXIT_UNUSABLE) == (0, 1, 2)

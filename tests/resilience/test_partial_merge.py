@@ -1,0 +1,131 @@
+"""Merge degradation: precise gap reporting, --allow-partial coverage."""
+
+import json
+import os
+
+import pytest
+
+from repro.grid.executor import COVERAGE_SCHEMA, merge_shards, run_shard
+from repro.grid.shard import plan_shard
+from repro.grid.store import GridError
+from repro.resilience.chaos import (
+    ChaosInjection,
+    ChaosInjector,
+    chaos_active,
+)
+from repro.resilience.envelope import ResiliencePolicy, load_failures
+from repro.workload.families import FamilySpec, expand_family
+
+
+def _specs(count=4):
+    return expand_family(FamilySpec(
+        name="merge-family", count=count, seed=5, duration_ms=5.0,
+    ))
+
+
+def _run_shards(tmp_path, specs, shards, skip=()):
+    shard_dirs = []
+    for index in range(shards):
+        out = str(tmp_path / f"shard_{index}")
+        shard_dirs.append(out)
+        if index in skip:
+            continue
+        run_shard(plan_shard(specs, shards, index), out)
+    return shard_dirs
+
+
+class TestMissingShardReporting:
+    def test_error_names_the_absent_indices_and_shards(self, tmp_path):
+        specs = _specs(4)
+        shard_dirs = _run_shards(tmp_path, specs, 2, skip=(1,))
+        with pytest.raises(GridError) as caught:
+            merge_shards(shard_dirs, str(tmp_path / "merged"))
+        message = str(caught.value)
+        assert "missing run indices [1, 3]" in message
+        assert "absent shard(s): [1]" in message
+        assert "--allow-partial" in message
+
+
+class TestAllowPartial:
+    def test_partial_merge_covers_the_survivors(self, tmp_path):
+        specs = _specs(4)
+        shard_dirs = _run_shards(tmp_path, specs, 2, skip=(1,))
+        manifest = merge_shards(shard_dirs, str(tmp_path / "merged"),
+                                allow_partial=True)
+        assert manifest["runs"] == 4
+        assert manifest["merged"] == 2
+        assert manifest["missing"] == [1, 3]
+
+        coverage = json.load(open(manifest["coverage"], encoding="utf-8"))
+        assert coverage["schema"] == COVERAGE_SCHEMA
+        assert coverage["total"] == 4
+        assert coverage["merged"] == 2
+        assert coverage["merged_indices"] == [0, 2]
+        assert coverage["missing_indices"] == [1, 3]
+        assert coverage["present_shards"] == [0]
+        assert coverage["absent_shards"] == [1]
+
+        # Event streams for the merged runs exist; gaps simply do not.
+        names = sorted(os.listdir(str(tmp_path / "merged")))
+        assert sum(name.endswith(".jsonl") for name in names) == 2
+
+    def test_full_merge_is_identical_with_or_without_the_flag(self, tmp_path):
+        specs = _specs(4)
+        shard_dirs = _run_shards(tmp_path, specs, 2)
+        strict = merge_shards(shard_dirs, str(tmp_path / "strict"))
+        lenient = merge_shards(shard_dirs, str(tmp_path / "lenient"),
+                               allow_partial=True)
+        assert lenient["missing"] == []
+        strict_bytes = open(strict["aggregate"], "rb").read()
+        lenient_bytes = open(lenient["aggregate"], "rb").read()
+        assert strict_bytes == lenient_bytes
+        # A gap-free lenient merge still records its (complete) coverage.
+        coverage = json.load(open(lenient["coverage"], encoding="utf-8"))
+        assert coverage["missing_indices"] == []
+
+
+class TestShardRunResilience:
+    def test_poison_run_leaves_a_gap_and_a_sidecar(self, tmp_path):
+        specs = _specs(4)
+        injector = ChaosInjector([
+            ChaosInjection(kind="raise", phase="build", index=2),
+        ])
+        out = str(tmp_path / "shard_0")
+        with chaos_active(injector):
+            document = run_shard(plan_shard(specs, 1, 0), out,
+                                 policy=ResiliencePolicy())
+        assert document["failed"] == 1
+        assert [entry["index"] for entry in document["runs"]] == [0, 1, 3]
+
+        records, torn = load_failures(os.path.join(out, "failures.jsonl"))
+        assert torn == 0
+        assert len(records) == 1
+        assert records[0]["index"] == 2
+        assert records[0]["phase"] == "build"
+        assert records[0]["quarantined"] is True
+        # The poisoned run's partial event stream must not linger.
+        streams = [n for n in os.listdir(out) if n.startswith("events_")]
+        assert len(streams) == 3
+
+        # A partial merge of the shard names exactly the poisoned gap.
+        manifest = merge_shards([out], str(tmp_path / "merged"),
+                                allow_partial=True)
+        assert manifest["missing"] == [2]
+
+    def test_clean_shard_with_policy_matches_plain_artifacts(self, tmp_path):
+        specs = _specs(4)
+        plain = run_shard(plan_shard(specs, 1, 0), str(tmp_path / "plain"))
+        armored = run_shard(plan_shard(specs, 1, 0), str(tmp_path / "armored"),
+                            policy=ResiliencePolicy())
+        assert armored["failed"] == 0
+        assert not os.path.exists(
+            os.path.join(str(tmp_path / "armored"), "failures.jsonl")
+        )
+        # shard.json carries wall-clock timing, so compare through the
+        # deterministic merge artifact instead of raw bytes.
+        plain_merge = merge_shards([str(tmp_path / "plain")],
+                                   str(tmp_path / "plain_merged"))
+        armored_merge = merge_shards([str(tmp_path / "armored")],
+                                     str(tmp_path / "armored_merged"))
+        assert open(plain_merge["aggregate"], "rb").read() == \
+            open(armored_merge["aggregate"], "rb").read()

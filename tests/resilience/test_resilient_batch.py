@@ -1,0 +1,259 @@
+"""Resilient-engine contracts: byte-identity, quarantine, crash recovery.
+
+The resilient executor is default-on at the CLI, so its clean path must be
+invisible: for the same spec list, plain and resilient engines — serial
+and pooled — write **byte-identical** ``aggregate.json`` and per-run event
+streams.  Under injected faults the sweep must degrade precisely: poison
+members quarantine while every other run completes and aggregates,
+transient faults retry back to the byte-identical artifact set, and a
+SIGKILLed pool worker triggers group bisection plus store-backed resume.
+"""
+
+import hashlib
+import os
+
+import pytest
+
+from repro.campaign.batch import run_batch, run_events_filename
+from repro.campaign.spec import SpecError
+from repro.grid.store import ResultStore
+from repro.resilience.chaos import (
+    ChaosInjection,
+    ChaosInjector,
+    chaos_active,
+)
+from repro.resilience.envelope import (
+    OUTCOME_CRASHED,
+    OUTCOME_FAILED,
+    ResilienceAbort,
+    ResiliencePolicy,
+)
+from repro.workload.families import FamilySpec, expand_family
+
+
+def _family(count, name="resilience-family"):
+    return expand_family(FamilySpec(
+        name=name, count=count, seed=11,
+        kernels=("tkernel", "rtkspec1"), duration_ms=5.0,
+    ))
+
+
+def _digest(path):
+    with open(path, "rb") as handle:
+        return hashlib.sha256(handle.read()).hexdigest()
+
+
+def _artifact_digests(out_dir, specs, indices=None):
+    digests = {"aggregate.json": _digest(os.path.join(out_dir, "aggregate.json"))}
+    indices = range(len(specs)) if indices is None else indices
+    for index, spec in zip(indices, specs):
+        name = run_events_filename(index, spec.name)
+        digests[name] = _digest(os.path.join(out_dir, name))
+    return digests
+
+
+class TestCleanPathByteIdentity:
+    def test_serial_and_pooled_resilient_match_the_plain_engine(self, tmp_path):
+        specs = _family(6)
+        policy = ResiliencePolicy()
+
+        plain = run_batch(specs, workers=1)
+        plain.write_outputs(str(tmp_path / "plain"))
+        serial = run_batch(specs, workers=1, policy=policy)
+        serial.write_outputs(str(tmp_path / "serial"))
+        pooled = run_batch(specs, workers=2, policy=policy)
+        pooled.write_outputs(str(tmp_path / "pooled"))
+
+        expected = _artifact_digests(str(tmp_path / "plain"), specs)
+        assert _artifact_digests(str(tmp_path / "serial"), specs) == expected
+        assert _artifact_digests(str(tmp_path / "pooled"), specs) == expected
+        assert all(doc["outcome"] == "ok" for doc in serial.outcomes)
+        assert serial.failures == [] and pooled.failures == []
+
+    def test_outcomes_cover_every_run_in_index_order(self):
+        specs = _family(4)
+        batch = run_batch(specs, workers=1, collect_events=False,
+                          policy=ResiliencePolicy())
+        assert [doc["index"] for doc in batch.outcomes] == [0, 1, 2, 3]
+        assert batch.indices == [0, 1, 2, 3]
+
+
+class TestPoisonQuarantine:
+    def test_one_poison_member_of_24_quarantines_alone(self, tmp_path):
+        specs = _family(24)
+        poison = 5
+        injector = ChaosInjector([
+            ChaosInjection(kind="raise", phase="build", index=poison),
+        ])
+        with chaos_active(injector):
+            batch = run_batch(specs, workers=1, policy=ResiliencePolicy())
+        assert len(batch.results) == 23
+        assert batch.indices == [i for i in range(24) if i != poison]
+        assert batch.outcomes[poison]["outcome"] == OUTCOME_FAILED
+        quarantined = batch.quarantined
+        assert len(quarantined) == 1
+        assert quarantined[0].index == poison
+        assert quarantined[0].phase == "build"
+        assert not quarantined[0].transient
+
+        # The survivors' aggregate equals a clean sweep of the 23 healthy
+        # specs — failures leave no trace in the deterministic artifacts.
+        batch.write_outputs(str(tmp_path / "poisoned"), include_events=False)
+        survivors = [spec for i, spec in enumerate(specs) if i != poison]
+        clean = run_batch(survivors, workers=1)
+        clean.write_outputs(str(tmp_path / "clean"), include_events=False)
+        assert _digest(str(tmp_path / "poisoned" / "aggregate.json")) == \
+            _digest(str(tmp_path / "clean" / "aggregate.json"))
+
+    def test_fail_fast_aborts_on_the_first_failure(self):
+        specs = _family(4)
+        injector = ChaosInjector([
+            ChaosInjection(kind="raise", phase="build", index=1),
+        ])
+        with chaos_active(injector):
+            with pytest.raises(ResilienceAbort) as caught:
+                run_batch(specs, workers=1, collect_events=False,
+                          policy=ResiliencePolicy(keep_going=False))
+        assert caught.value.record.index == 1
+
+    def test_empty_batch_is_a_spec_error(self):
+        with pytest.raises(SpecError):
+            run_batch([], policy=ResiliencePolicy())
+
+
+class TestTransientRetry:
+    def test_retried_sweep_is_byte_identical_to_a_clean_one(self, tmp_path):
+        specs = _family(6)
+        marker = str(tmp_path / "fired")
+        injector = ChaosInjector([
+            ChaosInjection(kind="raise-transient", phase="run-start",
+                           index=2, once_marker=marker),
+        ])
+        with chaos_active(injector):
+            retried = run_batch(specs, workers=1, policy=ResiliencePolicy())
+        retried.write_outputs(str(tmp_path / "retried"))
+        clean = run_batch(specs, workers=1)
+        clean.write_outputs(str(tmp_path / "clean"))
+        assert _artifact_digests(str(tmp_path / "retried"), specs) == \
+            _artifact_digests(str(tmp_path / "clean"), specs)
+        assert retried.outcomes[2]["attempts"] == 2
+        assert len(retried.failures) == 1
+        record = retried.failures[0]
+        assert record.transient and not record.quarantined
+        assert record.attempt == 1
+
+    def test_persistent_transient_fault_quarantines_at_the_cap(self):
+        specs = _family(4)
+        injector = ChaosInjector([
+            # No once-marker: every attempt fails.
+            ChaosInjection(kind="raise-transient", phase="run-start", index=0),
+        ])
+        with chaos_active(injector):
+            batch = run_batch(specs, workers=1, collect_events=False,
+                              policy=ResiliencePolicy(max_attempts=3))
+        assert batch.outcomes[0]["attempts"] == 3
+        assert [r.attempt for r in batch.failures] == [1, 2, 3]
+        assert [r.quarantined for r in batch.failures] == [False, False, True]
+
+
+class TestWorkerCrashRecovery:
+    def test_one_killed_worker_recovers_to_byte_identity(self, tmp_path):
+        # 16 specs on 2 workers → multi-member fused groups, so the crash
+        # takes innocent group members down with it and the bisection path
+        # (re-dispatch crashed groups as isolated singles) must recover all.
+        specs = _family(16, name="crash-family")
+        marker = str(tmp_path / "killed")
+        injector = ChaosInjector([
+            ChaosInjection(kind="kill-worker", phase="run-start",
+                           index=6, once_marker=marker),
+        ])
+        with chaos_active(injector):
+            crashed = run_batch(specs, workers=2, policy=ResiliencePolicy())
+        crashed.write_outputs(str(tmp_path / "crashed"))
+        assert os.path.exists(marker)
+        assert len(crashed.results) == 16
+        assert all(doc["outcome"] == "ok" for doc in crashed.outcomes)
+
+        clean = run_batch(specs, workers=1)
+        clean.write_outputs(str(tmp_path / "clean"))
+        assert _artifact_digests(str(tmp_path / "crashed"), specs) == \
+            _artifact_digests(str(tmp_path / "clean"), specs)
+
+    def test_persistently_crashing_member_quarantines_with_blame(self):
+        specs = _family(12, name="crash-family")
+        victim = 4
+        injector = ChaosInjector([
+            # No once-marker: the victim kills every worker that runs it.
+            ChaosInjection(kind="kill-worker", phase="run-start",
+                           index=victim),
+        ])
+        with chaos_active(injector):
+            batch = run_batch(specs, workers=2, collect_events=False,
+                              policy=ResiliencePolicy())
+        assert len(batch.results) == 11
+        assert batch.outcomes[victim]["outcome"] == OUTCOME_CRASHED
+        quarantined = batch.quarantined
+        assert len(quarantined) == 1
+        assert quarantined[0].index == victim
+        assert quarantined[0].exception == "WorkerCrash"
+
+    def test_kill_then_resume_from_store_matches_clean_serial(self, tmp_path):
+        # The acceptance scenario: a worker dies mid-sweep, the store keeps
+        # the completed runs, and a resumed sweep replays the survivors and
+        # simulates only the gap — landing on the byte-identical artifact
+        # set of an undisturbed serial run.
+        specs = _family(12, name="resume-family")
+        store = ResultStore(str(tmp_path / "cache"))
+        victim = 7
+        injector = ChaosInjector([
+            ChaosInjection(kind="kill-worker", phase="run-start",
+                           index=victim),
+        ])
+        with chaos_active(injector):
+            first = run_batch(specs, workers=2, store=store,
+                              policy=ResiliencePolicy())
+        assert len(first.results) == 11
+        assert first.outcomes[victim]["outcome"] == OUTCOME_CRASHED
+
+        resumed = run_batch(specs, workers=1, store=store,
+                            policy=ResiliencePolicy())
+        assert len(resumed.results) == 12
+        assert resumed.cache_hits == 11  # only the victim simulates
+        resumed.write_outputs(str(tmp_path / "resumed"))
+
+        clean = run_batch(specs, workers=1)
+        clean.write_outputs(str(tmp_path / "clean"))
+        assert _artifact_digests(str(tmp_path / "resumed"), specs) == \
+            _artifact_digests(str(tmp_path / "clean"), specs)
+
+
+class TestStoreDegradation:
+    def test_corrupt_store_entry_is_resimulated_not_fatal(self, tmp_path):
+        specs = _family(4)
+        store = ResultStore(str(tmp_path / "cache"))
+        warm = run_batch(specs, workers=1, collect_events=False, store=store,
+                         policy=ResiliencePolicy())
+        assert len(warm.results) == 4
+
+        # Rot one stored event stream: the verified lookup must treat the
+        # entry as a miss and re-simulate instead of raising or replaying
+        # bad bytes.
+        victim_dir = None
+        for root, _dirs, files in os.walk(str(tmp_path / "cache")):
+            if "events.jsonl" in files:
+                victim_dir = root
+                break
+        assert victim_dir is not None
+        target = os.path.join(victim_dir, "events.jsonl")
+        with open(target, "r+b") as handle:
+            handle.seek(os.path.getsize(target) // 2)
+            byte = handle.read(1)
+            handle.seek(-1, os.SEEK_CUR)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+
+        second = run_batch(specs, workers=1, collect_events=False,
+                           store=store, policy=ResiliencePolicy())
+        assert len(second.results) == 4
+        assert second.cache_hits == 3
+        assert second.failures == []
+        assert warm.aggregate == second.aggregate

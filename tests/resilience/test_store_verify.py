@@ -1,0 +1,106 @@
+"""Store integrity verbs: verify, quarantine-on-repair, precise errors."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign.batch import run_batch
+from repro.grid.store import GridError, ResultStore
+from repro.workload.families import FamilySpec, expand_family
+
+
+def _warm_store(tmp_path, count=3):
+    store = ResultStore(str(tmp_path / "cache"))
+    specs = expand_family(FamilySpec(
+        name="verify-family", count=count, seed=3, duration_ms=5.0,
+    ))
+    run_batch(specs, workers=1, collect_events=False, store=store)
+    return store
+
+
+def _first_artifact(store, name="events.jsonl"):
+    for root, _dirs, files in os.walk(store.root):
+        if name in files and ".quarantine" not in root:
+            return os.path.join(root, name)
+    raise AssertionError(f"no {name} in store")
+
+
+def _flip_byte(path):
+    with open(path, "r+b") as handle:
+        handle.seek(os.path.getsize(path) // 2)
+        byte = handle.read(1)
+        handle.seek(-1, os.SEEK_CUR)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+class TestVerify:
+    def test_clean_store_verifies_clean(self, tmp_path):
+        store = _warm_store(tmp_path)
+        report = store.verify()
+        assert report["checked"] == 3
+        assert report["bad"] == []
+        assert report["quarantined"] == 0
+
+    def test_digest_mismatch_is_named_per_artifact(self, tmp_path):
+        store = _warm_store(tmp_path)
+        _flip_byte(_first_artifact(store))
+        report = store.verify()
+        assert len(report["bad"]) == 1
+        problems = report["bad"][0]["problems"]
+        assert any("events.jsonl digest mismatch" in p for p in problems)
+        assert report["bad"][0]["scenario"]
+        # verify alone never mutates the store
+        assert store.verify()["checked"] == 3
+
+    def test_unreadable_manifest_is_reported(self, tmp_path):
+        store = _warm_store(tmp_path)
+        manifest = _first_artifact(store, "manifest.json")
+        with open(manifest, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        report = store.verify()
+        assert len(report["bad"]) == 1
+        assert any("manifest" in p for p in report["bad"][0]["problems"])
+
+    def test_repair_quarantines_failing_entries(self, tmp_path):
+        store = _warm_store(tmp_path)
+        _flip_byte(_first_artifact(store))
+        report = store.verify(repair=True)
+        assert report["quarantined"] == 1
+        assert os.path.isdir(store.quarantine_dir())
+        assert len(os.listdir(store.quarantine_dir())) == 1
+        # The quarantined entry is invisible to the store from now on.
+        after = store.verify()
+        assert after["checked"] == 2
+        assert after["bad"] == []
+
+    def test_quarantined_entries_resimulate_on_the_next_sweep(self, tmp_path):
+        store = _warm_store(tmp_path)
+        _flip_byte(_first_artifact(store))
+        store.verify(repair=True)
+        specs = expand_family(FamilySpec(
+            name="verify-family", count=3, seed=3, duration_ms=5.0,
+        ))
+        batch = run_batch(specs, workers=1, collect_events=False, store=store)
+        assert len(batch.results) == 3
+        assert batch.cache_hits == 2
+
+    def test_clear_sweeps_the_quarantine_too(self, tmp_path):
+        store = _warm_store(tmp_path)
+        _flip_byte(_first_artifact(store))
+        store.verify(repair=True)
+        store.clear()
+        assert not os.path.exists(store.quarantine_dir())
+
+
+class TestPutMisuse:
+    def test_put_requires_exactly_one_events_source(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        spec = {"name": "x", "kernel": "tkernel", "workload": "w",
+                "seed": 1, "duration_ms": 1.0}
+        with pytest.raises(GridError):
+            store.put(spec, {"scenario": "x"})
+        with pytest.raises(GridError) as caught:
+            store.put(spec, {"scenario": "x"}, events=[],
+                      events_path="somewhere.jsonl")
+        assert "exactly one" in str(caught.value)

@@ -1,0 +1,95 @@
+"""Watchdog contracts: deterministic sim ceiling, wall-clock backstop."""
+
+import pytest
+
+from repro.campaign.registry import get_scenario
+from repro.campaign.runner import run_spec
+from repro.resilience.watchdog import RunBudget, Watchdog, WatchdogTimeout
+
+
+class FakeSimulator:
+    def __init__(self):
+        self.now_ns = 0
+        self.advance_hooks = []
+
+    def advance(self, to_ns):
+        self.now_ns = to_ns
+        for hook in self.advance_hooks:
+            hook(self, to_ns)
+
+
+class TestRunBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunBudget(wall_seconds=0)
+        with pytest.raises(ValueError):
+            RunBudget(sim_ns=0)
+
+    def test_unlimited(self):
+        assert RunBudget().unlimited
+        assert not RunBudget(sim_ns=1).unlimited
+
+
+class TestWatchdogUnit:
+    def test_unlimited_budget_arms_nothing(self):
+        simulator = FakeSimulator()
+        Watchdog(RunBudget()).arm(simulator)
+        assert simulator.advance_hooks == []
+
+    def test_sim_ceiling_cancels_on_the_crossing_advance(self):
+        simulator = FakeSimulator()
+        Watchdog(RunBudget(sim_ns=1000)).arm(simulator)
+        simulator.advance(1000)  # at the ceiling: still allowed
+        with pytest.raises(WatchdogTimeout) as caught:
+            simulator.advance(1001)
+        assert caught.value.kind == "sim"
+
+    def test_sim_ceiling_is_relative_to_arm_time(self):
+        simulator = FakeSimulator()
+        simulator.now_ns = 5000
+        Watchdog(RunBudget(sim_ns=1000)).arm(simulator)
+        simulator.advance(6000)  # 1000 ns past arm: allowed
+        with pytest.raises(WatchdogTimeout):
+            simulator.advance(6001)
+
+    def test_wall_ceiling_checks_every_64_advances(self):
+        ticks = iter([0.0] + [99.0] * 200)  # armed at t=0, late ever after
+        simulator = FakeSimulator()
+        Watchdog(RunBudget(wall_seconds=1.0), clock=lambda: next(ticks)).arm(
+            simulator
+        )
+        with pytest.raises(WatchdogTimeout) as caught:
+            simulator.advance(1)  # call 0 is a check point
+        assert caught.value.kind == "wall"
+
+    def test_wall_checks_skip_between_check_points(self):
+        calls = []
+
+        def clock():
+            calls.append(None)
+            return 0.0
+
+        simulator = FakeSimulator()
+        Watchdog(RunBudget(wall_seconds=1.0), clock=clock).arm(simulator)
+        for advance in range(1, 64):
+            simulator.advance(advance)
+        # One clock read at arm, one at the call-0 check point, none since.
+        assert len(calls) == 2
+
+
+class TestWatchdogIntegration:
+    def test_run_cancels_deterministically(self):
+        spec = get_scenario("quickstart")
+        budget = RunBudget(sim_ns=100_000)
+        with pytest.raises(WatchdogTimeout) as first:
+            run_spec(spec, collect_events=False, budget=budget)
+        with pytest.raises(WatchdogTimeout) as second:
+            run_spec(spec, collect_events=False, budget=budget)
+        # Same spec + same ceiling = cancelled at exactly the same advance.
+        assert str(first.value) == str(second.value)
+        assert first.value.kind == "sim"
+
+    def test_unbudgeted_run_is_untouched(self):
+        spec = get_scenario("quickstart")
+        result = run_spec(spec, collect_events=False)
+        assert result.metrics["scenario"] == spec.name
