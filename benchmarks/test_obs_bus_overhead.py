@@ -32,9 +32,12 @@ constructed while no sink is attached — is asserted exactly in
 ``tests/obs/test_bus.py::TestZeroCostFastPath``.
 """
 
+import gc
 import time
+import tracemalloc
 
 from repro.obs import CounterSink
+from repro.obs.bus import EventBus
 from repro.sysc.kernel import Simulator
 from repro.sysc.process import Wait, WaitEventTimeout
 from repro.sysc.time import SimTime
@@ -112,3 +115,101 @@ def test_wait_hot_path_events_per_second():
           f"{timeout:,.0f} event+timeout waits/s")
     assert timed > TIMED_FLOOR
     assert timeout > TIMEOUT_FLOOR
+
+
+# ----------------------------------------------------------------------
+# Allocation-free publishing (the PR-10 pooled event pipeline)
+# ----------------------------------------------------------------------
+#: Events per allocation measurement — large enough that any per-event
+#: allocation would dwarf the byte epsilons below by orders of magnitude.
+ALLOC_EVENTS = 10_000
+
+#: Tolerated retained / transient-peak growth over the whole measurement.
+#: A single leaked Event per publish would show as ~1 MB against these.
+NET_EPSILON_BYTES = 512
+PEAK_EPSILON_BYTES = 4096
+
+
+class _NullSink:
+    """The cheapest possible non-retaining sink: consumes and forgets."""
+
+    retains_events = False
+
+    def handle(self, event):
+        pass
+
+
+def _publish_memory_profile(publish, events):
+    """``(net, peak)`` traced-memory growth in bytes across *events* calls.
+
+    Warm-up first (string interning, pooled-event setup, bytecode
+    specialization all allocate once), then trace the steady state: ``net``
+    is memory retained after the loop, ``peak`` the largest transient
+    footprint at any instant during it.
+    """
+    publish(64)
+    gc.collect()
+    tracemalloc.start()
+    try:
+        before, _ = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        publish(events)
+        current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return current - before, peak - before
+
+
+def test_disabled_topic_publish_allocates_nothing():
+    """The shipping default — no sinks — must not allocate per publish.
+
+    The publish site is the guarded form every hot module uses
+    (``if topic.enabled: topic.emit1(...)``); with the topic disabled the
+    whole loop must leave no retained memory and essentially no transient
+    peak.
+    """
+    bus = EventBus()
+    topic = bus.topic("sched")
+    assert not topic.enabled
+
+    def publish(count):
+        for index in range(count):
+            if topic.enabled:
+                topic.emit1("dispatch", index, "thread", "t0")
+
+    net, peak = _publish_memory_profile(publish, ALLOC_EVENTS)
+    print(f"\ndisabled publish x{ALLOC_EVENTS:,}: net {net} B, peak {peak} B")
+    assert net <= NET_EPSILON_BYTES, (
+        f"disabled-topic publishing retained {net} bytes over "
+        f"{ALLOC_EVENTS:,} events — the zero-cost path allocates"
+    )
+    assert peak <= PEAK_EPSILON_BYTES
+
+
+def test_pooled_publish_is_allocation_free_steady_state():
+    """With only non-retaining sinks attached, publishing reuses the pooled
+    event: nothing is retained, and at most one small transient object (the
+    ``emit_fields`` values tuple) is alive at any instant — ≤1 object per
+    event, 0 for ``emit1``."""
+    bus = EventBus()
+    bus.subscribe(_NullSink(), ("sched",))
+    topic = bus.topic("sched")
+    assert topic._pooled_event is not None  # pooling must be active
+    names = ("thread", "dur_ns", "context", "energy_nj", "label")
+
+    def publish(count):
+        for index in range(count):
+            topic.emit1("dispatch", index, "thread", "t0")
+            topic.emit_fields(
+                "exec", index, names, ("t0", 500, "task", 0.0, "")
+            )
+
+    net, peak = _publish_memory_profile(publish, ALLOC_EVENTS)
+    print(f"\npooled publish x{2 * ALLOC_EVENTS:,}: net {net} B, "
+          f"peak {peak} B")
+    assert net <= NET_EPSILON_BYTES, (
+        f"pooled publishing retained {net} bytes over "
+        f"{2 * ALLOC_EVENTS:,} events — the pooled fast path regressed "
+        f"to per-event allocation"
+    )
+    assert peak <= PEAK_EPSILON_BYTES

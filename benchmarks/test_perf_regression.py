@@ -19,14 +19,22 @@ dispatches/s          (unmeasured)    ~68,000
 scheduler ops/s       (unmeasured)    ~4,000,000
 ====================  ==============  ==============
 
-The floors sit ~6-8x below the measured figures.  ``repro bench`` records
+PR 10 (the second hot-plane pass) added the event-pipeline and artifact-I/O
+floors; the development host measured ~97,000 dispatches/s, ~280,000
+streamed events/s, ~1,300 store puts/s and ~7,800 indexed runs/s — each
+floor again sits ~5x and more below its measurement.
+
+The floors sit far below the measured figures.  ``repro bench`` records
 the precise numbers per PR in ``BENCH_PR<n>.json``; this module only trips
 on gross regressions.
 """
 
 from repro.perf.bench import (
+    bench_analytics,
     bench_dispatch_rate,
+    bench_event_stream,
     bench_scheduler_ops,
+    bench_store_put,
     bench_timed_wait_throughput,
     bench_timeout_wait_throughput,
 )
@@ -34,8 +42,11 @@ from repro.perf.bench import (
 #: Conservative absolute floors for any plausible host.
 TIMED_WAIT_FLOOR = 180_000
 TIMEOUT_WAIT_FLOOR = 90_000
-DISPATCH_FLOOR = 9_000
+DISPATCH_FLOOR = 18_000
 SCHEDULER_OPS_FLOOR = 500_000
+EVENT_STREAM_FLOOR = 50_000
+STORE_PUT_FLOOR = 200
+INDEX_RUNS_FLOOR = 1_200
 
 
 def test_timed_wait_throughput_floor():
@@ -68,4 +79,33 @@ def test_scheduler_ops_floor():
     assert rate > SCHEDULER_OPS_FLOOR, (
         f"ready-queue ops {rate:,.0f}/s fell below the "
         f"{SCHEDULER_OPS_FLOOR:,}/s floor — the bitmap scheduler regressed"
+    )
+
+
+def test_event_stream_floor():
+    rate = bench_event_stream(events=8000, repeats=3)["stream_events_per_s"]
+    print(f"\nevent stream: {rate:,.0f}/s (floor {EVENT_STREAM_FLOOR:,}/s)")
+    assert rate > EVENT_STREAM_FLOOR, (
+        f"streamed-event throughput {rate:,.0f}/s fell below the "
+        f"{EVENT_STREAM_FLOOR:,}/s floor — the publish→encode→write "
+        f"pipeline regressed"
+    )
+
+
+def test_store_put_floor():
+    rate = bench_store_put(puts=60, repeats=3)["put_per_s"]
+    print(f"\nstore puts: {rate:,.0f}/s (floor {STORE_PUT_FLOOR:,}/s)")
+    assert rate > STORE_PUT_FLOOR, (
+        f"store put rate {rate:,.0f}/s fell below the {STORE_PUT_FLOOR:,}/s "
+        f"floor — the single-write artifact path regressed"
+    )
+
+
+def test_index_build_floor():
+    rate = bench_analytics(runs=32, repeats=3, queries=5)["index_runs_per_s"]
+    print(f"\nindex build: {rate:,.0f} runs/s (floor {INDEX_RUNS_FLOOR:,}/s)")
+    assert rate > INDEX_RUNS_FLOOR, (
+        f"corpus index build {rate:,.0f} runs/s fell below the "
+        f"{INDEX_RUNS_FLOOR:,}/s floor — the single-walk batched build "
+        f"regressed"
     )

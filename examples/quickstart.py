@@ -42,9 +42,35 @@ across all of them without simulating anything —
 Sweeps fuse by default since PR 7 — ``python -m repro batch ...`` runs many
 members per worker process, reusing compositions and event plumbing
 (``--no-fuse`` opts out; artifacts are byte-identical either way), and the
-perf trajectory is enforceable:
+perf trajectory is enforceable.
 
-    python -m repro bench compare BENCH_PR6.json BENCH_PR7.json
+Reading BENCH files: every perf PR commits a ``BENCH_PR<n>.json``
+(``python -m repro bench --out ...``) — sections ``microbench`` (dispatch
+loop), ``events``/``store`` (publish + artifact I/O, PR 10), ``grid``
+(cache hit vs fresh), ``batch`` (fused vs per-process), ``analytics``
+(index build/query), ``scenarios``/``table2`` (the paper's S/R speed
+measure), plus a ``host`` echo.  Microbenchmark wall clocks are the
+*minimum* over repeats (sheds scheduler noise); ``*_per_s``/``s_over_r``
+are higher-is-better, ``*_seconds``/``*_ms`` lower, and the gate infers
+direction from those suffixes:
+
+    python -m repro bench compare BENCH_PR8.json BENCH_PR10.json
+
+exits 0 when no directional metric regressed beyond ``--max-regress``
+(default 10%), 1 on a regression, 2 on an unusable report.  Two reports
+from *different hosts* (or different core counts) will trip on metrics
+the code never touched; filter those rows out rather than loosening the
+threshold —
+
+    python -m repro bench compare OLD NEW --ignore 'host.*' \
+        --ignore 'scenarios.*'           # fnmatch globs over flat keys
+    python -m repro bench compare OLD NEW --preset code-metrics
+        # the curated list: host echoes, config knobs (members/runs/
+        # workers) and workload-shape tallies — keeps every dispatch/
+        # publish/store/index code gate active
+
+The table footer reports ``[N key(s) ignored via M glob(s)]`` so a
+too-broad glob is visible in the output it silences.
 
 When sweeps fail (PR 8), the sweep keeps going: a bad member is retried
 (transient failures re-run the identical spec + seed, up to

@@ -45,6 +45,7 @@ class TelemetryRecorder(Sink):
     """
 
     topics = ("telemetry",)
+    retains_events = False
 
     def __init__(self) -> None:
         self.spans: List[Dict[str, Any]] = []

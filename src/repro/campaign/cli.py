@@ -614,6 +614,20 @@ def build_parser() -> argparse.ArgumentParser:
         "than PCT percent (default: 10)",
     )
     bench_compare.add_argument(
+        "--ignore", dest="ignore", action="append", default=[],
+        metavar="GLOB",
+        help="drop flattened metric keys matching GLOB from both sides "
+        "before comparing (repeatable; e.g. 'host.*', "
+        "'scenarios.*.events.*')",
+    )
+    bench_compare.add_argument(
+        "--preset", dest="presets", action="append", default=[],
+        metavar="NAME",
+        help="named ignore list to apply on top of --ignore "
+        "('code-metrics': host facts, config echoes and workload-shape "
+        "tallies removed — code-performance rows only)",
+    )
+    bench_compare.add_argument(
         "--json", action="store_true",
         help="emit the comparison document as JSON instead of the table",
     )
@@ -1168,18 +1182,21 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
         compare_reports,
         format_compare,
         load_report,
+        resolve_ignore,
     )
 
     threshold = (
         DEFAULT_MAX_REGRESS_PCT if args.max_regress is None else args.max_regress
     )
     try:
+        ignore = resolve_ignore(args.ignore, args.presets)
         old = load_report(args.old)
         new = load_report(args.new)
     except ReportError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    document = compare_reports(old, new, max_regress_pct=threshold)
+    document = compare_reports(old, new, max_regress_pct=threshold,
+                               ignore=ignore)
     if args.json:
         print(json.dumps(document, indent=2, sort_keys=True))
     else:

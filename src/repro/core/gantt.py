@@ -64,6 +64,9 @@ class GanttChart:
     """
 
     topics = ("sched",)
+    #: The chart copies what it needs out of each event inside ``handle``,
+    #: so the bus may reuse a pooled event across publishes.
+    retains_events = False
 
     def __init__(self, name: str = "gantt"):
         self.name = name

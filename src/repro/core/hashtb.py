@@ -10,7 +10,6 @@ journal that the debugging widgets (Gantt chart, Fig. 8 listing) read back.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, TYPE_CHECKING
 
 from repro.core.events import ThreadKind, ThreadState
@@ -20,14 +19,40 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.tthread import TThread
 
 
-@dataclass(frozen=True)
 class StateChange:
-    """One recorded T-THREAD state change."""
+    """One recorded T-THREAD state change.
 
-    time: SimTime
-    thread_id: int
-    old_state: ThreadState
-    new_state: ThreadState
+    Hand-slotted rather than a frozen dataclass: every dispatch journals
+    two to three state changes, so the constructor sits on the hot path and
+    the frozen ``object.__setattr__`` init cost is measurable there.
+    """
+
+    __slots__ = ("time", "thread_id", "old_state", "new_state")
+
+    def __init__(
+        self, time: SimTime, thread_id: int,
+        old_state: ThreadState, new_state: ThreadState,
+    ):
+        self.time = time
+        self.thread_id = thread_id
+        self.old_state = old_state
+        self.new_state = new_state
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StateChange):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.thread_id == other.thread_id
+            and self.old_state is other.old_state
+            and self.new_state is other.new_state
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StateChange(time={self.time!r}, thread_id={self.thread_id!r}, "
+            f"old_state={self.old_state!r}, new_state={self.new_state!r})"
+        )
 
 
 class SimHashTB:

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from repro.core.events import ExecutionContext, RunEvent
-from repro.sysc.time import SimTime
+from repro.sysc.time import SimTime, ZERO_TIME
 
 
 @dataclass(frozen=True)
@@ -45,15 +45,30 @@ class Transition:
 SOURCE_TRANSITION = Transition("To", RunEvent.STARTUP, ExecutionContext.STARTUP)
 
 
-@dataclass(frozen=True)
 class FiringRecord:
-    """One transition firing with its ETM/EEM contribution."""
+    """One transition firing with its ETM/EEM contribution.
 
-    time: SimTime
-    transition: Transition
-    duration: SimTime
-    energy_nj: float
-    place: int
+    A hand-slotted record rather than a frozen dataclass: one is built per
+    transition firing, which puts its constructor on the dispatch hot path,
+    and the frozen-dataclass ``object.__setattr__`` init showed up in
+    ping-pong profiles.
+    """
+
+    __slots__ = ("time", "transition", "duration", "energy_nj", "place")
+
+    def __init__(
+        self,
+        time: SimTime,
+        transition: Transition,
+        duration: SimTime,
+        energy_nj: float,
+        place: int,
+    ):
+        self.time = time
+        self.transition = transition
+        self.duration = duration
+        self.energy_nj = energy_nj
+        self.place = place
 
     @property
     def event(self) -> RunEvent:
@@ -64,6 +79,24 @@ class FiringRecord:
     def context(self) -> ExecutionContext:
         """The execution context of the transition."""
         return self.transition.context
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FiringRecord):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.transition == other.transition
+            and self.duration == other.duration
+            and self.energy_nj == other.energy_nj
+            and self.place == other.place
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FiringRecord(time={self.time!r}, transition={self.transition!r}, "
+            f"duration={self.duration!r}, energy_nj={self.energy_nj!r}, "
+            f"place={self.place!r})"
+        )
 
 
 class FiringSequence:
@@ -142,30 +175,45 @@ class PetriToken:
         self.owner_name = owner_name
         self.place = 0
         self.firing_sequence = FiringSequence()
-        self._cet = SimTime(0)
+        self._cet = ZERO_TIME
         self._cee_nj = 0.0
         self._cet_by_context: Dict[ExecutionContext, SimTime] = {}
         self._cee_by_context: Dict[ExecutionContext, float] = {}
         self.cycle_count = 0
+        # Bound once: fire() appends a record per dispatch, and the
+        # FiringSequence.append indirection is measurable there.
+        self._append_record = self.firing_sequence._records.append
 
     # -- firing ------------------------------------------------------------
     def fire(
         self,
         transition: Transition,
         now: SimTime,
-        duration: "SimTime | int" = SimTime(0),
+        duration: "SimTime | int" = ZERO_TIME,
         energy_nj: float = 0.0,
     ) -> FiringRecord:
         """Fire *transition*, move the token and accumulate ETM/EEM."""
+        place = self.place + 1
+        self.place = place
+        context = transition.context
+        cet_by_context = self._cet_by_context
+        if duration is ZERO_TIME and energy_nj == 0.0:
+            # Zero-cost firing (the dispatch bookkeeping common case): the
+            # accumulators are unchanged, only the context entries must
+            # exist.  Skips SimTime coercion and three SimTime additions.
+            record = FiringRecord(now, transition, ZERO_TIME, 0.0, place)
+            self._append_record(record)
+            if context not in cet_by_context:
+                cet_by_context[context] = ZERO_TIME
+                self._cee_by_context[context] = 0.0
+            return record
         duration = SimTime.coerce(duration)
-        self.place += 1
-        record = FiringRecord(now, transition, duration, energy_nj, self.place)
-        self.firing_sequence.append(record)
+        record = FiringRecord(now, transition, duration, energy_nj, place)
+        self._append_record(record)
         self._cet = self._cet + duration
         self._cee_nj += energy_nj
-        context = transition.context
-        self._cet_by_context[context] = (
-            self._cet_by_context.get(context, SimTime(0)) + duration
+        cet_by_context[context] = (
+            cet_by_context.get(context, ZERO_TIME) + duration
         )
         self._cee_by_context[context] = self._cee_by_context.get(context, 0.0) + energy_nj
         return record

@@ -43,7 +43,7 @@ Dispatching rules implemented here (section 4 of the paper):
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Generator, List, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Generator, List, Optional
 
 from repro.core.etm import (
     AnnotationTable,
@@ -59,13 +59,23 @@ from repro.core.petri import Transition
 from repro.core.scheduler import PriorityScheduler, Scheduler
 from repro.core.stack import SimStack
 from repro.core.tthread import BodyFactory, TThread
-from repro.sysc.kernel import Simulator
 from repro.sysc.process import Wait
 from repro.sysc.time import SimTime
+
+if TYPE_CHECKING:
+    # Annotation-only: a runtime import here closes the kernel → obs →
+    # core → simapi → kernel cycle and makes `import repro.sysc.kernel`
+    # order-dependent.
+    from repro.sysc.kernel import Simulator
 
 
 class SimApiError(RuntimeError):
     """Raised when the SIM_API library is used inconsistently."""
+
+
+#: Field names of the ``sched``/``exec`` publish site, paired positionally
+#: with the values tuple handed to ``Topic.emit_fields``.
+_EXEC_FIELDS = ("thread", "dur_ns", "context", "energy_nj", "label")
 
 
 class SimApi:
@@ -86,6 +96,9 @@ class SimApi:
         # Note: schedulers and annotation tables define __len__, so an empty
         # one is falsy; compare against None explicitly.
         self.scheduler: Scheduler = scheduler if scheduler is not None else PriorityScheduler()
+        # The scheduler is fixed for the library's lifetime, so head-insert
+        # support is resolved once here instead of via hasattr per make_ready.
+        self._add_ready_first = getattr(self.scheduler, "add_ready_first", None)
         self.system_tick = SimTime.coerce(system_tick)
         if self.system_tick.nanoseconds <= 0:
             raise SimApiError("system tick must be positive")
@@ -155,7 +168,7 @@ class SimApi:
         self.marker_count += 1
         topic = self._obs_sched
         if topic.enabled:
-            topic.emit(kind, self.simulator._now_ns, thread=thread_name)
+            topic.emit1(kind, self.simulator._now_ns, "thread", thread_name)
 
     # ------------------------------------------------------------------
     # Thread creation & identifiers
@@ -190,11 +203,11 @@ class SimApi:
         """Insert a task T-THREAD into the scheduler's ready pool."""
         if thread.is_handler:
             raise SimApiError("handlers are activated, not made ready")
-        if at_head and hasattr(self.scheduler, "add_ready_first"):
-            self.scheduler.add_ready_first(thread)  # type: ignore[attr-defined]
+        if at_head and self._add_ready_first is not None:
+            self._add_ready_first(thread)
         else:
             self.scheduler.add_ready(thread)
-        if thread.state not in (ThreadState.RUNNING,):
+        if thread.state is not ThreadState.RUNNING:
             thread.set_state(ThreadState.READY)
 
     def make_unready(self, thread: TThread) -> None:
@@ -236,19 +249,21 @@ class SimApi:
         Honours delayed dispatching and service-call atomicity: the decision
         is deferred while a handler is active or dispatching is disabled.
         """
-        if not self.dispatch_enabled or self.in_interrupt():
+        if self._dispatch_disable_count or self.in_interrupt():
             self._deferred_dispatch = True
             return
-        candidate = self.scheduler.select_next()
-        if candidate is None:
+        scheduler = self.scheduler
+        running = self.running
+        if running is None:
+            # Idle CPU: a single pop both selects and claims the winner —
+            # the select_next + pop_next double scan was pure overhead here.
+            chosen = scheduler.pop_next()
+            if chosen is not None:
+                self._grant(chosen)
             return
-        if self.running is None:
-            chosen = self.scheduler.pop_next()
-            assert chosen is not None
-            self._grant(chosen)
-            return
-        if self.scheduler.should_preempt(self.running, candidate):
-            self.running.preempt_requested = True
+        candidate = scheduler.select_next()
+        if candidate is not None and scheduler.should_preempt(running, candidate):
+            running.preempt_requested = True
 
     def preempt_current(self) -> None:
         """Force the running task to be preempted at its next preemption point.
@@ -322,7 +337,7 @@ class SimApi:
         total_ns = self._idle_total_ns
         if self._idle_since_ns is not None:
             total_ns += self.simulator._now_ns - self._idle_since_ns
-        return SimTime(total_ns)
+        return SimTime(total_ns)  # simtime-boundary
 
     # ------------------------------------------------------------------
     # SIM_Wait and preemption points
@@ -375,7 +390,7 @@ class SimApi:
             yield from self._maybe_suspend(thread)
             if remaining_ns < tick_ns:
                 chunk_ns = remaining_ns
-                chunk = SimTime(chunk_ns)
+                chunk = SimTime(chunk_ns)  # simtime-boundary
                 wait = Wait(chunk)
             else:
                 chunk_ns = tick_ns
@@ -389,13 +404,9 @@ class SimApi:
             self.segment_count += 1
             topic = self._obs_sched
             if topic.enabled:
-                topic.emit(
-                    "exec", start_ns,
-                    thread=thread.name,
-                    dur_ns=end_ns - start_ns,
-                    context=context,
-                    energy_nj=chunk_energy,
-                    label=label,
+                topic.emit_fields(
+                    "exec", start_ns, _EXEC_FIELDS,
+                    (thread.name, end_ns - start_ns, context, chunk_energy, label),
                 )
             remaining_ns -= chunk_ns
         yield from self._maybe_suspend(thread)
@@ -474,10 +485,16 @@ class SimApi:
         self.running = None
         self._grant(chosen)
         resume = yield from thread._suspend_until_regranted(ThreadState.PREEMPTED)
-        thread.token.fire(
-            Transition(f"T_resume.{thread.name}", resume, ExecutionContext.TASK),
-            self.simulator.now,
-        )
+        thread.token.fire(self._resume_transition(thread, resume), self.simulator.now)
+
+    @staticmethod
+    def _resume_transition(thread: TThread, resume: RunEvent) -> Transition:
+        """The per-thread cached ``T_resume`` transition for *resume*."""
+        transition = thread._resume_transitions.get(resume)
+        if transition is None:
+            transition = Transition(f"T_resume.{thread.name}", resume, ExecutionContext.TASK)
+            thread._resume_transitions[resume] = transition
+        return transition
 
     def _suspend_for_interrupt(self, thread: TThread) -> Generator[object, object, None]:
         thread.interrupt_requested = False
@@ -494,21 +511,21 @@ class SimApi:
         self.running = None
         self._grant(handler)
         resume = yield from thread._suspend_until_regranted(ThreadState.INTERRUPTED)
-        thread.token.fire(
-            Transition(f"T_resume.{thread.name}", resume, ExecutionContext.TASK),
-            self.simulator.now,
-        )
+        thread.token.fire(self._resume_transition(thread, resume), self.simulator.now)
 
     def _require_running_caller(self) -> TThread:
         process = self.simulator.running_process
-        if self.running is None or process is None:
+        running = self.running
+        if running is None or process is None:
             raise SimApiError("sim_wait called while no T-THREAD holds the CPU")
-        if process.name != f"tthread.{self.running.name}":
+        # Identity against the thread's own SC_THREAD handle — the previous
+        # name comparison built an f-string per service call.
+        if process is not running._process:
             raise SimApiError(
                 f"sim_wait called from {process.name!r} but the CPU belongs to "
-                f"{self.running.name!r}"
+                f"{running.name!r}"
             )
-        return self.running
+        return running
 
     # ------------------------------------------------------------------
     # Blocking & wakeup
@@ -533,10 +550,13 @@ class SimApi:
         self._dispatch_after_release()
         resume = yield from thread._suspend_until_regranted(suspend_state)
         self._dispatch_disable_count = saved_disable
-        thread.token.fire(
-            Transition(f"T_wakeup.{thread.name}", resume, ExecutionContext.SERVICE_CALL),
-            self.simulator.now,
-        )
+        transition = thread._wakeup_transitions.get(resume)
+        if transition is None:
+            transition = Transition(
+                f"T_wakeup.{thread.name}", resume, ExecutionContext.SERVICE_CALL
+            )
+            thread._wakeup_transitions[resume] = transition
+        thread.token.fire(transition, self.simulator.now)
 
     def wakeup(self, thread: TThread) -> None:
         """Make a sleeping task ready again and reschedule."""

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Callable, Generator, Optional, TYPE_CHECKING
 
 from repro.core.events import ExecutionContext, RunEvent, ThreadKind, ThreadState
+from repro.core.hashtb import StateChange
 from repro.core.petri import PetriToken, Transition
 from repro.sysc.event import SCEvent
 from repro.sysc.process import WaitEvent
@@ -73,6 +74,13 @@ class TThread:
         # loop yields it once per suspension, and the kernel reads it
         # without retaining it.
         self._run_wait = WaitEvent(self.run_event)
+        # Per-thread transition cache: dispatch bookkeeping fires the same
+        # handful of transitions (activate/resume/wakeup per RunEvent) on
+        # every round; building a Transition per firing was a measurable
+        # slice of the ping-pong profile (f-string + frozen-dataclass init).
+        self._activate_transitions: dict = {}
+        self._resume_transitions: dict = {}
+        self._wakeup_transitions: dict = {}
 
         # CPU-grant handshake with the SIM_API dispatcher.
         self._cpu_granted = False
@@ -90,6 +98,10 @@ class TThread:
         self.exit_count = 0
 
         self._process = api.simulator.register_thread(f"tthread.{name}", self._run)
+        # set_state journals two to three changes per dispatch; resolve the
+        # api.simulator / api.hashtb chains once.
+        self._simulator = api.simulator
+        self._hashtb = api.hashtb
         api.hashtb.register(self)
 
     # ------------------------------------------------------------------
@@ -119,11 +131,15 @@ class TThread:
     # ------------------------------------------------------------------
     def set_state(self, new_state: ThreadState) -> None:
         """Change state and journal the change in SIM_HashTB."""
-        if new_state is self.state:
-            return
         old = self.state
+        if new_state is old:
+            return
         self.state = new_state
-        self.api.hashtb.record_state_change(self, old, new_state, self.api.simulator.now)
+        # Inlined SimHashTB.record_state_change — this journal append runs
+        # two to three times per dispatch.
+        self._hashtb.journal.append(
+            StateChange(self._simulator.now, self.tid, old, new_state)
+        )
 
     def grant_cpu(self, resume_event: RunEvent) -> None:
         """Grant the CPU (called by the SIM_API dispatcher only)."""
@@ -165,10 +181,11 @@ class TThread:
                 if resume is RunEvent.STARTUP
                 else ExecutionContext.TASK
             )
-            self.token.fire(
-                Transition(f"T_activate.{self.name}", resume, context),
-                self.api.simulator.now,
-            )
+            transition = self._activate_transitions.get(resume)
+            if transition is None or transition.context is not context:
+                transition = Transition(f"T_activate.{self.name}", resume, context)
+                self._activate_transitions[resume] = transition
+            self.token.fire(transition, self.api.simulator.now)
             body = self.factory()
             try:
                 yield from body

@@ -95,7 +95,10 @@ def code_fingerprint() -> str:
 def _file_sha256(path: str) -> str:
     hasher = hashlib.sha256()
     with open(path, "rb") as handle:
-        for chunk in iter(lambda: handle.read(1 << 20), b""):
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                break
             hasher.update(chunk)
     return hasher.hexdigest()
 
@@ -325,27 +328,44 @@ class ResultStore:
             shutil.rmtree(staging)
         os.makedirs(staging)
 
+        # Each artifact is rendered in memory and lands in ONE write, with
+        # its digest computed from the very bytes written — no re-read pass.
         metrics_path = os.path.join(staging, "metrics.json")
-        with open(metrics_path, "w", encoding="utf-8") as handle:
-            handle.write(canonical_json(
-                {"spec": dict(spec_document), "metrics": dict(metrics)}
-            ))
-            handle.write("\n")
+        metrics_blob = (canonical_json(
+            {"spec": dict(spec_document), "metrics": dict(metrics)}
+        ) + "\n").encode("utf-8")
+        with open(metrics_path, "wb") as handle:
+            handle.write(metrics_blob)
 
         staged_events = os.path.join(staging, "events.jsonl")
         if events_path is not None:
             # shutil.move rather than os.replace: the caller's file may live
             # on another filesystem than the store.
             shutil.move(events_path, staged_events)
-            with open(staged_events, "r", encoding="utf-8") as handle:
-                event_lines = sum(1 for _ in handle)
-        else:
             event_lines = 0
-            with open(staged_events, "w", encoding="utf-8") as handle:
-                for event in events:
-                    handle.write(canonical_json(event))
-                    handle.write("\n")
-                    event_lines += 1
+            events_bytes = 0
+            events_hasher = hashlib.sha256()
+            tail = b"\n"
+            with open(staged_events, "rb") as handle:
+                for chunk in iter(lambda: handle.read(1 << 20), b""):
+                    events_hasher.update(chunk)
+                    event_lines += chunk.count(b"\n")
+                    events_bytes += len(chunk)
+                    tail = chunk[-1:]
+            if events_bytes and tail != b"\n":
+                event_lines += 1  # an unterminated final line still counts
+            events_sha256 = events_hasher.hexdigest()
+        else:
+            parts: List[str] = []
+            for event in events:
+                parts.append(canonical_json(event))
+                parts.append("\n")
+            events_blob = "".join(parts).encode("utf-8")
+            event_lines = len(parts) // 2
+            events_bytes = len(events_blob)
+            events_sha256 = hashlib.sha256(events_blob).hexdigest()
+            with open(staged_events, "wb") as handle:
+                handle.write(events_blob)
 
         manifest = {
             "schema": STORE_SCHEMA,
@@ -354,14 +374,13 @@ class ResultStore:
             "fingerprint": self.fingerprint,
             "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
             "events_lines": event_lines,
-            "events_bytes": os.path.getsize(staged_events),
-            "events_sha256": _file_sha256(staged_events),
-            "metrics_bytes": os.path.getsize(metrics_path),
-            "metrics_sha256": _file_sha256(metrics_path),
+            "events_bytes": events_bytes,
+            "events_sha256": events_sha256,
+            "metrics_bytes": len(metrics_blob),
+            "metrics_sha256": hashlib.sha256(metrics_blob).hexdigest(),
         }
-        with open(os.path.join(staging, "manifest.json"), "w", encoding="utf-8") as handle:
-            handle.write(canonical_json(manifest))
-            handle.write("\n")
+        with open(os.path.join(staging, "manifest.json"), "wb") as handle:
+            handle.write((canonical_json(manifest) + "\n").encode("utf-8"))
 
         entry_dir = self.entry_dir(key)
         os.makedirs(os.path.dirname(entry_dir), exist_ok=True)

@@ -103,26 +103,51 @@ class Topic:
     ``enabled`` is the publisher-side fast-path flag: it is ``True`` exactly
     while at least one sink is attached, so publishers can skip all event
     construction with a single attribute check.
+
+    The *enabled* path is cheap too: while every attached sink declares
+    ``retains_events = False`` (it consumes the event inside ``handle`` and
+    keeps no reference to the event or its fields dict), the topic reuses a
+    single pooled :class:`Event` and fields dict across publishes, so the
+    positional fast emits (:meth:`emit1`, :meth:`emit_fields`) allocate
+    nothing per event.  Any sink without the flag (the retaining default)
+    turns pooling off and every publish builds a fresh event, as before.
     """
 
-    __slots__ = ("name", "enabled", "_sinks")
+    __slots__ = ("name", "enabled", "_sinks", "_pooled_event", "_pooled_fields")
 
     def __init__(self, name: str):
         self.name = name
         self.enabled = False
         self._sinks: List[Any] = []
+        self._pooled_event: Optional[Event] = None
+        self._pooled_fields: Optional[Dict[str, Any]] = None
 
     def attach(self, sink: Any) -> None:
         """Attach *sink* (an object with ``handle(event)``); idempotent."""
         if sink not in self._sinks:
             self._sinks.append(sink)
         self.enabled = True
+        self._refresh_pooling()
 
     def detach(self, sink: Any) -> None:
         """Detach *sink* if attached; disables the topic when none remain."""
         if sink in self._sinks:
             self._sinks.remove(sink)
         self.enabled = bool(self._sinks)
+        self._refresh_pooling()
+
+    def _refresh_pooling(self) -> None:
+        sinks = self._sinks
+        if sinks and all(
+            getattr(sink, "retains_events", True) is False for sink in sinks
+        ):
+            if self._pooled_event is None:
+                fields: Dict[str, Any] = {}
+                self._pooled_fields = fields
+                self._pooled_event = Event(self.name, "", 0, fields)
+        else:
+            self._pooled_event = None
+            self._pooled_fields = None
 
     def sink_count(self) -> int:
         """Number of attached sinks."""
@@ -134,7 +159,55 @@ class Topic:
         Publishers must only call this behind an ``if topic.enabled:`` guard;
         calling it on a disabled topic is harmless but wastes the fast path.
         """
-        event = Event(self.name, kind, t_ns, fields)
+        event = self._pooled_event
+        if event is not None:
+            event.kind = kind
+            event.t_ns = t_ns
+            event.fields = fields
+        else:
+            event = Event(self.name, kind, t_ns, fields)
+        for sink in self._sinks:
+            sink.handle(event)
+
+    def emit1(self, kind: str, t_ns: int, name: str, value: Any) -> None:
+        """Publish a one-field event without packing a kwargs dict.
+
+        The marker fast path: with pooling active this allocates nothing —
+        the pooled event and fields dict are updated in place.
+        """
+        event = self._pooled_event
+        if event is not None:
+            fields = self._pooled_fields
+            fields.clear()
+            fields[name] = value
+            event.kind = kind
+            event.t_ns = t_ns
+            event.fields = fields
+        else:
+            event = Event(self.name, kind, t_ns, {name: value})
+        for sink in self._sinks:
+            sink.handle(event)
+
+    def emit_fields(
+        self, kind: str, t_ns: int, names: Tuple[str, ...], values: Tuple[Any, ...]
+    ) -> None:
+        """Publish an event from parallel (names, values) tuples.
+
+        The multi-field fast path: *names* is a module-constant tuple at the
+        publish site, *values* a small per-publish tuple — with pooling
+        active that tuple is the only per-event allocation.
+        """
+        event = self._pooled_event
+        if event is not None:
+            fields = self._pooled_fields
+            fields.clear()
+            for name, value in zip(names, values):
+                fields[name] = value
+            event.kind = kind
+            event.t_ns = t_ns
+            event.fields = fields
+        else:
+            event = Event(self.name, kind, t_ns, dict(zip(names, values)))
         for sink in self._sinks:
             sink.handle(event)
 
@@ -258,3 +331,80 @@ def _json_safe(value: Any) -> Any:
     if isinstance(nanoseconds, int):  # SimTime without importing sysc here
         return nanoseconds / 1_000_000
     return str(value)
+
+
+# The string escaper of the stdlib encoder: identical output to json.dumps
+# with the default ensure_ascii=True (canonical_json's configuration).
+_encode_string = json.encoder.encode_basestring_ascii
+
+# json.dumps renders floats through float.__repr__ and ints through
+# int.__repr__; reusing those keeps the fast lines byte-identical.
+_float_repr = float.__repr__
+_int_repr = int.__repr__
+_INFINITIES = (float("inf"), float("-inf"))
+
+
+def _encode_number(value: Any) -> str:
+    """Render a number exactly as ``json.dumps`` would, or raise TypeError.
+
+    Strict on types: ``bool`` (a subclass of int that json renders as
+    ``true``/``false``) and non-finite floats (json spells them
+    ``Infinity``/``NaN``) are rejected so the caller falls back to the
+    generic encoder instead of silently diverging.
+    """
+    cls = value.__class__
+    if cls is float:
+        if value != value or value in _INFINITIES:
+            raise TypeError("non-finite float")
+        return _float_repr(value)
+    if cls is int:
+        return _int_repr(value)
+    raise TypeError(f"not a plain number: {value!r}")
+
+
+def encode_event_line(event: Event) -> str:
+    """``canonical_json(event_to_dict(event))``, fast-pathed for ``sched``.
+
+    The streaming-sink hot loop: ``sched`` markers and ``exec`` slices are
+    rendered through pre-sorted literal key prefixes plus the stdlib's own
+    string escaper and number reprs, skipping the dict build and the
+    ``json.dumps`` sort machinery.  Output is byte-identical to the generic
+    route; any unexpected field type falls back to it.
+    """
+    if event.topic != "sched":
+        return canonical_json(event_to_dict(event))
+    fields = event.fields
+    kind = event.kind
+    try:
+        if kind == "exec":
+            context = fields["context"]
+            if isinstance(context, enum.Enum):
+                context = context.value
+            thread = fields["thread"]
+            label = fields["label"]
+            if not (
+                context.__class__ is str
+                and thread.__class__ is str
+                and label.__class__ is str
+            ):
+                return canonical_json(event_to_dict(event))
+            return (
+                '{"context":' + _encode_string(context)
+                + ',"dur_ms":' + _encode_number(fields["dur_ns"] / 1_000_000)
+                + ',"energy_nj":' + _encode_number(fields["energy_nj"])
+                + ',"kind":"exec","label":' + _encode_string(label)
+                + ',"t_ms":' + _encode_number(event.t_ns / 1_000_000)
+                + ',"thread":' + _encode_string(thread)
+                + "}"
+            )
+        thread = fields["thread"]
+        if not (kind.__class__ is str and thread.__class__ is str):
+            return canonical_json(event_to_dict(event))
+        return (
+            '{"kind":' + _encode_string(kind)
+            + ',"t_ms":' + _encode_number(event.t_ns / 1_000_000)
+            + ',"thread":' + _encode_string(thread)
+            + "}"
+        )
+    except (KeyError, TypeError):
+        return canonical_json(event_to_dict(event))

@@ -37,7 +37,7 @@ from typing import (
     Any, Callable, Dict, IO, Iterable, List, Optional, Sequence, Tuple, Union,
 )
 
-from repro.obs.bus import Event, canonical_json, event_to_dict
+from repro.obs.bus import Event, canonical_json, encode_event_line, event_to_dict
 from repro.obs.vcd import vcd_identifier, vcd_value, vcd_var
 
 
@@ -57,6 +57,12 @@ class Sink:
 
     #: Default topics :meth:`EventBus.subscribe` attaches the sink to.
     topics: Optional[Tuple[str, ...]] = None
+
+    #: Whether the sink keeps a reference to handled events (or their fields
+    #: dict) beyond the ``handle`` call.  ``False`` lets the topic reuse one
+    #: pooled event across publishes (the allocation-free fast path); the
+    #: default ``True`` is the safe assumption for unknown sinks.
+    retains_events: bool = True
 
     def handle(self, event: Event) -> None:
         raise NotImplementedError
@@ -136,6 +142,8 @@ class RingBufferSink(Sink):
 class CounterSink(Sink):
     """Tallies events per ``(topic, kind)`` without retaining them."""
 
+    retains_events = False
+
     def __init__(self, topics: Optional[Sequence[str]] = None):
         if topics is not None:
             self.topics = tuple(topics)
@@ -177,26 +185,55 @@ class JsonlStreamSink(Sink):
     stdout, or any open text stream (flushed but not closed).  Lines use the
     campaign's canonical encoding (sorted keys, tight separators) so a
     streamed file is byte-identical to one written from a collected list.
+
+    Lines are rendered immediately (through the fast ``sched`` encoder) but
+    buffered and handed to the stream in ``writelines`` batches of
+    *batch_lines*; each batch consists of whole lines only, so however the
+    run ends — normal close, error-path ``__exit__``, or a kill between
+    batches — the file on disk is always a valid JSONL prefix.
     """
 
-    def __init__(self, target: Union[str, IO[str]], topics: Optional[Sequence[str]] = None):
+    retains_events = False
+
+    def __init__(
+        self,
+        target: Union[str, IO[str]],
+        topics: Optional[Sequence[str]] = None,
+        batch_lines: int = 256,
+    ):
         if topics is not None:
             self.topics = tuple(topics)
+        if batch_lines <= 0:
+            raise ValueError("batch_lines must be positive")
         self._stream, self._owns_stream = _open_target(target)
         self._closed = False
+        self._batch_lines = batch_lines
+        self._pending: List[str] = []
         self.lines_written = 0
 
     def handle(self, event: Event) -> None:
-        # One write per event: an interruption between events leaves whole
-        # lines only, so the file on disk is always a parseable prefix.
-        self._stream.write(canonical_json(event_to_dict(event)) + "\n")
+        pending = self._pending
+        pending.append(encode_event_line(event) + "\n")
         self.lines_written += 1
+        if len(pending) >= self._batch_lines:
+            self._stream.writelines(pending)
+            pending.clear()
+
+    def flush(self) -> None:
+        """Drain the pending batch and flush the underlying stream."""
+        if self._pending:
+            self._stream.writelines(self._pending)
+            self._pending.clear()
+        self._stream.flush()
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
         try:
+            if self._pending:
+                self._stream.writelines(self._pending)
+                self._pending.clear()
             self._stream.flush()
         except ValueError:  # pragma: no cover - already-closed caller stream
             return
@@ -214,6 +251,7 @@ class VcdStreamSink(Sink):
     """
 
     topics = ("signal",)
+    retains_events = False
 
     def __init__(self, signals: Iterable[Any], target: Union[str, IO[str]],
                  timescale: str = "1ns"):
@@ -367,6 +405,8 @@ class HistogramSink(Sink):
     rather than raising, so a sink can sit on a mixed stream.
     """
 
+    retains_events = False
+
     def __init__(
         self,
         field: str = "dur_ns",
@@ -378,6 +418,10 @@ class HistogramSink(Sink):
         self.field = field
         self.kinds = tuple(kinds) if kinds is not None else None
         self._value = value
+        if value is not None:
+            # A caller-supplied extractor sees the raw event; assume it may
+            # hold on to it, which keeps topic pooling off.
+            self.retains_events = True
         self.histogram = StreamingHistogram()
         self.skipped = 0
 

@@ -48,7 +48,7 @@ BENCH_SCHEMA = "repro-bench/1"
 
 #: The PR this checkout's trajectory file belongs to; bumped by each PR that
 #: records a new data point.
-CURRENT_PR = 8
+CURRENT_PR = 10
 
 #: Scenarios cheap enough to run on every ``repro bench`` invocation.
 DEFAULT_SCENARIOS = (
@@ -276,7 +276,7 @@ def run_scenario_benchmarks(
 # Grid cached-vs-fresh timing
 # ----------------------------------------------------------------------
 def bench_cache_hit(
-    scenario: str = "synthetic-rtk", repeats: int = 3
+    scenario: str = "synthetic-rtk", repeats: int = 5
 ) -> Dict[str, Any]:
     """Cached-vs-fresh timing of the grid result store.
 
@@ -451,6 +451,88 @@ def bench_resilience(
     }
 
 
+def bench_event_stream(events: int = 20000, repeats: int = 3) -> Dict[str, Any]:
+    """Sched-topic publish → encode → batched-write pipeline throughput.
+
+    The exact shape of an observed campaign run: a ``sched`` topic with one
+    :class:`~repro.obs.sinks.JsonlStreamSink` attached (in-memory target),
+    fed ``exec`` events through the positional ``emit_fields`` fast path.
+    The measure covers the whole PR-10 pipeline — pooled event reuse, the
+    specialized sched-line encoder and the batched ``writelines`` flush —
+    and is reported as events per second end to end.
+    """
+    import io
+
+    from repro.core.events import ExecutionContext
+    from repro.obs.bus import EventBus
+    from repro.obs.sinks import JsonlStreamSink
+
+    field_names = ("thread", "dur_ns", "context", "energy_nj", "label")
+    context = ExecutionContext.TASK
+    best = 0.0
+    for _ in range(repeats):
+        bus = EventBus()
+        sink = JsonlStreamSink(io.StringIO(), topics=("sched",))
+        bus.subscribe(sink, topics=("sched",))
+        emit = bus.topic("sched").emit_fields
+        start = time.perf_counter()
+        for index in range(events):
+            emit("exec", 1000 * index, field_names,
+                 ("t0", 500, context, 0.0, ""))
+        sink.close()
+        elapsed = time.perf_counter() - start
+        best = max(best, events / elapsed)
+    return {"events": events, "stream_events_per_s": best}
+
+
+def bench_store_put(
+    puts: int = 200, events_per_put: int = 50, repeats: int = 3
+) -> Dict[str, Any]:
+    """Result-store write throughput: complete ``put`` entries per second.
+
+    Every put renders metrics + a *events_per_put*-line JSONL stream + the
+    manifest, digests them from the bytes written (no re-read pass) and
+    lands the entry with one atomic rename — the fixed cost a sweep pays
+    per fresh run.  A throwaway store per repeat, best rate reported.
+    """
+    import shutil
+    import tempfile
+
+    from repro.grid.store import ResultStore
+
+    events = [
+        {"topic": "sched", "kind": "exec", "t_ns": 1000 * slot,
+         "thread": "t0", "dur_ns": 500}
+        for slot in range(events_per_put)
+    ]
+    best = 0.0
+    for _ in range(repeats):
+        root = tempfile.mkdtemp(prefix="repro-bench-store-")
+        try:
+            store = ResultStore(root)
+            start = time.perf_counter()
+            for index in range(puts):
+                spec = {
+                    "name": f"bench/{index:04d}", "kernel": "tkernel",
+                    "workload": "generated", "seed": index,
+                    "duration_ms": 40.0,
+                }
+                metrics = {
+                    "scenario": spec["name"], "seed": index,
+                    "context_switches": 10 + index,
+                }
+                store.put(spec, metrics, events=events)
+            elapsed = time.perf_counter() - start
+            best = max(best, puts / elapsed)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return {
+        "puts": puts,
+        "events_per_put": events_per_put,
+        "put_per_s": best,
+    }
+
+
 def bench_analytics(
     runs: int = 64, repeats: int = 3, queries: int = 50
 ) -> Dict[str, Any]:
@@ -557,11 +639,19 @@ def run_benchmarks(
     }
     table2 = bench_table2_speed(simulated_ms=50 if quick else 200)
     scenario_results = run_scenario_benchmarks(scenario_names)
-    grid = bench_cache_hit(repeats=1 if quick else 3)
+    # The hit clocks ~0.1 ms; the minimum needs more samples than the
+    # second-scale benches to shed scheduler noise at that resolution.
+    grid = bench_cache_hit(repeats=1 if quick else 10)
     workload = bench_workload_plane(scale=scale)
     analytics = bench_analytics(
         runs=16 if quick else 64, repeats=1 if quick else 3,
         queries=10 if quick else 50,
+    )
+    events = bench_event_stream(
+        events=2500 if quick else 20000, repeats=1 if quick else 3
+    )
+    store = bench_store_put(
+        puts=40 if quick else 200, repeats=1 if quick else 3
     )
     batch = bench_batch_fused(
         members=8 if quick else 24, repeats=1 if quick else 3
@@ -587,6 +677,8 @@ def run_benchmarks(
         "grid": grid,
         "workload": workload,
         "analytics": analytics,
+        "events": events,
+        "store": store,
         "batch": batch,
         "resilience": resilience,
         "scenarios": scenario_results,
@@ -596,8 +688,8 @@ def run_benchmarks(
 #: Keys (and nested keys) every report document must carry.
 _REQUIRED_TOP_LEVEL = (
     "schema", "pr", "quick", "created_utc", "host",
-    "microbench", "table2", "grid", "workload", "analytics", "batch",
-    "resilience", "scenarios",
+    "microbench", "table2", "grid", "workload", "analytics", "events",
+    "store", "batch", "resilience", "scenarios",
 )
 _REQUIRED_MICROBENCH = (
     "timed_waits_per_s", "timeout_waits_per_s",
@@ -647,6 +739,20 @@ def validate_report(document: Dict[str, Any]) -> List[str]:
         if not isinstance(value, (int, float)) or value <= 0:
             problems.append(
                 f"analytics.{key} must be a positive number, got {value!r}"
+            )
+    events = document.get("events", {})
+    for key in ("events", "stream_events_per_s"):
+        value = events.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            problems.append(
+                f"events.{key} must be a positive number, got {value!r}"
+            )
+    store = document.get("store", {})
+    for key in ("puts", "events_per_put", "put_per_s"):
+        value = store.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            problems.append(
+                f"store.{key} must be a positive number, got {value!r}"
             )
     batch = document.get("batch", {})
     for key in ("members", "per_process_runs_per_s", "fused_runs_per_s",
@@ -726,6 +832,18 @@ def render_report(document: Dict[str, Any]) -> str:
         lines.append(
             f"  corpus index     : {analytics['index_runs_per_s']:>12,.0f} "
             f"runs/s rebuild   warm query: {analytics['warm_query_ms']:.3f} ms"
+        )
+    events = document.get("events")
+    if events:
+        lines.append(
+            f"  event stream     : {events['stream_events_per_s']:>12,.0f} "
+            f"events/s publish→encode→write"
+        )
+    store = document.get("store")
+    if store:
+        lines.append(
+            f"  store put        : {store['put_per_s']:>12,.0f} entries/s "
+            f"({store['events_per_put']} events each)"
         )
     batch = document.get("batch")
     if batch:

@@ -20,7 +20,8 @@ Exit codes are the gate contract: 0 = no regression beyond threshold,
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+from fnmatch import fnmatchcase
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.campaign.metrics import flatten_numeric
 from repro.perf.bench import BENCH_SCHEMA
@@ -34,11 +35,35 @@ COMPARE_SCHEMA = "repro-bench-compare/1"
 DEFAULT_MAX_REGRESS_PCT = 10.0
 
 #: Leaf names that end in a directional suffix but are configuration, not
-#: measurement (a horizon of 200 ms is not "worse" than 150 ms).
+#: measurement (a horizon of 200 ms is not "worse" than 150 ms).  The bare
+#: ``speedup`` leaf (``grid.speedup`` = fresh/hit of the same report) is
+#: neutral too: both factors are gated directionally on their own, and the
+#: ratio "regresses" across reports precisely when the fresh path improves
+#: — a prefixed ratio such as ``batch.fused_speedup`` stays directional via
+#: the suffix rule.
 NEUTRAL_LEAVES = frozenset({
     "simulated_ms", "duration_ms", "lcd_update_period_ms",
-    "simulated_seconds",
+    "simulated_seconds", "speedup",
 })
+
+#: The ``--preset code-metrics`` ignore list: strips everything that is a
+#: host fact, a configuration echo or a workload-shape tally rather than a
+#: code-performance measurement, so two trajectory files compare on the
+#: rows the code is responsible for.  Spelled as ``fnmatch`` globs over
+#: flattened metric keys, exactly like ``--ignore``.
+CODE_METRICS_IGNORE = (
+    "pr", "quick", "host.*",
+    "*.members", "*.runs", "*.puts", "*.events", "*.events_per_put",
+    "*.queries", "*.family_members",
+    "*.per_process_workers", "*.fused_workers",
+    "scenarios.*.context_switches", "scenarios.*.events.*",
+    "table2.rows.*",
+)
+
+#: Named ignore presets the CLI accepts via ``--preset``.
+IGNORE_PRESETS: Dict[str, Sequence[str]] = {
+    "code-metrics": CODE_METRICS_IGNORE,
+}
 
 
 class ReportError(ValueError):
@@ -85,10 +110,35 @@ def metric_direction(key: str) -> Optional[str]:
     return None
 
 
+def _is_ignored(key: str, ignore: Sequence[str]) -> bool:
+    return any(fnmatchcase(key, pattern) for pattern in ignore)
+
+
+def resolve_ignore(
+    ignore: Iterable[str] = (), presets: Iterable[str] = (),
+) -> List[str]:
+    """Expand ``--ignore`` globs plus ``--preset`` names into one list.
+
+    Unknown preset names raise :class:`ReportError` (the CLI's one-line
+    exit-code-2 path), naming the valid presets.
+    """
+    patterns = list(ignore)
+    for name in presets:
+        preset = IGNORE_PRESETS.get(name)
+        if preset is None:
+            raise ReportError(
+                f"unknown ignore preset {name!r} "
+                f"(valid: {', '.join(sorted(IGNORE_PRESETS))})"
+            )
+        patterns.extend(preset)
+    return patterns
+
+
 def compare_reports(
     old: Dict[str, Any],
     new: Dict[str, Any],
     max_regress_pct: float = DEFAULT_MAX_REGRESS_PCT,
+    ignore: Sequence[str] = (),
 ) -> Dict[str, Any]:
     """Align two report documents metric-by-metric.
 
@@ -99,12 +149,24 @@ def compare_reports(
     ``regression`` (moved the wrong way by more than the threshold),
     ``info`` (no direction), ``added``/``removed`` (one-sided).  The
     verdict is ``"regression"`` iff any row regressed.
+
+    *ignore* is a list of ``fnmatch`` globs over flattened metric keys
+    (``host.*``, ``scenarios.*.events.*``); matching keys are dropped from
+    both sides before alignment, so they appear in no row and can neither
+    regress nor count as added/removed.  The comparison document records
+    the patterns and how many keys they removed.
     """
     old_flat = flatten_numeric(old)
     new_flat = flatten_numeric(new)
+    keys = set(old_flat) | set(new_flat)
+    ignored = 0
+    if ignore:
+        kept = {key for key in keys if not _is_ignored(key, ignore)}
+        ignored = len(keys) - len(kept)
+        keys = kept
     rows: List[Dict[str, Any]] = []
     regressions: List[str] = []
-    for key in sorted(set(old_flat) | set(new_flat)):
+    for key in sorted(keys):
         old_value = old_flat.get(key)
         new_value = new_flat.get(key)
         row: Dict[str, Any] = {
@@ -144,6 +206,8 @@ def compare_reports(
         "old_quick": bool(old.get("quick")),
         "new_quick": bool(new.get("quick")),
         "max_regress_pct": max_regress_pct,
+        "ignore": list(ignore),
+        "ignored_keys": ignored,
         "rows": rows,
         "regressions": regressions,
         "verdict": "regression" if regressions else "ok",
@@ -202,5 +266,10 @@ def format_compare(document: Dict[str, Any]) -> str:
         verdict += (
             f"  [note: {' and '.join(quick_sides)} report(s) are quick-mode "
             "— numbers are noisy]"
+        )
+    if document.get("ignore"):
+        verdict += (
+            f"  [{document.get('ignored_keys', 0)} key(s) ignored via "
+            f"{len(document['ignore'])} glob(s)]"
         )
     return table + "\n" + verdict

@@ -175,7 +175,7 @@ class Simulator:
         """Current simulation time (a cached boundary object)."""
         cache = self._now_cache
         if cache.nanoseconds != self._now_ns:
-            self._now_cache = cache = SimTime(self._now_ns)
+            self._now_cache = cache = SimTime(self._now_ns)  # simtime-boundary
         return cache
 
     @property
@@ -290,6 +290,14 @@ class Simulator:
 
     def _trigger_event(self, event: SCEvent, immediate: bool) -> None:
         """Wake every process waiting on *event*."""
+        waiting = event._waiting
+        if len(waiting) == 1:
+            # The dominant notify shape (one suspended thread per run
+            # event): wake in place without the _take_waiters list swap.
+            process = waiting[0]
+            waiting.clear()
+            self._wake_process(process, ResumeReason.EVENT, event)
+            return
         waiters = event._take_waiters()
         for process in waiters:
             self._wake_process(process, ResumeReason.EVENT, event)
@@ -748,7 +756,7 @@ class Simulator:
         """Delay until the next timed activity, or None if none is pending."""
         if not self._timed_heap:
             return None
-        return SimTime(self._timed_heap[0] - self._now_ns)
+        return SimTime(self._timed_heap[0] - self._now_ns)  # simtime-boundary
 
     def __repr__(self) -> str:
         return (

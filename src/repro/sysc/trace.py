@@ -44,6 +44,7 @@ class TraceFile(SignalObserver):
     """
 
     topics = ("signal",)
+    retains_events = False
 
     def __init__(self, name: str = "trace"):
         self.name = name

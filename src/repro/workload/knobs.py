@@ -22,10 +22,13 @@ query output.
 from __future__ import annotations
 
 import json
+from collections.abc import Mapping as _AbcMapping
 from typing import Any, Dict, Mapping, Union
 
 #: A flattened knob value: what a corpus-index column can hold.
 KnobValue = Union[bool, int, float, str]
+
+_SCALARS = (bool, int, float, str)
 
 
 def flatten_knobs(
@@ -34,14 +37,20 @@ def flatten_knobs(
     """Flatten a nested JSON-safe document into sorted dotted-key scalars."""
     flat: Dict[str, KnobValue] = {}
     for key, value in document.items():
-        if not isinstance(key, str):
+        if key.__class__ is not str and not isinstance(key, str):
             raise TypeError(
                 f"knob keys must be strings, got {type(key).__name__}: {key!r}"
             )
         dotted = f"{prefix}{key}"
-        if isinstance(value, Mapping):
+        # Exact-class checks first: JSON-decoded documents only ever hold
+        # dict/str/int/float/bool leaves, so the ABC isinstance fallbacks
+        # run solely for exotic caller-supplied mappings and subclasses.
+        cls = value.__class__
+        if cls in _SCALARS:
+            flat[dotted] = value
+        elif cls is dict or isinstance(value, _AbcMapping):
             flat.update(flatten_knobs(value, prefix=f"{dotted}."))
-        elif isinstance(value, bool) or isinstance(value, (int, float, str)):
+        elif isinstance(value, _SCALARS):
             flat[dotted] = value
         else:
             # Lists, None, anything structured: canonical JSON string.

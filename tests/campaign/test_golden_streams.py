@@ -14,6 +14,7 @@ event streams for that scenario.
 """
 
 import hashlib
+import io
 import json
 import os
 
@@ -22,6 +23,7 @@ import pytest
 from repro.campaign.registry import get_scenario, scenario_names
 from repro.campaign.runner import run_spec
 from repro.campaign.spec import spec_hash
+from repro.grid.store import ResultStore
 from repro.obs.bus import canonical_json
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_streams.json")
@@ -52,3 +54,37 @@ def test_builtin_scenario_is_byte_identical_to_pre_refactor_builder(name):
     assert hashlib.sha256(
         result.metrics_json().encode("utf-8")
     ).hexdigest() == golden["metrics_sha256"]
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_streamed_jsonl_is_byte_identical_to_golden(name):
+    """The live ``--events-out`` stream — specialized sched-line encoder,
+    pooled events, batched ``writelines`` flushes — must emit exactly the
+    golden bytes, not merely equivalent JSON."""
+    spec = get_scenario(name)
+    golden = GOLDEN[name]
+    stream = io.StringIO()
+    result = run_spec(spec, collect_events=False, events_stream=stream)
+    data = stream.getvalue().encode("utf-8")
+    assert result.events_streamed == golden["events_lines"]
+    assert data.count(b"\n") == golden["events_lines"]
+    assert hashlib.sha256(data).hexdigest() == golden["events_sha256"]
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_stored_events_artifact_is_byte_identical_to_golden(name, tmp_path):
+    """The store's ``events.jsonl`` — written through the staging tee and
+    the single-write ``put`` — must hold exactly the golden bytes, and the
+    manifest digests (computed from the bytes as written) must agree."""
+    spec = get_scenario(name)
+    golden = GOLDEN[name]
+    store = ResultStore(str(tmp_path / "store"))
+    run_spec(spec, collect_events=False, store=store)
+    entry = store.lookup(spec)
+    assert entry is not None  # the fresh run must have filled the cache
+    with open(entry.events_path, "rb") as handle:
+        data = handle.read()
+    assert hashlib.sha256(data).hexdigest() == golden["events_sha256"]
+    assert entry.manifest["events_sha256"] == golden["events_sha256"]
+    assert entry.manifest["events_lines"] == golden["events_lines"]
+    assert entry.manifest["events_bytes"] == len(data)

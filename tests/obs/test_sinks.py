@@ -73,9 +73,10 @@ class TestJsonlHardening:
         sink.close()
         sink.close()  # second close must not raise on the closed stream
 
-    def test_each_event_is_one_write(self):
-        """A torn line can only come from multi-part writes; assert the
-        sink emits each event as exactly one complete-line write."""
+    def test_batched_writes_are_whole_lines(self):
+        """Batching delays lines but every write handed to the stream is a
+        run of *whole* lines, so an interruption between batch flushes
+        still leaves a valid JSONL prefix on disk."""
         writes = []
 
         class Spy(io.StringIO):
@@ -83,15 +84,47 @@ class TestJsonlHardening:
                 writes.append(text)
                 return super().write(text)
 
+            def writelines(self, lines):
+                text = "".join(lines)
+                writes.append(text)
+                io.StringIO.write(self, text)
+
         spy = Spy()
-        sink = JsonlStreamSink(spy)
+        sink = JsonlStreamSink(spy, batch_lines=2)
         sink.handle(sched_exec())
+        assert writes == []  # below the batch threshold: nothing written yet
         sink.handle(sched_exec(t_ns=2000))
-        sink.close()
+        assert len(writes) == 1  # the batch boundary flushed both lines
+        sink.handle(sched_exec(t_ns=3000))
+        sink.close()  # close drains the partial batch
         assert len(writes) == 2
-        assert all(text.endswith("\n") for text in writes)
         for text in writes:
-            json.loads(text)  # every write is one whole JSON line
+            assert text.endswith("\n")
+            for line in text[:-1].split("\n"):
+                json.loads(line)  # every write is whole JSON lines only
+
+    def test_torn_run_leaves_valid_jsonl_prefix(self):
+        """Kill mid-batch: a sink abandoned without close() (the process
+        died) has written only complete batches — the stream contents are
+        a valid JSONL prefix of the full event sequence."""
+        stream = io.StringIO()
+        sink = JsonlStreamSink(stream, batch_lines=4)
+        expected = []
+        for index in range(11):
+            event = sched_exec(t_ns=1000 * (index + 1))
+            sink.handle(event)
+            expected.append(canonical_json(event.to_dict()))
+        # No close: simulate the process dying between batches.
+        flushed = stream.getvalue()
+        lines = flushed.splitlines()
+        assert len(lines) == 8  # two full batches reached the stream
+        assert flushed.endswith("\n")
+        assert lines == expected[:8]
+        for line in lines:
+            json.loads(line)
+        # A later close must still deliver the tail.
+        sink.close()
+        assert stream.getvalue().splitlines() == expected
 
     def test_borrowed_stream_left_open(self):
         stream = io.StringIO()

@@ -13,6 +13,7 @@ import pytest
 from repro.campaign.cli import main as cli_main
 from repro.perf.bench import BENCH_SCHEMA
 from repro.perf.compare import (
+    CODE_METRICS_IGNORE,
     COMPARE_SCHEMA,
     DEFAULT_MAX_REGRESS_PCT,
     ReportError,
@@ -20,6 +21,7 @@ from repro.perf.compare import (
     format_compare,
     load_report,
     metric_direction,
+    resolve_ignore,
 )
 
 
@@ -51,6 +53,9 @@ class TestMetricDirection:
         ("workload.family_members", None),
         ("pr", None),
         ("scenarios.quickstart.context_switches", None),
+        # The bare speedup ratio is derived from two gated wall clocks and
+        # drops whenever the fresh path improves — neutral by design.
+        ("grid.speedup", None),
     ])
     def test_suffix_rules(self, key, expected):
         assert metric_direction(key) == expected
@@ -114,6 +119,72 @@ class TestCompareReports:
         assert "microbench.dispatches_per_s" in text
         assert "-50.0%" in text
         assert "REGRESSION" in text
+
+
+class TestIgnoreGlobs:
+    def test_ignored_regression_does_not_gate(self):
+        old = make_report(dispatches_per_s=1000.0, x_per_s=100.0)
+        new = make_report(dispatches_per_s=500.0, x_per_s=101.0)
+        document = compare_reports(
+            old, new, ignore=("microbench.dispatches_per_s",)
+        )
+        assert document["verdict"] == "ok"
+        assert document["ignored_keys"] == 1
+        assert all(
+            row["metric"] != "microbench.dispatches_per_s"
+            for row in document["rows"]
+        )
+
+    def test_glob_matches_whole_subtrees(self):
+        old = make_report(a_per_s=1.0, b_per_s=2.0)
+        new = make_report(a_per_s=0.1, b_per_s=0.2)
+        document = compare_reports(old, new, ignore=("microbench.*",))
+        assert document["verdict"] == "ok"
+        assert all(not row["metric"].startswith("microbench.")
+                   for row in document["rows"])
+
+    def test_ignore_hides_added_and_removed_keys_too(self):
+        old = make_report(gone_per_s=1.0)
+        new = make_report(fresh_per_s=1.0)
+        document = compare_reports(
+            old, new, ignore=("microbench.gone_per_s", "microbench.fresh_per_s")
+        )
+        assert document["ignored_keys"] == 2
+        assert all(row["status"] not in ("added", "removed")
+                   for row in document["rows"])
+
+    def test_patterns_recorded_in_document_and_rendering(self):
+        old = make_report(a_per_s=1.0)
+        new = make_report(a_per_s=1.0)
+        document = compare_reports(old, new, ignore=("host.*",))
+        assert document["ignore"] == ["host.*"]
+        assert "ignored via 1 glob(s)" in format_compare(document)
+
+    def test_resolve_ignore_expands_presets(self):
+        patterns = resolve_ignore(["custom.*"], ["code-metrics"])
+        assert patterns[0] == "custom.*"
+        assert set(CODE_METRICS_IGNORE) <= set(patterns)
+
+    def test_unknown_preset_raises_report_error(self):
+        with pytest.raises(ReportError, match="unknown ignore preset"):
+            resolve_ignore([], ["nope"])
+
+    def test_code_metrics_preset_drops_host_and_config_rows(self):
+        old = make_report(dispatches_per_s=1000.0)
+        old["host"] = {"cores": 8}
+        old["batch"] = {"members": 24, "fused_runs_per_s": 10.0}
+        new = make_report(dispatches_per_s=1100.0)
+        new["host"] = {"cores": 16}
+        new["batch"] = {"members": 48, "fused_runs_per_s": 11.0}
+        document = compare_reports(
+            old, new, ignore=resolve_ignore(presets=["code-metrics"])
+        )
+        metrics = {row["metric"] for row in document["rows"]}
+        assert "host.cores" not in metrics
+        assert "batch.members" not in metrics
+        assert "pr" not in metrics
+        assert "batch.fused_runs_per_s" in metrics
+        assert "microbench.dispatches_per_s" in metrics
 
 
 class TestLoadReport:
@@ -181,6 +252,34 @@ class TestCli:
         document = json.loads(capsys.readouterr().out)
         assert document["schema"] == COMPARE_SCHEMA
         assert document["verdict"] == "ok"
+
+    def test_ignore_flag_drops_regressing_metric(self, tmp_path, capsys):
+        old = write(tmp_path, "old.json", make_report(dispatches_per_s=1000.0))
+        new = write(tmp_path, "new.json", make_report(dispatches_per_s=500.0))
+        assert cli_main([
+            "bench", "compare", old, new,
+            "--ignore", "microbench.dispatches_per_s",
+        ]) == 0
+        assert "ignored via 1 glob(s)" in capsys.readouterr().out
+
+    def test_preset_flag_applies_named_ignore_list(self, tmp_path):
+        old_doc = make_report(dispatches_per_s=1000.0)
+        old_doc["host"] = {"cores": 16}
+        new_doc = make_report(dispatches_per_s=1000.0)
+        new_doc["host"] = {"cores": 2}
+        old = write(tmp_path, "old.json", old_doc)
+        new = write(tmp_path, "new.json", new_doc)
+        assert cli_main([
+            "bench", "compare", old, new, "--preset", "code-metrics",
+        ]) == 0
+
+    def test_unknown_preset_exits_two(self, tmp_path, capsys):
+        old = write(tmp_path, "old.json", make_report(x_per_s=1.0))
+        new = write(tmp_path, "new.json", make_report(x_per_s=1.0))
+        assert cli_main([
+            "bench", "compare", old, new, "--preset", "nope",
+        ]) == 2
+        assert "unknown ignore preset" in capsys.readouterr().err
 
     def test_plain_bench_parser_still_accepts_quick(self, capsys):
         """Adding the subcommand must not break `repro bench --quick`."""

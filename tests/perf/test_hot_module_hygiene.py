@@ -1,0 +1,130 @@
+"""Static hygiene lint for the hot-plane modules.
+
+The PR-3/PR-10 perf passes rest on a handful of structural rules that are
+easy to erode one innocent-looking edit at a time.  This module walks the
+AST of every hot module and forbids:
+
+* **``**``-expansion at call sites** — ``topic.emit(kind, t, **fields)``
+  packs and unpacks a fresh dict per publish; hot modules must use the
+  positional fast paths (``emit1``/``emit_fields``) or spell keywords out.
+  (Accepting ``**fields`` in a *definition* stays legal — that is the
+  slow-path API surface, paid only by callers who opt in.)
+* **closures** — nested ``def``/``lambda`` bodies capture cells, defeat
+  CPython's method caches, and are the main obstacle to compiling these
+  modules with mypyc-style AOT tools later.
+* **``SimTime(...)`` construction** — the hot plane computes in plain int
+  nanoseconds; each ``SimTime`` is ~100 ns of allocation the loops cannot
+  afford.  Legitimate boundary constructions (returning a public value,
+  refreshing the ``now`` cache) are whitelisted line-by-line with a
+  trailing ``# simtime-boundary`` comment, which doubles as reviewer
+  documentation.
+
+The rules are deliberately syntactic: ``SimTime.coerce``/``SimTime.ms``
+are attribute calls (boundary coercions by convention) and stay allowed.
+"""
+
+import ast
+import os
+
+import pytest
+
+REPO_SRC = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "src", "repro"
+)
+
+#: The hot-plane modules the PR-10 rules protect.
+HOT_MODULES = (
+    "sysc/kernel.py",
+    "core/scheduler.py",
+    "core/simapi.py",
+    "obs/bus.py",
+)
+
+#: Trailing comment that whitelists one SimTime construction line.
+BOUNDARY_MARKER = "# simtime-boundary"
+
+
+def _load(module: str):
+    path = os.path.abspath(os.path.join(REPO_SRC, module))
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return path, source.splitlines(), ast.parse(source, filename=path)
+
+
+def _function_stack_violations(tree, lines):
+    """Yield ``(lineno, message)`` for every hygiene violation in *tree*."""
+    # Track nesting of function bodies so module-level and class-level defs
+    # pass while a def-inside-def (a closure) fails.
+    parent_functions = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parent_functions[child] = parent_functions.get(node, 0) + (
+                1 if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                else 0
+            )
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Lambda):
+            yield node.lineno, "lambda (closure) in a hot module"
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if parent_functions.get(node, 0) > 0:
+                yield node.lineno, (
+                    f"nested function {node.name!r} (closure) in a hot module"
+                )
+        elif isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    yield node.lineno, (
+                        "**-expansion at a call site (per-call dict pack)"
+                    )
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "SimTime":
+                line = lines[node.lineno - 1]
+                if BOUNDARY_MARKER not in line:
+                    yield node.lineno, (
+                        "SimTime(...) constructed off the int-ns plane "
+                        f"(whitelist with a trailing {BOUNDARY_MARKER!r} "
+                        "comment if this is a real boundary)"
+                    )
+
+
+@pytest.mark.parametrize("module", HOT_MODULES)
+def test_hot_module_is_hygienic(module):
+    path, lines, tree = _load(module)
+    violations = sorted(_function_stack_violations(tree, lines))
+    assert not violations, (
+        f"{module} violates the hot-plane hygiene rules:\n" + "\n".join(
+            f"  {path}:{lineno}: {message}"
+            for lineno, message in violations
+        )
+    )
+
+
+def test_marker_is_not_sprinkled_freely():
+    """The whitelist must stay a short, deliberate list — a marker count
+    creeping up is the lint being papered over."""
+    total = 0
+    for module in HOT_MODULES:
+        _, lines, _ = _load(module)
+        total += sum(1 for line in lines if BOUNDARY_MARKER in line)
+    assert total <= 6, (
+        f"{total} '# simtime-boundary' markers across the hot modules — "
+        "the int-ns discipline is eroding; push conversions to the callers"
+    )
+
+
+def test_lint_actually_detects_violations():
+    """Self-test: each rule trips on a minimal offending snippet."""
+    bad = (
+        "def outer():\n"
+        "    def inner():\n"
+        "        pass\n"
+        "    f = lambda: 1\n"
+        "    topic.emit('k', 0, **fields)\n"
+        "    t = SimTime(5)\n"
+    )
+    lines = bad.splitlines()
+    messages = [m for _, m in _function_stack_violations(ast.parse(bad), lines)]
+    assert any("nested function" in m for m in messages)
+    assert any("lambda" in m for m in messages)
+    assert any("**-expansion" in m for m in messages)
+    assert any("SimTime" in m for m in messages)
